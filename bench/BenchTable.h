@@ -1,0 +1,86 @@
+//===- bench/BenchTable.h - Console tables for the benchmark harness ------===//
+//
+// Shared helpers for the experiment binaries: fixed-width console tables
+// and wall-clock timing.
+//
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_BENCH_BENCHTABLE_H
+#define CASCC_BENCH_BENCHTABLE_H
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace benchtable {
+
+class Table {
+public:
+  explicit Table(std::vector<std::string> Headers)
+      : Headers(std::move(Headers)) {}
+
+  void addRow(std::vector<std::string> Row) { Rows.push_back(std::move(Row)); }
+
+  void print() const {
+    std::vector<std::size_t> Width(Headers.size());
+    for (std::size_t I = 0; I < Headers.size(); ++I)
+      Width[I] = Headers[I].size();
+    for (const auto &Row : Rows)
+      for (std::size_t I = 0; I < Row.size() && I < Width.size(); ++I)
+        Width[I] = std::max(Width[I], Row[I].size());
+
+    auto printRow = [&](const std::vector<std::string> &Row) {
+      std::printf("|");
+      for (std::size_t I = 0; I < Width.size(); ++I) {
+        const std::string &Cell = I < Row.size() ? Row[I] : std::string();
+        std::printf(" %-*s |", static_cast<int>(Width[I]), Cell.c_str());
+      }
+      std::printf("\n");
+    };
+    auto printSep = [&]() {
+      std::printf("+");
+      for (std::size_t I = 0; I < Width.size(); ++I) {
+        for (std::size_t J = 0; J < Width[I] + 2; ++J)
+          std::printf("-");
+        std::printf("+");
+      }
+      std::printf("\n");
+    };
+    printSep();
+    printRow(Headers);
+    printSep();
+    for (const auto &Row : Rows)
+      printRow(Row);
+    printSep();
+  }
+
+private:
+  std::vector<std::string> Headers;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+class Timer {
+public:
+  Timer() : Start(std::chrono::steady_clock::now()) {}
+  double ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - Start)
+        .count();
+  }
+
+private:
+  std::chrono::steady_clock::time_point Start;
+};
+
+inline std::string fmtMs(double Ms) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%.2f", Ms);
+  return Buf;
+}
+
+inline std::string yesNo(bool B) { return B ? "yes" : "no"; }
+
+} // namespace benchtable
+
+#endif // CASCC_BENCH_BENCHTABLE_H

@@ -1,0 +1,62 @@
+//===- bench/bench_drf.cpp - E2: race detection cost (Fig. 9 / Sec. 5) -----===//
+//
+// Measures the cost of the Race-rule exploration (Fig. 9) as thread count
+// and per-thread work grow, and the state-space reduction obtained by
+// checking races in the non-preemptive semantics instead (NPDRF) — the
+// practical payoff of the paper's reduction.
+//
+// Expected shape: the non-preemptive state space is orders of magnitude
+// smaller and the gap widens with thread count and program size.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchTable.h"
+#include "core/Semantics.h"
+#include "workload/Workloads.h"
+
+#include <cstdio>
+
+using namespace ccc;
+
+int main() {
+  std::printf("E2 (Fig. 9): DRF checking — preemptive vs non-preemptive "
+              "state spaces\n\n");
+
+  benchtable::Table T({"threads", "work", "pre states", "pre ms",
+                       "np states", "np ms", "reduction"});
+  bool AllGood = true;
+  for (unsigned Threads = 2; Threads <= 3; ++Threads) {
+    for (unsigned Work : {1u, 3u, 5u, 8u}) {
+      Program P1 = workload::atomicCounter(Threads, Work);
+      benchtable::Timer T1;
+      Explorer<World> EP;
+      EP.build(World::load(P1));
+      bool PreRace = EP.findRace().has_value();
+      double PreMs = T1.ms();
+
+      Program P2 = workload::atomicCounter(Threads, Work);
+      benchtable::Timer T2;
+      Explorer<NPWorld> EN;
+      EN.build(NPWorld::loadAll(P2));
+      bool NpRace = EN.findRace().has_value();
+      double NpMs = T2.ms();
+
+      AllGood = AllGood && !PreRace && !NpRace;
+      double Ratio = EN.numStates()
+                         ? static_cast<double>(EP.numStates()) /
+                               static_cast<double>(EN.numStates())
+                         : 0.0;
+      char RatioBuf[32];
+      std::snprintf(RatioBuf, sizeof(RatioBuf), "%.1fx", Ratio);
+      T.addRow({std::to_string(Threads), std::to_string(Work),
+                std::to_string(EP.numStates()), benchtable::fmtMs(PreMs),
+                std::to_string(EN.numStates()), benchtable::fmtMs(NpMs),
+                RatioBuf});
+    }
+  }
+  T.print();
+  std::printf("\nresult: %s — all programs DRF under both detectors; the "
+              "non-preemptive reduction shrinks the explored state space\n",
+              AllGood ? "PASS" : "FAIL");
+  return AllGood ? 0 : 1;
+}

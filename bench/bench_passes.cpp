@@ -1,0 +1,127 @@
+//===- bench/bench_passes.cpp - E4: the verified passes (Fig. 11) ----------===//
+//
+// Regenerates the Fig. 11 result: every compilation pass of the pipeline
+// satisfies the footprint-preserving simulation (Correct, Def. 10),
+// checked by translation validation over a suite of client programs, and
+// every stage preserves whole-program traces against the Clight source.
+//
+// Expected shape: all 12 passes validate on the whole suite.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchTable.h"
+#include "core/Semantics.h"
+#include "sync/LockLib.h"
+#include "validate/PassValidator.h"
+#include "workload/Workloads.h"
+
+#include <cstdio>
+#include <map>
+
+using namespace ccc;
+using namespace ccc::validate;
+
+namespace {
+
+struct Scenario {
+  std::string Name;
+  std::string Source;
+  std::vector<std::string> Threads;
+  bool NeedsLock;
+};
+
+std::vector<Scenario> suite() {
+  return {
+      {"arith",
+       "void main() { int a = 9; int b = 4; print(a * b); print(a / b); "
+       "print(a % b); print(a * 16); }",
+       {"main"},
+       false},
+      {"loops",
+       "void main() { int i = 0; int s = 0; while (i < 6) { if (i % 2 == "
+       "0) { s = s + i * 3; } else { s = s - 1; } i = i + 1; } print(s); }",
+       {"main"},
+       false},
+      {"calls",
+       "int f(int x) { return x * x; } int g(int a, int b) { int r; r = "
+       "f(a); return r + b; } void main() { int v; v = g(3, 4); print(v); "
+       "}",
+       {"main"},
+       false},
+      {"fig10c", workload::fig10cClientSource(), {"inc", "inc"}, true},
+  };
+}
+
+} // namespace
+
+int main() {
+  std::printf("E4 (Fig. 11): per-pass translation validation "
+              "(footprint-preserving simulation, Defs. 2-3/10)\n\n");
+
+  auto Suite = suite();
+  // Aggregate per pass across the suite.
+  std::map<std::string, PassResult> Agg;
+  bool AllGood = true;
+
+  for (const Scenario &Sc : Suite) {
+    auto R = compiler::compileClightSource(Sc.Source);
+    auto Results = validatePipeline(R, defaultSamples(*R.Clight));
+    for (const PassResult &PR : Results) {
+      PassResult &A = Agg[PR.PassName];
+      A.PassName = PR.PassName;
+      A.Holds = A.Holds && PR.Holds;
+      if (!PR.Holds && A.FailReason.empty())
+        A.FailReason = Sc.Name + "/" + PR.FailReason;
+      A.EntriesChecked += PR.EntriesChecked;
+      A.Obligations += PR.Obligations;
+      A.ProductStates += PR.ProductStates;
+      A.Millis += PR.Millis;
+    }
+  }
+
+  benchtable::Table T({"pass", "validated", "entries", "obligations",
+                       "product states", "ms"});
+  for (const std::string &Name : compiler::passNames()) {
+    const PassResult &A = Agg[Name];
+    AllGood = AllGood && A.Holds;
+    T.addRow({Name, benchtable::yesNo(A.Holds),
+              std::to_string(A.EntriesChecked),
+              std::to_string(A.Obligations),
+              std::to_string(A.ProductStates),
+              benchtable::fmtMs(A.Millis)});
+  }
+  T.print();
+
+  std::printf("\nwhole-program trace preservation per stage (vs Clight)\n\n");
+  benchtable::Table T2({"scenario", "stages equal", "ms"});
+  for (const Scenario &Sc : Suite) {
+    benchtable::Timer Tm;
+    auto R = compiler::compileClightSource(Sc.Source);
+    auto traces = [&](unsigned Stage) {
+      Program P;
+      compiler::addStage(P, R, Stage, "client");
+      if (Sc.NeedsLock)
+        sync::addGammaLock(P);
+      for (const std::string &E : Sc.Threads)
+        P.addThread(E);
+      P.link();
+      return preemptiveTraces(P);
+    };
+    TraceSet Src = traces(0);
+    unsigned Equal = 0;
+    for (unsigned Stage = 1; Stage < compiler::numStages(); ++Stage)
+      if (equivTraces(traces(Stage), Src).Holds)
+        ++Equal;
+    bool Ok = Equal == compiler::numStages() - 1;
+    AllGood = AllGood && Ok;
+    T2.addRow({Sc.Name,
+               std::to_string(Equal) + "/" +
+                   std::to_string(compiler::numStages() - 1),
+               benchtable::fmtMs(Tm.ms())});
+  }
+  T2.print();
+
+  std::printf("\nresult: %s — all %zu passes validate on the suite\n",
+              AllGood ? "PASS" : "FAIL", compiler::passNames().size());
+  return AllGood ? 0 : 1;
+}

@@ -1,0 +1,132 @@
+//===- bench/bench_tso.cpp - E3: the Fig. 10 spin-lock case study ----------===//
+//
+// Regenerates the Fig. 10 case study: the abstract lock gamma_lock (CImp,
+// SC) versus the efficient TTAS implementation pi_lock (x86-TSO) under
+// the counter clients, plus the TSO litmus landscape.
+//
+// Expected shape:
+//  - the TSO program with pi_lock refines (termination-insensitively) the
+//    SC program with gamma_lock — the strengthened DRF-guarantee of
+//    Lemma 16;
+//  - pi_lock is racy, but every race is confined to the object's data L
+//    (the paper's "confined benign races");
+//  - the store-buffering litmus exhibits the relaxed (0,0) outcome under
+//    TSO and not under SC; mfence removes it; message passing is
+//    preserved by TSO's FIFO buffers.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchTable.h"
+#include "core/Semantics.h"
+#include "workload/Workloads.h"
+
+#include <cstdio>
+
+using namespace ccc;
+
+static Trace doneTrace(std::vector<int64_t> Ev) {
+  return Trace{std::move(Ev), TraceEnd::Done};
+}
+
+int main() {
+  bool AllGood = true;
+
+  std::printf("E3 (Fig. 10): gamma_lock vs pi_lock\n\n");
+  {
+    benchtable::Table T({"configuration", "states", "mutex holds",
+                         "races", "all confined to L", "ms"});
+    struct Row {
+      std::string Name;
+      Program P;
+      bool ExpectRaces;
+    };
+    std::vector<Row> Rows;
+    Rows.push_back({"gamma_lock (CImp, SC) x2",
+                    workload::lockedCounter(2, 1, 0), false});
+    Rows.push_back({"pi_lock (x86-SC) x2",
+                    workload::asmCounterWithPiLock(x86::MemModel::SC, 2),
+                    true});
+    Rows.push_back({"pi_lock (x86-TSO) x2",
+                    workload::asmCounterWithPiLock(x86::MemModel::TSO, 2),
+                    true});
+    for (Row &R : Rows) {
+      benchtable::Timer Tm;
+      Explorer<World> E;
+      E.build(World::load(R.P));
+      TraceSet Tr = E.traces();
+      // Mutual exclusion: every terminating trace prints a permutation of
+      // 0..n-1 (each increment observes a distinct value).
+      bool Mutex = !Tr.hasAbort() && Tr.contains(doneTrace({0, 1})) &&
+                   Tr.contains(doneTrace({1, 0}));
+      for (const Trace &X : Tr.traces())
+        if (X.End == TraceEnd::Done &&
+            !(X.Events == std::vector<int64_t>{0, 1} ||
+              X.Events == std::vector<int64_t>{1, 0}))
+          Mutex = false;
+      auto Races = E.findRacesConfinedTo(R.P.objectAddrs());
+      bool AllConfined = true;
+      for (const RaceWitness &W : Races)
+        AllConfined = AllConfined && W.Confined;
+      AllGood = AllGood && Mutex && (R.ExpectRaces == !Races.empty()) &&
+                AllConfined;
+      T.addRow({R.Name, std::to_string(E.numStates()),
+                benchtable::yesNo(Mutex), std::to_string(Races.size()),
+                Races.empty() ? "n/a" : benchtable::yesNo(AllConfined),
+                benchtable::fmtMs(Tm.ms())});
+    }
+    T.print();
+  }
+
+  std::printf("\nLemma 16 (strengthened DRF guarantee): P_tso(pi_lock) "
+              "refines' P_sc(gamma_lock)\n\n");
+  {
+    benchtable::Table T({"impl", "spec", "refines'", "ms"});
+    benchtable::Timer Tm;
+    TraceSet Impl = preemptiveTraces(
+        workload::asmCounterWithPiLock(x86::MemModel::TSO, 2));
+    TraceSet Spec = preemptiveTraces(workload::lockedCounter(2, 1, 0));
+    RefineResult R = refinesTraces(Impl, Spec, /*TermInsensitive=*/true);
+    AllGood = AllGood && R.Holds;
+    T.addRow({"asm client + pi_lock (TSO)",
+              "CImp client + gamma_lock (SC)", benchtable::yesNo(R.Holds),
+              benchtable::fmtMs(Tm.ms())});
+    T.print();
+  }
+
+  std::printf("\nTSO litmus landscape\n\n");
+  {
+    benchtable::Table T(
+        {"litmus", "model", "relaxed outcome observable", "ms"});
+    struct L {
+      std::string Name, Model;
+      Program P;
+      std::vector<int64_t> Relaxed;
+      bool Expect;
+    };
+    std::vector<L> Ls;
+    Ls.push_back({"SB", "SC", workload::sbLitmus(x86::MemModel::SC, false),
+                  {0, 0}, false});
+    Ls.push_back({"SB", "TSO",
+                  workload::sbLitmus(x86::MemModel::TSO, false),
+                  {0, 0}, true});
+    Ls.push_back({"SB+mfence", "TSO",
+                  workload::sbLitmus(x86::MemModel::TSO, true),
+                  {0, 0}, false});
+    // MP: the relaxed outcome would be reading stale data (0) after the
+    // flag; TSO forbids it (FIFO buffers).
+    Ls.push_back({"MP", "TSO", workload::mpLitmus(x86::MemModel::TSO),
+                  {0}, false});
+    for (L &X : Ls) {
+      benchtable::Timer Tm;
+      TraceSet Tr = preemptiveTraces(X.P);
+      bool Seen = Tr.contains(doneTrace(X.Relaxed));
+      AllGood = AllGood && Seen == X.Expect;
+      T.addRow({X.Name, X.Model, benchtable::yesNo(Seen),
+                benchtable::fmtMs(Tm.ms())});
+    }
+    T.print();
+  }
+
+  std::printf("\nresult: %s\n", AllGood ? "PASS" : "FAIL");
+  return AllGood ? 0 : 1;
+}

@@ -1,0 +1,63 @@
+//===- examples/quickstart.cpp - CASCC in five minutes ---------------------===//
+//
+// The quickstart walks the paper's running example (Fig. 10c) through the
+// public API:
+//   1. parse a concurrent Clight client,
+//   2. compile it with the 12-pass CASCompCert pipeline,
+//   3. link it with the gamma_lock object and run both source and target
+//      under the preemptive semantics,
+//   4. check DRF and semantics preservation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Compiler.h"
+#include "core/Semantics.h"
+#include "sync/LockLib.h"
+#include "workload/Workloads.h"
+
+#include <cstdio>
+
+using namespace ccc;
+
+int main() {
+  std::printf("CASCC quickstart: the Fig. 10(c) counter client\n");
+  std::printf("================================================\n\n");
+
+  // 1. The source program: two threads incrementing a shared counter
+  //    under a lock, printing the value each observed.
+  std::string Source = workload::fig10cClientSource();
+  std::printf("source (Clight subset):\n%s\n", Source.c_str());
+
+  // 2. Compile through every pass of Fig. 11.
+  compiler::CompileResult R = compiler::compileClightSource(Source);
+  std::printf("compiled x86 assembly:\n%s\n", R.Asm->toString().c_str());
+
+  // 3. Build the source and target whole programs.
+  auto makeProgram = [&](unsigned Stage) {
+    Program P;
+    compiler::addStage(P, R, Stage, "client");
+    sync::addGammaLock(P); // the lock object (Fig. 10a), in CImp
+    P.addThread("inc");
+    P.addThread("inc");
+    P.link();
+    return P;
+  };
+  Program Src = makeProgram(0);
+  Program Tgt = makeProgram(12);
+
+  // 4. Explore all interleavings of both programs.
+  TraceSet SrcTraces = preemptiveTraces(Src);
+  TraceSet TgtTraces = preemptiveTraces(Tgt);
+  std::printf("source traces: %s\n", SrcTraces.toString().c_str());
+  std::printf("target traces: %s\n\n", TgtTraces.toString().c_str());
+
+  bool Drf = isDRF(Src);
+  RefineResult Pres = equivTraces(TgtTraces, SrcTraces);
+  std::printf("DRF(source)               : %s\n", Drf ? "yes" : "no");
+  std::printf("target preserves semantics: %s\n",
+              Pres.Holds ? "yes" : "no");
+  std::printf("\nEach thread prints the counter value it observed: 0 and 1 "
+              "in some order,\nnever twice the same — the lock works, and "
+              "compilation preserved it.\n");
+  return Drf && Pres.Holds ? 0 : 1;
+}

@@ -1,0 +1,89 @@
+//===- examples/separate_compilation.cpp - Example 2.1 of the paper --------===//
+//
+// Separate compilation of interacting modules: S1's function f calls
+// S2's external function g, which writes through a pointer into S1's
+// data. The two modules are compiled independently; the linked target
+// must preserve the linked source's behavior — in particular the
+// compiler may NOT constant-fold b to 0 across the external call.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Compiler.h"
+#include "core/Semantics.h"
+#include "validate/PassValidator.h"
+
+#include <cstdio>
+
+using namespace ccc;
+
+int main() {
+  std::printf("Separate compilation (example 2.1)\n");
+  std::printf("==================================\n\n");
+
+  const char *S1 = R"(
+    extern void g(int *x);
+    int a = 0;
+    int b = 0;
+    int f() {
+      a = 0;
+      b = 0;
+      g(&b);
+      return a + b;
+    }
+    void main() {
+      int r;
+      r = f();
+      print(r);
+    }
+  )";
+  const char *S2 = R"(
+    void g(int *x) {
+      *x = 3;
+    }
+  )";
+  std::printf("// Module S1\n%s\n// Module S2\n%s\n", S1, S2);
+
+  // Compile each module independently (separate compiler invocations).
+  auto R1 = compiler::compileClightSource(S1);
+  auto R2 = compiler::compileClightSource(S2);
+
+  auto linked = [&](unsigned Stage1, unsigned Stage2) {
+    Program P;
+    compiler::addStage(P, R1, Stage1, "S1");
+    compiler::addStage(P, R2, Stage2, "S2");
+    P.addThread("main");
+    P.link();
+    return preemptiveTraces(P);
+  };
+
+  TraceSet Src = linked(0, 0);
+  TraceSet Tgt = linked(12, 12);
+  TraceSet Mixed = linked(12, 0); // x86 S1 calling Clight S2
+
+  std::printf("source  S1 o S2 : %s\n", Src.toString().c_str());
+  std::printf("target  S1 o S2 : %s\n", Tgt.toString().c_str());
+  std::printf("mixed   S1 o S2 : %s   (cross-language linking)\n\n",
+              Mixed.toString().c_str());
+
+  bool Ok = equivTraces(Tgt, Src).Holds && equivTraces(Mixed, Src).Holds;
+  std::printf("f() returns 3 everywhere — the write through g's pointer "
+              "is preserved: %s\n\n",
+              Ok ? "yes" : "NO");
+
+  // Each module's compilation satisfies the module-local simulation, so
+  // correctness composes under linking (Lemma 6).
+  for (auto Item : {std::make_pair("S1", &R1), std::make_pair("S2", &R2)}) {
+    auto Results = validate::validatePipeline(
+        *Item.second, validate::defaultSamples(*Item.second->Clight));
+    unsigned Good = 0;
+    for (const auto &PR : Results)
+      if (PR.Holds)
+        ++Good;
+    std::printf("module %s: %u/%zu passes satisfy the footprint-preserving "
+                "simulation\n",
+                Item.first, Good, Results.size());
+    Ok = Ok && Good == Results.size();
+  }
+  std::printf("\n%s\n", Ok ? "All checks passed." : "CHECKS FAILED.");
+  return Ok ? 0 : 1;
+}

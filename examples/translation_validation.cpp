@@ -1,0 +1,102 @@
+//===- examples/translation_validation.cpp - Catching a miscompilation -----===//
+//
+// Uses the footprint-preserving simulation (Defs. 2-3) as a translation
+// validator. A plausible-looking but wrong "optimization" — caching a
+// shared global in a register across an external call — produces code
+// whose sequential traces coincide with the source on many inputs, yet
+// the simulation refutes it, exactly because the paper's Rely steps let
+// the environment change shared memory at the call.
+//
+//===----------------------------------------------------------------------===//
+
+#include "clight/ClightLang.h"
+#include "core/Semantics.h"
+#include "validate/Sim.h"
+#include "x86/X86Lang.h"
+
+#include <cstdio>
+
+using namespace ccc;
+
+int main() {
+  std::printf("Translation validation with the footprint-preserving "
+              "simulation\n");
+  std::printf("=============================================================="
+              "\n\n");
+
+  // Source: read the shared global g twice, with an external call (to an
+  // unknown module — say a lock, a logger, anything) in between.
+  const char *Source = R"(
+    extern void sync();
+    int g = 0;
+    void observe() {
+      int a;
+      int b;
+      a = g;
+      sync();
+      b = g;
+      print(a + b);
+    }
+  )";
+  std::printf("source:\n%s\n", Source);
+
+  // A correct hand compilation: reload g after the call.
+  const char *GoodAsm = R"(
+    .data g 0
+    .entry observe 0 0
+    .extern sync 0
+    observe:
+            movl g, %ebx
+            call sync
+            movl g, %ecx
+            movl %ebx, %eax
+            addl %ecx, %eax
+            printl %eax
+            movl $0, %eax
+            retl
+  )";
+
+  // The "optimized" (wrong) compilation: b = a, assuming g is unchanged
+  // across the call — the miscompilation Sec. 2.2 warns about.
+  const char *BadAsm = R"(
+    .data g 0
+    .entry observe 0 0
+    .extern sync 0
+    observe:
+            movl g, %ebx
+            call sync
+            movl %ebx, %eax
+            addl %ebx, %eax
+            printl %eax
+            movl $0, %eax
+            retl
+  )";
+
+  Program Src;
+  clight::addClightModule(Src, "m", Source);
+  Src.link();
+
+  auto check = [&](const char *Name, const char *Asm) {
+    Program Tgt;
+    x86::addAsmModule(Tgt, "m", Asm, x86::MemModel::SC);
+    Tgt.link();
+    validate::SimReport R = validate::simCheck(Src, 0, Tgt, 0, "observe",
+                                               {});
+    std::printf("%-22s : %s%s%s\n", Name,
+                R.Holds ? "simulation holds" : "REFUTED",
+                R.Holds ? "" : " — ",
+                R.Holds ? "" : R.FailReason.c_str());
+    return R.Holds;
+  };
+
+  bool GoodOk = check("faithful compilation", GoodAsm);
+  bool BadOk = check("caching 'optimization'", BadAsm);
+
+  std::printf("\nThe wrong version is indistinguishable in a sequential "
+              "run (sync() that\nchanges nothing), but another thread may "
+              "write g inside sync(): the\nsimulation's Rely step exposes "
+              "it.\n");
+  bool Ok = GoodOk && !BadOk;
+  std::printf("\n%s\n", Ok ? "All checks passed." : "CHECKS FAILED.");
+  return Ok ? 0 : 1;
+}

@@ -1,0 +1,113 @@
+//===- cimp/CImpAst.h - The CImp object language AST ------------*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The CImp language (Sec. 7.1): the simple imperative language in which
+/// abstract specifications of synchronization objects are written. CImp
+/// has register locals, explicit memory loads/stores ([e]), atomic blocks
+/// <C>, assert, and (as a convenience for writing clients in tests)
+/// external calls and print. Fig. 10(a)'s lock specification is written
+/// in this language.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_CIMP_CIMPAST_H
+#define CASCC_CIMP_CIMPAST_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ccc {
+namespace cimp {
+
+enum class UnOp { Neg, Not };
+enum class BinOp {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  And,
+  Or,
+};
+
+/// A register-pure expression (memory access is statement-level in CImp).
+struct Expr {
+  enum class Kind { IntConst, Reg, GlobalAddr, Un, Bin };
+
+  Kind K = Kind::IntConst;
+  int32_t IntVal = 0;
+  std::string Name; // Reg / GlobalAddr
+  UnOp U = UnOp::Neg;
+  BinOp B = BinOp::Add;
+  std::unique_ptr<Expr> L, R;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+using Block = std::vector<StmtPtr>;
+
+/// A CImp statement.
+struct Stmt {
+  enum class Kind {
+    Skip,
+    Assign, ///< Dst := E1
+    Load,   ///< Dst := [E1]
+    Store,  ///< [E1] := E2
+    If,     ///< if (E1) Body else Else
+    While,  ///< while (E1) Body
+    Atomic, ///< < Body >
+    Assert, ///< assert(E1)
+    Print,  ///< print(E1) — emits an observable event
+    Return, ///< return E1 (E1 may be null)
+    Call,   ///< [Dst :=] Callee(Args)
+    Spawn,  ///< spawn Callee(Args) — thread creation (paper Sec. 8)
+  };
+
+  Kind K = Kind::Skip;
+  std::string Dst;
+  ExprPtr E1, E2;
+  Block Body, Else;
+  std::string Callee;
+  std::vector<ExprPtr> Args;
+};
+
+/// A CImp function.
+struct Function {
+  std::string Name;
+  std::vector<std::string> Params;
+  Block Body;
+};
+
+/// A CImp module: functions plus global declarations.
+struct Module {
+  std::vector<Function> Funcs;
+  /// Declared globals with initial values (owner decided by the module's
+  /// object/client mode when registered with a Program).
+  std::vector<std::pair<std::string, int32_t>> Globals;
+
+  const Function *find(const std::string &Name) const {
+    for (const Function &F : Funcs)
+      if (F.Name == Name)
+        return &F;
+    return nullptr;
+  }
+};
+
+} // namespace cimp
+} // namespace ccc
+
+#endif // CASCC_CIMP_CIMPAST_H

@@ -1,0 +1,458 @@
+//===- cimp/CImpLang.cpp - CImp instantiation of the framework ------------===//
+
+#include "cimp/CImpLang.h"
+
+#include "cimp/CImpParser.h"
+#include "support/StrUtil.h"
+
+#include <cassert>
+#include <map>
+
+using namespace ccc;
+using namespace ccc::cimp;
+
+namespace {
+
+/// A continuation item: a statement to execute, the end of an atomic
+/// block, or a pending external-call return slot.
+struct KontItem {
+  enum class Kind { Stmt, AtomicEnd, PendingRet };
+  Kind K = Kind::Stmt;
+  const Stmt *S = nullptr;
+  std::string Dst; // PendingRet
+};
+
+/// The CImp core: a continuation stack plus register-allocated locals.
+class CImpCore : public Core {
+public:
+  std::vector<KontItem> Kont; // back() is the next item
+  std::map<std::string, Value> Regs;
+
+  std::string key() const override {
+    StrBuilder B;
+    for (const KontItem &I : Kont) {
+      switch (I.K) {
+      case KontItem::Kind::Stmt:
+        B << 's' << reinterpret_cast<uintptr_t>(I.S) << ';';
+        break;
+      case KontItem::Kind::AtomicEnd:
+        B << "ae;";
+        break;
+      case KontItem::Kind::PendingRet:
+        B << "pr:" << I.Dst << ';';
+        break;
+      }
+    }
+    B << '|';
+    for (const auto &KV : Regs)
+      B << KV.first << '=' << KV.second.toString() << ',';
+    return B.take();
+  }
+};
+
+/// Pushes a block's statements so that the first statement is on top.
+void pushBlock(std::vector<KontItem> &Kont, const Block &B) {
+  for (auto It = B.rbegin(); It != B.rend(); ++It)
+    Kont.push_back(KontItem{KontItem::Kind::Stmt, It->get(), {}});
+}
+
+} // namespace
+
+CImpLang::CImpLang(std::shared_ptr<const Module> M, bool ObjectMode)
+    : Mod(std::move(M)), ObjectMode(ObjectMode) {}
+
+CImpLang::~CImpLang() = default;
+
+CoreRef CImpLang::initCore(const std::string &Entry,
+                           const std::vector<Value> &Args) const {
+  const Function *F = Mod->find(Entry);
+  if (!F || F->Params.size() != Args.size())
+    return nullptr;
+  auto C = std::make_shared<CImpCore>();
+  for (std::size_t I = 0; I < Args.size(); ++I)
+    C->Regs[F->Params[I]] = Args[I];
+  pushBlock(C->Kont, F->Body);
+  return C;
+}
+
+namespace {
+
+/// Expression evaluation. CImp expressions are register-pure (no memory
+/// access), so evaluation has an empty footprint. Returns nullopt on a
+/// dynamic type error (which the caller turns into abort).
+std::optional<Value> evalExpr(const Expr &E,
+                              const std::map<std::string, Value> &Regs,
+                              const ModuleLang &Lang) {
+  switch (E.K) {
+  case Expr::Kind::IntConst:
+    return Value::makeInt(E.IntVal);
+  case Expr::Kind::Reg: {
+    auto It = Regs.find(E.Name);
+    if (It == Regs.end())
+      return std::nullopt;
+    return It->second;
+  }
+  case Expr::Kind::GlobalAddr: {
+    auto A = Lang.globals()->lookup(E.Name);
+    if (!A)
+      return std::nullopt;
+    return Value::makePtr(*A);
+  }
+  case Expr::Kind::Un: {
+    auto V = evalExpr(*E.L, Regs, Lang);
+    if (!V || !V->isInt())
+      return std::nullopt;
+    if (E.U == UnOp::Neg)
+      return Value::makeInt(static_cast<int32_t>(
+          -static_cast<uint32_t>(V->asInt())));
+    return Value::makeInt(V->asInt() == 0 ? 1 : 0);
+  }
+  case Expr::Kind::Bin: {
+    auto L = evalExpr(*E.L, Regs, Lang);
+    auto R = evalExpr(*E.R, Regs, Lang);
+    if (!L || !R)
+      return std::nullopt;
+    // Pointer values support equality tests only.
+    if (L->isPtr() || R->isPtr()) {
+      if (E.B == BinOp::Eq)
+        return Value::makeInt(*L == *R ? 1 : 0);
+      if (E.B == BinOp::Ne)
+        return Value::makeInt(*L == *R ? 0 : 1);
+      return std::nullopt;
+    }
+    if (!L->isInt() || !R->isInt())
+      return std::nullopt;
+    int32_t A = L->asInt(), B = R->asInt();
+    auto Wrap = [](int64_t V) {
+      return Value::makeInt(static_cast<int32_t>(static_cast<uint32_t>(V)));
+    };
+    switch (E.B) {
+    case BinOp::Add:
+      return Wrap(static_cast<int64_t>(A) + B);
+    case BinOp::Sub:
+      return Wrap(static_cast<int64_t>(A) - B);
+    case BinOp::Mul:
+      return Wrap(static_cast<int64_t>(A) * B);
+    case BinOp::Div:
+      if (B == 0)
+        return std::nullopt;
+      return Wrap(static_cast<int64_t>(A) / B);
+    case BinOp::Eq:
+      return Value::makeInt(A == B ? 1 : 0);
+    case BinOp::Ne:
+      return Value::makeInt(A != B ? 1 : 0);
+    case BinOp::Lt:
+      return Value::makeInt(A < B ? 1 : 0);
+    case BinOp::Le:
+      return Value::makeInt(A <= B ? 1 : 0);
+    case BinOp::Gt:
+      return Value::makeInt(A > B ? 1 : 0);
+    case BinOp::Ge:
+      return Value::makeInt(A >= B ? 1 : 0);
+    case BinOp::And:
+      return Value::makeInt((A != 0 && B != 0) ? 1 : 0);
+    case BinOp::Or:
+      return Value::makeInt((A != 0 || B != 0) ? 1 : 0);
+    }
+    return std::nullopt;
+  }
+  }
+  return std::nullopt;
+}
+
+} // namespace
+
+std::vector<LocalStep> CImpLang::step(const FreeList &F, const Core &C,
+                                      const Mem &M) const {
+  (void)F; // CImp locals live in registers; the free list is unused.
+  const auto &Cr = static_cast<const CImpCore &>(C);
+  std::vector<LocalStep> Out;
+
+  auto single = [&Out](LocalStep S) {
+    Out.push_back(std::move(S));
+  };
+
+  // Implicit return at the end of the function body.
+  if (Cr.Kont.empty()) {
+    LocalStep S;
+    S.M = Msg::ret(Value::makeInt(0));
+    S.NextMem = M;
+    S.Next = std::make_shared<CImpCore>(Cr);
+    single(std::move(S));
+    return Out;
+  }
+
+  const KontItem Top = Cr.Kont.back();
+  auto popped = [&Cr]() {
+    auto N = std::make_shared<CImpCore>(Cr);
+    N->Kont.pop_back();
+    return N;
+  };
+
+  if (Top.K == KontItem::Kind::AtomicEnd) {
+    LocalStep S;
+    S.M = Msg::extAtom();
+    S.NextMem = M;
+    S.Next = popped();
+    single(std::move(S));
+    return Out;
+  }
+  if (Top.K == KontItem::Kind::PendingRet) {
+    single(LocalStep::abort("CImp core stepped while awaiting a return"));
+    return Out;
+  }
+
+  const Stmt &St = *Top.S;
+  auto typeError = [&single]() {
+    single(LocalStep::abort("CImp dynamic type error"));
+  };
+
+  /// Checks the access-permission discipline (Sec. 7.1): object code may
+  /// only touch its own globals.
+  auto accessAllowed = [this](Addr A) {
+    if (!ObjectMode)
+      return true;
+    return Globals->addrs().contains(A);
+  };
+
+  switch (St.K) {
+  case Stmt::Kind::Skip: {
+    LocalStep S;
+    S.M = Msg::tau();
+    S.NextMem = M;
+    S.Next = popped();
+    single(std::move(S));
+    break;
+  }
+  case Stmt::Kind::Assign: {
+    auto V = evalExpr(*St.E1, Cr.Regs, *this);
+    if (!V) {
+      typeError();
+      break;
+    }
+    auto N = popped();
+    N->Regs[St.Dst] = *V;
+    LocalStep S;
+    S.M = Msg::tau();
+    S.NextMem = M;
+    S.Next = std::move(N);
+    single(std::move(S));
+    break;
+  }
+  case Stmt::Kind::Load: {
+    auto A = evalExpr(*St.E1, Cr.Regs, *this);
+    if (!A || !A->isPtr()) {
+      typeError();
+      break;
+    }
+    if (!accessAllowed(A->asPtr())) {
+      single(LocalStep::abort("CImp permission violation on load"));
+      break;
+    }
+    auto V = M.load(A->asPtr());
+    if (!V) {
+      single(LocalStep::abort("CImp load from unallocated address"));
+      break;
+    }
+    auto N = popped();
+    N->Regs[St.Dst] = *V;
+    LocalStep S;
+    S.M = Msg::tau();
+    S.FP = Footprint::ofRead(A->asPtr());
+    S.NextMem = M;
+    S.Next = std::move(N);
+    single(std::move(S));
+    break;
+  }
+  case Stmt::Kind::Store: {
+    auto A = evalExpr(*St.E1, Cr.Regs, *this);
+    auto V = evalExpr(*St.E2, Cr.Regs, *this);
+    if (!A || !A->isPtr() || !V) {
+      typeError();
+      break;
+    }
+    if (!accessAllowed(A->asPtr())) {
+      single(LocalStep::abort("CImp permission violation on store"));
+      break;
+    }
+    Mem NM = M;
+    if (!NM.store(A->asPtr(), *V)) {
+      single(LocalStep::abort("CImp store to unallocated address"));
+      break;
+    }
+    LocalStep S;
+    S.M = Msg::tau();
+    S.FP = Footprint::ofWrite(A->asPtr());
+    S.NextMem = std::move(NM);
+    S.Next = popped();
+    single(std::move(S));
+    break;
+  }
+  case Stmt::Kind::If: {
+    auto V = evalExpr(*St.E1, Cr.Regs, *this);
+    if (!V || !V->isInt()) {
+      typeError();
+      break;
+    }
+    auto N = popped();
+    pushBlock(N->Kont, V->asInt() != 0 ? St.Body : St.Else);
+    LocalStep S;
+    S.M = Msg::tau();
+    S.NextMem = M;
+    S.Next = std::move(N);
+    single(std::move(S));
+    break;
+  }
+  case Stmt::Kind::While: {
+    auto V = evalExpr(*St.E1, Cr.Regs, *this);
+    if (!V || !V->isInt()) {
+      typeError();
+      break;
+    }
+    auto N = std::make_shared<CImpCore>(Cr);
+    if (V->asInt() != 0) {
+      // Keep the While on the stack and run the body before it.
+      pushBlock(N->Kont, St.Body);
+    } else {
+      N->Kont.pop_back();
+    }
+    LocalStep S;
+    S.M = Msg::tau();
+    S.NextMem = M;
+    S.Next = std::move(N);
+    single(std::move(S));
+    break;
+  }
+  case Stmt::Kind::Atomic: {
+    auto N = popped();
+    N->Kont.push_back(KontItem{KontItem::Kind::AtomicEnd, nullptr, {}});
+    pushBlock(N->Kont, St.Body);
+    LocalStep S;
+    S.M = Msg::entAtom();
+    S.NextMem = M;
+    S.Next = std::move(N);
+    single(std::move(S));
+    break;
+  }
+  case Stmt::Kind::Assert: {
+    auto V = evalExpr(*St.E1, Cr.Regs, *this);
+    if (!V || !V->isInt()) {
+      typeError();
+      break;
+    }
+    if (V->asInt() == 0) {
+      single(LocalStep::abort("CImp assertion failure"));
+      break;
+    }
+    LocalStep S;
+    S.M = Msg::tau();
+    S.NextMem = M;
+    S.Next = popped();
+    single(std::move(S));
+    break;
+  }
+  case Stmt::Kind::Print: {
+    auto V = evalExpr(*St.E1, Cr.Regs, *this);
+    if (!V || !V->isInt()) {
+      typeError();
+      break;
+    }
+    LocalStep S;
+    S.M = Msg::event(V->asInt());
+    S.NextMem = M;
+    S.Next = popped();
+    single(std::move(S));
+    break;
+  }
+  case Stmt::Kind::Return: {
+    Value V = Value::makeInt(0);
+    if (St.E1) {
+      auto E = evalExpr(*St.E1, Cr.Regs, *this);
+      if (!E) {
+        typeError();
+        break;
+      }
+      V = *E;
+    }
+    LocalStep S;
+    S.M = Msg::ret(V);
+    S.NextMem = M;
+    auto N = std::make_shared<CImpCore>(Cr);
+    N->Kont.clear();
+    S.Next = std::move(N);
+    single(std::move(S));
+    break;
+  }
+  case Stmt::Kind::Spawn: {
+    std::vector<Value> Args;
+    bool Bad = false;
+    for (const ExprPtr &A : St.Args) {
+      auto V = evalExpr(*A, Cr.Regs, *this);
+      if (!V) {
+        Bad = true;
+        break;
+      }
+      Args.push_back(*V);
+    }
+    if (Bad) {
+      typeError();
+      break;
+    }
+    LocalStep S;
+    S.M = Msg::spawn(St.Callee, std::move(Args));
+    S.NextMem = M;
+    S.Next = popped();
+    single(std::move(S));
+    break;
+  }
+  case Stmt::Kind::Call: {
+    std::vector<Value> Args;
+    bool Bad = false;
+    for (const ExprPtr &A : St.Args) {
+      auto V = evalExpr(*A, Cr.Regs, *this);
+      if (!V) {
+        Bad = true;
+        break;
+      }
+      Args.push_back(*V);
+    }
+    if (Bad) {
+      typeError();
+      break;
+    }
+    auto N = popped();
+    N->Kont.push_back(KontItem{KontItem::Kind::PendingRet, nullptr, St.Dst});
+    LocalStep S;
+    S.M = Msg::extCall(St.Callee, std::move(Args));
+    S.NextMem = M;
+    S.Next = std::move(N);
+    single(std::move(S));
+    break;
+  }
+  }
+  return Out;
+}
+
+CoreRef CImpLang::applyReturn(const Core &C, const Value &V) const {
+  const auto &Cr = static_cast<const CImpCore &>(C);
+  if (Cr.Kont.empty() || Cr.Kont.back().K != KontItem::Kind::PendingRet)
+    return nullptr;
+  auto N = std::make_shared<CImpCore>(Cr);
+  std::string Dst = N->Kont.back().Dst;
+  N->Kont.pop_back();
+  if (!Dst.empty())
+    N->Regs[Dst] = V;
+  return N;
+}
+
+unsigned ccc::cimp::addCImpModule(Program &P, const std::string &Name,
+                                  const std::string &Source,
+                                  bool ObjectMode) {
+  auto M = parseModuleOrDie(Source);
+  GlobalEnv GE;
+  for (const auto &G : M->Globals)
+    GE.declare(G.first, Value::makeInt(G.second),
+               ObjectMode ? DataOwner::Object : DataOwner::Client);
+  return P.addModule(Name, std::make_unique<CImpLang>(M, ObjectMode),
+                     std::move(GE));
+}

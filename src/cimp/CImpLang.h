@@ -1,0 +1,63 @@
+//===- cimp/CImpLang.h - CImp instantiation of the framework ----*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The CImp instantiation of the abstract module language (Sec. 7.1):
+/// footprint-instrumented small-step semantics with atomic blocks mapping
+/// to EntAtom/ExtAtom messages. In object mode the module may only access
+/// its own (object-owned) globals, modeling the permission discipline that
+/// partitions client data from object data; access outside aborts.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_CIMP_CIMPLANG_H
+#define CASCC_CIMP_CIMPLANG_H
+
+#include "cimp/CImpAst.h"
+#include "core/ModuleLang.h"
+#include "core/Program.h"
+
+#include <memory>
+
+namespace ccc {
+namespace cimp {
+
+/// CImp as a ModuleLang.
+class CImpLang : public ModuleLang {
+public:
+  /// \p ObjectMode restricts memory accesses to the module's own globals
+  /// (Sec. 7.1's None-permission discipline for object code).
+  CImpLang(std::shared_ptr<const Module> M, bool ObjectMode = false);
+  ~CImpLang() override;
+
+  std::string name() const override { return "CImp"; }
+
+  CoreRef initCore(const std::string &Entry,
+                   const std::vector<Value> &Args) const override;
+
+  std::vector<LocalStep> step(const FreeList &F, const Core &C,
+                              const Mem &M) const override;
+
+  CoreRef applyReturn(const Core &C, const Value &V) const override;
+
+  const Module &module() const { return *Mod; }
+  bool objectMode() const { return ObjectMode; }
+
+private:
+  std::shared_ptr<const Module> Mod;
+  bool ObjectMode;
+};
+
+/// Registers a CImp module parsed from \p Source with \p P. Globals are
+/// tagged DataOwner::Object when \p ObjectMode. Returns the module index.
+unsigned addCImpModule(Program &P, const std::string &Name,
+                       const std::string &Source, bool ObjectMode = false);
+
+} // namespace cimp
+} // namespace ccc
+
+#endif // CASCC_CIMP_CIMPLANG_H

@@ -1,0 +1,422 @@
+//===- cimp/CImpParser.cpp - Parser for CImp -------------------------------===//
+
+#include "cimp/CImpParser.h"
+
+#include "support/Lexer.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace ccc;
+using namespace ccc::cimp;
+
+namespace {
+
+class Parser {
+public:
+  Parser(TokenStream Toks, std::string &Error)
+      : Toks(std::move(Toks)), Error(Error) {}
+
+  std::shared_ptr<Module> parse() {
+    auto M = std::make_shared<Module>();
+    while (!Toks.atEnd()) {
+      if (Toks.acceptIdent("global")) {
+        if (!parseGlobal(*M))
+          return nullptr;
+        continue;
+      }
+      if (!parseFunction(*M))
+        return nullptr;
+    }
+    return M;
+  }
+
+private:
+  bool fail(const std::string &Msg) {
+    Error = "CImp parse error (line " + std::to_string(Toks.line()) +
+            "): " + Msg;
+    return false;
+  }
+
+  bool expect(const std::string &Sym) {
+    if (Toks.accept(Sym))
+      return true;
+    return fail("expected '" + Sym + "', got '" + Toks.peek().Text + "'");
+  }
+
+  bool expectIdent(std::string &Out) {
+    if (!Toks.peek().is(Token::Kind::Ident))
+      return fail("expected identifier, got '" + Toks.peek().Text + "'");
+    Out = Toks.next().Text;
+    return true;
+  }
+
+  bool parseGlobal(Module &M) {
+    std::string Name;
+    if (!expectIdent(Name) || !expect("="))
+      return false;
+    bool Negative = Toks.accept("-");
+    if (!Toks.peek().is(Token::Kind::Int))
+      return fail("expected integer initializer");
+    int64_t V = Toks.next().IntVal;
+    if (Negative)
+      V = -V;
+    if (!expect(";"))
+      return false;
+    M.Globals.emplace_back(Name, static_cast<int32_t>(V));
+    GlobalNames.push_back(Name);
+    return true;
+  }
+
+  bool parseFunction(Module &M) {
+    Function F;
+    if (!expectIdent(F.Name) || !expect("("))
+      return false;
+    if (!Toks.accept(")")) {
+      while (true) {
+        std::string P;
+        if (!expectIdent(P))
+          return false;
+        F.Params.push_back(P);
+        if (Toks.accept(")"))
+          break;
+        if (!expect(","))
+          return false;
+      }
+    }
+    if (!expect("{"))
+      return false;
+    if (!parseStmts(F.Body, "}"))
+      return false;
+    M.Funcs.push_back(std::move(F));
+    return true;
+  }
+
+  /// Parses statements until \p Closer is consumed.
+  bool parseStmts(Block &Out, const std::string &Closer) {
+    while (!Toks.accept(Closer)) {
+      if (Toks.atEnd())
+        return fail("unexpected end of input; missing '" + Closer + "'");
+      StmtPtr S = parseStmt();
+      if (!S)
+        return false;
+      Out.push_back(std::move(S));
+    }
+    return true;
+  }
+
+  StmtPtr parseStmt() {
+    auto S = std::make_unique<Stmt>();
+    const Token &T = Toks.peek();
+
+    if (T.isIdent("skip")) {
+      Toks.next();
+      S->K = Stmt::Kind::Skip;
+      if (!expect(";"))
+        return nullptr;
+      return S;
+    }
+    if (T.isIdent("if")) {
+      Toks.next();
+      S->K = Stmt::Kind::If;
+      if (!expect("("))
+        return nullptr;
+      S->E1 = parseExpr();
+      if (!S->E1 || !expect(")") || !expect("{"))
+        return nullptr;
+      if (!parseStmts(S->Body, "}"))
+        return nullptr;
+      if (Toks.acceptIdent("else")) {
+        if (!expect("{") || !parseStmts(S->Else, "}"))
+          return nullptr;
+      }
+      return S;
+    }
+    if (T.isIdent("while")) {
+      Toks.next();
+      S->K = Stmt::Kind::While;
+      if (!expect("("))
+        return nullptr;
+      S->E1 = parseExpr();
+      if (!S->E1 || !expect(")") || !expect("{"))
+        return nullptr;
+      if (!parseStmts(S->Body, "}"))
+        return nullptr;
+      return S;
+    }
+    if (T.isIdent("assert")) {
+      Toks.next();
+      S->K = Stmt::Kind::Assert;
+      if (!expect("("))
+        return nullptr;
+      S->E1 = parseExpr();
+      if (!S->E1 || !expect(")") || !expect(";"))
+        return nullptr;
+      return S;
+    }
+    if (T.isIdent("print")) {
+      Toks.next();
+      S->K = Stmt::Kind::Print;
+      if (!expect("("))
+        return nullptr;
+      S->E1 = parseExpr();
+      if (!S->E1 || !expect(")") || !expect(";"))
+        return nullptr;
+      return S;
+    }
+    if (T.isIdent("spawn")) {
+      Toks.next();
+      S->K = Stmt::Kind::Spawn;
+      if (!expectIdent(S->Callee))
+        return nullptr;
+      if (!parseCallArgs(*S))
+        return nullptr;
+      return S;
+    }
+    if (T.isIdent("return")) {
+      Toks.next();
+      S->K = Stmt::Kind::Return;
+      if (!Toks.peek().isSymbol(";")) {
+        S->E1 = parseExpr();
+        if (!S->E1)
+          return nullptr;
+      }
+      if (!expect(";"))
+        return nullptr;
+      return S;
+    }
+    if (T.isSymbol("<")) {
+      Toks.next();
+      S->K = Stmt::Kind::Atomic;
+      if (!parseStmts(S->Body, ">"))
+        return nullptr;
+      return S;
+    }
+    if (T.isSymbol("[")) {
+      Toks.next();
+      S->K = Stmt::Kind::Store;
+      S->E1 = parseExpr();
+      if (!S->E1 || !expect("]") || !expect(":=") ||
+          !(S->E2 = parseExpr()) || !expect(";"))
+        return nullptr;
+      return S;
+    }
+    if (T.is(Token::Kind::Ident)) {
+      std::string Name = Toks.next().Text;
+      if (Toks.accept(":=")) {
+        if (Toks.accept("[")) {
+          S->K = Stmt::Kind::Load;
+          S->Dst = Name;
+          S->E1 = parseExpr();
+          if (!S->E1 || !expect("]") || !expect(";"))
+            return nullptr;
+          return S;
+        }
+        // Call-with-result: ident := callee(args);
+        if (Toks.peek().is(Token::Kind::Ident) &&
+            Toks.peek(1).isSymbol("(")) {
+          S->K = Stmt::Kind::Call;
+          S->Dst = Name;
+          S->Callee = Toks.next().Text;
+          if (!parseCallArgs(*S))
+            return nullptr;
+          return S;
+        }
+        S->K = Stmt::Kind::Assign;
+        S->Dst = Name;
+        S->E1 = parseExpr();
+        if (!S->E1 || !expect(";"))
+          return nullptr;
+        return S;
+      }
+      if (Toks.peek().isSymbol("(")) {
+        S->K = Stmt::Kind::Call;
+        S->Callee = Name;
+        if (!parseCallArgs(*S))
+          return nullptr;
+        return S;
+      }
+      fail("unexpected identifier '" + Name + "'");
+      return nullptr;
+    }
+    fail("unexpected token '" + T.Text + "'");
+    return nullptr;
+  }
+
+  bool parseCallArgs(Stmt &S) {
+    if (!expect("("))
+      return false;
+    if (!Toks.accept(")")) {
+      while (true) {
+        ExprPtr A = parseExpr();
+        if (!A)
+          return false;
+        S.Args.push_back(std::move(A));
+        if (Toks.accept(")"))
+          break;
+        if (!expect(","))
+          return false;
+      }
+    }
+    return expect(";");
+  }
+
+  // Expression precedence: || < && < comparisons < +- < */ < unary.
+  ExprPtr parseExpr() { return parseOr(); }
+
+  ExprPtr parseOr() {
+    ExprPtr L = parseAnd();
+    while (L && Toks.accept("||"))
+      L = makeBin(BinOp::Or, std::move(L), parseAnd());
+    return L;
+  }
+
+  ExprPtr parseAnd() {
+    ExprPtr L = parseCmp();
+    while (L && Toks.accept("&&"))
+      L = makeBin(BinOp::And, std::move(L), parseCmp());
+    return L;
+  }
+
+  ExprPtr parseCmp() {
+    ExprPtr L = parseAdd();
+    while (L) {
+      if (Toks.accept("=="))
+        L = makeBin(BinOp::Eq, std::move(L), parseAdd());
+      else if (Toks.accept("!="))
+        L = makeBin(BinOp::Ne, std::move(L), parseAdd());
+      else if (Toks.accept("<="))
+        L = makeBin(BinOp::Le, std::move(L), parseAdd());
+      else if (Toks.accept(">="))
+        L = makeBin(BinOp::Ge, std::move(L), parseAdd());
+      else if (Toks.peek().isSymbol("<") && !isAtomicOpen())
+        L = (Toks.next(), makeBin(BinOp::Lt, std::move(L), parseAdd()));
+      else if (Toks.accept(">"))
+        L = makeBin(BinOp::Gt, std::move(L), parseAdd());
+      else
+        break;
+    }
+    return L;
+  }
+
+  /// Heuristic: '<' directly followed by a statement keyword or at a
+  /// position where an atomic block could start is not a comparison. In
+  /// expression position '<' is always a comparison, so this only guards
+  /// the degenerate case "a < <".
+  bool isAtomicOpen() const { return Toks.peek(1).isSymbol("<"); }
+
+  ExprPtr parseAdd() {
+    ExprPtr L = parseMul();
+    while (L) {
+      if (Toks.accept("+"))
+        L = makeBin(BinOp::Add, std::move(L), parseMul());
+      else if (Toks.accept("-"))
+        L = makeBin(BinOp::Sub, std::move(L), parseMul());
+      else
+        break;
+    }
+    return L;
+  }
+
+  ExprPtr parseMul() {
+    ExprPtr L = parseUnary();
+    while (L) {
+      if (Toks.accept("*"))
+        L = makeBin(BinOp::Mul, std::move(L), parseUnary());
+      else if (Toks.accept("/"))
+        L = makeBin(BinOp::Div, std::move(L), parseUnary());
+      else
+        break;
+    }
+    return L;
+  }
+
+  ExprPtr parseUnary() {
+    if (Toks.accept("-")) {
+      auto E = std::make_unique<Expr>();
+      E->K = Expr::Kind::Un;
+      E->U = UnOp::Neg;
+      E->L = parseUnary();
+      return E->L ? std::move(E) : nullptr;
+    }
+    if (Toks.accept("!")) {
+      auto E = std::make_unique<Expr>();
+      E->K = Expr::Kind::Un;
+      E->U = UnOp::Not;
+      E->L = parseUnary();
+      return E->L ? std::move(E) : nullptr;
+    }
+    return parsePrimary();
+  }
+
+  ExprPtr parsePrimary() {
+    const Token &T = Toks.peek();
+    if (T.is(Token::Kind::Int)) {
+      auto E = std::make_unique<Expr>();
+      E->K = Expr::Kind::IntConst;
+      E->IntVal = static_cast<int32_t>(Toks.next().IntVal);
+      return E;
+    }
+    if (T.is(Token::Kind::Ident)) {
+      auto E = std::make_unique<Expr>();
+      std::string Name = Toks.next().Text;
+      bool IsGlobal = false;
+      for (const std::string &G : GlobalNames)
+        if (G == Name)
+          IsGlobal = true;
+      E->K = IsGlobal ? Expr::Kind::GlobalAddr : Expr::Kind::Reg;
+      E->Name = std::move(Name);
+      return E;
+    }
+    if (Toks.accept("(")) {
+      ExprPtr E = parseExpr();
+      if (!E || !expect(")"))
+        return nullptr;
+      return E;
+    }
+    fail("expected expression, got '" + T.Text + "'");
+    return nullptr;
+  }
+
+  ExprPtr makeBin(BinOp B, ExprPtr L, ExprPtr R) {
+    if (!L || !R)
+      return nullptr;
+    auto E = std::make_unique<Expr>();
+    E->K = Expr::Kind::Bin;
+    E->B = B;
+    E->L = std::move(L);
+    E->R = std::move(R);
+    return E;
+  }
+
+  TokenStream Toks;
+  std::string &Error;
+  std::vector<std::string> GlobalNames;
+};
+
+} // namespace
+
+std::shared_ptr<Module> ccc::cimp::parseModule(const std::string &Source,
+                                               std::string &Error) {
+  static const std::vector<std::string> Symbols = {
+      "(",  ")", "{",  "}",  "[",  "]",  ";",  ",",  ":=", "==", "!=",
+      "<=", ">=", "&&", "||", "<",  ">",  "+",  "-",  "*",  "/",  "!",
+      "="};
+  std::vector<Token> Toks;
+  if (!tokenize(Source, Symbols, Toks, Error))
+    return nullptr;
+  Parser P(TokenStream(std::move(Toks)), Error);
+  return P.parse();
+}
+
+std::shared_ptr<Module>
+ccc::cimp::parseModuleOrDie(const std::string &Source) {
+  std::string Error;
+  auto M = parseModule(Source, Error);
+  if (!M) {
+    std::fprintf(stderr, "%s\n", Error.c_str());
+    std::abort();
+  }
+  return M;
+}

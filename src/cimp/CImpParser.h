@@ -1,0 +1,51 @@
+//===- cimp/CImpParser.h - Parser for CImp ----------------------*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser for CImp source text.
+///
+/// Grammar sketch:
+///   module  := { 'global' ident '=' int ';' | fundef }
+///   fundef  := ident '(' [ident {',' ident}] ')' '{' {stmt} '}'
+///   stmt    := 'skip' ';'
+///            | ident ':=' expr ';'
+///            | ident ':=' '[' expr ']' ';'
+///            | ident ':=' ident '(' [args] ')' ';'
+///            | '[' expr ']' ':=' expr ';'
+///            | 'if' '(' expr ')' block ['else' block]
+///            | 'while' '(' expr ')' block
+///            | '<' {stmt} '>'
+///            | 'assert' '(' expr ')' ';'
+///            | 'print' '(' expr ')' ';'
+///            | 'return' [expr] ';'
+///            | ident '(' [args] ')' ';'
+///   block   := '{' {stmt} '}'
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_CIMP_CIMPPARSER_H
+#define CASCC_CIMP_CIMPPARSER_H
+
+#include "cimp/CImpAst.h"
+
+#include <memory>
+#include <string>
+
+namespace ccc {
+namespace cimp {
+
+/// Parses CImp source text. Returns null and sets \p Error on failure.
+std::shared_ptr<Module> parseModule(const std::string &Source,
+                                    std::string &Error);
+
+/// Parses or aborts; convenience for tests and examples.
+std::shared_ptr<Module> parseModuleOrDie(const std::string &Source);
+
+} // namespace cimp
+} // namespace ccc
+
+#endif // CASCC_CIMP_CIMPPARSER_H

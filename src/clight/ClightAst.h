@@ -1,0 +1,141 @@
+//===- clight/ClightAst.h - The Clight-subset client language ---*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Clight subset in which client threads are written (Sec. 7.1): a
+/// C-like structured language with int globals, memory-allocated locals
+/// (from the thread's free list, as in CompCert Clight), pointers to
+/// globals, external calls to synchronization objects (lock/unlock), and
+/// the print intrinsic producing observable events.
+///
+/// Following the paper's footnote 6, stack-allocated locals may not have
+/// their address taken (no cross-module escape of stack pointers):
+/// address-of (&) applies to globals only.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_CLIGHT_CLIGHTAST_H
+#define CASCC_CLIGHT_CLIGHTAST_H
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ccc {
+namespace clight {
+
+/// The type system: int, int*, and void (function returns only).
+enum class Ty : uint8_t { Int, IntPtr, Void };
+
+enum class UnOp { Neg, Not, Deref };
+enum class BinOp {
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Mod,
+  Eq,
+  Ne,
+  Lt,
+  Le,
+  Gt,
+  Ge,
+  And,
+  Or,
+};
+
+/// An expression. Variable reads access memory (locals live in the
+/// thread's free-list region; globals in the shared region).
+struct Expr {
+  enum class Kind { IntLit, Var, AddrOfGlobal, Un, Bin };
+
+  Kind K = Kind::IntLit;
+  int32_t IntVal = 0;
+  std::string Name; // Var / AddrOfGlobal
+  UnOp U = UnOp::Neg;
+  BinOp B = BinOp::Add;
+  std::unique_ptr<Expr> L, R;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+using Block = std::vector<StmtPtr>;
+
+/// A statement.
+struct Stmt {
+  enum class Kind {
+    Skip,
+    AssignVar,   ///< Name = E1
+    AssignDeref, ///< *E1 = E2
+    If,          ///< if (E1) Body else Else
+    While,       ///< while (E1) Body
+    Call,        ///< [Dst =] Callee(Args)
+    Return,      ///< return [E1]
+    Print,       ///< print(E1)
+  };
+
+  Kind K = Stmt::Kind::Skip;
+  std::string Dst; // AssignVar / Call result
+  ExprPtr E1, E2;
+  Block Body, Else;
+  std::string Callee;
+  std::vector<ExprPtr> Args;
+};
+
+/// A local or parameter declaration.
+struct VarDecl {
+  std::string Name;
+  Ty Type = Ty::Int;
+};
+
+/// A function definition.
+struct Function {
+  std::string Name;
+  Ty RetTy = Ty::Void;
+  std::vector<VarDecl> Params;
+  std::vector<VarDecl> Locals;
+  Block Body;
+
+  unsigned numSlots() const {
+    return static_cast<unsigned>(Params.size() + Locals.size());
+  }
+};
+
+/// An external function declaration (arity only; used for call checking).
+struct ExternDecl {
+  std::string Name;
+  unsigned Arity = 0;
+};
+
+/// A Clight module.
+struct Module {
+  std::vector<std::pair<std::string, int32_t>> Globals;
+  std::vector<ExternDecl> Externs;
+  std::vector<Function> Funcs;
+
+  const Function *find(const std::string &Name) const {
+    for (const Function &F : Funcs)
+      if (F.Name == Name)
+        return &F;
+    return nullptr;
+  }
+
+  bool isGlobal(const std::string &Name) const {
+    for (const auto &G : Globals)
+      if (G.first == Name)
+        return true;
+    return false;
+  }
+};
+
+} // namespace clight
+} // namespace ccc
+
+#endif // CASCC_CLIGHT_CLIGHTAST_H

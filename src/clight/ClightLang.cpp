@@ -1,0 +1,427 @@
+//===- clight/ClightLang.cpp - Clight instantiation of the framework ------===//
+
+#include "clight/ClightLang.h"
+
+#include "clight/ClightParser.h"
+#include "support/StrUtil.h"
+
+#include <cassert>
+
+using namespace ccc;
+using namespace ccc::clight;
+
+namespace {
+
+struct KontItem {
+  enum class Kind { Stmt, StoreRet };
+  Kind K = Kind::Stmt;
+  const Stmt *S = nullptr;
+  std::string Dst; // StoreRet destination (may be empty = discard)
+};
+
+/// The Clight core: the executing function, its continuation, the
+/// allocation phase, and the pending return value of an external call.
+class ClightCore : public Core {
+public:
+  const Function *F = nullptr;
+  bool Allocated = false;
+  std::vector<Value> EntryArgs; // held until the allocation step
+  std::vector<KontItem> Kont;   // back() is next
+  Value PendingVal;
+  bool HasPending = false;
+
+  std::string key() const override {
+    StrBuilder B;
+    B << 'f' << reinterpret_cast<uintptr_t>(F) << (Allocated ? 'A' : 'U');
+    if (HasPending)
+      B << "p" << PendingVal.toString();
+    for (const KontItem &I : Kont) {
+      if (I.K == KontItem::Kind::Stmt)
+        B << 's' << reinterpret_cast<uintptr_t>(I.S) << ';';
+      else
+        B << "sr:" << I.Dst << ';';
+    }
+    if (!Allocated) {
+      B << "|args:";
+      for (const Value &V : EntryArgs)
+        B << V.toString() << ',';
+    }
+    return B.take();
+  }
+};
+
+void pushBlock(std::vector<KontItem> &Kont, const Block &B) {
+  for (auto It = B.rbegin(); It != B.rend(); ++It)
+    Kont.push_back(KontItem{KontItem::Kind::Stmt, It->get(), {}});
+}
+
+/// Index of \p Name among the function's slots, or -1.
+int slotIndex(const Function &F, const std::string &Name) {
+  int Idx = 0;
+  for (const VarDecl &P : F.Params) {
+    if (P.Name == Name)
+      return Idx;
+    ++Idx;
+  }
+  for (const VarDecl &L : F.Locals) {
+    if (L.Name == Name)
+      return Idx;
+    ++Idx;
+  }
+  return -1;
+}
+
+} // namespace
+
+ClightLang::ClightLang(std::shared_ptr<const Module> M) : Mod(std::move(M)) {}
+
+ClightLang::~ClightLang() = default;
+
+CoreRef ClightLang::initCore(const std::string &Entry,
+                             const std::vector<Value> &Args) const {
+  const Function *F = Mod->find(Entry);
+  if (!F || F->Params.size() != Args.size())
+    return nullptr;
+  auto C = std::make_shared<ClightCore>();
+  C->F = F;
+  C->EntryArgs = Args;
+  C->Allocated = false;
+  pushBlock(C->Kont, F->Body);
+  return C;
+}
+
+namespace {
+
+/// Resolves the address of variable \p Name: function slot first, then
+/// module global.
+std::optional<Addr> varAddr(const Function &F, const FreeList &FL,
+                            const GlobalEnv &GE, const std::string &Name) {
+  int Idx = slotIndex(F, Name);
+  if (Idx >= 0)
+    return FL.at(static_cast<uint32_t>(Idx));
+  return GE.lookup(Name);
+}
+
+std::optional<Value> evalExpr(const Expr &E, const Function &F,
+                              const FreeList &FL, const GlobalEnv &GE,
+                              const Mem &M, Footprint &FP) {
+  switch (E.K) {
+  case Expr::Kind::IntLit:
+    return Value::makeInt(E.IntVal);
+  case Expr::Kind::Var: {
+    auto A = varAddr(F, FL, GE, E.Name);
+    if (!A)
+      return std::nullopt;
+    auto V = M.load(*A);
+    if (!V)
+      return std::nullopt;
+    FP.addRead(*A);
+    return V;
+  }
+  case Expr::Kind::AddrOfGlobal: {
+    auto A = GE.lookup(E.Name);
+    if (!A)
+      return std::nullopt;
+    return Value::makePtr(*A);
+  }
+  case Expr::Kind::Un: {
+    auto V = evalExpr(*E.L, F, FL, GE, M, FP);
+    if (!V)
+      return std::nullopt;
+    if (E.U == UnOp::Deref) {
+      if (!V->isPtr())
+        return std::nullopt;
+      auto Loaded = M.load(V->asPtr());
+      if (!Loaded)
+        return std::nullopt;
+      FP.addRead(V->asPtr());
+      return Loaded;
+    }
+    if (!V->isInt())
+      return std::nullopt;
+    if (E.U == UnOp::Neg)
+      return Value::makeInt(static_cast<int32_t>(
+          -static_cast<uint32_t>(V->asInt())));
+    return Value::makeInt(V->asInt() == 0 ? 1 : 0);
+  }
+  case Expr::Kind::Bin: {
+    auto L = evalExpr(*E.L, F, FL, GE, M, FP);
+    auto R = evalExpr(*E.R, F, FL, GE, M, FP);
+    if (!L || !R)
+      return std::nullopt;
+    if (L->isPtr() || R->isPtr()) {
+      if (E.B == BinOp::Eq)
+        return Value::makeInt(*L == *R ? 1 : 0);
+      if (E.B == BinOp::Ne)
+        return Value::makeInt(*L == *R ? 0 : 1);
+      return std::nullopt;
+    }
+    if (!L->isInt() || !R->isInt())
+      return std::nullopt;
+    int32_t A = L->asInt(), B = R->asInt();
+    auto Wrap = [](int64_t V) {
+      return Value::makeInt(static_cast<int32_t>(static_cast<uint32_t>(V)));
+    };
+    switch (E.B) {
+    case BinOp::Add:
+      return Wrap(static_cast<int64_t>(A) + B);
+    case BinOp::Sub:
+      return Wrap(static_cast<int64_t>(A) - B);
+    case BinOp::Mul:
+      return Wrap(static_cast<int64_t>(A) * B);
+    case BinOp::Div:
+      if (B == 0)
+        return std::nullopt;
+      return Wrap(static_cast<int64_t>(A) / B);
+    case BinOp::Mod:
+      if (B == 0)
+        return std::nullopt;
+      return Wrap(static_cast<int64_t>(A) % B);
+    case BinOp::Eq:
+      return Value::makeInt(A == B ? 1 : 0);
+    case BinOp::Ne:
+      return Value::makeInt(A != B ? 1 : 0);
+    case BinOp::Lt:
+      return Value::makeInt(A < B ? 1 : 0);
+    case BinOp::Le:
+      return Value::makeInt(A <= B ? 1 : 0);
+    case BinOp::Gt:
+      return Value::makeInt(A > B ? 1 : 0);
+    case BinOp::Ge:
+      return Value::makeInt(A >= B ? 1 : 0);
+    case BinOp::And:
+      return Value::makeInt((A != 0 && B != 0) ? 1 : 0);
+    case BinOp::Or:
+      return Value::makeInt((A != 0 || B != 0) ? 1 : 0);
+    }
+    return std::nullopt;
+  }
+  }
+  return std::nullopt;
+}
+
+} // namespace
+
+std::vector<LocalStep> ClightLang::step(const FreeList &FL, const Core &C,
+                                        const Mem &M) const {
+  const auto &Cr = static_cast<const ClightCore &>(C);
+  const Function &F = *Cr.F;
+  std::vector<LocalStep> Out;
+  auto abort = [&Out](const std::string &R) {
+    Out.push_back(LocalStep::abort("Clight: " + R));
+  };
+
+  // -- Local allocation (the first step of every function).
+  if (!Cr.Allocated) {
+    unsigned Slots = F.numSlots();
+    if (Slots > FL.size()) {
+      abort("locals exceed the free list");
+      return Out;
+    }
+    LocalStep S;
+    S.M = Msg::tau();
+    S.NextMem = M;
+    for (unsigned I = 0; I < Slots; ++I) {
+      // Frame regions are reused after returns (stack discipline), so the
+      // cell may already be allocated: allocation overwrites it.
+      Addr A = FL.at(I);
+      Value Init = I < Cr.EntryArgs.size() ? Cr.EntryArgs[I]
+                                           : Value::makeUndef();
+      S.NextMem.alloc(A, Init);
+      S.FP.addWrite(A);
+    }
+    auto N = std::make_shared<ClightCore>(Cr);
+    N->Allocated = true;
+    N->EntryArgs.clear();
+    S.Next = std::move(N);
+    Out.push_back(std::move(S));
+    return Out;
+  }
+
+  // -- Function end: implicit return.
+  if (Cr.Kont.empty()) {
+    LocalStep S;
+    S.M = Msg::ret(Value::makeInt(0));
+    S.NextMem = M;
+    S.Next = std::make_shared<ClightCore>(Cr);
+    Out.push_back(std::move(S));
+    return Out;
+  }
+
+  const KontItem Top = Cr.Kont.back();
+  auto popped = [&Cr]() {
+    auto N = std::make_shared<ClightCore>(Cr);
+    N->Kont.pop_back();
+    return N;
+  };
+
+  // -- Store the pending external-call result.
+  if (Top.K == KontItem::Kind::StoreRet) {
+    if (!Cr.HasPending) {
+      abort("core stepped while awaiting a return");
+      return Out;
+    }
+    LocalStep S;
+    S.M = Msg::tau();
+    S.NextMem = M;
+    auto N = popped();
+    N->HasPending = false;
+    if (!Top.Dst.empty()) {
+      auto A = varAddr(F, FL, *Globals, Top.Dst);
+      if (!A || !S.NextMem.store(*A, Cr.PendingVal)) {
+        abort("bad call-result destination");
+        return Out;
+      }
+      S.FP.addWrite(*A);
+    }
+    S.Next = std::move(N);
+    Out.push_back(std::move(S));
+    return Out;
+  }
+
+  const Stmt &St = *Top.S;
+  Footprint FP;
+  auto eval = [&](const Expr &E) {
+    return evalExpr(E, F, FL, *Globals, M, FP);
+  };
+  auto finish = [&](Msg Ms, CoreRef Next, Mem NM) {
+    LocalStep S;
+    S.M = std::move(Ms);
+    S.FP = FP;
+    S.NextMem = std::move(NM);
+    S.Next = std::move(Next);
+    Out.push_back(std::move(S));
+  };
+
+  switch (St.K) {
+  case Stmt::Kind::Skip: {
+    finish(Msg::tau(), popped(), M);
+    break;
+  }
+  case Stmt::Kind::AssignVar: {
+    auto V = eval(*St.E1);
+    auto A = varAddr(F, FL, *Globals, St.Dst);
+    if (!V || !A) {
+      abort("bad assignment");
+      break;
+    }
+    Mem NM = M;
+    if (!NM.store(*A, *V)) {
+      abort("assignment to unallocated address");
+      break;
+    }
+    FP.addWrite(*A);
+    finish(Msg::tau(), popped(), std::move(NM));
+    break;
+  }
+  case Stmt::Kind::AssignDeref: {
+    auto Ptr = eval(*St.E1);
+    auto V = eval(*St.E2);
+    if (!Ptr || !Ptr->isPtr() || !V) {
+      abort("bad store through pointer");
+      break;
+    }
+    Mem NM = M;
+    if (!NM.store(Ptr->asPtr(), *V)) {
+      abort("store to unallocated address");
+      break;
+    }
+    FP.addWrite(Ptr->asPtr());
+    finish(Msg::tau(), popped(), std::move(NM));
+    break;
+  }
+  case Stmt::Kind::If: {
+    auto V = eval(*St.E1);
+    if (!V || !V->isInt()) {
+      abort("bad if condition");
+      break;
+    }
+    auto N = popped();
+    pushBlock(N->Kont, V->asInt() != 0 ? St.Body : St.Else);
+    finish(Msg::tau(), std::move(N), M);
+    break;
+  }
+  case Stmt::Kind::While: {
+    auto V = eval(*St.E1);
+    if (!V || !V->isInt()) {
+      abort("bad while condition");
+      break;
+    }
+    auto N = std::make_shared<ClightCore>(Cr);
+    if (V->asInt() != 0)
+      pushBlock(N->Kont, St.Body);
+    else
+      N->Kont.pop_back();
+    finish(Msg::tau(), std::move(N), M);
+    break;
+  }
+  case Stmt::Kind::Call: {
+    std::vector<Value> Args;
+    bool Bad = false;
+    for (const ExprPtr &AE : St.Args) {
+      auto V = eval(*AE);
+      if (!V) {
+        Bad = true;
+        break;
+      }
+      Args.push_back(*V);
+    }
+    if (Bad) {
+      abort("bad call argument");
+      break;
+    }
+    auto N = popped();
+    N->Kont.push_back(KontItem{KontItem::Kind::StoreRet, nullptr, St.Dst});
+    finish(Msg::extCall(St.Callee, std::move(Args)), std::move(N), M);
+    break;
+  }
+  case Stmt::Kind::Return: {
+    Value V = Value::makeInt(0);
+    if (St.E1) {
+      auto E = eval(*St.E1);
+      if (!E) {
+        abort("bad return expression");
+        break;
+      }
+      V = *E;
+    }
+    auto N = std::make_shared<ClightCore>(Cr);
+    N->Kont.clear();
+    finish(Msg::ret(V), std::move(N), M);
+    break;
+  }
+  case Stmt::Kind::Print: {
+    auto V = eval(*St.E1);
+    if (!V || !V->isInt()) {
+      abort("print needs an integer");
+      break;
+    }
+    finish(Msg::event(V->asInt()), popped(), M);
+    break;
+  }
+  }
+  return Out;
+}
+
+CoreRef ClightLang::applyReturn(const Core &C, const Value &V) const {
+  const auto &Cr = static_cast<const ClightCore &>(C);
+  if (Cr.Kont.empty() || Cr.Kont.back().K != KontItem::Kind::StoreRet)
+    return nullptr;
+  auto N = std::make_shared<ClightCore>(Cr);
+  N->PendingVal = V;
+  N->HasPending = true;
+  return N;
+}
+
+unsigned ccc::clight::addClightModule(Program &P, const std::string &Name,
+                                      const std::string &Source) {
+  return addClightModule(P, Name, parseModuleOrDie(Source));
+}
+
+unsigned ccc::clight::addClightModule(Program &P, const std::string &Name,
+                                      std::shared_ptr<const Module> M) {
+  GlobalEnv GE;
+  for (const auto &G : M->Globals)
+    GE.declare(G.first, Value::makeInt(G.second), DataOwner::Client);
+  return P.addModule(Name, std::make_unique<ClightLang>(M), std::move(GE));
+}

@@ -1,0 +1,63 @@
+//===- clight/ClightLang.h - Clight instantiation of the framework -*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Clight-subset instantiation of the abstract module language
+/// (Sec. 7.1): footprint-instrumented small-step semantics where function
+/// locals are allocated from the thread's free list (as in CompCert
+/// Clight, where kappa = (c, N) tracks the next block to allocate).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_CLIGHT_CLIGHTLANG_H
+#define CASCC_CLIGHT_CLIGHTLANG_H
+
+#include "clight/ClightAst.h"
+#include "core/ModuleLang.h"
+#include "core/Program.h"
+
+#include <memory>
+
+namespace ccc {
+namespace clight {
+
+/// Clight as a ModuleLang.
+class ClightLang : public ModuleLang {
+public:
+  explicit ClightLang(std::shared_ptr<const Module> M);
+  ~ClightLang() override;
+
+  std::string name() const override { return "Clight"; }
+
+  CoreRef initCore(const std::string &Entry,
+                   const std::vector<Value> &Args) const override;
+
+  std::vector<LocalStep> step(const FreeList &F, const Core &C,
+                              const Mem &M) const override;
+
+  CoreRef applyReturn(const Core &C, const Value &V) const override;
+
+  const Module &module() const { return *Mod; }
+  std::shared_ptr<const Module> moduleRef() const { return Mod; }
+
+private:
+  std::shared_ptr<const Module> Mod;
+};
+
+/// Registers a Clight module parsed from \p Source with \p P; returns the
+/// module index.
+unsigned addClightModule(Program &P, const std::string &Name,
+                         const std::string &Source);
+
+/// Registers an already-parsed Clight module with \p P.
+unsigned addClightModule(Program &P, const std::string &Name,
+                         std::shared_ptr<const Module> M);
+
+} // namespace clight
+} // namespace ccc
+
+#endif // CASCC_CLIGHT_CLIGHTLANG_H

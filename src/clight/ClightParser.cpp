@@ -1,0 +1,473 @@
+//===- clight/ClightParser.cpp - Parser for the Clight subset -------------===//
+
+#include "clight/ClightParser.h"
+
+#include "support/Lexer.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace ccc;
+using namespace ccc::clight;
+
+namespace {
+
+class Parser {
+public:
+  Parser(TokenStream Toks, std::string &Error)
+      : Toks(std::move(Toks)), Error(Error) {}
+
+  std::shared_ptr<Module> parse() {
+    auto M = std::make_shared<Module>();
+    Mod = M.get();
+    while (!Toks.atEnd()) {
+      if (Toks.acceptIdent("extern")) {
+        if (!parseExtern())
+          return nullptr;
+        continue;
+      }
+      // 'int' ident (';' | '=' | '(') decides global vs function.
+      if (Toks.peek().isIdent("int") &&
+          Toks.peek(1).is(Token::Kind::Ident) &&
+          (Toks.peek(2).isSymbol(";") || Toks.peek(2).isSymbol("="))) {
+        if (!parseGlobal())
+          return nullptr;
+        continue;
+      }
+      if (!parseFunction())
+        return nullptr;
+    }
+    return M;
+  }
+
+private:
+  bool fail(const std::string &Msg) {
+    Error = "Clight parse error (line " + std::to_string(Toks.line()) +
+            "): " + Msg;
+    return false;
+  }
+
+  bool expect(const std::string &Sym) {
+    if (Toks.accept(Sym))
+      return true;
+    return fail("expected '" + Sym + "', got '" + Toks.peek().Text + "'");
+  }
+
+  bool expectIdent(std::string &Out) {
+    if (!Toks.peek().is(Token::Kind::Ident))
+      return fail("expected identifier, got '" + Toks.peek().Text + "'");
+    Out = Toks.next().Text;
+    return true;
+  }
+
+  bool parseGlobal() {
+    Toks.next(); // int
+    std::string Name;
+    if (!expectIdent(Name))
+      return false;
+    int64_t Init = 0;
+    if (Toks.accept("=")) {
+      bool Neg = Toks.accept("-");
+      if (!Toks.peek().is(Token::Kind::Int))
+        return fail("expected integer initializer");
+      Init = Toks.next().IntVal;
+      if (Neg)
+        Init = -Init;
+    }
+    if (!expect(";"))
+      return false;
+    Mod->Globals.emplace_back(Name, static_cast<int32_t>(Init));
+    return true;
+  }
+
+  bool parseRetTy(Ty &Out) {
+    if (Toks.acceptIdent("void")) {
+      Out = Ty::Void;
+      return true;
+    }
+    if (Toks.acceptIdent("int")) {
+      Out = Ty::Int;
+      return true;
+    }
+    return fail("expected 'int' or 'void'");
+  }
+
+  bool parseExtern() {
+    Ty Ret;
+    std::string Name;
+    if (!parseRetTy(Ret) || !expectIdent(Name) || !expect("("))
+      return false;
+    unsigned Arity = 0;
+    if (!Toks.accept(")")) {
+      while (true) {
+        if (!Toks.acceptIdent("int"))
+          return fail("expected parameter type");
+        Toks.accept("*");
+        // Parameter name is optional in an extern declaration.
+        if (Toks.peek().is(Token::Kind::Ident))
+          Toks.next();
+        ++Arity;
+        if (Toks.accept(")"))
+          break;
+        if (!expect(","))
+          return false;
+      }
+    }
+    if (!expect(";"))
+      return false;
+    Mod->Externs.push_back({Name, Arity});
+    return true;
+  }
+
+  bool parseParam(VarDecl &Out) {
+    if (!Toks.acceptIdent("int"))
+      return fail("expected parameter type 'int'");
+    Out.Type = Toks.accept("*") ? Ty::IntPtr : Ty::Int;
+    return expectIdent(Out.Name);
+  }
+
+  bool parseFunction() {
+    Function F;
+    if (!parseRetTy(F.RetTy) || !expectIdent(F.Name) || !expect("("))
+      return false;
+    if (!Toks.accept(")")) {
+      while (true) {
+        VarDecl P;
+        if (!parseParam(P))
+          return false;
+        F.Params.push_back(P);
+        if (Toks.accept(")"))
+          break;
+        if (!expect(","))
+          return false;
+      }
+    }
+    if (!expect("{"))
+      return false;
+
+    // Local declarations first (C89 style); initializers desugar into
+    // assignments at the start of the body.
+    Block InitStmts;
+    while (Toks.peek().isIdent("int") || Toks.peek().isIdent("int32_t")) {
+      Toks.next();
+      VarDecl D;
+      D.Type = Toks.accept("*") ? Ty::IntPtr : Ty::Int;
+      if (!expectIdent(D.Name))
+        return false;
+      if (Toks.accept("=")) {
+        auto S = std::make_unique<Stmt>();
+        S->K = Stmt::Kind::AssignVar;
+        S->Dst = D.Name;
+        S->E1 = parseExpr();
+        if (!S->E1)
+          return false;
+        InitStmts.push_back(std::move(S));
+      }
+      if (!expect(";"))
+        return false;
+      F.Locals.push_back(std::move(D));
+    }
+    for (auto &S : InitStmts)
+      F.Body.push_back(std::move(S));
+    if (!parseStmts(F.Body, "}"))
+      return false;
+    Mod->Funcs.push_back(std::move(F));
+    return true;
+  }
+
+  bool parseStmts(Block &Out, const std::string &Closer) {
+    while (!Toks.accept(Closer)) {
+      if (Toks.atEnd())
+        return fail("unexpected end of input; missing '" + Closer + "'");
+      StmtPtr S = parseStmt();
+      if (!S)
+        return false;
+      if (S->K != Stmt::Kind::Skip || true)
+        Out.push_back(std::move(S));
+    }
+    return true;
+  }
+
+  StmtPtr parseStmt() {
+    auto S = std::make_unique<Stmt>();
+    const Token &T = Toks.peek();
+
+    if (T.isSymbol(";")) {
+      Toks.next();
+      S->K = Stmt::Kind::Skip;
+      return S;
+    }
+    if (T.isIdent("if")) {
+      Toks.next();
+      S->K = Stmt::Kind::If;
+      if (!expect("("))
+        return nullptr;
+      S->E1 = parseExpr();
+      if (!S->E1 || !expect(")") || !expect("{"))
+        return nullptr;
+      if (!parseStmts(S->Body, "}"))
+        return nullptr;
+      if (Toks.acceptIdent("else")) {
+        if (!expect("{") || !parseStmts(S->Else, "}"))
+          return nullptr;
+      }
+      return S;
+    }
+    if (T.isIdent("while")) {
+      Toks.next();
+      S->K = Stmt::Kind::While;
+      if (!expect("("))
+        return nullptr;
+      S->E1 = parseExpr();
+      if (!S->E1 || !expect(")") || !expect("{"))
+        return nullptr;
+      if (!parseStmts(S->Body, "}"))
+        return nullptr;
+      return S;
+    }
+    if (T.isIdent("return")) {
+      Toks.next();
+      S->K = Stmt::Kind::Return;
+      if (!Toks.peek().isSymbol(";")) {
+        S->E1 = parseExpr();
+        if (!S->E1)
+          return nullptr;
+      }
+      if (!expect(";"))
+        return nullptr;
+      return S;
+    }
+    if (T.isIdent("print")) {
+      Toks.next();
+      S->K = Stmt::Kind::Print;
+      if (!expect("("))
+        return nullptr;
+      S->E1 = parseExpr();
+      if (!S->E1 || !expect(")") || !expect(";"))
+        return nullptr;
+      return S;
+    }
+    if (T.isSymbol("*")) {
+      Toks.next();
+      S->K = Stmt::Kind::AssignDeref;
+      S->E1 = parseUnary();
+      if (!S->E1 || !expect("=") || !(S->E2 = parseExpr()) || !expect(";"))
+        return nullptr;
+      return S;
+    }
+    if (T.is(Token::Kind::Ident)) {
+      std::string Name = Toks.next().Text;
+      if (Toks.accept("=")) {
+        if (Toks.peek().is(Token::Kind::Ident) &&
+            Toks.peek(1).isSymbol("(") && !isBuiltinExprHead()) {
+          S->K = Stmt::Kind::Call;
+          S->Dst = Name;
+          S->Callee = Toks.next().Text;
+          if (!parseCallArgs(*S))
+            return nullptr;
+          return S;
+        }
+        S->K = Stmt::Kind::AssignVar;
+        S->Dst = Name;
+        S->E1 = parseExpr();
+        if (!S->E1 || !expect(";"))
+          return nullptr;
+        return S;
+      }
+      if (Toks.peek().isSymbol("(")) {
+        S->K = Stmt::Kind::Call;
+        S->Callee = Name;
+        if (!parseCallArgs(*S))
+          return nullptr;
+        return S;
+      }
+      fail("unexpected identifier '" + Name + "'");
+      return nullptr;
+    }
+    fail("unexpected token '" + T.Text + "'");
+    return nullptr;
+  }
+
+  /// There are no expression-position builtins taking '('-led syntax other
+  /// than calls, so this is always false; kept for clarity.
+  bool isBuiltinExprHead() const { return false; }
+
+  bool parseCallArgs(Stmt &S) {
+    if (!expect("("))
+      return false;
+    if (!Toks.accept(")")) {
+      while (true) {
+        ExprPtr A = parseExpr();
+        if (!A)
+          return false;
+        S.Args.push_back(std::move(A));
+        if (Toks.accept(")"))
+          break;
+        if (!expect(","))
+          return false;
+      }
+    }
+    return expect(";");
+  }
+
+  ExprPtr parseExpr() { return parseOr(); }
+
+  ExprPtr parseOr() {
+    ExprPtr L = parseAnd();
+    while (L && Toks.accept("||"))
+      L = makeBin(BinOp::Or, std::move(L), parseAnd());
+    return L;
+  }
+
+  ExprPtr parseAnd() {
+    ExprPtr L = parseCmp();
+    while (L && Toks.accept("&&"))
+      L = makeBin(BinOp::And, std::move(L), parseCmp());
+    return L;
+  }
+
+  ExprPtr parseCmp() {
+    ExprPtr L = parseAdd();
+    while (L) {
+      if (Toks.accept("=="))
+        L = makeBin(BinOp::Eq, std::move(L), parseAdd());
+      else if (Toks.accept("!="))
+        L = makeBin(BinOp::Ne, std::move(L), parseAdd());
+      else if (Toks.accept("<="))
+        L = makeBin(BinOp::Le, std::move(L), parseAdd());
+      else if (Toks.accept(">="))
+        L = makeBin(BinOp::Ge, std::move(L), parseAdd());
+      else if (Toks.accept("<"))
+        L = makeBin(BinOp::Lt, std::move(L), parseAdd());
+      else if (Toks.accept(">"))
+        L = makeBin(BinOp::Gt, std::move(L), parseAdd());
+      else
+        break;
+    }
+    return L;
+  }
+
+  ExprPtr parseAdd() {
+    ExprPtr L = parseMul();
+    while (L) {
+      if (Toks.accept("+"))
+        L = makeBin(BinOp::Add, std::move(L), parseMul());
+      else if (Toks.accept("-"))
+        L = makeBin(BinOp::Sub, std::move(L), parseMul());
+      else
+        break;
+    }
+    return L;
+  }
+
+  ExprPtr parseMul() {
+    ExprPtr L = parseUnary();
+    while (L) {
+      if (Toks.accept("*"))
+        L = makeBin(BinOp::Mul, std::move(L), parseUnary());
+      else if (Toks.accept("/"))
+        L = makeBin(BinOp::Div, std::move(L), parseUnary());
+      else if (Toks.accept("%"))
+        L = makeBin(BinOp::Mod, std::move(L), parseUnary());
+      else
+        break;
+    }
+    return L;
+  }
+
+  ExprPtr parseUnary() {
+    auto mkUn = [this](UnOp U) -> ExprPtr {
+      auto E = std::make_unique<Expr>();
+      E->K = Expr::Kind::Un;
+      E->U = U;
+      E->L = parseUnary();
+      return E->L ? std::move(E) : nullptr;
+    };
+    if (Toks.accept("-"))
+      return mkUn(UnOp::Neg);
+    if (Toks.accept("!"))
+      return mkUn(UnOp::Not);
+    if (Toks.accept("*"))
+      return mkUn(UnOp::Deref);
+    if (Toks.accept("&")) {
+      std::string Name;
+      if (!expectIdent(Name))
+        return nullptr;
+      if (!Mod->isGlobal(Name)) {
+        fail("'&' applies to globals only (no stack-pointer escape; "
+             "paper footnote 6)");
+        return nullptr;
+      }
+      auto E = std::make_unique<Expr>();
+      E->K = Expr::Kind::AddrOfGlobal;
+      E->Name = std::move(Name);
+      return E;
+    }
+    return parsePrimary();
+  }
+
+  ExprPtr parsePrimary() {
+    const Token &T = Toks.peek();
+    if (T.is(Token::Kind::Int)) {
+      auto E = std::make_unique<Expr>();
+      E->K = Expr::Kind::IntLit;
+      E->IntVal = static_cast<int32_t>(Toks.next().IntVal);
+      return E;
+    }
+    if (T.is(Token::Kind::Ident)) {
+      auto E = std::make_unique<Expr>();
+      E->K = Expr::Kind::Var;
+      E->Name = Toks.next().Text;
+      return E;
+    }
+    if (Toks.accept("(")) {
+      ExprPtr E = parseExpr();
+      if (!E || !expect(")"))
+        return nullptr;
+      return E;
+    }
+    fail("expected expression, got '" + T.Text + "'");
+    return nullptr;
+  }
+
+  ExprPtr makeBin(BinOp B, ExprPtr L, ExprPtr R) {
+    if (!L || !R)
+      return nullptr;
+    auto E = std::make_unique<Expr>();
+    E->K = Expr::Kind::Bin;
+    E->B = B;
+    E->L = std::move(L);
+    E->R = std::move(R);
+    return E;
+  }
+
+  TokenStream Toks;
+  std::string &Error;
+  Module *Mod = nullptr;
+};
+
+} // namespace
+
+std::shared_ptr<Module>
+ccc::clight::parseModule(const std::string &Source, std::string &Error) {
+  static const std::vector<std::string> Symbols = {
+      "(",  ")",  "{",  "}",  ";",  ",",  "==", "!=", "<=", ">=",
+      "&&", "||", "<",  ">",  "+",  "-",  "*",  "/",  "%",  "!",
+      "&",  "="};
+  std::vector<Token> Toks;
+  if (!tokenize(Source, Symbols, Toks, Error))
+    return nullptr;
+  Parser P(TokenStream(std::move(Toks)), Error);
+  return P.parse();
+}
+
+std::shared_ptr<Module>
+ccc::clight::parseModuleOrDie(const std::string &Source) {
+  std::string Error;
+  auto M = parseModule(Source, Error);
+  if (!M) {
+    std::fprintf(stderr, "%s\n", Error.c_str());
+    std::abort();
+  }
+  return M;
+}

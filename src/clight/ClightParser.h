@@ -1,0 +1,46 @@
+//===- clight/ClightParser.h - Parser for the Clight subset -----*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recursive-descent parser and light type checker for the Clight subset.
+///
+/// Grammar sketch:
+///   module    := { 'int' ident ['=' ['-'] int] ';'        (global)
+///               | 'extern' rettype ident '(' [ptypes] ')' ';'
+///               | rettype ident '(' [params] ')' body }
+///   body      := '{' {localdecl} {stmt} '}'
+///   localdecl := 'int' ['*'] ident ['=' expr] ';'
+///   stmt      := ident '=' expr ';' | ident '=' ident '(' args ')' ';'
+///             | '*' unary '=' expr ';' | ident '(' args ')' ';'
+///             | 'if' '(' expr ')' block ['else' block]
+///             | 'while' '(' expr ')' block
+///             | 'return' [expr] ';' | 'print' '(' expr ')' ';' | ';'
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_CLIGHT_CLIGHTPARSER_H
+#define CASCC_CLIGHT_CLIGHTPARSER_H
+
+#include "clight/ClightAst.h"
+
+#include <memory>
+#include <string>
+
+namespace ccc {
+namespace clight {
+
+/// Parses Clight source text; returns null and sets \p Error on failure.
+std::shared_ptr<Module> parseModule(const std::string &Source,
+                                    std::string &Error);
+
+/// Parses or aborts; convenience for tests and examples.
+std::shared_ptr<Module> parseModuleOrDie(const std::string &Source);
+
+} // namespace clight
+} // namespace ccc
+
+#endif // CASCC_CLIGHT_CLIGHTPARSER_H

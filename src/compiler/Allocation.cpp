@@ -1,0 +1,236 @@
+//===- compiler/Allocation.cpp - RTL to LTL register allocation ------------===//
+
+#include "compiler/Passes.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <map>
+#include <set>
+
+using namespace ccc;
+using namespace ccc::compiler;
+using ltl::Loc;
+
+namespace {
+
+/// The registers the allocator may assign to program variables. EAX and
+/// EDX are reserved as Asmgen scratch; EDI/ESI/EDX carry call arguments;
+/// ESP is the frame pointer.
+const x86::Reg Allocatable[] = {x86::Reg::EBX, x86::Reg::ECX,
+                                x86::Reg::EBP};
+
+struct UseDef {
+  std::vector<rtl::Reg> Use;
+  std::vector<rtl::Reg> Def;
+};
+
+UseDef useDef(const rtl::Instr &I) {
+  UseDef UD;
+  auto useAM = [&UD](const rtl::AddrMode<rtl::Reg> &AM) {
+    if (AM.K == rtl::AddrMode<rtl::Reg>::Kind::Base)
+      UD.Use.push_back(AM.Base);
+  };
+  switch (I.K) {
+  case rtl::Instr::Kind::Nop:
+    break;
+  case rtl::Instr::Kind::Op:
+    UD.Use = I.Args;
+    UD.Def.push_back(I.Dst);
+    break;
+  case rtl::Instr::Kind::Load:
+    useAM(I.AM);
+    UD.Def.push_back(I.Dst);
+    break;
+  case rtl::Instr::Kind::Store:
+    useAM(I.AM);
+    UD.Use.push_back(I.Args[0]);
+    break;
+  case rtl::Instr::Kind::Call:
+    UD.Use = I.Args;
+    if (I.HasDst)
+      UD.Def.push_back(I.Dst);
+    break;
+  case rtl::Instr::Kind::Tailcall:
+    UD.Use = I.Args;
+    break;
+  case rtl::Instr::Kind::Cond:
+    UD.Use = I.Args;
+    break;
+  case rtl::Instr::Kind::Return:
+    if (I.HasArg)
+      UD.Use = I.Args;
+    break;
+  case rtl::Instr::Kind::Print:
+    UD.Use = I.Args;
+    break;
+  }
+  return UD;
+}
+
+std::vector<unsigned> successors(const rtl::Instr &I) {
+  switch (I.K) {
+  case rtl::Instr::Kind::Return:
+  case rtl::Instr::Kind::Tailcall:
+    return {};
+  case rtl::Instr::Kind::Cond:
+    return {I.S1, I.S2};
+  default:
+    return {I.S1};
+  }
+}
+
+/// Backward liveness fixpoint over the CFG.
+std::map<unsigned, std::set<rtl::Reg>>
+liveness(const rtl::Function &F) {
+  std::map<unsigned, std::set<rtl::Reg>> LiveOut, LiveIn;
+  std::map<unsigned, std::vector<unsigned>> Preds;
+  for (const auto &KV : F.Graph)
+    for (unsigned S : successors(KV.second))
+      Preds[S].push_back(KV.first);
+
+  std::deque<unsigned> Work;
+  for (const auto &KV : F.Graph)
+    Work.push_back(KV.first);
+  while (!Work.empty()) {
+    unsigned N = Work.front();
+    Work.pop_front();
+    const rtl::Instr &I = F.Graph.at(N);
+    UseDef UD = useDef(I);
+    std::set<rtl::Reg> In = LiveOut[N];
+    for (rtl::Reg D : UD.Def)
+      In.erase(D);
+    for (rtl::Reg U : UD.Use)
+      In.insert(U);
+    if (In == LiveIn[N])
+      continue;
+    LiveIn[N] = In;
+    for (unsigned P : Preds[N]) {
+      std::size_t Before = LiveOut[P].size();
+      LiveOut[P].insert(In.begin(), In.end());
+      if (LiveOut[P].size() != Before)
+        Work.push_back(P);
+    }
+  }
+  return LiveOut;
+}
+
+} // namespace
+
+std::shared_ptr<ltl::Module>
+ccc::compiler::allocation(const rtl::Module &M) {
+  auto Out = std::make_shared<ltl::Module>();
+  Out->Globals = M.Globals;
+
+  for (const rtl::Function &F : M.Funcs) {
+    auto LiveOut = liveness(F);
+
+    // Interference graph. A definition interferes with everything live
+    // across it (move sources excepted, the classic coalescing rule).
+    std::vector<std::set<rtl::Reg>> Adj(F.NumRegs);
+    auto addEdge = [&Adj](rtl::Reg A, rtl::Reg B) {
+      if (A == B)
+        return;
+      Adj[A].insert(B);
+      Adj[B].insert(A);
+    };
+    for (const auto &KV : F.Graph) {
+      const rtl::Instr &I = KV.second;
+      UseDef UD = useDef(I);
+      for (rtl::Reg D : UD.Def) {
+        for (rtl::Reg L : LiveOut.at(KV.first)) {
+          if (I.K == rtl::Instr::Kind::Op && I.O == ir::Oper::Move &&
+              L == I.Args[0])
+            continue;
+          addEdge(D, L);
+        }
+      }
+    }
+    // Parameters are simultaneously live at entry.
+    for (unsigned A = 0; A < F.NumParams; ++A)
+      for (unsigned B = A + 1; B < F.NumParams; ++B)
+        addEdge(A, B);
+
+    // Greedy coloring; spills get a private slot each.
+    std::vector<Loc> Color(F.NumRegs, Loc::reg(x86::Reg::EBX));
+    std::vector<bool> Colored(F.NumRegs, false);
+    unsigned NumSlots = 0;
+    for (rtl::Reg R = 0; R < F.NumRegs; ++R) {
+      std::set<unsigned> Taken;
+      for (rtl::Reg N : Adj[R])
+        if (Colored[N] && Color[N].IsReg)
+          Taken.insert(static_cast<unsigned>(Color[N].R));
+      bool Assigned = false;
+      for (x86::Reg Cand : Allocatable) {
+        if (!Taken.count(static_cast<unsigned>(Cand))) {
+          Color[R] = Loc::reg(Cand);
+          Assigned = true;
+          break;
+        }
+      }
+      if (!Assigned)
+        Color[R] = Loc::slot(NumSlots++);
+      Colored[R] = true;
+    }
+
+    // Rewrite the graph with locations; pin call results to EAX and move
+    // them to their allocated home right after the call.
+    ltl::Function NF;
+    NF.Name = F.Name;
+    NF.RetVoid = F.RetVoid;
+    NF.NumParams = F.NumParams;
+    NF.Entry = F.Entry;
+    NF.NumSlots = NumSlots;
+    for (unsigned A = 0; A < F.NumParams; ++A)
+      NF.ParamHomes.push_back(Color[A]);
+
+    unsigned NextNode = 0;
+    for (const auto &KV : F.Graph)
+      NextNode = std::max(NextNode, KV.first + 1);
+
+    for (const auto &KV : F.Graph) {
+      const rtl::Instr &I = KV.second;
+      ltl::Instr NI;
+      NI.K = static_cast<ltl::Instr::Kind>(I.K);
+      NI.O = I.O;
+      NI.C = I.C;
+      NI.Imm = I.Imm;
+      NI.Global = I.Global;
+      NI.Callee = I.Callee;
+      NI.CondOneArg = I.CondOneArg;
+      NI.HasArg = I.HasArg;
+      NI.HasDst = I.HasDst;
+      NI.S1 = I.S1;
+      NI.S2 = I.S2;
+      for (rtl::Reg R : I.Args)
+        NI.Args.push_back(Color[R]);
+      if (I.HasDst)
+        NI.Dst = Color[I.Dst];
+      if (I.AM.K == rtl::AddrMode<rtl::Reg>::Kind::Global)
+        NI.AM = ltl::AddrMode::global(I.AM.Global);
+      else
+        NI.AM = ltl::AddrMode::base(Color[I.AM.Base]);
+
+      if (I.K == rtl::Instr::Kind::Call && I.HasDst) {
+        Loc Home = Color[I.Dst];
+        Loc ResultReg = Loc::reg(x86::Reg::EAX);
+        NI.Dst = ResultReg;
+        if (!(Home == ResultReg)) {
+          unsigned MoveNode = NextNode++;
+          ltl::Instr Mv;
+          Mv.K = ltl::Instr::Kind::Op;
+          Mv.O = ir::Oper::Move;
+          Mv.Args.push_back(ResultReg);
+          Mv.Dst = Home;
+          Mv.HasDst = true;
+          Mv.S1 = I.S1;
+          NI.S1 = MoveNode;
+          NF.Graph[MoveNode] = std::move(Mv);
+        }
+      }
+      NF.Graph[KV.first] = std::move(NI);
+    }
+    Out->Funcs.push_back(std::move(NF));
+  }
+  return Out;
+}

@@ -1,0 +1,320 @@
+//===- compiler/Asmgen.cpp - Mach to x86 assembly --------------------------===//
+
+#include "compiler/Passes.h"
+
+#include "x86/X86Lang.h"
+
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace ccc;
+using namespace ccc::compiler;
+using namespace ccc::x86;
+using mach::Loc;
+
+namespace {
+
+class FnEmitter {
+public:
+  FnEmitter(const mach::Function &F, Module &Out) : F(F), Out(Out) {}
+
+  void emitFunction() {
+    label(F.Name);
+    EntryInfo E;
+    E.FrameSize = F.FrameSize;
+    E.Arity = F.NumParams;
+    Out.Entries[F.Name] = E;
+
+    // Prologue: arguments arrive in EDI/ESI/EDX and move to their homes
+    // (the allocator never assigns those registers, so no clobbering).
+    for (unsigned I = 0; I < F.NumParams; ++I)
+      emitMove(Operand::reg(X86Lang::ArgRegs[I]), locOp(F.ParamHomes[I]));
+
+    for (const mach::Instr &I : F.Code)
+      emitInstr(I);
+  }
+
+private:
+  static constexpr Reg Scratch = Reg::EAX;
+  static constexpr Reg Scratch2 = Reg::EDX;
+
+  Operand locOp(const Loc &L) const {
+    if (L.IsReg)
+      return Operand::reg(L.R);
+    return Operand::memBase(Reg::ESP, static_cast<int32_t>(L.Slot));
+  }
+
+  std::string labelName(unsigned Id) const {
+    return F.Name + "_L" + std::to_string(Id);
+  }
+
+  void push(Instr I) { Out.Code.push_back(std::move(I)); }
+
+  void label(const std::string &Name) {
+    Instr I;
+    I.K = Instr::Kind::Label;
+    I.Name = Name;
+    Out.Labels[Name] = static_cast<unsigned>(Out.Code.size());
+    push(std::move(I));
+  }
+
+  void bin(Instr::Kind K, Operand Src, Operand Dst) {
+    Instr I;
+    I.K = K;
+    I.Src = std::move(Src);
+    I.Dst = std::move(Dst);
+    push(std::move(I));
+  }
+
+  /// movl with the one-memory-operand constraint handled via EAX.
+  void emitMove(Operand Src, Operand Dst) {
+    if (Src.isMem() && Dst.isMem()) {
+      bin(Instr::Kind::Mov, Src, Operand::reg(Scratch));
+      bin(Instr::Kind::Mov, Operand::reg(Scratch), Dst);
+      return;
+    }
+    bin(Instr::Kind::Mov, std::move(Src), std::move(Dst));
+  }
+
+  void jump(const std::string &Target) {
+    Instr I;
+    I.K = Instr::Kind::Jmp;
+    I.Name = Target;
+    push(std::move(I));
+  }
+
+  Cond condOf(ir::Cmp C) const {
+    switch (C) {
+    case ir::Cmp::Eq:
+      return Cond::E;
+    case ir::Cmp::Ne:
+      return Cond::NE;
+    case ir::Cmp::Lt:
+      return Cond::L;
+    case ir::Cmp::Le:
+      return Cond::LE;
+    case ir::Cmp::Gt:
+      return Cond::G;
+    case ir::Cmp::Ge:
+      return Cond::GE;
+    }
+    return Cond::E;
+  }
+
+  void setcc(ir::Cmp C, Reg R) {
+    Instr I;
+    I.K = Instr::Kind::Setcc;
+    I.CC = condOf(C);
+    I.Dst = Operand::reg(R);
+    push(std::move(I));
+  }
+
+  void emitOp(const mach::Instr &I) {
+    using ir::Oper;
+    Operand Dst = locOp(I.Dst);
+    auto A = [&]() { return locOp(I.Args[0]); };
+    auto B = [&]() { return locOp(I.Args[1]); };
+    Operand Acc = Operand::reg(Scratch);
+
+    auto viaAcc = [&](Instr::Kind K, Operand Rhs) {
+      emitMove(A(), Acc);
+      bin(K, std::move(Rhs), Acc);
+      emitMove(Acc, Dst);
+    };
+
+    switch (I.O) {
+    case Oper::Intconst:
+      emitMove(Operand::imm(I.Imm), Dst);
+      break;
+    case Oper::Addrglobal:
+      emitMove(Operand::globalImm(I.Global), Dst);
+      break;
+    case Oper::Move:
+      emitMove(A(), Dst);
+      break;
+    case Oper::Neg: {
+      emitMove(A(), Acc);
+      Instr N;
+      N.K = Instr::Kind::Neg;
+      N.Dst = Acc;
+      push(std::move(N));
+      emitMove(Acc, Dst);
+      break;
+    }
+    case Oper::BoolNot:
+      emitMove(A(), Acc);
+      bin(Instr::Kind::Cmp, Operand::imm(0), Acc);
+      setcc(ir::Cmp::Eq, Scratch);
+      emitMove(Acc, Dst);
+      break;
+    case Oper::AddImm:
+      viaAcc(Instr::Kind::Add, Operand::imm(I.Imm));
+      break;
+    case Oper::MulImm:
+      viaAcc(Instr::Kind::Imul, Operand::imm(I.Imm));
+      break;
+    case Oper::ShlImm:
+      viaAcc(Instr::Kind::Shl, Operand::imm(I.Imm));
+      break;
+    case Oper::SarImm:
+      viaAcc(Instr::Kind::Sar, Operand::imm(I.Imm));
+      break;
+    case Oper::CmpImm:
+      emitMove(A(), Acc);
+      bin(Instr::Kind::Cmp, Operand::imm(I.Imm), Acc);
+      setcc(I.C, Scratch);
+      emitMove(Acc, Dst);
+      break;
+    case Oper::Cmp:
+      emitMove(A(), Acc);
+      bin(Instr::Kind::Cmp, B(), Acc);
+      setcc(I.C, Scratch);
+      emitMove(Acc, Dst);
+      break;
+    case Oper::Add:
+      viaAcc(Instr::Kind::Add, B());
+      break;
+    case Oper::Sub:
+      viaAcc(Instr::Kind::Sub, B());
+      break;
+    case Oper::Mul:
+      viaAcc(Instr::Kind::Imul, B());
+      break;
+    case Oper::And:
+      viaAcc(Instr::Kind::And, B());
+      break;
+    case Oper::Or:
+      viaAcc(Instr::Kind::Or, B());
+      break;
+    case Oper::Xor:
+      viaAcc(Instr::Kind::Xor, B());
+      break;
+    case Oper::Div:
+      viaAcc(Instr::Kind::Div, B());
+      break;
+    case Oper::Mod: {
+      // dst = a - (a/b)*b, via the EAX/EDX scratch pair.
+      emitMove(A(), Acc);
+      bin(Instr::Kind::Div, B(), Acc);
+      bin(Instr::Kind::Imul, B(), Acc);
+      emitMove(A(), Operand::reg(Scratch2));
+      bin(Instr::Kind::Sub, Acc, Operand::reg(Scratch2));
+      emitMove(Operand::reg(Scratch2), Dst);
+      break;
+    }
+    }
+  }
+
+  void emitInstr(const mach::Instr &I) {
+    using K = mach::Instr::Kind;
+    switch (I.K) {
+    case K::Label:
+      label(labelName(I.Label));
+      break;
+    case K::Goto:
+      jump(labelName(I.Label));
+      break;
+    case K::Op:
+      emitOp(I);
+      break;
+    case K::Load: {
+      Operand Acc = Operand::reg(Scratch);
+      if (I.AM.K == linear::AddrMode::Kind::Global) {
+        emitMove(Operand::memGlobal(I.AM.Global), Acc);
+      } else {
+        emitMove(locOp(I.AM.Base), Operand::reg(Scratch2));
+        bin(Instr::Kind::Mov, Operand::memBase(Scratch2, 0), Acc);
+      }
+      emitMove(Acc, locOp(I.Dst));
+      break;
+    }
+    case K::Store: {
+      Operand Acc = Operand::reg(Scratch);
+      emitMove(locOp(I.Args[0]), Acc);
+      if (I.AM.K == linear::AddrMode::Kind::Global) {
+        bin(Instr::Kind::Mov, Acc, Operand::memGlobal(I.AM.Global));
+      } else {
+        emitMove(locOp(I.AM.Base), Operand::reg(Scratch2));
+        bin(Instr::Kind::Mov, Acc, Operand::memBase(Scratch2, 0));
+      }
+      break;
+    }
+    case K::Call:
+    case K::Tailcall: {
+      for (std::size_t A = 0; A < I.Args.size(); ++A)
+        emitMove(locOp(I.Args[A]), Operand::reg(X86Lang::ArgRegs[A]));
+      CallArity[I.Callee] = static_cast<unsigned>(I.Args.size());
+      Instr C;
+      C.K = I.K == K::Call ? Instr::Kind::Call : Instr::Kind::TailCall;
+      C.Name = I.Callee;
+      push(std::move(C));
+      if (I.K == K::Call && I.HasDst &&
+          !(I.Dst == Loc::reg(Reg::EAX)))
+        emitMove(Operand::reg(Reg::EAX), locOp(I.Dst));
+      break;
+    }
+    case K::Cond: {
+      Operand Acc = Operand::reg(Scratch);
+      emitMove(locOp(I.Args[0]), Acc);
+      Operand Rhs = I.CondOneArg ? Operand::imm(I.Imm) : locOp(I.Args[1]);
+      bin(Instr::Kind::Cmp, std::move(Rhs), Acc);
+      Instr J;
+      J.K = Instr::Kind::Jcc;
+      J.CC = condOf(I.C);
+      J.Name = labelName(I.Label);
+      push(std::move(J));
+      break;
+    }
+    case K::Return: {
+      if (I.HasArg)
+        emitMove(locOp(I.Args[0]), Operand::reg(Reg::EAX));
+      else
+        emitMove(Operand::imm(0), Operand::reg(Reg::EAX));
+      Instr R;
+      R.K = Instr::Kind::Ret;
+      push(std::move(R));
+      break;
+    }
+    case K::Print: {
+      Instr P;
+      P.K = Instr::Kind::Print;
+      P.Src = locOp(I.Args[0]);
+      push(std::move(P));
+      break;
+    }
+    }
+  }
+
+  const mach::Function &F;
+  Module &Out;
+
+public:
+  std::map<std::string, unsigned> CallArity;
+};
+
+} // namespace
+
+std::shared_ptr<Module> ccc::compiler::asmgen(const mach::Module &M) {
+  auto Out = std::make_shared<Module>();
+  Out->Globals = M.Globals;
+  std::map<std::string, unsigned> CallArities;
+  for (const mach::Function &F : M.Funcs) {
+    FnEmitter E(F, *Out);
+    E.emitFunction();
+    for (const auto &KV : E.CallArity) {
+      assert((!CallArities.count(KV.first) ||
+              CallArities[KV.first] == KV.second) &&
+             "inconsistent callee arity");
+      CallArities[KV.first] = KV.second;
+    }
+  }
+  // Callees not defined here are externs.
+  for (const auto &KV : CallArities)
+    if (!Out->Entries.count(KV.first))
+      Out->ExternArity[KV.first] = KV.second;
+  // Fix entry PC indices.
+  for (auto &E : Out->Entries)
+    E.second.PCIndex = Out->Labels.at(E.first);
+  return Out;
+}

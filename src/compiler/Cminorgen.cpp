@@ -1,0 +1,134 @@
+//===- compiler/Cminorgen.cpp - C#minor to Cminor --------------------------===//
+
+#include "compiler/Passes.h"
+
+#include <cassert>
+
+using namespace ccc;
+using namespace ccc::compiler;
+
+namespace {
+
+cminor::ExprPtr trExpr(const csharp::Expr &E);
+
+cminor::ExprPtr trExprPtr(const csharp::ExprPtr &E) {
+  return E ? trExpr(*E) : nullptr;
+}
+
+cminor::ExprPtr trExpr(const csharp::Expr &E) {
+  auto Out = std::make_unique<cminor::Expr>();
+  switch (E.K) {
+  case csharp::Expr::Kind::Const:
+    Out->K = cminor::Expr::Kind::Const;
+    Out->IntVal = E.IntVal;
+    return Out;
+  case csharp::Expr::Kind::AddrSlot:
+    // Slot addresses must only appear directly under Load/Store (our
+    // Clight subset has no address-taken locals); those are rewritten in
+    // trLoadStore below.
+    assert(false && "escaping slot address after Cshmgen");
+    return Out;
+  case csharp::Expr::Kind::AddrGlobal:
+    Out->K = cminor::Expr::Kind::AddrGlobal;
+    Out->Global = E.Global;
+    return Out;
+  case csharp::Expr::Kind::Load:
+    // Load(AddrSlot i) becomes a temporary read; other loads stay loads.
+    if (E.L->K == csharp::Expr::Kind::AddrSlot) {
+      Out->K = cminor::Expr::Kind::Temp;
+      Out->Temp = E.L->Slot;
+      return Out;
+    }
+    Out->K = cminor::Expr::Kind::Load;
+    Out->L = trExpr(*E.L);
+    return Out;
+  case csharp::Expr::Kind::Un:
+    Out->K = cminor::Expr::Kind::Un;
+    Out->U = E.U;
+    Out->L = trExpr(*E.L);
+    return Out;
+  case csharp::Expr::Kind::Bin:
+    Out->K = cminor::Expr::Kind::Bin;
+    Out->B = E.B;
+    Out->L = trExpr(*E.L);
+    Out->R = trExpr(*E.R);
+    return Out;
+  }
+  return Out;
+}
+
+void trBlock(const csharp::Block &In, cminor::Block &Out);
+
+void trStmt(const csharp::Stmt &St, cminor::Block &Out) {
+  using SK = csharp::Stmt::Kind;
+  auto S = std::make_unique<cminor::Stmt>();
+  switch (St.K) {
+  case SK::Skip:
+    S->K = cminor::Stmt::Kind::Skip;
+    break;
+  case SK::Store:
+    // Store(AddrSlot i, e) becomes SetTemp; other stores stay stores.
+    if (St.E1->K == csharp::Expr::Kind::AddrSlot) {
+      S->K = cminor::Stmt::Kind::SetTemp;
+      S->Dst = St.E1->Slot;
+      S->E1 = trExpr(*St.E2);
+    } else {
+      S->K = cminor::Stmt::Kind::Store;
+      S->E1 = trExpr(*St.E1);
+      S->E2 = trExpr(*St.E2);
+    }
+    break;
+  case SK::If:
+    S->K = cminor::Stmt::Kind::If;
+    S->E1 = trExpr(*St.E1);
+    trBlock(St.Body, S->Body);
+    trBlock(St.Else, S->Else);
+    break;
+  case SK::While:
+    S->K = cminor::Stmt::Kind::While;
+    S->E1 = trExpr(*St.E1);
+    trBlock(St.Body, S->Body);
+    break;
+  case SK::Call:
+    S->K = cminor::Stmt::Kind::Call;
+    S->Callee = St.Callee;
+    S->HasDst = St.HasDst;
+    S->Dst = St.DstSlot;
+    for (const auto &A : St.Args)
+      S->Args.push_back(trExpr(*A));
+    break;
+  case SK::Return:
+    S->K = cminor::Stmt::Kind::Return;
+    S->E1 = trExprPtr(St.E1);
+    break;
+  case SK::Print:
+    S->K = cminor::Stmt::Kind::Print;
+    S->E1 = trExpr(*St.E1);
+    break;
+  }
+  Out.push_back(std::move(S));
+}
+
+void trBlock(const csharp::Block &In, cminor::Block &Out) {
+  for (const auto &S : In)
+    trStmt(*S, Out);
+}
+
+} // namespace
+
+std::shared_ptr<cminor::Module>
+ccc::compiler::cminorgen(const csharp::Module &M) {
+  auto Out = std::make_shared<cminor::Module>();
+  Out->Globals = M.Globals;
+  for (const csharp::Function &F : M.Funcs) {
+    cminor::Function CF;
+    CF.Name = F.Name;
+    CF.RetVoid = F.RetVoid;
+    CF.NumParams = F.NumParams;
+    CF.NumTemps = F.NumSlots;
+    CF.FrameSize = 0; // no address-taken locals in the subset
+    trBlock(F.Body, CF.Body);
+    Out->Funcs.push_back(std::move(CF));
+  }
+  return Out;
+}

@@ -1,0 +1,91 @@
+//===- compiler/Compiler.cpp - The CASCompCert driver ----------------------===//
+
+#include "compiler/Compiler.h"
+
+#include "clight/ClightLang.h"
+#include "clight/ClightParser.h"
+#include "ir/IRLangs.h"
+#include "x86/X86Lang.h"
+
+#include <cassert>
+
+using namespace ccc;
+using namespace ccc::compiler;
+
+const std::vector<std::string> &ccc::compiler::passNames() {
+  static const std::vector<std::string> Names = {
+      "Cshmgen",   "Cminorgen", "Selection",     "RTLgen",
+      "Tailcall",  "Renumber",  "Allocation",    "Tunneling",
+      "Linearize", "CleanupLabels", "Stacking",  "Asmgen"};
+  return Names;
+}
+
+CompileResult
+ccc::compiler::compileClight(std::shared_ptr<const clight::Module> M) {
+  CompileResult R;
+  R.Clight = std::move(M);
+  R.Csharpminor = cshmgen(*R.Clight);
+  R.Cminor = cminorgen(*R.Csharpminor);
+  R.CminorSel = selection(*R.Cminor);
+  R.RTL = rtlgen(*R.CminorSel);
+  R.RTLTailcall = tailcall(*R.RTL);
+  R.RTLRenumber = renumber(*R.RTLTailcall);
+  R.LTL = allocation(*R.RTLRenumber);
+  R.LTLTunneled = tunneling(*R.LTL);
+  R.Linear = linearize(*R.LTLTunneled);
+  R.LinearClean = cleanupLabels(*R.Linear);
+  R.Mach = stacking(*R.LinearClean);
+  R.Asm = asmgen(*R.Mach);
+  return R;
+}
+
+CompileResult
+ccc::compiler::compileClightSource(const std::string &Source) {
+  return compileClight(clight::parseModuleOrDie(Source));
+}
+
+unsigned ccc::compiler::numStages() { return 13; }
+
+const std::string &ccc::compiler::stageName(unsigned Stage) {
+  static const std::vector<std::string> Names = {
+      "Clight", "Csharpminor", "Cminor",  "CminorSel", "RTL",
+      "RTL+tailcall", "RTL+renumber", "LTL", "LTL+tunneling", "Linear",
+      "Linear+cleanup", "Mach", "x86-SC"};
+  assert(Stage < Names.size());
+  return Names[Stage];
+}
+
+unsigned ccc::compiler::addStage(Program &P, const CompileResult &R,
+                                 unsigned Stage, const std::string &Name) {
+  switch (Stage) {
+  case 0:
+    return clight::addClightModule(
+        P, Name, std::shared_ptr<const clight::Module>(R.Clight));
+  case 1:
+    return ir::addCsharpminorModule(P, Name, R.Csharpminor);
+  case 2:
+    return ir::addCminorModule(P, Name, R.Cminor);
+  case 3:
+    return ir::addCminorSelModule(P, Name, R.CminorSel);
+  case 4:
+    return ir::addRTLModule(P, Name, R.RTL);
+  case 5:
+    return ir::addRTLModule(P, Name, R.RTLTailcall);
+  case 6:
+    return ir::addRTLModule(P, Name, R.RTLRenumber);
+  case 7:
+    return ir::addLTLModule(P, Name, R.LTL);
+  case 8:
+    return ir::addLTLModule(P, Name, R.LTLTunneled);
+  case 9:
+    return ir::addLinearModule(P, Name, R.Linear);
+  case 10:
+    return ir::addLinearModule(P, Name, R.LinearClean);
+  case 11:
+    return ir::addMachModule(P, Name, R.Mach);
+  case 12:
+    return x86::addAsmModule(P, Name, R.Asm, x86::MemModel::SC);
+  }
+  assert(false && "bad stage");
+  return 0;
+}

@@ -1,0 +1,69 @@
+//===- compiler/Compiler.h - The CASCompCert driver -------------*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compilation driver (Sec. 7.2): CompCert(gamma) runs the twelve
+/// passes of Fig. 11 on one Clight module, retaining every intermediate
+/// module so each pass can be validated separately; IdTrans is the
+/// identity transformation used for the CImp object module.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_COMPILER_COMPILER_H
+#define CASCC_COMPILER_COMPILER_H
+
+#include "compiler/Passes.h"
+#include "core/Program.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ccc {
+namespace compiler {
+
+/// All stages of one module's compilation, in pipeline order.
+struct CompileResult {
+  std::shared_ptr<const clight::Module> Clight;
+  std::shared_ptr<csharp::Module> Csharpminor;
+  std::shared_ptr<cminor::Module> Cminor;
+  std::shared_ptr<cminorsel::Module> CminorSel;
+  std::shared_ptr<rtl::Module> RTL;
+  std::shared_ptr<rtl::Module> RTLTailcall;
+  std::shared_ptr<rtl::Module> RTLRenumber;
+  std::shared_ptr<ltl::Module> LTL;
+  std::shared_ptr<ltl::Module> LTLTunneled;
+  std::shared_ptr<linear::Module> Linear;
+  std::shared_ptr<linear::Module> LinearClean;
+  std::shared_ptr<mach::Module> Mach;
+  std::shared_ptr<x86::Module> Asm;
+};
+
+/// The ordered pass names of Fig. 11 (also the row labels of Fig. 13).
+const std::vector<std::string> &passNames();
+
+/// Runs the full pipeline on one Clight module.
+CompileResult compileClight(std::shared_ptr<const clight::Module> M);
+
+/// Convenience: parse + compile Clight source, aborting on parse errors.
+CompileResult compileClightSource(const std::string &Source);
+
+/// Number of pipeline stages (Clight + one per pass = 13).
+unsigned numStages();
+
+/// The stage's language name ("Clight", "Csharpminor", ..., "x86-SC").
+const std::string &stageName(unsigned Stage);
+
+/// Registers stage \p Stage of \p R as a module of \p P (x86 runs under
+/// SC); returns the module index.
+unsigned addStage(Program &P, const CompileResult &R, unsigned Stage,
+                  const std::string &Name);
+
+} // namespace compiler
+} // namespace ccc
+
+#endif // CASCC_COMPILER_COMPILER_H

@@ -1,0 +1,172 @@
+//===- compiler/ConstProp.cpp - Constant propagation (extension pass) ------===//
+
+#include "compiler/Passes.h"
+
+#include <deque>
+#include <map>
+
+using namespace ccc;
+using namespace ccc::compiler;
+
+namespace {
+
+/// Abstract value: unknown (top) or a known integer constant. Memory
+/// contents are never tracked (other threads may change shared memory at
+/// switch points), so Load and Call results are always top — exactly the
+/// discipline Sec. 2.2 requires of a concurrency-safe optimizer.
+struct AVal {
+  bool Known = false;
+  int32_t K = 0;
+
+  static AVal top() { return {}; }
+  static AVal konst(int32_t V) { return {true, V}; }
+
+  bool operator==(const AVal &O) const {
+    return Known == O.Known && (!Known || K == O.K);
+  }
+};
+
+/// Meet: equal constants stay; anything else is top.
+AVal meet(const AVal &A, const AVal &B) {
+  if (A.Known && B.Known && A.K == B.K)
+    return A;
+  return AVal::top();
+}
+
+using Env = std::vector<AVal>;
+
+std::vector<unsigned> successors(const rtl::Instr &I) {
+  switch (I.K) {
+  case rtl::Instr::Kind::Return:
+  case rtl::Instr::Kind::Tailcall:
+    return {};
+  case rtl::Instr::Kind::Cond:
+    return {I.S1, I.S2};
+  default:
+    return {I.S1};
+  }
+}
+
+/// Evaluates an Op whose arguments are all known constants; Addrglobal
+/// and Move-of-unknown stay symbolic.
+std::optional<int32_t> tryFold(const rtl::Instr &I, const Env &E) {
+  if (I.K != rtl::Instr::Kind::Op || I.O == ir::Oper::Addrglobal)
+    return std::nullopt;
+  Value A, B;
+  unsigned Arity = ir::operArity(I.O);
+  if (Arity >= 1) {
+    if (!E[I.Args[0]].Known)
+      return std::nullopt;
+    A = Value::makeInt(E[I.Args[0]].K);
+  }
+  if (Arity >= 2) {
+    if (!E[I.Args[1]].Known)
+      return std::nullopt;
+    B = Value::makeInt(E[I.Args[1]].K);
+  }
+  auto R = ir::evalOper(I.O, I.C, I.Imm, /*GlobalAddr=*/0, A, B);
+  if (!R || !R->isInt())
+    return std::nullopt;
+  return R->asInt();
+}
+
+/// Transfer function of one instruction.
+void transfer(const rtl::Instr &I, Env &E) {
+  switch (I.K) {
+  case rtl::Instr::Kind::Op:
+    if (I.O == ir::Oper::Intconst)
+      E[I.Dst] = AVal::konst(I.Imm);
+    else if (auto F = tryFold(I, E))
+      E[I.Dst] = AVal::konst(*F);
+    else
+      E[I.Dst] = AVal::top();
+    break;
+  case rtl::Instr::Kind::Load:
+    E[I.Dst] = AVal::top();
+    break;
+  case rtl::Instr::Kind::Call:
+    if (I.HasDst)
+      E[I.Dst] = AVal::top();
+    break;
+  default:
+    break;
+  }
+}
+
+} // namespace
+
+std::shared_ptr<rtl::Module>
+ccc::compiler::constprop(const rtl::Module &M) {
+  auto Out = std::make_shared<rtl::Module>(M);
+  for (rtl::Function &F : Out->Funcs) {
+    // Forward dataflow to a fixpoint. Parameters are unknown.
+    std::map<unsigned, Env> In;
+    Env Top(F.NumRegs, AVal::top());
+    std::map<unsigned, std::vector<unsigned>> Preds;
+    for (const auto &KV : F.Graph)
+      for (unsigned S : successors(KV.second))
+        Preds[S].push_back(KV.first);
+
+    std::deque<unsigned> Work;
+    In[F.Entry] = Top;
+    Work.push_back(F.Entry);
+    while (!Work.empty()) {
+      unsigned N = Work.front();
+      Work.pop_front();
+      auto It = F.Graph.find(N);
+      if (It == F.Graph.end())
+        continue;
+      Env E = In[N];
+      transfer(It->second, E);
+      for (unsigned S : successors(It->second)) {
+        auto InIt = In.find(S);
+        Env NewIn = E;
+        if (InIt != In.end()) {
+          for (unsigned R = 0; R < F.NumRegs; ++R)
+            NewIn[R] = meet(InIt->second[R], E[R]);
+          if (NewIn == InIt->second)
+            continue;
+        }
+        In[S] = std::move(NewIn);
+        Work.push_back(S);
+      }
+    }
+
+    // Rewrite: fold constant Ops and decidable conditions.
+    for (auto &KV : F.Graph) {
+      auto InIt = In.find(KV.first);
+      if (InIt == In.end())
+        continue; // unreachable node: leave untouched
+      rtl::Instr &I = KV.second;
+      const Env &E = InIt->second;
+      if (I.K == rtl::Instr::Kind::Op) {
+        if (auto FVal = tryFold(I, E)) {
+          I.O = ir::Oper::Intconst;
+          I.Imm = *FVal;
+          I.Args.clear();
+          I.Global.clear();
+        }
+        continue;
+      }
+      if (I.K == rtl::Instr::Kind::Cond) {
+        Value A, B = Value::makeInt(I.Imm);
+        if (!E[I.Args[0]].Known)
+          continue;
+        A = Value::makeInt(E[I.Args[0]].K);
+        if (!I.CondOneArg) {
+          if (!E[I.Args[1]].Known)
+            continue;
+          B = Value::makeInt(E[I.Args[1]].K);
+        }
+        auto R = ir::evalCmp(I.C, A, B);
+        if (!R)
+          continue;
+        unsigned Taken = *R ? I.S1 : I.S2;
+        I = rtl::Instr();
+        I.K = rtl::Instr::Kind::Nop;
+        I.S1 = Taken;
+      }
+    }
+  }
+  return Out;
+}

@@ -1,0 +1,197 @@
+//===- compiler/Cshmgen.cpp - Clight to C#minor ----------------------------===//
+
+#include "compiler/Passes.h"
+
+#include <cassert>
+#include <map>
+
+using namespace ccc;
+using namespace ccc::compiler;
+
+namespace {
+
+struct FnCtx {
+  const clight::Function *F = nullptr;
+  std::map<std::string, unsigned> SlotOf;
+  unsigned ScratchSlot = 0;
+  bool NeedScratch = false;
+  unsigned NumSlots = 0;
+};
+
+csharp::ExprPtr trExpr(const clight::Expr &E, const FnCtx &Ctx);
+
+csharp::ExprPtr mkLoad(csharp::ExprPtr Addr) {
+  auto L = std::make_unique<csharp::Expr>();
+  L->K = csharp::Expr::Kind::Load;
+  L->L = std::move(Addr);
+  return L;
+}
+
+/// The address expression of variable \p Name: a frame slot if local,
+/// otherwise the module global.
+csharp::ExprPtr varAddr(const std::string &Name, const FnCtx &Ctx) {
+  auto E = std::make_unique<csharp::Expr>();
+  auto It = Ctx.SlotOf.find(Name);
+  if (It != Ctx.SlotOf.end()) {
+    E->K = csharp::Expr::Kind::AddrSlot;
+    E->Slot = It->second;
+  } else {
+    E->K = csharp::Expr::Kind::AddrGlobal;
+    E->Global = Name;
+  }
+  return E;
+}
+
+csharp::ExprPtr trExpr(const clight::Expr &E, const FnCtx &Ctx) {
+  auto Out = std::make_unique<csharp::Expr>();
+  switch (E.K) {
+  case clight::Expr::Kind::IntLit:
+    Out->K = csharp::Expr::Kind::Const;
+    Out->IntVal = E.IntVal;
+    return Out;
+  case clight::Expr::Kind::Var:
+    return mkLoad(varAddr(E.Name, Ctx));
+  case clight::Expr::Kind::AddrOfGlobal:
+    Out->K = csharp::Expr::Kind::AddrGlobal;
+    Out->Global = E.Name;
+    return Out;
+  case clight::Expr::Kind::Un:
+    if (E.U == clight::UnOp::Deref)
+      return mkLoad(trExpr(*E.L, Ctx));
+    Out->K = csharp::Expr::Kind::Un;
+    Out->U = E.U;
+    Out->L = trExpr(*E.L, Ctx);
+    return Out;
+  case clight::Expr::Kind::Bin:
+    Out->K = csharp::Expr::Kind::Bin;
+    Out->B = E.B;
+    Out->L = trExpr(*E.L, Ctx);
+    Out->R = trExpr(*E.R, Ctx);
+    return Out;
+  }
+  return Out;
+}
+
+void trBlock(const clight::Block &In, csharp::Block &Out, FnCtx &Ctx);
+
+csharp::StmtPtr mkStore(csharp::ExprPtr Addr, csharp::ExprPtr Val) {
+  auto S = std::make_unique<csharp::Stmt>();
+  S->K = csharp::Stmt::Kind::Store;
+  S->E1 = std::move(Addr);
+  S->E2 = std::move(Val);
+  return S;
+}
+
+void trStmt(const clight::Stmt &St, csharp::Block &Out, FnCtx &Ctx) {
+  using CK = clight::Stmt::Kind;
+  switch (St.K) {
+  case CK::Skip: {
+    auto S = std::make_unique<csharp::Stmt>();
+    S->K = csharp::Stmt::Kind::Skip;
+    Out.push_back(std::move(S));
+    break;
+  }
+  case CK::AssignVar:
+    Out.push_back(mkStore(varAddr(St.Dst, Ctx), trExpr(*St.E1, Ctx)));
+    break;
+  case CK::AssignDeref:
+    Out.push_back(mkStore(trExpr(*St.E1, Ctx), trExpr(*St.E2, Ctx)));
+    break;
+  case CK::If: {
+    auto S = std::make_unique<csharp::Stmt>();
+    S->K = csharp::Stmt::Kind::If;
+    S->E1 = trExpr(*St.E1, Ctx);
+    trBlock(St.Body, S->Body, Ctx);
+    trBlock(St.Else, S->Else, Ctx);
+    Out.push_back(std::move(S));
+    break;
+  }
+  case CK::While: {
+    auto S = std::make_unique<csharp::Stmt>();
+    S->K = csharp::Stmt::Kind::While;
+    S->E1 = trExpr(*St.E1, Ctx);
+    trBlock(St.Body, S->Body, Ctx);
+    Out.push_back(std::move(S));
+    break;
+  }
+  case CK::Call: {
+    auto S = std::make_unique<csharp::Stmt>();
+    S->K = csharp::Stmt::Kind::Call;
+    S->Callee = St.Callee;
+    for (const auto &A : St.Args)
+      S->Args.push_back(trExpr(*A, Ctx));
+    if (!St.Dst.empty()) {
+      auto It = Ctx.SlotOf.find(St.Dst);
+      if (It != Ctx.SlotOf.end()) {
+        S->HasDst = true;
+        S->DstSlot = It->second;
+        Out.push_back(std::move(S));
+      } else {
+        // Result goes to a global: route through the scratch slot.
+        Ctx.NeedScratch = true;
+        S->HasDst = true;
+        S->DstSlot = Ctx.ScratchSlot;
+        Out.push_back(std::move(S));
+        auto Slot = std::make_unique<csharp::Expr>();
+        Slot->K = csharp::Expr::Kind::AddrSlot;
+        Slot->Slot = Ctx.ScratchSlot;
+        auto G = std::make_unique<csharp::Expr>();
+        G->K = csharp::Expr::Kind::AddrGlobal;
+        G->Global = St.Dst;
+        Out.push_back(mkStore(std::move(G), mkLoad(std::move(Slot))));
+      }
+    } else {
+      Out.push_back(std::move(S));
+    }
+    break;
+  }
+  case CK::Return: {
+    auto S = std::make_unique<csharp::Stmt>();
+    S->K = csharp::Stmt::Kind::Return;
+    if (St.E1)
+      S->E1 = trExpr(*St.E1, Ctx);
+    Out.push_back(std::move(S));
+    break;
+  }
+  case CK::Print: {
+    auto S = std::make_unique<csharp::Stmt>();
+    S->K = csharp::Stmt::Kind::Print;
+    S->E1 = trExpr(*St.E1, Ctx);
+    Out.push_back(std::move(S));
+    break;
+  }
+  }
+}
+
+void trBlock(const clight::Block &In, csharp::Block &Out, FnCtx &Ctx) {
+  for (const auto &S : In)
+    trStmt(*S, Out, Ctx);
+}
+
+} // namespace
+
+std::shared_ptr<csharp::Module>
+ccc::compiler::cshmgen(const clight::Module &M) {
+  auto Out = std::make_shared<csharp::Module>();
+  Out->Globals = M.Globals;
+  for (const clight::Function &F : M.Funcs) {
+    FnCtx Ctx;
+    Ctx.F = &F;
+    unsigned Slot = 0;
+    for (const clight::VarDecl &P : F.Params)
+      Ctx.SlotOf[P.Name] = Slot++;
+    for (const clight::VarDecl &L : F.Locals)
+      Ctx.SlotOf[L.Name] = Slot++;
+    Ctx.ScratchSlot = Slot;
+    Ctx.NumSlots = Slot;
+
+    csharp::Function CF;
+    CF.Name = F.Name;
+    CF.RetVoid = F.RetTy == clight::Ty::Void;
+    CF.NumParams = static_cast<unsigned>(F.Params.size());
+    trBlock(F.Body, CF.Body, Ctx);
+    CF.NumSlots = Ctx.NumSlots + (Ctx.NeedScratch ? 1 : 0);
+    Out->Funcs.push_back(std::move(CF));
+  }
+  return Out;
+}

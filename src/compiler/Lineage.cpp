@@ -1,0 +1,249 @@
+//===- compiler/Lineage.cpp - Tunneling, Linearize, CleanupLabels, Stacking ===//
+
+#include "compiler/Passes.h"
+
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace ccc;
+using namespace ccc::compiler;
+
+// ---------------------------------------------------------------------------
+// Tunneling: shortcut chains of Nop nodes.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Resolves the tunnel target of \p Node: follows Nop chains, stopping at
+/// a non-Nop node or when a cycle is detected (an intentional infinite
+/// loop must be preserved).
+unsigned tunnelTarget(const ltl::Function &F, unsigned Node) {
+  std::set<unsigned> SeenNodes;
+  unsigned Cur = Node;
+  while (true) {
+    auto It = F.Graph.find(Cur);
+    if (It == F.Graph.end() || It->second.K != ltl::Instr::Kind::Nop)
+      return Cur;
+    if (!SeenNodes.insert(Cur).second)
+      return Cur; // Nop cycle: leave as is.
+    Cur = It->second.S1;
+  }
+}
+
+} // namespace
+
+std::shared_ptr<ltl::Module>
+ccc::compiler::tunneling(const ltl::Module &M) {
+  auto Out = std::make_shared<ltl::Module>(M);
+  for (ltl::Function &F : Out->Funcs) {
+    for (auto &KV : F.Graph) {
+      ltl::Instr &I = KV.second;
+      if (I.K == ltl::Instr::Kind::Return ||
+          I.K == ltl::Instr::Kind::Tailcall)
+        continue;
+      I.S1 = tunnelTarget(F, I.S1);
+      if (I.K == ltl::Instr::Kind::Cond)
+        I.S2 = tunnelTarget(F, I.S2);
+    }
+    F.Entry = tunnelTarget(F, F.Entry);
+  }
+  return Out;
+}
+
+// ---------------------------------------------------------------------------
+// Linearize: order the CFG into an instruction list.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void dfsOrder(const ltl::Function &F, unsigned Node,
+              std::set<unsigned> &Seen, std::vector<unsigned> &Order) {
+  if (!Seen.insert(Node).second || !F.Graph.count(Node))
+    return;
+  Order.push_back(Node);
+  const ltl::Instr &I = F.Graph.at(Node);
+  if (I.K == ltl::Instr::Kind::Return ||
+      I.K == ltl::Instr::Kind::Tailcall)
+    return;
+  // Visit the fall-through successor first so it lands adjacently.
+  if (I.K == ltl::Instr::Kind::Cond) {
+    dfsOrder(F, I.S2, Seen, Order);
+    dfsOrder(F, I.S1, Seen, Order);
+  } else {
+    dfsOrder(F, I.S1, Seen, Order);
+  }
+}
+
+} // namespace
+
+std::shared_ptr<linear::Module>
+ccc::compiler::linearize(const ltl::Module &M) {
+  auto Out = std::make_shared<linear::Module>();
+  Out->Globals = M.Globals;
+  for (const ltl::Function &F : M.Funcs) {
+    linear::Function NF;
+    NF.Name = F.Name;
+    NF.RetVoid = F.RetVoid;
+    NF.NumParams = F.NumParams;
+    NF.ParamHomes = F.ParamHomes;
+    NF.NumSlots = F.NumSlots;
+
+    std::vector<unsigned> Order;
+    std::set<unsigned> Seen;
+    dfsOrder(F, F.Entry, Seen, Order);
+
+    std::map<unsigned, unsigned> PosOf;
+    for (unsigned I = 0; I < Order.size(); ++I)
+      PosOf[Order[I]] = I;
+
+    auto emitLabel = [&NF](unsigned Node) {
+      linear::Instr L;
+      L.K = linear::Instr::Kind::Label;
+      L.Label = Node;
+      NF.Code.push_back(std::move(L));
+    };
+    auto emitGoto = [&NF](unsigned Node) {
+      linear::Instr G;
+      G.K = linear::Instr::Kind::Goto;
+      G.Label = Node;
+      NF.Code.push_back(std::move(G));
+    };
+
+    // The entry must be first; Order starts with it by construction.
+    for (unsigned Idx = 0; Idx < Order.size(); ++Idx) {
+      unsigned Node = Order[Idx];
+      const ltl::Instr &I = F.Graph.at(Node);
+      emitLabel(Node);
+      bool FallsTo = Idx + 1 < Order.size();
+      unsigned NextNode = FallsTo ? Order[Idx + 1] : 0;
+
+      linear::Instr NI;
+      switch (I.K) {
+      case ltl::Instr::Kind::Nop:
+        if (!FallsTo || I.S1 != NextNode)
+          emitGoto(I.S1);
+        continue;
+      case ltl::Instr::Kind::Op:
+      case ltl::Instr::Kind::Load:
+      case ltl::Instr::Kind::Store:
+      case ltl::Instr::Kind::Call:
+      case ltl::Instr::Kind::Print: {
+        NI.K = static_cast<linear::Instr::Kind>(0); // set below
+        switch (I.K) {
+        case ltl::Instr::Kind::Op:
+          NI.K = linear::Instr::Kind::Op;
+          break;
+        case ltl::Instr::Kind::Load:
+          NI.K = linear::Instr::Kind::Load;
+          break;
+        case ltl::Instr::Kind::Store:
+          NI.K = linear::Instr::Kind::Store;
+          break;
+        case ltl::Instr::Kind::Call:
+          NI.K = linear::Instr::Kind::Call;
+          break;
+        default:
+          NI.K = linear::Instr::Kind::Print;
+          break;
+        }
+        NI.O = I.O;
+        NI.C = I.C;
+        NI.Imm = I.Imm;
+        NI.Global = I.Global;
+        NI.Args = I.Args;
+        NI.Dst = I.Dst;
+        NI.HasDst = I.HasDst;
+        NI.AM = I.AM;
+        NI.Callee = I.Callee;
+        NF.Code.push_back(std::move(NI));
+        if (!FallsTo || I.S1 != NextNode)
+          emitGoto(I.S1);
+        continue;
+      }
+      case ltl::Instr::Kind::Cond: {
+        NI.K = linear::Instr::Kind::Cond;
+        NI.C = I.C;
+        NI.CondOneArg = I.CondOneArg;
+        NI.Imm = I.Imm;
+        NI.Args = I.Args;
+        NI.Label = I.S1;
+        NF.Code.push_back(std::move(NI));
+        if (!FallsTo || I.S2 != NextNode)
+          emitGoto(I.S2);
+        continue;
+      }
+      case ltl::Instr::Kind::Tailcall: {
+        NI.K = linear::Instr::Kind::Tailcall;
+        NI.Callee = I.Callee;
+        NI.Args = I.Args;
+        NF.Code.push_back(std::move(NI));
+        continue;
+      }
+      case ltl::Instr::Kind::Return: {
+        NI.K = linear::Instr::Kind::Return;
+        NI.HasArg = I.HasArg;
+        NI.Args = I.Args;
+        NF.Code.push_back(std::move(NI));
+        continue;
+      }
+      }
+    }
+    Out->Funcs.push_back(std::move(NF));
+  }
+  return Out;
+}
+
+// ---------------------------------------------------------------------------
+// CleanupLabels: drop labels that no branch references.
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<linear::Module>
+ccc::compiler::cleanupLabels(const linear::Module &M) {
+  auto Out = std::make_shared<linear::Module>();
+  Out->Globals = M.Globals;
+  for (const linear::Function &F : M.Funcs) {
+    std::set<unsigned> Referenced;
+    for (const linear::Instr &I : F.Code)
+      if (I.K == linear::Instr::Kind::Goto ||
+          I.K == linear::Instr::Kind::Cond)
+        Referenced.insert(I.Label);
+
+    linear::Function NF;
+    NF.Name = F.Name;
+    NF.RetVoid = F.RetVoid;
+    NF.NumParams = F.NumParams;
+    NF.ParamHomes = F.ParamHomes;
+    NF.NumSlots = F.NumSlots;
+    for (const linear::Instr &I : F.Code) {
+      if (I.K == linear::Instr::Kind::Label && !Referenced.count(I.Label))
+        continue;
+      NF.Code.push_back(I);
+    }
+    Out->Funcs.push_back(std::move(NF));
+  }
+  return Out;
+}
+
+// ---------------------------------------------------------------------------
+// Stacking: abstract slots become concrete frame cells.
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<mach::Module>
+ccc::compiler::stacking(const linear::Module &M) {
+  auto Out = std::make_shared<mach::Module>();
+  Out->Globals = M.Globals;
+  for (const linear::Function &F : M.Funcs) {
+    mach::Function NF;
+    NF.Name = F.Name;
+    NF.RetVoid = F.RetVoid;
+    NF.NumParams = F.NumParams;
+    NF.ParamHomes = F.ParamHomes;
+    // Frame layout: slot i occupies frame cell i; the frame size is the
+    // number of slots the allocator spilled.
+    NF.FrameSize = F.NumSlots;
+    NF.Code = F.Code;
+    Out->Funcs.push_back(std::move(NF));
+  }
+  return Out;
+}

@@ -1,0 +1,100 @@
+//===- compiler/Passes.h - The CASCompCert compilation passes ---*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The twelve compilation passes of Fig. 11 — the same pass names and
+/// pass boundaries as the CompCert-3.0.1 pipeline verified by
+/// CASCompCert:
+///
+///   Clight -Cshmgen-> C#minor -Cminorgen-> Cminor -Selection-> CminorSel
+///   -RTLgen-> RTL -Tailcall-> RTL -Renumber-> RTL -Allocation-> LTL
+///   -Tunneling-> LTL -Linearize-> Linear -CleanupLabels-> Linear
+///   -Stacking-> Mach -Asmgen-> x86
+///
+/// Each pass is total on the Clight subset accepted by the frontend; the
+/// per-pass correctness obligation (Def. 10, footprint-preserving
+/// module-local simulation) is discharged by the validation engines.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_COMPILER_PASSES_H
+#define CASCC_COMPILER_PASSES_H
+
+#include "clight/ClightAst.h"
+#include "ir/Cminor.h"
+#include "ir/CminorSel.h"
+#include "ir/Csharpminor.h"
+#include "ir/Linear.h"
+#include "ir/RTL.h"
+#include "x86/X86Asm.h"
+
+#include <memory>
+
+namespace ccc {
+namespace compiler {
+
+/// Clight -> C#minor: make every variable access an explicit memory
+/// operation; locals become numbered frame slots.
+std::shared_ptr<csharp::Module>
+cshmgen(const clight::Module &M);
+
+/// C#minor -> Cminor: promote (non-addressed) locals from frame slots to
+/// temporaries; compute the (empty) residual frame. This is the pass
+/// where target footprints become strictly smaller than source
+/// footprints, exercising the FPmatch weakening of Fig. 8.
+std::shared_ptr<cminor::Module> cminorgen(const csharp::Module &M);
+
+/// Cminor -> CminorSel: instruction selection — immediate forms,
+/// strength reduction (multiply/shift), and fused branch conditions.
+std::shared_ptr<cminorsel::Module> selection(const cminor::Module &M);
+
+/// CminorSel -> RTL: construct the control-flow graph, one three-address
+/// instruction per node, expressions flattened into pseudo-registers.
+std::shared_ptr<rtl::Module> rtlgen(const cminorsel::Module &M);
+
+/// RTL -> RTL: turn call-followed-by-return into tail calls.
+std::shared_ptr<rtl::Module> tailcall(const rtl::Module &M);
+
+/// RTL -> RTL: renumber CFG nodes densely in depth-first order, dropping
+/// unreachable nodes.
+std::shared_ptr<rtl::Module> renumber(const rtl::Module &M);
+
+/// RTL -> RTL (extension pass, not in the Fig. 11 set): intra-procedural
+/// constant propagation and branch folding. The paper leaves further
+/// optimization passes as future work; this one demonstrates that the
+/// validation machinery covers optimizations that remove computations
+/// (footprints only shrink, which FPmatch permits).
+std::shared_ptr<rtl::Module> constprop(const rtl::Module &M);
+
+/// RTL -> LTL: register allocation by liveness-based graph coloring over
+/// the allocatable registers {EBX, ECX, EBP}, spilling to abstract stack
+/// slots; call results are pinned to EAX.
+std::shared_ptr<ltl::Module> allocation(const rtl::Module &M);
+
+/// LTL -> LTL: shortcut chains of Nop nodes (branch tunneling).
+std::shared_ptr<ltl::Module> tunneling(const ltl::Module &M);
+
+/// LTL -> Linear: order the CFG into an instruction list with explicit
+/// labels and conditional fall-through.
+std::shared_ptr<linear::Module> linearize(const ltl::Module &M);
+
+/// Linear -> Linear: remove labels that no branch references.
+std::shared_ptr<linear::Module> cleanupLabels(const linear::Module &M);
+
+/// Linear -> Mach: lay out the stack frame — abstract slots become
+/// concrete frame cells allocated from the thread's free list.
+std::shared_ptr<mach::Module> stacking(const linear::Module &M);
+
+/// Mach -> x86: emit assembly; two-address fixups via the EAX/EDX
+/// scratch registers, argument marshalling into EDI/ESI/EDX, results in
+/// EAX.
+std::shared_ptr<x86::Module> asmgen(const mach::Module &M);
+
+} // namespace compiler
+} // namespace ccc
+
+#endif // CASCC_COMPILER_PASSES_H

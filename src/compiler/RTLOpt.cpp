@@ -1,0 +1,96 @@
+//===- compiler/RTLOpt.cpp - Tailcall and Renumber RTL passes --------------===//
+
+#include "compiler/Passes.h"
+
+#include <deque>
+#include <map>
+
+using namespace ccc;
+using namespace ccc::compiler;
+
+std::shared_ptr<rtl::Module>
+ccc::compiler::tailcall(const rtl::Module &M) {
+  auto Out = std::make_shared<rtl::Module>(M);
+  for (rtl::Function &F : Out->Funcs) {
+    for (auto &KV : F.Graph) {
+      rtl::Instr &I = KV.second;
+      if (I.K != rtl::Instr::Kind::Call)
+        continue;
+      auto SuccIt = F.Graph.find(I.S1);
+      if (SuccIt == F.Graph.end())
+        continue;
+      const rtl::Instr &Next = SuccIt->second;
+      if (Next.K != rtl::Instr::Kind::Return)
+        continue;
+      // call r := f(args); return r  ==>  tailcall f(args)
+      // call f(args); return        ==>  tailcall f(args)
+      // (void functions return 0 under our convention, so the callee's
+      // result is exactly what the caller would have returned.)
+      bool Matches = false;
+      if (!Next.HasArg && !I.HasDst)
+        Matches = true;
+      else if (Next.HasArg && I.HasDst && Next.Args[0] == I.Dst)
+        Matches = true;
+      if (!Matches)
+        continue;
+      I.K = rtl::Instr::Kind::Tailcall;
+      I.HasDst = false;
+      I.S1 = 0;
+    }
+  }
+  return Out;
+}
+
+std::shared_ptr<rtl::Module>
+ccc::compiler::renumber(const rtl::Module &M) {
+  auto Out = std::make_shared<rtl::Module>();
+  Out->Globals = M.Globals;
+  for (const rtl::Function &F : M.Funcs) {
+    rtl::Function NF;
+    NF.Name = F.Name;
+    NF.RetVoid = F.RetVoid;
+    NF.NumParams = F.NumParams;
+    NF.ParamHomes = F.ParamHomes;
+    NF.NumRegs = F.NumRegs;
+
+    // Breadth-first numbering from the entry; unreachable nodes vanish.
+    std::map<unsigned, unsigned> NewId;
+    std::deque<unsigned> Work;
+    auto visit = [&](unsigned Node) {
+      if (!NewId.count(Node) && F.Graph.count(Node)) {
+        unsigned Id = static_cast<unsigned>(NewId.size());
+        NewId[Node] = Id;
+        Work.push_back(Node);
+      }
+    };
+    visit(F.Entry);
+    while (!Work.empty()) {
+      unsigned Node = Work.front();
+      Work.pop_front();
+      const rtl::Instr &I = F.Graph.at(Node);
+      if (I.K != rtl::Instr::Kind::Return &&
+          I.K != rtl::Instr::Kind::Tailcall) {
+        visit(I.S1);
+        if (I.K == rtl::Instr::Kind::Cond)
+          visit(I.S2);
+      }
+    }
+
+    for (const auto &KV : F.Graph) {
+      auto It = NewId.find(KV.first);
+      if (It == NewId.end())
+        continue;
+      rtl::Instr I = KV.second;
+      if (I.K != rtl::Instr::Kind::Return &&
+          I.K != rtl::Instr::Kind::Tailcall) {
+        I.S1 = NewId.at(I.S1);
+        if (I.K == rtl::Instr::Kind::Cond)
+          I.S2 = NewId.at(I.S2);
+      }
+      NF.Graph[It->second] = std::move(I);
+    }
+    NF.Entry = NewId.at(F.Entry);
+    Out->Funcs.push_back(std::move(NF));
+  }
+  return Out;
+}

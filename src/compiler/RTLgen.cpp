@@ -1,0 +1,220 @@
+//===- compiler/RTLgen.cpp - CminorSel to RTL ------------------------------===//
+
+#include "compiler/Passes.h"
+
+#include <cassert>
+
+using namespace ccc;
+using namespace ccc::compiler;
+using ir::Oper;
+
+namespace {
+
+/// Builds one function's CFG. Instructions are appended to a vector whose
+/// indices become node ids; successors default to "next instruction" and
+/// branch targets are patched once known.
+class FnBuilder {
+public:
+  explicit FnBuilder(const cminorsel::Function &F) : Src(F) {
+    Out.Name = F.Name;
+    Out.RetVoid = F.RetVoid;
+    Out.NumParams = F.NumParams;
+    NextReg = F.NumTemps; // temps occupy pseudo-registers 0..NumTemps-1
+    for (unsigned I = 0; I < F.NumParams; ++I)
+      Out.ParamHomes.push_back(I);
+  }
+
+  rtl::Function build() {
+    genBlock(Src.Body);
+    // Falling off the end: return (void convention 0 handled by Return
+    // without argument).
+    rtl::Instr Ret;
+    Ret.K = rtl::Instr::Kind::Return;
+    Ret.HasArg = false;
+    append(std::move(Ret));
+
+    Out.Entry = 0;
+    Out.NumRegs = NextReg;
+    for (unsigned I = 0; I < Code.size(); ++I)
+      Out.Graph[I] = std::move(Code[I]);
+    return std::move(Out);
+  }
+
+private:
+  unsigned append(rtl::Instr I) {
+    unsigned Node = static_cast<unsigned>(Code.size());
+    if (I.K != rtl::Instr::Kind::Return &&
+        I.K != rtl::Instr::Kind::Tailcall && I.K != rtl::Instr::Kind::Cond)
+      I.S1 = Node + 1;
+    Code.push_back(std::move(I));
+    return Node;
+  }
+
+  unsigned fresh() { return NextReg++; }
+
+  /// Emits code evaluating \p E; returns the holding register.
+  unsigned genExpr(const cminorsel::Expr &E) {
+    switch (E.K) {
+    case cminorsel::Expr::Kind::Temp:
+      return E.Temp;
+    case cminorsel::Expr::Kind::Load: {
+      rtl::Instr I;
+      I.K = rtl::Instr::Kind::Load;
+      I.AM = addrModeOf(*E.Args[0]);
+      I.Dst = fresh();
+      I.HasDst = true;
+      unsigned Dst = I.Dst;
+      append(std::move(I));
+      return Dst;
+    }
+    case cminorsel::Expr::Kind::Op: {
+      rtl::Instr I;
+      I.K = rtl::Instr::Kind::Op;
+      I.O = E.O;
+      I.C = E.C;
+      I.Imm = E.Imm;
+      I.Global = E.Global;
+      for (const auto &A : E.Args)
+        I.Args.push_back(genExpr(*A));
+      I.Dst = fresh();
+      I.HasDst = true;
+      unsigned Dst = I.Dst;
+      append(std::move(I));
+      return Dst;
+    }
+    }
+    assert(false && "bad expression kind");
+    return 0;
+  }
+
+  /// Addressing mode of a load/store address: folds Addrglobal, otherwise
+  /// evaluates to a base register.
+  rtl::AddrMode<rtl::Reg> addrModeOf(const cminorsel::Expr &E) {
+    if (E.K == cminorsel::Expr::Kind::Op && E.O == Oper::Addrglobal)
+      return rtl::AddrMode<rtl::Reg>::global(E.Global);
+    return rtl::AddrMode<rtl::Reg>::base(genExpr(E));
+  }
+
+  /// Emits a conditional branch on \p C; the true/false successors are
+  /// patched by the caller through the returned node id.
+  unsigned genCond(const cminorsel::CondExpr &C) {
+    rtl::Instr I;
+    I.K = rtl::Instr::Kind::Cond;
+    I.C = C.C;
+    I.CondOneArg = C.OneArg;
+    I.Imm = C.Imm;
+    I.Args.push_back(genExpr(*C.Args[0]));
+    if (!C.OneArg)
+      I.Args.push_back(genExpr(*C.Args[1]));
+    return append(std::move(I));
+  }
+
+  unsigned genNop() {
+    rtl::Instr I;
+    I.K = rtl::Instr::Kind::Nop;
+    return append(std::move(I));
+  }
+
+  void genBlock(const cminorsel::Block &B) {
+    for (const auto &S : B)
+      genStmt(*S);
+  }
+
+  void genStmt(const cminorsel::Stmt &St) {
+    using SK = cminorsel::Stmt::Kind;
+    switch (St.K) {
+    case SK::Skip: {
+      genNop();
+      break;
+    }
+    case SK::SetTemp: {
+      unsigned R = genExpr(*St.E1);
+      rtl::Instr I;
+      I.K = rtl::Instr::Kind::Op;
+      I.O = Oper::Move;
+      I.Args.push_back(R);
+      I.Dst = St.Dst;
+      I.HasDst = true;
+      append(std::move(I));
+      break;
+    }
+    case SK::Store: {
+      auto AM = addrModeOf(*St.E1);
+      unsigned V = genExpr(*St.E2);
+      rtl::Instr I;
+      I.K = rtl::Instr::Kind::Store;
+      I.AM = AM;
+      I.Args.push_back(V);
+      append(std::move(I));
+      break;
+    }
+    case SK::If: {
+      unsigned CondNode = genCond(St.Cond);
+      Code[CondNode].S1 = static_cast<unsigned>(Code.size());
+      genBlock(St.Body);
+      unsigned GotoJoin = genNop(); // then-branch jump over else
+      Code[CondNode].S2 = static_cast<unsigned>(Code.size());
+      genBlock(St.Else);
+      unsigned Join = genNop();
+      Code[GotoJoin].S1 = Join;
+      break;
+    }
+    case SK::While: {
+      unsigned LoopHead = static_cast<unsigned>(Code.size());
+      unsigned CondNode = genCond(St.Cond);
+      Code[CondNode].S1 = static_cast<unsigned>(Code.size());
+      genBlock(St.Body);
+      unsigned Back = genNop();
+      Code[Back].S1 = LoopHead;
+      Code[CondNode].S2 = static_cast<unsigned>(Code.size());
+      break;
+    }
+    case SK::Call: {
+      rtl::Instr I;
+      I.K = rtl::Instr::Kind::Call;
+      I.Callee = St.Callee;
+      for (const auto &A : St.Args)
+        I.Args.push_back(genExpr(*A));
+      I.HasDst = St.HasDst;
+      I.Dst = St.Dst;
+      append(std::move(I));
+      break;
+    }
+    case SK::Return: {
+      rtl::Instr I;
+      I.K = rtl::Instr::Kind::Return;
+      if (St.E1) {
+        I.HasArg = true;
+        I.Args.push_back(genExpr(*St.E1));
+      }
+      append(std::move(I));
+      break;
+    }
+    case SK::Print: {
+      rtl::Instr I;
+      I.K = rtl::Instr::Kind::Print;
+      I.Args.push_back(genExpr(*St.E1));
+      append(std::move(I));
+      break;
+    }
+    }
+  }
+
+  const cminorsel::Function &Src;
+  rtl::Function Out;
+  std::vector<rtl::Instr> Code;
+  unsigned NextReg = 0;
+};
+
+} // namespace
+
+std::shared_ptr<rtl::Module>
+ccc::compiler::rtlgen(const cminorsel::Module &M) {
+  auto Out = std::make_shared<rtl::Module>();
+  Out->Globals = M.Globals;
+  for (const cminorsel::Function &F : M.Funcs) {
+    FnBuilder B(F);
+    Out->Funcs.push_back(B.build());
+  }
+  return Out;
+}

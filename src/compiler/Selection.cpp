@@ -1,0 +1,303 @@
+//===- compiler/Selection.cpp - Cminor to CminorSel ------------------------===//
+
+#include "compiler/Passes.h"
+
+#include <cassert>
+
+using namespace ccc;
+using namespace ccc::compiler;
+using ir::Cmp;
+using ir::Oper;
+
+namespace {
+
+cminorsel::ExprPtr trExpr(const cminor::Expr &E);
+
+cminorsel::ExprPtr mkOp(Oper O) {
+  auto E = std::make_unique<cminorsel::Expr>();
+  E->K = cminorsel::Expr::Kind::Op;
+  E->O = O;
+  return E;
+}
+
+cminorsel::ExprPtr mkOp1(Oper O, cminorsel::ExprPtr A) {
+  auto E = mkOp(O);
+  E->Args.push_back(std::move(A));
+  return E;
+}
+
+cminorsel::ExprPtr mkOp2(Oper O, cminorsel::ExprPtr A,
+                         cminorsel::ExprPtr B) {
+  auto E = mkOp(O);
+  E->Args.push_back(std::move(A));
+  E->Args.push_back(std::move(B));
+  return E;
+}
+
+bool isConst(const cminor::Expr &E, int32_t &Out) {
+  if (E.K != cminor::Expr::Kind::Const)
+    return false;
+  Out = E.IntVal;
+  return true;
+}
+
+/// log2 of a positive power of two, or -1.
+int log2Exact(int32_t V) {
+  if (V <= 0 || (V & (V - 1)) != 0)
+    return -1;
+  int K = 0;
+  while ((1 << K) != V)
+    ++K;
+  return K;
+}
+
+std::optional<Cmp> cmpOfBinop(clight::BinOp B) {
+  switch (B) {
+  case clight::BinOp::Eq:
+    return Cmp::Eq;
+  case clight::BinOp::Ne:
+    return Cmp::Ne;
+  case clight::BinOp::Lt:
+    return Cmp::Lt;
+  case clight::BinOp::Le:
+    return Cmp::Le;
+  case clight::BinOp::Gt:
+    return Cmp::Gt;
+  case clight::BinOp::Ge:
+    return Cmp::Ge;
+  default:
+    return std::nullopt;
+  }
+}
+
+cminorsel::ExprPtr trBinop(const cminor::Expr &E) {
+  using clight::BinOp;
+  int32_t K = 0;
+
+  // Comparison operators in value position.
+  if (auto C = cmpOfBinop(E.B)) {
+    if (isConst(*E.R, K)) {
+      auto Out = mkOp1(Oper::CmpImm, trExpr(*E.L));
+      Out->C = *C;
+      Out->Imm = K;
+      return Out;
+    }
+    auto Out = mkOp2(Oper::Cmp, trExpr(*E.L), trExpr(*E.R));
+    Out->C = *C;
+    return Out;
+  }
+
+  switch (E.B) {
+  case BinOp::Add:
+    if (isConst(*E.R, K)) {
+      auto Out = mkOp1(Oper::AddImm, trExpr(*E.L));
+      Out->Imm = K;
+      return Out;
+    }
+    if (isConst(*E.L, K)) {
+      auto Out = mkOp1(Oper::AddImm, trExpr(*E.R));
+      Out->Imm = K;
+      return Out;
+    }
+    return mkOp2(Oper::Add, trExpr(*E.L), trExpr(*E.R));
+  case BinOp::Sub:
+    if (isConst(*E.R, K) && K != INT32_MIN) {
+      auto Out = mkOp1(Oper::AddImm, trExpr(*E.L));
+      Out->Imm = -K;
+      return Out;
+    }
+    return mkOp2(Oper::Sub, trExpr(*E.L), trExpr(*E.R));
+  case BinOp::Mul: {
+    const cminor::Expr *Var = nullptr;
+    if (isConst(*E.R, K))
+      Var = E.L.get();
+    else if (isConst(*E.L, K))
+      Var = E.R.get();
+    if (Var) {
+      int Sh = log2Exact(K);
+      if (Sh >= 0) {
+        // Strength reduction: multiply by 2^k becomes a shift.
+        auto Out = mkOp1(Oper::ShlImm, trExpr(*Var));
+        Out->Imm = Sh;
+        return Out;
+      }
+      auto Out = mkOp1(Oper::MulImm, trExpr(*Var));
+      Out->Imm = K;
+      return Out;
+    }
+    return mkOp2(Oper::Mul, trExpr(*E.L), trExpr(*E.R));
+  }
+  case BinOp::Div:
+    return mkOp2(Oper::Div, trExpr(*E.L), trExpr(*E.R));
+  case BinOp::Mod:
+    return mkOp2(Oper::Mod, trExpr(*E.L), trExpr(*E.R));
+  case BinOp::And: {
+    // Boolean and/or: (a != 0) & (b != 0) via Cmp ops and bitwise And —
+    // both operands are 0/1 after BoolNot-style normalization, so use
+    // CmpImm Ne 0 on each side and a bitwise And.
+    auto A = mkOp1(Oper::CmpImm, trExpr(*E.L));
+    A->C = Cmp::Ne;
+    A->Imm = 0;
+    auto B = mkOp1(Oper::CmpImm, trExpr(*E.R));
+    B->C = Cmp::Ne;
+    B->Imm = 0;
+    return mkOp2(Oper::And, std::move(A), std::move(B));
+  }
+  case BinOp::Or: {
+    auto A = mkOp1(Oper::CmpImm, trExpr(*E.L));
+    A->C = Cmp::Ne;
+    A->Imm = 0;
+    auto B = mkOp1(Oper::CmpImm, trExpr(*E.R));
+    B->C = Cmp::Ne;
+    B->Imm = 0;
+    return mkOp2(Oper::Or, std::move(A), std::move(B));
+  }
+  default:
+    assert(false && "unhandled binop in Selection");
+    return nullptr;
+  }
+}
+
+cminorsel::ExprPtr trExpr(const cminor::Expr &E) {
+  switch (E.K) {
+  case cminor::Expr::Kind::Const: {
+    auto Out = mkOp(Oper::Intconst);
+    Out->Imm = E.IntVal;
+    return Out;
+  }
+  case cminor::Expr::Kind::Temp: {
+    auto Out = std::make_unique<cminorsel::Expr>();
+    Out->K = cminorsel::Expr::Kind::Temp;
+    Out->Temp = E.Temp;
+    return Out;
+  }
+  case cminor::Expr::Kind::AddrGlobal: {
+    auto Out = mkOp(Oper::Addrglobal);
+    Out->Global = E.Global;
+    return Out;
+  }
+  case cminor::Expr::Kind::Load: {
+    auto Out = std::make_unique<cminorsel::Expr>();
+    Out->K = cminorsel::Expr::Kind::Load;
+    Out->Args.push_back(trExpr(*E.L));
+    return Out;
+  }
+  case cminor::Expr::Kind::Un: {
+    if (E.U == clight::UnOp::Neg)
+      return mkOp1(Oper::Neg, trExpr(*E.L));
+    return mkOp1(Oper::BoolNot, trExpr(*E.L));
+  }
+  case cminor::Expr::Kind::Bin:
+    return trBinop(E);
+  }
+  return nullptr;
+}
+
+/// Fuses a Cminor condition expression into a CondExpr — comparisons
+/// branch directly instead of materializing a boolean.
+cminorsel::CondExpr trCond(const cminor::Expr &E) {
+  cminorsel::CondExpr C;
+  if (E.K == cminor::Expr::Kind::Bin) {
+    if (auto Cm = cmpOfBinop(E.B)) {
+      C.C = *Cm;
+      int32_t K = 0;
+      if (isConst(*E.R, K)) {
+        C.OneArg = true;
+        C.Imm = K;
+        C.Args.push_back(trExpr(*E.L));
+        return C;
+      }
+      C.Args.push_back(trExpr(*E.L));
+      C.Args.push_back(trExpr(*E.R));
+      return C;
+    }
+  }
+  if (E.K == cminor::Expr::Kind::Un && E.U == clight::UnOp::Not) {
+    // if (!e) ... tests e == 0.
+    C.C = Cmp::Eq;
+    C.OneArg = true;
+    C.Imm = 0;
+    C.Args.push_back(trExpr(*E.L));
+    return C;
+  }
+  C.C = Cmp::Ne;
+  C.OneArg = true;
+  C.Imm = 0;
+  C.Args.push_back(trExpr(E));
+  return C;
+}
+
+void trBlock(const cminor::Block &In, cminorsel::Block &Out);
+
+void trStmt(const cminor::Stmt &St, cminorsel::Block &Out) {
+  using SK = cminor::Stmt::Kind;
+  auto S = std::make_unique<cminorsel::Stmt>();
+  switch (St.K) {
+  case SK::Skip:
+    S->K = cminorsel::Stmt::Kind::Skip;
+    break;
+  case SK::SetTemp:
+    S->K = cminorsel::Stmt::Kind::SetTemp;
+    S->Dst = St.Dst;
+    S->E1 = trExpr(*St.E1);
+    break;
+  case SK::Store:
+    S->K = cminorsel::Stmt::Kind::Store;
+    S->E1 = trExpr(*St.E1);
+    S->E2 = trExpr(*St.E2);
+    break;
+  case SK::If:
+    S->K = cminorsel::Stmt::Kind::If;
+    S->Cond = trCond(*St.E1);
+    trBlock(St.Body, S->Body);
+    trBlock(St.Else, S->Else);
+    break;
+  case SK::While:
+    S->K = cminorsel::Stmt::Kind::While;
+    S->Cond = trCond(*St.E1);
+    trBlock(St.Body, S->Body);
+    break;
+  case SK::Call:
+    S->K = cminorsel::Stmt::Kind::Call;
+    S->Callee = St.Callee;
+    S->HasDst = St.HasDst;
+    S->Dst = St.Dst;
+    for (const auto &A : St.Args)
+      S->Args.push_back(trExpr(*A));
+    break;
+  case SK::Return:
+    S->K = cminorsel::Stmt::Kind::Return;
+    if (St.E1)
+      S->E1 = trExpr(*St.E1);
+    break;
+  case SK::Print:
+    S->K = cminorsel::Stmt::Kind::Print;
+    S->E1 = trExpr(*St.E1);
+    break;
+  }
+  Out.push_back(std::move(S));
+}
+
+void trBlock(const cminor::Block &In, cminorsel::Block &Out) {
+  for (const auto &S : In)
+    trStmt(*S, Out);
+}
+
+} // namespace
+
+std::shared_ptr<cminorsel::Module>
+ccc::compiler::selection(const cminor::Module &M) {
+  auto Out = std::make_shared<cminorsel::Module>();
+  Out->Globals = M.Globals;
+  for (const cminor::Function &F : M.Funcs) {
+    cminorsel::Function SF;
+    SF.Name = F.Name;
+    SF.RetVoid = F.RetVoid;
+    SF.NumParams = F.NumParams;
+    SF.NumTemps = F.NumTemps;
+    SF.FrameSize = F.FrameSize;
+    trBlock(F.Body, SF.Body);
+    Out->Funcs.push_back(std::move(SF));
+  }
+  return Out;
+}

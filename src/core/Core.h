@@ -1,0 +1,44 @@
+//===- core/Core.h - Abstract module-local core states ----------*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract "core" states (paper: kappa in Core, Fig. 4): the internal
+/// state of a module's execution, such as a control continuation or a
+/// register file. Cores are immutable and shared; every concrete language
+/// provides its own subclass. A core must render a canonical key so the
+/// exploration engines can memoize global states.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_CORE_CORE_H
+#define CASCC_CORE_CORE_H
+
+#include <memory>
+#include <string>
+
+namespace ccc {
+
+/// Base class of all language-specific core states.
+class Core {
+public:
+  virtual ~Core();
+
+  /// Canonical key uniquely identifying this core state within its module.
+  virtual std::string key() const = 0;
+
+  /// Human-readable rendering (defaults to the key).
+  virtual std::string pretty() const { return key(); }
+
+protected:
+  Core() = default;
+};
+
+using CoreRef = std::shared_ptr<const Core>;
+
+} // namespace ccc
+
+#endif // CASCC_CORE_CORE_H

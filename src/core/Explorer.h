@@ -1,0 +1,423 @@
+//===- core/Explorer.h - Exhaustive state-space exploration -----*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The exhaustive exploration engine that stands in for the paper's
+/// whole-program proofs: it builds the reachable global-state graph of a
+/// World (preemptive) or NPWorld (non-preemptive), computes the complete
+/// event-trace set Etr(P, B) via epsilon-closure subset construction
+/// (including silent divergence), and runs the Race rule of Fig. 9 over
+/// every reachable state.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_CORE_EXPLORER_H
+#define CASCC_CORE_EXPLORER_H
+
+#include "core/Trace.h"
+#include "core/WorldCommon.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ccc {
+
+/// Exploration limits.
+struct ExploreOptions {
+  /// Maximum number of distinct global states to expand.
+  unsigned MaxStates = 2000000;
+  /// Maximum number of observable events per trace.
+  unsigned MaxEvents = 64;
+};
+
+/// A data race witness (the Race rule of Fig. 9).
+struct RaceWitness {
+  std::string StateKey;
+  ThreadId T1 = 0;
+  ThreadId T2 = 0;
+  InstrFootprint FP1;
+  InstrFootprint FP2;
+  /// True when both footprints lie entirely inside a designated region
+  /// (set by confinement analysis; see raceConfinedTo).
+  bool Confined = false;
+};
+
+/// Exhaustive explorer over a world type (World or NPWorld).
+template <typename WorldT> class Explorer {
+public:
+  explicit Explorer(ExploreOptions Opts = {}) : Opts(Opts) {}
+
+  /// Builds the reachable state graph from the given initial worlds.
+  void build(const std::vector<WorldT> &Inits) {
+    std::deque<unsigned> Work;
+    for (const WorldT &W : Inits) {
+      unsigned Idx = intern(W);
+      Work.push_back(Idx);
+      InitIdx.push_back(Idx);
+    }
+    while (!Work.empty()) {
+      unsigned Idx = Work.front();
+      Work.pop_front();
+      if (Nodes[Idx].Expanded)
+        continue;
+      if (NumExpanded >= Opts.MaxStates) {
+        Truncated = true;
+        Nodes[Idx].Frontier = true;
+        continue;
+      }
+      ++NumExpanded;
+      Nodes[Idx].Expanded = true;
+      // Note: succ() of an aborted or done world is empty.
+      auto Succs = Nodes[Idx].W.succ();
+      for (auto &S : Succs) {
+        unsigned To = intern(S.Next);
+        Edge E;
+        E.To = To;
+        E.K = S.L.K;
+        E.Ev = S.L.EventVal;
+        Nodes[Idx].Out.push_back(E);
+        if (!Nodes[To].Expanded)
+          Work.push_back(To);
+      }
+    }
+    computeDivergence();
+  }
+
+  /// Convenience: build from a single initial world.
+  void build(const WorldT &Init) { build(std::vector<WorldT>{Init}); }
+
+  std::size_t numStates() const { return Nodes.size(); }
+  bool truncated() const { return Truncated; }
+
+  /// True if an aborted state is reachable (the paper's Safe(P) is the
+  /// negation of this).
+  bool anyAbort() const {
+    for (const Node &N : Nodes)
+      if (N.W.aborted())
+        return true;
+    return false;
+  }
+
+  /// Returns the abort reason of some reachable aborted state, if any.
+  std::optional<std::string> abortReason() const {
+    for (const Node &N : Nodes)
+      if (N.W.aborted())
+        return N.W.abortReason();
+    return std::nullopt;
+  }
+
+  /// Computes the complete trace set via subset construction over silent
+  /// edges.
+  TraceSet traces() const {
+    TraceSet Out;
+    if (Nodes.empty())
+      return Out;
+
+    using Closure = std::vector<unsigned>;
+    auto closureOf = [&](std::vector<unsigned> Seed) {
+      std::set<unsigned> Seen(Seed.begin(), Seed.end());
+      std::deque<unsigned> Work(Seed.begin(), Seed.end());
+      while (!Work.empty()) {
+        unsigned I = Work.front();
+        Work.pop_front();
+        for (const Edge &E : Nodes[I].Out) {
+          if (E.K == GLabel::Kind::Event)
+            continue;
+          if (Seen.insert(E.To).second)
+            Work.push_back(E.To);
+        }
+      }
+      return Closure(Seen.begin(), Seen.end());
+    };
+
+    struct Item {
+      Closure C;
+      std::vector<int64_t> Prefix;
+    };
+    auto closureKey = [](const Closure &C) {
+      std::string K;
+      for (unsigned I : C)
+        K += std::to_string(I) + ",";
+      return K;
+    };
+
+    std::deque<Item> Work;
+    std::set<std::string> Visited;
+    {
+      Item Init;
+      Init.C = closureOf(InitIdx);
+      Work.push_back(std::move(Init));
+    }
+    while (!Work.empty()) {
+      Item Cur = std::move(Work.front());
+      Work.pop_front();
+      std::string VisitKey = closureKey(Cur.C);
+      for (int64_t E : Cur.Prefix)
+        VisitKey += "|" + std::to_string(E);
+      if (!Visited.insert(VisitKey).second)
+        continue;
+
+      bool SawDone = false, SawAbort = false, SawDiv = false, SawCut = false;
+      std::map<int64_t, std::vector<unsigned>> EventSuccs;
+      for (unsigned I : Cur.C) {
+        const Node &N = Nodes[I];
+        if (N.W.done())
+          SawDone = true;
+        if (N.W.aborted())
+          SawAbort = true;
+        if (N.Div)
+          SawDiv = true;
+        if (N.Frontier)
+          SawCut = true;
+        for (const Edge &E : N.Out)
+          if (E.K == GLabel::Kind::Event)
+            EventSuccs[E.Ev].push_back(E.To);
+      }
+      if (SawDone)
+        Out.insert(Trace{Cur.Prefix, TraceEnd::Done});
+      if (SawAbort)
+        Out.insert(Trace{Cur.Prefix, TraceEnd::Abort});
+      if (SawDiv)
+        Out.insert(Trace{Cur.Prefix, TraceEnd::Div});
+      if (SawCut)
+        Out.insert(Trace{Cur.Prefix, TraceEnd::Cut});
+      for (auto &KV : EventSuccs) {
+        if (Cur.Prefix.size() >= Opts.MaxEvents) {
+          Out.insert(Trace{Cur.Prefix, TraceEnd::Cut});
+          break;
+        }
+        Item Next;
+        Next.C = closureOf(KV.second);
+        Next.Prefix = Cur.Prefix;
+        Next.Prefix.push_back(KV.first);
+        Work.push_back(std::move(Next));
+      }
+    }
+    return Out;
+  }
+
+  /// Runs the Race rule of Fig. 9 over every reachable state; returns the
+  /// first witness found, or nullopt when the program is race free (DRF
+  /// for World, NPDRF for NPWorld).
+  std::optional<RaceWitness> findRace() const {
+    for (const Node &N : Nodes) {
+      if (!N.W.racePredictable())
+        continue;
+      unsigned NT = N.W.numThreads();
+      std::vector<std::vector<InstrFootprint>> Preds(NT);
+      for (ThreadId T = 0; T < NT; ++T)
+        Preds[T] = N.W.predictFor(T);
+      for (ThreadId T1 = 0; T1 < NT; ++T1) {
+        for (ThreadId T2 = T1 + 1; T2 < NT; ++T2) {
+          for (const InstrFootprint &F1 : Preds[T1]) {
+            for (const InstrFootprint &F2 : Preds[T2]) {
+              if (F1.conflictsWith(F2)) {
+                RaceWitness W;
+                W.StateKey = N.W.key();
+                W.T1 = T1;
+                W.T2 = T2;
+                W.FP1 = F1;
+                W.FP2 = F2;
+                return W;
+              }
+            }
+          }
+        }
+      }
+    }
+    return std::nullopt;
+  }
+
+  /// Finds all races and classifies each as confined iff both conflicting
+  /// footprints touch only addresses in \p Region (the object data of
+  /// Sec. 7.1; such races are the paper's confined benign races).
+  std::vector<RaceWitness> findRacesConfinedTo(const AddrSet &Region) const {
+    std::vector<RaceWitness> Out;
+    std::set<std::string> Dedup;
+    for (const Node &N : Nodes) {
+      if (!N.W.racePredictable())
+        continue;
+      unsigned NT = N.W.numThreads();
+      std::vector<std::vector<InstrFootprint>> Preds(NT);
+      for (ThreadId T = 0; T < NT; ++T)
+        Preds[T] = N.W.predictFor(T);
+      for (ThreadId T1 = 0; T1 < NT; ++T1) {
+        for (ThreadId T2 = T1 + 1; T2 < NT; ++T2) {
+          for (const InstrFootprint &F1 : Preds[T1]) {
+            for (const InstrFootprint &F2 : Preds[T2]) {
+              if (!F1.conflictsWith(F2))
+                continue;
+              RaceWitness W;
+              W.T1 = T1;
+              W.T2 = T2;
+              W.FP1 = F1;
+              W.FP2 = F2;
+              W.Confined = F1.FP.asSet().subsetOf(Region) &&
+                           F2.FP.asSet().subsetOf(Region);
+              std::string Key = std::to_string(T1) + "/" +
+                                std::to_string(T2) + ":" +
+                                F1.FP.toString() + F2.FP.toString();
+              if (Dedup.insert(Key).second) {
+                W.StateKey = N.W.key();
+                Out.push_back(W);
+              }
+            }
+          }
+        }
+      }
+    }
+    return Out;
+  }
+
+private:
+  struct Edge {
+    unsigned To = 0;
+    GLabel::Kind K = GLabel::Kind::Tau;
+    int64_t Ev = 0;
+  };
+
+  struct Node {
+    WorldT W;
+    std::vector<Edge> Out;
+    bool Expanded = false;
+    bool Frontier = false;
+    bool Div = false;
+  };
+
+  unsigned intern(const WorldT &W) {
+    std::string Key = W.key();
+    auto It = KeyToIdx.find(Key);
+    if (It != KeyToIdx.end())
+      return It->second;
+    unsigned Idx = static_cast<unsigned>(Nodes.size());
+    Nodes.push_back(Node{W, {}, false, false, false});
+    KeyToIdx.emplace(std::move(Key), Idx);
+    return Idx;
+  }
+
+  /// Marks every node with an infinite silent path that makes real
+  /// progress: nodes that can reach (via non-event edges) a cycle
+  /// containing at least one tau step. Pure context-switch chatter (sw
+  /// cycles) is not divergence — the paper's global messages distinguish
+  /// tau from sw, and the equivalence of Lemma 9 is stated modulo
+  /// switches. Uses iterative Tarjan SCC on the silent-edge subgraph.
+  void computeDivergence() {
+    const unsigned N = static_cast<unsigned>(Nodes.size());
+    std::vector<std::vector<unsigned>> Silent(N);
+    for (unsigned I = 0; I < N; ++I)
+      for (const Edge &E : Nodes[I].Out)
+        if (E.K != GLabel::Kind::Event)
+          Silent[I].push_back(E.To);
+
+    // Iterative Tarjan.
+    std::vector<int> Index(N, -1), Low(N, 0), Comp(N, -1);
+    std::vector<bool> OnStack(N, false);
+    std::vector<unsigned> Stack;
+    std::vector<bool> InCycle(N, false);
+    int NextIndex = 0, NextComp = 0;
+    struct DfsFrame {
+      unsigned V;
+      unsigned EdgeIdx;
+    };
+    for (unsigned Root = 0; Root < N; ++Root) {
+      if (Index[Root] != -1)
+        continue;
+      std::vector<DfsFrame> Dfs;
+      Dfs.push_back({Root, 0});
+      Index[Root] = Low[Root] = NextIndex++;
+      Stack.push_back(Root);
+      OnStack[Root] = true;
+      while (!Dfs.empty()) {
+        DfsFrame &F = Dfs.back();
+        if (F.EdgeIdx < Silent[F.V].size()) {
+          unsigned W = Silent[F.V][F.EdgeIdx++];
+          if (Index[W] == -1) {
+            Index[W] = Low[W] = NextIndex++;
+            Stack.push_back(W);
+            OnStack[W] = true;
+            Dfs.push_back({W, 0});
+          } else if (OnStack[W]) {
+            Low[F.V] = std::min(Low[F.V], Index[W]);
+          }
+        } else {
+          if (Low[F.V] == Index[F.V]) {
+            std::vector<unsigned> Members;
+            while (true) {
+              unsigned W = Stack.back();
+              Stack.pop_back();
+              OnStack[W] = false;
+              Comp[W] = NextComp;
+              Members.push_back(W);
+              if (W == F.V)
+                break;
+            }
+            ++NextComp;
+            // The SCC diverges iff it contains an internal tau edge (any
+            // internal edge of an SCC lies on a cycle).
+            bool Cyclic = false;
+            for (unsigned M : Members) {
+              for (const Edge &E : Nodes[M].Out) {
+                if (E.K == GLabel::Kind::Tau && Comp[E.To] == Comp[M]) {
+                  Cyclic = true;
+                  break;
+                }
+              }
+              if (Cyclic)
+                break;
+            }
+            if (Cyclic)
+              for (unsigned M : Members)
+                InCycle[M] = true;
+          }
+          unsigned V = F.V;
+          Dfs.pop_back();
+          if (!Dfs.empty())
+            Low[Dfs.back().V] = std::min(Low[Dfs.back().V], Low[V]);
+        }
+      }
+    }
+
+    // Backward reachability: Div = can reach an in-cycle node silently.
+    std::vector<std::vector<unsigned>> RevSilent(N);
+    for (unsigned I = 0; I < N; ++I)
+      for (unsigned S : Silent[I])
+        RevSilent[S].push_back(I);
+    std::deque<unsigned> Work;
+    for (unsigned I = 0; I < N; ++I) {
+      if (InCycle[I]) {
+        Nodes[I].Div = true;
+        Work.push_back(I);
+      }
+    }
+    while (!Work.empty()) {
+      unsigned I = Work.front();
+      Work.pop_front();
+      for (unsigned P : RevSilent[I]) {
+        if (!Nodes[P].Div) {
+          Nodes[P].Div = true;
+          Work.push_back(P);
+        }
+      }
+    }
+  }
+
+  ExploreOptions Opts;
+  std::vector<Node> Nodes;
+  std::map<std::string, unsigned> KeyToIdx;
+  std::vector<unsigned> InitIdx;
+  unsigned NumExpanded = 0;
+  bool Truncated = false;
+};
+
+} // namespace ccc
+
+#endif // CASCC_CORE_EXPLORER_H

@@ -1,0 +1,40 @@
+//===- core/ModuleLang.cpp - The abstract module language -----------------===//
+
+#include "core/ModuleLang.h"
+
+#include <cassert>
+
+using namespace ccc;
+
+Core::~Core() = default;
+
+ModuleLang::~ModuleLang() = default;
+
+Addr ModuleLang::globalAddr(const std::string &Name) const {
+  assert(Globals && "module globals not bound; link the program first");
+  auto A = Globals->lookup(Name);
+  assert(A && "unknown global variable");
+  return *A;
+}
+
+std::string Msg::toString() const {
+  switch (K) {
+  case Kind::Tau:
+    return "tau";
+  case Kind::Event:
+    return "ev(" + std::to_string(EventVal) + ")";
+  case Kind::Ret:
+    return "ret(" + RetVal.toString() + ")";
+  case Kind::EntAtom:
+    return "EntAtom";
+  case Kind::ExtAtom:
+    return "ExtAtom";
+  case Kind::ExtCall:
+    return "call(" + Callee + ")";
+  case Kind::TailCall:
+    return "tailcall(" + Callee + ")";
+  case Kind::Spawn:
+    return "spawn(" + Callee + ")";
+  }
+  return "?";
+}

@@ -1,0 +1,89 @@
+//===- core/ModuleLang.h - The abstract module language ---------*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract module language (paper: tl = (Module, Core, InitCore, |->),
+/// Fig. 4). A ModuleLang bundles a module's code with its footprint-
+/// instrumented local transition relation: each step, given the module's
+/// free list, current core and global memory, yields a set of successor
+/// configurations labelled with a message and a footprint, or abort.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_CORE_MODULELANG_H
+#define CASCC_CORE_MODULELANG_H
+
+#include "core/Core.h"
+#include "core/Msg.h"
+#include "mem/Footprint.h"
+#include "mem/FreeList.h"
+#include "mem/GlobalEnv.h"
+#include "mem/Mem.h"
+
+#include <string>
+#include <vector>
+
+namespace ccc {
+
+/// One module-local step: F |- (kappa, sigma) -iota/delta-> (kappa',sigma')
+/// or abort (Fig. 4).
+struct LocalStep {
+  Msg M;
+  Footprint FP;
+  CoreRef Next;
+  Mem NextMem;
+  bool Abort = false;
+  /// Diagnostic attached to abort steps.
+  std::string AbortReason;
+
+  static LocalStep abort(std::string Reason) {
+    LocalStep S;
+    S.Abort = true;
+    S.AbortReason = std::move(Reason);
+    return S;
+  }
+};
+
+/// The abstract module language interface every concrete language
+/// (CImp, Clight, the compiler IRs, x86-SC, x86-TSO) instantiates.
+class ModuleLang {
+public:
+  virtual ~ModuleLang();
+
+  /// The language's name ("Clight", "RTL", "x86-TSO", ...).
+  virtual std::string name() const = 0;
+
+  /// InitCore (Fig. 4): builds the initial core for entry \p Entry with
+  /// arguments \p Args, or null if this module does not define the entry.
+  virtual CoreRef initCore(const std::string &Entry,
+                           const std::vector<Value> &Args) const = 0;
+
+  /// The local transition relation: all successor configurations of
+  /// (\p C, \p M) under free list \p F. An empty result means the core is
+  /// stuck (the global semantics reports abort).
+  virtual std::vector<LocalStep> step(const FreeList &F, const Core &C,
+                                      const Mem &M) const = 0;
+
+  /// Resumes a caller core after an external call returned \p V
+  /// (Compositional CompCert's after-external).
+  virtual CoreRef applyReturn(const Core &C, const Value &V) const = 0;
+
+  /// Binds the module's resolved global environment after linking.
+  void bindGlobals(const GlobalEnv *GE) { Globals = GE; }
+  const GlobalEnv *globals() const { return Globals; }
+
+  /// Resolves a global name to its linked address; asserts on failure.
+  Addr globalAddr(const std::string &Name) const;
+
+protected:
+  ModuleLang() = default;
+  const GlobalEnv *Globals = nullptr;
+};
+
+} // namespace ccc
+
+#endif // CASCC_CORE_MODULELANG_H

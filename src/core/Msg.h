@@ -1,0 +1,109 @@
+//===- core/Msg.h - Module-local step messages ------------------*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Messages labelling module-local steps (paper: iota in Msg, Fig. 4):
+/// silent steps (tau), externally observable events e, thread/function
+/// termination (ret), and atomic-block boundaries (EntAtom / ExtAtom).
+/// Following the paper's Coq development (footnote 5), we additionally
+/// support external function calls across modules (ExtCall / TailCall),
+/// formalized as in Compositional CompCert.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_CORE_MSG_H
+#define CASCC_CORE_MSG_H
+
+#include "mem/Value.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ccc {
+
+/// The message labelling one module-local step.
+struct Msg {
+  enum class Kind {
+    Tau,      ///< Silent internal step.
+    Event,    ///< Externally observable event (e.g. print).
+    Ret,      ///< Return from the current core (thread/function exit).
+    EntAtom,  ///< Enter an atomic block.
+    ExtAtom,  ///< Exit an atomic block.
+    ExtCall,  ///< Call an external function in some module.
+    TailCall, ///< Tail-call an external function (replaces the frame).
+    Spawn,    ///< Create a new thread (the paper's future-work extension:
+              ///< the spawn step assigns a fresh free list to the thread).
+  };
+
+  Kind K = Kind::Tau;
+  /// Event payload (Kind::Event).
+  int64_t EventVal = 0;
+  /// Return value (Kind::Ret).
+  Value RetVal;
+  /// Callee entry name (Kind::ExtCall / TailCall).
+  std::string Callee;
+  /// Call arguments (Kind::ExtCall / TailCall).
+  std::vector<Value> Args;
+
+  static Msg tau() { return Msg{}; }
+
+  static Msg event(int64_t V) {
+    Msg M;
+    M.K = Kind::Event;
+    M.EventVal = V;
+    return M;
+  }
+
+  static Msg ret(Value V) {
+    Msg M;
+    M.K = Kind::Ret;
+    M.RetVal = V;
+    return M;
+  }
+
+  static Msg entAtom() {
+    Msg M;
+    M.K = Kind::EntAtom;
+    return M;
+  }
+
+  static Msg extAtom() {
+    Msg M;
+    M.K = Kind::ExtAtom;
+    return M;
+  }
+
+  static Msg extCall(std::string Callee, std::vector<Value> Args) {
+    Msg M;
+    M.K = Kind::ExtCall;
+    M.Callee = std::move(Callee);
+    M.Args = std::move(Args);
+    return M;
+  }
+
+  static Msg tailCall(std::string Callee, std::vector<Value> Args) {
+    Msg M = extCall(std::move(Callee), std::move(Args));
+    M.K = Kind::TailCall;
+    return M;
+  }
+
+  static Msg spawn(std::string Entry, std::vector<Value> Args) {
+    Msg M = extCall(std::move(Entry), std::move(Args));
+    M.K = Kind::Spawn;
+    return M;
+  }
+
+  bool isTau() const { return K == Kind::Tau; }
+  bool isSilentForTrace() const { return K != Kind::Event; }
+
+  std::string toString() const;
+};
+
+} // namespace ccc
+
+#endif // CASCC_CORE_MSG_H

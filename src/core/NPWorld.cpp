@@ -1,0 +1,248 @@
+//===- core/NPWorld.cpp - The non-preemptive global semantics -------------===//
+
+#include "core/NPWorld.h"
+
+#include "mem/MemPred.h"
+#include "support/StrUtil.h"
+
+#include <cassert>
+#include <deque>
+#include <set>
+
+using namespace ccc;
+
+std::vector<NPWorld> NPWorld::loadAll(const Program &P) {
+  std::vector<NPWorld> Out;
+  for (ThreadId T = 0; T < P.numThreads(); ++T)
+    Out.push_back(load(P, T));
+  return Out;
+}
+
+NPWorld NPWorld::load(const Program &P, ThreadId Start) {
+  assert(P.linked() && "link the program before loading");
+  NPWorld W;
+  W.Prog = &P;
+  W.M = P.initialMem();
+  W.Cur = Start;
+  for (ThreadId T = 0; T < P.numThreads(); ++T) {
+    ThreadState TS;
+    auto Resolved = P.resolveEntry(P.threadEntry(T), P.threadArgs(T));
+    if (!Resolved) {
+      W.Abort = true;
+      W.AbortReason = "unknown thread entry: " + P.threadEntry(T);
+      return W;
+    }
+    FreeList Region = P.threadRegion(T);
+    TS.Stack.push_back(
+        Frame{Resolved->first, Resolved->second,
+              Region.subRegion(0, Program::FrameRegionSize)});
+    TS.NextFrameOff = Program::FrameRegionSize;
+    W.Threads.push_back(std::move(TS));
+    W.DBits.push_back(0);
+  }
+  if (!closedMem(W.M)) {
+    W.Abort = true;
+    W.AbortReason = "initial memory not closed";
+  }
+  return W;
+}
+
+bool NPWorld::done() const {
+  if (Abort)
+    return false;
+  for (const ThreadState &T : Threads)
+    if (!T.Finished)
+      return false;
+  return true;
+}
+
+GSucc<NPWorld> NPWorld::makeAbort(std::string Reason) const {
+  NPWorld Next = *this;
+  Next.Abort = true;
+  Next.AbortReason = std::move(Reason);
+  return GSucc<NPWorld>{GLabel::tau(), Footprint::emp(), Cur,
+                        std::move(Next)};
+}
+
+void NPWorld::pushSwitches(std::vector<GSucc<NPWorld>> &Out,
+                           const NPWorld &Base, GLabel L,
+                           const Footprint &FP) const {
+  bool Any = false;
+  for (ThreadId T = 0; T < Base.Threads.size(); ++T) {
+    if (Base.Threads[T].Finished)
+      continue;
+    NPWorld Next = Base;
+    Next.Cur = T;
+    Out.push_back(GSucc<NPWorld>{L, FP, T, std::move(Next)});
+    Any = true;
+  }
+  if (!Any) {
+    // No runnable thread remains: keep the post-step world (it is done).
+    Out.push_back(GSucc<NPWorld>{L, FP, Base.Cur, Base});
+  }
+}
+
+std::vector<GSucc<NPWorld>> NPWorld::succ() const {
+  std::vector<GSucc<NPWorld>> Out;
+  if (Abort || done())
+    return Out;
+
+  const ThreadState &CurT = Threads[Cur];
+  assert(!CurT.Finished && "current thread of an NP world is finished");
+  const ModuleDecl &Mod = Prog->module(CurT.top().ModIdx);
+  auto Steps = Mod.Lang->step(CurT.top().F, *CurT.top().C, M);
+  if (Steps.empty())
+    Out.push_back(makeAbort("thread stuck"));
+
+  for (const LocalStep &LS : Steps) {
+    if (LS.Abort) {
+      Out.push_back(makeAbort(LS.AbortReason));
+      continue;
+    }
+    switch (LS.M.K) {
+    case Msg::Kind::EntAtom: {
+      // EntAt-np: step, set dd(t) := 1, then switch.
+      if (DBits[Cur]) {
+        Out.push_back(makeAbort("nested atomic block"));
+        break;
+      }
+      NPWorld Base = *this;
+      Base.DBits[Cur] = 1;
+      Base.Threads[Cur].top().C = LS.Next;
+      pushSwitches(Out, Base, GLabel::sw(), LS.FP);
+      break;
+    }
+    case Msg::Kind::ExtAtom: {
+      // ExtAt-np: step, set dd(t) := 0, then switch.
+      if (!DBits[Cur]) {
+        Out.push_back(makeAbort("ExtAtom outside atomic block"));
+        break;
+      }
+      NPWorld Base = *this;
+      Base.DBits[Cur] = 0;
+      Base.Threads[Cur].top().C = LS.Next;
+      pushSwitches(Out, Base, GLabel::sw(), LS.FP);
+      break;
+    }
+    case Msg::Kind::Event: {
+      // Observable events are interaction points: emit then switch.
+      NPWorld Base = *this;
+      Base.Threads[Cur].top().C = LS.Next;
+      Base.M = LS.NextMem;
+      pushSwitches(Out, Base, GLabel::event(LS.M.EventVal), LS.FP);
+      break;
+    }
+    case Msg::Kind::Spawn: {
+      // Spawn is an interaction point in the non-preemptive semantics:
+      // the new thread becomes schedulable immediately.
+      NPWorld Base = *this;
+      std::string Reason;
+      if (!spawnThread(*Prog, Base.Threads, LS.M, Reason)) {
+        Out.push_back(makeAbort(Reason));
+        break;
+      }
+      Base.DBits.push_back(0);
+      Base.Threads[Cur].top().C = LS.Next;
+      Base.M = LS.NextMem;
+      pushSwitches(Out, Base, GLabel::sw(), LS.FP);
+      break;
+    }
+    default: {
+      NPWorld Base = *this;
+      std::string Reason;
+      FrameStepStatus St =
+          applyFrameStep(*Prog, Base.Threads[Cur], Prog->threadRegion(Cur),
+                         LS, Base.M, Reason);
+      if (St == FrameStepStatus::Abort) {
+        Out.push_back(makeAbort(Reason));
+        break;
+      }
+      if (St == FrameStepStatus::ThreadFinished) {
+        if (DBits[Cur]) {
+          Out.push_back(makeAbort("thread terminated inside atomic block"));
+          break;
+        }
+        // Thread termination is a switch point.
+        pushSwitches(Out, Base, GLabel::sw(), LS.FP);
+        break;
+      }
+      // Internal step: the same thread continues (no preemption).
+      Out.push_back(
+          GSucc<NPWorld>{GLabel::tau(), LS.FP, Cur, std::move(Base)});
+      break;
+    }
+    }
+  }
+  return Out;
+}
+
+std::string NPWorld::key() const {
+  StrBuilder B;
+  if (Abort)
+    B << "ABORT|";
+  B << 't' << Cur << 'd';
+  for (uint8_t D : DBits)
+    B << (D ? '1' : '0');
+  for (const ThreadState &T : Threads)
+    B << '[' << threadKey(T) << ']';
+  B << '#' << M.key();
+  return B.take();
+}
+
+std::vector<InstrFootprint> NPWorld::predictFor(ThreadId T) const {
+  // NPDRF prediction (Sec. 5): in the non-preemptive semantics a thread
+  // runs a whole synchronization-free chunk between switch points, so the
+  // predicted footprint is the accumulated footprint of the thread's next
+  // chunk (cf. DRFx's region conflicts, which the paper relates to
+  // NPDRF). Chunks never span atomic-block boundaries because EntAtom and
+  // ExtAtom are switch points, so the whole chunk carries the thread's
+  // current atomic bit.
+  std::vector<InstrFootprint> Out;
+  if (Abort || Threads[T].Finished)
+    return Out;
+  const bool InAtomic = DBits[T] != 0;
+
+  NPWorld Start = *this;
+  Start.Cur = T;
+  struct Item {
+    NPWorld W;
+    Footprint Acc;
+  };
+  std::deque<Item> Work;
+  std::set<std::string> Seen;
+  std::set<std::string> Recorded;
+  Work.push_back({std::move(Start), Footprint::emp()});
+  unsigned Visited = 0;
+  const unsigned MaxStates = 4096;
+
+  auto record = [&](const Footprint &FP) {
+    if (Recorded.insert(FP.toString()).second)
+      Out.push_back(InstrFootprint{FP, InAtomic});
+  };
+
+  while (!Work.empty()) {
+    Item Cur = std::move(Work.front());
+    Work.pop_front();
+    if (++Visited > MaxStates) {
+      record(Cur.Acc); // conservative cutoff
+      continue;
+    }
+    if (!Seen.insert(Cur.W.key()).second)
+      continue;
+    auto Succs = Cur.W.succ();
+    if (Succs.empty()) {
+      record(Cur.Acc);
+      continue;
+    }
+    for (auto &S : Succs) {
+      Footprint Acc = Cur.Acc.unioned(S.FP);
+      if (S.L.K != GLabel::Kind::Tau || S.Next.aborted()) {
+        // A switch point (or abort) ends the chunk.
+        record(Acc);
+        continue;
+      }
+      Work.push_back({std::move(S.Next), std::move(Acc)});
+    }
+  }
+  return Out;
+}

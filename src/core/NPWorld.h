@@ -1,0 +1,77 @@
+//===- core/NPWorld.h - The non-preemptive global semantics -----*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The non-preemptive global semantics (paper: W = (T, t, dd, sigma),
+/// Sec. 3.3, rules EntAt-np / ExtAt-np of Fig. 7). Context switch occurs
+/// only at synchronization points: atomic-block boundaries, observable
+/// events, and thread termination. The atomic-bit map dd records, per
+/// thread, whether its next step is inside an atomic block (needed
+/// because a switch may happen right after a thread enters its block).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_CORE_NPWORLD_H
+#define CASCC_CORE_NPWORLD_H
+
+#include "core/WorldCommon.h"
+
+#include <string>
+#include <vector>
+
+namespace ccc {
+
+/// A non-preemptive world.
+class NPWorld {
+public:
+  /// The Load rule instantiated for non-preemptive execution; the rule
+  /// picks an arbitrary initial thread, so loadAll returns one world per
+  /// choice.
+  static std::vector<NPWorld> loadAll(const Program &P);
+  static NPWorld load(const Program &P, ThreadId Start);
+
+  /// All global successors (EntAt-np, ExtAt-np, and the remaining
+  /// non-preemptive rules; see TR).
+  std::vector<GSucc<NPWorld>> succ() const;
+
+  bool done() const;
+  bool aborted() const { return Abort; }
+  const std::string &abortReason() const { return AbortReason; }
+  std::string key() const;
+
+  /// NPDRF footprint prediction (Sec. 5): like Fig. 9's Predict but using
+  /// the per-thread atomic bits.
+  std::vector<InstrFootprint> predictFor(ThreadId T) const;
+  bool racePredictable() const { return !Abort; }
+
+  ThreadId curThread() const { return Cur; }
+  bool threadInAtomic(ThreadId T) const { return DBits[T]; }
+  const Mem &mem() const { return M; }
+  const Program &program() const { return *Prog; }
+  unsigned numThreads() const { return static_cast<unsigned>(Threads.size()); }
+  const ThreadState &thread(ThreadId T) const { return Threads[T]; }
+
+private:
+  const Program *Prog = nullptr;
+  std::vector<ThreadState> Threads;
+  std::vector<uint8_t> DBits;
+  ThreadId Cur = 0;
+  Mem M;
+  bool Abort = false;
+  std::string AbortReason;
+
+  GSucc<NPWorld> makeAbort(std::string Reason) const;
+
+  /// Emits one successor per schedulable next thread, all sharing label
+  /// \p L (used at switch points).
+  void pushSwitches(std::vector<GSucc<NPWorld>> &Out, const NPWorld &Base,
+                    GLabel L, const Footprint &FP) const;
+};
+
+} // namespace ccc
+
+#endif // CASCC_CORE_NPWORLD_H

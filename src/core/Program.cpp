@@ -1,0 +1,52 @@
+//===- core/Program.cpp - Whole programs and linking ----------------------===//
+
+#include "core/Program.h"
+
+#include <cassert>
+
+using namespace ccc;
+
+unsigned Program::addModule(std::string Name,
+                            std::unique_ptr<ModuleLang> Lang, GlobalEnv GE) {
+  assert(!Linked && "cannot add modules after linking");
+  Modules.push_back(ModuleDecl{std::move(Name), std::move(Lang),
+                               std::move(GE)});
+  return static_cast<unsigned>(Modules.size() - 1);
+}
+
+void Program::addThread(std::string Entry, std::vector<Value> Args) {
+  Entries.push_back({std::move(Entry), std::move(Args)});
+}
+
+void Program::link() {
+  assert(!Linked && "program already linked");
+  Addr Next = GlobalBase;
+  for (ModuleDecl &M : Modules) {
+    for (GlobalVar &G : M.GE.vars()) {
+      G.Address = Next++;
+      Shared.insert(G.Address);
+      if (G.Owner == DataOwner::Object)
+        ObjectOwned.insert(G.Address);
+    }
+    M.Lang->bindGlobals(&M.GE);
+  }
+  Linked = true;
+}
+
+std::optional<std::pair<unsigned, CoreRef>>
+Program::resolveEntry(const std::string &Name,
+                      const std::vector<Value> &Args) const {
+  for (unsigned I = 0; I < Modules.size(); ++I) {
+    if (CoreRef C = Modules[I].Lang->initCore(Name, Args))
+      return std::make_pair(I, C);
+  }
+  return std::nullopt;
+}
+
+Mem Program::initialMem() const {
+  assert(Linked && "link the program before loading");
+  Mem M;
+  for (const ModuleDecl &Mod : Modules)
+    Mod.GE.installInto(M);
+  return M;
+}

@@ -1,0 +1,110 @@
+//===- core/Program.h - Whole programs and linking --------------*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Whole programs (paper: P = let Pi in f1 || ... || fn, Fig. 4): a set of
+/// module declarations plus one entry per thread. Linking assigns global
+/// addresses (GE(Pi) of the Load rule, Fig. 7), carves disjoint per-thread
+/// free-list regions (Sec. 3's memory model), and records the shared
+/// location set S and the object-owned subset used for confinement checks
+/// (Sec. 7.1).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_CORE_PROGRAM_H
+#define CASCC_CORE_PROGRAM_H
+
+#include "core/ModuleLang.h"
+#include "mem/GlobalEnv.h"
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ccc {
+
+/// A module declaration (paper: (tl, ge, pi) in MdSet).
+struct ModuleDecl {
+  std::string Name;
+  std::unique_ptr<ModuleLang> Lang;
+  GlobalEnv GE;
+};
+
+/// A whole concurrent program.
+class Program {
+public:
+  /// Address-space layout constants (see DESIGN.md).
+  static constexpr Addr GlobalBase = 0x1000;
+  static constexpr Addr ThreadRegionBase = 0x100000;
+  static constexpr uint32_t ThreadRegionSize = 0x10000;
+  static constexpr uint32_t FrameRegionSize = 0x100;
+
+  Program() = default;
+  Program(Program &&) = default;
+  Program &operator=(Program &&) = default;
+
+  /// Adds a module; returns its index.
+  unsigned addModule(std::string Name, std::unique_ptr<ModuleLang> Lang,
+                     GlobalEnv GE);
+
+  /// Adds a thread with the given entry function (and optional arguments).
+  void addThread(std::string Entry, std::vector<Value> Args = {});
+
+  /// Assigns global addresses, binds each module's globals, and records
+  /// the shared/object location sets. Must be called exactly once before
+  /// loading.
+  void link();
+
+  bool linked() const { return Linked; }
+
+  const std::vector<ModuleDecl> &modules() const { return Modules; }
+  ModuleDecl &module(unsigned Idx) { return Modules[Idx]; }
+  const ModuleDecl &module(unsigned Idx) const { return Modules[Idx]; }
+
+  unsigned numThreads() const { return static_cast<unsigned>(Entries.size()); }
+  const std::string &threadEntry(unsigned T) const { return Entries[T].Name; }
+  const std::vector<Value> &threadArgs(unsigned T) const {
+    return Entries[T].Args;
+  }
+
+  /// Finds the module defining entry \p Name (first match wins), together
+  /// with the initial core, or nullopt if no module defines it.
+  std::optional<std::pair<unsigned, CoreRef>>
+  resolveEntry(const std::string &Name, const std::vector<Value> &Args) const;
+
+  /// The shared memory locations S (all globals of all modules).
+  const AddrSet &sharedAddrs() const { return Shared; }
+
+  /// The object-owned subset of S (Sec. 7.1 confinement).
+  const AddrSet &objectAddrs() const { return ObjectOwned; }
+
+  /// The initial memory GE(Pi) (Fig. 7 Load).
+  Mem initialMem() const;
+
+  /// The free-list region reserved for thread \p T.
+  FreeList threadRegion(ThreadId T) const {
+    return FreeList(ThreadRegionBase + T * ThreadRegionSize,
+                    ThreadRegionSize);
+  }
+
+private:
+  struct Entry {
+    std::string Name;
+    std::vector<Value> Args;
+  };
+
+  std::vector<ModuleDecl> Modules;
+  std::vector<Entry> Entries;
+  AddrSet Shared;
+  AddrSet ObjectOwned;
+  bool Linked = false;
+};
+
+} // namespace ccc
+
+#endif // CASCC_CORE_PROGRAM_H

@@ -1,0 +1,58 @@
+//===- core/Semantics.cpp - Whole-program semantics façade ----------------===//
+
+#include "core/Semantics.h"
+
+using namespace ccc;
+
+TraceSet ccc::preemptiveTraces(const Program &P, ExploreOptions Opts,
+                               ExploreStats *Stats) {
+  Explorer<World> E(Opts);
+  E.build(World::load(P));
+  if (Stats) {
+    Stats->States = E.numStates();
+    Stats->Truncated = E.truncated();
+  }
+  return E.traces();
+}
+
+TraceSet ccc::nonPreemptiveTraces(const Program &P, ExploreOptions Opts,
+                                  ExploreStats *Stats) {
+  Explorer<NPWorld> E(Opts);
+  E.build(NPWorld::loadAll(P));
+  if (Stats) {
+    Stats->States = E.numStates();
+    Stats->Truncated = E.truncated();
+  }
+  return E.traces();
+}
+
+std::optional<RaceWitness> ccc::findDataRace(const Program &P,
+                                             ExploreOptions Opts) {
+  Explorer<World> E(Opts);
+  E.build(World::load(P));
+  return E.findRace();
+}
+
+bool ccc::isDRF(const Program &P, ExploreOptions Opts) {
+  return !findDataRace(P, Opts).has_value();
+}
+
+std::optional<RaceWitness> ccc::findNPDataRace(const Program &P,
+                                               ExploreOptions Opts) {
+  Explorer<NPWorld> E(Opts);
+  E.build(NPWorld::loadAll(P));
+  return E.findRace();
+}
+
+bool ccc::isNPDRF(const Program &P, ExploreOptions Opts) {
+  return !findNPDataRace(P, Opts).has_value();
+}
+
+bool ccc::isSafe(const Program &P, ExploreOptions Opts, std::string *Reason) {
+  Explorer<World> E(Opts);
+  E.build(World::load(P));
+  auto R = E.abortReason();
+  if (R && Reason)
+    *Reason = *R;
+  return !R.has_value();
+}

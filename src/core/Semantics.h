@@ -1,0 +1,58 @@
+//===- core/Semantics.h - Whole-program semantics façade --------*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Convenience entry points tying Programs to the exploration engine:
+/// preemptive and non-preemptive trace sets, DRF / NPDRF checks (Sec. 5),
+/// and Safe(P).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_CORE_SEMANTICS_H
+#define CASCC_CORE_SEMANTICS_H
+
+#include "core/Explorer.h"
+#include "core/NPWorld.h"
+#include "core/Program.h"
+#include "core/World.h"
+
+#include <optional>
+
+namespace ccc {
+
+/// Statistics from one exploration.
+struct ExploreStats {
+  std::size_t States = 0;
+  bool Truncated = false;
+};
+
+/// Etr of the preemptive semantics (P = let Pi in f1 || ... || fn).
+TraceSet preemptiveTraces(const Program &P, ExploreOptions Opts = {},
+                          ExploreStats *Stats = nullptr);
+
+/// Etr of the non-preemptive semantics (P = let Pi in f1 | ... | fn).
+TraceSet nonPreemptiveTraces(const Program &P, ExploreOptions Opts = {},
+                             ExploreStats *Stats = nullptr);
+
+/// DRF(P) (Sec. 5): no reachable preemptive state predicts conflicting
+/// footprints of two threads. Returns the witness when racy.
+std::optional<RaceWitness> findDataRace(const Program &P,
+                                        ExploreOptions Opts = {});
+bool isDRF(const Program &P, ExploreOptions Opts = {});
+
+/// NPDRF(P): the non-preemptive analogue.
+std::optional<RaceWitness> findNPDataRace(const Program &P,
+                                          ExploreOptions Opts = {});
+bool isNPDRF(const Program &P, ExploreOptions Opts = {});
+
+/// Safe(P): no reachable preemptive state is aborted.
+bool isSafe(const Program &P, ExploreOptions Opts = {},
+            std::string *Reason = nullptr);
+
+} // namespace ccc
+
+#endif // CASCC_CORE_SEMANTICS_H

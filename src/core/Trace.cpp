@@ -1,0 +1,104 @@
+//===- core/Trace.cpp - Observable event traces ----------------------------===//
+
+#include "core/Trace.h"
+
+#include "support/StrUtil.h"
+
+using namespace ccc;
+
+static const char *endName(TraceEnd E) {
+  switch (E) {
+  case TraceEnd::Done:
+    return "done";
+  case TraceEnd::Abort:
+    return "abort";
+  case TraceEnd::Div:
+    return "div";
+  case TraceEnd::Cut:
+    return "cut";
+  }
+  return "?";
+}
+
+std::string Trace::toString() const {
+  StrBuilder B;
+  for (int64_t E : Events)
+    B << E << ':';
+  B << endName(End);
+  return B.take();
+}
+
+bool TraceSet::truncated() const {
+  for (const Trace &T : Traces)
+    if (T.End == TraceEnd::Cut)
+      return true;
+  return false;
+}
+
+bool TraceSet::hasAbort() const {
+  for (const Trace &T : Traces)
+    if (T.End == TraceEnd::Abort)
+      return true;
+  return false;
+}
+
+TraceSet TraceSet::collapseTermination() const {
+  TraceSet Out;
+  for (Trace T : Traces) {
+    if (T.End == TraceEnd::Div)
+      T.End = TraceEnd::Done;
+    Out.insert(std::move(T));
+  }
+  return Out;
+}
+
+bool TraceSet::subsetOf(const TraceSet &Other) const {
+  for (const Trace &T : Traces)
+    if (!Other.contains(T))
+      return false;
+  return true;
+}
+
+std::string TraceSet::toString() const {
+  StrBuilder B;
+  B << '{';
+  bool First = true;
+  for (const Trace &T : Traces) {
+    if (!First)
+      B << ", ";
+    First = false;
+    B << T.toString();
+  }
+  B << '}';
+  return B.take();
+}
+
+RefineResult ccc::refinesTraces(const TraceSet &Impl, const TraceSet &Spec,
+                                bool TermInsensitive) {
+  RefineResult R;
+  R.Definitive = !Impl.truncated() && !Spec.truncated();
+  const TraceSet ImplC =
+      TermInsensitive ? Impl.collapseTermination() : Impl;
+  const TraceSet SpecC =
+      TermInsensitive ? Spec.collapseTermination() : Spec;
+  for (const Trace &T : ImplC.traces()) {
+    if (T.End == TraceEnd::Cut)
+      continue;
+    if (!SpecC.contains(T)) {
+      R.Holds = false;
+      R.CounterExample = T.toString();
+      return R;
+    }
+  }
+  R.Holds = true;
+  return R;
+}
+
+RefineResult ccc::equivTraces(const TraceSet &A, const TraceSet &B) {
+  RefineResult Fwd = refinesTraces(A, B);
+  if (!Fwd.Holds)
+    return Fwd;
+  RefineResult Bwd = refinesTraces(B, A);
+  Bwd.Definitive = Fwd.Definitive && Bwd.Definitive;
+  return Bwd;
+}

@@ -1,0 +1,103 @@
+//===- core/Trace.h - Observable event traces -------------------*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Observable event traces (paper: B, Sec. 3.2): finite sequences of
+/// external events possibly ending with a termination marker done or an
+/// abortion marker abort. Infinite silent executions are represented by a
+/// divergence terminal; exploration cutoffs by a cut terminal (which makes
+/// a trace set non-definitive).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_CORE_TRACE_H
+#define CASCC_CORE_TRACE_H
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ccc {
+
+/// How a complete trace ends.
+enum class TraceEnd : uint8_t {
+  Done,  ///< All threads terminated (paper: done).
+  Abort, ///< The program aborted (paper: abort).
+  Div,   ///< Silent divergence after the event prefix.
+  Cut,   ///< Exploration bound reached (unknown continuation).
+};
+
+/// One complete observable trace.
+struct Trace {
+  std::vector<int64_t> Events;
+  TraceEnd End = TraceEnd::Done;
+
+  bool operator<(const Trace &Other) const {
+    if (Events != Other.Events)
+      return Events < Other.Events;
+    return End < Other.End;
+  }
+  bool operator==(const Trace &Other) const {
+    return Events == Other.Events && End == Other.End;
+  }
+
+  std::string toString() const;
+};
+
+/// A set of complete traces of a program (the Etr(P, B) relation as a set).
+class TraceSet {
+public:
+  void insert(Trace T) { Traces.insert(std::move(T)); }
+
+  bool contains(const Trace &T) const { return Traces.count(T) != 0; }
+  std::size_t size() const { return Traces.size(); }
+  bool empty() const { return Traces.empty(); }
+
+  const std::set<Trace> &traces() const { return Traces; }
+
+  /// True if any trace ends with Cut (the set is a lower bound only).
+  bool truncated() const;
+
+  /// True if any trace ends with Abort.
+  bool hasAbort() const;
+
+  /// Collapses Done and Div into a single terminal, modeling the paper's
+  /// termination-insensitive refinement (Sec. 7.3's subset' relation).
+  TraceSet collapseTermination() const;
+
+  bool subsetOf(const TraceSet &Other) const;
+  bool operator==(const TraceSet &Other) const {
+    return Traces == Other.Traces;
+  }
+
+  std::string toString() const;
+
+private:
+  std::set<Trace> Traces;
+};
+
+/// Result of a refinement check.
+struct RefineResult {
+  bool Holds = false;
+  /// False when a trace set was truncated so the answer is only a bound.
+  bool Definitive = true;
+  std::string CounterExample;
+};
+
+/// Event-trace refinement P subset Q (Sec. 3.2): every trace of \p Impl is
+/// a trace of \p Spec. With \p TermInsensitive, uses the subset' relation
+/// of Sec. 7.3 which does not preserve termination.
+RefineResult refinesTraces(const TraceSet &Impl, const TraceSet &Spec,
+                           bool TermInsensitive = false);
+
+/// Event-trace equivalence P ~ Q (refinement in both directions).
+RefineResult equivTraces(const TraceSet &A, const TraceSet &B);
+
+} // namespace ccc
+
+#endif // CASCC_CORE_TRACE_H

@@ -1,0 +1,187 @@
+//===- core/World.cpp - The preemptive global semantics -------------------===//
+
+#include "core/World.h"
+
+#include "mem/MemPred.h"
+#include "support/StrUtil.h"
+
+#include <cassert>
+
+using namespace ccc;
+
+World World::load(const Program &P, ThreadId Start) {
+  assert(P.linked() && "link the program before loading");
+  World W;
+  W.Prog = &P;
+  W.M = P.initialMem();
+  W.Cur = Start;
+  for (ThreadId T = 0; T < P.numThreads(); ++T) {
+    ThreadState TS;
+    auto Resolved = P.resolveEntry(P.threadEntry(T), P.threadArgs(T));
+    if (!Resolved) {
+      W.Abort = true;
+      W.AbortReason = "unknown thread entry: " + P.threadEntry(T);
+      return W;
+    }
+    FreeList Region = P.threadRegion(T);
+    TS.Stack.push_back(
+        Frame{Resolved->first, Resolved->second,
+              Region.subRegion(0, Program::FrameRegionSize)});
+    TS.NextFrameOff = Program::FrameRegionSize;
+    W.Threads.push_back(std::move(TS));
+  }
+  // Load side condition: the initial memory contains no wild pointers.
+  if (!closedMem(W.M)) {
+    W.Abort = true;
+    W.AbortReason = "initial memory not closed";
+  }
+  return W;
+}
+
+bool World::done() const {
+  if (Abort)
+    return false;
+  for (const ThreadState &T : Threads)
+    if (!T.Finished)
+      return false;
+  return true;
+}
+
+GSucc<World> World::makeAbort(std::string Reason) const {
+  World Next = *this;
+  Next.Abort = true;
+  Next.AbortReason = std::move(Reason);
+  return GSucc<World>{GLabel::tau(), Footprint::emp(), Cur,
+                      std::move(Next)};
+}
+
+std::vector<GSucc<World>> World::succ() const {
+  std::vector<GSucc<World>> Out;
+  if (Abort || done())
+    return Out;
+
+  const ThreadState &CurT = Threads[Cur];
+  if (!CurT.Finished) {
+    const ModuleDecl &Mod = Prog->module(CurT.top().ModIdx);
+    auto Steps = Mod.Lang->step(CurT.top().F, *CurT.top().C, M);
+    if (Steps.empty()) {
+      Out.push_back(makeAbort("thread stuck"));
+    }
+    for (const LocalStep &LS : Steps) {
+      if (LS.Abort) {
+        Out.push_back(makeAbort(LS.AbortReason));
+        continue;
+      }
+      switch (LS.M.K) {
+      case Msg::Kind::EntAtom: {
+        // EntAt rule: requires d = 0.
+        if (AtomBit) {
+          Out.push_back(makeAbort("nested atomic block"));
+          break;
+        }
+        World Next = *this;
+        Next.AtomBit = true;
+        Next.Threads[Cur].top().C = LS.Next;
+        Out.push_back(
+            GSucc<World>{GLabel::tau(), LS.FP, Cur, std::move(Next)});
+        break;
+      }
+      case Msg::Kind::ExtAtom: {
+        // ExtAt rule: requires d = 1.
+        if (!AtomBit) {
+          Out.push_back(makeAbort("ExtAtom outside atomic block"));
+          break;
+        }
+        World Next = *this;
+        Next.AtomBit = false;
+        Next.Threads[Cur].top().C = LS.Next;
+        Out.push_back(
+            GSucc<World>{GLabel::tau(), LS.FP, Cur, std::move(Next)});
+        break;
+      }
+      case Msg::Kind::Spawn: {
+        // Spawn rule (extension): create a thread with a fresh free list;
+        // the spawner continues.
+        World Next = *this;
+        std::string Reason;
+        if (!spawnThread(*Prog, Next.Threads, LS.M, Reason)) {
+          Out.push_back(makeAbort(Reason));
+          break;
+        }
+        Next.Threads[Cur].top().C = LS.Next;
+        Next.M = LS.NextMem;
+        Out.push_back(
+            GSucc<World>{GLabel::tau(), LS.FP, Cur, std::move(Next)});
+        break;
+      }
+      default: {
+        World Next = *this;
+        std::string Reason;
+        FrameStepStatus St =
+            applyFrameStep(*Prog, Next.Threads[Cur], Prog->threadRegion(Cur),
+                           LS, Next.M, Reason);
+        if (St == FrameStepStatus::Abort) {
+          Out.push_back(makeAbort(Reason));
+          break;
+        }
+        if (St == FrameStepStatus::ThreadFinished && AtomBit) {
+          Out.push_back(makeAbort("thread terminated inside atomic block"));
+          break;
+        }
+        GLabel L = LS.M.K == Msg::Kind::Event ? GLabel::event(LS.M.EventVal)
+                                              : GLabel::tau();
+        Out.push_back(GSucc<World>{L, LS.FP, Cur, std::move(Next)});
+        break;
+      }
+      }
+    }
+  }
+
+  // Switch rule: any live thread may be scheduled when d = 0.
+  if (!AtomBit) {
+    for (ThreadId T = 0; T < Threads.size(); ++T) {
+      if (T == Cur || Threads[T].Finished)
+        continue;
+      World Next = *this;
+      Next.Cur = T;
+      Out.push_back(
+          GSucc<World>{GLabel::sw(), Footprint::emp(), T, std::move(Next)});
+    }
+  }
+  return Out;
+}
+
+std::string World::key() const {
+  StrBuilder B;
+  if (Abort)
+    B << "ABORT|";
+  B << 't' << Cur << 'd' << (AtomBit ? 1 : 0);
+  for (const ThreadState &T : Threads)
+    B << '[' << threadKey(T) << ']';
+  B << '#' << M.key();
+  return B.take();
+}
+
+std::vector<InstrFootprint> World::predictFor(ThreadId T) const {
+  std::vector<InstrFootprint> Out;
+  const ThreadState &TS = Threads[T];
+  if (TS.Finished || Abort)
+    return Out;
+  const ModuleDecl &Mod = Prog->module(TS.top().ModIdx);
+  auto Steps = Mod.Lang->step(TS.top().F, *TS.top().C, M);
+  for (const LocalStep &LS : Steps) {
+    if (LS.Abort)
+      continue;
+    if (LS.M.K == Msg::Kind::EntAtom) {
+      // Predict-1: the whole atomic block's footprint, bit 1.
+      for (const Footprint &FP :
+           predictAtomicBlock(*Mod.Lang, TS.top().F, LS.Next, M))
+        Out.push_back(InstrFootprint{FP, /*InAtomic=*/true});
+      continue;
+    }
+    // Predict-0: one step outside an atomic block, bit 0.
+    if (!LS.FP.empty())
+      Out.push_back(InstrFootprint{LS.FP, /*InAtomic=*/false});
+  }
+  return Out;
+}

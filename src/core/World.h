@@ -1,0 +1,75 @@
+//===- core/World.h - The preemptive global semantics -----------*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The preemptive global semantics (paper: W = (T, t, d, sigma) and the
+/// rules Load, tau-step, EntAt, ExtAt, Switch of Fig. 7). Context switch
+/// may occur at any program point outside atomic blocks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_CORE_WORLD_H
+#define CASCC_CORE_WORLD_H
+
+#include "core/WorldCommon.h"
+
+#include <string>
+#include <vector>
+
+namespace ccc {
+
+/// A preemptive world.
+class World {
+public:
+  /// The Load rule (Fig. 7): initializes the world from \p P starting at
+  /// thread \p Start. The rule's closed(sigma) side condition is checked
+  /// and failure turns into an aborted world.
+  static World load(const Program &P, ThreadId Start = 0);
+
+  /// All global successors per Fig. 7 (tau-step, EntAt, ExtAt, Switch).
+  std::vector<GSucc<World>> succ() const;
+
+  /// True when every thread has terminated (the done marker).
+  bool done() const;
+
+  /// True when the world aborted (stuck thread or explicit abort step).
+  bool aborted() const { return Abort; }
+  const std::string &abortReason() const { return AbortReason; }
+
+  /// Canonical key for memoized exploration.
+  std::string key() const;
+
+  /// The Predict rules of Fig. 9: the instrumented footprints thread \p T
+  /// may generate next from this world. Only meaningful when the world's
+  /// atomic bit is 0 (the Race rule's precondition).
+  std::vector<InstrFootprint> predictFor(ThreadId T) const;
+
+  /// True when the Race rule's precondition d = 0 holds here.
+  bool racePredictable() const { return !AtomBit && !Abort; }
+
+  ThreadId curThread() const { return Cur; }
+  bool inAtomic() const { return AtomBit; }
+  const Mem &mem() const { return M; }
+  const Program &program() const { return *Prog; }
+  unsigned numThreads() const { return static_cast<unsigned>(Threads.size()); }
+  const ThreadState &thread(ThreadId T) const { return Threads[T]; }
+
+private:
+  const Program *Prog = nullptr;
+  std::vector<ThreadState> Threads;
+  ThreadId Cur = 0;
+  bool AtomBit = false;
+  Mem M;
+  bool Abort = false;
+  std::string AbortReason;
+
+  GSucc<World> makeAbort(std::string Reason) const;
+};
+
+} // namespace ccc
+
+#endif // CASCC_CORE_WORLD_H

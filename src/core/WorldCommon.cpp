@@ -1,0 +1,165 @@
+//===- core/WorldCommon.cpp - Shared global-semantics machinery -----------===//
+
+#include "core/WorldCommon.h"
+
+#include "support/StrUtil.h"
+
+#include <cassert>
+#include <deque>
+#include <set>
+
+using namespace ccc;
+
+std::string GLabel::toString() const {
+  switch (K) {
+  case Kind::Tau:
+    return "tau";
+  case Kind::Event:
+    return "ev(" + std::to_string(EventVal) + ")";
+  case Kind::Sw:
+    return "sw";
+  }
+  return "?";
+}
+
+FrameStepStatus ccc::applyFrameStep(const Program &P, ThreadState &T,
+                                    const FreeList &ThreadRegion,
+                                    const LocalStep &LS, Mem &M,
+                                    std::string &AbortReason) {
+  assert(!T.Finished && "stepping a finished thread");
+  switch (LS.M.K) {
+  case Msg::Kind::Tau:
+  case Msg::Kind::Event:
+    T.top().C = LS.Next;
+    M = LS.NextMem;
+    return FrameStepStatus::Ok;
+
+  case Msg::Kind::Ret: {
+    M = LS.NextMem;
+    T.Stack.pop_back();
+    // Stack discipline: the frame's free-list region becomes reusable by
+    // the next call. The memory cells stay allocated (the paper's
+    // forward property — the domain never shrinks); re-entry overwrites
+    // them at the allocation step.
+    T.NextFrameOff -= Program::FrameRegionSize;
+    if (T.Stack.empty()) {
+      T.Finished = true;
+      return FrameStepStatus::ThreadFinished;
+    }
+    const ModuleDecl &Caller = P.module(T.top().ModIdx);
+    CoreRef Resumed = Caller.Lang->applyReturn(*T.top().C, LS.M.RetVal);
+    if (!Resumed) {
+      AbortReason = "caller cannot accept return value";
+      return FrameStepStatus::Abort;
+    }
+    T.top().C = Resumed;
+    return FrameStepStatus::Ok;
+  }
+
+  case Msg::Kind::ExtCall:
+  case Msg::Kind::TailCall: {
+    M = LS.NextMem;
+    // The calling core has already stepped to its after-call continuation.
+    T.top().C = LS.Next;
+    if (LS.M.K == Msg::Kind::TailCall) {
+      T.Stack.pop_back();
+      T.NextFrameOff -= Program::FrameRegionSize;
+    }
+    auto Resolved = P.resolveEntry(LS.M.Callee, LS.M.Args);
+    if (!Resolved) {
+      AbortReason = "unknown external entry: " + LS.M.Callee;
+      return FrameStepStatus::Abort;
+    }
+    if (T.NextFrameOff + Program::FrameRegionSize > ThreadRegion.size()) {
+      AbortReason = "thread free list exhausted (call depth)";
+      return FrameStepStatus::Abort;
+    }
+    FreeList FrameF =
+        ThreadRegion.subRegion(T.NextFrameOff, Program::FrameRegionSize);
+    T.NextFrameOff += Program::FrameRegionSize;
+    T.Stack.push_back(Frame{Resolved->first, Resolved->second, FrameF});
+    return FrameStepStatus::Ok;
+  }
+
+  case Msg::Kind::EntAtom:
+  case Msg::Kind::ExtAtom:
+  case Msg::Kind::Spawn:
+    assert(false && "atomic boundaries and spawn are handled by the caller");
+    return FrameStepStatus::Abort;
+  }
+  return FrameStepStatus::Abort;
+}
+
+bool ccc::spawnThread(const Program &P, std::vector<ThreadState> &Threads,
+                      const Msg &M, std::string &AbortReason) {
+  auto Resolved = P.resolveEntry(M.Callee, M.Args);
+  if (!Resolved) {
+    AbortReason = "unknown spawn entry: " + M.Callee;
+    return false;
+  }
+  ThreadId NewTid = static_cast<ThreadId>(Threads.size());
+  FreeList Region = P.threadRegion(NewTid);
+  ThreadState TS;
+  TS.Stack.push_back(Frame{Resolved->first, Resolved->second,
+                           Region.subRegion(0, Program::FrameRegionSize)});
+  TS.NextFrameOff = Program::FrameRegionSize;
+  Threads.push_back(std::move(TS));
+  return true;
+}
+
+std::string ccc::threadKey(const ThreadState &T) {
+  if (T.Finished)
+    return "fin";
+  StrBuilder B;
+  B << "o" << T.NextFrameOff;
+  for (const Frame &F : T.Stack) {
+    B << "|m" << F.ModIdx << '@'
+      << static_cast<uint64_t>(F.F.base()) << ':' << F.C->key();
+  }
+  return B.take();
+}
+
+std::vector<Footprint> ccc::predictAtomicBlock(const ModuleLang &Lang,
+                                               const FreeList &F,
+                                               const CoreRef &AfterEnt,
+                                               const Mem &M,
+                                               unsigned MaxStates) {
+  struct Item {
+    CoreRef C;
+    Mem M;
+    Footprint Acc;
+  };
+  std::vector<Footprint> Out;
+  std::deque<Item> Work;
+  std::set<std::string> Seen;
+  Work.push_back({AfterEnt, M, Footprint::emp()});
+  unsigned Visited = 0;
+  while (!Work.empty()) {
+    Item Cur = std::move(Work.front());
+    Work.pop_front();
+    if (++Visited > MaxStates) {
+      // Conservative cutoff: report what was accumulated.
+      Out.push_back(Cur.Acc);
+      continue;
+    }
+    std::string Key = Cur.C->key() + "#" + Cur.M.key();
+    if (!Seen.insert(Key).second)
+      continue;
+    auto Steps = Lang.step(F, *Cur.C, Cur.M);
+    if (Steps.empty()) {
+      Out.push_back(Cur.Acc);
+      continue;
+    }
+    for (const LocalStep &LS : Steps) {
+      Footprint Acc = Cur.Acc.unioned(LS.FP);
+      if (LS.Abort || LS.M.K == Msg::Kind::ExtAtom ||
+          LS.M.K != Msg::Kind::Tau) {
+        // End of the block (or a non-silent step we do not follow).
+        Out.push_back(Acc);
+        continue;
+      }
+      Work.push_back({LS.Next, LS.NextMem, std::move(Acc)});
+    }
+  }
+  return Out;
+}

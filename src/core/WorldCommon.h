@@ -1,0 +1,99 @@
+//===- core/WorldCommon.h - Shared global-semantics machinery ---*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Machinery shared by the preemptive (Fig. 7) and non-preemptive
+/// (Sec. 3.3) global semantics: thread states as stacks of frames
+/// (footnote 5), global step labels, and the frame push/pop logic for
+/// external calls and returns.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_CORE_WORLDCOMMON_H
+#define CASCC_CORE_WORLDCOMMON_H
+
+#include "core/ModuleLang.h"
+#include "core/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace ccc {
+
+/// One stack frame of a thread: module, core, and the frame's free list.
+struct Frame {
+  unsigned ModIdx = 0;
+  CoreRef C;
+  FreeList F;
+};
+
+/// The runtime state of one thread: a stack of frames plus the allocation
+/// cursor of the thread's free-list region.
+struct ThreadState {
+  std::vector<Frame> Stack;
+  uint32_t NextFrameOff = 0;
+  bool Finished = false;
+
+  const Frame &top() const { return Stack.back(); }
+  Frame &top() { return Stack.back(); }
+};
+
+/// The label of a global step (paper: o ::= tau | e | sw, Fig. 7).
+struct GLabel {
+  enum class Kind { Tau, Event, Sw };
+  Kind K = Kind::Tau;
+  int64_t EventVal = 0;
+
+  static GLabel tau() { return GLabel{}; }
+  static GLabel event(int64_t V) { return GLabel{Kind::Event, V}; }
+  static GLabel sw() { return GLabel{Kind::Sw, 0}; }
+
+  bool isEvent() const { return K == Kind::Event; }
+  std::string toString() const;
+};
+
+/// A successor of a global state.
+template <typename WorldT> struct GSucc {
+  GLabel L;
+  Footprint FP;
+  ThreadId Tid = 0;
+  WorldT Next;
+};
+
+/// Outcome of applying a non-atomic-boundary local step to a thread.
+enum class FrameStepStatus { Ok, ThreadFinished, Abort };
+
+/// Applies a Tau/Event/Ret/ExtCall/TailCall local step \p LS to thread
+/// \p T, updating the global memory \p M. On abort, \p AbortReason is set.
+FrameStepStatus applyFrameStep(const Program &P, ThreadState &T,
+                               const FreeList &ThreadRegion,
+                               const LocalStep &LS, Mem &M,
+                               std::string &AbortReason);
+
+/// Renders a canonical key for a thread state.
+std::string threadKey(const ThreadState &T);
+
+/// Creates a new thread for a Spawn message (the paper's future-work
+/// extension, Sec. 8): the thread gets the next free-list region, which
+/// is disjoint from every existing one by construction.
+bool spawnThread(const Program &P, std::vector<ThreadState> &Threads,
+                 const Msg &M, std::string &AbortReason);
+
+/// Prediction of an atomic block's accumulated footprint (the Predict-1
+/// rule of Fig. 9): starting from \p AfterEnt (the core just after
+/// EntAtom), accumulates footprints over all silent paths until ExtAtom.
+/// Non-silent steps inside the block and the \p MaxStates bound make the
+/// prediction stop conservatively with what was accumulated so far.
+std::vector<Footprint> predictAtomicBlock(const ModuleLang &Lang,
+                                          const FreeList &F,
+                                          const CoreRef &AfterEnt,
+                                          const Mem &M,
+                                          unsigned MaxStates = 4096);
+
+} // namespace ccc
+
+#endif // CASCC_CORE_WORLDCOMMON_H

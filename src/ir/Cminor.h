@@ -1,0 +1,84 @@
+//===- ir/Cminor.h - The Cminor IR ------------------------------*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cminor: after Cminorgen, non-addressed locals live in temporaries (the
+/// core's register file) instead of memory. This is the pass where the
+/// target's footprint shrinks below the source's — exactly what the
+/// paper's FPmatch weakening permits. Since the Clight subset forbids
+/// address-taken locals (footnote 6), the stack frame becomes empty.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_IR_CMINOR_H
+#define CASCC_IR_CMINOR_H
+
+#include "clight/ClightAst.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ccc {
+namespace cminor {
+
+struct Expr {
+  enum class Kind { Const, Temp, AddrGlobal, Load, Un, Bin };
+
+  Kind K = Kind::Const;
+  int32_t IntVal = 0;
+  unsigned Temp = 0;
+  std::string Global;
+  clight::UnOp U = clight::UnOp::Neg; // Neg / Not
+  clight::BinOp B = clight::BinOp::Add;
+  std::unique_ptr<Expr> L, R;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+using Block = std::vector<StmtPtr>;
+
+struct Stmt {
+  enum class Kind { Skip, SetTemp, Store, If, While, Call, Return, Print };
+
+  Kind K = Kind::Skip;
+  unsigned Dst = 0; // SetTemp / call result temp
+  bool HasDst = false;
+  ExprPtr E1, E2;
+  Block Body, Else;
+  std::string Callee;
+  std::vector<ExprPtr> Args;
+};
+
+struct Function {
+  std::string Name;
+  bool RetVoid = true;
+  unsigned NumParams = 0; // params are temps 0..NumParams-1
+  unsigned NumTemps = 0;
+  unsigned FrameSize = 0; // always 0 in our subset; kept for fidelity
+  Block Body;
+};
+
+struct Module {
+  std::vector<std::pair<std::string, int32_t>> Globals;
+  std::vector<Function> Funcs;
+
+  const Function *find(const std::string &Name) const {
+    for (const Function &F : Funcs)
+      if (F.Name == Name)
+        return &F;
+    return nullptr;
+  }
+};
+
+} // namespace cminor
+} // namespace ccc
+
+#endif // CASCC_IR_CMINOR_H

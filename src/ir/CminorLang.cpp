@@ -1,0 +1,490 @@
+//===- ir/CminorLang.cpp - Cminor and CminorSel interpreters --------------===//
+
+#include "ir/IRLangs.h"
+
+#include "support/StrUtil.h"
+
+#include <cassert>
+
+using namespace ccc;
+using namespace ccc::ir;
+
+// ---------------------------------------------------------------------------
+// Cminor
+// ---------------------------------------------------------------------------
+
+namespace {
+
+template <typename StmtT> struct TempKontItem {
+  enum class Kind { Stmt, StoreRet };
+  Kind K = Kind::Stmt;
+  const StmtT *S = nullptr;
+  bool HasDst = false;
+  unsigned Dst = 0;
+};
+
+/// Shared core shape for the temp-based structured IRs.
+template <typename FunctionT, typename StmtT>
+class TempCore : public Core {
+public:
+  const FunctionT *F = nullptr;
+  std::vector<Value> Temps;
+  std::vector<TempKontItem<StmtT>> Kont;
+  Value PendingVal;
+  bool HasPending = false;
+
+  std::string key() const override {
+    StrBuilder B;
+    B << 'f' << reinterpret_cast<uintptr_t>(F);
+    if (HasPending)
+      B << 'p' << PendingVal.toString();
+    for (const auto &I : Kont) {
+      if (I.K == TempKontItem<StmtT>::Kind::Stmt)
+        B << 's' << reinterpret_cast<uintptr_t>(I.S) << ';';
+      else
+        B << "sr" << (I.HasDst ? std::to_string(I.Dst) : "-") << ';';
+    }
+    B << '|';
+    for (const Value &V : Temps)
+      B << V.toString() << ',';
+    return B.take();
+  }
+};
+
+template <typename CoreT, typename BlockT>
+void pushTempBlock(CoreT &C, const BlockT &B) {
+  using ItemT = std::decay_t<decltype(C.Kont.back())>;
+  for (auto It = B.rbegin(); It != B.rend(); ++It)
+    C.Kont.push_back(ItemT{ItemT::Kind::Stmt, It->get(), false, 0});
+}
+
+using CmCore = TempCore<cminor::Function, cminor::Stmt>;
+using SelCore = TempCore<cminorsel::Function, cminorsel::Stmt>;
+
+std::optional<Value> evalCmExpr(const cminor::Expr &E,
+                                const std::vector<Value> &Temps,
+                                const GlobalEnv &GE, const Mem &M,
+                                Footprint &FP) {
+  using cminor::Expr;
+  switch (E.K) {
+  case Expr::Kind::Const:
+    return Value::makeInt(E.IntVal);
+  case Expr::Kind::Temp:
+    if (E.Temp >= Temps.size())
+      return std::nullopt;
+    return Temps[E.Temp];
+  case Expr::Kind::AddrGlobal: {
+    auto A = GE.lookup(E.Global);
+    if (!A)
+      return std::nullopt;
+    return Value::makePtr(*A);
+  }
+  case Expr::Kind::Load: {
+    auto A = evalCmExpr(*E.L, Temps, GE, M, FP);
+    if (!A || !A->isPtr())
+      return std::nullopt;
+    auto V = M.load(A->asPtr());
+    if (!V)
+      return std::nullopt;
+    FP.addRead(A->asPtr());
+    return V;
+  }
+  case Expr::Kind::Un: {
+    auto V = evalCmExpr(*E.L, Temps, GE, M, FP);
+    if (!V || !V->isInt())
+      return std::nullopt;
+    if (E.U == clight::UnOp::Neg)
+      return Value::makeInt(
+          static_cast<int32_t>(-static_cast<uint32_t>(V->asInt())));
+    return Value::makeInt(V->asInt() == 0 ? 1 : 0);
+  }
+  case Expr::Kind::Bin: {
+    auto L = evalCmExpr(*E.L, Temps, GE, M, FP);
+    auto R = evalCmExpr(*E.R, Temps, GE, M, FP);
+    if (!L || !R)
+      return std::nullopt;
+    using clight::BinOp;
+    if (L->isPtr() || R->isPtr()) {
+      if (E.B == BinOp::Eq)
+        return Value::makeInt(*L == *R ? 1 : 0);
+      if (E.B == BinOp::Ne)
+        return Value::makeInt(*L == *R ? 0 : 1);
+      return std::nullopt;
+    }
+    if (!L->isInt() || !R->isInt())
+      return std::nullopt;
+    int32_t A = L->asInt(), B = R->asInt();
+    auto Wrap = [](int64_t V) {
+      return Value::makeInt(static_cast<int32_t>(static_cast<uint32_t>(V)));
+    };
+    switch (E.B) {
+    case BinOp::Add:
+      return Wrap(static_cast<int64_t>(A) + B);
+    case BinOp::Sub:
+      return Wrap(static_cast<int64_t>(A) - B);
+    case BinOp::Mul:
+      return Wrap(static_cast<int64_t>(A) * B);
+    case BinOp::Div:
+      return B == 0 ? std::nullopt
+                    : std::optional<Value>(Wrap(static_cast<int64_t>(A) / B));
+    case BinOp::Mod:
+      return B == 0 ? std::nullopt
+                    : std::optional<Value>(Wrap(static_cast<int64_t>(A) % B));
+    case BinOp::Eq:
+      return Value::makeInt(A == B);
+    case BinOp::Ne:
+      return Value::makeInt(A != B);
+    case BinOp::Lt:
+      return Value::makeInt(A < B);
+    case BinOp::Le:
+      return Value::makeInt(A <= B);
+    case BinOp::Gt:
+      return Value::makeInt(A > B);
+    case BinOp::Ge:
+      return Value::makeInt(A >= B);
+    case BinOp::And:
+      return Value::makeInt(A != 0 && B != 0);
+    case BinOp::Or:
+      return Value::makeInt(A != 0 || B != 0);
+    }
+    return std::nullopt;
+  }
+  }
+  return std::nullopt;
+}
+
+std::optional<Value> evalSelExpr(const cminorsel::Expr &E,
+                                 const std::vector<Value> &Temps,
+                                 const GlobalEnv &GE, const Mem &M,
+                                 Footprint &FP) {
+  using cminorsel::Expr;
+  switch (E.K) {
+  case Expr::Kind::Temp:
+    if (E.Temp >= Temps.size())
+      return std::nullopt;
+    return Temps[E.Temp];
+  case Expr::Kind::Load: {
+    auto A = evalSelExpr(*E.Args[0], Temps, GE, M, FP);
+    if (!A || !A->isPtr())
+      return std::nullopt;
+    auto V = M.load(A->asPtr());
+    if (!V)
+      return std::nullopt;
+    FP.addRead(A->asPtr());
+    return V;
+  }
+  case Expr::Kind::Op: {
+    Addr GA = 0;
+    if (E.O == Oper::Addrglobal) {
+      auto A = GE.lookup(E.Global);
+      if (!A)
+        return std::nullopt;
+      GA = *A;
+    }
+    Value A, B;
+    unsigned Arity = operArity(E.O);
+    if (Arity >= 1) {
+      auto V = evalSelExpr(*E.Args[0], Temps, GE, M, FP);
+      if (!V)
+        return std::nullopt;
+      A = *V;
+    }
+    if (Arity >= 2) {
+      auto V = evalSelExpr(*E.Args[1], Temps, GE, M, FP);
+      if (!V)
+        return std::nullopt;
+      B = *V;
+    }
+    return evalOper(E.O, E.C, E.Imm, GA, A, B);
+  }
+  }
+  return std::nullopt;
+}
+
+std::optional<bool> evalSelCond(const cminorsel::CondExpr &C,
+                                const std::vector<Value> &Temps,
+                                const GlobalEnv &GE, const Mem &M,
+                                Footprint &FP) {
+  auto A = evalSelExpr(*C.Args[0], Temps, GE, M, FP);
+  if (!A)
+    return std::nullopt;
+  Value B = Value::makeInt(C.Imm);
+  if (!C.OneArg) {
+    auto BV = evalSelExpr(*C.Args[1], Temps, GE, M, FP);
+    if (!BV)
+      return std::nullopt;
+    B = *BV;
+  }
+  return evalCmp(C.C, *A, B);
+}
+
+/// Generic structured-statement stepper shared by Cminor and CminorSel.
+/// Eval hooks abstract over expression/condition evaluation.
+template <typename CoreT, typename StmtT, typename EvalE, typename EvalC>
+std::vector<LocalStep> stepTempLang(const char *LangName, const CoreT &Cr,
+                                    const Mem &M, EvalE evalE, EvalC evalC) {
+  std::vector<LocalStep> Out;
+  auto abort = [&Out, LangName](const std::string &R) {
+    Out.push_back(LocalStep::abort(std::string(LangName) + ": " + R));
+  };
+
+  if (Cr.Kont.empty()) {
+    LocalStep S;
+    S.M = Msg::ret(Value::makeInt(0));
+    S.NextMem = M;
+    S.Next = std::make_shared<CoreT>(Cr);
+    Out.push_back(std::move(S));
+    return Out;
+  }
+
+  const auto Top = Cr.Kont.back();
+  auto popped = [&Cr]() {
+    auto N = std::make_shared<CoreT>(Cr);
+    N->Kont.pop_back();
+    return N;
+  };
+
+  using Item = TempKontItem<StmtT>;
+  if (Top.K == Item::Kind::StoreRet) {
+    if (!Cr.HasPending) {
+      abort("stepped while awaiting return");
+      return Out;
+    }
+    LocalStep S;
+    S.M = Msg::tau();
+    S.NextMem = M;
+    auto N = popped();
+    N->HasPending = false;
+    if (Top.HasDst) {
+      if (Top.Dst >= N->Temps.size()) {
+        abort("bad call-result temp");
+        return Out;
+      }
+      N->Temps[Top.Dst] = Cr.PendingVal;
+    }
+    S.Next = std::move(N);
+    Out.push_back(std::move(S));
+    return Out;
+  }
+
+  const StmtT &St = *Top.S;
+  Footprint FP;
+  auto finish = [&](Msg Ms, CoreRef Next, Mem NM) {
+    LocalStep S;
+    S.M = std::move(Ms);
+    S.FP = FP;
+    S.NextMem = std::move(NM);
+    S.Next = std::move(Next);
+    Out.push_back(std::move(S));
+  };
+
+  switch (St.K) {
+  case StmtT::Kind::Skip:
+    finish(Msg::tau(), popped(), M);
+    break;
+  case StmtT::Kind::SetTemp: {
+    auto V = evalE(*St.E1, FP);
+    if (!V) {
+      abort("bad expression");
+      break;
+    }
+    auto N = popped();
+    if (St.Dst >= N->Temps.size()) {
+      abort("bad temp");
+      break;
+    }
+    N->Temps[St.Dst] = *V;
+    finish(Msg::tau(), std::move(N), M);
+    break;
+  }
+  case StmtT::Kind::Store: {
+    auto A = evalE(*St.E1, FP);
+    auto V = evalE(*St.E2, FP);
+    if (!A || !A->isPtr() || !V) {
+      abort("bad store");
+      break;
+    }
+    Mem NM = M;
+    if (!NM.store(A->asPtr(), *V)) {
+      abort("store to unallocated address");
+      break;
+    }
+    FP.addWrite(A->asPtr());
+    finish(Msg::tau(), popped(), std::move(NM));
+    break;
+  }
+  case StmtT::Kind::If: {
+    auto V = evalC(St, FP);
+    if (!V) {
+      abort("bad condition");
+      break;
+    }
+    auto N = popped();
+    pushTempBlock(*N, *V ? St.Body : St.Else);
+    finish(Msg::tau(), std::move(N), M);
+    break;
+  }
+  case StmtT::Kind::While: {
+    auto V = evalC(St, FP);
+    if (!V) {
+      abort("bad condition");
+      break;
+    }
+    auto N = std::make_shared<CoreT>(Cr);
+    if (*V)
+      pushTempBlock(*N, St.Body);
+    else
+      N->Kont.pop_back();
+    finish(Msg::tau(), std::move(N), M);
+    break;
+  }
+  case StmtT::Kind::Call: {
+    std::vector<Value> Args;
+    bool Bad = false;
+    for (const auto &AE : St.Args) {
+      auto V = evalE(*AE, FP);
+      if (!V) {
+        Bad = true;
+        break;
+      }
+      Args.push_back(*V);
+    }
+    if (Bad) {
+      abort("bad call argument");
+      break;
+    }
+    auto N = popped();
+    N->Kont.push_back(Item{Item::Kind::StoreRet, nullptr, St.HasDst,
+                           St.Dst});
+    finish(Msg::extCall(St.Callee, std::move(Args)), std::move(N), M);
+    break;
+  }
+  case StmtT::Kind::Return: {
+    Value V = Value::makeInt(0);
+    if (St.E1) {
+      auto E = evalE(*St.E1, FP);
+      if (!E) {
+        abort("bad return expression");
+        break;
+      }
+      V = *E;
+    }
+    auto N = std::make_shared<CoreT>(Cr);
+    N->Kont.clear();
+    finish(Msg::ret(V), std::move(N), M);
+    break;
+  }
+  case StmtT::Kind::Print: {
+    auto V = evalE(*St.E1, FP);
+    if (!V || !V->isInt()) {
+      abort("print needs an integer");
+      break;
+    }
+    finish(Msg::event(V->asInt()), popped(), M);
+    break;
+  }
+  }
+  return Out;
+}
+
+template <typename CoreT, typename FunctionT>
+CoreRef initTempCore(const FunctionT *F, const std::vector<Value> &Args) {
+  if (!F || F->NumParams != Args.size())
+    return nullptr;
+  auto C = std::make_shared<CoreT>();
+  C->F = F;
+  C->Temps.assign(F->NumTemps, Value::makeUndef());
+  for (std::size_t I = 0; I < Args.size(); ++I)
+    C->Temps[I] = Args[I];
+  pushTempBlock(*C, F->Body);
+  return C;
+}
+
+template <typename CoreT>
+CoreRef applyTempReturn(const Core &C, const Value &V) {
+  const auto &Cr = static_cast<const CoreT &>(C);
+  using ItemT = std::decay_t<decltype(Cr.Kont.back())>;
+  if (Cr.Kont.empty() || Cr.Kont.back().K != ItemT::Kind::StoreRet)
+    return nullptr;
+  auto N = std::make_shared<CoreT>(Cr);
+  N->PendingVal = V;
+  N->HasPending = true;
+  return N;
+}
+
+} // namespace
+
+CminorLang::CminorLang(std::shared_ptr<const cminor::Module> M)
+    : Mod(std::move(M)) {}
+CminorLang::~CminorLang() = default;
+
+CoreRef CminorLang::initCore(const std::string &Entry,
+                             const std::vector<Value> &Args) const {
+  return initTempCore<CmCore>(Mod->find(Entry), Args);
+}
+
+std::vector<LocalStep> CminorLang::step(const FreeList &F, const Core &C,
+                                        const Mem &M) const {
+  (void)F; // our Cminor frames are empty (no address-taken locals)
+  const auto &Cr = static_cast<const CmCore &>(C);
+  auto EvalE = [&](const cminor::Expr &E, Footprint &FP) {
+    return evalCmExpr(E, Cr.Temps, *Globals, M, FP);
+  };
+  auto EvalC = [&](const cminor::Stmt &S,
+                   Footprint &FP) -> std::optional<bool> {
+    auto V = evalCmExpr(*S.E1, Cr.Temps, *Globals, M, FP);
+    if (!V || !V->isInt())
+      return std::nullopt;
+    return V->asInt() != 0;
+  };
+  return stepTempLang<CmCore, cminor::Stmt>("Cminor", Cr, M, EvalE, EvalC);
+}
+
+CoreRef CminorLang::applyReturn(const Core &C, const Value &V) const {
+  return applyTempReturn<CmCore>(C, V);
+}
+
+CminorSelLang::CminorSelLang(std::shared_ptr<const cminorsel::Module> M)
+    : Mod(std::move(M)) {}
+CminorSelLang::~CminorSelLang() = default;
+
+CoreRef CminorSelLang::initCore(const std::string &Entry,
+                                const std::vector<Value> &Args) const {
+  return initTempCore<SelCore>(Mod->find(Entry), Args);
+}
+
+std::vector<LocalStep> CminorSelLang::step(const FreeList &F, const Core &C,
+                                           const Mem &M) const {
+  (void)F;
+  const auto &Cr = static_cast<const SelCore &>(C);
+  auto EvalE = [&](const cminorsel::Expr &E, Footprint &FP) {
+    return evalSelExpr(E, Cr.Temps, *Globals, M, FP);
+  };
+  auto EvalC = [&](const cminorsel::Stmt &S, Footprint &FP) {
+    return evalSelCond(S.Cond, Cr.Temps, *Globals, M, FP);
+  };
+  return stepTempLang<SelCore, cminorsel::Stmt>("CminorSel", Cr, M, EvalE,
+                                                EvalC);
+}
+
+CoreRef CminorSelLang::applyReturn(const Core &C, const Value &V) const {
+  return applyTempReturn<SelCore>(C, V);
+}
+
+unsigned ccc::ir::addCminorModule(Program &P, const std::string &Name,
+                                  std::shared_ptr<const cminor::Module> M) {
+  GlobalEnv GE;
+  for (const auto &G : M->Globals)
+    GE.declare(G.first, Value::makeInt(G.second), DataOwner::Client);
+  return P.addModule(Name, std::make_unique<CminorLang>(M), std::move(GE));
+}
+
+unsigned
+ccc::ir::addCminorSelModule(Program &P, const std::string &Name,
+                            std::shared_ptr<const cminorsel::Module> M) {
+  GlobalEnv GE;
+  for (const auto &G : M->Globals)
+    GE.declare(G.first, Value::makeInt(G.second), DataOwner::Client);
+  return P.addModule(Name, std::make_unique<CminorSelLang>(M),
+                     std::move(GE));
+}

@@ -1,0 +1,92 @@
+//===- ir/CminorSel.h - The CminorSel IR ------------------------*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// CminorSel: after instruction Selection, expressions are trees of
+/// machine-level operators (ir::Oper) and branch conditions are fused
+/// comparisons instead of materialized booleans.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_IR_CMINORSEL_H
+#define CASCC_IR_CMINORSEL_H
+
+#include "ir/Ops.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ccc {
+namespace cminorsel {
+
+struct Expr {
+  enum class Kind { Temp, Op, Load };
+
+  Kind K = Kind::Temp;
+  unsigned Temp = 0;
+  ir::Oper O = ir::Oper::Intconst;
+  ir::Cmp C = ir::Cmp::Eq;
+  int32_t Imm = 0;
+  std::string Global; // Addrglobal
+  std::vector<std::unique_ptr<Expr>> Args;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+/// A fused branch condition: compare the evaluations of Args (one arg
+/// against Imm when OneArg).
+struct CondExpr {
+  ir::Cmp C = ir::Cmp::Ne;
+  bool OneArg = false;
+  int32_t Imm = 0;
+  std::vector<ExprPtr> Args;
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+using Block = std::vector<StmtPtr>;
+
+struct Stmt {
+  enum class Kind { Skip, SetTemp, Store, If, While, Call, Return, Print };
+
+  Kind K = Kind::Skip;
+  unsigned Dst = 0;
+  bool HasDst = false;
+  ExprPtr E1, E2;
+  CondExpr Cond; // If / While
+  Block Body, Else;
+  std::string Callee;
+  std::vector<ExprPtr> Args;
+};
+
+struct Function {
+  std::string Name;
+  bool RetVoid = true;
+  unsigned NumParams = 0;
+  unsigned NumTemps = 0;
+  unsigned FrameSize = 0;
+  Block Body;
+};
+
+struct Module {
+  std::vector<std::pair<std::string, int32_t>> Globals;
+  std::vector<Function> Funcs;
+
+  const Function *find(const std::string &Name) const {
+    for (const Function &F : Funcs)
+      if (F.Name == Name)
+        return &F;
+    return nullptr;
+  }
+};
+
+} // namespace cminorsel
+} // namespace ccc
+
+#endif // CASCC_IR_CMINORSEL_H

@@ -1,0 +1,83 @@
+//===- ir/Csharpminor.h - The C#minor IR ------------------------*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// C#minor: the first IR of the pipeline (Fig. 11). Structured control
+/// flow like Clight, but every variable access is an explicit memory load
+/// or store: locals are numbered slots in the frame (still allocated from
+/// the free list), and addresses are first-class expressions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_IR_CSHARPMINOR_H
+#define CASCC_IR_CSHARPMINOR_H
+
+#include "clight/ClightAst.h"
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ccc {
+namespace csharp {
+
+/// Expressions: explicit loads, slot/global addresses.
+struct Expr {
+  enum class Kind { Const, AddrSlot, AddrGlobal, Load, Un, Bin };
+
+  Kind K = Kind::Const;
+  int32_t IntVal = 0;
+  unsigned Slot = 0;
+  std::string Global;
+  clight::UnOp U = clight::UnOp::Neg; // Neg / Not (Deref becomes Load)
+  clight::BinOp B = clight::BinOp::Add;
+  std::unique_ptr<Expr> L, R;
+};
+
+using ExprPtr = std::unique_ptr<Expr>;
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+using Block = std::vector<StmtPtr>;
+
+struct Stmt {
+  enum class Kind { Skip, Store, If, While, Call, Return, Print };
+
+  Kind K = Kind::Skip;
+  ExprPtr E1, E2; // Store(addr, val) / conditions / return / print
+  Block Body, Else;
+  std::string Callee;
+  std::vector<ExprPtr> Args;
+  bool HasDst = false;
+  unsigned DstSlot = 0; // call result slot
+};
+
+struct Function {
+  std::string Name;
+  bool RetVoid = true;
+  unsigned NumParams = 0;
+  unsigned NumSlots = 0; // params + locals
+  Block Body;
+};
+
+struct Module {
+  std::vector<std::pair<std::string, int32_t>> Globals;
+  std::vector<Function> Funcs;
+
+  const Function *find(const std::string &Name) const {
+    for (const Function &F : Funcs)
+      if (F.Name == Name)
+        return &F;
+    return nullptr;
+  }
+};
+
+} // namespace csharp
+} // namespace ccc
+
+#endif // CASCC_IR_CSHARPMINOR_H

@@ -1,0 +1,361 @@
+//===- ir/CsharpminorLang.cpp - C#minor interpreter ------------------------===//
+
+#include "ir/IRLangs.h"
+
+#include "support/StrUtil.h"
+
+#include <cassert>
+
+using namespace ccc;
+using namespace ccc::ir;
+using namespace ccc::csharp;
+
+namespace {
+
+struct KontItem {
+  enum class Kind { Stmt, StoreRet };
+  Kind K = Kind::Stmt;
+  const Stmt *S = nullptr;
+  bool HasDst = false;
+  unsigned DstSlot = 0;
+};
+
+class CshCore : public Core {
+public:
+  const Function *F = nullptr;
+  bool Allocated = false;
+  std::vector<Value> EntryArgs;
+  std::vector<KontItem> Kont;
+  Value PendingVal;
+  bool HasPending = false;
+
+  std::string key() const override {
+    StrBuilder B;
+    B << 'f' << reinterpret_cast<uintptr_t>(F) << (Allocated ? 'A' : 'U');
+    if (HasPending)
+      B << 'p' << PendingVal.toString();
+    for (const KontItem &I : Kont) {
+      if (I.K == KontItem::Kind::Stmt)
+        B << 's' << reinterpret_cast<uintptr_t>(I.S) << ';';
+      else
+        B << "sr" << (I.HasDst ? std::to_string(I.DstSlot) : "-") << ';';
+    }
+    if (!Allocated) {
+      B << "|a:";
+      for (const Value &V : EntryArgs)
+        B << V.toString() << ',';
+    }
+    return B.take();
+  }
+};
+
+void pushBlock(std::vector<KontItem> &K, const Block &B) {
+  for (auto It = B.rbegin(); It != B.rend(); ++It)
+    K.push_back(KontItem{KontItem::Kind::Stmt, It->get(), false, 0});
+}
+
+std::optional<Value> evalExpr(const Expr &E, const FreeList &FL,
+                              const GlobalEnv &GE, const Mem &M,
+                              Footprint &FP) {
+  switch (E.K) {
+  case Expr::Kind::Const:
+    return Value::makeInt(E.IntVal);
+  case Expr::Kind::AddrSlot:
+    return Value::makePtr(FL.at(E.Slot));
+  case Expr::Kind::AddrGlobal: {
+    auto A = GE.lookup(E.Global);
+    if (!A)
+      return std::nullopt;
+    return Value::makePtr(*A);
+  }
+  case Expr::Kind::Load: {
+    auto A = evalExpr(*E.L, FL, GE, M, FP);
+    if (!A || !A->isPtr())
+      return std::nullopt;
+    auto V = M.load(A->asPtr());
+    if (!V)
+      return std::nullopt;
+    FP.addRead(A->asPtr());
+    return V;
+  }
+  case Expr::Kind::Un: {
+    auto V = evalExpr(*E.L, FL, GE, M, FP);
+    if (!V || !V->isInt())
+      return std::nullopt;
+    if (E.U == clight::UnOp::Neg)
+      return Value::makeInt(
+          static_cast<int32_t>(-static_cast<uint32_t>(V->asInt())));
+    return Value::makeInt(V->asInt() == 0 ? 1 : 0);
+  }
+  case Expr::Kind::Bin: {
+    auto L = evalExpr(*E.L, FL, GE, M, FP);
+    auto R = evalExpr(*E.R, FL, GE, M, FP);
+    if (!L || !R)
+      return std::nullopt;
+    using clight::BinOp;
+    if (L->isPtr() || R->isPtr()) {
+      if (E.B == BinOp::Eq)
+        return Value::makeInt(*L == *R ? 1 : 0);
+      if (E.B == BinOp::Ne)
+        return Value::makeInt(*L == *R ? 0 : 1);
+      return std::nullopt;
+    }
+    if (!L->isInt() || !R->isInt())
+      return std::nullopt;
+    int32_t A = L->asInt(), B = R->asInt();
+    auto Wrap = [](int64_t V) {
+      return Value::makeInt(static_cast<int32_t>(static_cast<uint32_t>(V)));
+    };
+    switch (E.B) {
+    case BinOp::Add:
+      return Wrap(static_cast<int64_t>(A) + B);
+    case BinOp::Sub:
+      return Wrap(static_cast<int64_t>(A) - B);
+    case BinOp::Mul:
+      return Wrap(static_cast<int64_t>(A) * B);
+    case BinOp::Div:
+      return B == 0 ? std::nullopt
+                    : std::optional<Value>(Wrap(static_cast<int64_t>(A) / B));
+    case BinOp::Mod:
+      return B == 0 ? std::nullopt
+                    : std::optional<Value>(Wrap(static_cast<int64_t>(A) % B));
+    case BinOp::Eq:
+      return Value::makeInt(A == B);
+    case BinOp::Ne:
+      return Value::makeInt(A != B);
+    case BinOp::Lt:
+      return Value::makeInt(A < B);
+    case BinOp::Le:
+      return Value::makeInt(A <= B);
+    case BinOp::Gt:
+      return Value::makeInt(A > B);
+    case BinOp::Ge:
+      return Value::makeInt(A >= B);
+    case BinOp::And:
+      return Value::makeInt(A != 0 && B != 0);
+    case BinOp::Or:
+      return Value::makeInt(A != 0 || B != 0);
+    }
+    return std::nullopt;
+  }
+  }
+  return std::nullopt;
+}
+
+} // namespace
+
+CsharpminorLang::CsharpminorLang(std::shared_ptr<const csharp::Module> M)
+    : Mod(std::move(M)) {}
+CsharpminorLang::~CsharpminorLang() = default;
+
+CoreRef CsharpminorLang::initCore(const std::string &Entry,
+                                  const std::vector<Value> &Args) const {
+  const Function *F = Mod->find(Entry);
+  if (!F || F->NumParams != Args.size())
+    return nullptr;
+  auto C = std::make_shared<CshCore>();
+  C->F = F;
+  C->EntryArgs = Args;
+  pushBlock(C->Kont, F->Body);
+  return C;
+}
+
+std::vector<LocalStep>
+CsharpminorLang::step(const FreeList &FL, const Core &C,
+                      const Mem &M) const {
+  const auto &Cr = static_cast<const CshCore &>(C);
+  const Function &F = *Cr.F;
+  std::vector<LocalStep> Out;
+  auto abort = [&Out](const std::string &R) {
+    Out.push_back(LocalStep::abort("Csharpminor: " + R));
+  };
+
+  if (!Cr.Allocated) {
+    if (F.NumSlots > FL.size()) {
+      abort("frame exceeds free list");
+      return Out;
+    }
+    LocalStep S;
+    S.M = Msg::tau();
+    S.NextMem = M;
+    for (unsigned I = 0; I < F.NumSlots; ++I) {
+      Addr A = FL.at(I);
+      Value Init = I < Cr.EntryArgs.size() ? Cr.EntryArgs[I]
+                                           : Value::makeUndef();
+      S.NextMem.alloc(A, Init);
+      S.FP.addWrite(A);
+    }
+    auto N = std::make_shared<CshCore>(Cr);
+    N->Allocated = true;
+    N->EntryArgs.clear();
+    S.Next = std::move(N);
+    Out.push_back(std::move(S));
+    return Out;
+  }
+
+  if (Cr.Kont.empty()) {
+    LocalStep S;
+    S.M = Msg::ret(Value::makeInt(0));
+    S.NextMem = M;
+    S.Next = std::make_shared<CshCore>(Cr);
+    Out.push_back(std::move(S));
+    return Out;
+  }
+
+  const KontItem Top = Cr.Kont.back();
+  auto popped = [&Cr]() {
+    auto N = std::make_shared<CshCore>(Cr);
+    N->Kont.pop_back();
+    return N;
+  };
+
+  if (Top.K == KontItem::Kind::StoreRet) {
+    if (!Cr.HasPending) {
+      abort("stepped while awaiting return");
+      return Out;
+    }
+    LocalStep S;
+    S.M = Msg::tau();
+    S.NextMem = M;
+    auto N = popped();
+    N->HasPending = false;
+    if (Top.HasDst) {
+      Addr A = FL.at(Top.DstSlot);
+      if (!S.NextMem.store(A, Cr.PendingVal)) {
+        abort("bad call-result slot");
+        return Out;
+      }
+      S.FP.addWrite(A);
+    }
+    S.Next = std::move(N);
+    Out.push_back(std::move(S));
+    return Out;
+  }
+
+  const Stmt &St = *Top.S;
+  Footprint FP;
+  auto eval = [&](const Expr &E) {
+    return evalExpr(E, FL, *Globals, M, FP);
+  };
+  auto finish = [&](Msg Ms, CoreRef Next, Mem NM) {
+    LocalStep S;
+    S.M = std::move(Ms);
+    S.FP = FP;
+    S.NextMem = std::move(NM);
+    S.Next = std::move(Next);
+    Out.push_back(std::move(S));
+  };
+
+  switch (St.K) {
+  case Stmt::Kind::Skip:
+    finish(Msg::tau(), popped(), M);
+    break;
+  case Stmt::Kind::Store: {
+    auto A = eval(*St.E1);
+    auto V = eval(*St.E2);
+    if (!A || !A->isPtr() || !V) {
+      abort("bad store");
+      break;
+    }
+    Mem NM = M;
+    if (!NM.store(A->asPtr(), *V)) {
+      abort("store to unallocated address");
+      break;
+    }
+    FP.addWrite(A->asPtr());
+    finish(Msg::tau(), popped(), std::move(NM));
+    break;
+  }
+  case Stmt::Kind::If: {
+    auto V = eval(*St.E1);
+    if (!V || !V->isInt()) {
+      abort("bad condition");
+      break;
+    }
+    auto N = popped();
+    pushBlock(N->Kont, V->asInt() != 0 ? St.Body : St.Else);
+    finish(Msg::tau(), std::move(N), M);
+    break;
+  }
+  case Stmt::Kind::While: {
+    auto V = eval(*St.E1);
+    if (!V || !V->isInt()) {
+      abort("bad condition");
+      break;
+    }
+    auto N = std::make_shared<CshCore>(Cr);
+    if (V->asInt() != 0)
+      pushBlock(N->Kont, St.Body);
+    else
+      N->Kont.pop_back();
+    finish(Msg::tau(), std::move(N), M);
+    break;
+  }
+  case Stmt::Kind::Call: {
+    std::vector<Value> Args;
+    bool Bad = false;
+    for (const ExprPtr &AE : St.Args) {
+      auto V = eval(*AE);
+      if (!V) {
+        Bad = true;
+        break;
+      }
+      Args.push_back(*V);
+    }
+    if (Bad) {
+      abort("bad call argument");
+      break;
+    }
+    auto N = popped();
+    N->Kont.push_back(
+        KontItem{KontItem::Kind::StoreRet, nullptr, St.HasDst, St.DstSlot});
+    finish(Msg::extCall(St.Callee, std::move(Args)), std::move(N), M);
+    break;
+  }
+  case Stmt::Kind::Return: {
+    Value V = Value::makeInt(0);
+    if (St.E1) {
+      auto E = eval(*St.E1);
+      if (!E) {
+        abort("bad return expression");
+        break;
+      }
+      V = *E;
+    }
+    auto N = std::make_shared<CshCore>(Cr);
+    N->Kont.clear();
+    finish(Msg::ret(V), std::move(N), M);
+    break;
+  }
+  case Stmt::Kind::Print: {
+    auto V = eval(*St.E1);
+    if (!V || !V->isInt()) {
+      abort("print needs an integer");
+      break;
+    }
+    finish(Msg::event(V->asInt()), popped(), M);
+    break;
+  }
+  }
+  return Out;
+}
+
+CoreRef CsharpminorLang::applyReturn(const Core &C, const Value &V) const {
+  const auto &Cr = static_cast<const CshCore &>(C);
+  if (Cr.Kont.empty() || Cr.Kont.back().K != KontItem::Kind::StoreRet)
+    return nullptr;
+  auto N = std::make_shared<CshCore>(Cr);
+  N->PendingVal = V;
+  N->HasPending = true;
+  return N;
+}
+
+unsigned ccc::ir::addCsharpminorModule(
+    Program &P, const std::string &Name,
+    std::shared_ptr<const csharp::Module> M) {
+  GlobalEnv GE;
+  for (const auto &G : M->Globals)
+    GE.declare(G.first, Value::makeInt(G.second), DataOwner::Client);
+  return P.addModule(Name, std::make_unique<CsharpminorLang>(M),
+                     std::move(GE));
+}

@@ -1,0 +1,165 @@
+//===- ir/IRLangs.h - The IR instantiations of the framework ----*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Every intermediate representation of the pipeline instantiates the
+/// abstract module language with a footprint-instrumented interpreter, so
+/// that the output of every pass can be executed, explored, and validated
+/// against its input with the same global semantics — the executable
+/// counterpart of CompCert's per-pass semantic preservation proofs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_IR_IRLANGS_H
+#define CASCC_IR_IRLANGS_H
+
+#include "core/ModuleLang.h"
+#include "core/Program.h"
+#include "ir/Cminor.h"
+#include "ir/CminorSel.h"
+#include "ir/Csharpminor.h"
+#include "ir/Linear.h"
+#include "ir/RTL.h"
+
+#include <memory>
+
+namespace ccc {
+namespace ir {
+
+/// C#minor interpreter: locals are frame slots in free-list memory.
+class CsharpminorLang : public ModuleLang {
+public:
+  explicit CsharpminorLang(std::shared_ptr<const csharp::Module> M);
+  ~CsharpminorLang() override;
+  std::string name() const override { return "Csharpminor"; }
+  CoreRef initCore(const std::string &Entry,
+                   const std::vector<Value> &Args) const override;
+  std::vector<LocalStep> step(const FreeList &F, const Core &C,
+                              const Mem &M) const override;
+  CoreRef applyReturn(const Core &C, const Value &V) const override;
+
+private:
+  std::shared_ptr<const csharp::Module> Mod;
+};
+
+/// Cminor interpreter: locals are temporaries in the core.
+class CminorLang : public ModuleLang {
+public:
+  explicit CminorLang(std::shared_ptr<const cminor::Module> M);
+  ~CminorLang() override;
+  std::string name() const override { return "Cminor"; }
+  CoreRef initCore(const std::string &Entry,
+                   const std::vector<Value> &Args) const override;
+  std::vector<LocalStep> step(const FreeList &F, const Core &C,
+                              const Mem &M) const override;
+  CoreRef applyReturn(const Core &C, const Value &V) const override;
+
+private:
+  std::shared_ptr<const cminor::Module> Mod;
+};
+
+/// CminorSel interpreter: selected operators and fused conditions.
+class CminorSelLang : public ModuleLang {
+public:
+  explicit CminorSelLang(std::shared_ptr<const cminorsel::Module> M);
+  ~CminorSelLang() override;
+  std::string name() const override { return "CminorSel"; }
+  CoreRef initCore(const std::string &Entry,
+                   const std::vector<Value> &Args) const override;
+  std::vector<LocalStep> step(const FreeList &F, const Core &C,
+                              const Mem &M) const override;
+  CoreRef applyReturn(const Core &C, const Value &V) const override;
+
+private:
+  std::shared_ptr<const cminorsel::Module> Mod;
+};
+
+/// RTL interpreter: CFG over pseudo-registers.
+class RTLLang : public ModuleLang {
+public:
+  explicit RTLLang(std::shared_ptr<const rtl::Module> M);
+  ~RTLLang() override;
+  std::string name() const override { return "RTL"; }
+  CoreRef initCore(const std::string &Entry,
+                   const std::vector<Value> &Args) const override;
+  std::vector<LocalStep> step(const FreeList &F, const Core &C,
+                              const Mem &M) const override;
+  CoreRef applyReturn(const Core &C, const Value &V) const override;
+
+private:
+  std::shared_ptr<const rtl::Module> Mod;
+};
+
+/// LTL interpreter: CFG over machine registers and abstract slots.
+class LTLLang : public ModuleLang {
+public:
+  explicit LTLLang(std::shared_ptr<const ltl::Module> M);
+  ~LTLLang() override;
+  std::string name() const override { return "LTL"; }
+  CoreRef initCore(const std::string &Entry,
+                   const std::vector<Value> &Args) const override;
+  std::vector<LocalStep> step(const FreeList &F, const Core &C,
+                              const Mem &M) const override;
+  CoreRef applyReturn(const Core &C, const Value &V) const override;
+
+private:
+  std::shared_ptr<const ltl::Module> Mod;
+};
+
+/// Linear interpreter: instruction list with labels; slots still abstract.
+class LinearLang : public ModuleLang {
+public:
+  explicit LinearLang(std::shared_ptr<const linear::Module> M);
+  ~LinearLang() override;
+  std::string name() const override { return "Linear"; }
+  CoreRef initCore(const std::string &Entry,
+                   const std::vector<Value> &Args) const override;
+  std::vector<LocalStep> step(const FreeList &F, const Core &C,
+                              const Mem &M) const override;
+  CoreRef applyReturn(const Core &C, const Value &V) const override;
+
+private:
+  std::shared_ptr<const linear::Module> Mod;
+};
+
+/// Mach interpreter: slots are concrete frame memory from the free list.
+class MachLang : public ModuleLang {
+public:
+  explicit MachLang(std::shared_ptr<const mach::Module> M);
+  ~MachLang() override;
+  std::string name() const override { return "Mach"; }
+  CoreRef initCore(const std::string &Entry,
+                   const std::vector<Value> &Args) const override;
+  std::vector<LocalStep> step(const FreeList &F, const Core &C,
+                              const Mem &M) const override;
+  CoreRef applyReturn(const Core &C, const Value &V) const override;
+
+private:
+  std::shared_ptr<const mach::Module> Mod;
+};
+
+/// Program-registration helpers: declare the module's globals and add the
+/// matching interpreter.
+unsigned addCsharpminorModule(Program &P, const std::string &Name,
+                              std::shared_ptr<const csharp::Module> M);
+unsigned addCminorModule(Program &P, const std::string &Name,
+                         std::shared_ptr<const cminor::Module> M);
+unsigned addCminorSelModule(Program &P, const std::string &Name,
+                            std::shared_ptr<const cminorsel::Module> M);
+unsigned addRTLModule(Program &P, const std::string &Name,
+                      std::shared_ptr<const rtl::Module> M);
+unsigned addLTLModule(Program &P, const std::string &Name,
+                      std::shared_ptr<const ltl::Module> M);
+unsigned addLinearModule(Program &P, const std::string &Name,
+                         std::shared_ptr<const linear::Module> M);
+unsigned addMachModule(Program &P, const std::string &Name,
+                       std::shared_ptr<const mach::Module> M);
+
+} // namespace ir
+} // namespace ccc
+
+#endif // CASCC_IR_IRLANGS_H

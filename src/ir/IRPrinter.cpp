@@ -1,0 +1,207 @@
+//===- ir/IRPrinter.cpp - Textual dumps of the compiler IRs ----------------===//
+
+#include "ir/IRPrinter.h"
+
+#include "support/StrUtil.h"
+
+using namespace ccc;
+using namespace ccc::ir;
+
+namespace {
+
+std::string regStr(rtl::Reg R) { return "r" + std::to_string(R); }
+std::string regStr(const ltl::Loc &L) { return L.toString(); }
+
+template <typename RegT>
+std::string amStr(const rtl::AddrMode<RegT> &AM) {
+  if (AM.K == rtl::AddrMode<RegT>::Kind::Global)
+    return "&" + AM.Global;
+  return "[" + regStr(AM.Base) + "]";
+}
+
+template <typename RegT>
+std::string argsStr(const std::vector<RegT> &Args) {
+  std::vector<std::string> Parts;
+  for (const RegT &R : Args)
+    Parts.push_back(regStr(R));
+  return join(Parts, ", ");
+}
+
+template <typename RegT>
+std::string opStr(Oper O, Cmp C, int32_t Imm, const std::string &Global,
+                  const std::vector<RegT> &Args) {
+  StrBuilder B;
+  B << operName(O);
+  if (O == Oper::Cmp || O == Oper::CmpImm)
+    B << '.' << cmpName(C);
+  B << ' ';
+  if (O == Oper::Addrglobal)
+    B << '&' << Global;
+  else if (operArity(O) == 0 || O == Oper::AddImm || O == Oper::MulImm ||
+           O == Oper::ShlImm || O == Oper::SarImm || O == Oper::CmpImm) {
+    B << argsStr(Args);
+    if (!Args.empty())
+      B << ", ";
+    B << '$' << Imm;
+  } else {
+    B << argsStr(Args);
+  }
+  return B.take();
+}
+
+template <typename RegT> std::string cfgInstrStr(const rtl::InstrT<RegT> &I) {
+  using K = typename rtl::InstrT<RegT>::Kind;
+  StrBuilder B;
+  switch (I.K) {
+  case K::Nop:
+    B << "nop -> " << I.S1;
+    break;
+  case K::Op:
+    B << regStr(I.Dst) << " = "
+      << opStr(I.O, I.C, I.Imm, I.Global, I.Args) << " -> " << I.S1;
+    break;
+  case K::Load:
+    B << regStr(I.Dst) << " = load " << amStr(I.AM) << " -> " << I.S1;
+    break;
+  case K::Store:
+    B << "store " << amStr(I.AM) << " = " << regStr(I.Args[0]) << " -> "
+      << I.S1;
+    break;
+  case K::Call:
+    if (I.HasDst)
+      B << regStr(I.Dst) << " = ";
+    B << "call " << I.Callee << "(" << argsStr(I.Args) << ") -> " << I.S1;
+    break;
+  case K::Tailcall:
+    B << "tailcall " << I.Callee << "(" << argsStr(I.Args) << ")";
+    break;
+  case K::Cond:
+    B << "if " << cmpName(I.C) << "(" << argsStr(I.Args);
+    if (I.CondOneArg)
+      B << ", $" << I.Imm;
+    B << ") -> " << I.S1 << " else " << I.S2;
+    break;
+  case K::Return:
+    B << "return";
+    if (I.HasArg)
+      B << ' ' << regStr(I.Args[0]);
+    break;
+  case K::Print:
+    B << "print " << regStr(I.Args[0]) << " -> " << I.S1;
+    break;
+  }
+  return B.take();
+}
+
+template <typename RegT>
+std::string cfgFunctionStr(const rtl::FunctionT<RegT> &F) {
+  StrBuilder B;
+  B << F.Name << "(params=" << F.NumParams << ", entry=" << F.Entry
+    << "):\n";
+  for (const auto &KV : F.Graph)
+    B << "  " << KV.first << ": " << cfgInstrStr(KV.second) << '\n';
+  return B.take();
+}
+
+std::string linInstrStr(const linear::Instr &I) {
+  using K = linear::Instr::Kind;
+  StrBuilder B;
+  switch (I.K) {
+  case K::Label:
+    B << 'L' << I.Label << ':';
+    break;
+  case K::Goto:
+    B << "goto L" << I.Label;
+    break;
+  case K::Op:
+    B << I.Dst.toString() << " = "
+      << opStr(I.O, I.C, I.Imm, I.Global, I.Args);
+    break;
+  case K::Load:
+    B << I.Dst.toString() << " = load " << amStr(I.AM);
+    break;
+  case K::Store:
+    B << "store " << amStr(I.AM) << " = " << I.Args[0].toString();
+    break;
+  case K::Call:
+    if (I.HasDst)
+      B << I.Dst.toString() << " = ";
+    B << "call " << I.Callee << "(" << argsStr(I.Args) << ")";
+    break;
+  case K::Tailcall:
+    B << "tailcall " << I.Callee << "(" << argsStr(I.Args) << ")";
+    break;
+  case K::Cond:
+    B << "if " << cmpName(I.C) << "(" << argsStr(I.Args);
+    if (I.CondOneArg)
+      B << ", $" << I.Imm;
+    B << ") goto L" << I.Label;
+    break;
+  case K::Return:
+    B << "return";
+    if (I.HasArg)
+      B << ' ' << I.Args[0].toString();
+    break;
+  case K::Print:
+    B << "print " << I.Args[0].toString();
+    break;
+  }
+  return B.take();
+}
+
+template <typename ModuleT, typename FnStr>
+std::string moduleStr(const ModuleT &M, FnStr FS) {
+  StrBuilder B;
+  for (const auto &G : M.Globals)
+    B << "global " << G.first << " = " << G.second << '\n';
+  for (const auto &F : M.Funcs)
+    B << FS(F);
+  return B.take();
+}
+
+} // namespace
+
+std::string ccc::ir::toString(const rtl::Instr &I) { return cfgInstrStr(I); }
+std::string ccc::ir::toString(const ltl::Instr &I) { return cfgInstrStr(I); }
+std::string ccc::ir::toString(const linear::Instr &I) {
+  return linInstrStr(I);
+}
+
+std::string ccc::ir::toString(const rtl::Function &F) {
+  return cfgFunctionStr(F);
+}
+std::string ccc::ir::toString(const ltl::Function &F) {
+  return cfgFunctionStr(F);
+}
+
+std::string ccc::ir::toString(const linear::Function &F) {
+  StrBuilder B;
+  B << F.Name << "(params=" << F.NumParams << ", slots=" << F.NumSlots
+    << "):\n";
+  for (const linear::Instr &I : F.Code)
+    B << "  " << linInstrStr(I) << '\n';
+  return B.take();
+}
+
+std::string ccc::ir::toString(const mach::Function &F) {
+  StrBuilder B;
+  B << F.Name << "(params=" << F.NumParams << ", frame=" << F.FrameSize
+    << "):\n";
+  for (const linear::Instr &I : F.Code)
+    B << "  " << linInstrStr(I) << '\n';
+  return B.take();
+}
+
+std::string ccc::ir::toString(const rtl::Module &M) {
+  return moduleStr(M, [](const rtl::Function &F) { return toString(F); });
+}
+std::string ccc::ir::toString(const ltl::Module &M) {
+  return moduleStr(M, [](const ltl::Function &F) { return toString(F); });
+}
+std::string ccc::ir::toString(const linear::Module &M) {
+  return moduleStr(M,
+                   [](const linear::Function &F) { return toString(F); });
+}
+std::string ccc::ir::toString(const mach::Module &M) {
+  return moduleStr(M, [](const mach::Function &F) { return toString(F); });
+}

@@ -1,0 +1,46 @@
+//===- ir/IRPrinter.h - Textual dumps of the compiler IRs -------*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Human-readable dumps of the CFG-form and linear-form IRs, used by the
+/// compiler driver's debugging aids and by tests asserting on pass
+/// output structure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_IR_IRPRINTER_H
+#define CASCC_IR_IRPRINTER_H
+
+#include "ir/Linear.h"
+#include "ir/RTL.h"
+
+#include <string>
+
+namespace ccc {
+namespace ir {
+
+/// Renders one RTL instruction (without the node id).
+std::string toString(const rtl::Instr &I);
+/// Renders one LTL instruction.
+std::string toString(const ltl::Instr &I);
+/// Renders one Linear/Mach instruction.
+std::string toString(const linear::Instr &I);
+
+/// Renders a whole function/module, one instruction per line.
+std::string toString(const rtl::Function &F);
+std::string toString(const rtl::Module &M);
+std::string toString(const ltl::Function &F);
+std::string toString(const ltl::Module &M);
+std::string toString(const linear::Function &F);
+std::string toString(const linear::Module &M);
+std::string toString(const mach::Function &F);
+std::string toString(const mach::Module &M);
+
+} // namespace ir
+} // namespace ccc
+
+#endif // CASCC_IR_IRPRINTER_H

@@ -1,0 +1,62 @@
+//===- ir/LTL.h - The LTL IR (located code) ---------------------*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LTL: RTL after register Allocation — pseudo-registers are replaced by
+/// locations: machine registers or abstract stack slots (CompCert's
+/// locsets). Slots become concrete frame memory only in Mach (Stacking).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_IR_LTL_H
+#define CASCC_IR_LTL_H
+
+#include "ir/RTL.h"
+#include "x86/X86Asm.h"
+
+namespace ccc {
+namespace ltl {
+
+/// A location: a machine register or an abstract stack slot.
+struct Loc {
+  bool IsReg = true;
+  x86::Reg R = x86::Reg::EBX;
+  unsigned Slot = 0;
+
+  static Loc reg(x86::Reg R) {
+    Loc L;
+    L.IsReg = true;
+    L.R = R;
+    return L;
+  }
+  static Loc slot(unsigned S) {
+    Loc L;
+    L.IsReg = false;
+    L.Slot = S;
+    return L;
+  }
+
+  bool operator==(const Loc &O) const {
+    return IsReg == O.IsReg && (IsReg ? R == O.R : Slot == O.Slot);
+  }
+
+  std::string toString() const {
+    if (IsReg)
+      return x86::regName(R);
+    return "S" + std::to_string(Slot);
+  }
+};
+
+using Instr = rtl::InstrT<Loc>;
+using Function = rtl::FunctionT<Loc>;
+using Module = rtl::ModuleT<Loc>;
+using AddrMode = rtl::AddrMode<Loc>;
+
+} // namespace ltl
+} // namespace ccc
+
+#endif // CASCC_IR_LTL_H

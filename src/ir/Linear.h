@@ -1,0 +1,102 @@
+//===- ir/Linear.h - The Linear and Mach IRs --------------------*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Linear: LTL after Linearize — a list of instructions with explicit
+/// labels and fall-through, cleaned by CleanupLabels. Mach: Linear after
+/// Stacking — stack slots are assigned concrete frame cells allocated
+/// from the thread's free list (the frame-size field becomes meaningful).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_IR_LINEAR_H
+#define CASCC_IR_LINEAR_H
+
+#include "ir/LTL.h"
+
+namespace ccc {
+namespace linear {
+
+using Loc = ltl::Loc;
+using AddrMode = rtl::AddrMode<Loc>;
+
+/// One linear instruction. Control transfers name label ids.
+struct Instr {
+  enum class Kind { Op, Load, Store, Call, Tailcall, Cond, Goto, Label,
+                    Return, Print };
+
+  Kind K = Kind::Label;
+  ir::Oper O = ir::Oper::Intconst;
+  ir::Cmp C = ir::Cmp::Eq;
+  int32_t Imm = 0;
+  std::string Global;
+  std::vector<Loc> Args;
+  Loc Dst;
+  bool HasDst = false;
+  AddrMode AM;
+  std::string Callee;
+  bool CondOneArg = false;
+  bool HasArg = false;
+  unsigned Label = 0; ///< Label id (Label / Goto / Cond target)
+};
+
+struct Function {
+  std::string Name;
+  bool RetVoid = true;
+  unsigned NumParams = 0;
+  std::vector<Loc> ParamHomes;
+  unsigned NumSlots = 0;
+  std::vector<Instr> Code;
+};
+
+struct Module {
+  std::vector<std::pair<std::string, int32_t>> Globals;
+  std::vector<Function> Funcs;
+
+  const Function *find(const std::string &Name) const {
+    for (const Function &F : Funcs)
+      if (F.Name == Name)
+        return &F;
+    return nullptr;
+  }
+};
+
+} // namespace linear
+
+namespace mach {
+
+/// Mach reuses the Linear instruction set; slots now denote concrete
+/// frame cells (slot i lives at freelist address i) and FrameSize records
+/// the frame to allocate at entry.
+using Instr = linear::Instr;
+using Loc = linear::Loc;
+
+struct Function {
+  std::string Name;
+  bool RetVoid = true;
+  unsigned NumParams = 0;
+  std::vector<Loc> ParamHomes;
+  unsigned FrameSize = 0;
+  std::vector<Instr> Code;
+};
+
+struct Module {
+  std::vector<std::pair<std::string, int32_t>> Globals;
+  std::vector<Function> Funcs;
+
+  const Function *find(const std::string &Name) const {
+    for (const Function &F : Funcs)
+      if (F.Name == Name)
+        return &F;
+    return nullptr;
+  }
+};
+
+} // namespace mach
+} // namespace ccc
+
+#endif // CASCC_IR_LINEAR_H

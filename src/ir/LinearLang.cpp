@@ -1,0 +1,551 @@
+//===- ir/LinearLang.cpp - Linear and Mach interpreters --------------------===//
+
+#include "ir/IRLangs.h"
+
+#include "support/StrUtil.h"
+
+#include <array>
+#include <cassert>
+#include <map>
+
+using namespace ccc;
+using namespace ccc::ir;
+using namespace ccc::linear;
+
+namespace {
+
+/// Builds the label-id -> instruction-index map of a code list.
+std::map<unsigned, unsigned> labelMap(const std::vector<Instr> &Code) {
+  std::map<unsigned, unsigned> Out;
+  for (unsigned I = 0; I < Code.size(); ++I)
+    if (Code[I].K == Instr::Kind::Label)
+      Out[Code[I].Label] = I;
+  return Out;
+}
+
+// ---------------------------------------------------------------------------
+// Linear: registers + abstract slots in the core.
+// ---------------------------------------------------------------------------
+
+class LinCore : public Core {
+public:
+  const linear::Function *F = nullptr;
+  unsigned PC = 0;
+  std::array<Value, x86::NumRegs> Regs;
+  std::vector<Value> Slots;
+  bool Await = false;
+  bool AwaitHasDst = false;
+  Loc AwaitDst;
+
+  std::string key() const override {
+    StrBuilder B;
+    B << 'f' << reinterpret_cast<uintptr_t>(F) << '@' << PC;
+    if (Await)
+      B << 'w';
+    B << '|';
+    for (const Value &V : Regs)
+      B << V.toString() << ',';
+    B << '/';
+    for (const Value &V : Slots)
+      B << V.toString() << ',';
+    return B.take();
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Mach: registers + a concrete frame in free-list memory.
+// ---------------------------------------------------------------------------
+
+class MachCore : public Core {
+public:
+  const mach::Function *F = nullptr;
+  unsigned PC = 0;
+  std::array<Value, x86::NumRegs> Regs;
+  bool FrameAllocated = false;
+  std::vector<Value> EntryArgs;
+  bool Await = false;
+  bool AwaitHasDst = false;
+  Loc AwaitDst;
+
+  std::string key() const override {
+    StrBuilder B;
+    B << 'f' << reinterpret_cast<uintptr_t>(F) << '@' << PC
+      << (FrameAllocated ? 'A' : 'U');
+    if (Await)
+      B << 'w';
+    B << '|';
+    for (const Value &V : Regs)
+      B << V.toString() << ',';
+    if (!FrameAllocated)
+      for (const Value &V : EntryArgs)
+        B << V.toString() << ';';
+    return B.take();
+  }
+};
+
+/// Executes one linear-form instruction given location read/write hooks.
+/// \p ReadLoc and \p WriteLoc report footprints for memory-backed slots.
+template <typename CoreT, typename ReadFn, typename WriteFn>
+std::vector<LocalStep> stepLinearForm(
+    const char *LangName, const CoreT &Cr, const std::vector<Instr> &Code,
+    const std::map<unsigned, unsigned> &Labels, const GlobalEnv &GE,
+    const Mem &M, ReadFn ReadLoc, WriteFn WriteLoc) {
+  std::vector<LocalStep> Out;
+  auto abort = [&Out, LangName](const std::string &R) {
+    Out.push_back(LocalStep::abort(std::string(LangName) + ": " + R));
+  };
+  if (Cr.Await) {
+    abort("stepped while awaiting return");
+    return Out;
+  }
+
+  // Falling off the end of the code is an implicit void return.
+  if (Cr.PC >= Code.size()) {
+    LocalStep S;
+    S.M = Msg::ret(Value::makeInt(0));
+    S.NextMem = M;
+    S.Next = std::make_shared<CoreT>(Cr);
+    Out.push_back(std::move(S));
+    return Out;
+  }
+  const Instr &I = Code[Cr.PC];
+
+  Footprint FP;
+  Mem NM = M;
+  auto finish = [&](Msg Ms, std::shared_ptr<CoreT> N) {
+    LocalStep S;
+    S.M = std::move(Ms);
+    S.FP = FP;
+    S.NextMem = std::move(NM);
+    S.Next = std::move(N);
+    Out.push_back(std::move(S));
+  };
+  auto nextCore = [&](unsigned NewPC) {
+    auto N = std::make_shared<CoreT>(Cr);
+    N->PC = NewPC;
+    return N;
+  };
+  auto branchTo = [&](unsigned Label) -> std::optional<unsigned> {
+    auto It = Labels.find(Label);
+    if (It == Labels.end())
+      return std::nullopt;
+    return It->second;
+  };
+  auto read = [&](const Loc &L) { return ReadLoc(L, NM, FP); };
+  auto evalAddrMode = [&](const AddrMode &AM) -> std::optional<Addr> {
+    if (AM.K == AddrMode::Kind::Global)
+      return GE.lookup(AM.Global);
+    auto V = read(AM.Base);
+    if (!V || !V->isPtr())
+      return std::nullopt;
+    return V->asPtr();
+  };
+
+  switch (I.K) {
+  case Instr::Kind::Label:
+    finish(Msg::tau(), nextCore(Cr.PC + 1));
+    break;
+  case Instr::Kind::Goto: {
+    auto T = branchTo(I.Label);
+    if (!T) {
+      abort("unknown label");
+      break;
+    }
+    finish(Msg::tau(), nextCore(*T));
+    break;
+  }
+  case Instr::Kind::Op: {
+    Addr GA = 0;
+    if (I.O == Oper::Addrglobal) {
+      auto A = GE.lookup(I.Global);
+      if (!A) {
+        abort("unknown global");
+        break;
+      }
+      GA = *A;
+    }
+    Value A, B;
+    unsigned Arity = operArity(I.O);
+    if (Arity >= 1) {
+      auto V = read(I.Args[0]);
+      if (!V) {
+        abort("bad operand");
+        break;
+      }
+      A = *V;
+    }
+    if (Arity >= 2) {
+      auto V = read(I.Args[1]);
+      if (!V) {
+        abort("bad operand");
+        break;
+      }
+      B = *V;
+    }
+    auto R = evalOper(I.O, I.C, I.Imm, GA, A, B);
+    if (!R) {
+      abort("operator evaluation failed");
+      break;
+    }
+    auto N = nextCore(Cr.PC + 1);
+    if (!WriteLoc(*N, I.Dst, *R, NM, FP)) {
+      abort("bad destination");
+      break;
+    }
+    finish(Msg::tau(), std::move(N));
+    break;
+  }
+  case Instr::Kind::Load: {
+    auto A = evalAddrMode(I.AM);
+    if (!A) {
+      abort("bad load address");
+      break;
+    }
+    auto V = NM.load(*A);
+    if (!V) {
+      abort("load from unallocated address");
+      break;
+    }
+    FP.addRead(*A);
+    auto N = nextCore(Cr.PC + 1);
+    if (!WriteLoc(*N, I.Dst, *V, NM, FP)) {
+      abort("bad load destination");
+      break;
+    }
+    finish(Msg::tau(), std::move(N));
+    break;
+  }
+  case Instr::Kind::Store: {
+    auto A = evalAddrMode(I.AM);
+    auto V = read(I.Args[0]);
+    if (!A || !V) {
+      abort("bad store");
+      break;
+    }
+    if (!NM.store(*A, *V)) {
+      abort("store to unallocated address");
+      break;
+    }
+    FP.addWrite(*A);
+    finish(Msg::tau(), nextCore(Cr.PC + 1));
+    break;
+  }
+  case Instr::Kind::Call:
+  case Instr::Kind::Tailcall: {
+    std::vector<Value> Args;
+    bool Bad = false;
+    for (const Loc &L : I.Args) {
+      auto V = read(L);
+      if (!V) {
+        Bad = true;
+        break;
+      }
+      Args.push_back(*V);
+    }
+    if (Bad) {
+      abort("bad call argument");
+      break;
+    }
+    if (I.K == Instr::Kind::Tailcall) {
+      finish(Msg::tailCall(I.Callee, std::move(Args)),
+             std::make_shared<CoreT>(Cr));
+      break;
+    }
+    auto N = nextCore(Cr.PC + 1);
+    N->Await = true;
+    N->AwaitHasDst = I.HasDst;
+    N->AwaitDst = I.Dst;
+    finish(Msg::extCall(I.Callee, std::move(Args)), std::move(N));
+    break;
+  }
+  case Instr::Kind::Cond: {
+    auto A = read(I.Args[0]);
+    if (!A) {
+      abort("bad condition operand");
+      break;
+    }
+    Value B = Value::makeInt(I.Imm);
+    if (!I.CondOneArg) {
+      auto BV = read(I.Args[1]);
+      if (!BV) {
+        abort("bad condition operand");
+        break;
+      }
+      B = *BV;
+    }
+    auto R = evalCmp(I.C, *A, B);
+    if (!R) {
+      abort("condition type error");
+      break;
+    }
+    if (*R) {
+      auto T = branchTo(I.Label);
+      if (!T) {
+        abort("unknown label");
+        break;
+      }
+      finish(Msg::tau(), nextCore(*T));
+    } else {
+      finish(Msg::tau(), nextCore(Cr.PC + 1));
+    }
+    break;
+  }
+  case Instr::Kind::Return: {
+    Value V = Value::makeInt(0);
+    if (I.HasArg) {
+      auto A = read(I.Args[0]);
+      if (!A) {
+        abort("bad return value");
+        break;
+      }
+      V = *A;
+    }
+    finish(Msg::ret(V), std::make_shared<CoreT>(Cr));
+    break;
+  }
+  case Instr::Kind::Print: {
+    auto V = read(I.Args[0]);
+    if (!V || !V->isInt()) {
+      abort("print needs an integer");
+      break;
+    }
+    finish(Msg::event(V->asInt()), nextCore(Cr.PC + 1));
+    break;
+  }
+  }
+  return Out;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// LinearLang
+// ---------------------------------------------------------------------------
+
+namespace ccc {
+namespace ir {
+namespace detail {
+struct LinearLangImpl {
+  std::map<const linear::Function *, std::map<unsigned, unsigned>> Labels;
+};
+} // namespace detail
+} // namespace ir
+} // namespace ccc
+
+namespace {
+/// Per-module label caches (keyed by function pointer; modules are
+/// immutable once registered).
+std::map<unsigned, unsigned> &linearLabels(const linear::Function *F) {
+  static std::map<const linear::Function *,
+                  std::map<unsigned, unsigned>>
+      Cache;
+  auto It = Cache.find(F);
+  if (It == Cache.end())
+    It = Cache.emplace(F, labelMap(F->Code)).first;
+  return It->second;
+}
+
+std::map<unsigned, unsigned> &machLabels(const mach::Function *F) {
+  static std::map<const mach::Function *, std::map<unsigned, unsigned>>
+      Cache;
+  auto It = Cache.find(F);
+  if (It == Cache.end())
+    It = Cache.emplace(F, labelMap(F->Code)).first;
+  return It->second;
+}
+} // namespace
+
+LinearLang::LinearLang(std::shared_ptr<const linear::Module> M)
+    : Mod(std::move(M)) {}
+LinearLang::~LinearLang() = default;
+
+CoreRef LinearLang::initCore(const std::string &Entry,
+                             const std::vector<Value> &Args) const {
+  const linear::Function *F = Mod->find(Entry);
+  if (!F || F->NumParams != Args.size())
+    return nullptr;
+  auto C = std::make_shared<LinCore>();
+  C->F = F;
+  C->Regs.fill(Value::makeUndef());
+  C->Slots.assign(F->NumSlots, Value::makeUndef());
+  for (std::size_t I = 0; I < Args.size(); ++I) {
+    const Loc &H = F->ParamHomes[I];
+    if (H.IsReg)
+      C->Regs[static_cast<unsigned>(H.R)] = Args[I];
+    else if (H.Slot < C->Slots.size())
+      C->Slots[H.Slot] = Args[I];
+    else
+      return nullptr;
+  }
+  return C;
+}
+
+std::vector<LocalStep> LinearLang::step(const FreeList &F, const Core &C,
+                                        const Mem &M) const {
+  (void)F;
+  const auto &Cr = static_cast<const LinCore &>(C);
+  auto ReadLoc = [&Cr](const Loc &L, const Mem &,
+                       Footprint &) -> std::optional<Value> {
+    if (L.IsReg)
+      return Cr.Regs[static_cast<unsigned>(L.R)];
+    if (L.Slot >= Cr.Slots.size())
+      return std::nullopt;
+    return Cr.Slots[L.Slot];
+  };
+  auto WriteLoc = [](LinCore &N, const Loc &L, const Value &V, Mem &,
+                     Footprint &) {
+    if (L.IsReg) {
+      N.Regs[static_cast<unsigned>(L.R)] = V;
+      return true;
+    }
+    if (L.Slot >= N.Slots.size())
+      return false;
+    N.Slots[L.Slot] = V;
+    return true;
+  };
+  return stepLinearForm("Linear", Cr, Cr.F->Code, linearLabels(Cr.F),
+                        *Globals, M, ReadLoc, WriteLoc);
+}
+
+CoreRef LinearLang::applyReturn(const Core &C, const Value &V) const {
+  const auto &Cr = static_cast<const LinCore &>(C);
+  if (!Cr.Await)
+    return nullptr;
+  auto N = std::make_shared<LinCore>(Cr);
+  N->Await = false;
+  if (Cr.AwaitHasDst) {
+    if (Cr.AwaitDst.IsReg)
+      N->Regs[static_cast<unsigned>(Cr.AwaitDst.R)] = V;
+    else if (Cr.AwaitDst.Slot < N->Slots.size())
+      N->Slots[Cr.AwaitDst.Slot] = V;
+    else
+      return nullptr;
+  }
+  return N;
+}
+
+// ---------------------------------------------------------------------------
+// MachLang
+// ---------------------------------------------------------------------------
+
+MachLang::MachLang(std::shared_ptr<const mach::Module> M)
+    : Mod(std::move(M)) {}
+MachLang::~MachLang() = default;
+
+CoreRef MachLang::initCore(const std::string &Entry,
+                           const std::vector<Value> &Args) const {
+  const mach::Function *F = Mod->find(Entry);
+  if (!F || F->NumParams != Args.size())
+    return nullptr;
+  auto C = std::make_shared<MachCore>();
+  C->F = F;
+  C->Regs.fill(Value::makeUndef());
+  C->FrameAllocated = F->FrameSize == 0;
+  C->EntryArgs = Args;
+  if (C->FrameAllocated) {
+    // No frame: args go straight to their homes (registers only).
+    for (std::size_t I = 0; I < Args.size(); ++I) {
+      const Loc &H = F->ParamHomes[I];
+      if (!H.IsReg)
+        return nullptr;
+      C->Regs[static_cast<unsigned>(H.R)] = Args[I];
+    }
+    C->EntryArgs.clear();
+  }
+  return C;
+}
+
+std::vector<LocalStep> MachLang::step(const FreeList &FL, const Core &C,
+                                      const Mem &M) const {
+  const auto &Cr = static_cast<const MachCore &>(C);
+  const mach::Function &F = *Cr.F;
+  std::vector<LocalStep> Out;
+
+  // Frame allocation first; parameter values land in their homes.
+  if (!Cr.FrameAllocated) {
+    if (F.FrameSize > FL.size()) {
+      Out.push_back(LocalStep::abort("Mach: frame exceeds free list"));
+      return Out;
+    }
+    LocalStep S;
+    S.M = Msg::tau();
+    S.NextMem = M;
+    for (unsigned I = 0; I < F.FrameSize; ++I) {
+      Addr A = FL.at(I);
+      S.NextMem.alloc(A, Value::makeUndef());
+      S.FP.addWrite(A);
+    }
+    auto N = std::make_shared<MachCore>(Cr);
+    N->FrameAllocated = true;
+    for (std::size_t I = 0; I < Cr.EntryArgs.size(); ++I) {
+      const Loc &H = F.ParamHomes[I];
+      if (H.IsReg) {
+        N->Regs[static_cast<unsigned>(H.R)] = Cr.EntryArgs[I];
+      } else {
+        Addr A = FL.at(H.Slot);
+        S.NextMem.store(A, Cr.EntryArgs[I]);
+        S.FP.addWrite(A);
+      }
+    }
+    N->EntryArgs.clear();
+    S.Next = std::move(N);
+    Out.push_back(std::move(S));
+    return Out;
+  }
+
+  auto ReadLoc = [&Cr, &FL](const Loc &L, const Mem &CurM,
+                            Footprint &FP) -> std::optional<Value> {
+    if (L.IsReg)
+      return Cr.Regs[static_cast<unsigned>(L.R)];
+    Addr A = FL.at(L.Slot);
+    auto V = CurM.load(A);
+    if (!V)
+      return std::nullopt;
+    FP.addRead(A);
+    return V;
+  };
+  auto WriteLoc = [&FL](MachCore &N, const Loc &L, const Value &V, Mem &NM,
+                        Footprint &FP) {
+    if (L.IsReg) {
+      N.Regs[static_cast<unsigned>(L.R)] = V;
+      return true;
+    }
+    Addr A = FL.at(L.Slot);
+    if (!NM.store(A, V))
+      return false;
+    FP.addWrite(A);
+    return true;
+  };
+  return stepLinearForm("Mach", Cr, F.Code, machLabels(&F), *Globals, M,
+                        ReadLoc, WriteLoc);
+}
+
+CoreRef MachLang::applyReturn(const Core &C, const Value &V) const {
+  const auto &Cr = static_cast<const MachCore &>(C);
+  if (!Cr.Await)
+    return nullptr;
+  // Call results always land in a register under our convention.
+  if (Cr.AwaitHasDst && !Cr.AwaitDst.IsReg)
+    return nullptr;
+  auto N = std::make_shared<MachCore>(Cr);
+  N->Await = false;
+  if (Cr.AwaitHasDst)
+    N->Regs[static_cast<unsigned>(Cr.AwaitDst.R)] = V;
+  return N;
+}
+
+unsigned ccc::ir::addLinearModule(Program &P, const std::string &Name,
+                                  std::shared_ptr<const linear::Module> M) {
+  GlobalEnv GE;
+  for (const auto &G : M->Globals)
+    GE.declare(G.first, Value::makeInt(G.second), DataOwner::Client);
+  return P.addModule(Name, std::make_unique<LinearLang>(M), std::move(GE));
+}
+
+unsigned ccc::ir::addMachModule(Program &P, const std::string &Name,
+                                std::shared_ptr<const mach::Module> M) {
+  GlobalEnv GE;
+  for (const auto &G : M->Globals)
+    GE.declare(G.first, Value::makeInt(G.second), DataOwner::Client);
+  return P.addModule(Name, std::make_unique<MachLang>(M), std::move(GE));
+}

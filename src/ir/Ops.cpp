@@ -1,0 +1,245 @@
+//===- ir/Ops.cpp - Shared operators of the compiler IRs ------------------===//
+
+#include "ir/Ops.h"
+
+using namespace ccc;
+using namespace ccc::ir;
+
+unsigned ccc::ir::operArity(Oper O) {
+  switch (O) {
+  case Oper::Intconst:
+  case Oper::Addrglobal:
+    return 0;
+  case Oper::Move:
+  case Oper::Neg:
+  case Oper::BoolNot:
+  case Oper::AddImm:
+  case Oper::MulImm:
+  case Oper::ShlImm:
+  case Oper::SarImm:
+  case Oper::CmpImm:
+    return 1;
+  default:
+    return 2;
+  }
+}
+
+const char *ccc::ir::operName(Oper O) {
+  switch (O) {
+  case Oper::Intconst:
+    return "intconst";
+  case Oper::Addrglobal:
+    return "addrglobal";
+  case Oper::Move:
+    return "move";
+  case Oper::Neg:
+    return "neg";
+  case Oper::BoolNot:
+    return "boolnot";
+  case Oper::AddImm:
+    return "addimm";
+  case Oper::MulImm:
+    return "mulimm";
+  case Oper::ShlImm:
+    return "shlimm";
+  case Oper::SarImm:
+    return "sarimm";
+  case Oper::CmpImm:
+    return "cmpimm";
+  case Oper::Add:
+    return "add";
+  case Oper::Sub:
+    return "sub";
+  case Oper::Mul:
+    return "mul";
+  case Oper::Div:
+    return "div";
+  case Oper::Mod:
+    return "mod";
+  case Oper::And:
+    return "and";
+  case Oper::Or:
+    return "or";
+  case Oper::Xor:
+    return "xor";
+  case Oper::Cmp:
+    return "cmp";
+  }
+  return "?";
+}
+
+const char *ccc::ir::cmpName(Cmp C) {
+  switch (C) {
+  case Cmp::Eq:
+    return "eq";
+  case Cmp::Ne:
+    return "ne";
+  case Cmp::Lt:
+    return "lt";
+  case Cmp::Le:
+    return "le";
+  case Cmp::Gt:
+    return "gt";
+  case Cmp::Ge:
+    return "ge";
+  }
+  return "?";
+}
+
+Cmp ccc::ir::cmpSwap(Cmp C) {
+  switch (C) {
+  case Cmp::Lt:
+    return Cmp::Gt;
+  case Cmp::Le:
+    return Cmp::Ge;
+  case Cmp::Gt:
+    return Cmp::Lt;
+  case Cmp::Ge:
+    return Cmp::Le;
+  default:
+    return C;
+  }
+}
+
+Cmp ccc::ir::cmpNegate(Cmp C) {
+  switch (C) {
+  case Cmp::Eq:
+    return Cmp::Ne;
+  case Cmp::Ne:
+    return Cmp::Eq;
+  case Cmp::Lt:
+    return Cmp::Ge;
+  case Cmp::Le:
+    return Cmp::Gt;
+  case Cmp::Gt:
+    return Cmp::Le;
+  case Cmp::Ge:
+    return Cmp::Lt;
+  }
+  return C;
+}
+
+std::optional<bool> ccc::ir::evalCmp(Cmp C, const Value &A, const Value &B) {
+  if (A.isPtr() || B.isPtr()) {
+    if (C == Cmp::Eq)
+      return A == B;
+    if (C == Cmp::Ne)
+      return !(A == B);
+    return std::nullopt;
+  }
+  if (!A.isInt() || !B.isInt())
+    return std::nullopt;
+  int32_t X = A.asInt(), Y = B.asInt();
+  switch (C) {
+  case Cmp::Eq:
+    return X == Y;
+  case Cmp::Ne:
+    return X != Y;
+  case Cmp::Lt:
+    return X < Y;
+  case Cmp::Le:
+    return X <= Y;
+  case Cmp::Gt:
+    return X > Y;
+  case Cmp::Ge:
+    return X >= Y;
+  }
+  return std::nullopt;
+}
+
+std::optional<Value> ccc::ir::evalOper(Oper O, Cmp C, int32_t Imm,
+                                       Addr GlobalAddr, const Value &A,
+                                       const Value &B) {
+  auto Wrap = [](int64_t V) {
+    return Value::makeInt(static_cast<int32_t>(static_cast<uint32_t>(V)));
+  };
+  switch (O) {
+  case Oper::Intconst:
+    return Value::makeInt(Imm);
+  case Oper::Addrglobal:
+    return Value::makePtr(GlobalAddr);
+  case Oper::Move:
+    return A;
+  case Oper::Neg:
+    if (!A.isInt())
+      return std::nullopt;
+    return Wrap(-static_cast<int64_t>(A.asInt()));
+  case Oper::BoolNot:
+    if (!A.isInt())
+      return std::nullopt;
+    return Value::makeInt(A.asInt() == 0 ? 1 : 0);
+  case Oper::AddImm:
+    if (A.isPtr())
+      return Value::makePtr(A.asPtr() + static_cast<Addr>(Imm));
+    if (!A.isInt())
+      return std::nullopt;
+    return Wrap(static_cast<int64_t>(A.asInt()) + Imm);
+  case Oper::MulImm:
+    if (!A.isInt())
+      return std::nullopt;
+    return Wrap(static_cast<int64_t>(A.asInt()) * Imm);
+  case Oper::ShlImm:
+    if (!A.isInt())
+      return std::nullopt;
+    return Wrap(static_cast<int64_t>(
+        static_cast<uint32_t>(A.asInt()) << (Imm & 31)));
+  case Oper::SarImm:
+    if (!A.isInt())
+      return std::nullopt;
+    return Value::makeInt(A.asInt() >> (Imm & 31));
+  case Oper::CmpImm: {
+    auto R = evalCmp(C, A, Value::makeInt(Imm));
+    if (!R)
+      return std::nullopt;
+    return Value::makeInt(*R ? 1 : 0);
+  }
+  case Oper::Cmp: {
+    auto R = evalCmp(C, A, B);
+    if (!R)
+      return std::nullopt;
+    return Value::makeInt(*R ? 1 : 0);
+  }
+  case Oper::Add:
+    if (A.isPtr() && B.isInt())
+      return Value::makePtr(A.asPtr() + static_cast<Addr>(B.asInt()));
+    if (A.isInt() && B.isPtr())
+      return Value::makePtr(B.asPtr() + static_cast<Addr>(A.asInt()));
+    if (!A.isInt() || !B.isInt())
+      return std::nullopt;
+    return Wrap(static_cast<int64_t>(A.asInt()) + B.asInt());
+  case Oper::Sub:
+  case Oper::Mul:
+  case Oper::Div:
+  case Oper::Mod:
+  case Oper::And:
+  case Oper::Or:
+  case Oper::Xor: {
+    if (!A.isInt() || !B.isInt())
+      return std::nullopt;
+    int64_t X = A.asInt(), Y = B.asInt();
+    switch (O) {
+    case Oper::Sub:
+      return Wrap(X - Y);
+    case Oper::Mul:
+      return Wrap(X * Y);
+    case Oper::Div:
+      if (Y == 0)
+        return std::nullopt;
+      return Wrap(X / Y);
+    case Oper::Mod:
+      if (Y == 0)
+        return std::nullopt;
+      return Wrap(X % Y);
+    case Oper::And:
+      return Wrap(X & Y);
+    case Oper::Or:
+      return Wrap(X | Y);
+    case Oper::Xor:
+      return Wrap(X ^ Y);
+    default:
+      return std::nullopt;
+    }
+  }
+  }
+  return std::nullopt;
+}

@@ -1,0 +1,77 @@
+//===- ir/Ops.h - Shared operators of the compiler IRs ----------*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Operators and comparison conditions shared by the CminorSel, RTL, LTL,
+/// Linear and Mach intermediate representations, together with their
+/// evaluation on runtime values (32-bit wrap-around arithmetic).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_IR_OPS_H
+#define CASCC_IR_OPS_H
+
+#include "mem/Value.h"
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace ccc {
+namespace ir {
+
+/// Machine-level operators (CompCert's Op.operation, scaled down).
+/// Immediate forms carry their constant in the instruction.
+enum class Oper : uint8_t {
+  // 0-argument.
+  Intconst,   ///< dst = imm
+  Addrglobal, ///< dst = &global
+  // 1-argument.
+  Move,   ///< dst = a1
+  Neg,    ///< dst = -a1
+  BoolNot,///< dst = (a1 == 0)
+  AddImm, ///< dst = a1 + imm
+  MulImm, ///< dst = a1 * imm
+  ShlImm, ///< dst = a1 << imm
+  SarImm, ///< dst = a1 >> imm (arithmetic)
+  CmpImm, ///< dst = (a1 <cond> imm)
+  // 2-argument.
+  Add,
+  Sub,
+  Mul,
+  Div,
+  Mod,
+  And,
+  Or,
+  Xor,
+  Cmp, ///< dst = (a1 <cond> a2)
+};
+
+/// Comparison conditions.
+enum class Cmp : uint8_t { Eq, Ne, Lt, Le, Gt, Ge };
+
+/// Number of register arguments an operator takes.
+unsigned operArity(Oper O);
+const char *operName(Oper O);
+const char *cmpName(Cmp C);
+Cmp cmpSwap(Cmp C);   ///< Swap operand order: a < b becomes b > a.
+Cmp cmpNegate(Cmp C); ///< Logical negation: a < b becomes a >= b.
+
+/// Evaluates a comparison on two values. Pointers compare with Eq/Ne only.
+std::optional<bool> evalCmp(Cmp C, const Value &A, const Value &B);
+
+/// Evaluates an operator. \p A and \p B are the register arguments (B
+/// ignored for unary ops); \p Imm is the instruction immediate;
+/// \p GlobalAddr is the resolved address for Addrglobal. Returns nullopt
+/// on a dynamic type error or division by zero.
+std::optional<Value> evalOper(Oper O, Cmp C, int32_t Imm, Addr GlobalAddr,
+                              const Value &A, const Value &B);
+
+} // namespace ir
+} // namespace ccc
+
+#endif // CASCC_IR_OPS_H

@@ -1,0 +1,108 @@
+//===- ir/RTL.h - The RTL and LTL IRs ---------------------------*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// RTL: a control-flow graph of three-address instructions over
+/// pseudo-registers, built by RTLgen and transformed by Tailcall and
+/// Renumber. The instruction type is parameterized over the register
+/// representation so LTL (after register Allocation) reuses it with
+/// machine locations.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_IR_RTL_H
+#define CASCC_IR_RTL_H
+
+#include "ir/Ops.h"
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace ccc {
+namespace rtl {
+
+/// A load/store addressing mode: a global's address or a register base.
+template <typename RegT> struct AddrMode {
+  enum class Kind { Global, Base };
+  Kind K = Kind::Global;
+  std::string Global;
+  RegT Base{};
+
+  static AddrMode global(std::string Name) {
+    AddrMode A;
+    A.K = Kind::Global;
+    A.Global = std::move(Name);
+    return A;
+  }
+  static AddrMode base(RegT R) {
+    AddrMode A;
+    A.K = Kind::Base;
+    A.Base = R;
+    return A;
+  }
+};
+
+/// One CFG instruction. S1 is the successor node (S2 the false branch of
+/// Cond).
+template <typename RegT> struct InstrT {
+  enum class Kind { Nop, Op, Load, Store, Call, Tailcall, Cond, Return,
+                    Print };
+
+  Kind K = Kind::Nop;
+  // Op:
+  ir::Oper O = ir::Oper::Intconst;
+  ir::Cmp C = ir::Cmp::Eq;
+  int32_t Imm = 0;
+  std::string Global; // Addrglobal operand
+  // General:
+  std::vector<RegT> Args;
+  RegT Dst{};
+  bool HasDst = false;
+  AddrMode<RegT> AM;
+  std::string Callee;
+  bool CondOneArg = false;
+  bool HasArg = false; // Return with a value
+  unsigned S1 = 0, S2 = 0;
+};
+
+template <typename RegT> struct FunctionT {
+  std::string Name;
+  bool RetVoid = true;
+  unsigned NumParams = 0;
+  /// Argument homes at entry: registers 0..NumParams-1 for RTL; the
+  /// allocator's chosen locations for LTL.
+  std::vector<RegT> ParamHomes;
+  unsigned NumRegs = 0; ///< pseudo-register count (RTL only)
+  unsigned NumSlots = 0; ///< spill slot count (LTL onward)
+  unsigned Entry = 0;
+  std::map<unsigned, InstrT<RegT>> Graph;
+};
+
+template <typename RegT> struct ModuleT {
+  std::vector<std::pair<std::string, int32_t>> Globals;
+  std::vector<FunctionT<RegT>> Funcs;
+
+  const FunctionT<RegT> *find(const std::string &Name) const {
+    for (const auto &F : Funcs)
+      if (F.Name == Name)
+        return &F;
+    return nullptr;
+  }
+};
+
+/// RTL proper: pseudo-registers are dense unsigned ids.
+using Reg = unsigned;
+using Instr = InstrT<Reg>;
+using Function = FunctionT<Reg>;
+using Module = ModuleT<Reg>;
+
+} // namespace rtl
+} // namespace ccc
+
+#endif // CASCC_IR_RTL_H

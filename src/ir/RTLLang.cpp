@@ -1,0 +1,396 @@
+//===- ir/RTLLang.cpp - RTL and LTL interpreters ---------------------------===//
+
+#include "ir/IRLangs.h"
+
+#include "support/StrUtil.h"
+
+#include <array>
+#include <cassert>
+
+using namespace ccc;
+using namespace ccc::ir;
+
+namespace {
+
+/// Generic CFG stepper over a register-access policy. The policy provides
+/// RegT plus read/write of registers on the core.
+template <typename Policy>
+class CfgCore : public Core {
+public:
+  using FunctionT = rtl::FunctionT<typename Policy::RegT>;
+  const FunctionT *F = nullptr;
+  unsigned PC = 0;
+  typename Policy::StateT State;
+  bool Await = false;
+  bool AwaitHasDst = false;
+  typename Policy::RegT AwaitDst{};
+
+  std::string key() const override {
+    StrBuilder B;
+    B << 'f' << reinterpret_cast<uintptr_t>(F) << "@" << PC;
+    if (Await)
+      B << 'w';
+    B << '|' << Policy::stateKey(State);
+    return B.take();
+  }
+};
+
+template <typename Policy>
+std::vector<LocalStep> stepCfg(const char *LangName,
+                               const CfgCore<Policy> &Cr,
+                               const GlobalEnv &GE, const Mem &M) {
+  using RegT = typename Policy::RegT;
+  using InstrT = rtl::InstrT<RegT>;
+  std::vector<LocalStep> Out;
+  auto abort = [&Out, LangName](const std::string &R) {
+    Out.push_back(LocalStep::abort(std::string(LangName) + ": " + R));
+  };
+
+  if (Cr.Await) {
+    abort("stepped while awaiting return");
+    return Out;
+  }
+  auto It = Cr.F->Graph.find(Cr.PC);
+  if (It == Cr.F->Graph.end()) {
+    abort("bad CFG node");
+    return Out;
+  }
+  const InstrT &I = It->second;
+
+  Footprint FP;
+  auto read = [&](const RegT &R) { return Policy::read(Cr.State, R); };
+  auto finish = [&](Msg Ms, std::shared_ptr<CfgCore<Policy>> N, Mem NM) {
+    LocalStep S;
+    S.M = std::move(Ms);
+    S.FP = FP;
+    S.NextMem = std::move(NM);
+    S.Next = std::move(N);
+    Out.push_back(std::move(S));
+  };
+  auto nextCore = [&](unsigned Succ) {
+    auto N = std::make_shared<CfgCore<Policy>>(Cr);
+    N->PC = Succ;
+    return N;
+  };
+  auto evalAddr = [&](const rtl::AddrMode<RegT> &AM) -> std::optional<Addr> {
+    if (AM.K == rtl::AddrMode<RegT>::Kind::Global)
+      return GE.lookup(AM.Global);
+    auto V = read(AM.Base);
+    if (!V || !V->isPtr())
+      return std::nullopt;
+    return V->asPtr();
+  };
+
+  switch (I.K) {
+  case InstrT::Kind::Nop:
+    finish(Msg::tau(), nextCore(I.S1), M);
+    break;
+  case InstrT::Kind::Op: {
+    Addr GA = 0;
+    if (I.O == Oper::Addrglobal) {
+      auto A = GE.lookup(I.Global);
+      if (!A) {
+        abort("unknown global");
+        break;
+      }
+      GA = *A;
+    }
+    Value A, B;
+    unsigned Arity = operArity(I.O);
+    if (Arity >= 1) {
+      auto V = read(I.Args[0]);
+      if (!V) {
+        abort("bad operand");
+        break;
+      }
+      A = *V;
+    }
+    if (Arity >= 2) {
+      auto V = read(I.Args[1]);
+      if (!V) {
+        abort("bad operand");
+        break;
+      }
+      B = *V;
+    }
+    auto R = evalOper(I.O, I.C, I.Imm, GA, A, B);
+    if (!R) {
+      abort("operator evaluation failed");
+      break;
+    }
+    auto N = nextCore(I.S1);
+    if (!Policy::write(N->State, I.Dst, *R)) {
+      abort("bad destination");
+      break;
+    }
+    finish(Msg::tau(), std::move(N), M);
+    break;
+  }
+  case InstrT::Kind::Load: {
+    auto A = evalAddr(I.AM);
+    if (!A) {
+      abort("bad load address");
+      break;
+    }
+    auto V = M.load(*A);
+    if (!V) {
+      abort("load from unallocated address");
+      break;
+    }
+    FP.addRead(*A);
+    auto N = nextCore(I.S1);
+    if (!Policy::write(N->State, I.Dst, *V)) {
+      abort("bad load destination");
+      break;
+    }
+    finish(Msg::tau(), std::move(N), M);
+    break;
+  }
+  case InstrT::Kind::Store: {
+    auto A = evalAddr(I.AM);
+    auto V = read(I.Args[0]);
+    if (!A || !V) {
+      abort("bad store");
+      break;
+    }
+    Mem NM = M;
+    if (!NM.store(*A, *V)) {
+      abort("store to unallocated address");
+      break;
+    }
+    FP.addWrite(*A);
+    finish(Msg::tau(), nextCore(I.S1), std::move(NM));
+    break;
+  }
+  case InstrT::Kind::Call:
+  case InstrT::Kind::Tailcall: {
+    std::vector<Value> Args;
+    bool Bad = false;
+    for (const RegT &R : I.Args) {
+      auto V = read(R);
+      if (!V) {
+        Bad = true;
+        break;
+      }
+      Args.push_back(*V);
+    }
+    if (Bad) {
+      abort("bad call argument");
+      break;
+    }
+    if (I.K == InstrT::Kind::Tailcall) {
+      auto N = std::make_shared<CfgCore<Policy>>(Cr);
+      finish(Msg::tailCall(I.Callee, std::move(Args)), std::move(N), M);
+      break;
+    }
+    auto N = nextCore(I.S1);
+    N->Await = true;
+    N->AwaitHasDst = I.HasDst;
+    N->AwaitDst = I.Dst;
+    finish(Msg::extCall(I.Callee, std::move(Args)), std::move(N), M);
+    break;
+  }
+  case InstrT::Kind::Cond: {
+    auto A = read(I.Args[0]);
+    if (!A) {
+      abort("bad condition operand");
+      break;
+    }
+    Value B = Value::makeInt(I.Imm);
+    if (!I.CondOneArg) {
+      auto BV = read(I.Args[1]);
+      if (!BV) {
+        abort("bad condition operand");
+        break;
+      }
+      B = *BV;
+    }
+    auto R = evalCmp(I.C, *A, B);
+    if (!R) {
+      abort("condition type error");
+      break;
+    }
+    finish(Msg::tau(), nextCore(*R ? I.S1 : I.S2), M);
+    break;
+  }
+  case InstrT::Kind::Return: {
+    Value V = Value::makeInt(0);
+    if (I.HasArg) {
+      auto A = read(I.Args[0]);
+      if (!A) {
+        abort("bad return value");
+        break;
+      }
+      V = *A;
+    }
+    auto N = std::make_shared<CfgCore<Policy>>(Cr);
+    finish(Msg::ret(V), std::move(N), M);
+    break;
+  }
+  case InstrT::Kind::Print: {
+    auto V = read(I.Args[0]);
+    if (!V || !V->isInt()) {
+      abort("print needs an integer");
+      break;
+    }
+    finish(Msg::event(V->asInt()), nextCore(I.S1), M);
+    break;
+  }
+  }
+  return Out;
+}
+
+template <typename Policy>
+CoreRef initCfgCore(const rtl::FunctionT<typename Policy::RegT> *F,
+                    const std::vector<Value> &Args) {
+  if (!F || F->NumParams != Args.size())
+    return nullptr;
+  auto C = std::make_shared<CfgCore<Policy>>();
+  C->F = F;
+  C->PC = F->Entry;
+  Policy::initState(C->State, *F);
+  for (std::size_t I = 0; I < Args.size(); ++I)
+    if (!Policy::write(C->State, F->ParamHomes[I], Args[I]))
+      return nullptr;
+  return C;
+}
+
+template <typename Policy>
+CoreRef applyCfgReturn(const Core &C, const Value &V) {
+  const auto &Cr = static_cast<const CfgCore<Policy> &>(C);
+  if (!Cr.Await)
+    return nullptr;
+  auto N = std::make_shared<CfgCore<Policy>>(Cr);
+  N->Await = false;
+  if (Cr.AwaitHasDst)
+    if (!Policy::write(N->State, Cr.AwaitDst, V))
+      return nullptr;
+  return N;
+}
+
+/// RTL: pseudo-registers in a growable vector.
+struct RTLPolicy {
+  using RegT = rtl::Reg;
+  using StateT = std::vector<Value>;
+
+  static void initState(StateT &S, const rtl::Function &F) {
+    S.assign(F.NumRegs, Value::makeUndef());
+  }
+  static std::optional<Value> read(const StateT &S, RegT R) {
+    if (R >= S.size())
+      return std::nullopt;
+    return S[R];
+  }
+  static bool write(StateT &S, RegT R, const Value &V) {
+    if (R >= S.size())
+      return false;
+    S[R] = V;
+    return true;
+  }
+  static std::string stateKey(const StateT &S) {
+    StrBuilder B;
+    for (const Value &V : S)
+      B << V.toString() << ',';
+    return B.take();
+  }
+};
+
+/// LTL: machine registers plus abstract slots (CompCert locsets).
+struct LTLState {
+  std::array<Value, x86::NumRegs> Regs;
+  std::vector<Value> Slots;
+};
+
+struct LTLPolicy {
+  using RegT = ltl::Loc;
+  using StateT = LTLState;
+
+  static void initState(StateT &S, const ltl::Function &F) {
+    S.Regs.fill(Value::makeUndef());
+    S.Slots.assign(F.NumSlots, Value::makeUndef());
+  }
+  static std::optional<Value> read(const StateT &S, const ltl::Loc &L) {
+    if (L.IsReg)
+      return S.Regs[static_cast<unsigned>(L.R)];
+    if (L.Slot >= S.Slots.size())
+      return std::nullopt;
+    return S.Slots[L.Slot];
+  }
+  static bool write(StateT &S, const ltl::Loc &L, const Value &V) {
+    if (L.IsReg) {
+      S.Regs[static_cast<unsigned>(L.R)] = V;
+      return true;
+    }
+    if (L.Slot >= S.Slots.size())
+      return false;
+    S.Slots[L.Slot] = V;
+    return true;
+  }
+  static std::string stateKey(const StateT &S) {
+    StrBuilder B;
+    for (const Value &V : S.Regs)
+      B << V.toString() << ',';
+    B << '/';
+    for (const Value &V : S.Slots)
+      B << V.toString() << ',';
+    return B.take();
+  }
+};
+
+} // namespace
+
+RTLLang::RTLLang(std::shared_ptr<const rtl::Module> M) : Mod(std::move(M)) {}
+RTLLang::~RTLLang() = default;
+
+CoreRef RTLLang::initCore(const std::string &Entry,
+                          const std::vector<Value> &Args) const {
+  return initCfgCore<RTLPolicy>(Mod->find(Entry), Args);
+}
+
+std::vector<LocalStep> RTLLang::step(const FreeList &F, const Core &C,
+                                     const Mem &M) const {
+  (void)F;
+  return stepCfg<RTLPolicy>("RTL",
+                            static_cast<const CfgCore<RTLPolicy> &>(C),
+                            *Globals, M);
+}
+
+CoreRef RTLLang::applyReturn(const Core &C, const Value &V) const {
+  return applyCfgReturn<RTLPolicy>(C, V);
+}
+
+LTLLang::LTLLang(std::shared_ptr<const ltl::Module> M) : Mod(std::move(M)) {}
+LTLLang::~LTLLang() = default;
+
+CoreRef LTLLang::initCore(const std::string &Entry,
+                          const std::vector<Value> &Args) const {
+  return initCfgCore<LTLPolicy>(Mod->find(Entry), Args);
+}
+
+std::vector<LocalStep> LTLLang::step(const FreeList &F, const Core &C,
+                                     const Mem &M) const {
+  (void)F;
+  return stepCfg<LTLPolicy>("LTL",
+                            static_cast<const CfgCore<LTLPolicy> &>(C),
+                            *Globals, M);
+}
+
+CoreRef LTLLang::applyReturn(const Core &C, const Value &V) const {
+  return applyCfgReturn<LTLPolicy>(C, V);
+}
+
+unsigned ccc::ir::addRTLModule(Program &P, const std::string &Name,
+                               std::shared_ptr<const rtl::Module> M) {
+  GlobalEnv GE;
+  for (const auto &G : M->Globals)
+    GE.declare(G.first, Value::makeInt(G.second), DataOwner::Client);
+  return P.addModule(Name, std::make_unique<RTLLang>(M), std::move(GE));
+}
+
+unsigned ccc::ir::addLTLModule(Program &P, const std::string &Name,
+                               std::shared_ptr<const ltl::Module> M) {
+  GlobalEnv GE;
+  for (const auto &G : M->Globals)
+    GE.declare(G.first, Value::makeInt(G.second), DataOwner::Client);
+  return P.addModule(Name, std::make_unique<LTLLang>(M), std::move(GE));
+}

@@ -1,0 +1,136 @@
+//===- mem/Addr.h - Addresses and address sets ------------------*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Memory addresses and finite address sets. The paper's memory model
+/// (Sec. 3, Fig. 5) uses an abstract address domain; we instantiate it with
+/// flat 32-bit addresses. AddrSet is the representation used for footprint
+/// read/write sets and for the shared-location sets S of Fig. 8.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_MEM_ADDR_H
+#define CASCC_MEM_ADDR_H
+
+#include "support/StrUtil.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+namespace ccc {
+
+/// A memory address (paper: l in Addr).
+using Addr = uint32_t;
+
+/// A thread identifier (paper: t in ThrdID).
+using ThreadId = uint32_t;
+
+/// A finite, sorted, duplicate-free set of addresses.
+///
+/// Used for footprint read/write sets and shared-location sets. The
+/// representation is a sorted vector, which keeps canonical keys cheap and
+/// deterministic.
+class AddrSet {
+public:
+  AddrSet() = default;
+  AddrSet(std::initializer_list<Addr> Init) : Elems(Init) { normalize(); }
+  explicit AddrSet(std::vector<Addr> Init) : Elems(std::move(Init)) {
+    normalize();
+  }
+
+  bool empty() const { return Elems.empty(); }
+  std::size_t size() const { return Elems.size(); }
+
+  bool contains(Addr A) const {
+    return std::binary_search(Elems.begin(), Elems.end(), A);
+  }
+
+  void insert(Addr A) {
+    auto It = std::lower_bound(Elems.begin(), Elems.end(), A);
+    if (It == Elems.end() || *It != A)
+      Elems.insert(It, A);
+  }
+
+  /// Adds every element of \p Other to this set.
+  void unionWith(const AddrSet &Other) {
+    std::vector<Addr> Merged;
+    Merged.reserve(Elems.size() + Other.Elems.size());
+    std::set_union(Elems.begin(), Elems.end(), Other.Elems.begin(),
+                   Other.Elems.end(), std::back_inserter(Merged));
+    Elems = std::move(Merged);
+  }
+
+  /// Returns the intersection of this set with \p Other.
+  AddrSet intersect(const AddrSet &Other) const {
+    AddrSet Out;
+    std::set_intersection(Elems.begin(), Elems.end(), Other.Elems.begin(),
+                          Other.Elems.end(), std::back_inserter(Out.Elems));
+    return Out;
+  }
+
+  /// Returns this set minus \p Other.
+  AddrSet minus(const AddrSet &Other) const {
+    AddrSet Out;
+    std::set_difference(Elems.begin(), Elems.end(), Other.Elems.begin(),
+                        Other.Elems.end(), std::back_inserter(Out.Elems));
+    return Out;
+  }
+
+  /// Returns true if this set and \p Other share an element.
+  bool intersects(const AddrSet &Other) const {
+    auto I = Elems.begin(), J = Other.Elems.begin();
+    while (I != Elems.end() && J != Other.Elems.end()) {
+      if (*I < *J)
+        ++I;
+      else if (*J < *I)
+        ++J;
+      else
+        return true;
+    }
+    return false;
+  }
+
+  /// Returns true if every element of this set is in \p Other.
+  bool subsetOf(const AddrSet &Other) const {
+    return std::includes(Other.Elems.begin(), Other.Elems.end(),
+                         Elems.begin(), Elems.end());
+  }
+
+  bool operator==(const AddrSet &Other) const { return Elems == Other.Elems; }
+  bool operator!=(const AddrSet &Other) const { return !(*this == Other); }
+
+  const std::vector<Addr> &elems() const { return Elems; }
+  auto begin() const { return Elems.begin(); }
+  auto end() const { return Elems.end(); }
+
+  /// Renders the set as "{a1,a2,...}".
+  std::string toString() const {
+    StrBuilder B;
+    B << '{';
+    for (std::size_t I = 0; I < Elems.size(); ++I) {
+      if (I != 0)
+        B << ',';
+      B << static_cast<uint64_t>(Elems[I]);
+    }
+    B << '}';
+    return B.take();
+  }
+
+private:
+  void normalize() {
+    std::sort(Elems.begin(), Elems.end());
+    Elems.erase(std::unique(Elems.begin(), Elems.end()), Elems.end());
+  }
+
+  std::vector<Addr> Elems;
+};
+
+} // namespace ccc
+
+#endif // CASCC_MEM_ADDR_H

@@ -1,0 +1,106 @@
+//===- mem/Footprint.h - Step footprints ------------------------*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Footprints (paper: delta = (rs, ws) in FtPrt, Fig. 4): the read and
+/// write sets of memory locations accessed by a local step. Includes the
+/// footprint algebra of Fig. 6 (union, subset) and the conflict relation
+/// of Sec. 5 used to define data races.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_MEM_FOOTPRINT_H
+#define CASCC_MEM_FOOTPRINT_H
+
+#include "mem/Addr.h"
+
+#include <string>
+
+namespace ccc {
+
+/// A step footprint: the sets of addresses read and written.
+class Footprint {
+public:
+  Footprint() = default;
+  Footprint(AddrSet Reads, AddrSet Writes)
+      : Reads(std::move(Reads)), Writes(std::move(Writes)) {}
+
+  /// The empty footprint (paper: emp).
+  static Footprint emp() { return Footprint(); }
+
+  static Footprint ofRead(Addr A) { return Footprint({A}, {}); }
+  static Footprint ofWrite(Addr A) { return Footprint({}, {A}); }
+  static Footprint ofReadWrite(Addr A) { return Footprint({A}, {A}); }
+
+  const AddrSet &reads() const { return Reads; }
+  const AddrSet &writes() const { return Writes; }
+
+  bool empty() const { return Reads.empty() && Writes.empty(); }
+
+  void addRead(Addr A) { Reads.insert(A); }
+  void addWrite(Addr A) { Writes.insert(A); }
+
+  /// Footprint union (paper: delta u delta', Fig. 6).
+  void unionWith(const Footprint &Other) {
+    Reads.unionWith(Other.Reads);
+    Writes.unionWith(Other.Writes);
+  }
+
+  Footprint unioned(const Footprint &Other) const {
+    Footprint Out = *this;
+    Out.unionWith(Other);
+    return Out;
+  }
+
+  /// Footprint inclusion (paper: delta subset delta', Fig. 6).
+  bool subsetOf(const Footprint &Other) const {
+    return Reads.subsetOf(Other.Reads) && Writes.subsetOf(Other.Writes);
+  }
+
+  /// All touched locations, rs u ws (the paper's "delta used as a set").
+  AddrSet asSet() const {
+    AddrSet Out = Reads;
+    Out.unionWith(Writes);
+    return Out;
+  }
+
+  /// Footprint conflict (Sec. 5): delta1 and delta2 conflict iff one's
+  /// write set intersects the other's touched set.
+  bool conflictsWith(const Footprint &Other) const {
+    return Writes.intersects(Other.asSet()) ||
+           Other.Writes.intersects(asSet());
+  }
+
+  bool operator==(const Footprint &Other) const {
+    return Reads == Other.Reads && Writes == Other.Writes;
+  }
+
+  std::string toString() const {
+    return "(r" + Reads.toString() + ",w" + Writes.toString() + ")";
+  }
+
+private:
+  AddrSet Reads;
+  AddrSet Writes;
+};
+
+/// An instrumented footprint (Sec. 5): a footprint paired with the atomic
+/// bit d recording whether it was generated inside an atomic block.
+struct InstrFootprint {
+  Footprint FP;
+  bool InAtomic = false;
+
+  /// Conflict of instrumented footprints: the footprints conflict and at
+  /// least one of them is outside an atomic block (Sec. 5).
+  bool conflictsWith(const InstrFootprint &Other) const {
+    return FP.conflictsWith(Other.FP) && (!InAtomic || !Other.InAtomic);
+  }
+};
+
+} // namespace ccc
+
+#endif // CASCC_MEM_FOOTPRINT_H

@@ -1,0 +1,72 @@
+//===- mem/FreeList.h - Per-thread allocation regions -----------*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Free lists (paper: F in FList, Sec. 3.1). A free list is conceptually an
+/// infinite set of addresses reserved for a module's local allocations
+/// (stack frames). We model a free list as a contiguous address region;
+/// disjointness of different threads' (and frames') free lists is by
+/// construction, which is exactly the property the paper's memory model
+/// needs so that allocation in one thread does not affect others (Sec. 2.3).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_MEM_FREELIST_H
+#define CASCC_MEM_FREELIST_H
+
+#include "mem/Addr.h"
+
+#include <cassert>
+
+namespace ccc {
+
+/// A contiguous region of addresses reserved for local allocation.
+class FreeList {
+public:
+  FreeList() : Base(0), Size(0) {}
+  FreeList(Addr Base, uint32_t Size) : Base(Base), Size(Size) {}
+
+  Addr base() const { return Base; }
+  uint32_t size() const { return Size; }
+  bool valid() const { return Size != 0; }
+
+  /// Returns the \p I-th address of this free list.
+  Addr at(uint32_t I) const {
+    assert(I < Size && "free list exhausted");
+    return Base + I;
+  }
+
+  bool contains(Addr A) const { return A >= Base && A < Base + Size; }
+
+  /// Returns true if this free list and \p Other overlap.
+  bool overlaps(const FreeList &Other) const {
+    if (!valid() || !Other.valid())
+      return false;
+    return Base < Other.Base + Other.Size && Other.Base < Base + Size;
+  }
+
+  /// Splits off a sub-region of \p SubSize addresses starting at offset
+  /// \p Offset. Used to hand each stack frame of a thread its own disjoint
+  /// free list (paper footnote 5: the thread pool maps each thread to a
+  /// stack of (tl, F, kappa) triples).
+  FreeList subRegion(uint32_t Offset, uint32_t SubSize) const {
+    assert(Offset + SubSize <= Size && "sub-region out of range");
+    return FreeList(Base + Offset, SubSize);
+  }
+
+  bool operator==(const FreeList &Other) const {
+    return Base == Other.Base && Size == Other.Size;
+  }
+
+private:
+  Addr Base;
+  uint32_t Size;
+};
+
+} // namespace ccc
+
+#endif // CASCC_MEM_FREELIST_H

@@ -1,0 +1,86 @@
+//===- mem/GlobalEnv.h - Module global environments -------------*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Global environments (paper: ge in GEnv, Fig. 4): the statically
+/// allocated global variables of a module, a finite partial map from a
+/// global variable's address to its initial value. Globals additionally
+/// carry an owner tag used to model the paper's object-data confinement
+/// (Sec. 7.1): object data has permission None for clients and vice versa.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_MEM_GLOBALENV_H
+#define CASCC_MEM_GLOBALENV_H
+
+#include "mem/Addr.h"
+#include "mem/Mem.h"
+#include "mem/Value.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ccc {
+
+/// Ownership class of a global, modeling CompCert memory permissions as
+/// used in Sec. 7.1 to separate client data from object data.
+enum class DataOwner { Client, Object };
+
+/// One global variable declaration.
+struct GlobalVar {
+  std::string Name;
+  Value Init;
+  DataOwner Owner = DataOwner::Client;
+  /// Assigned by Program::link(); 0 until then.
+  Addr Address = 0;
+};
+
+/// A module's global environment.
+class GlobalEnv {
+public:
+  GlobalEnv() = default;
+
+  /// Declares a global. Must happen before linking.
+  void declare(const std::string &Name, Value Init,
+               DataOwner Owner = DataOwner::Client) {
+    Vars.push_back({Name, Init, Owner, 0});
+  }
+
+  /// Returns the address of \p Name, or nullopt if not declared here.
+  std::optional<Addr> lookup(const std::string &Name) const {
+    for (const GlobalVar &G : Vars)
+      if (G.Name == Name)
+        return G.Address;
+    return std::nullopt;
+  }
+
+  std::vector<GlobalVar> &vars() { return Vars; }
+  const std::vector<GlobalVar> &vars() const { return Vars; }
+
+  /// The set of addresses of this environment's globals.
+  AddrSet addrs() const {
+    AddrSet Out;
+    for (const GlobalVar &G : Vars)
+      Out.insert(G.Address);
+    return Out;
+  }
+
+  /// Installs this environment's globals into \p M (part of GE(Pi) in the
+  /// Load rule, Fig. 7).
+  void installInto(Mem &M) const {
+    for (const GlobalVar &G : Vars)
+      M.alloc(G.Address, G.Init);
+  }
+
+private:
+  std::vector<GlobalVar> Vars;
+};
+
+} // namespace ccc
+
+#endif // CASCC_MEM_GLOBALENV_H

@@ -1,0 +1,42 @@
+//===- mem/Mem.cpp - The global memory state ------------------------------===//
+
+#include "mem/Mem.h"
+
+#include "support/StrUtil.h"
+
+using namespace ccc;
+
+bool Mem::eqOn(const Mem &Other, const AddrSet &Set) const {
+  for (Addr A : Set) {
+    auto L = load(A);
+    auto R = Other.load(A);
+    if (L.has_value() != R.has_value())
+      return false;
+    if (L.has_value() && *L != *R)
+      return false;
+  }
+  return true;
+}
+
+std::string Mem::key() const {
+  StrBuilder B;
+  for (const auto &KV : Data) {
+    B << static_cast<uint64_t>(KV.first) << '=' << KV.second.toString()
+      << ';';
+  }
+  return B.take();
+}
+
+std::string Mem::toString() const {
+  StrBuilder B;
+  B << "[";
+  bool First = true;
+  for (const auto &KV : Data) {
+    if (!First)
+      B << ", ";
+    First = false;
+    B << static_cast<uint64_t>(KV.first) << " -> " << KV.second.toString();
+  }
+  B << "]";
+  return B.take();
+}

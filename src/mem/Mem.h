@@ -1,0 +1,91 @@
+//===- mem/Mem.h - The global memory state ----------------------*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The global memory state (paper: sigma in State, a finite partial map
+/// from addresses to values, Fig. 4). Memory only ever grows (the paper's
+/// forward property); allocation extends the domain, there is no free.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_MEM_MEM_H
+#define CASCC_MEM_MEM_H
+
+#include "mem/Addr.h"
+#include "mem/Value.h"
+
+#include <map>
+#include <optional>
+#include <string>
+
+namespace ccc {
+
+/// A finite partial map from addresses to values.
+class Mem {
+public:
+  Mem() = default;
+
+  /// Returns the value at \p A, or nullopt if unallocated.
+  std::optional<Value> load(Addr A) const {
+    auto It = Data.find(A);
+    if (It == Data.end())
+      return std::nullopt;
+    return It->second;
+  }
+
+  bool allocated(Addr A) const { return Data.count(A) != 0; }
+
+  /// Stores \p V at the already-allocated address \p A. Returns false if the
+  /// address is not allocated (the caller reports abort).
+  bool store(Addr A, const Value &V) {
+    auto It = Data.find(A);
+    if (It == Data.end())
+      return false;
+    It->second = V;
+    return true;
+  }
+
+  /// Allocates \p A (possibly already allocated, which is an error) with an
+  /// initial value.
+  void alloc(Addr A, const Value &Init) { Data[A] = Init; }
+
+  /// The domain of the memory as an address set.
+  AddrSet dom() const {
+    AddrSet Out;
+    std::vector<Addr> Elems;
+    Elems.reserve(Data.size());
+    for (const auto &KV : Data)
+      Elems.push_back(KV.first);
+    return AddrSet(std::move(Elems));
+  }
+
+  std::size_t domSize() const { return Data.size(); }
+
+  bool operator==(const Mem &Other) const { return Data == Other.Data; }
+  bool operator!=(const Mem &Other) const { return !(*this == Other); }
+
+  /// Returns true if this memory and \p Other agree on every address in
+  /// \p Set per the paper's sigma =rs= sigma' relation (Fig. 6): each
+  /// address is either outside both domains, or inside both with equal
+  /// values.
+  bool eqOn(const Mem &Other, const AddrSet &Set) const;
+
+  /// Canonical key for memoized state exploration.
+  std::string key() const;
+
+  /// Human-readable dump.
+  std::string toString() const;
+
+  const std::map<Addr, Value> &data() const { return Data; }
+
+private:
+  std::map<Addr, Value> Data;
+};
+
+} // namespace ccc
+
+#endif // CASCC_MEM_MEM_H

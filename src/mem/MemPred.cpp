@@ -1,0 +1,200 @@
+//===- mem/MemPred.cpp - Memory and footprint predicates ------------------===//
+
+#include "mem/MemPred.h"
+
+using namespace ccc;
+
+bool ccc::memForward(const Mem &Before, const Mem &After) {
+  for (const auto &KV : Before.data())
+    if (!After.allocated(KV.first))
+      return false;
+  return true;
+}
+
+/// dom(M) restricted to the addresses of \p Set.
+static AddrSet domOn(const Mem &M, const AddrSet &Set) {
+  AddrSet Out;
+  for (Addr A : Set)
+    if (M.allocated(A))
+      Out.insert(A);
+  return Out;
+}
+
+/// dom(M) restricted to a free-list region.
+static AddrSet domOnFreeList(const Mem &M, const FreeList &F) {
+  AddrSet Out;
+  for (const auto &KV : M.data())
+    if (F.contains(KV.first))
+      Out.insert(KV.first);
+  return Out;
+}
+
+bool ccc::lEqPre(const Mem &M1, const Mem &M2, const Footprint &FP,
+                 const FreeList &F) {
+  if (!M1.eqOn(M2, FP.reads()))
+    return false;
+  if (domOn(M1, FP.writes()) != domOn(M2, FP.writes()))
+    return false;
+  return domOnFreeList(M1, F) == domOnFreeList(M2, F);
+}
+
+bool ccc::lEqPost(const Mem &M1, const Mem &M2, const Footprint &FP,
+                  const FreeList &F) {
+  if (!M1.eqOn(M2, FP.writes()))
+    return false;
+  return domOnFreeList(M1, F) == domOnFreeList(M2, F);
+}
+
+bool ccc::lEffect(const Mem &Before, const Mem &After, const Footprint &FP,
+                  const FreeList &F) {
+  // sigma1 ={dom(sigma1) - ws}= sigma2.
+  AddrSet Untouched = Before.dom().minus(FP.writes());
+  if (!Before.eqOn(After, Untouched))
+    return false;
+  // (dom(sigma2) - dom(sigma1)) subset (ws n F).
+  AddrSet Fresh = After.dom().minus(Before.dom());
+  for (Addr A : Fresh)
+    if (!FP.writes().contains(A) || !F.contains(A))
+      return false;
+  return true;
+}
+
+bool ccc::closedOn(const AddrSet &S, const Mem &M) {
+  for (Addr A : S) {
+    auto V = M.load(A);
+    if (!V)
+      continue;
+    if (V->isPtr() && !S.contains(V->asPtr()))
+      return false;
+  }
+  return true;
+}
+
+bool ccc::closedMem(const Mem &M) { return closedOn(M.dom(), M); }
+
+AddrSet Mu::image(const AddrSet &S) const {
+  AddrSet Out;
+  for (Addr A : S) {
+    auto It = F.find(A);
+    if (It != F.end())
+      Out.insert(It->second);
+  }
+  return Out;
+}
+
+std::optional<Addr> Mu::apply(Addr A) const {
+  auto It = F.find(A);
+  if (It == F.end())
+    return std::nullopt;
+  return It->second;
+}
+
+std::optional<Value> Mu::applyValue(const Value &V) const {
+  if (!V.isPtr())
+    return V;
+  auto A = apply(V.asPtr());
+  if (!A)
+    return std::nullopt;
+  return Value::makePtr(*A);
+}
+
+Mu Mu::identity(const AddrSet &Shared) {
+  Mu Out;
+  Out.SrcShared = Shared;
+  Out.TgtShared = Shared;
+  for (Addr A : Shared)
+    Out.F[A] = A;
+  return Out;
+}
+
+bool ccc::wfMu(const Mu &M) {
+  // dom(f) = S.
+  AddrSet Dom;
+  AddrSet Range;
+  for (const auto &KV : M.F) {
+    Dom.insert(KV.first);
+    Range.insert(KV.second);
+  }
+  if (Dom != M.SrcShared)
+    return false;
+  // injective(f): range size equals dom size.
+  if (Range.size() != Dom.size())
+    return false;
+  // f{{S}} = TS.
+  return Range == M.TgtShared;
+}
+
+bool ccc::fpMatch(const Mu &M, const Footprint &Src, const Footprint &Tgt) {
+  // delta.rs n mu.TS subset f{{Delta.rs u Delta.ws}}.
+  AddrSet SrcTouched = Src.reads();
+  SrcTouched.unionWith(Src.writes());
+  AddrSet AllowedReads = M.image(SrcTouched);
+  if (!Tgt.reads().intersect(M.TgtShared).subsetOf(AllowedReads))
+    return false;
+  // delta.ws n mu.TS subset f{{Delta.ws}}.
+  AddrSet AllowedWrites = M.image(Src.writes());
+  return Tgt.writes().intersect(M.TgtShared).subsetOf(AllowedWrites);
+}
+
+bool ccc::invRel(const Mu &M, const Mem &Src, const Mem &Tgt) {
+  for (const auto &KV : M.F) {
+    auto SrcVal = Src.load(KV.first);
+    if (!SrcVal)
+      continue;
+    auto TgtVal = Tgt.load(KV.second);
+    if (!TgtVal)
+      return false;
+    auto Mapped = M.applyValue(*SrcVal);
+    if (!Mapped || *Mapped != *TgtVal)
+      return false;
+  }
+  return true;
+}
+
+bool ccc::guaranteeHG(const Footprint &FP, const Mem &M, const FreeList &F,
+                      const AddrSet &S) {
+  return inScope(FP, F, S) && closedOn(S, M);
+}
+
+bool ccc::guaranteeLG(const Mu &M, const Footprint &TgtFP, const Mem &TgtMem,
+                      const FreeList &TgtF, const Footprint &SrcFP,
+                      const Mem &SrcMem) {
+  if (!inScope(TgtFP, TgtF, M.TgtShared))
+    return false;
+  if (!closedOn(M.TgtShared, TgtMem))
+    return false;
+  if (!fpMatch(M, SrcFP, TgtFP))
+    return false;
+  return invRel(M, SrcMem, TgtMem);
+}
+
+bool ccc::relyR(const Mem &Before, const Mem &After, const FreeList &F,
+                const AddrSet &S) {
+  // Sigma ={F}= Sigma'.
+  for (const auto &KV : Before.data()) {
+    if (!F.contains(KV.first))
+      continue;
+    auto V = After.load(KV.first);
+    if (!V || *V != KV.second)
+      return false;
+  }
+  for (const auto &KV : After.data())
+    if (F.contains(KV.first) && !Before.allocated(KV.first))
+      return false;
+  return closedOn(S, After) && memForward(Before, After);
+}
+
+bool ccc::relyRel(const Mu &M, const Mem &SrcBefore, const Mem &SrcAfter,
+                  const FreeList &SrcF, const Mem &TgtBefore,
+                  const Mem &TgtAfter, const FreeList &TgtF) {
+  return relyR(SrcBefore, SrcAfter, SrcF, M.SrcShared) &&
+         relyR(TgtBefore, TgtAfter, TgtF, M.TgtShared) &&
+         invRel(M, SrcAfter, TgtAfter);
+}
+
+bool ccc::inScope(const Footprint &FP, const FreeList &F, const AddrSet &S) {
+  for (Addr A : FP.asSet())
+    if (!F.contains(A) && !S.contains(A))
+      return false;
+  return true;
+}

@@ -1,0 +1,122 @@
+//===- mem/MemPred.h - Memory and footprint predicates ----------*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executable transcriptions of the auxiliary state/footprint predicates
+/// of Fig. 6 (forward, LEqPre, LEqPost, LEffect), Fig. 7 (closed), and
+/// Fig. 8 (wf(mu), FPmatch, Inv, HG, LG, R, Rely). These are the exact
+/// definitions the paper's well-definedness (Def. 1), simulation (Def. 3)
+/// and ReachClose (Def. 4) obligations quantify over; our validation
+/// engines evaluate them on concrete states.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_MEM_MEMPRED_H
+#define CASCC_MEM_MEMPRED_H
+
+#include "mem/Addr.h"
+#include "mem/Footprint.h"
+#include "mem/FreeList.h"
+#include "mem/Mem.h"
+
+#include <map>
+#include <optional>
+
+namespace ccc {
+
+/// forward(sigma, sigma'): the memory domain only grows (Fig. 6).
+bool memForward(const Mem &Before, const Mem &After);
+
+/// LEqPre(sigma1, sigma2, delta, F) (Fig. 6): the two memories agree on the
+/// read set, allocate the same write-set and free-list addresses.
+bool lEqPre(const Mem &M1, const Mem &M2, const Footprint &FP,
+            const FreeList &F);
+
+/// LEqPost(sigma1, sigma2, delta, F) (Fig. 6): the two memories agree on
+/// the write set and allocate the same free-list addresses.
+bool lEqPost(const Mem &M1, const Mem &M2, const Footprint &FP,
+             const FreeList &F);
+
+/// LEffect(sigma1, sigma2, delta, F) (Fig. 6): the step changed nothing
+/// outside the write set, and newly allocated addresses come from the
+/// write set intersected with the free list.
+bool lEffect(const Mem &Before, const Mem &After, const Footprint &FP,
+             const FreeList &F);
+
+/// closed(S, sigma) (Fig. 7): pointers stored at addresses in S stay in S.
+bool closedOn(const AddrSet &S, const Mem &M);
+
+/// closed(sigma) = closed(dom(sigma), sigma) (Fig. 7).
+bool closedMem(const Mem &M);
+
+/// The triple mu = (S, TS, f) of Fig. 8 recording the shared locations of
+/// source (S) and target (TS) and the injective source-to-target address
+/// mapping f.
+struct Mu {
+  AddrSet SrcShared;
+  AddrSet TgtShared;
+  std::map<Addr, Addr> F;
+
+  /// f{{S}}: image of a set under f (Fig. 8).
+  AddrSet image(const AddrSet &S) const;
+
+  /// Applies f to an address; nullopt when outside dom(f).
+  std::optional<Addr> apply(Addr A) const;
+
+  /// Applies f to a value (Fig. 8's lifting of f to values): integers map
+  /// to themselves, pointers through f.
+  std::optional<Value> applyValue(const Value &V) const;
+
+  /// Builds the identity mu over a shared set (used because our linker
+  /// assigns identical global layouts to source and target; DESIGN.md).
+  static Mu identity(const AddrSet &Shared);
+};
+
+/// wf(mu) (Fig. 8): f injective, dom(f) = S, f{{S}} = TS.
+bool wfMu(const Mu &M);
+
+/// FPmatch(mu, Delta, delta) (Fig. 8): the target footprint's shared
+/// locations are covered by the source footprint's, modulo f; target
+/// shared reads may come from source reads or writes, target shared writes
+/// only from source writes.
+bool fpMatch(const Mu &M, const Footprint &Src, const Footprint &Tgt);
+
+/// Inv(f, Sigma, sigma) (Fig. 8): the memory-injection style invariant
+/// relating source and target memory contents over dom(f).
+bool invRel(const Mu &M, const Mem &Src, const Mem &Tgt);
+
+/// HG(Delta, Sigma, F, S) (Fig. 8): the source-level guarantee — the
+/// accumulated footprint stays inside F u S and the shared memory is
+/// closed.
+bool guaranteeHG(const Footprint &FP, const Mem &M, const FreeList &F,
+                 const AddrSet &S);
+
+/// LG(mu, (delta, sigma, F), (Delta, Sigma)) (Fig. 8): the target-level
+/// guarantee — scoping, closedness, FPmatch and Inv.
+bool guaranteeLG(const Mu &M, const Footprint &TgtFP, const Mem &TgtMem,
+                 const FreeList &TgtF, const Footprint &SrcFP,
+                 const Mem &SrcMem);
+
+/// R(Sigma, Sigma', F, S) (Fig. 8): an environment step preserves the
+/// module's free-list memory, keeps the shared memory closed, and only
+/// grows the domain.
+bool relyR(const Mem &Before, const Mem &After, const FreeList &F,
+           const AddrSet &S);
+
+/// Rely(mu, (Sigma, Sigma', F), (sigma, sigma', F)) (Fig. 8): environment
+/// steps at both levels satisfy R and re-establish Inv.
+bool relyRel(const Mu &M, const Mem &SrcBefore, const Mem &SrcAfter,
+             const FreeList &SrcF, const Mem &TgtBefore, const Mem &TgtAfter,
+             const FreeList &TgtF);
+
+/// Checks that a set of addresses is within scope F u S (the side
+/// condition "(delta0 u delta) subset (F u mu.S)" of Def. 3).
+bool inScope(const Footprint &FP, const FreeList &F, const AddrSet &S);
+
+} // namespace ccc
+
+#endif // CASCC_MEM_MEMPRED_H

@@ -1,0 +1,93 @@
+//===- mem/Value.h - Runtime values -----------------------------*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Runtime values (paper: Val ::= l | ...). We instantiate values as 32-bit
+/// machine integers (with CompCert-style wrap-around arithmetic), pointers
+/// (addresses), and the undefined value.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_MEM_VALUE_H
+#define CASCC_MEM_VALUE_H
+
+#include "mem/Addr.h"
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace ccc {
+
+/// A runtime value: a 32-bit integer, a pointer, or undef.
+class Value {
+public:
+  enum class Kind { Undef, Int, Ptr };
+
+  Value() : K(Kind::Undef), Bits(0) {}
+
+  static Value makeInt(int32_t V) {
+    Value Out;
+    Out.K = Kind::Int;
+    Out.Bits = static_cast<uint32_t>(V);
+    return Out;
+  }
+
+  static Value makePtr(Addr A) {
+    Value Out;
+    Out.K = Kind::Ptr;
+    Out.Bits = A;
+    return Out;
+  }
+
+  static Value makeUndef() { return Value(); }
+
+  Kind kind() const { return K; }
+  bool isUndef() const { return K == Kind::Undef; }
+  bool isInt() const { return K == Kind::Int; }
+  bool isPtr() const { return K == Kind::Ptr; }
+
+  int32_t asInt() const {
+    assert(isInt() && "value is not an integer");
+    return static_cast<int32_t>(Bits);
+  }
+
+  Addr asPtr() const {
+    assert(isPtr() && "value is not a pointer");
+    return Bits;
+  }
+
+  /// Returns the integer payload if Int, else 0; used by arithmetic that
+  /// treats undef operands as an abort at a higher level.
+  int32_t intOrZero() const { return isInt() ? asInt() : 0; }
+
+  bool operator==(const Value &Other) const {
+    return K == Other.K && Bits == Other.Bits;
+  }
+  bool operator!=(const Value &Other) const { return !(*this == Other); }
+
+  /// Renders the value for state keys and dumps.
+  std::string toString() const {
+    switch (K) {
+    case Kind::Undef:
+      return "undef";
+    case Kind::Int:
+      return std::to_string(asInt());
+    case Kind::Ptr:
+      return "&" + std::to_string(static_cast<uint64_t>(Bits));
+    }
+    return "?";
+  }
+
+private:
+  Kind K;
+  uint32_t Bits;
+};
+
+} // namespace ccc
+
+#endif // CASCC_MEM_VALUE_H

@@ -1,0 +1,35 @@
+//===- support/Hashing.h - Hash combining utilities -------------*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small hash-combining helpers used by canonical state keys.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_SUPPORT_HASHING_H
+#define CASCC_SUPPORT_HASHING_H
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace ccc {
+
+/// Mixes \p Value into the running hash \p Seed (boost::hash_combine style).
+inline void hashCombine(std::size_t &Seed, std::size_t Value) {
+  Seed ^= Value + 0x9e3779b97f4a7c15ULL + (Seed << 6) + (Seed >> 2);
+}
+
+/// Hashes any standard-hashable value into \p Seed.
+template <typename T> void hashCombineValue(std::size_t &Seed, const T &V) {
+  hashCombine(Seed, std::hash<T>{}(V));
+}
+
+} // namespace ccc
+
+#endif // CASCC_SUPPORT_HASHING_H

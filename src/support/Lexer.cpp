@@ -1,0 +1,109 @@
+//===- support/Lexer.cpp - A small shared tokenizer ------------------------===//
+
+#include "support/Lexer.h"
+
+#include <algorithm>
+#include <cctype>
+
+using namespace ccc;
+
+bool ccc::tokenize(const std::string &Source,
+                   const std::vector<std::string> &Symbols,
+                   std::vector<Token> &Out, std::string &Error) {
+  // Longest-match-first symbol table.
+  std::vector<std::string> Syms = Symbols;
+  std::sort(Syms.begin(), Syms.end(),
+            [](const std::string &A, const std::string &B) {
+              return A.size() > B.size();
+            });
+
+  unsigned Line = 1;
+  std::size_t I = 0;
+  const std::size_t N = Source.size();
+  while (I < N) {
+    char C = Source[I];
+    if (C == '\n') {
+      ++Line;
+      ++I;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(C))) {
+      ++I;
+      continue;
+    }
+    if (C == '#' || (C == '/' && I + 1 < N && Source[I + 1] == '/')) {
+      while (I < N && Source[I] != '\n')
+        ++I;
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(C)) || C == '_' ||
+        C == '.' || C == '%' || C == '$') {
+      // Identifier-ish: assembly needs ".L0", "%eax", "$5" handled by the
+      // caller; we lex '%'/'$'/'.' as part of identifiers when they start
+      // one and are followed by an identifier character.
+      if ((C == '%' || C == '$' || C == '.') &&
+          !(I + 1 < N &&
+            (std::isalnum(static_cast<unsigned char>(Source[I + 1])) ||
+             Source[I + 1] == '_'))) {
+        // Fall through to symbol handling below.
+      } else {
+        std::size_t Start = I++;
+        while (I < N &&
+               (std::isalnum(static_cast<unsigned char>(Source[I])) ||
+                Source[I] == '_'))
+          ++I;
+        std::string Text = Source.substr(Start, I - Start);
+        // "$123" is an integer literal in assembly.
+        if (Text.size() > 1 && Text[0] == '$' &&
+            std::all_of(Text.begin() + 1, Text.end(), [](char D) {
+              return std::isdigit(static_cast<unsigned char>(D));
+            })) {
+          Token T;
+          T.K = Token::Kind::Int;
+          T.Text = Text;
+          T.IntVal = std::stoll(Text.substr(1));
+          T.Line = Line;
+          Out.push_back(std::move(T));
+          continue;
+        }
+        Token T;
+        T.K = Token::Kind::Ident;
+        T.Text = std::move(Text);
+        T.Line = Line;
+        Out.push_back(std::move(T));
+        continue;
+      }
+    }
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      std::size_t Start = I;
+      while (I < N && std::isdigit(static_cast<unsigned char>(Source[I])))
+        ++I;
+      Token T;
+      T.K = Token::Kind::Int;
+      T.Text = Source.substr(Start, I - Start);
+      T.IntVal = std::stoll(T.Text);
+      T.Line = Line;
+      Out.push_back(std::move(T));
+      continue;
+    }
+    bool Matched = false;
+    for (const std::string &S : Syms) {
+      if (Source.compare(I, S.size(), S) == 0) {
+        Token T;
+        T.K = Token::Kind::Symbol;
+        T.Text = S;
+        T.Line = Line;
+        Out.push_back(std::move(T));
+        I += S.size();
+        Matched = true;
+        break;
+      }
+    }
+    if (!Matched) {
+      Error = "line " + std::to_string(Line) + ": unexpected character '" +
+              std::string(1, C) + "'";
+      return false;
+    }
+  }
+  return true;
+}

@@ -1,0 +1,92 @@
+//===- support/Lexer.h - A small shared tokenizer ---------------*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small generic tokenizer shared by the CImp, Clight and x86 assembly
+/// frontends: identifiers, integer literals, and multi-character symbols.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_SUPPORT_LEXER_H
+#define CASCC_SUPPORT_LEXER_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ccc {
+
+/// One token.
+struct Token {
+  enum class Kind { Ident, Int, Symbol, End };
+  Kind K = Kind::End;
+  std::string Text;
+  int64_t IntVal = 0;
+  unsigned Line = 0;
+
+  bool is(Kind Kd) const { return K == Kd; }
+  bool isSymbol(const std::string &S) const {
+    return K == Kind::Symbol && Text == S;
+  }
+  bool isIdent(const std::string &S) const {
+    return K == Kind::Ident && Text == S;
+  }
+};
+
+/// Tokenizes \p Source. Symbols are matched greedily against \p Symbols
+/// (longest match first). '#' and "//" start a comment to end of line.
+/// Returns false (with \p Error set) on an unexpected character.
+bool tokenize(const std::string &Source,
+              const std::vector<std::string> &Symbols,
+              std::vector<Token> &Out, std::string &Error);
+
+/// A token cursor with the usual peek/accept/expect helpers.
+class TokenStream {
+public:
+  explicit TokenStream(std::vector<Token> Toks) : Toks(std::move(Toks)) {}
+
+  const Token &peek(unsigned Ahead = 0) const {
+    static const Token EndTok{};
+    std::size_t I = Pos + Ahead;
+    return I < Toks.size() ? Toks[I] : EndTok;
+  }
+
+  Token next() {
+    Token T = peek();
+    if (Pos < Toks.size())
+      ++Pos;
+    return T;
+  }
+
+  bool atEnd() const { return Pos >= Toks.size(); }
+
+  bool accept(const std::string &Symbol) {
+    if (peek().isSymbol(Symbol)) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool acceptIdent(const std::string &Ident) {
+    if (peek().isIdent(Ident)) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  unsigned line() const { return peek().Line; }
+
+private:
+  std::vector<Token> Toks;
+  std::size_t Pos = 0;
+};
+
+} // namespace ccc
+
+#endif // CASCC_SUPPORT_LEXER_H

@@ -1,0 +1,36 @@
+//===- support/StrUtil.cpp - String formatting helpers --------------------===//
+
+#include "support/StrUtil.h"
+
+using namespace ccc;
+
+std::string ccc::join(const std::vector<std::string> &Parts,
+                      const std::string &Sep) {
+  std::string Out;
+  for (std::size_t I = 0; I < Parts.size(); ++I) {
+    if (I != 0)
+      Out += Sep;
+    Out += Parts[I];
+  }
+  return Out;
+}
+
+bool ccc::startsWith(const std::string &S, const std::string &Prefix) {
+  return S.size() >= Prefix.size() &&
+         S.compare(0, Prefix.size(), Prefix) == 0;
+}
+
+std::vector<std::string> ccc::splitString(const std::string &S, char Sep) {
+  std::vector<std::string> Out;
+  std::string Cur;
+  for (char C : S) {
+    if (C == Sep) {
+      Out.push_back(Cur);
+      Cur.clear();
+    } else {
+      Cur += C;
+    }
+  }
+  Out.push_back(Cur);
+  return Out;
+}

@@ -1,0 +1,76 @@
+//===- support/StrUtil.h - String formatting helpers ------------*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small string utilities: joining, numeric formatting, and a tiny
+/// printf-free string builder used by pretty-printers and state keys.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_SUPPORT_STRUTIL_H
+#define CASCC_SUPPORT_STRUTIL_H
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace ccc {
+
+/// Joins the elements of \p Parts with \p Sep.
+std::string join(const std::vector<std::string> &Parts,
+                 const std::string &Sep);
+
+/// Returns true if \p S starts with \p Prefix.
+bool startsWith(const std::string &S, const std::string &Prefix);
+
+/// Splits \p S on character \p Sep (no empty-trailing suppression).
+std::vector<std::string> splitString(const std::string &S, char Sep);
+
+/// A minimal chainable string builder for building canonical keys and
+/// human-readable dumps without iostream in headers.
+class StrBuilder {
+public:
+  StrBuilder &operator<<(const std::string &S) {
+    Out += S;
+    return *this;
+  }
+  StrBuilder &operator<<(const char *S) {
+    Out += S;
+    return *this;
+  }
+  StrBuilder &operator<<(char C) {
+    Out += C;
+    return *this;
+  }
+  StrBuilder &operator<<(int64_t V) {
+    Out += std::to_string(V);
+    return *this;
+  }
+  StrBuilder &operator<<(uint64_t V) {
+    Out += std::to_string(V);
+    return *this;
+  }
+  StrBuilder &operator<<(int V) {
+    Out += std::to_string(V);
+    return *this;
+  }
+  StrBuilder &operator<<(unsigned V) {
+    Out += std::to_string(V);
+    return *this;
+  }
+
+  const std::string &str() const { return Out; }
+  std::string take() { return std::move(Out); }
+
+private:
+  std::string Out;
+};
+
+} // namespace ccc
+
+#endif // CASCC_SUPPORT_STRUTIL_H

@@ -1,0 +1,69 @@
+//===- sync/LockLib.cpp - The synchronization object library --------------===//
+
+#include "sync/LockLib.h"
+
+#include "cimp/CImpLang.h"
+
+using namespace ccc;
+
+const std::string &ccc::sync::gammaLockSource() {
+  static const std::string Src = R"(
+    global L = 1;
+
+    lock() {
+      r := 0;
+      while (r == 0) {
+        < r := [L]; [L] := 0; >
+      }
+      return 0;
+    }
+
+    unlock() {
+      < r := [L]; assert(r == 0); [L] := 1; >
+      return 0;
+    }
+  )";
+  return Src;
+}
+
+const std::string &ccc::sync::piLockSource() {
+  // Fig. 10(b), adapted to our assembly subset. The acquire path uses a
+  // lock-prefixed cmpxchg; the spin read and the releasing store are
+  // deliberately not lock-prefixed (the confined benign race).
+  static const std::string Src = R"(
+    .data L 1
+    .entry lock 0 0
+    .entry unlock 0 0
+
+    lock:
+            movl    $L, %ecx
+            movl    $0, %edx
+    l_acq:
+            movl    $1, %eax
+            lock cmpxchgl %edx, (%ecx)
+            je      enter
+    spin:
+            movl    (%ecx), %ebx
+            cmpl    $0, %ebx
+            je      spin
+            jmp     l_acq
+    enter:
+            retl
+
+    unlock:
+            movl    $L, %eax
+            movl    $1, (%eax)
+            retl
+  )";
+  return Src;
+}
+
+unsigned ccc::sync::addGammaLock(Program &P) {
+  return cimp::addCImpModule(P, "lockspec", gammaLockSource(),
+                             /*ObjectMode=*/true);
+}
+
+unsigned ccc::sync::addPiLock(Program &P, x86::MemModel Model) {
+  return x86::addAsmModule(P, "lockimpl", piLockSource(), Model,
+                           /*ObjectMode=*/true);
+}

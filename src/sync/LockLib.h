@@ -1,0 +1,49 @@
+//===- sync/LockLib.h - The synchronization object library ------*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lock object of Fig. 10: the abstract CImp specification gamma_lock
+/// (Fig. 10a) and, once the x86-TSO backend is linked in, the efficient
+/// TTAS implementation pi_lock (Fig. 10b). Threads written in client
+/// languages synchronize by calling the external entries lock() and
+/// unlock().
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_SYNC_LOCKLIB_H
+#define CASCC_SYNC_LOCKLIB_H
+
+#include "core/Program.h"
+#include "x86/X86Lang.h"
+
+#include <string>
+
+namespace ccc {
+namespace sync {
+
+/// CImp source of the abstract lock specification gamma_lock (Fig. 10a).
+/// The lock bit L is 1 when free; lock() atomically tests-and-clears it in
+/// a spin loop; unlock() asserts the lock is held and sets it back to 1.
+const std::string &gammaLockSource();
+
+/// x86 source of the efficient TTAS lock implementation pi_lock
+/// (Fig. 10b): a lock-prefixed cmpxchg acquire with an unfenced spin read,
+/// and a plain (racy, benign) store release.
+const std::string &piLockSource();
+
+/// Registers gamma_lock as an object module named "lockspec"; returns the
+/// module index.
+unsigned addGammaLock(Program &P);
+
+/// Registers pi_lock (Fig. 10b) as an x86 object module named "lockimpl"
+/// under the given memory model; returns the module index.
+unsigned addPiLock(Program &P, x86::MemModel Model);
+
+} // namespace sync
+} // namespace ccc
+
+#endif // CASCC_SYNC_LOCKLIB_H

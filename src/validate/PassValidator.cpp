@@ -1,0 +1,70 @@
+//===- validate/PassValidator.cpp - Per-pass translation validation --------===//
+
+#include "validate/PassValidator.h"
+
+#include <chrono>
+
+using namespace ccc;
+using namespace ccc::validate;
+using compiler::CompileResult;
+
+std::vector<EntrySample>
+ccc::validate::defaultSamples(const clight::Module &M) {
+  std::vector<EntrySample> Out;
+  for (const clight::Function &F : M.Funcs) {
+    if (F.Params.empty()) {
+      Out.push_back({F.Name, {}});
+      continue;
+    }
+    // Two samples per function: all-zeros and small distinct values.
+    std::vector<Value> Zeros, Smalls;
+    int32_t V = 2;
+    for (const clight::VarDecl &P : F.Params) {
+      (void)P;
+      Zeros.push_back(Value::makeInt(0));
+      Smalls.push_back(Value::makeInt(V));
+      V += 3;
+    }
+    Out.push_back({F.Name, std::move(Zeros)});
+    Out.push_back({F.Name, std::move(Smalls)});
+  }
+  return Out;
+}
+
+std::vector<PassResult>
+ccc::validate::validatePipeline(const CompileResult &R,
+                                const std::vector<EntrySample> &Samples,
+                                SimOptions Opts) {
+  std::vector<PassResult> Out;
+  const auto &Names = compiler::passNames();
+  for (unsigned Pass = 0; Pass < Names.size(); ++Pass) {
+    PassResult PR;
+    PR.PassName = Names[Pass];
+    auto Start = std::chrono::steady_clock::now();
+
+    Program Src, Tgt;
+    unsigned SrcMod = compiler::addStage(Src, R, Pass, "m");
+    unsigned TgtMod = compiler::addStage(Tgt, R, Pass + 1, "m");
+    Src.link();
+    Tgt.link();
+
+    for (const EntrySample &ES : Samples) {
+      SimReport SR =
+          simCheck(Src, SrcMod, Tgt, TgtMod, ES.Entry, ES.Args, Opts);
+      ++PR.EntriesChecked;
+      PR.Obligations += SR.Obligations;
+      PR.ProductStates += SR.ProductStates;
+      PR.Vacuous += SR.VacuousBranches;
+      if (!SR.Holds) {
+        PR.Holds = false;
+        if (PR.FailReason.empty())
+          PR.FailReason = ES.Entry + ": " + SR.FailReason;
+      }
+    }
+    auto End = std::chrono::steady_clock::now();
+    PR.Millis =
+        std::chrono::duration<double, std::milli>(End - Start).count();
+    Out.push_back(std::move(PR));
+  }
+  return Out;
+}

@@ -1,0 +1,61 @@
+//===- validate/PassValidator.h - Per-pass translation validation -*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Discharges Correct(SeqComp) (Def. 10) for every pass of the pipeline:
+/// for each pass, the footprint-preserving module-local simulation of
+/// Defs. 2-3 is checked between the pass's input and output modules, for
+/// every function entry and a sample of arguments. This is the executable
+/// analogue of the per-pass Coq proofs tabulated in Fig. 13.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_VALIDATE_PASSVALIDATOR_H
+#define CASCC_VALIDATE_PASSVALIDATOR_H
+
+#include "compiler/Compiler.h"
+#include "validate/Sim.h"
+
+#include <string>
+#include <vector>
+
+namespace ccc {
+namespace validate {
+
+/// Validation outcome for one pass.
+struct PassResult {
+  std::string PassName;
+  bool Holds = true;
+  unsigned EntriesChecked = 0;
+  unsigned Obligations = 0;
+  unsigned ProductStates = 0;
+  unsigned Vacuous = 0;
+  double Millis = 0.0;
+  std::string FailReason;
+};
+
+/// An entry point with one argument sample.
+struct EntrySample {
+  std::string Entry;
+  std::vector<Value> Args;
+};
+
+/// Default argument samples for every function of a module: a couple of
+/// small integers per int parameter.
+std::vector<EntrySample> defaultSamples(const clight::Module &M);
+
+/// Validates every pass of \p R on the given entry samples; returns one
+/// result per pass, in Fig. 11 order.
+std::vector<PassResult>
+validatePipeline(const compiler::CompileResult &R,
+                 const std::vector<EntrySample> &Samples,
+                 SimOptions Opts = {});
+
+} // namespace validate
+} // namespace ccc
+
+#endif // CASCC_VALIDATE_PASSVALIDATOR_H

@@ -1,0 +1,270 @@
+//===- validate/Sim.cpp - The footprint-preserving simulation --------------===//
+
+#include "validate/Sim.h"
+
+#include "mem/MemPred.h"
+
+#include <map>
+
+using namespace ccc;
+using namespace ccc::validate;
+
+namespace {
+
+struct Cfg {
+  CoreRef C;
+  Mem M;
+};
+
+enum class MemoState { InProgress, True, False };
+
+class SimChecker {
+public:
+  SimChecker(const Program &Src, unsigned SrcMod, const Program &Tgt,
+             unsigned TgtMod, SimOptions Opts)
+      : SrcLang(*Src.module(SrcMod).Lang), TgtLang(*Tgt.module(TgtMod).Lang),
+        SrcF(Src.threadRegion(0).subRegion(0, Program::FrameRegionSize)),
+        TgtF(Tgt.threadRegion(0).subRegion(0, Program::FrameRegionSize)),
+        MuRel(Mu::identity(Src.sharedAddrs())), Opts(Opts) {
+    LayoutOk = Src.sharedAddrs() == Tgt.sharedAddrs();
+  }
+
+  SimReport run(const Program &Src, const Program &Tgt,
+                const std::string &Entry, const std::vector<Value> &Args) {
+    SimReport R;
+    if (!LayoutOk) {
+      R.FailReason = "source/target global layouts differ (phi != id)";
+      return R;
+    }
+    CoreRef SC = SrcLang.initCore(Entry, Args);
+    CoreRef TC = TgtLang.initCore(Entry, Args);
+    if (!SC || !TC) {
+      R.FailReason = !SC ? "source InitCore failed" : "target InitCore failed";
+      return R;
+    }
+    Cfg S{SC, Src.initialMem()};
+    Cfg T{TC, Tgt.initialMem()};
+    if (!invRel(MuRel, S.M, T.M)) {
+      R.FailReason = "initial memories not Inv-related";
+      return R;
+    }
+    bool Ok = canSim(S, T, Footprint::emp(), Footprint::emp(),
+                     Opts.MaxStutter);
+    R.Holds = Ok;
+    R.ProductStates = static_cast<unsigned>(Memo.size());
+    R.Obligations = Obligations;
+    R.VacuousBranches = Vacuous;
+    if (!Ok)
+      R.FailReason = FailReason.empty() ? "simulation refuted" : FailReason;
+    return R;
+  }
+
+private:
+  std::string cfgKey(const Cfg &S, const Cfg &T, const Footprint &DS,
+                     const Footprint &DT, unsigned Budget) const {
+    return S.C->key() + "#" + S.M.key() + "|" + T.C->key() + "#" +
+           T.M.key() + "|" + DS.toString() + DT.toString() + "|" +
+           std::to_string(Budget);
+  }
+
+  void fail(const std::string &Why) {
+    if (FailReason.empty())
+      FailReason = Why;
+  }
+
+  /// Rely-compatible environment variants applied consistently to both
+  /// memories (mu.f = id, so Inv is preserved by construction).
+  std::vector<std::pair<Mem, Mem>> relyVariants(const Mem &SM,
+                                                const Mem &TM) const {
+    std::vector<std::pair<Mem, Mem>> Out;
+    Out.emplace_back(SM, TM);
+    for (Addr A : MuRel.SrcShared) {
+      if (Out.size() > Opts.RelySamples)
+        break;
+      auto V = SM.load(A);
+      if (!V || !V->isInt())
+        continue;
+      Mem SM2 = SM, TM2 = TM;
+      Value NV = Value::makeInt(V->asInt() + 1);
+      SM2.store(A, NV);
+      TM2.store(A, NV);
+      Out.emplace_back(std::move(SM2), std::move(TM2));
+    }
+    return Out;
+  }
+
+  /// The coinductive core of Def. 3.
+  bool canSim(const Cfg &S, const Cfg &T, const Footprint &DS,
+              const Footprint &DT, unsigned Budget) {
+    if (Memo.size() >= Opts.MaxStates) {
+      fail("product state bound exceeded");
+      return false;
+    }
+    std::string Key = cfgKey(S, T, DS, DT, Budget);
+    auto It = Memo.find(Key);
+    if (It != Memo.end())
+      return It->second != MemoState::False;
+    Memo[Key] = MemoState::InProgress;
+
+    bool Ok = checkAllSourceSteps(S, T, DS, DT, Budget);
+    Memo[Key] = Ok ? MemoState::True : MemoState::False;
+    return Ok;
+  }
+
+  bool checkAllSourceSteps(const Cfg &S, const Cfg &T, const Footprint &DS,
+                           const Footprint &DT, unsigned Budget) {
+    auto Steps = SrcLang.step(SrcF, *S.C, S.M);
+    if (Steps.empty()) {
+      // Stuck source: outside Safe(P); vacuously simulated.
+      ++Vacuous;
+      return true;
+    }
+    for (const LocalStep &St : Steps) {
+      if (St.Abort) {
+        ++Vacuous; // source aborts: Def. 11 assumes Safe sources
+        continue;
+      }
+      ++Obligations;
+      if (!matchSourceStep(S, T, DS, DT, Budget, St))
+        return false;
+    }
+    return true;
+  }
+
+  bool matchSourceStep(const Cfg &S, const Cfg &T, const Footprint &DS,
+                       const Footprint &DT, unsigned Budget,
+                       const LocalStep &St) {
+    Footprint DS2 = DS.unioned(St.FP);
+    Cfg SNext{St.Next, St.NextMem};
+
+    if (St.M.isTau()) {
+      // Case 1. Premise: accumulated source footprint in scope.
+      if (!inScope(DS2, SrcF, MuRel.SrcShared)) {
+        ++Vacuous;
+        return true;
+      }
+      // 1-a: stutter with a decreasing index.
+      if (Budget > 0 && canSim(SNext, T, DS2, DT, Budget - 1))
+        return true;
+      // 1-b: the target advances by tau+.
+      Cfg TCur = T;
+      Footprint DT2 = DT;
+      for (unsigned N = 1; N <= Opts.MaxTargetSteps; ++N) {
+        auto TSteps = TgtLang.step(TgtF, *TCur.C, TCur.M);
+        if (TSteps.size() != 1 || TSteps[0].Abort ||
+            !TSteps[0].M.isTau())
+          break; // target stuck/non-silent/non-deterministic: stop
+        DT2.unionWith(TSteps[0].FP);
+        TCur = Cfg{TSteps[0].Next, TSteps[0].NextMem};
+        if (!inScope(DT2, TgtF, MuRel.TgtShared) ||
+            !fpMatch(MuRel, DS2, DT2))
+          continue; // footprints not yet matched; let target continue
+        if (canSim(SNext, TCur, DS2, DT2, Opts.MaxStutter))
+          return true;
+      }
+      fail("no target answer for source tau step at " + S.C->key());
+      return false;
+    }
+
+    // Case 2: non-silent source step. Premise: HG at the source.
+    if (!guaranteeHG(DS2, St.NextMem, SrcF, MuRel.SrcShared)) {
+      ++Vacuous;
+      return true;
+    }
+    // Target: tau* then the same message.
+    Cfg TCur = T;
+    Footprint DT2 = DT;
+    for (unsigned N = 0; N <= Opts.MaxTargetSteps; ++N) {
+      auto TSteps = TgtLang.step(TgtF, *TCur.C, TCur.M);
+      if (TSteps.size() != 1 || TSteps[0].Abort)
+        break;
+      const LocalStep &TS = TSteps[0];
+      if (TS.M.isTau()) {
+        DT2.unionWith(TS.FP);
+        TCur = Cfg{TS.Next, TS.NextMem};
+        continue;
+      }
+      if (!sameMsg(St.M, TS.M)) {
+        fail("message mismatch: source " + St.M.toString() + " vs target " +
+             TS.M.toString());
+        return false;
+      }
+      DT2.unionWith(TS.FP);
+      Cfg TNext{TS.Next, TS.NextMem};
+      // LG: scope, closedness, FPmatch, Inv.
+      if (!guaranteeLG(MuRel, DT2, TNext.M, TgtF, DS2, SNext.M)) {
+        fail("LG violated after " + St.M.toString() + ": src fp " +
+             DS2.toString() + " tgt fp " + DT2.toString());
+        return false;
+      }
+      return continueAfterSwitch(SNext, TNext, St.M);
+    }
+    fail("target cannot emit " + St.M.toString());
+    return false;
+  }
+
+  /// Case 2 continuation: after the switch point, re-establish the
+  /// relation with cleared footprints under Rely interference.
+  bool continueAfterSwitch(const Cfg &S, const Cfg &T, const Msg &M) {
+    switch (M.K) {
+    case Msg::Kind::Ret:
+    case Msg::Kind::TailCall:
+      // Control leaves the module for good: this invocation is simulated.
+      return true;
+    case Msg::Kind::ExtCall: {
+      for (const Value &RV : Opts.RetSamples) {
+        CoreRef SR = SrcLang.applyReturn(*S.C, RV);
+        CoreRef TR = TgtLang.applyReturn(*T.C, RV);
+        if (!SR || !TR) {
+          fail("after-external resume failed");
+          return false;
+        }
+        for (auto &MV : relyVariants(S.M, T.M)) {
+          if (!canSim(Cfg{SR, MV.first}, Cfg{TR, MV.second},
+                      Footprint::emp(), Footprint::emp(),
+                      Opts.MaxStutter)) {
+            return false;
+          }
+        }
+      }
+      return true;
+    }
+    default: {
+      // Event / EntAtom / ExtAtom: same cores continue.
+      for (auto &MV : relyVariants(S.M, T.M)) {
+        if (!canSim(Cfg{S.C, MV.first}, Cfg{T.C, MV.second},
+                    Footprint::emp(), Footprint::emp(), Opts.MaxStutter))
+          return false;
+      }
+      return true;
+    }
+    }
+  }
+
+  static bool sameMsg(const Msg &A, const Msg &B) {
+    return A.K == B.K && A.EventVal == B.EventVal && A.RetVal == B.RetVal &&
+           A.Callee == B.Callee && A.Args == B.Args;
+  }
+
+  const ModuleLang &SrcLang;
+  const ModuleLang &TgtLang;
+  FreeList SrcF, TgtF;
+  Mu MuRel;
+  SimOptions Opts;
+  bool LayoutOk = false;
+  std::map<std::string, MemoState> Memo;
+  unsigned Obligations = 0;
+  unsigned Vacuous = 0;
+  std::string FailReason;
+};
+
+} // namespace
+
+SimReport ccc::validate::simCheck(const Program &Src, unsigned SrcMod,
+                                  const Program &Tgt, unsigned TgtMod,
+                                  const std::string &Entry,
+                                  const std::vector<Value> &Args,
+                                  SimOptions Opts) {
+  SimChecker C(Src, SrcMod, Tgt, TgtMod, Opts);
+  return C.run(Src, Tgt, Entry, Args);
+}

@@ -1,0 +1,76 @@
+//===- validate/Sim.h - The footprint-preserving simulation -----*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The module-local footprint-preserving downward simulation of Defs. 2-3
+/// as an executable checker: a memoized product-state-space search that
+/// discharges, per source step,
+///  - tau steps: the target answers with tau* (or stutters, bounded by a
+///    well-foundedness budget standing in for the index i), accumulated
+///    footprints stay in scope, and FPmatch(mu, Delta, delta) holds;
+///  - non-silent steps: the target emits the same message after tau*,
+///    LG holds (scope, closedness, FPmatch, Inv), and the relation is
+///    re-established with cleared footprints under sampled Rely
+///    environment steps (and sampled return values for external calls).
+///
+/// Correct(SeqComp) (Def. 10) for a pass is then: the simulation holds
+/// between the pass's input and output module for every entry.
+///
+/// Deviations from the paper, documented in DESIGN.md: the address map
+/// phi/mu.f is the identity (our linker lays out source and target
+/// identically), and non-silent steps may carry argument-evaluation
+/// footprints (our languages fuse argument reads with the emitting step).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_VALIDATE_SIM_H
+#define CASCC_VALIDATE_SIM_H
+
+#include "core/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace ccc {
+namespace validate {
+
+struct SimOptions {
+  /// Max target tau steps answering one source step.
+  unsigned MaxTargetSteps = 512;
+  /// Max consecutive source steps the target may stutter (the index i).
+  unsigned MaxStutter = 8;
+  /// Max product states explored.
+  unsigned MaxStates = 2000000;
+  /// Environment interference samples at each switch point.
+  unsigned RelySamples = 2;
+  /// Return values fed to both sides after an external call.
+  std::vector<Value> RetSamples = {Value::makeInt(0), Value::makeInt(1),
+                                   Value::makeInt(42)};
+};
+
+struct SimReport {
+  bool Holds = false;
+  std::string FailReason;
+  unsigned ProductStates = 0;
+  /// Obligations discharged (source steps matched).
+  unsigned Obligations = 0;
+  /// Warnings: vacuous branches (source aborted / HG premise failed).
+  unsigned VacuousBranches = 0;
+};
+
+/// Checks (sl, ge, gamma) 4_phi (tl, ge', pi) for one entry point.
+/// \p Src and \p Tgt are linked single-client programs whose module
+/// \p SrcMod / \p TgtMod hold the source and target code; their global
+/// layouts must agree (phi = identity).
+SimReport simCheck(const Program &Src, unsigned SrcMod, const Program &Tgt,
+                   unsigned TgtMod, const std::string &Entry,
+                   const std::vector<Value> &Args, SimOptions Opts = {});
+
+} // namespace validate
+} // namespace ccc
+
+#endif // CASCC_VALIDATE_SIM_H

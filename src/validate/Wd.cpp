@@ -1,0 +1,233 @@
+//===- validate/Wd.cpp - Well-definedness and determinism checkers ---------===//
+
+#include "validate/Wd.h"
+
+#include "mem/MemPred.h"
+
+#include <deque>
+#include <functional>
+#include <set>
+
+using namespace ccc;
+using namespace ccc::validate;
+
+namespace {
+
+struct LocalCfg {
+  CoreRef C;
+  Mem M;
+};
+
+/// Explores the module-local configurations reachable from an entry,
+/// invoking \p Visit on every configuration. Paths stop at ExtCall/Ret
+/// (where control leaves the module) and at aborts.
+void exploreLocal(const Program &P, unsigned ModIdx,
+                  const std::string &Entry, const std::vector<Value> &Args,
+                  unsigned MaxStates,
+                  const std::function<void(const LocalCfg &,
+                                           const FreeList &)> &Visit) {
+  const ModuleDecl &Mod = P.module(ModIdx);
+  FreeList F = P.threadRegion(0).subRegion(0, Program::FrameRegionSize);
+  CoreRef C0 = Mod.Lang->initCore(Entry, Args);
+  if (!C0)
+    return;
+  std::deque<LocalCfg> Work;
+  std::set<std::string> Seen;
+  Work.push_back({C0, P.initialMem()});
+  unsigned Visited = 0;
+  while (!Work.empty() && Visited < MaxStates) {
+    LocalCfg Cfg = std::move(Work.front());
+    Work.pop_front();
+    std::string Key = Cfg.C->key() + "#" + Cfg.M.key();
+    if (!Seen.insert(Key).second)
+      continue;
+    ++Visited;
+    Visit(Cfg, F);
+    for (const LocalStep &S : Mod.Lang->step(F, *Cfg.C, Cfg.M)) {
+      if (S.Abort || S.M.K == Msg::Kind::Ret ||
+          S.M.K == Msg::Kind::ExtCall || S.M.K == Msg::Kind::TailCall)
+        continue;
+      Work.push_back({S.Next, S.NextMem});
+    }
+  }
+}
+
+/// Perturbations of \p M that keep LEqPre(M, M', FP, F): change values at
+/// allocated addresses outside the read set (and outside F so frame
+/// contents stay fixed, which also keeps item (4)'s premise easy to
+/// satisfy), or allocate a fresh address outside ws u F.
+std::vector<Mem> lEqPrePerturbations(const Mem &M, const Footprint &FP,
+                                     const FreeList &F, unsigned MaxOut) {
+  std::vector<Mem> Out;
+  for (const auto &KV : M.data()) {
+    if (Out.size() >= MaxOut)
+      break;
+    if (FP.reads().contains(KV.first) || F.contains(KV.first))
+      continue;
+    if (!KV.second.isInt())
+      continue;
+    Mem M2 = M;
+    M2.store(KV.first, Value::makeInt(KV.second.asInt() + 1));
+    Out.push_back(std::move(M2));
+  }
+  if (Out.size() < MaxOut) {
+    // Fresh allocation far away from everything.
+    Mem M2 = M;
+    Addr Fresh = 0xFFFFFF0;
+    if (!M2.allocated(Fresh) && !F.contains(Fresh) &&
+        !FP.writes().contains(Fresh)) {
+      M2.alloc(Fresh, Value::makeInt(12345));
+      Out.push_back(std::move(M2));
+    }
+  }
+  return Out;
+}
+
+bool sameMsg(const Msg &A, const Msg &B) {
+  return A.K == B.K && A.EventVal == B.EventVal && A.RetVal == B.RetVal &&
+         A.Callee == B.Callee && A.Args == B.Args;
+}
+
+} // namespace
+
+CheckReport ccc::validate::wdCheck(const Program &P, unsigned ModIdx,
+                                   const std::string &Entry,
+                                   const std::vector<Value> &Args,
+                                   CheckOptions Opts) {
+  CheckReport R;
+  const ModuleDecl &Mod = P.module(ModIdx);
+  exploreLocal(P, ModIdx, Entry, Args, Opts.MaxStates,
+               [&](const LocalCfg &Cfg, const FreeList &F) {
+    ++R.StatesChecked;
+    auto Steps = Mod.Lang->step(F, *Cfg.C, Cfg.M);
+
+    // delta0: union of the possible step footprints (item (4)). The paper
+    // takes tau steps only because its non-silent steps carry emp
+    // footprints; our languages fuse argument evaluation into the
+    // emitting step, so their read sets belong in delta0 too (see
+    // DESIGN.md, deviations).
+    Footprint Delta0;
+    for (const LocalStep &S : Steps)
+      if (!S.Abort)
+        Delta0.unionWith(S.FP);
+
+    for (const LocalStep &S : Steps) {
+      if (S.Abort)
+        continue;
+      ++R.StepsChecked;
+      // (1) forward.
+      if (!memForward(Cfg.M, S.NextMem))
+        R.violate("forward violated at " + Cfg.C->key());
+      // (2) LEffect.
+      if (!lEffect(Cfg.M, S.NextMem, S.FP, F))
+        R.violate("LEffect violated at " + Cfg.C->key() + " fp " +
+                  S.FP.toString());
+      // (3) the step replays on LEqPre-equivalent memories.
+      for (const Mem &M2 :
+           lEqPrePerturbations(Cfg.M, S.FP, F, Opts.PerturbSamples)) {
+        if (!lEqPre(Cfg.M, M2, S.FP, F))
+          continue; // perturbation generator was too aggressive
+        bool Found = false;
+        for (const LocalStep &S2 : Mod.Lang->step(F, *Cfg.C, M2)) {
+          if (S2.Abort || !sameMsg(S2.M, S.M) || !(S2.FP == S.FP))
+            continue;
+          if (S2.Next->key() == S.Next->key() &&
+              lEqPost(S.NextMem, S2.NextMem, S.FP, F)) {
+            Found = true;
+            break;
+          }
+        }
+        if (!Found)
+          R.violate("Def.1(3): step not reproducible under LEqPre "
+                    "perturbation at " +
+                    Cfg.C->key());
+      }
+    }
+
+    // (4) non-determinism independent of out-of-footprint memory.
+    for (const Mem &M2 :
+         lEqPrePerturbations(Cfg.M, Delta0, F, Opts.PerturbSamples)) {
+      if (!lEqPre(Cfg.M, M2, Delta0, F))
+        continue;
+      for (const LocalStep &S2 : Mod.Lang->step(F, *Cfg.C, M2)) {
+        if (S2.Abort)
+          continue;
+        bool Found = false;
+        for (const LocalStep &S : Steps) {
+          if (!S.Abort && sameMsg(S.M, S2.M) && S.FP == S2.FP &&
+              S.Next->key() == S2.Next->key()) {
+            Found = true;
+            break;
+          }
+        }
+        if (!Found)
+          R.violate("Def.1(4): extra step appears under perturbation at " +
+                    Cfg.C->key());
+      }
+    }
+  });
+  return R;
+}
+
+CheckReport ccc::validate::detCheck(const Program &P, unsigned ModIdx,
+                                    const std::string &Entry,
+                                    const std::vector<Value> &Args,
+                                    CheckOptions Opts) {
+  CheckReport R;
+  const ModuleDecl &Mod = P.module(ModIdx);
+  exploreLocal(P, ModIdx, Entry, Args, Opts.MaxStates,
+               [&](const LocalCfg &Cfg, const FreeList &F) {
+    ++R.StatesChecked;
+    auto Steps = Mod.Lang->step(F, *Cfg.C, Cfg.M);
+    R.StepsChecked += static_cast<unsigned>(Steps.size());
+    if (Steps.size() > 1)
+      R.violate("non-deterministic configuration: " + Cfg.C->key());
+  });
+  return R;
+}
+
+CheckReport ccc::validate::reachCloseCheck(const Program &P,
+                                           unsigned ModIdx,
+                                           const std::string &Entry,
+                                           const std::vector<Value> &Args,
+                                           CheckOptions Opts) {
+  CheckReport R;
+  const ModuleDecl &Mod = P.module(ModIdx);
+  const AddrSet &S = P.sharedAddrs();
+
+  // Rely-compatible interference: mutate integer-valued shared cells
+  // (closedness is preserved because no pointers are introduced).
+  auto relyVariants = [&](const Mem &M) {
+    std::vector<Mem> Out;
+    Out.push_back(M); // the identity environment step
+    for (Addr A : S) {
+      if (Out.size() > Opts.RelySamples)
+        break;
+      auto V = M.load(A);
+      if (!V || !V->isInt())
+        continue;
+      Mem M2 = M;
+      M2.store(A, Value::makeInt(V->asInt() + 1));
+      Out.push_back(std::move(M2));
+    }
+    return Out;
+  };
+
+  exploreLocal(P, ModIdx, Entry, Args, Opts.MaxStates,
+               [&](const LocalCfg &Cfg, const FreeList &F) {
+    ++R.StatesChecked;
+    for (const Mem &M2 : relyVariants(Cfg.M)) {
+      if (!relyR(Cfg.M, M2, F, S))
+        continue;
+      for (const LocalStep &St : Mod.Lang->step(F, *Cfg.C, M2)) {
+        if (St.Abort)
+          continue;
+        ++R.StepsChecked;
+        if (!guaranteeHG(St.FP, St.NextMem, F, S))
+          R.violate("HG violated at " + Cfg.C->key() + " fp " +
+                    St.FP.toString());
+      }
+    }
+  });
+  return R;
+}

@@ -1,0 +1,82 @@
+//===- validate/Wd.h - Well-definedness and determinism checkers -*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executable checkers for the language-level side conditions of the
+/// framework:
+///  - wd(tl) (Def. 1): every step is forward, respects LEffect, depends
+///    only on its read set (checked by memory perturbation), and its
+///    non-determinism is unaffected by out-of-footprint memory;
+///  - det(tl): module-local determinism, the premise of the flip lemma
+///    (step 4 of Fig. 2);
+///  - ReachClose (Def. 4): the guarantee HG holds along every execution
+///    under rely-compatible environment interference.
+///
+/// The paper proves these universally in Coq; here they are validated on
+/// the reachable module-local configurations of concrete programs, with
+/// sampled perturbations standing in for the universal quantifiers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_VALIDATE_WD_H
+#define CASCC_VALIDATE_WD_H
+
+#include "core/Program.h"
+
+#include <string>
+#include <vector>
+
+namespace ccc {
+namespace validate {
+
+/// Result of a wd / det / ReachClose run.
+struct CheckReport {
+  bool Ok = true;
+  unsigned StatesChecked = 0;
+  unsigned StepsChecked = 0;
+  std::vector<std::string> Violations;
+
+  void violate(std::string V) {
+    Ok = false;
+    if (Violations.size() < 16)
+      Violations.push_back(std::move(V));
+  }
+};
+
+struct CheckOptions {
+  unsigned MaxStates = 2000;
+  /// Perturbed memories tried per step for Def. 1 items (3) and (4).
+  unsigned PerturbSamples = 3;
+  /// Rely interference samples per state for ReachClose.
+  unsigned RelySamples = 2;
+};
+
+/// Checks Def. 1 on the module-local executions of entry \p Entry of
+/// module \p ModIdx of the linked program \p P.
+CheckReport wdCheck(const Program &P, unsigned ModIdx,
+                    const std::string &Entry,
+                    const std::vector<Value> &Args,
+                    CheckOptions Opts = {});
+
+/// Checks det(tl) on the same executions: at most one successor per
+/// module-local configuration.
+CheckReport detCheck(const Program &P, unsigned ModIdx,
+                     const std::string &Entry,
+                     const std::vector<Value> &Args,
+                     CheckOptions Opts = {});
+
+/// Checks ReachClose (Def. 4): HG holds after every step, under sampled
+/// rely-compatible environment interference.
+CheckReport reachCloseCheck(const Program &P, unsigned ModIdx,
+                            const std::string &Entry,
+                            const std::vector<Value> &Args,
+                            CheckOptions Opts = {});
+
+} // namespace validate
+} // namespace ccc
+
+#endif // CASCC_VALIDATE_WD_H

@@ -1,0 +1,193 @@
+//===- workload/Workloads.cpp - Benchmark workload generators --------------===//
+
+#include "workload/Workloads.h"
+
+#include "cimp/CImpLang.h"
+#include "clight/ClightLang.h"
+#include "support/StrUtil.h"
+#include "sync/LockLib.h"
+
+using namespace ccc;
+using namespace ccc::workload;
+
+std::string ccc::workload::fig10cClientSource() {
+  return R"(
+    extern void lock();
+    extern void unlock();
+    int x = 0;
+    void inc() {
+      int32_t tmp;
+      lock();
+      tmp = x;
+      x = x + 1;
+      unlock();
+      print(tmp);
+    }
+  )";
+}
+
+std::string ccc::workload::cimpLockClientSource(unsigned Increments,
+                                                unsigned CsExtra) {
+  StrBuilder B;
+  B << "global x = 0;\n";
+  B << "inc() {\n";
+  B << "  n := 0;\n";
+  B << "  while (n < " << Increments << ") {\n";
+  B << "    lock();\n";
+  for (unsigned I = 0; I < CsExtra; ++I)
+    B << "    pad" << I << " := n + " << I << ";\n";
+  B << "    tmp := [x];\n";
+  B << "    [x] := tmp + 1;\n";
+  B << "    unlock();\n";
+  B << "    print(tmp);\n";
+  B << "    n := n + 1;\n";
+  B << "  }\n";
+  B << "}\n";
+  return B.take();
+}
+
+Program ccc::workload::lockedCounter(unsigned Threads, unsigned Increments,
+                                     unsigned CsExtra) {
+  Program P;
+  cimp::addCImpModule(P, "client",
+                      cimpLockClientSource(Increments, CsExtra));
+  sync::addGammaLock(P);
+  for (unsigned T = 0; T < Threads; ++T)
+    P.addThread("inc");
+  P.link();
+  return P;
+}
+
+Program ccc::workload::racyCounter(unsigned Threads) {
+  Program P;
+  cimp::addCImpModule(P, "client", R"(
+    global x = 0;
+    inc() { tmp := [x]; [x] := tmp + 1; print(tmp); }
+  )");
+  for (unsigned T = 0; T < Threads; ++T)
+    P.addThread("inc");
+  P.link();
+  return P;
+}
+
+Program ccc::workload::atomicCounter(unsigned Threads, unsigned Work) {
+  StrBuilder B;
+  B << "global x = 0;\n";
+  B << "inc() {\n";
+  for (unsigned I = 0; I < Work; ++I)
+    B << "  w" << I << " := " << I << " + 1;\n";
+  B << "  < v := [x]; [x] := v + 1; >\n";
+  B << "}\n";
+  Program P;
+  cimp::addCImpModule(P, "client", B.take());
+  for (unsigned T = 0; T < Threads; ++T)
+    P.addThread("inc");
+  P.link();
+  return P;
+}
+
+Program ccc::workload::clightLockedCounter(unsigned Threads) {
+  Program P;
+  clight::addClightModule(P, "client", fig10cClientSource());
+  sync::addGammaLock(P);
+  for (unsigned T = 0; T < Threads; ++T)
+    P.addThread("inc");
+  P.link();
+  return P;
+}
+
+Program ccc::workload::asmCounterWithPiLock(x86::MemModel Model,
+                                            unsigned Threads) {
+  Program P;
+  x86::addAsmModule(P, "client", R"(
+    .data x 0
+    .entry inc 0 0
+    .extern lock 0
+    .extern unlock 0
+    inc:
+            call lock
+            movl x, %ebx
+            movl %ebx, %ecx
+            addl $1, %ecx
+            movl %ecx, x
+            call unlock
+            printl %ebx
+            retl
+  )",
+                    Model);
+  sync::addPiLock(P, Model);
+  for (unsigned T = 0; T < Threads; ++T)
+    P.addThread("inc");
+  P.link();
+  return P;
+}
+
+Program ccc::workload::sbLitmus(x86::MemModel Model, bool Fenced) {
+  const char *Plain = R"(
+    .data x 0
+    .data y 0
+    .entry t1 0 0
+    .entry t2 0 0
+    t1:
+            movl $1, x
+            movl y, %eax
+            printl %eax
+            retl
+    t2:
+            movl $1, y
+            movl x, %ebx
+            printl %ebx
+            retl
+  )";
+  const char *WithFence = R"(
+    .data x 0
+    .data y 0
+    .entry t1 0 0
+    .entry t2 0 0
+    t1:
+            movl $1, x
+            mfence
+            movl y, %eax
+            printl %eax
+            retl
+    t2:
+            movl $1, y
+            mfence
+            movl x, %ebx
+            printl %ebx
+            retl
+  )";
+  Program P;
+  x86::addAsmModule(P, "m", Fenced ? WithFence : Plain, Model);
+  P.addThread("t1");
+  P.addThread("t2");
+  P.link();
+  return P;
+}
+
+Program ccc::workload::mpLitmus(x86::MemModel Model) {
+  Program P;
+  x86::addAsmModule(P, "m", R"(
+    .data data 0
+    .data flag 0
+    .entry t1 0 0
+    .entry t2 0 0
+    t1:
+            movl $42, data
+            movl $1, flag
+            retl
+    t2:
+    spin:
+            movl flag, %eax
+            cmpl $1, %eax
+            jne spin
+            movl data, %ebx
+            printl %ebx
+            retl
+  )",
+                    Model);
+  P.addThread("t1");
+  P.addThread("t2");
+  P.link();
+  return P;
+}

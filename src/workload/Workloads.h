@@ -1,0 +1,64 @@
+//===- workload/Workloads.h - Benchmark workload generators -----*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Program-family generators shared by the benchmark harness and the
+/// property-style tests: the Fig. 10 counter clients, lock-synchronized
+/// DRF families with tunable critical sections, racy controls, and the
+/// classic store-buffering / message-passing litmus tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_WORKLOAD_WORKLOADS_H
+#define CASCC_WORKLOAD_WORKLOADS_H
+
+#include "core/Program.h"
+#include "x86/X86Lang.h"
+
+#include <string>
+
+namespace ccc {
+namespace workload {
+
+/// The Fig. 10(c) client in Clight source form (print after unlock).
+std::string fig10cClientSource();
+
+/// A CImp client family: each thread runs \p Increments lock-protected
+/// increments of a shared counter with \p CsExtra extra statements inside
+/// the critical section, printing observed values.
+std::string cimpLockClientSource(unsigned Increments, unsigned CsExtra);
+
+/// A CImp program with \p Threads threads of the lock-client family,
+/// linked against gamma_lock. DRF by construction.
+Program lockedCounter(unsigned Threads, unsigned Increments,
+                      unsigned CsExtra);
+
+/// A racy control: same shape but the lock calls are removed.
+Program racyCounter(unsigned Threads);
+
+/// A DRF program using atomic blocks directly (no lock module):
+/// \p Threads threads, \p Work private statements before one atomic
+/// increment.
+Program atomicCounter(unsigned Threads, unsigned Work);
+
+/// The Fig. 10(c) client against gamma_lock, in Clight.
+Program clightLockedCounter(unsigned Threads);
+
+/// The hand-written assembly counter client against pi_lock.
+Program asmCounterWithPiLock(x86::MemModel Model, unsigned Threads);
+
+/// The store-buffering litmus test (both-zero allowed under TSO only).
+Program sbLitmus(x86::MemModel Model, bool Fenced);
+
+/// The message-passing litmus test: t1 writes data then flag; t2 spins on
+/// the flag then reads data (TSO preserves this — stores are FIFO).
+Program mpLitmus(x86::MemModel Model);
+
+} // namespace workload
+} // namespace ccc
+
+#endif // CASCC_WORKLOAD_WORKLOADS_H

@@ -1,0 +1,153 @@
+//===- x86/X86Asm.cpp - The x86 assembly subset ----------------------------===//
+
+#include "x86/X86Asm.h"
+
+#include "support/StrUtil.h"
+
+using namespace ccc;
+using namespace ccc::x86;
+
+const char *ccc::x86::regName(Reg R) {
+  switch (R) {
+  case Reg::EAX:
+    return "%eax";
+  case Reg::EBX:
+    return "%ebx";
+  case Reg::ECX:
+    return "%ecx";
+  case Reg::EDX:
+    return "%edx";
+  case Reg::ESI:
+    return "%esi";
+  case Reg::EDI:
+    return "%edi";
+  case Reg::EBP:
+    return "%ebp";
+  case Reg::ESP:
+    return "%esp";
+  }
+  return "%?";
+}
+
+std::optional<Reg> ccc::x86::regByName(const std::string &Name) {
+  static const std::pair<const char *, Reg> Table[] = {
+      {"%eax", Reg::EAX}, {"%ebx", Reg::EBX}, {"%ecx", Reg::ECX},
+      {"%edx", Reg::EDX}, {"%esi", Reg::ESI}, {"%edi", Reg::EDI},
+      {"%ebp", Reg::EBP}, {"%esp", Reg::ESP}};
+  for (const auto &E : Table)
+    if (Name == E.first)
+      return E.second;
+  return std::nullopt;
+}
+
+const char *ccc::x86::condSuffix(Cond C) {
+  switch (C) {
+  case Cond::E:
+    return "e";
+  case Cond::NE:
+    return "ne";
+  case Cond::L:
+    return "l";
+  case Cond::LE:
+    return "le";
+  case Cond::G:
+    return "g";
+  case Cond::GE:
+    return "ge";
+  }
+  return "?";
+}
+
+std::string Operand::toString() const {
+  switch (K) {
+  case Kind::Imm:
+    return "$" + std::to_string(Imm);
+  case Kind::GlobalImm:
+    return "$" + Global;
+  case Kind::Reg:
+    return regName(R);
+  case Kind::MemBase:
+    if (Disp != 0)
+      return std::to_string(Disp) + "(" + regName(R) + ")";
+    return std::string("(") + regName(R) + ")";
+  case Kind::MemGlobal:
+    return Global;
+  }
+  return "?";
+}
+
+std::string Instr::toString() const {
+  auto Bin = [this](const char *Mn) {
+    return std::string(Mn) + " " + Src.toString() + ", " + Dst.toString();
+  };
+  auto Un = [this](const char *Mn) {
+    return std::string(Mn) + " " + Dst.toString();
+  };
+  switch (K) {
+  case Kind::Mov:
+    return Bin("movl");
+  case Kind::Add:
+    return Bin("addl");
+  case Kind::Sub:
+    return Bin("subl");
+  case Kind::Imul:
+    return Bin("imull");
+  case Kind::Div:
+    return Bin("divl");
+  case Kind::And:
+    return Bin("andl");
+  case Kind::Or:
+    return Bin("orl");
+  case Kind::Xor:
+    return Bin("xorl");
+  case Kind::Shl:
+    return Bin("shll");
+  case Kind::Sar:
+    return Bin("sarl");
+  case Kind::Neg:
+    return Un("negl");
+  case Kind::Not:
+    return Un("notl");
+  case Kind::Cmp:
+    return Bin("cmpl");
+  case Kind::Setcc:
+    return std::string("set") + condSuffix(CC) + " " + Dst.toString();
+  case Kind::Jmp:
+    return "jmp " + Name;
+  case Kind::Jcc:
+    return std::string("j") + condSuffix(CC) + " " + Name;
+  case Kind::Call:
+    return "call " + Name;
+  case Kind::TailCall:
+    return "tcall " + Name;
+  case Kind::Ret:
+    return "retl";
+  case Kind::LockCmpxchg:
+    return "lock cmpxchgl " + Src.toString() + ", " + Dst.toString();
+  case Kind::Mfence:
+    return "mfence";
+  case Kind::Print:
+    return "printl " + Src.toString();
+  case Kind::Label:
+    return Name + ":";
+  }
+  return "?";
+}
+
+std::string Module::toString() const {
+  StrBuilder B;
+  for (const auto &G : Globals)
+    B << ".data " << G.first << ' ' << G.second << '\n';
+  for (const auto &E : Entries)
+    B << ".entry " << E.first << ' '
+      << static_cast<uint64_t>(E.second.FrameSize) << ' ' << E.second.Arity
+      << '\n';
+  for (const auto &E : ExternArity)
+    B << ".extern " << E.first << ' ' << E.second << '\n';
+  for (const Instr &I : Code) {
+    if (I.K != Instr::Kind::Label)
+      B << "        ";
+    B << I.toString() << '\n';
+  }
+  return B.take();
+}

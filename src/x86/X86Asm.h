@@ -1,0 +1,175 @@
+//===- x86/X86Asm.h - The x86 assembly subset --------------------*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The x86 assembly subset used as CASCompCert's target (Sec. 7): enough
+/// of 32-bit x86 (AT&T syntax) to express compiled Clight clients and the
+/// hand-written TTAS lock of Fig. 10(b): moves, ALU ops, compare/branch,
+/// setcc, call/ret, lock-prefixed cmpxchg and mfence.
+///
+/// Model simplifications (documented in DESIGN.md):
+///  - memory is word-addressed: displacements count 32-bit cells;
+///  - `divl src, dst` is a pseudo-instruction avoiding the EAX:EDX pair;
+///  - `printl op` models a call to the runtime I/O intrinsic as an
+///    observable event (all languages of the pipeline treat print this
+///    way, so events line up across compilation).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_X86_X86ASM_H
+#define CASCC_X86_X86ASM_H
+
+#include "mem/Addr.h"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ccc {
+namespace x86 {
+
+/// General-purpose registers.
+enum class Reg : uint8_t { EAX, EBX, ECX, EDX, ESI, EDI, EBP, ESP };
+constexpr unsigned NumRegs = 8;
+
+const char *regName(Reg R);
+std::optional<Reg> regByName(const std::string &Name);
+
+/// Condition codes.
+enum class Cond : uint8_t { E, NE, L, LE, G, GE };
+
+const char *condSuffix(Cond C);
+
+/// An instruction operand.
+struct Operand {
+  enum class Kind {
+    Imm,       ///< $5
+    GlobalImm, ///< $L — the address of global L as an immediate
+    Reg,       ///< %eax
+    MemBase,   ///< disp(%reg)
+    MemGlobal, ///< L — direct global memory operand
+  };
+
+  Kind K = Kind::Imm;
+  int32_t Imm = 0;
+  Reg R = Reg::EAX;
+  int32_t Disp = 0;
+  std::string Global;
+
+  static Operand imm(int32_t V) {
+    Operand O;
+    O.K = Kind::Imm;
+    O.Imm = V;
+    return O;
+  }
+  static Operand globalImm(std::string Name) {
+    Operand O;
+    O.K = Kind::GlobalImm;
+    O.Global = std::move(Name);
+    return O;
+  }
+  static Operand reg(Reg R) {
+    Operand O;
+    O.K = Kind::Reg;
+    O.R = R;
+    return O;
+  }
+  static Operand memBase(Reg Base, int32_t Disp = 0) {
+    Operand O;
+    O.K = Kind::MemBase;
+    O.R = Base;
+    O.Disp = Disp;
+    return O;
+  }
+  static Operand memGlobal(std::string Name) {
+    Operand O;
+    O.K = Kind::MemGlobal;
+    O.Global = std::move(Name);
+    return O;
+  }
+
+  bool isMem() const { return K == Kind::MemBase || K == Kind::MemGlobal; }
+  std::string toString() const;
+};
+
+/// One instruction.
+struct Instr {
+  enum class Kind {
+    Mov,         ///< movl src, dst
+    Add,         ///< addl src, dst
+    Sub,         ///< subl src, dst
+    Imul,        ///< imull src, dst
+    Div,         ///< divl src, dst (pseudo; signed)
+    And,         ///< andl src, dst
+    Or,          ///< orl src, dst
+    Xor,         ///< xorl src, dst
+    Shl,         ///< shll $k, dst
+    Sar,         ///< sarl $k, dst
+    Neg,         ///< negl dst
+    Not,         ///< notl dst
+    Cmp,         ///< cmpl src, dst — flags from dst - src
+    Setcc,       ///< setcc dst (0/1 into a register)
+    Jmp,         ///< jmp label
+    Jcc,         ///< jcc label
+    Call,        ///< call name (external-call message)
+    TailCall,    ///< tcall name (pseudo: tail-call message)
+    Ret,         ///< retl
+    LockCmpxchg, ///< lock cmpxchgl src, mem
+    Mfence,      ///< mfence
+    Print,       ///< printl op (observable event)
+    Label,       ///< label: (pseudo)
+  };
+
+  Kind K = Kind::Label;
+  Operand Src, Dst;
+  Cond CC = Cond::E;
+  std::string Name; // label / callee
+  std::string toString() const;
+};
+
+/// Information about a function entry point.
+struct EntryInfo {
+  unsigned PCIndex = 0;
+  uint32_t FrameSize = 0;
+  unsigned Arity = 0;
+};
+
+/// An x86 module: one flat code stream with labels, entry points, data
+/// declarations, and arities of external callees.
+struct Module {
+  std::vector<Instr> Code;
+  std::map<std::string, unsigned> Labels;
+  std::map<std::string, EntryInfo> Entries;
+  std::map<std::string, unsigned> ExternArity;
+  /// Declared globals with initial values (like CImp's globals).
+  std::vector<std::pair<std::string, int32_t>> Globals;
+
+  std::optional<unsigned> label(const std::string &L) const {
+    auto It = Labels.find(L);
+    if (It == Labels.end())
+      return std::nullopt;
+    return It->second;
+  }
+
+  /// Arity of a callee: entries of this module or declared externs.
+  std::optional<unsigned> arityOf(const std::string &Callee) const {
+    if (auto It = Entries.find(Callee); It != Entries.end())
+      return It->second.Arity;
+    if (auto It = ExternArity.find(Callee); It != ExternArity.end())
+      return It->second;
+    return std::nullopt;
+  }
+
+  std::string toString() const;
+};
+
+} // namespace x86
+} // namespace ccc
+
+#endif // CASCC_X86_X86ASM_H

@@ -1,0 +1,531 @@
+//===- x86/X86Lang.cpp - x86-SC and x86-TSO machines -----------------------===//
+
+#include "x86/X86Lang.h"
+
+#include "support/StrUtil.h"
+#include "x86/X86Parser.h"
+
+#include <array>
+#include <cassert>
+
+using namespace ccc;
+using namespace ccc::x86;
+
+namespace {
+
+/// The x86 core: program counter, register file, flags, frame state and
+/// (under TSO) the store buffer.
+class X86Core : public Core {
+public:
+  unsigned PC = 0;
+  std::array<Value, NumRegs> Regs;
+  /// Signed result of the last cmp (dst - src); conditions test its sign.
+  int64_t CmpVal = 0;
+  bool FlagsValid = false;
+  bool FrameAllocated = false;
+  uint32_t FrameSize = 0;
+  /// TSO store buffer, oldest first.
+  std::vector<std::pair<Addr, Value>> Buf;
+
+  std::string key() const override {
+    StrBuilder B;
+    B << "pc" << PC << ';';
+    for (const Value &V : Regs)
+      B << V.toString() << ',';
+    B << 'f';
+    if (FlagsValid)
+      B << CmpVal;
+    else
+      B << '-';
+    B << (FrameAllocated ? "A" : "U") << FrameSize;
+    if (!Buf.empty()) {
+      B << "|buf:";
+      for (const auto &E : Buf)
+        B << static_cast<uint64_t>(E.first) << '=' << E.second.toString()
+          << ';';
+    }
+    return B.take();
+  }
+};
+
+bool condHolds(Cond C, int64_t CmpVal) {
+  switch (C) {
+  case Cond::E:
+    return CmpVal == 0;
+  case Cond::NE:
+    return CmpVal != 0;
+  case Cond::L:
+    return CmpVal < 0;
+  case Cond::LE:
+    return CmpVal <= 0;
+  case Cond::G:
+    return CmpVal > 0;
+  case Cond::GE:
+    return CmpVal >= 0;
+  }
+  return false;
+}
+
+Value wrapInt(int64_t V) {
+  return Value::makeInt(static_cast<int32_t>(static_cast<uint32_t>(V)));
+}
+
+} // namespace
+
+X86Lang::X86Lang(std::shared_ptr<const Module> M, MemModel Model,
+                 bool ObjectMode)
+    : Mod(std::move(M)), Model(Model), ObjectMode(ObjectMode) {}
+
+X86Lang::~X86Lang() = default;
+
+CoreRef X86Lang::initCore(const std::string &Entry,
+                          const std::vector<Value> &Args) const {
+  auto It = Mod->Entries.find(Entry);
+  if (It == Mod->Entries.end() || It->second.Arity != Args.size() ||
+      Args.size() > 3)
+    return nullptr;
+  auto C = std::make_shared<X86Core>();
+  C->PC = It->second.PCIndex;
+  C->FrameSize = It->second.FrameSize;
+  C->FrameAllocated = C->FrameSize == 0;
+  for (std::size_t I = 0; I < Args.size(); ++I)
+    C->Regs[static_cast<unsigned>(ArgRegs[I])] = Args[I];
+  return C;
+}
+
+CoreRef X86Lang::applyReturn(const Core &C, const Value &V) const {
+  auto N = std::make_shared<X86Core>(static_cast<const X86Core &>(C));
+  N->Regs[static_cast<unsigned>(Reg::EAX)] = V;
+  // Flags are clobbered across calls.
+  N->FlagsValid = false;
+  return N;
+}
+
+std::vector<LocalStep> X86Lang::step(const FreeList &F, const Core &C,
+                                     const Mem &M) const {
+  const auto &Cr = static_cast<const X86Core &>(C);
+  std::vector<LocalStep> Out;
+
+  auto abort = [&Out](const std::string &R) {
+    Out.push_back(LocalStep::abort("x86: " + R));
+  };
+
+  auto accessAllowed = [&](Addr A) {
+    if (!ObjectMode)
+      return true;
+    return Globals->addrs().contains(A) || F.contains(A);
+  };
+
+  // -- Frame allocation is the first step of a function with locals.
+  if (!Cr.FrameAllocated) {
+    if (Cr.FrameSize > F.size()) {
+      abort("frame larger than free list");
+      return Out;
+    }
+    LocalStep S;
+    S.M = Msg::tau();
+    S.NextMem = M;
+    Footprint FP;
+    for (uint32_t I = 0; I < Cr.FrameSize; ++I) {
+      // Frame regions are reused after returns; allocation overwrites.
+      Addr A = F.at(I);
+      S.NextMem.alloc(A, Value::makeUndef());
+      FP.addWrite(A);
+    }
+    auto N = std::make_shared<X86Core>(Cr);
+    N->FrameAllocated = true;
+    N->Regs[static_cast<unsigned>(Reg::ESP)] = Value::makePtr(F.at(0));
+    S.FP = std::move(FP);
+    S.Next = std::move(N);
+    Out.push_back(std::move(S));
+    return Out;
+  }
+
+  const bool Tso = Model == MemModel::TSO;
+
+  // -- TSO: a pending store may flush at any time.
+  auto pushFlush = [&]() {
+    if (!Tso || Cr.Buf.empty())
+      return;
+    Addr A = Cr.Buf.front().first;
+    Mem NM = M;
+    if (!NM.store(A, Cr.Buf.front().second)) {
+      abort("TSO flush to unallocated address");
+      return;
+    }
+    auto N = std::make_shared<X86Core>(Cr);
+    N->Buf.erase(N->Buf.begin());
+    LocalStep S;
+    S.M = Msg::tau();
+    S.FP = Footprint::ofWrite(A);
+    S.NextMem = std::move(NM);
+    S.Next = std::move(N);
+    Out.push_back(std::move(S));
+  };
+  pushFlush();
+
+  if (Cr.PC >= Mod->Code.size()) {
+    abort("program counter out of range");
+    return Out;
+  }
+  const Instr &I = Mod->Code[Cr.PC];
+
+  // Instructions that serialize the store buffer can only run when it is
+  // empty; until then the flush step above is the only enabled step.
+  const bool NeedsDrain = I.K == Instr::Kind::LockCmpxchg ||
+                          I.K == Instr::Kind::Mfence ||
+                          I.K == Instr::Kind::Ret ||
+                          I.K == Instr::Kind::Call ||
+                          I.K == Instr::Kind::TailCall;
+  if (Tso && NeedsDrain && !Cr.Buf.empty())
+    return Out;
+
+  // -- Operand helpers. Footprints accumulate into FP.
+  Footprint FP;
+
+  auto effAddr = [&](const Operand &O) -> std::optional<Addr> {
+    if (O.K == Operand::Kind::MemGlobal) {
+      auto A = Globals->lookup(O.Global);
+      return A;
+    }
+    assert(O.K == Operand::Kind::MemBase && "not a memory operand");
+    const Value &Base = Cr.Regs[static_cast<unsigned>(O.R)];
+    if (!Base.isPtr())
+      return std::nullopt;
+    return Base.asPtr() + static_cast<Addr>(O.Disp);
+  };
+
+  auto readOperand = [&](const Operand &O) -> std::optional<Value> {
+    switch (O.K) {
+    case Operand::Kind::Imm:
+      return Value::makeInt(O.Imm);
+    case Operand::Kind::GlobalImm: {
+      auto A = Globals->lookup(O.Global);
+      if (!A)
+        return std::nullopt;
+      return Value::makePtr(*A);
+    }
+    case Operand::Kind::Reg:
+      return Cr.Regs[static_cast<unsigned>(O.R)];
+    case Operand::Kind::MemBase:
+    case Operand::Kind::MemGlobal: {
+      auto A = effAddr(O);
+      if (!A || !accessAllowed(*A))
+        return std::nullopt;
+      if (Tso) {
+        // Snoop the own store buffer, newest entry first.
+        for (auto It = Cr.Buf.rbegin(); It != Cr.Buf.rend(); ++It)
+          if (It->first == *A)
+            return It->second;
+      }
+      auto V = M.load(*A);
+      if (!V)
+        return std::nullopt;
+      FP.addRead(*A);
+      return V;
+    }
+    }
+    return std::nullopt;
+  };
+
+  // -- Finishing helpers.
+  auto finish = [&](Msg Ms, CoreRef Next, Mem NM) {
+    LocalStep S;
+    S.M = std::move(Ms);
+    S.FP = FP;
+    S.NextMem = std::move(NM);
+    S.Next = std::move(Next);
+    Out.push_back(std::move(S));
+  };
+
+  auto nextCore = [&Cr]() {
+    auto N = std::make_shared<X86Core>(Cr);
+    N->PC = Cr.PC + 1;
+    return N;
+  };
+
+  /// Writes \p V to \p O; returns the new core/mem or nothing on error.
+  auto writeDst = [&](const Operand &O, const Value &V,
+                      std::shared_ptr<X86Core> &N, Mem &NM) -> bool {
+    if (O.K == Operand::Kind::Reg) {
+      N->Regs[static_cast<unsigned>(O.R)] = V;
+      return true;
+    }
+    if (!O.isMem())
+      return false;
+    auto A = effAddr(O);
+    if (!A || !accessAllowed(*A))
+      return false;
+    if (Tso) {
+      N->Buf.emplace_back(*A, V);
+      return true;
+    }
+    if (!NM.store(*A, V))
+      return false;
+    FP.addWrite(*A);
+    return true;
+  };
+
+  switch (I.K) {
+  case Instr::Kind::Label: {
+    finish(Msg::tau(), nextCore(), M);
+    break;
+  }
+  case Instr::Kind::Mov: {
+    auto V = readOperand(I.Src);
+    if (!V) {
+      abort("bad mov source");
+      break;
+    }
+    auto N = nextCore();
+    Mem NM = M;
+    if (!writeDst(I.Dst, *V, N, NM)) {
+      abort("bad mov destination");
+      break;
+    }
+    finish(Msg::tau(), std::move(N), std::move(NM));
+    break;
+  }
+  case Instr::Kind::Add:
+  case Instr::Kind::Sub:
+  case Instr::Kind::Imul:
+  case Instr::Kind::Div:
+  case Instr::Kind::And:
+  case Instr::Kind::Or:
+  case Instr::Kind::Xor:
+  case Instr::Kind::Shl:
+  case Instr::Kind::Sar: {
+    auto SrcV = readOperand(I.Src);
+    auto DstV = readOperand(I.Dst);
+    if (!SrcV || !DstV) {
+      abort("bad ALU operand");
+      break;
+    }
+    Value R;
+    if (I.K == Instr::Kind::Add && DstV->isPtr() && SrcV->isInt()) {
+      R = Value::makePtr(DstV->asPtr() +
+                         static_cast<Addr>(SrcV->asInt()));
+    } else if (I.K == Instr::Kind::Sub && DstV->isPtr() && SrcV->isInt()) {
+      R = Value::makePtr(DstV->asPtr() -
+                         static_cast<Addr>(SrcV->asInt()));
+    } else if (SrcV->isInt() && DstV->isInt()) {
+      int64_t A = DstV->asInt(), B = SrcV->asInt();
+      switch (I.K) {
+      case Instr::Kind::Add:
+        R = wrapInt(A + B);
+        break;
+      case Instr::Kind::Sub:
+        R = wrapInt(A - B);
+        break;
+      case Instr::Kind::Imul:
+        R = wrapInt(A * B);
+        break;
+      case Instr::Kind::Div:
+        if (B == 0) {
+          abort("division by zero");
+          return Out;
+        }
+        R = wrapInt(A / B);
+        break;
+      case Instr::Kind::And:
+        R = wrapInt(A & B);
+        break;
+      case Instr::Kind::Or:
+        R = wrapInt(A | B);
+        break;
+      case Instr::Kind::Xor:
+        R = wrapInt(A ^ B);
+        break;
+      case Instr::Kind::Shl:
+        R = wrapInt(static_cast<int64_t>(static_cast<uint32_t>(A)
+                                         << (B & 31)));
+        break;
+      case Instr::Kind::Sar:
+        R = wrapInt(static_cast<int32_t>(A) >> (B & 31));
+        break;
+      default:
+        break;
+      }
+    } else {
+      abort("ALU type error");
+      break;
+    }
+    auto N = nextCore();
+    Mem NM = M;
+    if (!writeDst(I.Dst, R, N, NM)) {
+      abort("bad ALU destination");
+      break;
+    }
+    N->FlagsValid = false;
+    finish(Msg::tau(), std::move(N), std::move(NM));
+    break;
+  }
+  case Instr::Kind::Neg:
+  case Instr::Kind::Not: {
+    auto DstV = readOperand(I.Dst);
+    if (!DstV || !DstV->isInt()) {
+      abort("bad unary operand");
+      break;
+    }
+    Value R = I.K == Instr::Kind::Neg
+                  ? wrapInt(-static_cast<int64_t>(DstV->asInt()))
+                  : wrapInt(~static_cast<int64_t>(DstV->asInt()));
+    auto N = nextCore();
+    Mem NM = M;
+    if (!writeDst(I.Dst, R, N, NM)) {
+      abort("bad unary destination");
+      break;
+    }
+    N->FlagsValid = false;
+    finish(Msg::tau(), std::move(N), std::move(NM));
+    break;
+  }
+  case Instr::Kind::Cmp: {
+    auto SrcV = readOperand(I.Src);
+    auto DstV = readOperand(I.Dst);
+    if (!SrcV || !DstV) {
+      abort("bad cmp operand");
+      break;
+    }
+    int64_t CV = 0;
+    if (SrcV->isInt() && DstV->isInt())
+      CV = static_cast<int64_t>(DstV->asInt()) - SrcV->asInt();
+    else if (SrcV->isPtr() && DstV->isPtr())
+      CV = static_cast<int64_t>(DstV->asPtr()) - SrcV->asPtr();
+    else {
+      abort("cmp type error");
+      break;
+    }
+    auto N = nextCore();
+    N->CmpVal = CV;
+    N->FlagsValid = true;
+    finish(Msg::tau(), std::move(N), M);
+    break;
+  }
+  case Instr::Kind::Setcc: {
+    if (!Cr.FlagsValid) {
+      abort("setcc with undefined flags");
+      break;
+    }
+    auto N = nextCore();
+    Mem NM = M;
+    Value R = Value::makeInt(condHolds(I.CC, Cr.CmpVal) ? 1 : 0);
+    if (!writeDst(I.Dst, R, N, NM)) {
+      abort("bad setcc destination");
+      break;
+    }
+    finish(Msg::tau(), std::move(N), std::move(NM));
+    break;
+  }
+  case Instr::Kind::Jmp: {
+    auto L = Mod->label(I.Name);
+    assert(L && "parser checks branch targets");
+    auto N = std::make_shared<X86Core>(Cr);
+    N->PC = *L;
+    finish(Msg::tau(), std::move(N), M);
+    break;
+  }
+  case Instr::Kind::Jcc: {
+    if (!Cr.FlagsValid) {
+      abort("conditional jump with undefined flags");
+      break;
+    }
+    auto L = Mod->label(I.Name);
+    assert(L && "parser checks branch targets");
+    auto N = std::make_shared<X86Core>(Cr);
+    N->PC = condHolds(I.CC, Cr.CmpVal) ? *L : Cr.PC + 1;
+    finish(Msg::tau(), std::move(N), M);
+    break;
+  }
+  case Instr::Kind::Call:
+  case Instr::Kind::TailCall: {
+    auto Arity = Mod->arityOf(I.Name);
+    if (!Arity || *Arity > 3) {
+      abort("call to '" + I.Name + "' with unknown arity");
+      break;
+    }
+    std::vector<Value> Args;
+    for (unsigned A = 0; A < *Arity; ++A)
+      Args.push_back(Cr.Regs[static_cast<unsigned>(ArgRegs[A])]);
+    if (I.K == Instr::Kind::TailCall) {
+      finish(Msg::tailCall(I.Name, std::move(Args)),
+             std::make_shared<X86Core>(Cr), M);
+      break;
+    }
+    finish(Msg::extCall(I.Name, std::move(Args)), nextCore(), M);
+    break;
+  }
+  case Instr::Kind::Ret: {
+    auto N = std::make_shared<X86Core>(Cr);
+    finish(Msg::ret(Cr.Regs[static_cast<unsigned>(Reg::EAX)]),
+           std::move(N), M);
+    break;
+  }
+  case Instr::Kind::LockCmpxchg: {
+    // Atomic: compare EAX with [dst]; if equal store src and set ZF,
+    // otherwise load [dst] into EAX and clear ZF. Under TSO the buffer is
+    // already drained (NeedsDrain above).
+    if (I.Src.K != Operand::Kind::Reg || !I.Dst.isMem()) {
+      abort("cmpxchg operand forms");
+      break;
+    }
+    auto A = effAddr(I.Dst);
+    if (!A || !accessAllowed(*A)) {
+      abort("cmpxchg address");
+      break;
+    }
+    auto MemV = M.load(*A);
+    if (!MemV) {
+      abort("cmpxchg on unallocated address");
+      break;
+    }
+    FP.addRead(*A);
+    const Value &Acc = Cr.Regs[static_cast<unsigned>(Reg::EAX)];
+    auto N = nextCore();
+    Mem NM = M;
+    N->FlagsValid = true;
+    if (*MemV == Acc) {
+      const Value &SrcV = Cr.Regs[static_cast<unsigned>(I.Src.R)];
+      NM.store(*A, SrcV);
+      FP.addWrite(*A);
+      N->CmpVal = 0;
+    } else {
+      N->Regs[static_cast<unsigned>(Reg::EAX)] = *MemV;
+      N->CmpVal = 1;
+    }
+    finish(Msg::tau(), std::move(N), std::move(NM));
+    break;
+  }
+  case Instr::Kind::Mfence: {
+    finish(Msg::tau(), nextCore(), M);
+    break;
+  }
+  case Instr::Kind::Print: {
+    auto V = readOperand(I.Src);
+    if (!V || !V->isInt()) {
+      abort("printl needs an integer");
+      break;
+    }
+    finish(Msg::event(V->asInt()), nextCore(), M);
+    break;
+  }
+  }
+  return Out;
+}
+
+unsigned ccc::x86::addAsmModule(Program &P, const std::string &Name,
+                                const std::string &Source, MemModel Model,
+                                bool ObjectMode) {
+  return addAsmModule(P, Name, parseAsmOrDie(Source), Model, ObjectMode);
+}
+
+unsigned ccc::x86::addAsmModule(Program &P, const std::string &Name,
+                                std::shared_ptr<const Module> M,
+                                MemModel Model, bool ObjectMode) {
+  GlobalEnv GE;
+  for (const auto &G : M->Globals)
+    GE.declare(G.first, Value::makeInt(G.second),
+               ObjectMode ? DataOwner::Object : DataOwner::Client);
+  return P.addModule(Name, std::make_unique<X86Lang>(M, Model, ObjectMode),
+                     std::move(GE));
+}

@@ -1,0 +1,83 @@
+//===- x86/X86Lang.h - x86-SC and x86-TSO machines ---------------*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The x86 machine as an instantiation of the abstract module language,
+/// in two memory models (Sec. 7):
+///  - x86-SC: sequentially consistent; every store is immediately visible.
+///  - x86-TSO (Sewell et al.): each hardware thread has a FIFO store
+///    buffer; loads snoop the own buffer; buffered stores flush to shared
+///    memory non-deterministically; lock-prefixed instructions and mfence
+///    drain the buffer first and execute atomically.
+///
+/// Syntactically a module is identical under both models (the Fig. 3
+/// "identity transformation" from x86-SC to x86-TSO changes only the
+/// semantics) — both are served by this class, selected by MemModel.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_X86_X86LANG_H
+#define CASCC_X86_X86LANG_H
+
+#include "core/ModuleLang.h"
+#include "core/Program.h"
+#include "x86/X86Asm.h"
+
+#include <memory>
+
+namespace ccc {
+namespace x86 {
+
+enum class MemModel { SC, TSO };
+
+/// x86 as a ModuleLang.
+class X86Lang : public ModuleLang {
+public:
+  /// \p ObjectMode restricts memory accesses to the module's own globals
+  /// plus the frame free list (Sec. 7.1 object-data confinement).
+  X86Lang(std::shared_ptr<const Module> M, MemModel Model,
+          bool ObjectMode = false);
+  ~X86Lang() override;
+
+  std::string name() const override {
+    return Model == MemModel::SC ? "x86-SC" : "x86-TSO";
+  }
+
+  CoreRef initCore(const std::string &Entry,
+                   const std::vector<Value> &Args) const override;
+
+  std::vector<LocalStep> step(const FreeList &F, const Core &C,
+                              const Mem &M) const override;
+
+  CoreRef applyReturn(const Core &C, const Value &V) const override;
+
+  const Module &module() const { return *Mod; }
+  MemModel memModel() const { return Model; }
+
+  /// The argument-passing registers of our simplified calling convention.
+  static constexpr Reg ArgRegs[3] = {Reg::EDI, Reg::ESI, Reg::EDX};
+
+private:
+  std::shared_ptr<const Module> Mod;
+  MemModel Model;
+  bool ObjectMode;
+};
+
+/// Registers an x86 module parsed from \p Source with \p P.
+unsigned addAsmModule(Program &P, const std::string &Name,
+                      const std::string &Source, MemModel Model,
+                      bool ObjectMode = false);
+
+/// Registers an already-built x86 module (e.g. compiler output) with \p P.
+unsigned addAsmModule(Program &P, const std::string &Name,
+                      std::shared_ptr<const Module> M, MemModel Model,
+                      bool ObjectMode = false);
+
+} // namespace x86
+} // namespace ccc
+
+#endif // CASCC_X86_X86LANG_H

@@ -1,0 +1,323 @@
+//===- x86/X86Parser.cpp - AT&T-syntax assembly parser ---------------------===//
+
+#include "x86/X86Parser.h"
+
+#include "support/Lexer.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+using namespace ccc;
+using namespace ccc::x86;
+
+namespace {
+
+class AsmParser {
+public:
+  AsmParser(TokenStream Toks, std::string &Error)
+      : Toks(std::move(Toks)), Error(Error) {}
+
+  std::shared_ptr<Module> parse() {
+    auto M = std::make_shared<Module>();
+    while (!Toks.atEnd()) {
+      if (!parseLine(*M))
+        return nullptr;
+    }
+    // Resolve entry PC indices.
+    for (auto &E : M->Entries) {
+      auto L = M->label(E.first);
+      if (!L) {
+        Error = "asm: entry '" + E.first + "' has no label";
+        return nullptr;
+      }
+      E.second.PCIndex = *L;
+    }
+    // Check branch targets.
+    for (const Instr &I : M->Code) {
+      if ((I.K == Instr::Kind::Jmp || I.K == Instr::Kind::Jcc) &&
+          !M->label(I.Name)) {
+        Error = "asm: unknown branch target '" + I.Name + "'";
+        return nullptr;
+      }
+    }
+    return M;
+  }
+
+private:
+  bool fail(const std::string &Msg) {
+    Error = "asm parse error (line " + std::to_string(Toks.line()) +
+            "): " + Msg;
+    return false;
+  }
+
+  bool expectInt(int64_t &Out) {
+    if (!Toks.peek().is(Token::Kind::Int))
+      return fail("expected integer, got '" + Toks.peek().Text + "'");
+    Out = Toks.next().IntVal;
+    return true;
+  }
+
+  bool expectIdent(std::string &Out) {
+    if (!Toks.peek().is(Token::Kind::Ident))
+      return fail("expected identifier, got '" + Toks.peek().Text + "'");
+    Out = Toks.next().Text;
+    return true;
+  }
+
+  bool parseLine(Module &M) {
+    const Token &T = Toks.peek();
+    if (!T.is(Token::Kind::Ident))
+      return fail("expected directive, label or mnemonic, got '" + T.Text +
+                  "'");
+    std::string Head = T.Text;
+
+    if (Head == ".data") {
+      Toks.next();
+      std::string Name;
+      int64_t Init = 0;
+      bool Neg = false;
+      if (!expectIdent(Name))
+        return false;
+      if (Toks.accept("-"))
+        Neg = true;
+      if (!expectInt(Init))
+        return false;
+      M.Globals.emplace_back(Name,
+                             static_cast<int32_t>(Neg ? -Init : Init));
+      return true;
+    }
+    if (Head == ".entry") {
+      Toks.next();
+      std::string Name;
+      if (!expectIdent(Name))
+        return false;
+      EntryInfo E;
+      int64_t V = 0;
+      if (Toks.peek().is(Token::Kind::Int)) {
+        expectInt(V);
+        E.FrameSize = static_cast<uint32_t>(V);
+      }
+      if (Toks.peek().is(Token::Kind::Int)) {
+        expectInt(V);
+        E.Arity = static_cast<unsigned>(V);
+      }
+      M.Entries[Name] = E;
+      return true;
+    }
+    if (Head == ".extern") {
+      Toks.next();
+      std::string Name;
+      int64_t Arity = 0;
+      if (!expectIdent(Name) || !expectInt(Arity))
+        return false;
+      M.ExternArity[Name] = static_cast<unsigned>(Arity);
+      return true;
+    }
+
+    // Label?
+    if (Toks.peek(1).isSymbol(":")) {
+      Toks.next();
+      Toks.next();
+      Instr I;
+      I.K = Instr::Kind::Label;
+      I.Name = Head;
+      M.Labels[Head] = static_cast<unsigned>(M.Code.size());
+      M.Code.push_back(std::move(I));
+      return true;
+    }
+
+    return parseInstr(M, Head);
+  }
+
+  bool parseInstr(Module &M, const std::string &Mn) {
+    Toks.next(); // consume mnemonic
+    Instr I;
+
+    auto binary = [&](Instr::Kind K) {
+      I.K = K;
+      if (!parseOperand(I.Src) || !Toks.accept(","))
+        return fail("expected 'src, dst' operands for " + Mn);
+      if (!parseOperand(I.Dst))
+        return false;
+      M.Code.push_back(std::move(I));
+      return true;
+    };
+    auto unary = [&](Instr::Kind K) {
+      I.K = K;
+      if (!parseOperand(I.Dst))
+        return false;
+      M.Code.push_back(std::move(I));
+      return true;
+    };
+    auto branch = [&](Instr::Kind K, Cond C) {
+      I.K = K;
+      I.CC = C;
+      if (!expectIdent(I.Name))
+        return false;
+      M.Code.push_back(std::move(I));
+      return true;
+    };
+
+    if (Mn == "movl")
+      return binary(Instr::Kind::Mov);
+    if (Mn == "addl")
+      return binary(Instr::Kind::Add);
+    if (Mn == "subl")
+      return binary(Instr::Kind::Sub);
+    if (Mn == "imull")
+      return binary(Instr::Kind::Imul);
+    if (Mn == "divl")
+      return binary(Instr::Kind::Div);
+    if (Mn == "andl")
+      return binary(Instr::Kind::And);
+    if (Mn == "orl")
+      return binary(Instr::Kind::Or);
+    if (Mn == "xorl")
+      return binary(Instr::Kind::Xor);
+    if (Mn == "shll")
+      return binary(Instr::Kind::Shl);
+    if (Mn == "sarl")
+      return binary(Instr::Kind::Sar);
+    if (Mn == "cmpl")
+      return binary(Instr::Kind::Cmp);
+    if (Mn == "negl")
+      return unary(Instr::Kind::Neg);
+    if (Mn == "notl")
+      return unary(Instr::Kind::Not);
+    if (Mn == "sete")
+      return (I.CC = Cond::E, unary(Instr::Kind::Setcc));
+    if (Mn == "setne")
+      return (I.CC = Cond::NE, unary(Instr::Kind::Setcc));
+    if (Mn == "setl")
+      return (I.CC = Cond::L, unary(Instr::Kind::Setcc));
+    if (Mn == "setle")
+      return (I.CC = Cond::LE, unary(Instr::Kind::Setcc));
+    if (Mn == "setg")
+      return (I.CC = Cond::G, unary(Instr::Kind::Setcc));
+    if (Mn == "setge")
+      return (I.CC = Cond::GE, unary(Instr::Kind::Setcc));
+    if (Mn == "jmp")
+      return branch(Instr::Kind::Jmp, Cond::E);
+    if (Mn == "je")
+      return branch(Instr::Kind::Jcc, Cond::E);
+    if (Mn == "jne")
+      return branch(Instr::Kind::Jcc, Cond::NE);
+    if (Mn == "jl")
+      return branch(Instr::Kind::Jcc, Cond::L);
+    if (Mn == "jle")
+      return branch(Instr::Kind::Jcc, Cond::LE);
+    if (Mn == "jg")
+      return branch(Instr::Kind::Jcc, Cond::G);
+    if (Mn == "jge")
+      return branch(Instr::Kind::Jcc, Cond::GE);
+    if (Mn == "call" || Mn == "tcall") {
+      I.K = Mn == "call" ? Instr::Kind::Call : Instr::Kind::TailCall;
+      if (!expectIdent(I.Name))
+        return false;
+      M.Code.push_back(std::move(I));
+      return true;
+    }
+    if (Mn == "retl") {
+      I.K = Instr::Kind::Ret;
+      M.Code.push_back(std::move(I));
+      return true;
+    }
+    if (Mn == "mfence") {
+      I.K = Instr::Kind::Mfence;
+      M.Code.push_back(std::move(I));
+      return true;
+    }
+    if (Mn == "printl") {
+      I.K = Instr::Kind::Print;
+      if (!parseOperand(I.Src))
+        return false;
+      M.Code.push_back(std::move(I));
+      return true;
+    }
+    if (Mn == "lock") {
+      std::string Next;
+      if (!expectIdent(Next) || Next != "cmpxchgl")
+        return fail("expected 'cmpxchgl' after lock prefix");
+      return binary(Instr::Kind::LockCmpxchg);
+    }
+    return fail("unknown mnemonic '" + Mn + "'");
+  }
+
+  bool parseOperand(Operand &O) {
+    const Token &T = Toks.peek();
+    // $imm or imm-as-displacement.
+    if (T.is(Token::Kind::Int)) {
+      int64_t V = Toks.next().IntVal;
+      bool WasImm = !T.Text.empty() && T.Text[0] == '$';
+      if (WasImm) {
+        O = Operand::imm(static_cast<int32_t>(V));
+        return true;
+      }
+      // disp(%reg)
+      return parseMemWithDisp(static_cast<int32_t>(V), O);
+    }
+    if (Toks.accept("-")) {
+      int64_t V;
+      if (!expectInt(V))
+        return false;
+      return parseMemWithDisp(static_cast<int32_t>(-V), O);
+    }
+    if (T.isSymbol("(")) {
+      return parseMemWithDisp(0, O);
+    }
+    if (T.is(Token::Kind::Ident)) {
+      std::string Name = Toks.next().Text;
+      if (Name.size() > 1 && Name[0] == '$') {
+        O = Operand::globalImm(Name.substr(1));
+        return true;
+      }
+      if (auto R = regByName(Name)) {
+        O = Operand::reg(*R);
+        return true;
+      }
+      O = Operand::memGlobal(Name);
+      return true;
+    }
+    return fail("expected operand, got '" + T.Text + "'");
+  }
+
+  bool parseMemWithDisp(int32_t Disp, Operand &O) {
+    if (!Toks.accept("("))
+      return fail("expected '(' in memory operand");
+    std::string RName;
+    if (!expectIdent(RName))
+      return false;
+    auto R = regByName(RName);
+    if (!R)
+      return fail("unknown register '" + RName + "'");
+    if (!Toks.accept(")"))
+      return fail("expected ')' in memory operand");
+    O = Operand::memBase(*R, Disp);
+    return true;
+  }
+
+  TokenStream Toks;
+  std::string &Error;
+};
+
+} // namespace
+
+std::shared_ptr<Module> ccc::x86::parseAsm(const std::string &Source,
+                                           std::string &Error) {
+  static const std::vector<std::string> Symbols = {"(", ")", ",", ":", "-"};
+  std::vector<Token> Toks;
+  if (!tokenize(Source, Symbols, Toks, Error))
+    return nullptr;
+  AsmParser P(TokenStream(std::move(Toks)), Error);
+  return P.parse();
+}
+
+std::shared_ptr<Module> ccc::x86::parseAsmOrDie(const std::string &Source) {
+  std::string Error;
+  auto M = parseAsm(Source, Error);
+  if (!M) {
+    std::fprintf(stderr, "%s\n", Error.c_str());
+    std::abort();
+  }
+  return M;
+}

@@ -1,0 +1,37 @@
+//===- x86/X86Parser.h - AT&T-syntax assembly parser ------------*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parser for the x86 assembly subset (AT&T operand order). Directives:
+///   .data   name init      — declare a global word
+///   .entry  name frame arity — declare a function entry point
+///   .extern name arity     — declare the arity of an external callee
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_X86_X86PARSER_H
+#define CASCC_X86_X86PARSER_H
+
+#include "x86/X86Asm.h"
+
+#include <memory>
+#include <string>
+
+namespace ccc {
+namespace x86 {
+
+/// Parses assembly source; returns null and sets \p Error on failure.
+std::shared_ptr<Module> parseAsm(const std::string &Source,
+                                 std::string &Error);
+
+/// Parses or aborts; convenience for tests and examples.
+std::shared_ptr<Module> parseAsmOrDie(const std::string &Source);
+
+} // namespace x86
+} // namespace ccc
+
+#endif // CASCC_X86_X86PARSER_H

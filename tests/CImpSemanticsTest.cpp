@@ -1,0 +1,305 @@
+//===- tests/CImpSemanticsTest.cpp - CImp + global semantics tests ---------===//
+//
+// Exercises the CImp instantiation of the abstract language against the
+// preemptive and non-preemptive global semantics: event traces, atomic
+// blocks, DRF/NPDRF detection, external calls, and the gamma_lock object.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cimp/CImpLang.h"
+#include "core/Semantics.h"
+#include "sync/LockLib.h"
+
+#include <gtest/gtest.h>
+
+using namespace ccc;
+
+namespace {
+
+Program singleModuleProgram(const std::string &Src,
+                            std::vector<std::string> Entries) {
+  Program P;
+  cimp::addCImpModule(P, "m", Src);
+  for (auto &E : Entries)
+    P.addThread(E);
+  P.link();
+  return P;
+}
+
+Trace doneTrace(std::vector<int64_t> Events) {
+  return Trace{std::move(Events), TraceEnd::Done};
+}
+
+} // namespace
+
+TEST(CImpSemantics, SequentialPrints) {
+  Program P = singleModuleProgram(R"(
+    main() { x := 1; print(x); print(x + 1); }
+  )",
+                                  {"main"});
+  TraceSet T = preemptiveTraces(P);
+  ASSERT_EQ(T.size(), 1u);
+  EXPECT_TRUE(T.contains(doneTrace({1, 2})));
+}
+
+TEST(CImpSemantics, ArithmeticAndControlFlow) {
+  Program P = singleModuleProgram(R"(
+    main() {
+      s := 0;
+      i := 1;
+      while (i <= 5) { s := s + i; i := i + 1; }
+      if (s == 15) { print(s); } else { print(0 - 1); }
+      print(7 * 3 - 1);
+      print(17 / 5);
+    }
+  )",
+                                  {"main"});
+  TraceSet T = preemptiveTraces(P);
+  ASSERT_EQ(T.size(), 1u);
+  EXPECT_TRUE(T.contains(doneTrace({15, 20, 3})));
+}
+
+TEST(CImpSemantics, GlobalLoadStore) {
+  Program P = singleModuleProgram(R"(
+    global g = 10;
+    main() { v := 0; v := [g]; [g] := v + 5; w := [g]; print(w); }
+  )",
+                                  {"main"});
+  TraceSet T = preemptiveTraces(P);
+  ASSERT_EQ(T.size(), 1u);
+  EXPECT_TRUE(T.contains(doneTrace({15})));
+}
+
+TEST(CImpSemantics, TwoThreadPrintsInterleave) {
+  Program P = singleModuleProgram(R"(
+    t1() { print(1); }
+    t2() { print(2); }
+  )",
+                                  {"t1", "t2"});
+  TraceSet T = preemptiveTraces(P);
+  EXPECT_EQ(T.size(), 2u);
+  EXPECT_TRUE(T.contains(doneTrace({1, 2})));
+  EXPECT_TRUE(T.contains(doneTrace({2, 1})));
+}
+
+TEST(CImpSemantics, AssertFailureAborts) {
+  Program P = singleModuleProgram(R"(
+    main() { assert(1 == 2); }
+  )",
+                                  {"main"});
+  std::string Reason;
+  EXPECT_FALSE(isSafe(P, {}, &Reason));
+  EXPECT_NE(Reason.find("assertion"), std::string::npos);
+  TraceSet T = preemptiveTraces(P);
+  EXPECT_TRUE(T.contains(Trace{{}, TraceEnd::Abort}));
+}
+
+TEST(CImpSemantics, DivergenceIsObserved) {
+  Program P = singleModuleProgram(R"(
+    main() { print(3); while (1) { skip; } }
+  )",
+                                  {"main"});
+  TraceSet T = preemptiveTraces(P);
+  ASSERT_EQ(T.size(), 1u);
+  EXPECT_TRUE(T.contains(Trace{{3}, TraceEnd::Div}));
+}
+
+TEST(CImpSemantics, ExternalCallAcrossModules) {
+  Program P;
+  cimp::addCImpModule(P, "client", R"(
+    main() { r := 0; r := add3(4); print(r); }
+  )");
+  cimp::addCImpModule(P, "lib", R"(
+    add3(x) { return x + 3; }
+  )");
+  P.addThread("main");
+  P.link();
+  TraceSet T = preemptiveTraces(P);
+  ASSERT_EQ(T.size(), 1u);
+  EXPECT_TRUE(T.contains(doneTrace({7})));
+}
+
+TEST(CImpSemantics, UnknownExternalAborts) {
+  Program P = singleModuleProgram(R"(
+    main() { nosuch(); }
+  )",
+                                  {"main"});
+  std::string Reason;
+  EXPECT_FALSE(isSafe(P, {}, &Reason));
+  EXPECT_NE(Reason.find("unknown external"), std::string::npos);
+}
+
+TEST(CImpSemantics, RacyProgramDetected) {
+  Program P = singleModuleProgram(R"(
+    global x = 0;
+    t1() { [x] := 1; }
+    t2() { [x] := 2; }
+  )",
+                                  {"t1", "t2"});
+  auto Race = findDataRace(P);
+  ASSERT_TRUE(Race.has_value());
+  EXPECT_NE(Race->T1, Race->T2);
+  EXPECT_FALSE(isDRF(P));
+  EXPECT_FALSE(isNPDRF(P));
+}
+
+TEST(CImpSemantics, ReadReadIsNotARace) {
+  Program P = singleModuleProgram(R"(
+    global x = 5;
+    t1() { a := 0; a := [x]; print(a); }
+    t2() { b := 0; b := [x]; print(b); }
+  )",
+                                  {"t1", "t2"});
+  EXPECT_TRUE(isDRF(P));
+  EXPECT_TRUE(isNPDRF(P));
+}
+
+TEST(CImpSemantics, AtomicBlocksPreventRaces) {
+  Program P = singleModuleProgram(R"(
+    global x = 0;
+    t1() { < v := [x]; [x] := v + 1; > }
+    t2() { < v := [x]; [x] := v + 1; > }
+  )",
+                                  {"t1", "t2"});
+  EXPECT_TRUE(isDRF(P));
+  EXPECT_TRUE(isNPDRF(P));
+}
+
+TEST(CImpSemantics, AtomicIncrementsAreAtomic) {
+  // Without atomicity, both threads could read 0 and the final value be 1.
+  Program P = singleModuleProgram(R"(
+    global x = 0;
+    t1() { < v := [x]; [x] := v + 1; > }
+    main() {
+      < v := [x]; [x] := v + 1; >
+      done := 0;
+      while (done == 0) { < w := [x]; if (w == 2) { done := 1; } > }
+      print(99)
+      ;
+    }
+  )",
+                                  {"t1", "main"});
+  TraceSet T = preemptiveTraces(P);
+  // The waiter terminates in every schedule where t1 runs; divergence
+  // appears only for unfair schedules that never run t1.
+  EXPECT_TRUE(T.contains(doneTrace({99})) ||
+              T.contains(Trace{{99}, TraceEnd::Done}));
+  for (const Trace &Tr : T.traces()) {
+    if (Tr.End == TraceEnd::Done) {
+      EXPECT_EQ(Tr.Events, (std::vector<int64_t>{99}));
+    }
+  }
+}
+
+TEST(CImpSemantics, HalfAtomicUpdateIsStillARace) {
+  // One side atomic, other side plain write: conflict with d1=1, d2=0.
+  Program P = singleModuleProgram(R"(
+    global x = 0;
+    t1() { < v := [x]; [x] := v + 1; > }
+    t2() { [x] := 7; }
+  )",
+                                  {"t1", "t2"});
+  EXPECT_FALSE(isDRF(P));
+}
+
+TEST(CImpSemantics, PreemptiveEqualsNonPreemptiveForDRF) {
+  Program P = singleModuleProgram(R"(
+    global x = 0;
+    t1() { < v := [x]; [x] := v + 1; > print(1); }
+    t2() { < v := [x]; [x] := v + 2; > print(2); }
+  )",
+                                  {"t1", "t2"});
+  ASSERT_TRUE(isDRF(P));
+  TraceSet Pre = preemptiveTraces(P);
+  TraceSet NP = nonPreemptiveTraces(P);
+  RefineResult R = equivTraces(Pre, NP);
+  EXPECT_TRUE(R.Holds) << "counterexample: " << R.CounterExample
+                       << "\npre: " << Pre.toString()
+                       << "\nnp:  " << NP.toString();
+  EXPECT_TRUE(R.Definitive);
+}
+
+TEST(CImpSemantics, GammaLockMutualExclusion) {
+  Program P;
+  cimp::addCImpModule(P, "client", R"(
+    global x = 0;
+    inc() {
+      lock();
+      tmp := [x];
+      [x] := tmp + 1;
+      unlock();
+      print(tmp);
+    }
+  )");
+  sync::addGammaLock(P);
+  P.addThread("inc");
+  P.addThread("inc");
+  P.link();
+
+  ASSERT_TRUE(isDRF(P));
+  TraceSet T = preemptiveTraces(P);
+  // Complete (terminating) traces print 0 and 1 in either order; an
+  // unfairly-scheduled spin loop adds divergence traces.
+  EXPECT_TRUE(T.contains(doneTrace({0, 1})));
+  EXPECT_TRUE(T.contains(doneTrace({1, 0})));
+  for (const Trace &Tr : T.traces()) {
+    if (Tr.End != TraceEnd::Done)
+      continue;
+    EXPECT_EQ(Tr.Events.size(), 2u);
+    EXPECT_TRUE((Tr.Events == std::vector<int64_t>{0, 1}) ||
+                (Tr.Events == std::vector<int64_t>{1, 0}))
+        << Tr.toString();
+  }
+  EXPECT_FALSE(T.hasAbort());
+}
+
+TEST(CImpSemantics, GammaLockNPDRFMatchesDRF) {
+  Program P;
+  cimp::addCImpModule(P, "client", R"(
+    global x = 0;
+    inc() { lock(); tmp := [x]; [x] := tmp + 1; unlock(); print(tmp); }
+  )");
+  sync::addGammaLock(P);
+  P.addThread("inc");
+  P.addThread("inc");
+  P.link();
+  EXPECT_EQ(isDRF(P), isNPDRF(P));
+  EXPECT_TRUE(isNPDRF(P));
+}
+
+TEST(CImpSemantics, ObjectPermissionViolationAborts) {
+  // Object-mode CImp touching client data aborts (Sec. 7.1 discipline).
+  Program P;
+  cimp::addCImpModule(P, "client", R"(
+    global c = 0;
+    main() { evil(); }
+  )");
+  // The object module illegally stores through a pointer it receives.
+  Program P2;
+  cimp::addCImpModule(P2, "client", R"(
+    global c = 0;
+    main() { r := 0; r := evil(c); }
+  )");
+  cimp::addCImpModule(P2, "obj", R"(
+    evil(p) { [p] := 1; return 0; }
+  )",
+                      /*ObjectMode=*/true);
+  P2.addThread("main");
+  P2.link();
+  std::string Reason;
+  EXPECT_FALSE(isSafe(P2, {}, &Reason));
+  EXPECT_NE(Reason.find("permission"), std::string::npos);
+}
+
+TEST(CImpSemantics, NonPreemptiveExploresFewerStates) {
+  Program P = singleModuleProgram(R"(
+    global x = 0;
+    t1() { a := 1; a := a + 1; < v := [x]; [x] := v + a; > }
+    t2() { b := 2; b := b + 1; < v := [x]; [x] := v + b; > }
+  )",
+                                  {"t1", "t2"});
+  ExploreStats PreStats, NPStats;
+  (void)preemptiveTraces(P, {}, &PreStats);
+  (void)nonPreemptiveTraces(P, {}, &NPStats);
+  EXPECT_LT(NPStats.States, PreStats.States);
+}

@@ -1,0 +1,255 @@
+//===- tests/ClightTest.cpp - Clight frontend and semantics tests ----------===//
+//
+// Exercises the Clight-subset frontend: parsing, locals in free-list
+// memory, pointers to globals, cross-module calls (example 2.1 of the
+// paper), and the Fig. 10(c) counter client against gamma_lock.
+//
+//===----------------------------------------------------------------------===//
+
+#include "clight/ClightLang.h"
+#include "clight/ClightParser.h"
+#include "core/Semantics.h"
+#include "sync/LockLib.h"
+
+#include <gtest/gtest.h>
+
+using namespace ccc;
+
+namespace {
+
+Trace doneTrace(std::vector<int64_t> Events) {
+  return Trace{std::move(Events), TraceEnd::Done};
+}
+
+Program clightProgram(const std::string &Src,
+                      std::vector<std::string> Entries) {
+  Program P;
+  clight::addClightModule(P, "m", Src);
+  for (auto &E : Entries)
+    P.addThread(E);
+  P.link();
+  return P;
+}
+
+} // namespace
+
+TEST(ClightParser, RejectsAddressOfLocal) {
+  std::string Err;
+  auto M = clight::parseModule(R"(
+    void f() { int a; print(&a); }
+  )",
+                               Err);
+  EXPECT_EQ(M, nullptr);
+  EXPECT_NE(Err.find("globals only"), std::string::npos);
+}
+
+TEST(ClightParser, ParsesFig10cClient) {
+  std::string Err;
+  auto M = clight::parseModule(R"(
+    extern void lock();
+    extern void unlock();
+    int x = 0;
+    void inc() {
+      int32_t tmp;
+      lock();
+      tmp = x;
+      x = x + 1;
+      unlock();
+      print(tmp);
+    }
+  )",
+                               Err);
+  ASSERT_NE(M, nullptr) << Err;
+  ASSERT_NE(M->find("inc"), nullptr);
+  EXPECT_EQ(M->find("inc")->Locals.size(), 1u);
+  EXPECT_EQ(M->Externs.size(), 2u);
+}
+
+TEST(ClightSemantics, LocalsAndArithmetic) {
+  Program P = clightProgram(R"(
+    void main() {
+      int a = 6;
+      int b = 7;
+      int c;
+      c = a * b;
+      print(c);
+      print(c % 5);
+      print(-a);
+      print(!a);
+      print(a < b && b <= 7);
+    }
+  )",
+                            {"main"});
+  TraceSet T = preemptiveTraces(P);
+  ASSERT_EQ(T.size(), 1u);
+  EXPECT_TRUE(T.contains(doneTrace({42, 2, -6, 0, 1})));
+}
+
+TEST(ClightSemantics, GlobalsAndPointers) {
+  Program P = clightProgram(R"(
+    int g = 3;
+    void main() {
+      int *p;
+      p = &g;
+      *p = *p + 4;
+      print(g);
+    }
+  )",
+                            {"main"});
+  TraceSet T = preemptiveTraces(P);
+  ASSERT_EQ(T.size(), 1u);
+  EXPECT_TRUE(T.contains(doneTrace({7})));
+}
+
+TEST(ClightSemantics, WhileLoopsAndCalls) {
+  Program P = clightProgram(R"(
+    int sum(int n) {
+      int s = 0;
+      int i = 1;
+      while (i <= n) { s = s + i; i = i + 1; }
+      return s;
+    }
+    void main() {
+      int r;
+      r = sum(10);
+      print(r);
+    }
+  )",
+                            {"main"});
+  TraceSet T = preemptiveTraces(P);
+  ASSERT_EQ(T.size(), 1u);
+  EXPECT_TRUE(T.contains(doneTrace({55})));
+}
+
+TEST(ClightSemantics, Example21CrossModuleCalls) {
+  // The module-linking example (2.1) of Sec. 2.2, with b a global per the
+  // paper's no-stack-escape restriction (footnote 6).
+  Program P;
+  clight::addClightModule(P, "S1", R"(
+    extern void g(int *x);
+    int a = 0;
+    int b = 0;
+    int f() {
+      a = 0;
+      b = 0;
+      g(&b);
+      return a + b;
+    }
+    void main() {
+      int r;
+      r = f();
+      print(r);
+    }
+  )");
+  clight::addClightModule(P, "S2", R"(
+    void g(int *x) {
+      *x = 3;
+    }
+  )");
+  P.addThread("main");
+  P.link();
+  TraceSet T = preemptiveTraces(P);
+  ASSERT_EQ(T.size(), 1u);
+  // The compiler may not assume b is still 0 after g returns: f = 3.
+  EXPECT_TRUE(T.contains(doneTrace({3})));
+}
+
+TEST(ClightSemantics, UninitializedLocalUseAborts) {
+  Program P = clightProgram(R"(
+    void main() { int a; print(a + 1); }
+  )",
+                            {"main"});
+  EXPECT_FALSE(isSafe(P));
+}
+
+TEST(ClightSemantics, DivisionByZeroAborts) {
+  Program P = clightProgram(R"(
+    void main() { int a = 1; int b = 0; print(a / b); }
+  )",
+                            {"main"});
+  EXPECT_FALSE(isSafe(P));
+}
+
+TEST(ClightSemantics, Fig10cClientWithGammaLock) {
+  Program P;
+  clight::addClightModule(P, "client", R"(
+    extern void lock();
+    extern void unlock();
+    int x = 0;
+    void inc() {
+      int32_t tmp;
+      lock();
+      tmp = x;
+      x = x + 1;
+      unlock();
+      print(tmp);
+    }
+  )");
+  sync::addGammaLock(P);
+  P.addThread("inc");
+  P.addThread("inc");
+  P.link();
+
+  EXPECT_TRUE(isDRF(P));
+  TraceSet T = preemptiveTraces(P);
+  EXPECT_FALSE(T.hasAbort());
+  EXPECT_TRUE(T.contains(doneTrace({0, 1})));
+  EXPECT_TRUE(T.contains(doneTrace({1, 0})));
+}
+
+TEST(ClightSemantics, RacyClightClientDetected) {
+  Program P = clightProgram(R"(
+    int x = 0;
+    void t1() { x = 1; }
+    void t2() { x = 2; }
+  )",
+                            {"t1", "t2"});
+  EXPECT_FALSE(isDRF(P));
+  EXPECT_FALSE(isNPDRF(P));
+}
+
+TEST(ClightSemantics, LocalsAreThreadPrivate) {
+  // Two threads running the same function get disjoint local slots.
+  Program P = clightProgram(R"(
+    void t() {
+      int a = 0;
+      int i = 0;
+      while (i < 3) { a = a + 2; i = i + 1; }
+      print(a);
+    }
+  )",
+                            {"t", "t"});
+  EXPECT_TRUE(isDRF(P));
+  TraceSet T = preemptiveTraces(P);
+  for (const Trace &Tr : T.traces()) {
+    ASSERT_EQ(Tr.End, TraceEnd::Done);
+    EXPECT_EQ(Tr.Events, (std::vector<int64_t>{6, 6}));
+  }
+}
+
+TEST(ClightSemantics, PreemptiveEqualsNonPreemptiveForLockClient) {
+  Program P;
+  clight::addClightModule(P, "client", R"(
+    extern void lock();
+    extern void unlock();
+    int x = 0;
+    void inc() {
+      int32_t tmp;
+      lock();
+      tmp = x;
+      x = x + 1;
+      unlock();
+      print(tmp);
+    }
+  )");
+  sync::addGammaLock(P);
+  P.addThread("inc");
+  P.addThread("inc");
+  P.link();
+  ASSERT_TRUE(isDRF(P));
+  TraceSet Pre = preemptiveTraces(P);
+  TraceSet NP = nonPreemptiveTraces(P);
+  RefineResult R = equivTraces(Pre, NP);
+  EXPECT_TRUE(R.Holds) << "cex: " << R.CounterExample << "\npre "
+                       << Pre.toString() << "\nnp " << NP.toString();
+}

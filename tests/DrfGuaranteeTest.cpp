@@ -1,0 +1,131 @@
+//===- tests/DrfGuaranteeTest.cpp - The classic TSO DRF guarantee ----------===//
+//
+// The paper observes (after Lemma 16) that instantiating the object with
+// skip yields the classic DRF-guarantee of x86-TSO: data-race-free
+// programs have exactly their SC behaviors under TSO. This parameterized
+// suite checks that on a family of DRF assembly programs — and that the
+// racy SB litmus is precisely the kind of program where the guarantee
+// does NOT apply.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Semantics.h"
+#include "workload/Workloads.h"
+#include "x86/X86Lang.h"
+
+#include <gtest/gtest.h>
+
+using namespace ccc;
+using namespace ccc::x86;
+
+namespace {
+
+struct DrfCase {
+  const char *Name;
+  const char *Source;
+  std::vector<std::string> Threads;
+};
+
+const DrfCase Cases[] = {
+    {"disjoint_data", R"(
+      .data a 0
+      .data b 0
+      .entry t1 0 0
+      .entry t2 0 0
+      t1:
+              movl $1, a
+              movl a, %eax
+              printl %eax
+              retl
+      t2:
+              movl $2, b
+              movl b, %ebx
+              printl %ebx
+              retl
+    )",
+     {"t1", "t2"}},
+    {"read_only_sharing", R"(
+      .data c 9
+      .entry t1 0 0
+      .entry t2 0 0
+      t1:
+              movl c, %eax
+              printl %eax
+              retl
+      t2:
+              movl c, %ebx
+              printl %ebx
+              retl
+    )",
+     {"t1", "t2"}},
+    {"cas_synchronized", R"(
+      .data c 0
+      .entry t 0 0
+      t:
+              movl $c, %ecx
+      retry:
+              movl $0, %edx
+              movl c, %eax
+              movl %eax, %ebx
+              addl $1, %ebx
+              lock cmpxchgl %ebx, (%ecx)
+              jne fixup
+              printl %eax
+              retl
+      fixup:
+              jmp retry
+    )",
+     {"t"}},
+};
+
+class DrfGuarantee : public ::testing::TestWithParam<int> {};
+
+Program build(const DrfCase &C, MemModel Model) {
+  Program P;
+  addAsmModule(P, "m", C.Source, Model);
+  for (const std::string &T : C.Threads)
+    P.addThread(T);
+  P.link();
+  return P;
+}
+
+} // namespace
+
+TEST_P(DrfGuarantee, ScAndTsoBehaviorsCoincide) {
+  const DrfCase &C = Cases[GetParam()];
+  Program Sc = build(C, MemModel::SC);
+  Program Tso = build(C, MemModel::TSO);
+  ASSERT_TRUE(isDRF(Sc)) << C.Name << " is unexpectedly racy";
+  TraceSet TSc = preemptiveTraces(Sc);
+  TraceSet TTso = preemptiveTraces(Tso);
+  RefineResult R = equivTraces(TSc, TTso);
+  EXPECT_TRUE(R.Holds) << C.Name << " cex: " << R.CounterExample
+                       << "\nSC  " << TSc.toString() << "\nTSO "
+                       << TTso.toString();
+}
+
+INSTANTIATE_TEST_SUITE_P(Family, DrfGuarantee, ::testing::Range(0, 3),
+                         [](const ::testing::TestParamInfo<int> &I) {
+                           return std::string(Cases[I.param].Name);
+                         });
+
+TEST(DrfGuarantee, FailsExactlyOnRacyPrograms) {
+  // The SB litmus is racy, and indeed TSO shows behaviors SC cannot:
+  // the guarantee's DRF premise is essential.
+  Program Sc = workload::sbLitmus(MemModel::SC, false);
+  Program Tso = workload::sbLitmus(MemModel::TSO, false);
+  ASSERT_FALSE(isDRF(Sc));
+  TraceSet TSc = preemptiveTraces(Sc);
+  TraceSet TTso = preemptiveTraces(Tso);
+  EXPECT_FALSE(equivTraces(TSc, TTso).Holds);
+  // But even racy TSO programs only ADD behaviors, never lose SC ones.
+  EXPECT_TRUE(refinesTraces(TSc, TTso).Holds);
+}
+
+TEST(DrfGuarantee, FencedRacyProgramRegainsScBehaviors) {
+  Program Sc = workload::sbLitmus(MemModel::SC, true);
+  Program Tso = workload::sbLitmus(MemModel::TSO, true);
+  RefineResult R =
+      equivTraces(preemptiveTraces(Sc), preemptiveTraces(Tso));
+  EXPECT_TRUE(R.Holds) << R.CounterExample;
+}

@@ -1,0 +1,219 @@
+//===- tests/ExplorerTest.cpp - Exploration and trace-algebra tests --------===//
+//
+// Unit tests for the exploration engine and the trace machinery: trace
+// set algebra, termination-insensitive collapse, divergence detection,
+// refinement verdicts, program linking, and frame-stack behavior of the
+// global semantics.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cimp/CImpLang.h"
+#include "core/Semantics.h"
+
+#include <gtest/gtest.h>
+
+using namespace ccc;
+
+namespace {
+Program singleModuleProgram(const std::string &Src,
+                            std::vector<std::string> Entries) {
+  Program P;
+  cimp::addCImpModule(P, "m", Src);
+  for (auto &E : Entries)
+    P.addThread(E);
+  P.link();
+  return P;
+}
+} // namespace
+
+TEST(TraceAlgebra, OrderingAndEquality) {
+  Trace A{{1, 2}, TraceEnd::Done};
+  Trace B{{1, 2}, TraceEnd::Div};
+  Trace C{{1, 3}, TraceEnd::Done};
+  EXPECT_TRUE(A == A);
+  EXPECT_FALSE(A == B);
+  EXPECT_TRUE(A < B || B < A);
+  EXPECT_TRUE(A < C);
+  EXPECT_EQ(A.toString(), "1:2:done");
+  EXPECT_EQ(B.toString(), "1:2:div");
+}
+
+TEST(TraceAlgebra, SubsetAndCollapse) {
+  TraceSet S;
+  S.insert(Trace{{1}, TraceEnd::Done});
+  S.insert(Trace{{2}, TraceEnd::Div});
+  TraceSet T = S;
+  T.insert(Trace{{3}, TraceEnd::Abort});
+  EXPECT_TRUE(S.subsetOf(T));
+  EXPECT_FALSE(T.subsetOf(S));
+  EXPECT_TRUE(T.hasAbort());
+  EXPECT_FALSE(S.hasAbort());
+
+  TraceSet C = S.collapseTermination();
+  EXPECT_TRUE(C.contains(Trace{{2}, TraceEnd::Done}));
+  EXPECT_FALSE(C.contains(Trace{{2}, TraceEnd::Div}));
+}
+
+TEST(TraceAlgebra, RefinementVerdicts) {
+  TraceSet Impl, Spec;
+  Impl.insert(Trace{{1}, TraceEnd::Done});
+  Spec.insert(Trace{{1}, TraceEnd::Done});
+  Spec.insert(Trace{{2}, TraceEnd::Done});
+  EXPECT_TRUE(refinesTraces(Impl, Spec).Holds);
+  EXPECT_FALSE(refinesTraces(Spec, Impl).Holds);
+  EXPECT_FALSE(equivTraces(Impl, Spec).Holds);
+
+  // Termination-insensitive refinement: divergence matches done.
+  TraceSet ImplDiv;
+  ImplDiv.insert(Trace{{1}, TraceEnd::Div});
+  EXPECT_FALSE(refinesTraces(ImplDiv, Spec).Holds);
+  EXPECT_TRUE(refinesTraces(ImplDiv, Spec, /*TermInsensitive=*/true).Holds);
+}
+
+TEST(TraceAlgebra, TruncationMakesVerdictsNonDefinitive) {
+  TraceSet Impl, Spec;
+  Impl.insert(Trace{{1}, TraceEnd::Cut});
+  Spec.insert(Trace{{1}, TraceEnd::Done});
+  RefineResult R = refinesTraces(Impl, Spec);
+  EXPECT_TRUE(R.Holds); // cut traces are not counterexamples...
+  EXPECT_FALSE(R.Definitive); // ...but the verdict is only a bound
+}
+
+TEST(ExplorerDivergence, PureSwitchLoopsAreNotDivergence) {
+  // Two already-terminating threads: the only cycles in the preemptive
+  // graph are switch cycles, which must not count as divergence.
+  Program P = singleModuleProgram("t1() { print(1); }\n"
+                                  "t2() { print(2); }",
+                                  {"t1", "t2"});
+  TraceSet T = preemptiveTraces(P);
+  for (const Trace &Tr : T.traces())
+    EXPECT_NE(Tr.End, TraceEnd::Div) << Tr.toString();
+}
+
+TEST(ExplorerDivergence, RealSilentLoopsAreDivergence) {
+  Program P = singleModuleProgram("main() { while (1) { skip; } }",
+                                  {"main"});
+  TraceSet T = preemptiveTraces(P);
+  ASSERT_EQ(T.size(), 1u);
+  EXPECT_TRUE(T.contains(Trace{{}, TraceEnd::Div}));
+}
+
+TEST(ExplorerDivergence, SpinWithPartnerHasBothOutcomes) {
+  // One thread spins until the other sets a flag: fair schedules
+  // terminate, unfair ones diverge — both are legitimate traces.
+  Program P = singleModuleProgram(R"(
+    global flag = 0;
+    spinner() {
+      v := 0;
+      while (v == 0) { < v := [flag]; > }
+      print(7);
+    }
+    setter() { < [flag] := 1; > }
+  )",
+                                  {"spinner", "setter"});
+  TraceSet T = preemptiveTraces(P);
+  EXPECT_TRUE(T.contains(Trace{{7}, TraceEnd::Done}));
+  EXPECT_TRUE(T.contains(Trace{{}, TraceEnd::Div}));
+}
+
+TEST(ProgramLinking, AssignsDistinctAddressesAndRegions) {
+  Program P;
+  cimp::addCImpModule(P, "a", "global x = 1;\nf() { v := [x]; print(v); }");
+  cimp::addCImpModule(P, "b", "global x = 2;\ng() { v := [x]; print(v); }");
+  P.addThread("f");
+  P.addThread("g");
+  P.link();
+  // Same-named globals of different modules get distinct addresses
+  // (module-local namespaces).
+  EXPECT_EQ(P.sharedAddrs().size(), 2u);
+  // Thread free-list regions are disjoint.
+  EXPECT_FALSE(P.threadRegion(0).overlaps(P.threadRegion(1)));
+
+  // Each module reads its own x.
+  TraceSet T = preemptiveTraces(P);
+  EXPECT_TRUE(T.contains(Trace{{1, 2}, TraceEnd::Done}));
+  EXPECT_TRUE(T.contains(Trace{{2, 1}, TraceEnd::Done}));
+  EXPECT_EQ(T.size(), 2u);
+}
+
+TEST(ProgramLinking, ObjectAddrsTrackOwnership) {
+  Program P;
+  cimp::addCImpModule(P, "client", "global c = 0;\nmain() { skip; }");
+  cimp::addCImpModule(P, "obj", "global L = 1;", /*ObjectMode=*/true);
+  P.addThread("main");
+  P.link();
+  EXPECT_EQ(P.objectAddrs().size(), 1u);
+  EXPECT_TRUE(P.objectAddrs().subsetOf(P.sharedAddrs()));
+}
+
+TEST(FrameStacks, NestedCallsReturnCorrectly) {
+  Program P;
+  cimp::addCImpModule(P, "m", R"(
+    f1(x) { r := 0; r := f2(x + 1); return r * 2; }
+    f2(x) { r := 0; r := f3(x + 1); return r + 10; }
+    f3(x) { return x * x; }
+    main() { r := 0; r := f1(1); print(r); }
+  )");
+  P.addThread("main");
+  P.link();
+  TraceSet T = preemptiveTraces(P);
+  // f3(3)=9, f2 -> 19, f1 -> 38.
+  ASSERT_EQ(T.size(), 1u);
+  EXPECT_TRUE(T.contains(Trace{{38}, TraceEnd::Done}));
+}
+
+TEST(FrameStacks, DeepRecursionExhaustsFreeListGracefully) {
+  Program P;
+  cimp::addCImpModule(P, "m", R"(
+    f(n) { r := 0; r := f(n + 1); return r; }
+    main() { r := 0; r := f(0); }
+  )");
+  P.addThread("main");
+  P.link();
+  std::string Reason;
+  EXPECT_FALSE(isSafe(P, {}, &Reason));
+  EXPECT_NE(Reason.find("free list"), std::string::npos);
+}
+
+TEST(FrameStacks, MutualRecursionAcrossModules) {
+  Program P;
+  cimp::addCImpModule(P, "even", R"(
+    is_even(n) {
+      if (n == 0) { return 1; }
+      r := 0;
+      r := is_odd(n - 1);
+      return r;
+    }
+  )");
+  cimp::addCImpModule(P, "odd", R"(
+    is_odd(n) {
+      if (n == 0) { return 0; }
+      r := 0;
+      r := is_even(n - 1);
+      return r;
+    }
+  )");
+  cimp::addCImpModule(P, "main", R"(
+    main() { r := 0; r := is_even(6); print(r);
+             r := is_even(7); print(r); }
+  )");
+  P.addThread("main");
+  P.link();
+  TraceSet T = preemptiveTraces(P);
+  ASSERT_EQ(T.size(), 1u);
+  EXPECT_TRUE(T.contains(Trace{{1, 0}, TraceEnd::Done}));
+}
+
+TEST(ExplorerLimits, StateCapYieldsCutTraces) {
+  Program P = singleModuleProgram(R"(
+    global x = 0;
+    t() { n := 0; while (n < 50) { < v := [x]; [x] := v + 1; > print(n); n := n + 1; } }
+  )",
+                                  {"t", "t"});
+  ExploreOptions Opts;
+  Opts.MaxStates = 50;
+  ExploreStats Stats;
+  TraceSet T = preemptiveTraces(P, Opts, &Stats);
+  EXPECT_TRUE(Stats.Truncated);
+  EXPECT_TRUE(T.truncated());
+}

@@ -1,0 +1,168 @@
+//===- tests/FrontendDiagnosticsTest.cpp - Parser diagnostics tests --------===//
+//
+// Error-path tests for the three textual frontends (CImp, Clight, x86
+// assembly): malformed inputs are rejected with positioned messages, and
+// accepted inputs survive printer round trips where applicable.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cimp/CImpParser.h"
+#include "clight/ClightParser.h"
+#include "x86/X86Parser.h"
+
+#include <gtest/gtest.h>
+
+using namespace ccc;
+
+// --------------------------------------------------------------------------
+// CImp
+// --------------------------------------------------------------------------
+
+TEST(CImpParserErrors, MissingSemicolon) {
+  std::string Err;
+  EXPECT_EQ(cimp::parseModule("f() { x := 1 }", Err), nullptr);
+  EXPECT_NE(Err.find("line 1"), std::string::npos);
+}
+
+TEST(CImpParserErrors, UnterminatedBlock) {
+  std::string Err;
+  EXPECT_EQ(cimp::parseModule("f() { while (1) { skip;", Err), nullptr);
+  EXPECT_NE(Err.find("missing"), std::string::npos);
+}
+
+TEST(CImpParserErrors, BadGlobalInitializer) {
+  std::string Err;
+  EXPECT_EQ(cimp::parseModule("global g = x;", Err), nullptr);
+}
+
+TEST(CImpParserErrors, UnexpectedCharacter) {
+  std::string Err;
+  EXPECT_EQ(cimp::parseModule("f() { x := 1 @ 2; }", Err), nullptr);
+  EXPECT_NE(Err.find("unexpected character"), std::string::npos);
+}
+
+TEST(CImpParser, AcceptsNegativeGlobalsAndComments) {
+  std::string Err;
+  auto M = cimp::parseModule(R"(
+    # a comment
+    global g = -5;  // another comment
+    f() { return g == g; }
+  )",
+                             Err);
+  ASSERT_NE(M, nullptr) << Err;
+  ASSERT_EQ(M->Globals.size(), 1u);
+  EXPECT_EQ(M->Globals[0].second, -5);
+}
+
+TEST(CImpParser, PrecedenceParsesAsExpected) {
+  std::string Err;
+  auto M = cimp::parseModule("f() { x := 1 + 2 * 3 == 7 && 1; }", Err);
+  ASSERT_NE(M, nullptr) << Err;
+  const cimp::Stmt &S = *M->Funcs[0].Body[0];
+  // Top node must be &&.
+  ASSERT_EQ(S.E1->K, cimp::Expr::Kind::Bin);
+  EXPECT_EQ(S.E1->B, cimp::BinOp::And);
+}
+
+// --------------------------------------------------------------------------
+// Clight
+// --------------------------------------------------------------------------
+
+TEST(ClightParserErrors, LocalsMustPrecedeStatements) {
+  std::string Err;
+  auto M = clight::parseModule(
+      "void f() { print(1); int a; }", Err);
+  EXPECT_EQ(M, nullptr);
+}
+
+TEST(ClightParserErrors, MissingReturnType) {
+  std::string Err;
+  EXPECT_EQ(clight::parseModule("f() { }", Err), nullptr);
+  EXPECT_NE(Err.find("expected 'int' or 'void'"), std::string::npos);
+}
+
+TEST(ClightParserErrors, BadExternDecl) {
+  std::string Err;
+  EXPECT_EQ(clight::parseModule("extern void g(float x);", Err), nullptr);
+}
+
+TEST(ClightParser, ExternArityCounted) {
+  std::string Err;
+  auto M = clight::parseModule(
+      "extern int h(int a, int *b, int c);", Err);
+  ASSERT_NE(M, nullptr) << Err;
+  ASSERT_EQ(M->Externs.size(), 1u);
+  EXPECT_EQ(M->Externs[0].Arity, 3u);
+}
+
+TEST(ClightParser, DeclInitializersDesugarToAssignments) {
+  std::string Err;
+  auto M = clight::parseModule("void f() { int a = 3; int b = a; }", Err);
+  ASSERT_NE(M, nullptr) << Err;
+  const clight::Function *F = M->find("f");
+  ASSERT_NE(F, nullptr);
+  EXPECT_EQ(F->Locals.size(), 2u);
+  ASSERT_EQ(F->Body.size(), 2u);
+  EXPECT_EQ(F->Body[0]->K, clight::Stmt::Kind::AssignVar);
+}
+
+// --------------------------------------------------------------------------
+// x86 assembly
+// --------------------------------------------------------------------------
+
+TEST(AsmParserErrors, UnknownMnemonic) {
+  std::string Err;
+  EXPECT_EQ(x86::parseAsm(".entry f 0 0\nf:\n frobl %eax\n", Err), nullptr);
+  EXPECT_NE(Err.find("unknown mnemonic"), std::string::npos);
+}
+
+TEST(AsmParserErrors, UnknownRegisterInMemOperand) {
+  std::string Err;
+  EXPECT_EQ(x86::parseAsm(".entry f 0 0\nf:\n movl (%foo), %eax\n", Err),
+            nullptr);
+}
+
+TEST(AsmParserErrors, EntryWithoutLabel) {
+  std::string Err;
+  EXPECT_EQ(x86::parseAsm(".entry nolabel 0 0\n", Err), nullptr);
+  EXPECT_NE(Err.find("no label"), std::string::npos);
+}
+
+TEST(AsmParserErrors, LockPrefixRequiresCmpxchg) {
+  std::string Err;
+  EXPECT_EQ(x86::parseAsm(".entry f 0 0\nf:\n lock movl $1, %eax\n", Err),
+            nullptr);
+  EXPECT_NE(Err.find("cmpxchgl"), std::string::npos);
+}
+
+TEST(AsmParser, OperandForms) {
+  std::string Err;
+  auto M = x86::parseAsm(R"(
+    .data g 0
+    .entry f 2 0
+    f:
+            movl $5, %eax
+            movl $g, %ecx
+            movl (%ecx), %ebx
+            movl 1(%esp), %edx
+            movl g, %esi
+            retl
+  )",
+                         Err);
+  ASSERT_NE(M, nullptr) << Err;
+  using x86::Operand;
+  EXPECT_EQ(M->Code[1].Src.K, Operand::Kind::Imm);
+  EXPECT_EQ(M->Code[2].Src.K, Operand::Kind::GlobalImm);
+  EXPECT_EQ(M->Code[3].Src.K, Operand::Kind::MemBase);
+  EXPECT_EQ(M->Code[4].Src.K, Operand::Kind::MemBase);
+  EXPECT_EQ(M->Code[4].Src.Disp, 1);
+  EXPECT_EQ(M->Code[5].Src.K, Operand::Kind::MemGlobal);
+}
+
+TEST(AsmParser, EntryDirectiveFields) {
+  std::string Err;
+  auto M = x86::parseAsm(".entry f 7 2\nf:\n retl\n", Err);
+  ASSERT_NE(M, nullptr) << Err;
+  EXPECT_EQ(M->Entries.at("f").FrameSize, 7u);
+  EXPECT_EQ(M->Entries.at("f").Arity, 2u);
+}

@@ -1,0 +1,189 @@
+//===- tests/GlobalSemanticsTest.cpp - Fig. 7 rule-level tests -------------===//
+//
+// Rule-level tests of the preemptive and non-preemptive global semantics
+// (Fig. 7): atomic-bit discipline (EntAt/ExtAt), the Switch rule's side
+// condition d = 0, non-preemptive switch points, and the shapes of
+// successor sets, inspected directly through World::succ / NPWorld::succ.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cimp/CImpLang.h"
+#include "core/NPWorld.h"
+#include "core/Semantics.h"
+#include "core/World.h"
+
+#include <gtest/gtest.h>
+
+using namespace ccc;
+
+namespace {
+
+Program twoThreads(const std::string &Src, const std::string &E1,
+                   const std::string &E2) {
+  Program P;
+  cimp::addCImpModule(P, "m", Src);
+  P.addThread(E1);
+  P.addThread(E2);
+  P.link();
+  return P;
+}
+
+unsigned countSw(const std::vector<GSucc<World>> &S) {
+  unsigned N = 0;
+  for (const auto &X : S)
+    if (X.L.K == GLabel::Kind::Sw)
+      ++N;
+  return N;
+}
+
+/// Advances the world by the first non-switch successor.
+World stepLocal(const World &W) {
+  for (const auto &S : W.succ())
+    if (S.L.K != GLabel::Kind::Sw)
+      return S.Next;
+  ADD_FAILURE() << "no local step available";
+  return W;
+}
+
+} // namespace
+
+TEST(PreemptiveRules, SwitchAvailableOutsideAtomicOnly) {
+  Program P = twoThreads(R"(
+    global x = 0;
+    t1() { < [x] := 1; > }
+    t2() { skip; }
+  )",
+                         "t1", "t2");
+  World W = World::load(P);
+  EXPECT_FALSE(W.inAtomic());
+  // Outside the block: one local step plus one switch (to t2).
+  EXPECT_EQ(countSw(W.succ()), 1u);
+
+  // Step t1 into its atomic block: EntAtom sets d = 1; no switches.
+  World In = stepLocal(W);
+  EXPECT_TRUE(In.inAtomic());
+  EXPECT_EQ(countSw(In.succ()), 0u);
+
+  // Execute the store and leave the block: switches come back.
+  World AfterStore = stepLocal(In);
+  World Out = stepLocal(AfterStore);
+  EXPECT_FALSE(Out.inAtomic());
+  EXPECT_EQ(countSw(Out.succ()), 1u);
+}
+
+TEST(PreemptiveRules, SwitchTargetsOnlyLiveThreads) {
+  Program P = twoThreads("t1() { print(1); }\nt2() { skip; }", "t1", "t2");
+  World W = World::load(P);
+  // Run t2 (switch there first) to completion: alloc-free CImp thread
+  // finishes in two steps (skip, implicit ret).
+  World AtT2 = W.succ().back().Next;
+  ASSERT_EQ(AtT2.curThread(), 1u);
+  World Fin = stepLocal(stepLocal(AtT2));
+  EXPECT_TRUE(Fin.thread(1).Finished);
+  // Back at scheduling: t2 is finished, so no switch edge targets it.
+  for (const auto &S : Fin.succ())
+    if (S.L.K == GLabel::Kind::Sw)
+      EXPECT_NE(S.Next.curThread(), 1u);
+}
+
+TEST(PreemptiveRules, RacePredictionRequiresD0) {
+  Program P = twoThreads(R"(
+    global x = 0;
+    t1() { < [x] := 1; [x] := 2; > }
+    t2() { skip; }
+  )",
+                         "t1", "t2");
+  World W = World::load(P);
+  EXPECT_TRUE(W.racePredictable());
+  World In = stepLocal(W); // inside the atomic block
+  EXPECT_FALSE(In.racePredictable());
+}
+
+TEST(NonPreemptiveRules, TauStepsDoNotSwitch) {
+  Program P = twoThreads(R"(
+    t1() { a := 1; b := 2; c := a + b; }
+    t2() { skip; }
+  )",
+                         "t1", "t2");
+  NPWorld W = NPWorld::load(P, 0);
+  // Plain assignments keep control in t1 with a single tau successor.
+  for (int I = 0; I < 3; ++I) {
+    auto S = W.succ();
+    ASSERT_EQ(S.size(), 1u);
+    EXPECT_EQ(S[0].L.K, GLabel::Kind::Tau);
+    EXPECT_EQ(S[0].Next.curThread(), 0u);
+    W = S[0].Next;
+  }
+}
+
+TEST(NonPreemptiveRules, AtomicBoundariesAreSwitchPoints) {
+  Program P = twoThreads(R"(
+    global x = 0;
+    t1() { < [x] := 1; > }
+    t2() { skip; }
+  )",
+                         "t1", "t2");
+  NPWorld W = NPWorld::load(P, 0);
+  // The EntAtom step yields one successor per live thread (t1, t2).
+  auto S = W.succ();
+  ASSERT_EQ(S.size(), 2u);
+  for (const auto &X : S) {
+    EXPECT_EQ(X.L.K, GLabel::Kind::Sw);
+    // The atomic-bit map records t1 inside its block either way.
+    EXPECT_TRUE(X.Next.threadInAtomic(0));
+  }
+}
+
+TEST(NonPreemptiveRules, EventsAreSwitchPoints) {
+  Program P = twoThreads("t1() { print(5); }\nt2() { skip; }", "t1", "t2");
+  NPWorld W = NPWorld::load(P, 0);
+  auto S = W.succ();
+  ASSERT_EQ(S.size(), 2u); // one per live thread
+  for (const auto &X : S) {
+    EXPECT_TRUE(X.L.isEvent());
+    EXPECT_EQ(X.L.EventVal, 5);
+  }
+}
+
+TEST(NonPreemptiveRules, MidAtomicThreadResumesItsBlock) {
+  Program P = twoThreads(R"(
+    global x = 0;
+    t1() { < [x] := 1; [x] := 2; > print(9); }
+    t2() { skip; }
+  )",
+                         "t1", "t2");
+  NPWorld W = NPWorld::load(P, 0);
+  // Enter the block, switch to t2.
+  NPWorld AtT2 = W.succ()[1].Next;
+  ASSERT_EQ(AtT2.curThread(), 1u);
+  EXPECT_TRUE(AtT2.threadInAtomic(0));
+  // t2's whole execution happens while t1 sits mid-block; the program
+  // still terminates with print(9) — no deadlock, no abort.
+  Explorer<NPWorld> E;
+  E.build(AtT2);
+  EXPECT_FALSE(E.anyAbort());
+  TraceSet T = E.traces();
+  EXPECT_TRUE(T.contains(Trace{{9}, TraceEnd::Done}));
+}
+
+TEST(GlobalRules, NestedAtomicAborts) {
+  Program P = twoThreads(R"(
+    t1() { < < skip; > > }
+    t2() { skip; }
+  )",
+                         "t1", "t2");
+  std::string Reason;
+  EXPECT_FALSE(isSafe(P, {}, &Reason));
+  EXPECT_NE(Reason.find("nested"), std::string::npos);
+}
+
+TEST(GlobalRules, TerminationInsideAtomicAborts) {
+  Program P = twoThreads(R"(
+    t1() { < return 0; > }
+    t2() { skip; }
+  )",
+                         "t1", "t2");
+  std::string Reason;
+  EXPECT_FALSE(isSafe(P, {}, &Reason));
+  EXPECT_NE(Reason.find("atomic"), std::string::npos);
+}

@@ -1,0 +1,175 @@
+//===- tests/LockObjectTest.cpp - The lock object library ------------------===//
+//
+// Behavioral tests of the synchronization object library: gamma_lock's
+// abstract semantics (including misuse detection via its assert),
+// pi_lock's TSO behavior in corner configurations, and the object
+// confinement discipline.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cimp/CImpLang.h"
+#include "core/Semantics.h"
+#include "sync/LockLib.h"
+#include "workload/Workloads.h"
+#include "x86/X86Lang.h"
+
+#include <gtest/gtest.h>
+
+using namespace ccc;
+
+namespace {
+Program clientWithGammaLock(const std::string &ClientSrc,
+                            std::vector<std::string> Threads) {
+  Program P;
+  cimp::addCImpModule(P, "client", ClientSrc);
+  sync::addGammaLock(P);
+  for (auto &T : Threads)
+    P.addThread(T);
+  P.link();
+  return P;
+}
+} // namespace
+
+TEST(GammaLock, SingleThreadAcquireRelease) {
+  Program P = clientWithGammaLock(
+      "main() { lock(); print(1); unlock(); print(2); }", {"main"});
+  TraceSet T = preemptiveTraces(P);
+  ASSERT_EQ(T.size(), 1u);
+  EXPECT_TRUE(T.contains(Trace{{1, 2}, TraceEnd::Done}));
+}
+
+TEST(GammaLock, UnlockWithoutLockAborts) {
+  // The specification asserts the lock is held: misuse is a fault, which
+  // the abstract object makes observable as abort.
+  Program P = clientWithGammaLock("main() { unlock(); }", {"main"});
+  std::string Reason;
+  EXPECT_FALSE(isSafe(P, {}, &Reason));
+  EXPECT_NE(Reason.find("assertion"), std::string::npos);
+}
+
+TEST(GammaLock, DoubleLockDeadlocksAsDivergence) {
+  // Re-acquiring a held lock spins forever: observable as divergence,
+  // not abort.
+  Program P = clientWithGammaLock("main() { lock(); lock(); print(9); }",
+                                  {"main"});
+  TraceSet T = preemptiveTraces(P);
+  EXPECT_TRUE(T.contains(Trace{{}, TraceEnd::Div}));
+  EXPECT_FALSE(T.contains(Trace{{9}, TraceEnd::Done}));
+  EXPECT_FALSE(T.hasAbort());
+}
+
+TEST(GammaLock, ProtectsMultipleCriticalSections) {
+  Program P = clientWithGammaLock(R"(
+    global a = 0;
+    global b = 0;
+    t1() { lock(); [a] := 1; [b] := 1; unlock(); }
+    t2() {
+      lock();
+      va := [a];
+      vb := [b];
+      unlock();
+      print(vb - va);
+    }
+  )",
+                                  {"t1", "t2"});
+  EXPECT_TRUE(isDRF(P));
+  TraceSet T = preemptiveTraces(P);
+  // t2 sees a and b together: 0-0 or 1-1, so it always prints 0.
+  for (const Trace &Tr : T.traces())
+    for (int64_t E : Tr.Events)
+      EXPECT_EQ(E, 0) << Tr.toString();
+}
+
+TEST(PiLock, ThreeThreadsStillMutuallyExclude) {
+  Program P = workload::asmCounterWithPiLock(x86::MemModel::TSO, 3);
+  ExploreOptions Opts;
+  Opts.MaxStates = 400000;
+  ExploreStats Stats;
+  TraceSet T = preemptiveTraces(P, Opts, &Stats);
+  ASSERT_FALSE(T.hasAbort());
+  for (const Trace &Tr : T.traces()) {
+    if (Tr.End != TraceEnd::Done)
+      continue;
+    std::vector<int64_t> Sorted = Tr.Events;
+    std::sort(Sorted.begin(), Sorted.end());
+    EXPECT_EQ(Sorted, (std::vector<int64_t>{0, 1, 2})) << Tr.toString();
+  }
+}
+
+TEST(PiLock, ReleaseStoreEventuallyFlushes) {
+  // A single thread locking and unlocking twice: the buffered release
+  // store must be visible to the second acquire (it drains at the
+  // lock-prefixed cmpxchg).
+  Program P;
+  x86::addAsmModule(P, "client", R"(
+    .entry main 0 0
+    .extern lock 0
+    .extern unlock 0
+    main:
+            call lock
+            call unlock
+            call lock
+            call unlock
+            printl $1
+            retl
+  )",
+                    x86::MemModel::TSO);
+  sync::addPiLock(P, x86::MemModel::TSO);
+  P.addThread("main");
+  P.link();
+  TraceSet T = preemptiveTraces(P);
+  EXPECT_TRUE(T.contains(Trace{{1}, TraceEnd::Done}));
+  EXPECT_FALSE(T.hasAbort());
+}
+
+TEST(PiLock, ConfinedRacesDoNotTouchClientData) {
+  Program P = workload::asmCounterWithPiLock(x86::MemModel::SC, 2);
+  Explorer<World> E;
+  E.build(World::load(P));
+  auto Races = E.findRacesConfinedTo(P.objectAddrs());
+  ASSERT_FALSE(Races.empty());
+  for (const RaceWitness &W : Races) {
+    EXPECT_TRUE(W.Confined);
+    // In particular, no race touches the client counter x.
+    AddrSet ClientData = P.sharedAddrs().minus(P.objectAddrs());
+    EXPECT_FALSE(W.FP1.FP.asSet().intersects(ClientData));
+    EXPECT_FALSE(W.FP2.FP.asSet().intersects(ClientData));
+  }
+}
+
+TEST(ObjectConfinement, ClientsCannotBeCorruptedByObject) {
+  // Object code writing outside its own globals (and frame) aborts, so a
+  // faulty object cannot silently corrupt client state.
+  Program P;
+  cimp::addCImpModule(P, "client", R"(
+    global c = 7;
+    main() { r := 0; r := poke(c); v := [c]; print(v); }
+  )");
+  cimp::addCImpModule(P, "obj", R"(
+    poke(p) { [p] := 0; return 0; }
+  )",
+                      /*ObjectMode=*/true);
+  P.addThread("main");
+  P.link();
+  TraceSet T = preemptiveTraces(P);
+  EXPECT_TRUE(T.hasAbort());
+  // The corrupted print(0) never happens.
+  EXPECT_FALSE(T.contains(Trace{{0}, TraceEnd::Done}));
+}
+
+TEST(ObjectConfinement, ObjectMayUseItsOwnScratchData) {
+  Program P;
+  cimp::addCImpModule(P, "client", R"(
+    main() { r := 0; r := bump(); print(r); r := bump(); print(r); }
+  )");
+  cimp::addCImpModule(P, "obj", R"(
+    global counter = 0;
+    bump() { v := [counter]; [counter] := v + 1; return v; }
+  )",
+                      /*ObjectMode=*/true);
+  P.addThread("main");
+  P.link();
+  TraceSet T = preemptiveTraces(P);
+  ASSERT_EQ(T.size(), 1u);
+  EXPECT_TRUE(T.contains(Trace{{0, 1}, TraceEnd::Done}));
+}

@@ -1,0 +1,250 @@
+//===- tests/MemTest.cpp - Memory-model unit tests -------------------------===//
+//
+// Unit tests for the memory substrate: address sets, values, memory,
+// free lists, footprints, and the Fig. 6 / Fig. 8 predicates.
+//
+//===----------------------------------------------------------------------===//
+
+#include "mem/Footprint.h"
+#include "mem/FreeList.h"
+#include "mem/Mem.h"
+#include "mem/MemPred.h"
+
+#include <gtest/gtest.h>
+
+using namespace ccc;
+
+TEST(AddrSet, BasicOps) {
+  AddrSet A{3, 1, 2, 3};
+  EXPECT_EQ(A.size(), 3u);
+  EXPECT_TRUE(A.contains(1));
+  EXPECT_TRUE(A.contains(3));
+  EXPECT_FALSE(A.contains(4));
+  A.insert(4);
+  EXPECT_TRUE(A.contains(4));
+  A.insert(4);
+  EXPECT_EQ(A.size(), 4u);
+}
+
+TEST(AddrSet, SetAlgebra) {
+  AddrSet A{1, 2, 3};
+  AddrSet B{3, 4};
+  EXPECT_TRUE(A.intersects(B));
+  EXPECT_EQ(A.intersect(B), (AddrSet{3}));
+  EXPECT_EQ(A.minus(B), (AddrSet{1, 2}));
+  AddrSet U = A;
+  U.unionWith(B);
+  EXPECT_EQ(U, (AddrSet{1, 2, 3, 4}));
+  EXPECT_TRUE((AddrSet{1, 2}).subsetOf(A));
+  EXPECT_FALSE(A.subsetOf(B));
+  EXPECT_FALSE(AddrSet{}.intersects(A));
+  EXPECT_TRUE(AddrSet{}.subsetOf(A));
+}
+
+TEST(Value, Kinds) {
+  Value I = Value::makeInt(-7);
+  Value P = Value::makePtr(0x1000);
+  Value U = Value::makeUndef();
+  EXPECT_TRUE(I.isInt());
+  EXPECT_EQ(I.asInt(), -7);
+  EXPECT_TRUE(P.isPtr());
+  EXPECT_EQ(P.asPtr(), 0x1000u);
+  EXPECT_TRUE(U.isUndef());
+  EXPECT_NE(I, P);
+  EXPECT_EQ(I, Value::makeInt(-7));
+  // Int(4096) and Ptr(4096) are distinct values.
+  EXPECT_NE(Value::makeInt(0x1000), Value::makePtr(0x1000));
+}
+
+TEST(Mem, LoadStoreAlloc) {
+  Mem M;
+  EXPECT_FALSE(M.load(1).has_value());
+  EXPECT_FALSE(M.store(1, Value::makeInt(5)));
+  M.alloc(1, Value::makeInt(0));
+  EXPECT_TRUE(M.store(1, Value::makeInt(5)));
+  ASSERT_TRUE(M.load(1).has_value());
+  EXPECT_EQ(M.load(1)->asInt(), 5);
+  EXPECT_EQ(M.dom(), (AddrSet{1}));
+}
+
+TEST(Mem, EqOn) {
+  Mem A, B;
+  A.alloc(1, Value::makeInt(1));
+  A.alloc(2, Value::makeInt(2));
+  B.alloc(1, Value::makeInt(1));
+  B.alloc(2, Value::makeInt(99));
+  EXPECT_TRUE(A.eqOn(B, AddrSet{1}));
+  EXPECT_FALSE(A.eqOn(B, AddrSet{2}));
+  // Address outside both domains counts as equal.
+  EXPECT_TRUE(A.eqOn(B, AddrSet{7}));
+  // Address in one domain only does not.
+  B.alloc(3, Value::makeInt(0));
+  EXPECT_FALSE(A.eqOn(B, AddrSet{3}));
+}
+
+TEST(FreeList, RegionsAndSubRegions) {
+  FreeList F(100, 50);
+  EXPECT_TRUE(F.contains(100));
+  EXPECT_TRUE(F.contains(149));
+  EXPECT_FALSE(F.contains(150));
+  EXPECT_EQ(F.at(0), 100u);
+  EXPECT_EQ(F.at(49), 149u);
+  FreeList Sub = F.subRegion(10, 5);
+  EXPECT_EQ(Sub.base(), 110u);
+  EXPECT_TRUE(Sub.contains(114));
+  EXPECT_FALSE(Sub.contains(115));
+  FreeList G(150, 10);
+  EXPECT_FALSE(F.overlaps(G));
+  FreeList H(149, 10);
+  EXPECT_TRUE(F.overlaps(H));
+}
+
+TEST(Footprint, UnionSubsetConflict) {
+  Footprint A({1, 2}, {3});
+  Footprint B({2}, {3, 4});
+  Footprint U = A.unioned(B);
+  EXPECT_EQ(U.reads(), (AddrSet{1, 2}));
+  EXPECT_EQ(U.writes(), (AddrSet{3, 4}));
+  EXPECT_TRUE(A.subsetOf(U));
+  EXPECT_TRUE(B.subsetOf(U));
+  EXPECT_FALSE(U.subsetOf(A));
+
+  // Conflicts: write/write and write/read, but not read/read.
+  Footprint R1({5}, {});
+  Footprint R2({5}, {});
+  EXPECT_FALSE(R1.conflictsWith(R2));
+  Footprint W1({}, {5});
+  EXPECT_TRUE(W1.conflictsWith(R1));
+  EXPECT_TRUE(W1.conflictsWith(W1));
+}
+
+TEST(Footprint, InstrumentedConflictRespectsAtomicBits) {
+  InstrFootprint A{Footprint({}, {5}), /*InAtomic=*/true};
+  InstrFootprint B{Footprint({5}, {}), /*InAtomic=*/true};
+  // Both inside atomic blocks: not a race (Sec. 5).
+  EXPECT_FALSE(A.conflictsWith(B));
+  B.InAtomic = false;
+  EXPECT_TRUE(A.conflictsWith(B));
+}
+
+TEST(MemPred, Forward) {
+  Mem A;
+  A.alloc(1, Value::makeInt(0));
+  Mem B = A;
+  B.alloc(2, Value::makeInt(0));
+  EXPECT_TRUE(memForward(A, B));
+  EXPECT_FALSE(memForward(B, A));
+}
+
+TEST(MemPred, LEffectDetectsOutOfFootprintWrites) {
+  FreeList F(100, 10);
+  Mem Before;
+  Before.alloc(1, Value::makeInt(0));
+  Before.alloc(2, Value::makeInt(0));
+
+  Mem After = Before;
+  After.store(1, Value::makeInt(7));
+  Footprint FP({}, {1});
+  EXPECT_TRUE(lEffect(Before, After, FP, F));
+
+  // Writing outside the declared write set violates LEffect.
+  Mem Bad = Before;
+  Bad.store(2, Value::makeInt(7));
+  EXPECT_FALSE(lEffect(Before, Bad, FP, F));
+
+  // Allocation from the free list must be inside ws n F.
+  Mem Alloc = Before;
+  Alloc.alloc(100, Value::makeInt(0));
+  Footprint AllocFP({}, {100});
+  EXPECT_TRUE(lEffect(Before, Alloc, AllocFP, F));
+  Mem AllocBad = Before;
+  AllocBad.alloc(50, Value::makeInt(0)); // not in F
+  Footprint AllocBadFP({}, {50});
+  EXPECT_FALSE(lEffect(Before, AllocBad, AllocBadFP, F));
+}
+
+TEST(MemPred, LEqPreAndPost) {
+  FreeList F(100, 10);
+  Footprint FP({1}, {2});
+  Mem A;
+  A.alloc(1, Value::makeInt(5));
+  A.alloc(2, Value::makeInt(0));
+  A.alloc(3, Value::makeInt(9));
+  Mem B = A;
+  B.store(3, Value::makeInt(42)); // differs outside rs/ws/F only
+  EXPECT_TRUE(lEqPre(A, B, FP, F));
+  B.store(1, Value::makeInt(6));
+  EXPECT_FALSE(lEqPre(A, B, FP, F));
+
+  Mem C = A;
+  C.store(1, Value::makeInt(77)); // differs outside ws
+  EXPECT_TRUE(lEqPost(A, C, FP, F));
+  C.store(2, Value::makeInt(1));
+  EXPECT_FALSE(lEqPost(A, C, FP, F));
+}
+
+TEST(MemPred, Closed) {
+  Mem M;
+  M.alloc(1, Value::makePtr(2));
+  M.alloc(2, Value::makeInt(0));
+  EXPECT_TRUE(closedMem(M));
+  EXPECT_TRUE(closedOn(AddrSet{1, 2}, M));
+  // A pointer escaping the set breaks closedness.
+  EXPECT_FALSE(closedOn(AddrSet{1}, M));
+  M.store(1, Value::makePtr(999));
+  EXPECT_FALSE(closedMem(M));
+}
+
+TEST(MemPred, MuIdentityAndFPmatch) {
+  Mu M = Mu::identity(AddrSet{10, 11});
+  EXPECT_TRUE(wfMu(M));
+  EXPECT_EQ(M.image(AddrSet{10}), (AddrSet{10}));
+
+  // Target footprint within the (mapped) source footprint: match.
+  Footprint Src({10}, {11});
+  Footprint TgtOk({10}, {11});
+  EXPECT_TRUE(fpMatch(M, Src, TgtOk));
+
+  // Target may read what the source wrote (write-to-read weakening).
+  Footprint TgtRW({11}, {});
+  EXPECT_TRUE(fpMatch(M, Src, TgtRW));
+
+  // Target may not write what the source only read.
+  Footprint TgtBad({}, {10});
+  EXPECT_FALSE(fpMatch(M, Src, TgtBad));
+
+  // Non-shared locations are unconstrained.
+  Footprint TgtLocal({500}, {501});
+  EXPECT_TRUE(fpMatch(M, Src, TgtLocal));
+}
+
+TEST(MemPred, InvRelatesSharedContents) {
+  Mu Map = Mu::identity(AddrSet{10});
+  Mem S, T;
+  S.alloc(10, Value::makeInt(3));
+  T.alloc(10, Value::makeInt(3));
+  EXPECT_TRUE(invRel(Map, S, T));
+  T.store(10, Value::makeInt(4));
+  EXPECT_FALSE(invRel(Map, S, T));
+}
+
+TEST(MemPred, RelyRPreservesFreeListMemory) {
+  FreeList F(100, 10);
+  AddrSet S{10};
+  Mem Before;
+  Before.alloc(10, Value::makeInt(0));
+  Before.alloc(100, Value::makeInt(1));
+  Mem After = Before;
+  After.store(10, Value::makeInt(5)); // environment may change shared data
+  EXPECT_TRUE(relyR(Before, After, F, S));
+  After.store(100, Value::makeInt(9)); // but not our local memory
+  EXPECT_FALSE(relyR(Before, After, F, S));
+}
+
+TEST(MemPred, InScope) {
+  FreeList F(100, 10);
+  AddrSet S{10, 11};
+  EXPECT_TRUE(inScope(Footprint({10}, {105}), F, S));
+  EXPECT_FALSE(inScope(Footprint({10}, {55}), F, S));
+  EXPECT_TRUE(inScope(Footprint::emp(), F, S));
+}

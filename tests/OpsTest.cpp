@@ -1,0 +1,140 @@
+//===- tests/OpsTest.cpp - Shared IR operator semantics --------------------===//
+//
+// Parameterized sweep over the shared operator evaluator (ir::evalOper /
+// ir::evalCmp) used by CminorSel, RTL, LTL, Linear and Mach: arithmetic
+// (with 32-bit wrap), immediates, shifts, comparisons, condition
+// negation/swap laws, and dynamic type errors.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/Ops.h"
+
+#include <gtest/gtest.h>
+
+using namespace ccc;
+using namespace ccc::ir;
+
+namespace {
+
+Value iv(int64_t V) { return Value::makeInt(static_cast<int32_t>(V)); }
+
+struct OperCase {
+  const char *Name;
+  Oper O;
+  ir::Cmp C;
+  int32_t Imm;
+  int32_t A, B;
+  int32_t Expected;
+};
+
+class OperSweep : public ::testing::TestWithParam<OperCase> {};
+
+} // namespace
+
+TEST_P(OperSweep, EvaluatesAsExpected) {
+  const OperCase &T = GetParam();
+  auto R = evalOper(T.O, T.C, T.Imm, 0, iv(T.A), iv(T.B));
+  ASSERT_TRUE(R.has_value()) << T.Name;
+  ASSERT_TRUE(R->isInt()) << T.Name;
+  EXPECT_EQ(R->asInt(), T.Expected) << T.Name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Table, OperSweep,
+    ::testing::Values(
+        OperCase{"intconst", Oper::Intconst, Cmp::Eq, 42, 0, 0, 42},
+        OperCase{"move", Oper::Move, Cmp::Eq, 0, 7, 0, 7},
+        OperCase{"neg", Oper::Neg, Cmp::Eq, 0, 5, 0, -5},
+        OperCase{"neg_min", Oper::Neg, Cmp::Eq, 0, INT32_MIN, 0,
+                 INT32_MIN},
+        OperCase{"boolnot0", Oper::BoolNot, Cmp::Eq, 0, 0, 0, 1},
+        OperCase{"boolnot7", Oper::BoolNot, Cmp::Eq, 0, 7, 0, 0},
+        OperCase{"addimm", Oper::AddImm, Cmp::Eq, 10, 5, 0, 15},
+        OperCase{"addimm_wrap", Oper::AddImm, Cmp::Eq, 1, INT32_MAX, 0,
+                 INT32_MIN},
+        OperCase{"mulimm", Oper::MulImm, Cmp::Eq, 3, -4, 0, -12},
+        OperCase{"shlimm", Oper::ShlImm, Cmp::Eq, 4, 3, 0, 48},
+        OperCase{"sarimm", Oper::SarImm, Cmp::Eq, 2, -16, 0, -4},
+        OperCase{"cmpimm_lt", Oper::CmpImm, Cmp::Lt, 5, 3, 0, 1},
+        OperCase{"cmpimm_ge", Oper::CmpImm, Cmp::Ge, 5, 3, 0, 0},
+        OperCase{"add", Oper::Add, Cmp::Eq, 0, 2, 3, 5},
+        OperCase{"sub", Oper::Sub, Cmp::Eq, 0, 2, 3, -1},
+        OperCase{"mul_wrap", Oper::Mul, Cmp::Eq, 0, 65536, 65536, 0},
+        OperCase{"div_trunc", Oper::Div, Cmp::Eq, 0, -7, 2, -3},
+        OperCase{"mod_sign", Oper::Mod, Cmp::Eq, 0, -7, 2, -1},
+        OperCase{"and", Oper::And, Cmp::Eq, 0, 12, 10, 8},
+        OperCase{"or", Oper::Or, Cmp::Eq, 0, 12, 3, 15},
+        OperCase{"xor", Oper::Xor, Cmp::Eq, 0, 12, 10, 6},
+        OperCase{"cmp_eq", Oper::Cmp, Cmp::Eq, 0, 4, 4, 1},
+        OperCase{"cmp_ne", Oper::Cmp, Cmp::Ne, 0, 4, 4, 0},
+        OperCase{"cmp_le", Oper::Cmp, Cmp::Le, 0, -1, 0, 1},
+        OperCase{"cmp_gt", Oper::Cmp, Cmp::Gt, 0, -1, 0, 0}),
+    [](const ::testing::TestParamInfo<OperCase> &I) {
+      return std::string(I.param.Name);
+    });
+
+TEST(OperErrors, DivisionAndModByZero) {
+  EXPECT_FALSE(
+      evalOper(Oper::Div, Cmp::Eq, 0, 0, iv(4), iv(0)).has_value());
+  EXPECT_FALSE(
+      evalOper(Oper::Mod, Cmp::Eq, 0, 0, iv(4), iv(0)).has_value());
+}
+
+TEST(OperErrors, TypeErrorsOnUndefAndPointers) {
+  Value U = Value::makeUndef();
+  Value P = Value::makePtr(0x1000);
+  EXPECT_FALSE(evalOper(Oper::Mul, Cmp::Eq, 0, 0, U, iv(1)).has_value());
+  EXPECT_FALSE(evalOper(Oper::Sub, Cmp::Eq, 0, 0, P, P).has_value());
+  // Pointer + int is address arithmetic and is allowed.
+  auto R = evalOper(Oper::Add, Cmp::Eq, 0, 0, P, iv(4));
+  ASSERT_TRUE(R.has_value());
+  EXPECT_TRUE(R->isPtr());
+  EXPECT_EQ(R->asPtr(), 0x1004u);
+}
+
+TEST(OperErrors, AddrglobalProducesPointer) {
+  auto R = evalOper(Oper::Addrglobal, Cmp::Eq, 0, 0x2000, Value(), Value());
+  ASSERT_TRUE(R.has_value());
+  EXPECT_EQ(R->asPtr(), 0x2000u);
+}
+
+TEST(CmpLaws, SwapAndNegateAreInvolutive) {
+  for (Cmp C : {Cmp::Eq, Cmp::Ne, Cmp::Lt, Cmp::Le, Cmp::Gt, Cmp::Ge}) {
+    EXPECT_EQ(cmpSwap(cmpSwap(C)), C);
+    EXPECT_EQ(cmpNegate(cmpNegate(C)), C);
+  }
+}
+
+TEST(CmpLaws, SemanticLaws) {
+  // For all small int pairs: cmp(C, a, b) == cmp(swap(C), b, a) and
+  // cmp(C, a, b) == !cmp(negate(C), a, b).
+  for (Cmp C : {Cmp::Eq, Cmp::Ne, Cmp::Lt, Cmp::Le, Cmp::Gt, Cmp::Ge}) {
+    for (int A = -2; A <= 2; ++A) {
+      for (int B = -2; B <= 2; ++B) {
+        auto Direct = evalCmp(C, iv(A), iv(B));
+        auto Swapped = evalCmp(cmpSwap(C), iv(B), iv(A));
+        auto Negated = evalCmp(cmpNegate(C), iv(A), iv(B));
+        ASSERT_TRUE(Direct && Swapped && Negated);
+        EXPECT_EQ(*Direct, *Swapped) << cmpName(C) << A << "," << B;
+        EXPECT_EQ(*Direct, !*Negated) << cmpName(C) << A << "," << B;
+      }
+    }
+  }
+}
+
+TEST(CmpLaws, PointersCompareByIdentityOnly) {
+  Value P = Value::makePtr(8), Q = Value::makePtr(9);
+  EXPECT_EQ(evalCmp(Cmp::Eq, P, P), std::optional<bool>(true));
+  EXPECT_EQ(evalCmp(Cmp::Eq, P, Q), std::optional<bool>(false));
+  EXPECT_EQ(evalCmp(Cmp::Ne, P, Q), std::optional<bool>(true));
+  EXPECT_FALSE(evalCmp(Cmp::Lt, P, Q).has_value());
+}
+
+TEST(OperMeta, ArityTableIsConsistent) {
+  EXPECT_EQ(operArity(Oper::Intconst), 0u);
+  EXPECT_EQ(operArity(Oper::Addrglobal), 0u);
+  EXPECT_EQ(operArity(Oper::Move), 1u);
+  EXPECT_EQ(operArity(Oper::CmpImm), 1u);
+  EXPECT_EQ(operArity(Oper::Cmp), 2u);
+  EXPECT_EQ(operArity(Oper::Mod), 2u);
+}

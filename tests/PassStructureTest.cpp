@@ -1,0 +1,245 @@
+//===- tests/PassStructureTest.cpp - Structural pass invariants ------------===//
+//
+// White-box tests of the invariants each pass establishes, beyond the
+// semantic-preservation checks: Cminorgen leaves no slot addresses,
+// Allocation never assigns reserved registers, Linearize resolves every
+// branch, Stacking sizes frames to the spill count, Asmgen respects the
+// calling convention.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Compiler.h"
+#include "ir/IRPrinter.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <set>
+
+using namespace ccc;
+
+namespace {
+
+const char *RichSource = R"(
+  extern void lock();
+  extern void unlock();
+  int g = 1;
+  int h = 2;
+  int combine(int a, int b, int c) {
+    int t;
+    t = a * b + c;
+    while (t > 100) { t = t - g; }
+    return t;
+  }
+  void main() {
+    int v;
+    int w;
+    lock();
+    v = combine(3, 4, 5);
+    w = combine(v, v, v);
+    g = v + w;
+    unlock();
+    print(g % 1000);
+  }
+)";
+
+compiler::CompileResult compileRich() {
+  return compiler::compileClightSource(RichSource);
+}
+
+} // namespace
+
+TEST(PassStructure, CshmgenMakesAllVariableAccessExplicit) {
+  auto R = compileRich();
+  // Every variable occurrence is now under an explicit Load or Store; we
+  // check there is at least one load per function that reads a variable.
+  std::function<bool(const csharp::Expr &)> HasLoad =
+      [&](const csharp::Expr &E) {
+        if (E.K == csharp::Expr::Kind::Load)
+          return true;
+        if (E.L && HasLoad(*E.L))
+          return true;
+        return E.R && HasLoad(*E.R);
+      };
+  bool Found = false;
+  std::function<void(const csharp::Block &)> Scan =
+      [&](const csharp::Block &B) {
+        for (const auto &S : B) {
+          if (S->E1 && HasLoad(*S->E1))
+            Found = true;
+          if (S->E2 && HasLoad(*S->E2))
+            Found = true;
+          Scan(S->Body);
+          Scan(S->Else);
+        }
+      };
+  for (const auto &F : R.Csharpminor->Funcs)
+    Scan(F.Body);
+  EXPECT_TRUE(Found);
+}
+
+TEST(PassStructure, CminorgenEliminatesSlotAddresses) {
+  auto R = compileRich();
+  // After Cminorgen, no AddrSlot survives: locals are temps; the only
+  // loads/stores target globals.
+  std::function<void(const cminor::Expr &)> Check =
+      [&](const cminor::Expr &E) {
+        if (E.K == cminor::Expr::Kind::Load)
+          EXPECT_NE(E.L->K, cminor::Expr::Kind::Temp);
+        if (E.L)
+          Check(*E.L);
+        if (E.R)
+          Check(*E.R);
+      };
+  std::function<void(const cminor::Block &)> Scan =
+      [&](const cminor::Block &B) {
+        for (const auto &S : B) {
+          if (S->E1)
+            Check(*S->E1);
+          if (S->E2)
+            Check(*S->E2);
+          for (const auto &A : S->Args)
+            Check(*A);
+          Scan(S->Body);
+          Scan(S->Else);
+        }
+      };
+  for (const auto &F : R.Cminor->Funcs) {
+    EXPECT_EQ(F.FrameSize, 0u); // no address-taken locals in the subset
+    Scan(F.Body);
+  }
+}
+
+TEST(PassStructure, RTLgenProducesAWellFormedCFG) {
+  auto R = compileRich();
+  for (const rtl::Function &F : R.RTL->Funcs) {
+    ASSERT_TRUE(F.Graph.count(F.Entry));
+    for (const auto &KV : F.Graph) {
+      const rtl::Instr &I = KV.second;
+      if (I.K == rtl::Instr::Kind::Return ||
+          I.K == rtl::Instr::Kind::Tailcall)
+        continue;
+      EXPECT_TRUE(F.Graph.count(I.S1))
+          << ir::toString(I) << " dangles in " << F.Name;
+      if (I.K == rtl::Instr::Kind::Cond)
+        EXPECT_TRUE(F.Graph.count(I.S2));
+      // Register sanity.
+      for (rtl::Reg A : I.Args)
+        EXPECT_LT(A, F.NumRegs);
+      if (I.HasDst)
+        EXPECT_LT(I.Dst, F.NumRegs);
+    }
+  }
+}
+
+TEST(PassStructure, AllocationRespectsReservedRegisters) {
+  auto R = compileRich();
+  auto CheckLoc = [](const ltl::Loc &L) {
+    if (!L.IsReg)
+      return;
+    // EAX appears only as the pinned call-result register; EDX/EDI/ESI/ESP
+    // never hold program variables.
+    EXPECT_NE(L.R, x86::Reg::EDX);
+    EXPECT_NE(L.R, x86::Reg::EDI);
+    EXPECT_NE(L.R, x86::Reg::ESI);
+    EXPECT_NE(L.R, x86::Reg::ESP);
+  };
+  for (const ltl::Function &F : R.LTL->Funcs) {
+    for (const auto &KV : F.Graph) {
+      const ltl::Instr &I = KV.second;
+      for (const ltl::Loc &A : I.Args)
+        CheckLoc(A);
+      if (I.HasDst && !(I.K == ltl::Instr::Kind::Call))
+        CheckLoc(I.Dst);
+      if (I.K == ltl::Instr::Kind::Call && I.HasDst)
+        EXPECT_EQ(I.Dst, ltl::Loc::reg(x86::Reg::EAX));
+    }
+  }
+}
+
+TEST(PassStructure, TunnelingShortcutsNopChains) {
+  auto R = compileRich();
+  // After tunneling, no instruction's successor is a Nop that merely
+  // forwards (unless it is part of a Nop cycle).
+  for (const ltl::Function &F : R.LTLTunneled->Funcs) {
+    for (const auto &KV : F.Graph) {
+      const ltl::Instr &I = KV.second;
+      if (I.K == ltl::Instr::Kind::Return ||
+          I.K == ltl::Instr::Kind::Tailcall)
+        continue;
+      auto It = F.Graph.find(I.S1);
+      if (It != F.Graph.end() && It->second.K == ltl::Instr::Kind::Nop)
+        EXPECT_EQ(It->second.S1, I.S1) << "untunneled chain in " << F.Name;
+    }
+  }
+}
+
+TEST(PassStructure, LinearizeResolvesEveryBranch) {
+  auto R = compileRich();
+  for (const linear::Function &F : R.Linear->Funcs) {
+    std::set<unsigned> Labels;
+    for (const linear::Instr &I : F.Code)
+      if (I.K == linear::Instr::Kind::Label)
+        Labels.insert(I.Label);
+    for (const linear::Instr &I : F.Code)
+      if (I.K == linear::Instr::Kind::Goto ||
+          I.K == linear::Instr::Kind::Cond)
+        EXPECT_TRUE(Labels.count(I.Label))
+            << "dangling label in " << F.Name;
+  }
+}
+
+TEST(PassStructure, CleanupKeepsAllReferencedLabels) {
+  auto R = compileRich();
+  for (const linear::Function &F : R.LinearClean->Funcs) {
+    std::set<unsigned> Labels, Referenced;
+    for (const linear::Instr &I : F.Code) {
+      if (I.K == linear::Instr::Kind::Label)
+        Labels.insert(I.Label);
+      if (I.K == linear::Instr::Kind::Goto ||
+          I.K == linear::Instr::Kind::Cond)
+        Referenced.insert(I.Label);
+    }
+    for (unsigned L : Referenced)
+      EXPECT_TRUE(Labels.count(L));
+    for (unsigned L : Labels)
+      EXPECT_TRUE(Referenced.count(L)) << "unreferenced label survived";
+  }
+}
+
+TEST(PassStructure, StackingSizesFramesToSpills) {
+  auto R = compileRich();
+  for (std::size_t I = 0; I < R.Mach->Funcs.size(); ++I) {
+    EXPECT_EQ(R.Mach->Funcs[I].FrameSize,
+              R.LinearClean->Funcs[I].NumSlots);
+    // Every slot reference fits in the frame.
+    for (const mach::Instr &In : R.Mach->Funcs[I].Code) {
+      for (const mach::Loc &L : In.Args)
+        if (!L.IsReg)
+          EXPECT_LT(L.Slot, R.Mach->Funcs[I].FrameSize);
+      if (In.HasDst && !In.Dst.IsReg)
+        EXPECT_LT(In.Dst.Slot, R.Mach->Funcs[I].FrameSize);
+    }
+  }
+}
+
+TEST(PassStructure, AsmgenDeclaresEntriesAndExterns) {
+  auto R = compileRich();
+  EXPECT_TRUE(R.Asm->Entries.count("main"));
+  EXPECT_TRUE(R.Asm->Entries.count("combine"));
+  EXPECT_EQ(R.Asm->Entries.at("combine").Arity, 3u);
+  EXPECT_TRUE(R.Asm->ExternArity.count("lock"));
+  EXPECT_TRUE(R.Asm->ExternArity.count("unlock"));
+  EXPECT_EQ(R.Asm->ExternArity.at("lock"), 0u);
+}
+
+TEST(PassStructure, PrintersRoundUpEveryInstruction) {
+  auto R = compileRich();
+  // Smoke: the printers cover every instruction form in the rich program
+  // without crashing and produce non-trivial text.
+  EXPECT_GT(ir::toString(*R.RTL).size(), 200u);
+  EXPECT_GT(ir::toString(*R.LTL).size(), 200u);
+  EXPECT_GT(ir::toString(*R.Linear).size(), 200u);
+  EXPECT_GT(ir::toString(*R.Mach).size(), 200u);
+  EXPECT_NE(ir::toString(*R.RTL).find("call combine"), std::string::npos);
+}

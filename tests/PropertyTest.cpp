@@ -1,0 +1,190 @@
+//===- tests/PropertyTest.cpp - Property sweeps over program families ------===//
+//
+// Parameterized property-style tests of the framework's metatheory over
+// generated program families:
+//  - Lemma 9: preemptive == non-preemptive trace sets for DRF programs;
+//  - Sec. 5: DRF <=> NPDRF;
+//  - the non-preemptive reduction never enlarges the state space;
+//  - racy controls are caught by both detectors;
+//  - safety: lock-synchronized counters never abort and always print a
+//    permutation of the observed values.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Semantics.h"
+#include "workload/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace ccc;
+
+namespace {
+
+struct FamilyParam {
+  const char *Kind; // "locked" | "atomic"
+  unsigned Threads;
+  unsigned A; // increments / work
+  unsigned B; // cs-extra / unused
+};
+
+Program build(const FamilyParam &P) {
+  if (std::string(P.Kind) == "locked")
+    return workload::lockedCounter(P.Threads, P.A, P.B);
+  return workload::atomicCounter(P.Threads, P.A);
+}
+
+std::string paramName(const ::testing::TestParamInfo<FamilyParam> &Info) {
+  return std::string(Info.param.Kind) + "_t" +
+         std::to_string(Info.param.Threads) + "_a" +
+         std::to_string(Info.param.A) + "_b" +
+         std::to_string(Info.param.B);
+}
+
+class DrfFamilyTest : public ::testing::TestWithParam<FamilyParam> {};
+
+} // namespace
+
+TEST_P(DrfFamilyTest, IsDRFUnderBothSemantics) {
+  Program P = build(GetParam());
+  EXPECT_TRUE(isDRF(P));
+  EXPECT_TRUE(isNPDRF(P));
+}
+
+TEST_P(DrfFamilyTest, PreemptiveEqualsNonPreemptive) {
+  Program P = build(GetParam());
+  TraceSet Pre = preemptiveTraces(P);
+  TraceSet Np = nonPreemptiveTraces(P);
+  RefineResult R = equivTraces(Pre, Np);
+  EXPECT_TRUE(R.Holds) << "cex: " << R.CounterExample;
+  EXPECT_TRUE(R.Definitive);
+}
+
+TEST_P(DrfFamilyTest, NonPreemptiveNeverExploresMore) {
+  Program P = build(GetParam());
+  ExploreStats PreS, NpS;
+  (void)preemptiveTraces(P, {}, &PreS);
+  (void)nonPreemptiveTraces(P, {}, &NpS);
+  EXPECT_LE(NpS.States, PreS.States);
+}
+
+TEST_P(DrfFamilyTest, NeverAborts) {
+  Program P = build(GetParam());
+  EXPECT_TRUE(isSafe(P));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Families, DrfFamilyTest,
+    ::testing::Values(FamilyParam{"locked", 2, 1, 0},
+                      FamilyParam{"locked", 2, 1, 1},
+                      FamilyParam{"locked", 2, 1, 3},
+                      FamilyParam{"locked", 2, 2, 0},
+                      FamilyParam{"locked", 3, 1, 0},
+                      FamilyParam{"atomic", 2, 1, 0},
+                      FamilyParam{"atomic", 2, 3, 0},
+                      FamilyParam{"atomic", 2, 6, 0},
+                      FamilyParam{"atomic", 3, 1, 0},
+                      FamilyParam{"atomic", 3, 4, 0}),
+    paramName);
+
+namespace {
+class RacyFamilyTest : public ::testing::TestWithParam<unsigned> {};
+} // namespace
+
+TEST_P(RacyFamilyTest, BothDetectorsAgreeOnRacy) {
+  Program P = workload::racyCounter(GetParam());
+  EXPECT_FALSE(isDRF(P));
+  EXPECT_FALSE(isNPDRF(P));
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, RacyFamilyTest,
+                         ::testing::Values(2u, 3u));
+
+TEST(LockedCounterProperties, PrintsArePermutations) {
+  // Every terminating trace of the N-thread 1-increment counter prints
+  // exactly the values 0..N-1 (each increment observes a distinct value).
+  for (unsigned Threads : {2u, 3u}) {
+    Program P = workload::lockedCounter(Threads, 1, 0);
+    TraceSet T = preemptiveTraces(P);
+    ASSERT_FALSE(T.hasAbort());
+    bool SawDone = false;
+    for (const Trace &Tr : T.traces()) {
+      if (Tr.End != TraceEnd::Done)
+        continue;
+      SawDone = true;
+      std::vector<int64_t> Sorted = Tr.Events;
+      std::sort(Sorted.begin(), Sorted.end());
+      std::vector<int64_t> Expect;
+      for (unsigned I = 0; I < Threads; ++I)
+        Expect.push_back(I);
+      EXPECT_EQ(Sorted, Expect) << Tr.toString();
+    }
+    EXPECT_TRUE(SawDone);
+  }
+}
+
+TEST(LockedCounterProperties, MultiIncrementTotalsAreExact) {
+  // 2 threads x 2 increments: 4 prints; the multiset of printed values
+  // must be {0,1,2,3} in every terminating trace.
+  Program P = workload::lockedCounter(2, 2, 0);
+  TraceSet T = preemptiveTraces(P);
+  ASSERT_FALSE(T.hasAbort());
+  for (const Trace &Tr : T.traces()) {
+    if (Tr.End != TraceEnd::Done)
+      continue;
+    std::vector<int64_t> Sorted = Tr.Events;
+    std::sort(Sorted.begin(), Sorted.end());
+    EXPECT_EQ(Sorted, (std::vector<int64_t>{0, 1, 2, 3})) << Tr.toString();
+  }
+}
+
+TEST(LockedCounterProperties, RacyCounterCanLoseUpdates) {
+  // The unsynchronized counter admits the lost-update outcome (both
+  // threads print 0) — the reason the lock exists.
+  Program P = workload::racyCounter(2);
+  TraceSet T = preemptiveTraces(P);
+  EXPECT_TRUE(T.contains(Trace{{0, 0}, TraceEnd::Done}));
+}
+
+TEST(CrossLanguageClients, CImpAndClightClientsAgree) {
+  // The same counter protocol written in CImp and in Clight produces the
+  // same observable behavior against the same lock object.
+  TraceSet A = preemptiveTraces(workload::lockedCounter(2, 1, 0));
+  TraceSet B = preemptiveTraces(workload::clightLockedCounter(2));
+  RefineResult R = equivTraces(A, B);
+  EXPECT_TRUE(R.Holds) << R.CounterExample;
+}
+
+TEST(CrossLanguageClients, AsmClientAgreesUnderSC) {
+  TraceSet A = preemptiveTraces(workload::lockedCounter(2, 1, 0));
+  TraceSet B = preemptiveTraces(
+      workload::asmCounterWithPiLock(x86::MemModel::SC, 2));
+  // pi_lock adds divergence traces under unfair schedules but the same
+  // terminating behaviors.
+  RefineResult R =
+      refinesTraces(B.collapseTermination(), A.collapseTermination());
+  EXPECT_TRUE(R.Holds) << R.CounterExample;
+}
+
+TEST(TsoProperties, TsoIsASupersetOfScBehaviors) {
+  for (bool Fenced : {false, true}) {
+    TraceSet Sc =
+        preemptiveTraces(workload::sbLitmus(x86::MemModel::SC, Fenced));
+    TraceSet Tso =
+        preemptiveTraces(workload::sbLitmus(x86::MemModel::TSO, Fenced));
+    RefineResult R = refinesTraces(Sc, Tso);
+    EXPECT_TRUE(R.Holds) << "fenced=" << Fenced << " cex "
+                         << R.CounterExample;
+  }
+}
+
+TEST(TsoProperties, MessagePassingPreservedByFifoBuffers) {
+  TraceSet T = preemptiveTraces(workload::mpLitmus(x86::MemModel::TSO));
+  // The receiver, once past the flag, always reads 42 — never stale 0.
+  for (const Trace &Tr : T.traces()) {
+    for (int64_t E : Tr.Events)
+      EXPECT_EQ(E, 42) << Tr.toString();
+  }
+  EXPECT_TRUE(T.contains(Trace{{42}, TraceEnd::Done}));
+}

@@ -1,0 +1,162 @@
+//===- tests/SimNegativeTest.cpp - The simulation's teeth ------------------===//
+//
+// Adversarial tests: deliberately wrong "compilations" that the
+// footprint-preserving simulation (Defs. 2-3) must refute. Each case
+// isolates one obligation of Def. 3: message equality, footprint
+// matching (FPmatch/LG), memory invariance (Inv), robustness under Rely
+// interference, and termination preservation (the well-founded index).
+//
+//===----------------------------------------------------------------------===//
+
+#include "clight/ClightLang.h"
+#include "validate/Sim.h"
+
+#include <gtest/gtest.h>
+
+using namespace ccc;
+using namespace ccc::validate;
+
+namespace {
+
+SimReport checkClight(const char *Src, const char *Tgt,
+                      const std::string &Entry = "main") {
+  Program S, T;
+  clight::addClightModule(S, "m", Src);
+  clight::addClightModule(T, "m", Tgt);
+  S.link();
+  T.link();
+  return simCheck(S, 0, T, 0, Entry, {});
+}
+
+} // namespace
+
+TEST(SimRefutes, WrongEventValue) {
+  SimReport R = checkClight("void main() { print(1); }",
+                            "void main() { print(2); }");
+  EXPECT_FALSE(R.Holds);
+}
+
+TEST(SimRefutes, DroppedEvent) {
+  SimReport R = checkClight("void main() { print(1); print(2); }",
+                            "void main() { print(1); }");
+  EXPECT_FALSE(R.Holds);
+}
+
+TEST(SimRefutes, DuplicatedEvent) {
+  SimReport R = checkClight("void main() { print(1); }",
+                            "void main() { print(1); print(1); }");
+  EXPECT_FALSE(R.Holds);
+}
+
+TEST(SimRefutes, ReorderedEvents) {
+  SimReport R = checkClight("void main() { print(1); print(2); }",
+                            "void main() { print(2); print(1); }");
+  EXPECT_FALSE(R.Holds);
+}
+
+TEST(SimRefutes, WrongCallee) {
+  SimReport R = checkClight(
+      "extern void lock(); void main() { lock(); print(1); }",
+      "extern void unlock(); void main() { unlock(); print(1); }");
+  EXPECT_FALSE(R.Holds);
+}
+
+TEST(SimRefutes, DroppedExternalCall) {
+  SimReport R = checkClight(
+      "extern void lock(); void main() { lock(); print(1); }",
+      "void main() { print(1); }");
+  EXPECT_FALSE(R.Holds);
+}
+
+TEST(SimRefutes, WrongReturnValue) {
+  SimReport R = checkClight("int main() { return 4; }",
+                            "int main() { return 5; }", "main");
+  EXPECT_FALSE(R.Holds);
+}
+
+TEST(SimRefutes, ExtraSharedWrite) {
+  // The target writes a global the source does not: caught by FPmatch
+  // inside LG even though no event differs.
+  SimReport R = checkClight(
+      "int g = 0; void main() { int a = 1; print(a); }",
+      "int g = 0; void main() { g = 9; print(1); }");
+  EXPECT_FALSE(R.Holds);
+}
+
+TEST(SimRefutes, WrongSharedValueAtSwitchPoint) {
+  // Both write g, so FPmatch passes — but the values differ, which Inv
+  // (inside LG) catches at the event.
+  SimReport R = checkClight(
+      "int g = 0; void main() { g = 1; print(7); }",
+      "int g = 0; void main() { g = 2; print(7); }");
+  EXPECT_FALSE(R.Holds);
+}
+
+TEST(SimRefutes, CachingAcrossCallUnderRely) {
+  // The classic unsound optimization: reusing a pre-call read after the
+  // call. Sequentially indistinguishable; refuted under Rely.
+  SimReport R = checkClight(R"(
+    extern void sync();
+    int g = 0;
+    void main() {
+      int a;
+      int b;
+      a = g;
+      sync();
+      b = g;
+      print(a + b);
+    }
+  )",
+                            R"(
+    extern void sync();
+    int g = 0;
+    void main() {
+      int a;
+      int b;
+      a = g;
+      sync();
+      b = a;
+      print(a + b);
+    }
+  )");
+  EXPECT_FALSE(R.Holds);
+}
+
+TEST(SimRefutes, TerminationViolation) {
+  // The target diverges silently where the source terminates: the
+  // stuttering budget (the well-founded index of Def. 3) runs out.
+  SimReport R = checkClight("void main() { print(3); }",
+                            "void main() { while (1) { } print(3); }");
+  EXPECT_FALSE(R.Holds);
+}
+
+TEST(SimRefutes, TargetAbortsWhereSourceIsSafe) {
+  SimReport R = checkClight(
+      "void main() { int a = 4; print(a); }",
+      "void main() { int a = 4; int b = 0; print(a / b); }");
+  EXPECT_FALSE(R.Holds);
+}
+
+TEST(SimAccepts, HarmlessRefactorings) {
+  // Sanity: semantically equal rewrites are accepted.
+  SimReport R1 = checkClight(
+      "void main() { int a = 2; int b = 3; print(a + b); }",
+      "void main() { int b = 3; int a = 2; print(b + a); }");
+  EXPECT_TRUE(R1.Holds) << R1.FailReason;
+
+  SimReport R2 = checkClight(
+      "int g = 0; void main() { g = 1; g = 2; print(g); }",
+      "int g = 0; void main() { g = 2; print(2); }");
+  // Removing the dead store to g: target writes subset of source writes,
+  // same final shared state at the event — accepted.
+  EXPECT_TRUE(R2.Holds) << R2.FailReason;
+}
+
+TEST(SimAccepts, WriteToReadWeakening) {
+  // FPmatch allows the target to *read* what the source wrote. The
+  // source writes g unconditionally; the target re-reads it afterwards.
+  SimReport R = checkClight(
+      "int g = 0; void main() { g = 5; print(5); }",
+      "int g = 0; void main() { int t; g = 5; t = g; print(t); }");
+  EXPECT_TRUE(R.Holds) << R.FailReason;
+}

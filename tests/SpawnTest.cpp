@@ -1,0 +1,143 @@
+//===- tests/SpawnTest.cpp - Dynamic thread creation -----------------------===//
+//
+// Tests for the thread-spawn extension (the paper's Sec. 8 future work:
+// "the spawn step in the operational semantics needs to assign a new F
+// to each newly created thread"): spawned threads get disjoint free
+// lists, participate in scheduling, race detection, and the
+// preemptive/non-preemptive equivalence.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cimp/CImpLang.h"
+#include "core/Semantics.h"
+#include "sync/LockLib.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace ccc;
+
+namespace {
+Program spawnProgram(const std::string &Src,
+                     std::vector<std::string> Entries = {"main"}) {
+  Program P;
+  cimp::addCImpModule(P, "m", Src);
+  for (auto &E : Entries)
+    P.addThread(E);
+  P.link();
+  return P;
+}
+} // namespace
+
+TEST(Spawn, SpawnedThreadRuns) {
+  Program P = spawnProgram(R"(
+    child() { print(2); }
+    main() { print(1); spawn child(); print(3); }
+  )");
+  TraceSet T = preemptiveTraces(P);
+  EXPECT_TRUE(T.contains(Trace{{1, 3, 2}, TraceEnd::Done}));
+  EXPECT_TRUE(T.contains(Trace{{1, 2, 3}, TraceEnd::Done}));
+  // The child can only run after the spawn: 2 never precedes 1.
+  for (const Trace &Tr : T.traces())
+    if (!Tr.Events.empty())
+      EXPECT_EQ(Tr.Events[0], 1) << Tr.toString();
+}
+
+TEST(Spawn, ArgumentsArePassed) {
+  Program P = spawnProgram(R"(
+    child(v) { print(v * 10); }
+    main() { spawn child(4); }
+  )");
+  TraceSet T = preemptiveTraces(P);
+  EXPECT_TRUE(T.contains(Trace{{40}, TraceEnd::Done}));
+}
+
+TEST(Spawn, UnknownEntryAborts) {
+  Program P = spawnProgram("main() { spawn nosuch(); }");
+  std::string Reason;
+  EXPECT_FALSE(isSafe(P, {}, &Reason));
+  EXPECT_NE(Reason.find("spawn"), std::string::npos);
+}
+
+TEST(Spawn, SpawnedThreadsHaveDisjointLocals) {
+  // Two spawned workers run function-local loops; their register locals
+  // and (if any) frame cells never interfere.
+  Program P = spawnProgram(R"(
+    worker(k) {
+      i := 0;
+      s := 0;
+      while (i < 3) { s := s + k; i := i + 1; }
+      print(s);
+    }
+    main() { spawn worker(1); spawn worker(100); }
+  )");
+  EXPECT_TRUE(isDRF(P));
+  TraceSet T = preemptiveTraces(P);
+  for (const Trace &Tr : T.traces()) {
+    ASSERT_EQ(Tr.End, TraceEnd::Done);
+    std::vector<int64_t> Sorted = Tr.Events;
+    std::sort(Sorted.begin(), Sorted.end());
+    EXPECT_EQ(Sorted, (std::vector<int64_t>{3, 300})) << Tr.toString();
+  }
+}
+
+TEST(Spawn, RacesWithSpawnerAreDetected) {
+  Program P = spawnProgram(R"(
+    global x = 0;
+    child() { [x] := 1; }
+    main() { spawn child(); [x] := 2; }
+  )");
+  EXPECT_FALSE(isDRF(P));
+  EXPECT_FALSE(isNPDRF(P));
+}
+
+TEST(Spawn, LockSynchronizedSpawnIsDRF) {
+  Program P;
+  cimp::addCImpModule(P, "m", R"(
+    global x = 0;
+    child() { lock(); v := [x]; [x] := v + 1; unlock(); print(v); }
+    main() { spawn child(); lock(); v := [x]; [x] := v + 1; unlock(); print(v); }
+  )");
+  sync::addGammaLock(P);
+  P.addThread("main");
+  P.link();
+  EXPECT_TRUE(isDRF(P));
+  TraceSet T = preemptiveTraces(P);
+  EXPECT_FALSE(T.hasAbort());
+  for (const Trace &Tr : T.traces()) {
+    if (Tr.End != TraceEnd::Done)
+      continue;
+    std::vector<int64_t> Sorted = Tr.Events;
+    std::sort(Sorted.begin(), Sorted.end());
+    EXPECT_EQ(Sorted, (std::vector<int64_t>{0, 1})) << Tr.toString();
+  }
+}
+
+TEST(Spawn, PreemptiveEqualsNonPreemptiveWithSpawn) {
+  Program P = spawnProgram(R"(
+    global x = 0;
+    child() { < v := [x]; [x] := v + 5; > print(5); }
+    main() { spawn child(); < v := [x]; [x] := v + 2; > print(2); }
+  )");
+  ASSERT_TRUE(isDRF(P));
+  TraceSet Pre = preemptiveTraces(P);
+  TraceSet Np = nonPreemptiveTraces(P);
+  RefineResult R = equivTraces(Pre, Np);
+  EXPECT_TRUE(R.Holds) << "cex: " << R.CounterExample << "\npre "
+                       << Pre.toString() << "\nnp " << Np.toString();
+}
+
+TEST(Spawn, GrandchildrenWork) {
+  Program P = spawnProgram(R"(
+    grandchild() { print(3); }
+    child() { print(2); spawn grandchild(); }
+    main() { print(1); spawn child(); }
+  )");
+  TraceSet T = preemptiveTraces(P);
+  // Order respects the spawn chain: 1 before 2 before 3.
+  for (const Trace &Tr : T.traces()) {
+    ASSERT_EQ(Tr.End, TraceEnd::Done);
+    EXPECT_EQ(Tr.Events, (std::vector<int64_t>{1, 2, 3}));
+  }
+}

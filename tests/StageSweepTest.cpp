@@ -1,0 +1,172 @@
+//===- tests/StageSweepTest.cpp - wd/det/sim sweeps over the pipeline ------===//
+//
+// Parameterized sweeps discharging the framework's language-level side
+// conditions on every IR of the pipeline (Theorem 12's premises wd(sl),
+// wd(tl), det(tl)) and the per-pass simulation (Correct, Def. 10), over
+// several client programs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "compiler/Compiler.h"
+#include "validate/PassValidator.h"
+#include "validate/Sim.h"
+#include "validate/Wd.h"
+
+#include <gtest/gtest.h>
+
+using namespace ccc;
+using namespace ccc::validate;
+
+namespace {
+
+struct Scenario {
+  const char *Name;
+  const char *Source;
+  const char *Entry;
+};
+
+const Scenario Scenarios[] = {
+    {"straightline",
+     "int g = 2; void main() { int a = 5; g = g * a; print(g + a); }",
+     "main"},
+    {"branching",
+     "void main() { int a = 4; if (a % 2 == 0) { print(a); } else { "
+     "print(-a); } while (a > 0) { a = a - 1; } print(a); }",
+     "main"},
+    {"functions",
+     "int dbl(int x) { return x + x; } void main() { int v; v = dbl(8); "
+     "print(v); }",
+     "main"},
+    {"externs",
+     "extern void lock(); extern void unlock(); int x = 0; void main() { "
+     "lock(); x = x + 1; unlock(); print(x); }",
+     "main"},
+};
+
+struct SweepParam {
+  int ScenarioIdx;
+  unsigned Stage;
+};
+
+std::string sweepName(const ::testing::TestParamInfo<SweepParam> &Info) {
+  std::string Stage = compiler::stageName(Info.param.Stage);
+  for (char &C : Stage)
+    if (!isalnum(static_cast<unsigned char>(C)))
+      C = '_';
+  return std::string(Scenarios[Info.param.ScenarioIdx].Name) + "_" + Stage;
+}
+
+class StageSweep : public ::testing::TestWithParam<SweepParam> {};
+
+} // namespace
+
+TEST_P(StageSweep, LanguageIsWellDefined) {
+  const Scenario &Sc = Scenarios[GetParam().ScenarioIdx];
+  auto R = compiler::compileClightSource(Sc.Source);
+  Program P;
+  unsigned Mod = compiler::addStage(P, R, GetParam().Stage, "m");
+  P.link();
+  CheckReport Rep = wdCheck(P, Mod, Sc.Entry, {});
+  EXPECT_TRUE(Rep.Ok) << compiler::stageName(GetParam().Stage) << ": "
+                      << (Rep.Violations.empty() ? "" : Rep.Violations[0]);
+  EXPECT_GT(Rep.StatesChecked, 0u);
+}
+
+TEST_P(StageSweep, LanguageIsDeterministic) {
+  const Scenario &Sc = Scenarios[GetParam().ScenarioIdx];
+  auto R = compiler::compileClightSource(Sc.Source);
+  Program P;
+  unsigned Mod = compiler::addStage(P, R, GetParam().Stage, "m");
+  P.link();
+  CheckReport Rep = detCheck(P, Mod, Sc.Entry, {});
+  EXPECT_TRUE(Rep.Ok) << compiler::stageName(GetParam().Stage);
+}
+
+TEST_P(StageSweep, ModuleIsReachClosed) {
+  const Scenario &Sc = Scenarios[GetParam().ScenarioIdx];
+  auto R = compiler::compileClightSource(Sc.Source);
+  Program P;
+  unsigned Mod = compiler::addStage(P, R, GetParam().Stage, "m");
+  P.link();
+  CheckReport Rep = reachCloseCheck(P, Mod, Sc.Entry, {});
+  EXPECT_TRUE(Rep.Ok) << compiler::stageName(GetParam().Stage) << ": "
+                      << (Rep.Violations.empty() ? "" : Rep.Violations[0]);
+}
+
+namespace {
+std::vector<SweepParam> allSweepParams() {
+  std::vector<SweepParam> Out;
+  for (int S = 0; S < 4; ++S)
+    for (unsigned Stage = 0; Stage < compiler::numStages(); ++Stage)
+      Out.push_back({S, Stage});
+  return Out;
+}
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(AllStages, StageSweep,
+                         ::testing::ValuesIn(allSweepParams()), sweepName);
+
+// ---------------------------------------------------------------------------
+// Per-pass simulation sweep (Def. 10 for every pass x scenario).
+// ---------------------------------------------------------------------------
+
+namespace {
+
+struct PassParam {
+  int ScenarioIdx;
+  unsigned Pass; // 0..11: stage Pass -> Pass+1
+};
+
+std::string passName(const ::testing::TestParamInfo<PassParam> &Info) {
+  return std::string(Scenarios[Info.param.ScenarioIdx].Name) + "_" +
+         compiler::passNames()[Info.param.Pass];
+}
+
+class PassSweep : public ::testing::TestWithParam<PassParam> {};
+
+} // namespace
+
+TEST_P(PassSweep, SimulationHolds) {
+  const Scenario &Sc = Scenarios[GetParam().ScenarioIdx];
+  auto R = compiler::compileClightSource(Sc.Source);
+  Program Src, Tgt;
+  unsigned SM = compiler::addStage(Src, R, GetParam().Pass, "m");
+  unsigned TM = compiler::addStage(Tgt, R, GetParam().Pass + 1, "m");
+  Src.link();
+  Tgt.link();
+  SimReport Rep = simCheck(Src, SM, Tgt, TM, Sc.Entry, {});
+  EXPECT_TRUE(Rep.Holds)
+      << compiler::passNames()[GetParam().Pass] << ": " << Rep.FailReason;
+}
+
+namespace {
+std::vector<PassParam> allPassParams() {
+  std::vector<PassParam> Out;
+  for (int S = 0; S < 4; ++S)
+    for (unsigned Pass = 0; Pass < 12; ++Pass)
+      Out.push_back({S, Pass});
+  return Out;
+}
+} // namespace
+
+INSTANTIATE_TEST_SUITE_P(AllPasses, PassSweep,
+                         ::testing::ValuesIn(allPassParams()), passName);
+
+// ---------------------------------------------------------------------------
+// Transitivity (Lemma 5) spot checks: stage i simulates stage k directly.
+// ---------------------------------------------------------------------------
+
+TEST(SimTransitivity, ClightSimulatedByDistantStages) {
+  auto R = compiler::compileClightSource(Scenarios[0].Source);
+  for (unsigned Stage : {4u, 7u, 12u}) {
+    Program Src, Tgt;
+    unsigned SM = compiler::addStage(Src, R, 0, "m");
+    unsigned TM = compiler::addStage(Tgt, R, Stage, "m");
+    Src.link();
+    Tgt.link();
+    SimReport Rep = simCheck(Src, SM, Tgt, TM, "main", {});
+    EXPECT_TRUE(Rep.Holds)
+        << "Clight -> " << compiler::stageName(Stage) << ": "
+        << Rep.FailReason;
+  }
+}

@@ -1,0 +1,294 @@
+//===- tests/X86SemanticsTest.cpp - Instruction-level x86 tests ------------===//
+//
+// Fine-grained unit tests of the x86 machines: ALU semantics (including
+// 32-bit wrap-around), every condition code, cmpxchg success/failure,
+// store-buffer FIFO order, buffer snooping, and drain discipline.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Semantics.h"
+#include "x86/X86Lang.h"
+
+#include <gtest/gtest.h>
+
+using namespace ccc;
+using namespace ccc::x86;
+
+namespace {
+
+Trace doneTrace(std::vector<int64_t> Ev) {
+  return Trace{std::move(Ev), TraceEnd::Done};
+}
+
+/// Runs a single-threaded function under the given model and returns its
+/// unique trace events.
+TraceSet runAsm(const std::string &Body, MemModel Model) {
+  Program P;
+  addAsmModule(P, "m", Body, Model);
+  P.addThread("main");
+  P.link();
+  return preemptiveTraces(P);
+}
+
+} // namespace
+
+TEST(X86Alu, WrapAroundArithmetic) {
+  TraceSet T = runAsm(R"(
+    .entry main 0 0
+    main:
+            movl $2147483647, %eax
+            addl $1, %eax
+            printl %eax
+            movl $0, %ebx
+            subl $1, %ebx
+            printl %ebx
+            retl
+  )",
+                      MemModel::SC);
+  ASSERT_EQ(T.size(), 1u);
+  EXPECT_TRUE(T.contains(doneTrace({-2147483648LL, -1})));
+}
+
+TEST(X86Alu, ShiftsAndBitwise) {
+  TraceSet T = runAsm(R"(
+    .entry main 0 0
+    main:
+            movl $5, %eax
+            shll $3, %eax
+            printl %eax
+            movl $16, %ebx
+            negl %ebx
+            sarl $2, %ebx
+            printl %ebx
+            movl $12, %ecx
+            andl $10, %ecx
+            printl %ecx
+            movl $12, %edx
+            orl $3, %edx
+            printl %edx
+            movl $12, %esi
+            xorl $10, %esi
+            printl %esi
+            retl
+  )",
+                      MemModel::SC);
+  EXPECT_TRUE(T.contains(doneTrace({40, -4, 8, 15, 6})));
+}
+
+TEST(X86Alu, NegNotDiv) {
+  TraceSet T = runAsm(R"(
+    .entry main 0 0
+    main:
+            movl $7, %eax
+            negl %eax
+            printl %eax
+            movl $0, %ebx
+            notl %ebx
+            printl %ebx
+            movl $17, %ecx
+            negl %ecx
+            divl $5, %ecx
+            printl %ecx
+            retl
+  )",
+                      MemModel::SC);
+  // C-style truncation: -17 / 5 == -3.
+  EXPECT_TRUE(T.contains(doneTrace({-7, -1, -3})));
+}
+
+namespace {
+struct CondCase {
+  const char *Mnemonic;
+  int32_t Lhs, Rhs; // cmpl $Rhs, reg(Lhs)
+  bool Taken;
+};
+class CondTest : public ::testing::TestWithParam<CondCase> {};
+} // namespace
+
+TEST_P(CondTest, JccTakesTheRightBranch) {
+  const CondCase &C = GetParam();
+  std::string MovLhs = C.Lhs >= 0
+      ? "movl $" + std::to_string(C.Lhs) + ", %eax"
+      : "movl $" + std::to_string(-static_cast<int64_t>(C.Lhs)) +
+            ", %eax\n            negl %eax";
+  std::string Src = std::string(R"(
+    .entry main 0 0
+    main:
+            )") + MovLhs + R"(
+            cmpl $)" + std::to_string(C.Rhs) + R"(, %eax
+            )" + C.Mnemonic + R"( yes
+            printl $0
+            retl
+    yes:
+            printl $1
+            retl
+  )";
+  TraceSet T = runAsm(Src, MemModel::SC);
+  ASSERT_EQ(T.size(), 1u);
+  EXPECT_TRUE(T.contains(doneTrace({C.Taken ? 1 : 0})))
+      << C.Mnemonic << " " << C.Lhs << " vs " << C.Rhs;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllConds, CondTest,
+    ::testing::Values(CondCase{"je", 3, 3, true},
+                      CondCase{"je", 3, 4, false},
+                      CondCase{"jne", 3, 4, true},
+                      CondCase{"jne", 4, 4, false},
+                      CondCase{"jl", -1, 0, true},
+                      CondCase{"jl", 0, 0, false},
+                      CondCase{"jle", 0, 0, true},
+                      CondCase{"jle", 1, 0, false},
+                      CondCase{"jg", 5, 4, true},
+                      CondCase{"jg", 4, 5, false},
+                      CondCase{"jge", 4, 4, true},
+                      CondCase{"jge", 3, 4, false}));
+
+TEST(X86Cmpxchg, SuccessSwapsAndSetsZF) {
+  TraceSet T = runAsm(R"(
+    .data g 10
+    .entry main 0 0
+    main:
+            movl $10, %eax
+            movl $77, %ebx
+            movl $g, %ecx
+            lock cmpxchgl %ebx, (%ecx)
+            jne fail
+            movl g, %edx
+            printl %edx
+            retl
+    fail:
+            printl $111
+            retl
+  )",
+                      MemModel::SC);
+  EXPECT_TRUE(T.contains(doneTrace({77})));
+}
+
+TEST(X86Cmpxchg, FailureLoadsOldValueIntoEax) {
+  TraceSet T = runAsm(R"(
+    .data g 10
+    .entry main 0 0
+    main:
+            movl $99, %eax
+            movl $77, %ebx
+            movl $g, %ecx
+            lock cmpxchgl %ebx, (%ecx)
+            je swapped
+            printl %eax
+            movl g, %edx
+            printl %edx
+            retl
+    swapped:
+            printl $111
+            retl
+  )",
+                      MemModel::SC);
+  // EAX receives the memory value 10; g is unchanged.
+  EXPECT_TRUE(T.contains(doneTrace({10, 10})));
+}
+
+TEST(X86Tso, BufferedStoresSnoopInOrder) {
+  // A thread sees its own latest buffered store.
+  TraceSet T = runAsm(R"(
+    .data g 0
+    .entry main 0 0
+    main:
+            movl $1, g
+            movl $2, g
+            movl g, %eax
+            printl %eax
+            retl
+  )",
+                      MemModel::TSO);
+  for (const Trace &Tr : T.traces())
+    EXPECT_EQ(Tr.Events, (std::vector<int64_t>{2})) << Tr.toString();
+}
+
+TEST(X86Tso, FlushesAreFifo) {
+  // Another thread can observe g1 updated while g2 still old — but never
+  // g2 new with g1 old (FIFO order).
+  Program P;
+  addAsmModule(P, "m", R"(
+    .data g1 0
+    .data g2 0
+    .entry t1 0 0
+    .entry t2 0 0
+    t1:
+            movl $1, g1
+            movl $1, g2
+            retl
+    t2:
+            movl g2, %eax
+            movl g1, %ebx
+            printl %eax
+            printl %ebx
+            retl
+  )",
+                MemModel::TSO);
+  P.addThread("t1");
+  P.addThread("t2");
+  P.link();
+  TraceSet T = preemptiveTraces(P);
+  // Forbidden: g2 == 1 observed while the earlier g1 store not visible.
+  EXPECT_FALSE(T.contains(doneTrace({1, 0})));
+  EXPECT_TRUE(T.contains(doneTrace({0, 0})));
+  EXPECT_TRUE(T.contains(doneTrace({1, 1})));
+}
+
+TEST(X86Tso, RetDrainsTheBuffer) {
+  // The callee's buffered store must be globally visible once the call
+  // returns (ret requires an empty buffer).
+  Program P;
+  addAsmModule(P, "m", R"(
+    .data g 0
+    .entry main 0 0
+    .entry setg 0 0
+    main:
+            call setg
+            movl g, %eax
+            printl %eax
+            retl
+    setg:
+            movl $5, g
+            retl
+  )",
+                MemModel::TSO);
+  P.addThread("main");
+  P.link();
+  TraceSet T = preemptiveTraces(P);
+  for (const Trace &Tr : T.traces())
+    EXPECT_EQ(Tr.Events, (std::vector<int64_t>{5})) << Tr.toString();
+}
+
+TEST(X86Errors, DivisionByZeroAborts) {
+  Program P;
+  addAsmModule(P, "m", R"(
+    .entry main 0 0
+    main:
+            movl $4, %eax
+            divl $0, %eax
+            retl
+  )",
+                MemModel::SC);
+  P.addThread("main");
+  P.link();
+  std::string Reason;
+  EXPECT_FALSE(isSafe(P, {}, &Reason));
+  EXPECT_NE(Reason.find("division"), std::string::npos);
+}
+
+TEST(X86Errors, LoadFromIntegerAddressAborts) {
+  Program P;
+  addAsmModule(P, "m", R"(
+    .entry main 0 0
+    main:
+            movl $123, %ecx
+            movl (%ecx), %eax
+            retl
+  )",
+                MemModel::SC);
+  P.addThread("main");
+  P.link();
+  EXPECT_FALSE(isSafe(P));
+}
