@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_drf.dir/bench_drf.cpp.o"
+  "CMakeFiles/bench_drf.dir/bench_drf.cpp.o.d"
+  "bench_drf"
+  "bench_drf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_drf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

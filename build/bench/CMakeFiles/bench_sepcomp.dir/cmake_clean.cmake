@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sepcomp.dir/bench_sepcomp.cpp.o"
+  "CMakeFiles/bench_sepcomp.dir/bench_sepcomp.cpp.o.d"
+  "bench_sepcomp"
+  "bench_sepcomp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sepcomp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dynamic_threads.dir/dynamic_threads.cpp.o"
+  "CMakeFiles/dynamic_threads.dir/dynamic_threads.cpp.o.d"
+  "dynamic_threads"
+  "dynamic_threads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dynamic_threads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spinlock_tso.dir/spinlock_tso.cpp.o"
+  "CMakeFiles/spinlock_tso.dir/spinlock_tso.cpp.o.d"
+  "spinlock_tso"
+  "spinlock_tso.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spinlock_tso.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

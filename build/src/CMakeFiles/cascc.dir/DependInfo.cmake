@@ -1,0 +1,57 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cimp/CImpLang.cpp" "src/CMakeFiles/cascc.dir/cimp/CImpLang.cpp.o" "gcc" "src/CMakeFiles/cascc.dir/cimp/CImpLang.cpp.o.d"
+  "/root/repo/src/cimp/CImpParser.cpp" "src/CMakeFiles/cascc.dir/cimp/CImpParser.cpp.o" "gcc" "src/CMakeFiles/cascc.dir/cimp/CImpParser.cpp.o.d"
+  "/root/repo/src/clight/ClightLang.cpp" "src/CMakeFiles/cascc.dir/clight/ClightLang.cpp.o" "gcc" "src/CMakeFiles/cascc.dir/clight/ClightLang.cpp.o.d"
+  "/root/repo/src/clight/ClightParser.cpp" "src/CMakeFiles/cascc.dir/clight/ClightParser.cpp.o" "gcc" "src/CMakeFiles/cascc.dir/clight/ClightParser.cpp.o.d"
+  "/root/repo/src/compiler/Allocation.cpp" "src/CMakeFiles/cascc.dir/compiler/Allocation.cpp.o" "gcc" "src/CMakeFiles/cascc.dir/compiler/Allocation.cpp.o.d"
+  "/root/repo/src/compiler/Asmgen.cpp" "src/CMakeFiles/cascc.dir/compiler/Asmgen.cpp.o" "gcc" "src/CMakeFiles/cascc.dir/compiler/Asmgen.cpp.o.d"
+  "/root/repo/src/compiler/Cminorgen.cpp" "src/CMakeFiles/cascc.dir/compiler/Cminorgen.cpp.o" "gcc" "src/CMakeFiles/cascc.dir/compiler/Cminorgen.cpp.o.d"
+  "/root/repo/src/compiler/Compiler.cpp" "src/CMakeFiles/cascc.dir/compiler/Compiler.cpp.o" "gcc" "src/CMakeFiles/cascc.dir/compiler/Compiler.cpp.o.d"
+  "/root/repo/src/compiler/ConstProp.cpp" "src/CMakeFiles/cascc.dir/compiler/ConstProp.cpp.o" "gcc" "src/CMakeFiles/cascc.dir/compiler/ConstProp.cpp.o.d"
+  "/root/repo/src/compiler/Cshmgen.cpp" "src/CMakeFiles/cascc.dir/compiler/Cshmgen.cpp.o" "gcc" "src/CMakeFiles/cascc.dir/compiler/Cshmgen.cpp.o.d"
+  "/root/repo/src/compiler/Lineage.cpp" "src/CMakeFiles/cascc.dir/compiler/Lineage.cpp.o" "gcc" "src/CMakeFiles/cascc.dir/compiler/Lineage.cpp.o.d"
+  "/root/repo/src/compiler/RTLOpt.cpp" "src/CMakeFiles/cascc.dir/compiler/RTLOpt.cpp.o" "gcc" "src/CMakeFiles/cascc.dir/compiler/RTLOpt.cpp.o.d"
+  "/root/repo/src/compiler/RTLgen.cpp" "src/CMakeFiles/cascc.dir/compiler/RTLgen.cpp.o" "gcc" "src/CMakeFiles/cascc.dir/compiler/RTLgen.cpp.o.d"
+  "/root/repo/src/compiler/Selection.cpp" "src/CMakeFiles/cascc.dir/compiler/Selection.cpp.o" "gcc" "src/CMakeFiles/cascc.dir/compiler/Selection.cpp.o.d"
+  "/root/repo/src/core/ModuleLang.cpp" "src/CMakeFiles/cascc.dir/core/ModuleLang.cpp.o" "gcc" "src/CMakeFiles/cascc.dir/core/ModuleLang.cpp.o.d"
+  "/root/repo/src/core/NPWorld.cpp" "src/CMakeFiles/cascc.dir/core/NPWorld.cpp.o" "gcc" "src/CMakeFiles/cascc.dir/core/NPWorld.cpp.o.d"
+  "/root/repo/src/core/Program.cpp" "src/CMakeFiles/cascc.dir/core/Program.cpp.o" "gcc" "src/CMakeFiles/cascc.dir/core/Program.cpp.o.d"
+  "/root/repo/src/core/Semantics.cpp" "src/CMakeFiles/cascc.dir/core/Semantics.cpp.o" "gcc" "src/CMakeFiles/cascc.dir/core/Semantics.cpp.o.d"
+  "/root/repo/src/core/Trace.cpp" "src/CMakeFiles/cascc.dir/core/Trace.cpp.o" "gcc" "src/CMakeFiles/cascc.dir/core/Trace.cpp.o.d"
+  "/root/repo/src/core/World.cpp" "src/CMakeFiles/cascc.dir/core/World.cpp.o" "gcc" "src/CMakeFiles/cascc.dir/core/World.cpp.o.d"
+  "/root/repo/src/core/WorldCommon.cpp" "src/CMakeFiles/cascc.dir/core/WorldCommon.cpp.o" "gcc" "src/CMakeFiles/cascc.dir/core/WorldCommon.cpp.o.d"
+  "/root/repo/src/ir/CminorLang.cpp" "src/CMakeFiles/cascc.dir/ir/CminorLang.cpp.o" "gcc" "src/CMakeFiles/cascc.dir/ir/CminorLang.cpp.o.d"
+  "/root/repo/src/ir/CsharpminorLang.cpp" "src/CMakeFiles/cascc.dir/ir/CsharpminorLang.cpp.o" "gcc" "src/CMakeFiles/cascc.dir/ir/CsharpminorLang.cpp.o.d"
+  "/root/repo/src/ir/IRPrinter.cpp" "src/CMakeFiles/cascc.dir/ir/IRPrinter.cpp.o" "gcc" "src/CMakeFiles/cascc.dir/ir/IRPrinter.cpp.o.d"
+  "/root/repo/src/ir/LinearLang.cpp" "src/CMakeFiles/cascc.dir/ir/LinearLang.cpp.o" "gcc" "src/CMakeFiles/cascc.dir/ir/LinearLang.cpp.o.d"
+  "/root/repo/src/ir/Ops.cpp" "src/CMakeFiles/cascc.dir/ir/Ops.cpp.o" "gcc" "src/CMakeFiles/cascc.dir/ir/Ops.cpp.o.d"
+  "/root/repo/src/ir/RTLLang.cpp" "src/CMakeFiles/cascc.dir/ir/RTLLang.cpp.o" "gcc" "src/CMakeFiles/cascc.dir/ir/RTLLang.cpp.o.d"
+  "/root/repo/src/mem/Mem.cpp" "src/CMakeFiles/cascc.dir/mem/Mem.cpp.o" "gcc" "src/CMakeFiles/cascc.dir/mem/Mem.cpp.o.d"
+  "/root/repo/src/mem/MemPred.cpp" "src/CMakeFiles/cascc.dir/mem/MemPred.cpp.o" "gcc" "src/CMakeFiles/cascc.dir/mem/MemPred.cpp.o.d"
+  "/root/repo/src/support/Lexer.cpp" "src/CMakeFiles/cascc.dir/support/Lexer.cpp.o" "gcc" "src/CMakeFiles/cascc.dir/support/Lexer.cpp.o.d"
+  "/root/repo/src/support/StrUtil.cpp" "src/CMakeFiles/cascc.dir/support/StrUtil.cpp.o" "gcc" "src/CMakeFiles/cascc.dir/support/StrUtil.cpp.o.d"
+  "/root/repo/src/sync/LockLib.cpp" "src/CMakeFiles/cascc.dir/sync/LockLib.cpp.o" "gcc" "src/CMakeFiles/cascc.dir/sync/LockLib.cpp.o.d"
+  "/root/repo/src/validate/PassValidator.cpp" "src/CMakeFiles/cascc.dir/validate/PassValidator.cpp.o" "gcc" "src/CMakeFiles/cascc.dir/validate/PassValidator.cpp.o.d"
+  "/root/repo/src/validate/Sim.cpp" "src/CMakeFiles/cascc.dir/validate/Sim.cpp.o" "gcc" "src/CMakeFiles/cascc.dir/validate/Sim.cpp.o.d"
+  "/root/repo/src/validate/Wd.cpp" "src/CMakeFiles/cascc.dir/validate/Wd.cpp.o" "gcc" "src/CMakeFiles/cascc.dir/validate/Wd.cpp.o.d"
+  "/root/repo/src/workload/Workloads.cpp" "src/CMakeFiles/cascc.dir/workload/Workloads.cpp.o" "gcc" "src/CMakeFiles/cascc.dir/workload/Workloads.cpp.o.d"
+  "/root/repo/src/x86/X86Asm.cpp" "src/CMakeFiles/cascc.dir/x86/X86Asm.cpp.o" "gcc" "src/CMakeFiles/cascc.dir/x86/X86Asm.cpp.o.d"
+  "/root/repo/src/x86/X86Lang.cpp" "src/CMakeFiles/cascc.dir/x86/X86Lang.cpp.o" "gcc" "src/CMakeFiles/cascc.dir/x86/X86Lang.cpp.o.d"
+  "/root/repo/src/x86/X86Parser.cpp" "src/CMakeFiles/cascc.dir/x86/X86Parser.cpp.o" "gcc" "src/CMakeFiles/cascc.dir/x86/X86Parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for cascc.
+# This may be replaced when dependencies are built.

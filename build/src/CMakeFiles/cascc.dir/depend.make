@@ -1,0 +1,2 @@
+# Empty dependencies file for cascc.
+# This may be replaced when dependencies are built.

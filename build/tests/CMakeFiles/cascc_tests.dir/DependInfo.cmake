@@ -1,0 +1,39 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/CImpSemanticsTest.cpp" "tests/CMakeFiles/cascc_tests.dir/CImpSemanticsTest.cpp.o" "gcc" "tests/CMakeFiles/cascc_tests.dir/CImpSemanticsTest.cpp.o.d"
+  "/root/repo/tests/ClightTest.cpp" "tests/CMakeFiles/cascc_tests.dir/ClightTest.cpp.o" "gcc" "tests/CMakeFiles/cascc_tests.dir/ClightTest.cpp.o.d"
+  "/root/repo/tests/CompilerTest.cpp" "tests/CMakeFiles/cascc_tests.dir/CompilerTest.cpp.o" "gcc" "tests/CMakeFiles/cascc_tests.dir/CompilerTest.cpp.o.d"
+  "/root/repo/tests/ConstPropTest.cpp" "tests/CMakeFiles/cascc_tests.dir/ConstPropTest.cpp.o" "gcc" "tests/CMakeFiles/cascc_tests.dir/ConstPropTest.cpp.o.d"
+  "/root/repo/tests/DrfGuaranteeTest.cpp" "tests/CMakeFiles/cascc_tests.dir/DrfGuaranteeTest.cpp.o" "gcc" "tests/CMakeFiles/cascc_tests.dir/DrfGuaranteeTest.cpp.o.d"
+  "/root/repo/tests/ExplorerTest.cpp" "tests/CMakeFiles/cascc_tests.dir/ExplorerTest.cpp.o" "gcc" "tests/CMakeFiles/cascc_tests.dir/ExplorerTest.cpp.o.d"
+  "/root/repo/tests/FrontendDiagnosticsTest.cpp" "tests/CMakeFiles/cascc_tests.dir/FrontendDiagnosticsTest.cpp.o" "gcc" "tests/CMakeFiles/cascc_tests.dir/FrontendDiagnosticsTest.cpp.o.d"
+  "/root/repo/tests/GlobalSemanticsTest.cpp" "tests/CMakeFiles/cascc_tests.dir/GlobalSemanticsTest.cpp.o" "gcc" "tests/CMakeFiles/cascc_tests.dir/GlobalSemanticsTest.cpp.o.d"
+  "/root/repo/tests/LockObjectTest.cpp" "tests/CMakeFiles/cascc_tests.dir/LockObjectTest.cpp.o" "gcc" "tests/CMakeFiles/cascc_tests.dir/LockObjectTest.cpp.o.d"
+  "/root/repo/tests/MemTest.cpp" "tests/CMakeFiles/cascc_tests.dir/MemTest.cpp.o" "gcc" "tests/CMakeFiles/cascc_tests.dir/MemTest.cpp.o.d"
+  "/root/repo/tests/ObjectRefinementTest.cpp" "tests/CMakeFiles/cascc_tests.dir/ObjectRefinementTest.cpp.o" "gcc" "tests/CMakeFiles/cascc_tests.dir/ObjectRefinementTest.cpp.o.d"
+  "/root/repo/tests/OpsTest.cpp" "tests/CMakeFiles/cascc_tests.dir/OpsTest.cpp.o" "gcc" "tests/CMakeFiles/cascc_tests.dir/OpsTest.cpp.o.d"
+  "/root/repo/tests/PassStructureTest.cpp" "tests/CMakeFiles/cascc_tests.dir/PassStructureTest.cpp.o" "gcc" "tests/CMakeFiles/cascc_tests.dir/PassStructureTest.cpp.o.d"
+  "/root/repo/tests/PropertyTest.cpp" "tests/CMakeFiles/cascc_tests.dir/PropertyTest.cpp.o" "gcc" "tests/CMakeFiles/cascc_tests.dir/PropertyTest.cpp.o.d"
+  "/root/repo/tests/SimNegativeTest.cpp" "tests/CMakeFiles/cascc_tests.dir/SimNegativeTest.cpp.o" "gcc" "tests/CMakeFiles/cascc_tests.dir/SimNegativeTest.cpp.o.d"
+  "/root/repo/tests/SpawnTest.cpp" "tests/CMakeFiles/cascc_tests.dir/SpawnTest.cpp.o" "gcc" "tests/CMakeFiles/cascc_tests.dir/SpawnTest.cpp.o.d"
+  "/root/repo/tests/StageSweepTest.cpp" "tests/CMakeFiles/cascc_tests.dir/StageSweepTest.cpp.o" "gcc" "tests/CMakeFiles/cascc_tests.dir/StageSweepTest.cpp.o.d"
+  "/root/repo/tests/ValidateTest.cpp" "tests/CMakeFiles/cascc_tests.dir/ValidateTest.cpp.o" "gcc" "tests/CMakeFiles/cascc_tests.dir/ValidateTest.cpp.o.d"
+  "/root/repo/tests/X86SemanticsTest.cpp" "tests/CMakeFiles/cascc_tests.dir/X86SemanticsTest.cpp.o" "gcc" "tests/CMakeFiles/cascc_tests.dir/X86SemanticsTest.cpp.o.d"
+  "/root/repo/tests/X86Test.cpp" "tests/CMakeFiles/cascc_tests.dir/X86Test.cpp.o" "gcc" "tests/CMakeFiles/cascc_tests.dir/X86Test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/cascc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
