@@ -1,0 +1,461 @@
+//===- analysis/IRVerifier.cpp - Per-IR structural verifiers ---------------===//
+
+#include "analysis/IRVerifier.h"
+
+#include "support/StrUtil.h"
+
+#include <map>
+#include <set>
+
+using namespace ccc;
+using namespace ccc::analysis;
+
+namespace {
+
+/// The registers Allocation may choose, plus EAX for pinned call results
+/// (see compiler/Allocation.cpp: EAX/EDX are Asmgen scratch, EDI/ESI/EDX
+/// carry arguments, ESP is the frame pointer).
+bool isLocatableReg(x86::Reg R) {
+  return R == x86::Reg::EAX || R == x86::Reg::EBX || R == x86::Reg::ECX ||
+         R == x86::Reg::EBP;
+}
+
+struct Checker {
+  VerifyResult &VR;
+  std::string Fn;
+
+  void fail(const std::string &What) {
+    VR.Errors.push_back(VR.Stage + "/" + Fn + ": " + What);
+  }
+};
+
+/// Validity of one register-like operand, parameterized per IR.
+struct RTLRegRule {
+  const rtl::Function &F;
+  bool check(rtl::Reg R, Checker &C, const char *What) const {
+    if (R >= F.NumRegs) {
+      C.fail(std::string(What) + ": pseudo-register r" + std::to_string(R) +
+             " out of bounds (NumRegs=" + std::to_string(F.NumRegs) + ")");
+      return false;
+    }
+    return true;
+  }
+  bool checkCallDst(const rtl::Reg &R, Checker &C) const {
+    return check(R, C, "call result");
+  }
+};
+
+struct LTLRegRule {
+  const ltl::Function &F;
+  bool check(const ltl::Loc &L, Checker &C, const char *What) const {
+    if (L.IsReg) {
+      if (!isLocatableReg(L.R)) {
+        C.fail(std::string(What) + ": register " + x86::regName(L.R) +
+               " outside the allocatable class");
+        return false;
+      }
+      return true;
+    }
+    if (L.Slot >= F.NumSlots) {
+      C.fail(std::string(What) + ": slot S" + std::to_string(L.Slot) +
+             " out of bounds (NumSlots=" + std::to_string(F.NumSlots) + ")");
+      return false;
+    }
+    return true;
+  }
+  bool checkCallDst(const ltl::Loc &L, Checker &C) const {
+    if (!L.IsReg || L.R != x86::Reg::EAX) {
+      C.fail("call result must be pinned to EAX, got " + L.toString());
+      return false;
+    }
+    return true;
+  }
+};
+
+/// Shared checks for one CFG instruction (RTL and LTL share InstrT).
+template <typename RegT, typename Rule>
+void checkCfgInstr(unsigned Node, const rtl::InstrT<RegT> &I,
+                   const std::map<unsigned, rtl::InstrT<RegT>> &Graph,
+                   const std::set<std::string> &Globals, const Rule &R,
+                   Checker &C) {
+  using K = typename rtl::InstrT<RegT>::Kind;
+  auto nodeStr = [Node] { return "node " + std::to_string(Node); };
+  auto checkSucc = [&](unsigned S, const char *Which) {
+    if (!Graph.count(S))
+      C.fail(nodeStr() + ": " + Which + " successor " + std::to_string(S) +
+             " is not a CFG node");
+  };
+  auto checkGlobal = [&](const std::string &G, const char *What) {
+    if (!Globals.count(G))
+      C.fail(nodeStr() + ": " + What + " references undeclared global '" +
+             G + "'");
+  };
+  auto checkAddrMode = [&](const rtl::AddrMode<RegT> &AM) {
+    if (AM.K == rtl::AddrMode<RegT>::Kind::Global)
+      checkGlobal(AM.Global, "addressing mode");
+    else
+      R.check(AM.Base, C, "addressing base");
+  };
+  auto checkArgs = [&](unsigned Want) {
+    if (I.Args.size() != Want) {
+      C.fail(nodeStr() + ": expected " + std::to_string(Want) +
+             " argument(s), found " + std::to_string(I.Args.size()));
+      return false;
+    }
+    for (const RegT &A : I.Args)
+      R.check(A, C, "argument");
+    return true;
+  };
+
+  // Fall-through kinds must name a real successor.
+  switch (I.K) {
+  case K::Nop:
+  case K::Op:
+  case K::Load:
+  case K::Store:
+  case K::Call:
+  case K::Print:
+    checkSucc(I.S1, "fall-through");
+    break;
+  case K::Cond:
+    checkSucc(I.S1, "true");
+    checkSucc(I.S2, "false");
+    break;
+  case K::Return:
+  case K::Tailcall:
+    break;
+  }
+
+  switch (I.K) {
+  case K::Nop:
+    break;
+  case K::Op:
+    checkArgs(ir::operArity(I.O));
+    R.check(I.Dst, C, "op destination");
+    if (I.O == ir::Oper::Addrglobal)
+      checkGlobal(I.Global, "addrglobal");
+    break;
+  case K::Load:
+    checkAddrMode(I.AM);
+    R.check(I.Dst, C, "load destination");
+    break;
+  case K::Store:
+    checkAddrMode(I.AM);
+    checkArgs(1);
+    break;
+  case K::Call:
+  case K::Tailcall:
+    if (I.Callee.empty())
+      C.fail(nodeStr() + ": call with empty callee");
+    for (const RegT &A : I.Args)
+      R.check(A, C, "call argument");
+    if (I.K == K::Call && I.HasDst)
+      R.checkCallDst(I.Dst, C);
+    break;
+  case K::Cond:
+    checkArgs(I.CondOneArg ? 1 : 2);
+    break;
+  case K::Return:
+    if (I.HasArg)
+      checkArgs(1);
+    break;
+  case K::Print:
+    checkArgs(1);
+    break;
+  }
+}
+
+template <typename RegT, typename MkRule>
+VerifyResult verifyCfgModule(const rtl::ModuleT<RegT> &M,
+                             const std::string &StageName, MkRule MakeRule) {
+  VerifyResult VR;
+  VR.Stage = StageName;
+  std::set<std::string> Globals;
+  for (const auto &G : M.Globals)
+    Globals.insert(G.first);
+
+  for (const auto &F : M.Funcs) {
+    Checker C{VR, F.Name};
+    ++VR.FunctionsChecked;
+    auto Rule = MakeRule(F);
+    if (!F.Graph.count(F.Entry))
+      C.fail("entry node " + std::to_string(F.Entry) +
+             " is not a CFG node");
+    if (F.ParamHomes.size() != F.NumParams)
+      C.fail("ParamHomes has " + std::to_string(F.ParamHomes.size()) +
+             " entries for " + std::to_string(F.NumParams) + " parameters");
+    for (const RegT &P : F.ParamHomes)
+      Rule.check(P, C, "parameter home");
+    for (const auto &NodeInstr : F.Graph) {
+      ++VR.InstrsChecked;
+      checkCfgInstr(NodeInstr.first, NodeInstr.second, F.Graph, Globals,
+                    Rule, C);
+    }
+  }
+  return VR;
+}
+
+/// Shared checks for linear-form code (Linear and Mach share Instr).
+/// \p NumSlots bounds stack-slot operands (the frame size for Mach).
+void checkLinearCode(const std::vector<linear::Instr> &Code,
+                     const std::vector<linear::Loc> &ParamHomes,
+                     unsigned NumParams, unsigned NumSlots,
+                     const std::set<std::string> &Globals, Checker &C,
+                     VerifyResult &VR) {
+  using K = linear::Instr::Kind;
+
+  // Label table: defined exactly once each.
+  std::set<unsigned> Labels;
+  for (const linear::Instr &I : Code) {
+    if (I.K != K::Label)
+      continue;
+    if (!Labels.insert(I.Label).second)
+      C.fail("label L" + std::to_string(I.Label) + " defined twice");
+  }
+
+  auto checkLoc = [&](const linear::Loc &L, const char *What) {
+    if (L.IsReg) {
+      if (!isLocatableReg(L.R))
+        C.fail(std::string(What) + ": register " + x86::regName(L.R) +
+               " outside the allocatable class");
+    } else if (L.Slot >= NumSlots) {
+      C.fail(std::string(What) + ": slot S" + std::to_string(L.Slot) +
+             " out of bounds (" + std::to_string(NumSlots) + ")");
+    }
+  };
+  auto checkGlobal = [&](const std::string &G, const std::string &What) {
+    if (!Globals.count(G))
+      C.fail(What + " references undeclared global '" + G + "'");
+  };
+
+  if (ParamHomes.size() != NumParams)
+    C.fail("ParamHomes has " + std::to_string(ParamHomes.size()) +
+           " entries for " + std::to_string(NumParams) + " parameters");
+  for (const linear::Loc &P : ParamHomes)
+    checkLoc(P, "parameter home");
+
+  for (unsigned Idx = 0; Idx < Code.size(); ++Idx) {
+    const linear::Instr &I = Code[Idx];
+    ++VR.InstrsChecked;
+    auto at = [Idx] { return "instr " + std::to_string(Idx); };
+    auto checkArgs = [&](unsigned Want) {
+      if (I.Args.size() != Want) {
+        C.fail(at() + ": expected " + std::to_string(Want) +
+               " argument(s), found " + std::to_string(I.Args.size()));
+        return;
+      }
+      for (const linear::Loc &A : I.Args)
+        checkLoc(A, "argument");
+    };
+    switch (I.K) {
+    case K::Label:
+      break;
+    case K::Goto:
+      if (!Labels.count(I.Label))
+        C.fail(at() + ": goto to undefined label L" +
+               std::to_string(I.Label));
+      break;
+    case K::Cond:
+      checkArgs(I.CondOneArg ? 1 : 2);
+      if (!Labels.count(I.Label))
+        C.fail(at() + ": branch to undefined label L" +
+               std::to_string(I.Label));
+      break;
+    case K::Op:
+      checkArgs(ir::operArity(I.O));
+      checkLoc(I.Dst, "op destination");
+      if (I.O == ir::Oper::Addrglobal)
+        checkGlobal(I.Global, at() + ": addrglobal");
+      break;
+    case K::Load:
+      if (I.AM.K == linear::AddrMode::Kind::Global)
+        checkGlobal(I.AM.Global, at() + ": addressing mode");
+      else
+        checkLoc(I.AM.Base, "addressing base");
+      checkLoc(I.Dst, "load destination");
+      break;
+    case K::Store:
+      if (I.AM.K == linear::AddrMode::Kind::Global)
+        checkGlobal(I.AM.Global, at() + ": addressing mode");
+      else
+        checkLoc(I.AM.Base, "addressing base");
+      checkArgs(1);
+      break;
+    case K::Call:
+    case K::Tailcall:
+      if (I.Callee.empty())
+        C.fail(at() + ": call with empty callee");
+      for (const linear::Loc &A : I.Args)
+        checkLoc(A, "call argument");
+      if (I.K == K::Call && I.HasDst &&
+          !(I.Dst.IsReg && I.Dst.R == x86::Reg::EAX))
+        C.fail(at() + ": call result must be pinned to EAX, got " +
+               I.Dst.toString());
+      break;
+    case K::Return:
+      if (I.HasArg)
+        checkArgs(1);
+      break;
+    case K::Print:
+      checkArgs(1);
+      break;
+    }
+  }
+}
+
+} // namespace
+
+std::string VerifyResult::toString() const {
+  StrBuilder B;
+  B << Stage << ": " << (ok() ? "ok" : "MALFORMED") << " ("
+    << FunctionsChecked << " functions, " << InstrsChecked
+    << " instructions)";
+  for (const std::string &E : Errors)
+    B << "\n  " << E;
+  return B.take();
+}
+
+VerifyResult ccc::analysis::verifyRTL(const rtl::Module &M,
+                                      const std::string &StageName) {
+  return verifyCfgModule<rtl::Reg>(M, StageName, [](const rtl::Function &F) {
+    return RTLRegRule{F};
+  });
+}
+
+VerifyResult ccc::analysis::verifyLTL(const ltl::Module &M,
+                                      const std::string &StageName) {
+  return verifyCfgModule<ltl::Loc>(M, StageName, [](const ltl::Function &F) {
+    return LTLRegRule{F};
+  });
+}
+
+VerifyResult ccc::analysis::verifyLinear(const linear::Module &M,
+                                         const std::string &StageName) {
+  VerifyResult VR;
+  VR.Stage = StageName;
+  std::set<std::string> Globals;
+  for (const auto &G : M.Globals)
+    Globals.insert(G.first);
+  for (const linear::Function &F : M.Funcs) {
+    Checker C{VR, F.Name};
+    ++VR.FunctionsChecked;
+    checkLinearCode(F.Code, F.ParamHomes, F.NumParams, F.NumSlots, Globals,
+                    C, VR);
+  }
+  return VR;
+}
+
+VerifyResult ccc::analysis::verifyMach(const mach::Module &M) {
+  VerifyResult VR;
+  VR.Stage = "Mach";
+  std::set<std::string> Globals;
+  for (const auto &G : M.Globals)
+    Globals.insert(G.first);
+  for (const mach::Function &F : M.Funcs) {
+    Checker C{VR, F.Name};
+    ++VR.FunctionsChecked;
+    // In Mach, slots denote concrete frame cells within FrameSize.
+    checkLinearCode(F.Code, F.ParamHomes, F.NumParams, F.FrameSize, Globals,
+                    C, VR);
+  }
+  return VR;
+}
+
+VerifyResult ccc::analysis::verifyX86(const x86::Module &M) {
+  VerifyResult VR;
+  VR.Stage = "x86";
+  Checker C{VR, "<module>"};
+  std::set<std::string> Globals;
+  for (const auto &G : M.Globals)
+    Globals.insert(G.first);
+
+  for (const auto &LabelIdx : M.Labels) {
+    if (LabelIdx.second >= M.Code.size()) {
+      C.fail("label '" + LabelIdx.first + "' points past the code (" +
+             std::to_string(LabelIdx.second) + ")");
+      continue;
+    }
+    const x86::Instr &I = M.Code[LabelIdx.second];
+    if (I.K != x86::Instr::Kind::Label || I.Name != LabelIdx.first)
+      C.fail("label '" + LabelIdx.first +
+             "' does not point at its label instruction");
+  }
+  for (const auto &EntryInfo : M.Entries) {
+    C.Fn = EntryInfo.first;
+    if (EntryInfo.second.PCIndex >= M.Code.size())
+      C.fail("entry PC " + std::to_string(EntryInfo.second.PCIndex) +
+             " out of code bounds");
+  }
+
+  C.Fn = "<code>";
+  auto checkOperandGlobal = [&](const x86::Operand &O, unsigned Idx) {
+    if ((O.K == x86::Operand::Kind::GlobalImm ||
+         O.K == x86::Operand::Kind::MemGlobal) &&
+        !Globals.count(O.Global))
+      C.fail("instr " + std::to_string(Idx) +
+             ": references undeclared global '" + O.Global + "'");
+  };
+  for (unsigned Idx = 0; Idx < M.Code.size(); ++Idx) {
+    const x86::Instr &I = M.Code[Idx];
+    ++VR.InstrsChecked;
+    checkOperandGlobal(I.Src, Idx);
+    checkOperandGlobal(I.Dst, Idx);
+    switch (I.K) {
+    case x86::Instr::Kind::Jmp:
+    case x86::Instr::Kind::Jcc:
+      if (!M.label(I.Name))
+        C.fail("instr " + std::to_string(Idx) + ": jump to undefined label '" +
+               I.Name + "'");
+      break;
+    case x86::Instr::Kind::Call:
+    case x86::Instr::Kind::TailCall:
+      if (!M.arityOf(I.Name))
+        C.fail("instr " + std::to_string(Idx) + ": callee '" + I.Name +
+               "' has no entry or extern arity");
+      break;
+    default:
+      break;
+    }
+  }
+  VR.FunctionsChecked = static_cast<unsigned>(M.Entries.size());
+  return VR;
+}
+
+VerifyResult ccc::analysis::verifyStage(const compiler::CompileResult &R,
+                                        unsigned Stage) {
+  switch (Stage) {
+  case 4:
+    return verifyRTL(*R.RTL, compiler::stageName(Stage));
+  case 5:
+    return verifyRTL(*R.RTLTailcall, compiler::stageName(Stage));
+  case 6:
+    return verifyRTL(*R.RTLRenumber, compiler::stageName(Stage));
+  case 7:
+    return verifyLTL(*R.LTL, compiler::stageName(Stage));
+  case 8:
+    return verifyLTL(*R.LTLTunneled, compiler::stageName(Stage));
+  case 9:
+    return verifyLinear(*R.Linear, compiler::stageName(Stage));
+  case 10:
+    return verifyLinear(*R.LinearClean, compiler::stageName(Stage));
+  case 11:
+    return verifyMach(*R.Mach);
+  case 12:
+    return verifyX86(*R.Asm);
+  default: {
+    // Front-end trees (Clight through CminorSel) are checked by their
+    // parsers/constructors; no structural verifier.
+    VerifyResult VR;
+    VR.Stage = compiler::stageName(Stage);
+    return VR;
+  }
+  }
+}
+
+std::vector<VerifyResult>
+ccc::analysis::verifyPipeline(const compiler::CompileResult &R) {
+  std::vector<VerifyResult> Out;
+  for (unsigned Stage = 0; Stage < compiler::numStages(); ++Stage)
+    Out.push_back(verifyStage(R, Stage));
+  return Out;
+}

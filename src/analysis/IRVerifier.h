@@ -1,0 +1,80 @@
+//===- analysis/IRVerifier.h - Per-IR structural verifiers ------*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// LLVM-verifier-style structural checks for the back-end IRs
+/// (RTL / LTL / Linear / Mach / x86): CFG successor well-formedness,
+/// label resolution, operator arity, register-class and
+/// calling-convention discipline, slot/frame bounds, and global-reference
+/// sanity. A malformed module produced by a buggy pass is caught here in
+/// linear time, before `SimChecker` wastes a product-state search whose
+/// failure diagnostics would be far less direct — the same layering LLVM
+/// uses between its Verifier and its execution engines.
+///
+/// These checks are necessary conditions for the per-pass simulation
+/// obligations (Def. 10), not replacements: a module can be structurally
+/// well-formed yet semantically wrong, which is what the validation
+/// engines (validate/) exist to catch.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_ANALYSIS_IRVERIFIER_H
+#define CASCC_ANALYSIS_IRVERIFIER_H
+
+#include "compiler/Compiler.h"
+
+#include <string>
+#include <vector>
+
+namespace ccc {
+namespace analysis {
+
+/// Result of verifying one module.
+struct VerifyResult {
+  std::string Stage;
+  std::vector<std::string> Errors;
+  unsigned FunctionsChecked = 0;
+  unsigned InstrsChecked = 0;
+
+  bool ok() const { return Errors.empty(); }
+  std::string toString() const;
+};
+
+/// Verifies an RTL module (also used for the post-Tailcall and
+/// post-Renumber stages).
+VerifyResult verifyRTL(const rtl::Module &M,
+                       const std::string &StageName = "RTL");
+
+/// Verifies an LTL module: CFG checks plus location discipline — machine
+/// registers must be allocatable (or EAX for pinned call results) and
+/// slots in bounds.
+VerifyResult verifyLTL(const ltl::Module &M,
+                       const std::string &StageName = "LTL");
+
+/// Verifies a Linear module: label resolution plus instruction checks.
+VerifyResult verifyLinear(const linear::Module &M,
+                          const std::string &StageName = "Linear");
+
+/// Verifies a Mach module: as Linear, with slots bounded by the frame.
+VerifyResult verifyMach(const mach::Module &M);
+
+/// Verifies an x86 module: branch/label resolution, entry-point bounds,
+/// and callee-arity resolution.
+VerifyResult verifyX86(const x86::Module &M);
+
+/// Verifies pipeline stage \p Stage of \p R (0 = Clight ... 12 = x86).
+/// Front-end stages (before RTL) have no structural verifier and return
+/// ok.
+VerifyResult verifyStage(const compiler::CompileResult &R, unsigned Stage);
+
+/// Verifies every stage of the pipeline; one result per stage, in order.
+std::vector<VerifyResult> verifyPipeline(const compiler::CompileResult &R);
+
+} // namespace analysis
+} // namespace ccc
+
+#endif // CASCC_ANALYSIS_IRVERIFIER_H

@@ -1,0 +1,51 @@
+//===- analysis/RaceDetector.cpp - Combined DRF checking -------------------===//
+
+#include "analysis/RaceDetector.h"
+
+#include <chrono>
+
+using namespace ccc;
+using namespace ccc::analysis;
+
+namespace {
+
+double msSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+} // namespace
+
+DetectResult ccc::analysis::detectRaces(const Program &P,
+                                        const DetectOptions &O) {
+  DetectResult R;
+
+  auto StaticStart = std::chrono::steady_clock::now();
+  R.Static = staticRaceAnalysis(P);
+  R.StaticMs = msSince(StaticStart);
+
+  if (O.UseStaticFastPath && R.Static.certified()) {
+    R.FastPath = true;
+    R.Drf = true;
+    if (O.SampleConfirm) {
+      auto ExpStart = std::chrono::steady_clock::now();
+      Explorer<NPWorld> E(O.Explore);
+      E.build(NPWorld::loadAll(P));
+      R.Witness = E.findRace();
+      R.ExploredStates = E.numStates();
+      R.ExploreMs = msSince(ExpStart);
+      R.Drf = !R.Witness.has_value();
+    }
+    return R;
+  }
+
+  auto ExpStart = std::chrono::steady_clock::now();
+  Explorer<World> E(O.Explore);
+  E.build(World::load(P));
+  R.Witness = E.findRace();
+  R.ExploredStates = E.numStates();
+  R.ExploreMs = msSince(ExpStart);
+  R.Drf = !R.Witness.has_value();
+  return R;
+}

@@ -1,0 +1,62 @@
+//===- analysis/RaceDetector.h - Combined DRF checking ----------*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The combined race detector: the static lockset certifier
+/// (StaticRace.h) as a fast path in front of the exhaustive dynamic Race
+/// rule of Fig. 9 (Explorer::findRace). When the static certificate
+/// holds, the exponential preemptive exploration is skipped entirely (or,
+/// under SampleConfirm, replaced by the far cheaper non-preemptive
+/// exploration, which is equivalent for race detection by the paper's
+/// NPDRF theorem). When the certificate is declined — potential races or
+/// unanalyzable code — the detector falls back to the dynamic rule, whose
+/// witness is ground truth.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_ANALYSIS_RACEDETECTOR_H
+#define CASCC_ANALYSIS_RACEDETECTOR_H
+
+#include "analysis/StaticRace.h"
+#include "core/Semantics.h"
+
+#include <optional>
+
+namespace ccc {
+namespace analysis {
+
+struct DetectOptions {
+  /// Trust a static DRF certificate and skip exploration.
+  bool UseStaticFastPath = true;
+  /// When the fast path fires, still run the (cheap) non-preemptive
+  /// exploration as a belt-and-braces confirmation of the certificate.
+  bool SampleConfirm = false;
+  ExploreOptions Explore{};
+};
+
+struct DetectResult {
+  StaticDrfReport Static;
+  /// True when the static certificate short-circuited the preemptive
+  /// exploration.
+  bool FastPath = false;
+  /// The final DRF verdict.
+  bool Drf = false;
+  /// Dynamic witness, when the dynamic detector ran and found one.
+  std::optional<RaceWitness> Witness;
+  /// States explored dynamically (0 when the fast path skipped it).
+  std::size_t ExploredStates = 0;
+  double StaticMs = 0.0;
+  double ExploreMs = 0.0;
+};
+
+/// Runs the combined detector on a linked program.
+DetectResult detectRaces(const Program &P, const DetectOptions &O = {});
+
+} // namespace analysis
+} // namespace ccc
+
+#endif // CASCC_ANALYSIS_RACEDETECTOR_H

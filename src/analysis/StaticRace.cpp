@@ -1,0 +1,812 @@
+//===- analysis/StaticRace.cpp - Static DRF certification ------------------===//
+
+#include "analysis/StaticRace.h"
+
+#include "cimp/CImpLang.h"
+#include "clight/ClightLang.h"
+#include "support/StrUtil.h"
+#include "x86/X86Lang.h"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+using namespace ccc;
+using namespace ccc::analysis;
+
+namespace {
+
+/// The pseudo-token held inside a CImp atomic block.
+const char *const AtomicToken = "<atomic>";
+
+std::string lockSetToString(const LockSet &S) {
+  if (S.empty())
+    return "{}";
+  std::string Out = "{";
+  bool First = true;
+  for (const std::string &T : S) {
+    if (!First)
+      Out += ",";
+    Out += T;
+    First = false;
+  }
+  return Out + "}";
+}
+
+LockSet intersect(const LockSet &A, const LockSet &B) {
+  LockSet Out;
+  std::set_intersection(A.begin(), A.end(), B.begin(), B.end(),
+                        std::inserter(Out, Out.begin()));
+  return Out;
+}
+
+/// Lock-entry naming convention: `lock` / `lock_<x>` acquire the token
+/// "L:<x>"; `unlock` / `unlock_<x>` release it.
+std::optional<std::string> acquireToken(const std::string &Callee) {
+  if (Callee == "lock")
+    return std::string("L:");
+  if (Callee.rfind("lock_", 0) == 0)
+    return "L:" + Callee.substr(5);
+  return std::nullopt;
+}
+
+std::optional<std::string> releaseToken(const std::string &Callee) {
+  if (Callee == "unlock")
+    return std::string("L:");
+  if (Callee.rfind("unlock_", 0) == 0)
+    return "L:" + Callee.substr(7);
+  return std::nullopt;
+}
+
+/// How a callee name resolves against the program's modules.
+struct CalleeInfo {
+  enum class Kind {
+    LockAcquire,   ///< lock entry of a sync object
+    LockRelease,   ///< unlock entry of a sync object
+    ClightFn,      ///< client Clight function — descend
+    CImpFn,        ///< client CImp function — descend
+    ObjectOpaque,  ///< object-confined entry — skip (Sec. 7.1)
+    NonAnalyzable, ///< defined in a language we cannot traverse
+    Unknown,       ///< undefined extern
+  };
+  Kind K = Kind::Unknown;
+  std::string Token;
+  unsigned ModIdx = 0;
+  const clight::Function *ClightF = nullptr;
+  const cimp::Function *CImpF = nullptr;
+};
+
+/// A points-to value: a set of global names, or "anything".
+struct Pointees {
+  std::set<std::string> Cells;
+  bool Wild = false;
+
+  bool empty() const { return !Wild && Cells.empty(); }
+  void join(const Pointees &O) {
+    Wild = Wild || O.Wild;
+    Cells.insert(O.Cells.begin(), O.Cells.end());
+  }
+  static Pointees wild() {
+    Pointees P;
+    P.Wild = true;
+    return P;
+  }
+};
+
+/// One thread root: the code one program thread (or spawnee) starts in.
+struct Root {
+  unsigned ModIdx = 0;
+  std::string Entry;
+  unsigned Instances = 1; ///< Number of threads running this root.
+};
+
+struct Analyzer {
+  const Program &P;
+  StaticDrfReport &R;
+
+  /// Distinct roots, deduplicated by (module, entry).
+  std::vector<Root> Roots;
+
+  /// Sites keyed by (stmt identity, root, cell, is-write); locksets of
+  /// repeated walks of the same site merge by intersection, so the stored
+  /// set is what is *always* held there.
+  using SiteKey = std::tuple<const void *, unsigned, std::string, bool>;
+  std::map<SiteKey, AccessSite> Sites;
+
+  /// Call-string guard (module index / function name pairs).
+  std::vector<std::pair<unsigned, std::string>> CallStack;
+
+  bool Applicable = true;    ///< False: some thread code is unanalyzable.
+  bool Certifiable = true;   ///< False: conservative gaps forbid a
+                             ///< certificate even with no flagged race.
+  unsigned CurRoot = 0;
+
+  explicit Analyzer(const Program &Prog, StaticDrfReport &Rep)
+      : P(Prog), R(Rep) {}
+
+  void note(std::string N) {
+    if (std::find(R.Notes.begin(), R.Notes.end(), N) == R.Notes.end())
+      R.Notes.push_back(std::move(N));
+  }
+
+  void inapplicable(std::string Why) {
+    Applicable = false;
+    note(std::move(Why));
+  }
+
+  // --- module helpers ---------------------------------------------------
+
+  const cimp::CImpLang *asCImp(unsigned Idx) const {
+    return dynamic_cast<const cimp::CImpLang *>(P.module(Idx).Lang.get());
+  }
+  const clight::ClightLang *asClight(unsigned Idx) const {
+    return dynamic_cast<const clight::ClightLang *>(
+        P.module(Idx).Lang.get());
+  }
+  const x86::X86Lang *asX86(unsigned Idx) const {
+    return dynamic_cast<const x86::X86Lang *>(P.module(Idx).Lang.get());
+  }
+
+  CalleeInfo resolveCallee(const std::string &Callee) const {
+    for (unsigned I = 0; I < P.modules().size(); ++I) {
+      if (const cimp::CImpLang *L = asCImp(I)) {
+        const cimp::Function *F = L->module().find(Callee);
+        if (!F)
+          continue;
+        CalleeInfo CI;
+        CI.ModIdx = I;
+        if (L->objectMode()) {
+          if (auto T = acquireToken(Callee)) {
+            CI.K = CalleeInfo::Kind::LockAcquire;
+            CI.Token = *T;
+          } else if (auto T2 = releaseToken(Callee)) {
+            CI.K = CalleeInfo::Kind::LockRelease;
+            CI.Token = *T2;
+          } else {
+            CI.K = CalleeInfo::Kind::ObjectOpaque;
+          }
+        } else {
+          CI.K = CalleeInfo::Kind::CImpFn;
+          CI.CImpF = F;
+        }
+        return CI;
+      }
+      if (const clight::ClightLang *L = asClight(I)) {
+        const clight::Function *F = L->module().find(Callee);
+        if (!F)
+          continue;
+        CalleeInfo CI;
+        CI.ModIdx = I;
+        CI.K = CalleeInfo::Kind::ClightFn;
+        CI.ClightF = F;
+        return CI;
+      }
+      if (const x86::X86Lang *L = asX86(I)) {
+        if (!L->module().Entries.count(Callee))
+          continue;
+        // A lock implemented in assembly (pi_lock, Fig. 10b) still acts
+        // as a lock for the *client's* DRF obligation: its internal races
+        // are confined to object data.
+        CalleeInfo CI;
+        CI.ModIdx = I;
+        if (auto T = acquireToken(Callee)) {
+          CI.K = CalleeInfo::Kind::LockAcquire;
+          CI.Token = *T;
+        } else if (auto T2 = releaseToken(Callee)) {
+          CI.K = CalleeInfo::Kind::LockRelease;
+          CI.Token = *T2;
+        } else {
+          CI.K = CalleeInfo::Kind::NonAnalyzable;
+        }
+        return CI;
+      }
+    }
+    // Undefined extern: lock/unlock by convention, otherwise unknown.
+    CalleeInfo CI;
+    if (auto T = acquireToken(Callee)) {
+      CI.K = CalleeInfo::Kind::LockAcquire;
+      CI.Token = *T;
+    } else if (auto T2 = releaseToken(Callee)) {
+      CI.K = CalleeInfo::Kind::LockRelease;
+      CI.Token = *T2;
+    }
+    return CI;
+  }
+
+  // --- access recording -------------------------------------------------
+
+  void record(const void *Site, const std::string &Cell, bool Write,
+              bool Wildcard, const LockSet &Held, unsigned ModIdx,
+              const std::string &Func) {
+    SiteKey Key{Site, CurRoot, Cell, Write};
+    auto It = Sites.find(Key);
+    if (It == Sites.end()) {
+      AccessSite A;
+      A.Global = Cell;
+      A.Write = Write;
+      A.Wildcard = Wildcard;
+      A.Held = Held;
+      A.Module = P.module(ModIdx).Name;
+      A.Func = Func;
+      A.Root = CurRoot;
+      A.RootInstances = Roots[CurRoot].Instances;
+      Sites.emplace(std::move(Key), std::move(A));
+    } else {
+      It->second.Held = intersect(It->second.Held, Held);
+    }
+  }
+
+  void recordPointees(const void *Site, const Pointees &Pt, bool Write,
+                      const LockSet &Held, unsigned ModIdx,
+                      const std::string &Func) {
+    if (Pt.Wild) {
+      record(Site, "*", Write, /*Wildcard=*/true, Held, ModIdx, Func);
+      note("unresolved pointer target in " + P.module(ModIdx).Name + "." +
+           Func + " — treated as an access to every client cell");
+    }
+    for (const std::string &C : Pt.Cells)
+      record(Site, C, Write, /*Wildcard=*/false, Held, ModIdx, Func);
+  }
+
+  // --- Clight ----------------------------------------------------------
+
+  /// Flow-insensitive per-function points-to for pointer locals: the
+  /// union over every assignment's right-hand side, with unresolved
+  /// sources going to "anything". Parameters are "anything" (no
+  /// inter-procedural flow; footnote 6 rules out escaping stack slots,
+  /// so only global addresses flow through pointers anyway).
+  using PtMap = std::map<std::string, Pointees>;
+
+  Pointees clightPointees(const clight::Expr &E, const PtMap &Pt,
+                          const clight::Module &M) const {
+    switch (E.K) {
+    case clight::Expr::Kind::IntLit:
+      return {};
+    case clight::Expr::Kind::AddrOfGlobal: {
+      Pointees Out;
+      Out.Cells.insert(E.Name);
+      return Out;
+    }
+    case clight::Expr::Kind::Var: {
+      if (M.isGlobal(E.Name))
+        return {}; // int-valued global; not a pointer in this model
+      auto It = Pt.find(E.Name);
+      if (It != Pt.end())
+        return It->second;
+      return {};
+    }
+    case clight::Expr::Kind::Un:
+    case clight::Expr::Kind::Bin: {
+      Pointees Out;
+      if (E.L)
+        Out.join(clightPointees(*E.L, Pt, M));
+      if (E.R)
+        Out.join(clightPointees(*E.R, Pt, M));
+      if (!Out.empty())
+        return Pointees::wild(); // pointer arithmetic: give up precisely
+      return {};
+    }
+    }
+    return Pointees::wild();
+  }
+
+  void clightPtOfBlock(const clight::Block &B, PtMap &Pt,
+                       const clight::Module &M) const {
+    for (const clight::StmtPtr &S : B) {
+      switch (S->K) {
+      case clight::Stmt::Kind::AssignVar:
+        if (!M.isGlobal(S->Dst) && S->E1) {
+          Pointees Rhs = clightPointees(*S->E1, Pt, M);
+          if (!Rhs.empty())
+            Pt[S->Dst].join(Rhs);
+        }
+        break;
+      case clight::Stmt::Kind::Call:
+        // A call result assigned to a pointer-typed local could hold any
+        // address; our Clight subset returns ints, but stay conservative.
+        if (!S->Dst.empty() && !M.isGlobal(S->Dst))
+          Pt[S->Dst].join(Pointees::wild());
+        break;
+      case clight::Stmt::Kind::If:
+      case clight::Stmt::Kind::While:
+        clightPtOfBlock(S->Body, Pt, M);
+        clightPtOfBlock(S->Else, Pt, M);
+        break;
+      default:
+        break;
+      }
+    }
+  }
+
+  PtMap clightPt(const clight::Function &F, const clight::Module &M) const {
+    PtMap Pt;
+    for (const clight::VarDecl &V : F.Params)
+      if (V.Type == clight::Ty::IntPtr)
+        Pt[V.Name] = Pointees::wild();
+    // Two rounds propagate copies-of-copies; the subset has no loops in
+    // the copy graph deeper than that in practice, and unresolved cases
+    // degrade to "anything" (sound).
+    clightPtOfBlock(F.Body, Pt, M);
+    clightPtOfBlock(F.Body, Pt, M);
+    return Pt;
+  }
+
+  void clightReads(const clight::Expr &E, const PtMap &Pt,
+                   const clight::Module &M, const LockSet &Held,
+                   unsigned ModIdx, const std::string &Func) {
+    switch (E.K) {
+    case clight::Expr::Kind::IntLit:
+    case clight::Expr::Kind::AddrOfGlobal:
+      return;
+    case clight::Expr::Kind::Var:
+      if (M.isGlobal(E.Name))
+        record(&E, E.Name, /*Write=*/false, false, Held, ModIdx, Func);
+      return;
+    case clight::Expr::Kind::Un:
+      if (E.L)
+        clightReads(*E.L, Pt, M, Held, ModIdx, Func);
+      if (E.U == clight::UnOp::Deref && E.L)
+        recordPointees(&E, clightPointees(*E.L, Pt, M), /*Write=*/false,
+                       Held, ModIdx, Func);
+      return;
+    case clight::Expr::Kind::Bin:
+      if (E.L)
+        clightReads(*E.L, Pt, M, Held, ModIdx, Func);
+      if (E.R)
+        clightReads(*E.R, Pt, M, Held, ModIdx, Func);
+      return;
+    }
+  }
+
+  LockSet clightBlock(const clight::Block &B, LockSet Held,
+                      const clight::Module &M, const PtMap &Pt,
+                      unsigned ModIdx, const std::string &Func) {
+    for (const clight::StmtPtr &SP : B) {
+      const clight::Stmt &S = *SP;
+      switch (S.K) {
+      case clight::Stmt::Kind::Skip:
+        break;
+      case clight::Stmt::Kind::AssignVar:
+        if (S.E1)
+          clightReads(*S.E1, Pt, M, Held, ModIdx, Func);
+        if (M.isGlobal(S.Dst))
+          record(&S, S.Dst, /*Write=*/true, false, Held, ModIdx, Func);
+        break;
+      case clight::Stmt::Kind::AssignDeref:
+        if (S.E1)
+          clightReads(*S.E1, Pt, M, Held, ModIdx, Func);
+        if (S.E2)
+          clightReads(*S.E2, Pt, M, Held, ModIdx, Func);
+        if (S.E1)
+          recordPointees(&S, clightPointees(*S.E1, Pt, M), /*Write=*/true,
+                         Held, ModIdx, Func);
+        break;
+      case clight::Stmt::Kind::If: {
+        if (S.E1)
+          clightReads(*S.E1, Pt, M, Held, ModIdx, Func);
+        LockSet A = clightBlock(S.Body, Held, M, Pt, ModIdx, Func);
+        LockSet Bs = clightBlock(S.Else, Held, M, Pt, ModIdx, Func);
+        Held = intersect(A, Bs);
+        break;
+      }
+      case clight::Stmt::Kind::While: {
+        // Loop-head fixpoint: must-held sets only shrink under ∩, so
+        // iterate to stability (bounded by the lockset height).
+        LockSet H = Held;
+        for (unsigned Iter = 0; Iter < 8; ++Iter) {
+          if (S.E1)
+            clightReads(*S.E1, Pt, M, H, ModIdx, Func);
+          LockSet Out = clightBlock(S.Body, H, M, Pt, ModIdx, Func);
+          LockSet Next = intersect(H, Out);
+          if (Next == H)
+            break;
+          H = std::move(Next);
+        }
+        Held = H;
+        break;
+      }
+      case clight::Stmt::Kind::Call: {
+        for (const clight::ExprPtr &A : S.Args)
+          if (A)
+            clightReads(*A, Pt, M, Held, ModIdx, Func);
+        Held = applyCall(&S, S.Callee, Held);
+        break;
+      }
+      case clight::Stmt::Kind::Return:
+      case clight::Stmt::Kind::Print:
+        if (S.E1)
+          clightReads(*S.E1, Pt, M, Held, ModIdx, Func);
+        break;
+      }
+    }
+    return Held;
+  }
+
+  LockSet walkClightFn(unsigned ModIdx, const clight::Function &F,
+                       LockSet Held) {
+    const clight::Module &M = asClight(ModIdx)->module();
+    PtMap Pt = clightPt(F, M);
+    return clightBlock(F.Body, std::move(Held), M, Pt, ModIdx, F.Name);
+  }
+
+  // --- CImp ------------------------------------------------------------
+
+  Pointees cimpPointees(const cimp::Expr &E, const PtMap &Pt) const {
+    switch (E.K) {
+    case cimp::Expr::Kind::IntConst:
+      return {};
+    case cimp::Expr::Kind::GlobalAddr: {
+      Pointees Out;
+      Out.Cells.insert(E.Name);
+      return Out;
+    }
+    case cimp::Expr::Kind::Reg: {
+      auto It = Pt.find(E.Name);
+      if (It != Pt.end())
+        return It->second;
+      return {};
+    }
+    case cimp::Expr::Kind::Un:
+    case cimp::Expr::Kind::Bin: {
+      Pointees Out;
+      if (E.L)
+        Out.join(cimpPointees(*E.L, Pt));
+      if (E.R)
+        Out.join(cimpPointees(*E.R, Pt));
+      if (!Out.empty())
+        return Pointees::wild();
+      return {};
+    }
+    }
+    return Pointees::wild();
+  }
+
+  void cimpPtOfBlock(const cimp::Block &B, PtMap &Pt) const {
+    for (const cimp::StmtPtr &S : B) {
+      switch (S->K) {
+      case cimp::Stmt::Kind::Assign:
+        if (S->E1) {
+          Pointees Rhs = cimpPointees(*S->E1, Pt);
+          if (!Rhs.empty())
+            Pt[S->Dst].join(Rhs);
+        }
+        break;
+      case cimp::Stmt::Kind::Load:
+      case cimp::Stmt::Kind::Call:
+        // A loaded or returned value used later as an address is beyond
+        // this analysis — only matters if the register feeds [e].
+        if (!S->Dst.empty())
+          Pt[S->Dst].join(Pointees::wild());
+        break;
+      case cimp::Stmt::Kind::If:
+      case cimp::Stmt::Kind::While:
+      case cimp::Stmt::Kind::Atomic:
+        cimpPtOfBlock(S->Body, Pt);
+        cimpPtOfBlock(S->Else, Pt);
+        break;
+      default:
+        break;
+      }
+    }
+  }
+
+  PtMap cimpPt(const cimp::Function &F) const {
+    PtMap Pt;
+    for (const std::string &Param : F.Params)
+      Pt[Param] = Pointees::wild();
+    cimpPtOfBlock(F.Body, Pt);
+    cimpPtOfBlock(F.Body, Pt);
+    return Pt;
+  }
+
+  LockSet cimpBlock(const cimp::Block &B, LockSet Held, const PtMap &Pt,
+                    unsigned ModIdx, const std::string &Func) {
+    for (const cimp::StmtPtr &SP : B) {
+      const cimp::Stmt &S = *SP;
+      switch (S.K) {
+      case cimp::Stmt::Kind::Skip:
+      case cimp::Stmt::Kind::Assign: // register-pure: no memory access
+      case cimp::Stmt::Kind::Assert:
+      case cimp::Stmt::Kind::Print:
+      case cimp::Stmt::Kind::Return:
+        break;
+      case cimp::Stmt::Kind::Load:
+        if (S.E1)
+          recordPointees(&S, cimpPointees(*S.E1, Pt), /*Write=*/false,
+                         Held, ModIdx, Func);
+        break;
+      case cimp::Stmt::Kind::Store:
+        if (S.E1)
+          recordPointees(&S, cimpPointees(*S.E1, Pt), /*Write=*/true,
+                         Held, ModIdx, Func);
+        break;
+      case cimp::Stmt::Kind::If: {
+        LockSet A = cimpBlock(S.Body, Held, Pt, ModIdx, Func);
+        LockSet Bs = cimpBlock(S.Else, Held, Pt, ModIdx, Func);
+        Held = intersect(A, Bs);
+        break;
+      }
+      case cimp::Stmt::Kind::While: {
+        LockSet H = Held;
+        for (unsigned Iter = 0; Iter < 8; ++Iter) {
+          LockSet Out = cimpBlock(S.Body, H, Pt, ModIdx, Func);
+          LockSet Next = intersect(H, Out);
+          if (Next == H)
+            break;
+          H = std::move(Next);
+        }
+        Held = H;
+        break;
+      }
+      case cimp::Stmt::Kind::Atomic: {
+        LockSet Inner = Held;
+        Inner.insert(AtomicToken);
+        LockSet Out = cimpBlock(S.Body, std::move(Inner), Pt, ModIdx, Func);
+        Out.erase(AtomicToken);
+        Held = std::move(Out);
+        break;
+      }
+      case cimp::Stmt::Kind::Call:
+        Held = applyCall(&S, S.Callee, Held);
+        break;
+      case cimp::Stmt::Kind::Spawn:
+        addSpawnRoot(S.Callee);
+        break;
+      }
+    }
+    return Held;
+  }
+
+  LockSet walkCImpFn(unsigned ModIdx, const cimp::Function &F,
+                     LockSet Held) {
+    PtMap Pt = cimpPt(F);
+    return cimpBlock(F.Body, std::move(Held), Pt, ModIdx, F.Name);
+  }
+
+  // --- call dispatch ----------------------------------------------------
+
+  LockSet applyCall(const void *Site, const std::string &Callee,
+                    LockSet Held) {
+    (void)Site;
+    CalleeInfo CI = resolveCallee(Callee);
+    switch (CI.K) {
+    case CalleeInfo::Kind::LockAcquire:
+      Held.insert(CI.Token);
+      return Held;
+    case CalleeInfo::Kind::LockRelease:
+      Held.erase(CI.Token);
+      return Held;
+    case CalleeInfo::Kind::ObjectOpaque:
+      note("call to object-confined entry '" + Callee +
+           "' skipped (Sec. 7.1 confinement)");
+      return Held;
+    case CalleeInfo::Kind::NonAnalyzable:
+      inapplicable("thread code calls '" + Callee +
+                   "', defined in a non-analyzable language");
+      return Held;
+    case CalleeInfo::Kind::Unknown:
+      Certifiable = false;
+      note("unknown extern '" + Callee +
+           "' — cannot certify (unmodeled effects)");
+      return Held;
+    case CalleeInfo::Kind::ClightFn:
+    case CalleeInfo::Kind::CImpFn:
+      break;
+    }
+
+    auto Frame = std::make_pair(CI.ModIdx, Callee);
+    if (std::find(CallStack.begin(), CallStack.end(), Frame) !=
+        CallStack.end()) {
+      Certifiable = false;
+      note("recursive call to '" + Callee +
+           "' — lockset analysis does not model recursion");
+      return Held;
+    }
+    if (CallStack.size() > 64) {
+      Certifiable = false;
+      note("call depth limit reached at '" + Callee + "'");
+      return Held;
+    }
+    CallStack.push_back(Frame);
+    LockSet Out = CI.K == CalleeInfo::Kind::ClightFn
+                      ? walkClightFn(CI.ModIdx, *CI.ClightF, std::move(Held))
+                      : walkCImpFn(CI.ModIdx, *CI.CImpF, std::move(Held));
+    CallStack.pop_back();
+    return Out;
+  }
+
+  // --- roots -----------------------------------------------------------
+
+  /// Adds a thread root for (module of) \p Entry; \p Instances counts the
+  /// threads that run it. Roots found twice accumulate instances.
+  void addRoot(const std::string &Entry, unsigned Instances) {
+    CalleeInfo CI = resolveCallee(Entry);
+    if (CI.K != CalleeInfo::Kind::ClightFn &&
+        CI.K != CalleeInfo::Kind::CImpFn) {
+      inapplicable("thread entry '" + Entry +
+                   "' is not client Clight/CImp code");
+      return;
+    }
+    for (Root &Rt : Roots) {
+      if (Rt.ModIdx == CI.ModIdx && Rt.Entry == Entry) {
+        Rt.Instances += Instances;
+        return;
+      }
+    }
+    Roots.push_back({CI.ModIdx, Entry, Instances});
+  }
+
+  /// Spawned threads may be created arbitrarily often (e.g. in a loop),
+  /// so a spawn root conservatively counts as two instances.
+  void addSpawnRoot(const std::string &Entry) {
+    note("spawn of '" + Entry +
+         "' — spawnee analyzed as a (replicated) thread root");
+    addRoot(Entry, 2);
+  }
+
+  // --- the lockset consistency rule ------------------------------------
+
+  void run() {
+    for (unsigned T = 0; T < P.numThreads(); ++T)
+      addRoot(P.threadEntry(T), 1);
+
+    if (!Applicable)
+      return;
+
+    // Roots may grow while walking (spawn).
+    for (unsigned RI = 0; RI < Roots.size(); ++RI) {
+      CurRoot = RI;
+      CalleeInfo CI = resolveCallee(Roots[RI].Entry);
+      if (CI.K == CalleeInfo::Kind::ClightFn) {
+        CallStack.push_back({CI.ModIdx, Roots[RI].Entry});
+        walkClightFn(CI.ModIdx, *CI.ClightF, {});
+        CallStack.pop_back();
+      } else if (CI.K == CalleeInfo::Kind::CImpFn) {
+        CallStack.push_back({CI.ModIdx, Roots[RI].Entry});
+        walkCImpFn(CI.ModIdx, *CI.CImpF, {});
+        CallStack.pop_back();
+      }
+      if (!Applicable)
+        return;
+    }
+    R.ThreadRoots = static_cast<unsigned>(Roots.size());
+    R.AccessSites = static_cast<unsigned>(Sites.size());
+
+    // Group sites by cell, expanding wildcard sites to every named cell.
+    std::set<std::string> AllCells;
+    for (const auto &KV : Sites)
+      if (!KV.second.Wildcard)
+        AllCells.insert(KV.second.Global);
+    std::map<std::string, std::vector<const AccessSite *>> ByCell;
+    for (const auto &KV : Sites) {
+      const AccessSite &A = KV.second;
+      if (A.Wildcard) {
+        for (const std::string &C : AllCells)
+          ByCell[C].push_back(&A);
+        if (AllCells.empty())
+          ByCell["*"].push_back(&A);
+      } else {
+        ByCell[A.Global].push_back(&A);
+      }
+    }
+
+    for (const auto &Cell : ByCell) {
+      const std::vector<const AccessSite *> &S = Cell.second;
+      // Thread-escape filter: how many thread instances can reach it?
+      std::set<unsigned> RootsHere;
+      unsigned MaxInstances = 0;
+      bool AnyWrite = false;
+      for (const AccessSite *A : S) {
+        RootsHere.insert(A->Root);
+        MaxInstances = std::max(MaxInstances, A->RootInstances);
+        AnyWrite = AnyWrite || A->Write;
+      }
+      bool MultiThread = RootsHere.size() >= 2 || MaxInstances >= 2;
+      if (!MultiThread)
+        continue; // thread-confined
+      ++R.SharedCells;
+      if (!AnyWrite)
+        continue; // read-shared
+
+      bool CellProtected = true;
+      for (unsigned I = 0; I < S.size(); ++I) {
+        for (unsigned J = I; J < S.size(); ++J) {
+          const AccessSite &A = *S[I];
+          const AccessSite &B = *S[J];
+          // A site conflicts with itself only when its root is
+          // replicated (two threads run the same code).
+          bool Concurrent =
+              A.Root != B.Root || A.RootInstances >= 2;
+          if (&A == &B && A.RootInstances < 2)
+            continue;
+          if (!Concurrent || (!A.Write && !B.Write))
+            continue;
+          if (!intersect(A.Held, B.Held).empty())
+            continue;
+          CellProtected = false;
+          PotentialRace PR;
+          PR.Global = Cell.first;
+          PR.A = A;
+          PR.B = B;
+          if (A.Write && B.Write && A.Held.empty() && B.Held.empty())
+            PR.Rank = 3;
+          else if (A.Held.empty() && B.Held.empty())
+            PR.Rank = 2;
+          else
+            PR.Rank = 1;
+          R.Races.push_back(std::move(PR));
+        }
+      }
+      if (CellProtected)
+        ++R.ProtectedCells;
+    }
+
+    std::stable_sort(R.Races.begin(), R.Races.end(),
+                     [](const PotentialRace &A, const PotentialRace &B) {
+                       if (A.Rank != B.Rank)
+                         return A.Rank > B.Rank;
+                       return A.Global < B.Global;
+                     });
+  }
+};
+
+} // namespace
+
+std::string AccessSite::describe() const {
+  std::string Out = Module + "." + Func + ": " +
+                    (Write ? "write " : "read ") +
+                    (Wildcard ? "[*]" : Global) + " held=" +
+                    lockSetToString(Held);
+  if (RootInstances >= 2)
+    Out += " (x" + std::to_string(RootInstances) + " threads)";
+  return Out;
+}
+
+std::string PotentialRace::describe() const {
+  return "cell '" + Global + "' rank " + std::to_string(Rank) + ": [" +
+         A.describe() + "] vs [" + B.describe() + "]";
+}
+
+const char *ccc::analysis::verdictName(StaticVerdict V) {
+  switch (V) {
+  case StaticVerdict::Certified:
+    return "certified-DRF";
+  case StaticVerdict::Racy:
+    return "potentially-racy";
+  case StaticVerdict::Inapplicable:
+    return "inapplicable";
+  }
+  return "?";
+}
+
+std::string StaticDrfReport::toString() const {
+  StrBuilder B;
+  B << "static DRF verdict: " << verdictName(Verdict) << " (roots "
+    << ThreadRoots << ", sites " << AccessSites << ", shared "
+    << SharedCells << ", protected " << ProtectedCells << ")\n";
+  for (const PotentialRace &R : Races)
+    B << "  potential race: " << R.describe() << "\n";
+  for (const std::string &N : Notes)
+    B << "  note: " << N << "\n";
+  return B.take();
+}
+
+StaticDrfReport ccc::analysis::staticRaceAnalysis(const Program &P) {
+  StaticDrfReport R;
+  if (!P.linked()) {
+    R.Verdict = StaticVerdict::Inapplicable;
+    R.Notes.push_back("program is not linked");
+    return R;
+  }
+  Analyzer A(P, R);
+  A.run();
+  if (!A.Applicable)
+    R.Verdict = StaticVerdict::Inapplicable;
+  else if (!R.Races.empty())
+    R.Verdict = StaticVerdict::Racy;
+  else if (!A.Certifiable)
+    R.Verdict = StaticVerdict::Inapplicable;
+  else
+    R.Verdict = StaticVerdict::Certified;
+  return R;
+}

@@ -1,0 +1,110 @@
+//===- analysis/StaticRace.h - Static DRF certification ---------*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An Eraser-style static lockset analysis (Savage et al., TOCS 1997)
+/// over the client languages (Clight and CImp): a sound, syntax-directed
+/// approximation of the paper's DRF premise (Thm. 15). Every static
+/// access site to a global cell is collected together with the must-held
+/// lockset at that site (calls to the `lock`/`unlock` entries of a
+/// synchronization object acquire/release a lock token; CImp atomic
+/// blocks hold the distinguished token `<atomic>`). A cell is
+/// consistently protected when every pair of concurrent accesses, at
+/// least one of them a write, shares a common token.
+///
+/// The verdict is three-valued:
+///  - Certified: every shared cell is thread-confined, read-shared, or
+///    consistently protected — the program is statically DRF, and the
+///    dynamic Race rule of Fig. 9 cannot fire (a DrfCertificate);
+///  - Racy: at least one pair of access sites may conflict — reported as
+///    ranked PotentialRace diagnostics;
+///  - Inapplicable: some thread executes code outside the analyzable
+///    client languages (e.g. hand-written x86 such as the pi_lock client
+///    of Fig. 10b), or uses a feature the analysis does not model
+///    (recursion, unknown externs) — no claim is made and callers must
+///    fall back to dynamic exploration.
+///
+/// Object-mode modules (Sec. 7.1) are not traversed: their accesses are
+/// confined to object-owned data by the permission discipline (clients
+/// abort on touching it), so they cannot conflict with client accesses —
+/// exactly the confinement argument the paper uses to keep object-internal
+/// benign races (the pi_lock spin read) out of the client DRF obligation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_ANALYSIS_STATICRACE_H
+#define CASCC_ANALYSIS_STATICRACE_H
+
+#include "core/Program.h"
+
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ccc {
+namespace analysis {
+
+/// A must-held set of lock tokens ("L:<suffix>" for lock objects,
+/// "<atomic>" for atomic blocks).
+using LockSet = std::set<std::string>;
+
+/// One static access site to a global cell.
+struct AccessSite {
+  std::string Global;  ///< Cell name ("*" for an unknown pointer target).
+  bool Write = false;
+  bool Wildcard = false; ///< May touch any client cell (unknown pointer).
+  LockSet Held;          ///< Must-held lockset (∩ over all walks).
+  std::string Module;    ///< Defining module of the enclosing function.
+  std::string Func;      ///< Enclosing function.
+  unsigned Root = 0;     ///< Thread-root index.
+  unsigned RootInstances = 1; ///< Threads running this root's code.
+
+  std::string describe() const;
+};
+
+/// A pair of access sites that may conflict (the static analogue of the
+/// Race rule's conflicting footprints).
+struct PotentialRace {
+  std::string Global;
+  AccessSite A, B;
+  /// Severity rank: 3 = write/write with no protection at all, 2 =
+  /// unprotected write/read (or protected-on-one-side write/write), 1 =
+  /// lockset mismatch (both sides locked, but by different locks).
+  int Rank = 1;
+
+  std::string describe() const;
+};
+
+enum class StaticVerdict { Certified, Racy, Inapplicable };
+
+const char *verdictName(StaticVerdict V);
+
+/// The analysis result: a DRF certificate (Certified), ranked potential
+/// races, or a declination with reasons.
+struct StaticDrfReport {
+  StaticVerdict Verdict = StaticVerdict::Inapplicable;
+  /// Ranked most-severe-first; nonempty only when Racy.
+  std::vector<PotentialRace> Races;
+  /// Inapplicability reasons and conservative warnings.
+  std::vector<std::string> Notes;
+
+  unsigned ThreadRoots = 0;    ///< Distinct (module, entry) thread roots.
+  unsigned AccessSites = 0;    ///< Distinct static access sites collected.
+  unsigned SharedCells = 0;    ///< Cells accessed by >= 2 thread instances.
+  unsigned ProtectedCells = 0; ///< Shared cells with a consistent lockset.
+
+  bool certified() const { return Verdict == StaticVerdict::Certified; }
+  std::string toString() const;
+};
+
+/// Runs the lockset analysis on a linked program.
+StaticDrfReport staticRaceAnalysis(const Program &P);
+
+} // namespace analysis
+} // namespace ccc
+
+#endif // CASCC_ANALYSIS_STATICRACE_H

@@ -2,6 +2,7 @@
 
 #include "compiler/Compiler.h"
 
+#include "analysis/IRVerifier.h"
 #include "clight/ClightLang.h"
 #include "clight/ClightParser.h"
 #include "ir/IRLangs.h"
@@ -36,6 +37,12 @@ ccc::compiler::compileClight(std::shared_ptr<const clight::Module> M) {
   R.LinearClean = cleanupLabels(*R.Linear);
   R.Mach = stacking(*R.LinearClean);
   R.Asm = asmgen(*R.Mach);
+  // Every pass boundary is structurally verified right here, so malformed
+  // pass output surfaces at compile time instead of as an obscure
+  // simulation-check or execution failure downstream.
+  for (const analysis::VerifyResult &VR : analysis::verifyPipeline(R))
+    for (const std::string &E : VR.Errors)
+      R.VerifyErrors.push_back(E);
   return R;
 }
 

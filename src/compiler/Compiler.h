@@ -41,6 +41,12 @@ struct CompileResult {
   std::shared_ptr<linear::Module> LinearClean;
   std::shared_ptr<mach::Module> Mach;
   std::shared_ptr<x86::Module> Asm;
+
+  /// Findings of the per-IR structural verifiers (analysis/IRVerifier.h),
+  /// run by compileClight over every stage; empty when all stages are
+  /// well-formed. Consumers that go on to validate or execute stages
+  /// should treat a nonempty list as a compiler bug.
+  std::vector<std::string> VerifyErrors;
 };
 
 /// The ordered pass names of Fig. 11 (also the row labels of Fig. 13).

@@ -2,6 +2,8 @@
 
 #include "validate/PassValidator.h"
 
+#include "analysis/IRVerifier.h"
+
 #include <chrono>
 
 using namespace ccc;
@@ -41,6 +43,20 @@ ccc::validate::validatePipeline(const CompileResult &R,
     PassResult PR;
     PR.PassName = Names[Pass];
     auto Start = std::chrono::steady_clock::now();
+
+    // Structural verification of the pass's output comes first: a
+    // malformed module fails fast with a direct diagnostic instead of a
+    // product-state search wandering into the weeds.
+    analysis::VerifyResult VR = analysis::verifyStage(R, Pass + 1);
+    if (!VR.ok()) {
+      PR.Holds = false;
+      PR.FailReason = "IRVerifier: " + VR.Errors.front();
+      auto VEnd = std::chrono::steady_clock::now();
+      PR.Millis =
+          std::chrono::duration<double, std::milli>(VEnd - Start).count();
+      Out.push_back(std::move(PR));
+      continue;
+    }
 
     Program Src, Tgt;
     unsigned SrcMod = compiler::addStage(Src, R, Pass, "m");

@@ -266,7 +266,8 @@ private:
       return parseMemWithDisp(0, O);
     }
     if (T.is(Token::Kind::Ident)) {
-      std::string Name = Toks.next().Text;
+      std::string Name = Toks.peek().Text;
+      Toks.next();
       if (Name.size() > 1 && Name[0] == '$') {
         O = Operand::globalImm(Name.substr(1));
         return true;

@@ -81,9 +81,11 @@ TEST(PreemptiveRules, SwitchTargetsOnlyLiveThreads) {
   World Fin = stepLocal(stepLocal(AtT2));
   EXPECT_TRUE(Fin.thread(1).Finished);
   // Back at scheduling: t2 is finished, so no switch edge targets it.
-  for (const auto &S : Fin.succ())
-    if (S.L.K == GLabel::Kind::Sw)
+  for (const auto &S : Fin.succ()) {
+    if (S.L.K == GLabel::Kind::Sw) {
       EXPECT_NE(S.Next.curThread(), 1u);
+    }
+  }
 }
 
 TEST(PreemptiveRules, RacePredictionRequiresD0) {

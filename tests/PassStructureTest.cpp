@@ -84,8 +84,9 @@ TEST(PassStructure, CminorgenEliminatesSlotAddresses) {
   // loads/stores target globals.
   std::function<void(const cminor::Expr &)> Check =
       [&](const cminor::Expr &E) {
-        if (E.K == cminor::Expr::Kind::Load)
+        if (E.K == cminor::Expr::Kind::Load) {
           EXPECT_NE(E.L->K, cminor::Expr::Kind::Temp);
+        }
         if (E.L)
           Check(*E.L);
         if (E.R)
@@ -121,13 +122,15 @@ TEST(PassStructure, RTLgenProducesAWellFormedCFG) {
         continue;
       EXPECT_TRUE(F.Graph.count(I.S1))
           << ir::toString(I) << " dangles in " << F.Name;
-      if (I.K == rtl::Instr::Kind::Cond)
+      if (I.K == rtl::Instr::Kind::Cond) {
         EXPECT_TRUE(F.Graph.count(I.S2));
+      }
       // Register sanity.
       for (rtl::Reg A : I.Args)
         EXPECT_LT(A, F.NumRegs);
-      if (I.HasDst)
+      if (I.HasDst) {
         EXPECT_LT(I.Dst, F.NumRegs);
+      }
     }
   }
 }
@@ -151,8 +154,9 @@ TEST(PassStructure, AllocationRespectsReservedRegisters) {
         CheckLoc(A);
       if (I.HasDst && !(I.K == ltl::Instr::Kind::Call))
         CheckLoc(I.Dst);
-      if (I.K == ltl::Instr::Kind::Call && I.HasDst)
+      if (I.K == ltl::Instr::Kind::Call && I.HasDst) {
         EXPECT_EQ(I.Dst, ltl::Loc::reg(x86::Reg::EAX));
+      }
     }
   }
 }
@@ -168,8 +172,9 @@ TEST(PassStructure, TunnelingShortcutsNopChains) {
           I.K == ltl::Instr::Kind::Tailcall)
         continue;
       auto It = F.Graph.find(I.S1);
-      if (It != F.Graph.end() && It->second.K == ltl::Instr::Kind::Nop)
+      if (It != F.Graph.end() && It->second.K == ltl::Instr::Kind::Nop) {
         EXPECT_EQ(It->second.S1, I.S1) << "untunneled chain in " << F.Name;
+      }
     }
   }
 }
@@ -181,11 +186,13 @@ TEST(PassStructure, LinearizeResolvesEveryBranch) {
     for (const linear::Instr &I : F.Code)
       if (I.K == linear::Instr::Kind::Label)
         Labels.insert(I.Label);
-    for (const linear::Instr &I : F.Code)
+    for (const linear::Instr &I : F.Code) {
       if (I.K == linear::Instr::Kind::Goto ||
-          I.K == linear::Instr::Kind::Cond)
+          I.K == linear::Instr::Kind::Cond) {
         EXPECT_TRUE(Labels.count(I.Label))
             << "dangling label in " << F.Name;
+      }
+    }
   }
 }
 
@@ -214,11 +221,14 @@ TEST(PassStructure, StackingSizesFramesToSpills) {
               R.LinearClean->Funcs[I].NumSlots);
     // Every slot reference fits in the frame.
     for (const mach::Instr &In : R.Mach->Funcs[I].Code) {
-      for (const mach::Loc &L : In.Args)
-        if (!L.IsReg)
+      for (const mach::Loc &L : In.Args) {
+        if (!L.IsReg) {
           EXPECT_LT(L.Slot, R.Mach->Funcs[I].FrameSize);
-      if (In.HasDst && !In.Dst.IsReg)
+        }
+      }
+      if (In.HasDst && !In.Dst.IsReg) {
         EXPECT_LT(In.Dst.Slot, R.Mach->Funcs[I].FrameSize);
+      }
     }
   }
 }

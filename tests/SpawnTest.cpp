@@ -39,9 +39,11 @@ TEST(Spawn, SpawnedThreadRuns) {
   EXPECT_TRUE(T.contains(Trace{{1, 3, 2}, TraceEnd::Done}));
   EXPECT_TRUE(T.contains(Trace{{1, 2, 3}, TraceEnd::Done}));
   // The child can only run after the spawn: 2 never precedes 1.
-  for (const Trace &Tr : T.traces())
-    if (!Tr.Events.empty())
+  for (const Trace &Tr : T.traces()) {
+    if (!Tr.Events.empty()) {
       EXPECT_EQ(Tr.Events[0], 1) << Tr.toString();
+    }
+  }
 }
 
 TEST(Spawn, ArgumentsArePassed) {

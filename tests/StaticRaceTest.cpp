@@ -1,0 +1,275 @@
+//===- tests/StaticRaceTest.cpp - Static DRF certifier ---------------------===//
+//
+// The Eraser-style lockset analysis (analysis/StaticRace.h): protected,
+// unprotected, and benign/thread-confined access patterns, the E3
+// gamma_lock / pi_lock clients, and the soundness cross-check against the
+// dynamic Race rule of Fig. 9 over every src/workload program family:
+// a static DRF certificate must imply the dynamic detector finds no race,
+// and every dynamically racy control must be flagged (or conservatively
+// declined) statically.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/RaceDetector.h"
+#include "analysis/StaticRace.h"
+#include "cimp/CImpLang.h"
+#include "clight/ClightLang.h"
+#include "core/Semantics.h"
+#include "sync/LockLib.h"
+#include "workload/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace ccc;
+using namespace ccc::analysis;
+
+namespace {
+
+Program cimpProgram(const std::string &Source,
+                    const std::vector<std::string> &Threads,
+                    bool WithLock = false) {
+  Program P;
+  cimp::addCImpModule(P, "client", Source);
+  if (WithLock)
+    sync::addGammaLock(P);
+  for (const std::string &T : Threads)
+    P.addThread(T);
+  P.link();
+  return P;
+}
+
+// --- protected patterns --------------------------------------------------
+
+TEST(StaticRace, LockProtectedCounterIsCertified) {
+  Program P = workload::lockedCounter(2, 2, 1);
+  StaticDrfReport R = staticRaceAnalysis(P);
+  EXPECT_EQ(R.Verdict, StaticVerdict::Certified) << R.toString();
+  EXPECT_TRUE(R.Races.empty());
+  EXPECT_GE(R.SharedCells, 1u);
+  EXPECT_GE(R.ProtectedCells, 1u);
+}
+
+TEST(StaticRace, AtomicBlockCountsAsProtection) {
+  Program P = workload::atomicCounter(2, 2);
+  StaticDrfReport R = staticRaceAnalysis(P);
+  EXPECT_EQ(R.Verdict, StaticVerdict::Certified) << R.toString();
+}
+
+TEST(StaticRace, ClightGammaLockClientIsCertified) {
+  // The Fig. 10(c) client (E3's gamma_lock configuration), in Clight.
+  Program P = workload::clightLockedCounter(2);
+  StaticDrfReport R = staticRaceAnalysis(P);
+  EXPECT_EQ(R.Verdict, StaticVerdict::Certified) << R.toString();
+  EXPECT_GE(R.AccessSites, 2u);
+}
+
+// --- unprotected patterns ------------------------------------------------
+
+TEST(StaticRace, RacyCounterIsFlagged) {
+  Program P = workload::racyCounter(2);
+  StaticDrfReport R = staticRaceAnalysis(P);
+  ASSERT_EQ(R.Verdict, StaticVerdict::Racy) << R.toString();
+  ASSERT_FALSE(R.Races.empty());
+  // The top-ranked diagnostic is the unprotected write/write on x.
+  EXPECT_EQ(R.Races.front().Global, "x");
+  EXPECT_EQ(R.Races.front().Rank, 3);
+}
+
+TEST(StaticRace, OneSidedLockingIsFlagged) {
+  Program P = cimpProgram(R"(
+    global x = 0;
+    locked()   { lock(); tmp := [x]; [x] := tmp + 1; unlock(); }
+    unlocked() { [x] := 7; }
+  )",
+                          {"locked", "unlocked"}, /*WithLock=*/true);
+  StaticDrfReport R = staticRaceAnalysis(P);
+  ASSERT_EQ(R.Verdict, StaticVerdict::Racy) << R.toString();
+  EXPECT_EQ(R.Races.front().Global, "x");
+}
+
+TEST(StaticRace, AccessAfterUnlockIsFlagged) {
+  Program P = cimpProgram(R"(
+    global x = 0;
+    inc() { lock(); [x] := 1; unlock(); [x] := 2; }
+  )",
+                          {"inc", "inc"}, /*WithLock=*/true);
+  StaticDrfReport R = staticRaceAnalysis(P);
+  EXPECT_EQ(R.Verdict, StaticVerdict::Racy) << R.toString();
+}
+
+TEST(StaticRace, ConditionalLockingIsConservativelyFlagged) {
+  // The must-held lockset at the access is the intersection over both
+  // branches, i.e. empty — Eraser's discipline rejects this shape.
+  Program Q;
+  cimp::addCImpModule(Q, "client", R"(
+    global x = 0;
+    inc() { c := 1; if (c) { lock(); } [x] := 1; if (c) { unlock(); } }
+  )");
+  sync::addGammaLock(Q);
+  Q.addThread("inc");
+  Q.addThread("inc");
+  Q.link();
+  StaticDrfReport R = staticRaceAnalysis(Q);
+  EXPECT_EQ(R.Verdict, StaticVerdict::Racy) << R.toString();
+}
+
+// --- benign / confined patterns ------------------------------------------
+
+TEST(StaticRace, ThreadConfinedCellsAreFiltered) {
+  // Each entry touches its own global: no sharing, no race.
+  Program P = cimpProgram(R"(
+    global a = 0;
+    global b = 0;
+    t1() { [a] := 1; tmp := [a]; print(tmp); }
+    t2() { [b] := 2; }
+  )",
+                          {"t1", "t2"});
+  StaticDrfReport R = staticRaceAnalysis(P);
+  EXPECT_EQ(R.Verdict, StaticVerdict::Certified) << R.toString();
+  EXPECT_EQ(R.SharedCells, 0u);
+}
+
+TEST(StaticRace, ReadOnlySharingIsCertified) {
+  Program P = cimpProgram(R"(
+    global c = 9;
+    reader() { tmp := [c]; print(tmp); }
+  )",
+                          {"reader", "reader"});
+  StaticDrfReport R = staticRaceAnalysis(P);
+  EXPECT_EQ(R.Verdict, StaticVerdict::Certified) << R.toString();
+  EXPECT_EQ(R.SharedCells, 1u);
+}
+
+TEST(StaticRace, SingleThreadWritesAreCertified) {
+  Program P = cimpProgram("global x = 0; inc() { [x] := 1; [x] := 2; }",
+                          {"inc"});
+  StaticDrfReport R = staticRaceAnalysis(P);
+  EXPECT_EQ(R.Verdict, StaticVerdict::Certified) << R.toString();
+}
+
+// --- the pi_lock client (E3) and other inapplicable programs -------------
+
+TEST(StaticRace, PiLockAsmClientIsInapplicable) {
+  // Hand-written assembly cannot be traversed: no claim, no certificate —
+  // callers fall back to the dynamic detector.
+  Program P = workload::asmCounterWithPiLock(x86::MemModel::TSO, 2);
+  StaticDrfReport R = staticRaceAnalysis(P);
+  EXPECT_EQ(R.Verdict, StaticVerdict::Inapplicable) << R.toString();
+  EXPECT_FALSE(R.Notes.empty());
+}
+
+TEST(StaticRace, SpawnedThreadsAreAnalyzedAsRoots) {
+  Program P = cimpProgram(R"(
+    global x = 0;
+    worker() { [x] := 1; }
+    main() { spawn worker(); [x] := 2; }
+  )",
+                          {"main"});
+  StaticDrfReport R = staticRaceAnalysis(P);
+  EXPECT_EQ(R.Verdict, StaticVerdict::Racy) << R.toString();
+}
+
+// --- the combined detector (fast path) -----------------------------------
+
+TEST(RaceDetector, FastPathSkipsExplorationWhenCertified) {
+  Program P = workload::lockedCounter(2, 1, 0);
+  DetectResult D = detectRaces(P);
+  EXPECT_TRUE(D.Static.certified());
+  EXPECT_TRUE(D.FastPath);
+  EXPECT_TRUE(D.Drf);
+  EXPECT_EQ(D.ExploredStates, 0u);
+}
+
+TEST(RaceDetector, FastPathSampleConfirmAgreesWithCertificate) {
+  Program P = workload::lockedCounter(2, 1, 0);
+  DetectOptions O;
+  O.SampleConfirm = true;
+  DetectResult D = detectRaces(P, O);
+  EXPECT_TRUE(D.FastPath);
+  EXPECT_TRUE(D.Drf);
+  EXPECT_FALSE(D.Witness.has_value());
+  EXPECT_GT(D.ExploredStates, 0u);
+}
+
+TEST(RaceDetector, FallsBackToDynamicOnRacyPrograms) {
+  Program P = workload::racyCounter(2);
+  DetectResult D = detectRaces(P);
+  EXPECT_FALSE(D.FastPath);
+  EXPECT_FALSE(D.Drf);
+  EXPECT_TRUE(D.Witness.has_value());
+}
+
+TEST(RaceDetector, FallsBackToDynamicOnInapplicablePrograms) {
+  Program P = workload::sbLitmus(x86::MemModel::SC, false);
+  DetectResult D = detectRaces(P);
+  EXPECT_FALSE(D.FastPath);
+  EXPECT_EQ(D.Static.Verdict, StaticVerdict::Inapplicable);
+  // SB is the canonical racy litmus: the dynamic rule finds the witness.
+  EXPECT_FALSE(D.Drf);
+  EXPECT_TRUE(D.Witness.has_value());
+}
+
+// --- soundness cross-check over every workload family --------------------
+
+struct Family {
+  const char *Name;
+  Program P;
+};
+
+std::vector<Family> workloadFamilies() {
+  std::vector<Family> Out;
+  Out.push_back({"lockedCounter", workload::lockedCounter(2, 1, 0)});
+  Out.push_back({"lockedCounterWide", workload::lockedCounter(3, 1, 0)});
+  Out.push_back({"racyCounter", workload::racyCounter(2)});
+  Out.push_back({"atomicCounter", workload::atomicCounter(2, 2)});
+  Out.push_back({"clightLockedCounter", workload::clightLockedCounter(2)});
+  Out.push_back(
+      {"asmPiLock", workload::asmCounterWithPiLock(x86::MemModel::TSO, 2)});
+  Out.push_back({"sbLitmus", workload::sbLitmus(x86::MemModel::SC, false)});
+  Out.push_back(
+      {"sbLitmusFenced", workload::sbLitmus(x86::MemModel::SC, true)});
+  Out.push_back({"mpLitmus", workload::mpLitmus(x86::MemModel::SC)});
+  return Out;
+}
+
+TEST(StaticRaceCrossCheck, SoundAgainstDynamicDetectorOnAllFamilies) {
+  for (Family &F : workloadFamilies()) {
+    SCOPED_TRACE(F.Name);
+    StaticDrfReport S = staticRaceAnalysis(F.P);
+
+    Explorer<World> E;
+    E.build(World::load(F.P));
+    std::optional<RaceWitness> Dyn = E.findRace();
+
+    // Zero false negatives: a static certificate means the dynamic Race
+    // rule must not fire.
+    if (S.certified()) {
+      EXPECT_FALSE(Dyn.has_value())
+          << "static certificate on a dynamically racy program!\n"
+          << S.toString();
+    }
+
+    // Completeness on racy controls: a dynamic witness must be flagged
+    // statically (Racy) or conservatively declined (Inapplicable) —
+    // never certified.
+    if (Dyn.has_value()) {
+      EXPECT_NE(S.Verdict, StaticVerdict::Certified) << S.toString();
+    }
+  }
+}
+
+TEST(StaticRaceCrossCheck, RacyControlsAreAllFlaggedStatically) {
+  // Controls written in the analyzable client languages must be flagged
+  // outright, not merely declined.
+  std::vector<std::pair<const char *, Program>> Controls;
+  Controls.emplace_back("racyCounter", workload::racyCounter(2));
+  Controls.emplace_back("racyCounter3", workload::racyCounter(3));
+  for (auto &NameAndP : Controls) {
+    SCOPED_TRACE(NameAndP.first);
+    StaticDrfReport S = staticRaceAnalysis(NameAndP.second);
+    EXPECT_EQ(S.Verdict, StaticVerdict::Racy) << S.toString();
+    EXPECT_FALSE(S.Races.empty());
+  }
+}
+
+} // namespace
