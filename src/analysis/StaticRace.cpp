@@ -82,6 +82,9 @@ struct Pointees {
   bool Wild = false;
 
   bool empty() const { return !Wild && Cells.empty(); }
+  bool operator==(const Pointees &O) const {
+    return Wild == O.Wild && Cells == O.Cells;
+  }
   void join(const Pointees &O) {
     Wild = Wild || O.Wild;
     Cells.insert(O.Cells.begin(), O.Cells.end());
@@ -229,7 +232,8 @@ struct Analyzer {
       A.Module = P.module(ModIdx).Name;
       A.Func = Func;
       A.Root = CurRoot;
-      A.RootInstances = Roots[CurRoot].Instances;
+      // RootInstances is resolved in run() once all walks are done:
+      // a later root (or this one) may still spawn more instances.
       Sites.emplace(std::move(Key), std::move(A));
     } else {
       It->second.Held = intersect(It->second.Held, Held);
@@ -239,7 +243,12 @@ struct Analyzer {
   void recordPointees(const void *Site, const Pointees &Pt, bool Write,
                       const LockSet &Held, unsigned ModIdx,
                       const std::string &Func) {
-    if (Pt.Wild) {
+    // An empty pointee set at a deref does NOT mean no access: it means
+    // the address could not be resolved at all (e.g. a deref of an
+    // int-valued global holding &x, which the dynamic semantics
+    // executes). Degrade to an access to every client cell rather than
+    // recording nothing — recording nothing could certify a racy program.
+    if (Pt.Wild || Pt.empty()) {
       record(Site, "*", Write, /*Wildcard=*/true, Held, ModIdx, Func);
       note("unresolved pointer target in " + P.module(ModIdx).Name + "." +
            Func + " — treated as an access to every client cell");
@@ -323,11 +332,15 @@ struct Analyzer {
     for (const clight::VarDecl &V : F.Params)
       if (V.Type == clight::Ty::IntPtr)
         Pt[V.Name] = Pointees::wild();
-    // Two rounds propagate copies-of-copies; the subset has no loops in
-    // the copy graph deeper than that in practice, and unresolved cases
-    // degrade to "anything" (sound).
-    clightPtOfBlock(F.Body, Pt, M);
-    clightPtOfBlock(F.Body, Pt, M);
+    // Iterate the flow-insensitive transfer to a fixpoint: a backward
+    // copy chain needs one round per link, and pointee sets only grow
+    // under join (bounded by the module's globals), so this terminates.
+    for (;;) {
+      PtMap Before = Pt;
+      clightPtOfBlock(F.Body, Pt, M);
+      if (Pt == Before)
+        break;
+    }
     return Pt;
   }
 
@@ -410,6 +423,11 @@ struct Analyzer {
           if (A)
             clightReads(*A, Pt, M, Held, ModIdx, Func);
         Held = applyCall(&S, S.Callee, Held);
+        // The dynamic semantics stores the call result with a write
+        // footprint (StoreRet), so `g = f()` writes g after the call
+        // returns — under the post-call lockset.
+        if (!S.Dst.empty() && M.isGlobal(S.Dst))
+          record(&S, S.Dst, /*Write=*/true, false, Held, ModIdx, Func);
         break;
       }
       case clight::Stmt::Kind::Return:
@@ -494,8 +512,13 @@ struct Analyzer {
     PtMap Pt;
     for (const std::string &Param : F.Params)
       Pt[Param] = Pointees::wild();
-    cimpPtOfBlock(F.Body, Pt);
-    cimpPtOfBlock(F.Body, Pt);
+    // Fixpoint, for the same reason as clightPt.
+    for (;;) {
+      PtMap Before = Pt;
+      cimpPtOfBlock(F.Body, Pt);
+      if (Pt == Before)
+        break;
+    }
     return Pt;
   }
 
@@ -669,6 +692,15 @@ struct Analyzer {
       if (!Applicable)
         return;
     }
+
+    // A root's instance count can grow after it was walked (a later root
+    // spawning an earlier root's entry, or a root spawning itself), so
+    // site instance counts are only meaningful now that all walks are
+    // done. The walked sites themselves need no refresh: a merged spawn
+    // runs the same code from the same empty lockset.
+    for (auto &KV : Sites)
+      KV.second.RootInstances = Roots[KV.second.Root].Instances;
+
     R.ThreadRoots = static_cast<unsigned>(Roots.size());
     R.AccessSites = static_cast<unsigned>(Sites.size());
 
@@ -728,9 +760,12 @@ struct Analyzer {
           PR.Global = Cell.first;
           PR.A = A;
           PR.B = B;
-          if (A.Write && B.Write && A.Held.empty() && B.Held.empty())
+          bool BothWrite = A.Write && B.Write;
+          bool BothUnlocked = A.Held.empty() && B.Held.empty();
+          bool OneUnlocked = A.Held.empty() || B.Held.empty();
+          if (BothWrite && BothUnlocked)
             PR.Rank = 3;
-          else if (A.Held.empty() && B.Held.empty())
+          else if (BothUnlocked || (BothWrite && OneUnlocked))
             PR.Rank = 2;
           else
             PR.Rank = 1;

@@ -97,6 +97,50 @@ TEST(StaticRace, AccessAfterUnlockIsFlagged) {
   EXPECT_EQ(R.Verdict, StaticVerdict::Racy) << R.toString();
 }
 
+TEST(StaticRace, CallResultStoredToGlobalIsAWrite) {
+  // `g = f()` stores the return value to g with a write footprint in the
+  // dynamic semantics (StoreRet); the static analysis must see the write
+  // or two such threads would be falsely certified DRF.
+  Program P;
+  clight::addClightModule(P, "client", R"(
+    int g = 0;
+    int get() { return 1; }
+    void t() { g = get(); }
+  )");
+  P.addThread("t");
+  P.addThread("t");
+  P.link();
+  StaticDrfReport R = staticRaceAnalysis(P);
+  ASSERT_EQ(R.Verdict, StaticVerdict::Racy) << R.toString();
+  ASSERT_FALSE(R.Races.empty());
+  EXPECT_EQ(R.Races.front().Global, "g");
+  EXPECT_TRUE(R.Races.front().A.Write);
+  EXPECT_TRUE(R.Races.front().B.Write);
+  // The dynamic Race rule agrees.
+  Explorer<World> E;
+  E.build(World::load(P));
+  EXPECT_TRUE(E.findRace().has_value());
+}
+
+TEST(StaticRace, LockProtectedCallResultStoreIsCertified) {
+  // The converse: the StoreRet write happens after the call returns, so
+  // a result store inside the critical section is protected.
+  Program P;
+  clight::addClightModule(P, "client", R"(
+    extern void lock();
+    extern void unlock();
+    int g = 0;
+    int get() { return 1; }
+    void t() { lock(); g = get(); unlock(); }
+  )");
+  sync::addGammaLock(P);
+  P.addThread("t");
+  P.addThread("t");
+  P.link();
+  StaticDrfReport R = staticRaceAnalysis(P);
+  EXPECT_EQ(R.Verdict, StaticVerdict::Certified) << R.toString();
+}
+
 TEST(StaticRace, ConditionalLockingIsConservativelyFlagged) {
   // The must-held lockset at the access is the intersection over both
   // branches, i.e. empty — Eraser's discipline rejects this shape.
@@ -167,6 +211,112 @@ TEST(StaticRace, SpawnedThreadsAreAnalyzedAsRoots) {
                           {"main"});
   StaticDrfReport R = staticRaceAnalysis(P);
   EXPECT_EQ(R.Verdict, StaticVerdict::Racy) << R.toString();
+}
+
+TEST(StaticRace, LateSpawnOfAlreadyWalkedRootIsDetected) {
+  // t1 is walked first as a single instance; t2 then spawns another t1.
+  // Instance counts must be resolved after all walks — a walk-time
+  // snapshot would leave t1's write looking thread-confined.
+  Program P = cimpProgram(R"(
+    global x = 0;
+    t1() { [x] := 1; }
+    t2() { spawn t1(); }
+  )",
+                          {"t1", "t2"});
+  StaticDrfReport R = staticRaceAnalysis(P);
+  EXPECT_EQ(R.Verdict, StaticVerdict::Racy) << R.toString();
+}
+
+TEST(StaticRace, SelfSpawnReplicatesRoot) {
+  // The spawn comes after the access, so the root's own instance count
+  // grows only once its sites are already recorded.
+  Program P = cimpProgram(R"(
+    global x = 0;
+    main() { [x] := 1; spawn main(); }
+  )",
+                          {"main"});
+  StaticDrfReport R = staticRaceAnalysis(P);
+  EXPECT_EQ(R.Verdict, StaticVerdict::Racy) << R.toString();
+}
+
+// --- pointer resolution ---------------------------------------------------
+
+TEST(StaticRace, DeepCopyChainResolvesToFixpoint) {
+  // A backward copy chain needs one propagation round per link: with a
+  // fixed round count the analysis would miss that d can point to x and
+  // falsely certify the write/write race with `other`.
+  Program P;
+  clight::addClightModule(P, "client", R"(
+    int x = 0;
+    int y = 0;
+    void writer() {
+      int *a;
+      int *b;
+      int *c;
+      int *d;
+      int i;
+      a = &x;
+      b = &y;
+      c = &y;
+      d = &y;
+      i = 0;
+      while (i < 3) {
+        d = c;
+        c = b;
+        b = a;
+        i = i + 1;
+      }
+      *d = 1;
+    }
+    void other() { x = 5; }
+  )");
+  P.addThread("writer");
+  P.addThread("other");
+  P.link();
+  StaticDrfReport R = staticRaceAnalysis(P);
+  ASSERT_EQ(R.Verdict, StaticVerdict::Racy) << R.toString();
+  bool OnX = false;
+  for (const PotentialRace &PR : R.Races)
+    OnX = OnX || PR.Global == "x";
+  EXPECT_TRUE(OnX) << R.toString();
+}
+
+TEST(StaticRace, DerefThroughIntGlobalIsNotCertified) {
+  // g holds &x at runtime; the points-to model cannot resolve a deref of
+  // an int-valued global, and must degrade to "any cell" rather than
+  // recording no access (which would certify this racy program).
+  Program P;
+  clight::addClightModule(P, "client", R"(
+    int x = 0;
+    int g = 0;
+    void t1() {
+      g = &x;
+      *g = 1;
+    }
+    void t2() { x = 2; }
+  )");
+  P.addThread("t1");
+  P.addThread("t2");
+  P.link();
+  StaticDrfReport R = staticRaceAnalysis(P);
+  EXPECT_NE(R.Verdict, StaticVerdict::Certified) << R.toString();
+}
+
+// --- diagnostic ranking ---------------------------------------------------
+
+TEST(StaticRace, OneSideLockedWriteWriteRanksTwo) {
+  Program P = cimpProgram(R"(
+    global x = 0;
+    locked()   { lock(); [x] := 1; unlock(); }
+    unlocked() { [x] := 7; }
+  )",
+                          {"locked", "unlocked"}, /*WithLock=*/true);
+  StaticDrfReport R = staticRaceAnalysis(P);
+  ASSERT_EQ(R.Verdict, StaticVerdict::Racy) << R.toString();
+  ASSERT_FALSE(R.Races.empty());
+  // Protected-on-one-side write/write: rank 2 (above a pure lockset
+  // mismatch, below a fully unprotected write/write).
+  EXPECT_EQ(R.Races.front().Rank, 2) << R.toString();
 }
 
 // --- the combined detector (fast path) -----------------------------------
