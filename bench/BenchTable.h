@@ -11,9 +11,63 @@
 #include <chrono>
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace benchtable {
+
+/// Escapes a string for embedding in a JSON document.
+inline std::string jsonStr(const std::string &S) {
+  std::string Out = "\"";
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    if (C == '\n') {
+      Out += "\\n";
+      continue;
+    }
+    Out += C;
+  }
+  Out += '"';
+  return Out;
+}
+
+/// Collects raw JSON values under section names and writes them as one
+/// machine-readable document (each section becomes an array of entries),
+/// so benchmark runs can be archived and diffed by tooling.
+class JsonLog {
+public:
+  /// Appends \p RawJson (already valid JSON) to \p Section.
+  void add(const std::string &Section, const std::string &RawJson) {
+    for (auto &S : Sections) {
+      if (S.first == Section) {
+        S.second.push_back(RawJson);
+        return;
+      }
+    }
+    Sections.push_back({Section, {RawJson}});
+  }
+
+  bool write(const std::string &Path) const {
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    if (!F)
+      return false;
+    std::fprintf(F, "{\n");
+    for (std::size_t I = 0; I < Sections.size(); ++I) {
+      std::fprintf(F, "  %s: [\n", jsonStr(Sections[I].first).c_str());
+      for (std::size_t J = 0; J < Sections[I].second.size(); ++J)
+        std::fprintf(F, "    %s%s\n", Sections[I].second[J].c_str(),
+                     J + 1 < Sections[I].second.size() ? "," : "");
+      std::fprintf(F, "  ]%s\n", I + 1 < Sections.size() ? "," : "");
+    }
+    std::fprintf(F, "}\n");
+    std::fclose(F);
+    return true;
+  }
+
+private:
+  std::vector<std::pair<std::string, std::vector<std::string>>> Sections;
+};
 
 class Table {
 public:

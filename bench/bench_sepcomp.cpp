@@ -51,26 +51,32 @@ int main() {
   std::printf("E7 (Sec. 2.2): separate compilation of interacting modules "
               "(example 2.1)\n\n");
   bool AllGood = true;
+  benchtable::JsonLog Log;
 
   // Compile the two modules independently.
   auto R1 = compiler::compileClightSource(S1Source);
   auto R2 = compiler::compileClightSource(S2Source);
 
-  benchtable::Table T({"configuration", "trace set", "equals source", "ms"});
+  benchtable::Table T(
+      {"configuration", "trace set", "equals source", "states", "ms"});
 
-  auto runLinked = [&](unsigned Stage1, unsigned Stage2) {
+  auto runLinked = [&](unsigned Stage1, unsigned Stage2,
+                       ExploreOptions Opts, ExploreStats *Stats) {
     Program P;
     compiler::addStage(P, R1, Stage1, "S1");
     compiler::addStage(P, R2, Stage2, "S2");
     P.addThread("main");
     P.link();
-    return preemptiveTraces(P);
+    return preemptiveTraces(P, Opts, Stats);
   };
 
   benchtable::Timer Tm0;
-  TraceSet Src = runLinked(0, 0);
+  ExploreStats SrcStats;
+  TraceSet Src = runLinked(0, 0, {}, &SrcStats);
   T.addRow({"S1(Clight) o S2(Clight)", Src.toString(), "-",
-            benchtable::fmtMs(Tm0.ms())});
+            std::to_string(SrcStats.States), benchtable::fmtMs(Tm0.ms())});
+  Log.add("e7", "{\"config\":\"S1(Clight) o S2(Clight)\",\"explore\":" +
+                    SrcStats.toJson() + "}");
 
   struct Combo {
     const char *Name;
@@ -86,13 +92,43 @@ int main() {
   };
   for (const Combo &C : Combos) {
     benchtable::Timer Tm;
-    TraceSet Tgt = runLinked(C.St1, C.St2);
+    ExploreStats Stats;
+    TraceSet Tgt = runLinked(C.St1, C.St2, {}, &Stats);
     RefineResult R = equivTraces(Tgt, Src);
     AllGood = AllGood && R.Holds;
     T.addRow({C.Name, Tgt.toString(), benchtable::yesNo(R.Holds),
-              benchtable::fmtMs(Tm.ms())});
+              std::to_string(Stats.States), benchtable::fmtMs(Tm.ms())});
+    Log.add("e7", "{\"config\":" + benchtable::jsonStr(C.Name) +
+                      ",\"equals_source\":" + (R.Holds ? "true" : "false") +
+                      ",\"explore\":" + Stats.toJson() + "}");
   }
   T.print();
+
+  // Parallel engine check on the largest E7 state space: every thread
+  // count must reproduce the serial trace set bit-for-bit.
+  std::printf("\nparallel engine on S1(x86) o S2(x86)\n\n");
+  benchtable::Table Tp(
+      {"threads", "states", "build ms", "trace ms", "total ms", "identical"});
+  for (unsigned Threads : {1u, 2u, 4u, 8u}) {
+    ExploreOptions Opts;
+    Opts.Threads = Threads;
+    benchtable::Timer Tm;
+    ExploreStats Stats;
+    TraceSet Tgt = runLinked(12, 12, Opts, &Stats);
+    double TotalMs = Tm.ms();
+    bool Identical = Tgt == Src;
+    AllGood = AllGood && Identical;
+    Tp.addRow({std::to_string(Threads), std::to_string(Stats.States),
+               benchtable::fmtMs(Stats.BuildMs),
+               benchtable::fmtMs(Stats.TraceMs), benchtable::fmtMs(TotalMs),
+               benchtable::yesNo(Identical)});
+    Log.add("scaling", "{\"threads\":" + std::to_string(Threads) +
+                           ",\"total_ms\":" + std::to_string(TotalMs) +
+                           ",\"identical\":" +
+                           (Identical ? "true" : "false") +
+                           ",\"explore\":" + Stats.toJson() + "}");
+  }
+  Tp.print();
 
   std::printf("\nper-module simulation (Correct for each SeqComp, "
               "Def. 10/11)\n\n");
@@ -111,6 +147,11 @@ int main() {
                benchtable::fmtMs(Tm.ms())});
   }
   T2.print();
+
+  if (!Log.write("BENCH_sepcomp.json"))
+    std::printf("\nwarning: could not write BENCH_sepcomp.json\n");
+  else
+    std::printf("\nmachine-readable stats written to BENCH_sepcomp.json\n");
 
   std::printf("\nresult: %s — linked targets preserve the linked source "
               "(f returns 3, not 0)\n",

@@ -32,10 +32,13 @@ DetectResult ccc::analysis::detectRaces(const Program &P,
       auto ExpStart = std::chrono::steady_clock::now();
       Explorer<NPWorld> E(O.Explore);
       E.build(NPWorld::loadAll(P));
-      R.Witness = E.findRace();
+      RaceCheck C = E.checkRace();
+      R.Witness = C.Witness;
+      R.Conclusive = C.Conclusive;
       R.ExploredStates = E.numStates();
+      R.Explore = E.stats();
       R.ExploreMs = msSince(ExpStart);
-      R.Drf = !R.Witness.has_value();
+      R.Drf = !R.Witness && R.Conclusive;
     }
     return R;
   }
@@ -43,9 +46,12 @@ DetectResult ccc::analysis::detectRaces(const Program &P,
   auto ExpStart = std::chrono::steady_clock::now();
   Explorer<World> E(O.Explore);
   E.build(World::load(P));
-  R.Witness = E.findRace();
+  RaceCheck C = E.checkRace();
+  R.Witness = C.Witness;
+  R.Conclusive = C.Conclusive;
   R.ExploredStates = E.numStates();
+  R.Explore = E.stats();
   R.ExploreMs = msSince(ExpStart);
-  R.Drf = !R.Witness.has_value();
+  R.Drf = !R.Witness && R.Conclusive;
   return R;
 }

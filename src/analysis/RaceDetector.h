@@ -43,14 +43,26 @@ struct DetectResult {
   /// True when the static certificate short-circuited the preemptive
   /// exploration.
   bool FastPath = false;
-  /// The final DRF verdict.
+  /// The final DRF verdict. False whenever Conclusive is false: a
+  /// truncated exploration must not masquerade as a DRF certificate.
   bool Drf = false;
+  /// False when the dynamic exploration hit its state cap without finding
+  /// a witness — the verdict is then a bound, not a certificate.
+  bool Conclusive = true;
   /// Dynamic witness, when the dynamic detector ran and found one.
   std::optional<RaceWitness> Witness;
   /// States explored dynamically (0 when the fast path skipped it).
   std::size_t ExploredStates = 0;
+  /// Full engine statistics of the dynamic exploration, when it ran.
+  ExploreStats Explore{};
   double StaticMs = 0.0;
   double ExploreMs = 0.0;
+
+  CheckVerdict verdict() const {
+    if (Witness)
+      return CheckVerdict::Refuted;
+    return Conclusive ? CheckVerdict::Certified : CheckVerdict::Inconclusive;
+  }
 };
 
 /// Runs the combined detector on a linked program.

@@ -13,6 +13,28 @@
 /// (including silent divergence), and runs the Race rule of Fig. 9 over
 /// every reachable state.
 ///
+/// The engine is hash-interned and layer-parallel:
+///
+///  - States are interned by a 64-bit incremental hash (World::hashKey)
+///    into a sharded unordered map; the canonical key string is kept
+///    behind the hash and compared only when two states share a hash, so
+///    a collision can never merge distinct states.
+///  - The BFS frontier is expanded one layer at a time by a small worker
+///    pool. Workers intern successors into the shards under per-shard
+///    locks and receive provisional node ids; at the layer barrier the
+///    new ids are canonicalized to the (parent order, successor index)
+///    discovery order, which is exactly the id order of a serial FIFO
+///    exploration. Node ids, edges, traces and race verdicts are
+///    therefore bit-identical for every Threads value, and Threads = 1
+///    runs the very same code inline.
+///  - findRace / findRacesConfinedTo / the per-closure work of traces()
+///    fan out over the same pool, with results merged in deterministic
+///    node (resp. queue) order.
+///
+/// A truncated exploration (MaxStates hit) can never masquerade as a
+/// certificate: safetyVerdict() and checkRace() return Inconclusive
+/// instead of "no abort / no race".
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CASCC_CORE_EXPLORER_H
@@ -20,24 +42,109 @@
 
 #include "core/Trace.h"
 #include "core/WorldCommon.h"
+#include "support/Hashing.h"
+#include "support/Parallel.h"
 
 #include <algorithm>
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
 #include <deque>
 #include <map>
+#include <mutex>
 #include <optional>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace ccc {
 
-/// Exploration limits.
+/// Exploration limits and engine configuration.
 struct ExploreOptions {
   /// Maximum number of distinct global states to expand.
   unsigned MaxStates = 2000000;
   /// Maximum number of observable events per trace.
   unsigned MaxEvents = 64;
+  /// Worker-pool width. 1 (the default) explores serially; any value
+  /// produces bit-identical results.
+  unsigned Threads = 1;
+  /// Test hook: keep only the low N bits of every state hash, forcing
+  /// hash collisions so the string-verify fallback is exercised. 64 (the
+  /// default) keeps the full hash.
+  unsigned DebugHashBits = 64;
 };
+
+/// Observability counters of one exploration.
+struct ExploreStats {
+  /// Distinct states interned (== numStates()).
+  std::size_t States = 0;
+  /// States actually expanded (< States when truncated).
+  std::size_t Expanded = 0;
+  /// Intern probes (one per successor enumerated).
+  std::size_t Probes = 0;
+  /// Probes that resolved to an already-interned state.
+  std::size_t DedupHits = 0;
+  /// Probes that met a same-hash different-key entry (string-verified).
+  std::size_t HashCollisions = 0;
+  /// Widest BFS layer expanded.
+  std::size_t PeakFrontier = 0;
+  bool Truncated = false;
+  double BuildMs = 0.0;
+  double DivergenceMs = 0.0;
+  double TraceMs = 0.0;
+  double RaceMs = 0.0;
+
+  double dedupHitRate() const {
+    return Probes ? static_cast<double>(DedupHits) /
+                        static_cast<double>(Probes)
+                  : 0.0;
+  }
+
+  double statesPerSec() const {
+    return BuildMs > 0.0 ? static_cast<double>(Expanded) * 1000.0 / BuildMs
+                         : 0.0;
+  }
+
+  /// Machine-readable rendering for BENCH_*.json trajectories.
+  std::string toJson() const {
+    std::string J = "{";
+    auto Field = [&J](const char *Name, const std::string &V, bool Last = false) {
+      J += std::string("\"") + Name + "\":" + V + (Last ? "" : ",");
+    };
+    Field("states", std::to_string(States));
+    Field("expanded", std::to_string(Expanded));
+    Field("probes", std::to_string(Probes));
+    Field("dedup_hits", std::to_string(DedupHits));
+    Field("hash_collisions", std::to_string(HashCollisions));
+    Field("peak_frontier", std::to_string(PeakFrontier));
+    Field("truncated", Truncated ? "true" : "false");
+    Field("build_ms", std::to_string(BuildMs));
+    Field("divergence_ms", std::to_string(DivergenceMs));
+    Field("trace_ms", std::to_string(TraceMs));
+    Field("race_ms", std::to_string(RaceMs));
+    Field("states_per_sec", std::to_string(statesPerSec()), /*Last=*/true);
+    J += "}";
+    return J;
+  }
+};
+
+/// Tri-state outcome of a bounded check: a capped exploration that found
+/// nothing is Inconclusive, never Certified.
+enum class CheckVerdict { Certified, Refuted, Inconclusive };
+
+inline const char *checkVerdictName(CheckVerdict V) {
+  switch (V) {
+  case CheckVerdict::Certified:
+    return "certified";
+  case CheckVerdict::Refuted:
+    return "refuted";
+  case CheckVerdict::Inconclusive:
+    return "inconclusive";
+  }
+  return "?";
+}
 
 /// A data race witness (the Race rule of Fig. 9).
 struct RaceWitness {
@@ -51,45 +158,82 @@ struct RaceWitness {
   bool Confined = false;
 };
 
+/// Result of a race check with its conclusiveness.
+struct RaceCheck {
+  std::optional<RaceWitness> Witness;
+  /// False when the exploration was truncated and no witness was found,
+  /// i.e. "no race" is only a bound, not a certificate.
+  bool Conclusive = true;
+
+  CheckVerdict verdict() const {
+    if (Witness)
+      return CheckVerdict::Refuted;
+    return Conclusive ? CheckVerdict::Certified : CheckVerdict::Inconclusive;
+  }
+};
+
 /// Exhaustive explorer over a world type (World or NPWorld).
 template <typename WorldT> class Explorer {
 public:
   explicit Explorer(ExploreOptions Opts = {}) : Opts(Opts) {}
 
+  Explorer(const Explorer &) = delete;
+  Explorer &operator=(const Explorer &) = delete;
+
   /// Builds the reachable state graph from the given initial worlds.
   void build(const std::vector<WorldT> &Inits) {
+    auto BuildStart = std::chrono::steady_clock::now();
+    WorkerState InitWs;
     std::deque<unsigned> Work;
     for (const WorldT &W : Inits) {
-      unsigned Idx = intern(W);
+      unsigned Idx = intern(W, InitWs);
       Work.push_back(Idx);
       InitIdx.push_back(Idx);
     }
+    // Initial worlds interned serially: provisional ids are already
+    // canonical, append them in id order.
+    std::sort(InitWs.News.begin(), InitWs.News.end(),
+              [](const Pending &A, const Pending &B) {
+                return A.ProvId < B.ProvId;
+              });
+    for (Pending &P : InitWs.News)
+      Nodes.push_back(Node{std::move(P.W), {}, false, false, false});
+    mergeCounters(InitWs);
+
+    std::vector<unsigned> Batch;
     while (!Work.empty()) {
-      unsigned Idx = Work.front();
-      Work.pop_front();
-      if (Nodes[Idx].Expanded)
-        continue;
-      if (NumExpanded >= Opts.MaxStates) {
-        Truncated = true;
-        Nodes[Idx].Frontier = true;
-        continue;
+      // Form the layer exactly as the serial FIFO engine forms its pops:
+      // drain in order, skip already-expanded nodes, and once the state
+      // cap is reached mark the rest as frontier instead of expanding.
+      Batch.clear();
+      while (!Work.empty()) {
+        unsigned Idx = Work.front();
+        Work.pop_front();
+        if (Nodes[Idx].Expanded)
+          continue;
+        if (NumExpanded >= Opts.MaxStates) {
+          Truncated = true;
+          Nodes[Idx].Frontier = true;
+          continue;
+        }
+        ++NumExpanded;
+        Nodes[Idx].Expanded = true;
+        Batch.push_back(Idx);
       }
-      ++NumExpanded;
-      Nodes[Idx].Expanded = true;
-      // Note: succ() of an aborted or done world is empty.
-      auto Succs = Nodes[Idx].W.succ();
-      for (auto &S : Succs) {
-        unsigned To = intern(S.Next);
-        Edge E;
-        E.To = To;
-        E.K = S.L.K;
-        E.Ev = S.L.EventVal;
-        Nodes[Idx].Out.push_back(E);
-        if (!Nodes[To].Expanded)
-          Work.push_back(To);
-      }
+      Stats.PeakFrontier = std::max(Stats.PeakFrontier, Batch.size());
+      if (Batch.empty())
+        break;
+      expandLayer(Batch, Work);
     }
+
+    Stats.Expanded = NumExpanded;
+    Stats.States = Nodes.size();
+    Stats.Truncated = Truncated;
+    Stats.BuildMs = msSince(BuildStart);
+
+    auto DivStart = std::chrono::steady_clock::now();
     computeDivergence();
+    Stats.DivergenceMs = msSince(DivStart);
   }
 
   /// Convenience: build from a single initial world.
@@ -97,9 +241,12 @@ public:
 
   std::size_t numStates() const { return Nodes.size(); }
   bool truncated() const { return Truncated; }
+  const ExploreStats &stats() const { return Stats; }
 
   /// True if an aborted state is reachable (the paper's Safe(P) is the
-  /// negation of this).
+  /// negation of this). NOTE: on a truncated exploration, false only
+  /// means "no abort within the explored prefix" — use safetyVerdict()
+  /// for a result that cannot masquerade as a certificate.
   bool anyAbort() const {
     for (const Node &N : Nodes)
       if (N.W.aborted())
@@ -115,15 +262,25 @@ public:
     return std::nullopt;
   }
 
+  /// Tri-state Safe(P): Refuted when an abort is reachable, Inconclusive
+  /// when the exploration was truncated without finding one.
+  CheckVerdict safetyVerdict() const {
+    if (anyAbort())
+      return CheckVerdict::Refuted;
+    return Truncated ? CheckVerdict::Inconclusive : CheckVerdict::Certified;
+  }
+
   /// Computes the complete trace set via subset construction over silent
-  /// edges.
+  /// edges. The per-closure work (closure scans, successor closures) of
+  /// each queue wave runs on the worker pool.
   TraceSet traces() const {
+    auto Start = std::chrono::steady_clock::now();
     TraceSet Out;
     if (Nodes.empty())
       return Out;
 
     using Closure = std::vector<unsigned>;
-    auto closureOf = [&](std::vector<unsigned> Seed) {
+    auto closureOf = [&](const std::vector<unsigned> &Seed) {
       std::set<unsigned> Seen(Seed.begin(), Seed.end());
       std::deque<unsigned> Work(Seed.begin(), Seed.end());
       while (!Work.empty()) {
@@ -143,29 +300,33 @@ public:
       Closure C;
       std::vector<int64_t> Prefix;
     };
-    auto closureKey = [](const Closure &C) {
-      std::string K;
-      for (unsigned I : C)
-        K += std::to_string(I) + ",";
-      return K;
+
+    // Visited set keyed by the 64-bit hash of (closure, prefix), with the
+    // exact pair kept behind the hash for collision verification.
+    std::unordered_map<uint64_t,
+                       std::vector<std::pair<Closure, std::vector<int64_t>>>>
+        Visited;
+    auto visit = [&](const Item &It) {
+      Hasher64 H;
+      H.u64(It.C.size());
+      for (unsigned I : It.C)
+        H.u32(I);
+      for (int64_t E : It.Prefix)
+        H.u64(static_cast<uint64_t>(E));
+      auto &Cands = Visited[maskHash(H.get())];
+      for (const auto &C : Cands)
+        if (C.first == It.C && C.second == It.Prefix)
+          return false;
+      Cands.emplace_back(It.C, It.Prefix);
+      return true;
     };
 
-    std::deque<Item> Work;
-    std::set<std::string> Visited;
-    {
-      Item Init;
-      Init.C = closureOf(InitIdx);
-      Work.push_back(std::move(Init));
-    }
-    while (!Work.empty()) {
-      Item Cur = std::move(Work.front());
-      Work.pop_front();
-      std::string VisitKey = closureKey(Cur.C);
-      for (int64_t E : Cur.Prefix)
-        VisitKey += "|" + std::to_string(E);
-      if (!Visited.insert(VisitKey).second)
-        continue;
-
+    struct ItemOut {
+      std::vector<Trace> Emit;
+      std::vector<Item> Next;
+    };
+    auto processItem = [&](const Item &Cur) {
+      ItemOut R;
       bool SawDone = false, SawAbort = false, SawDiv = false, SawCut = false;
       std::map<int64_t, std::vector<unsigned>> EventSuccs;
       for (unsigned I : Cur.C) {
@@ -183,98 +344,178 @@ public:
             EventSuccs[E.Ev].push_back(E.To);
       }
       if (SawDone)
-        Out.insert(Trace{Cur.Prefix, TraceEnd::Done});
+        R.Emit.push_back(Trace{Cur.Prefix, TraceEnd::Done});
       if (SawAbort)
-        Out.insert(Trace{Cur.Prefix, TraceEnd::Abort});
+        R.Emit.push_back(Trace{Cur.Prefix, TraceEnd::Abort});
       if (SawDiv)
-        Out.insert(Trace{Cur.Prefix, TraceEnd::Div});
+        R.Emit.push_back(Trace{Cur.Prefix, TraceEnd::Div});
       if (SawCut)
-        Out.insert(Trace{Cur.Prefix, TraceEnd::Cut});
+        R.Emit.push_back(Trace{Cur.Prefix, TraceEnd::Cut});
       for (auto &KV : EventSuccs) {
         if (Cur.Prefix.size() >= Opts.MaxEvents) {
-          Out.insert(Trace{Cur.Prefix, TraceEnd::Cut});
+          R.Emit.push_back(Trace{Cur.Prefix, TraceEnd::Cut});
           break;
         }
         Item Next;
         Next.C = closureOf(KV.second);
         Next.Prefix = Cur.Prefix;
         Next.Prefix.push_back(KV.first);
-        Work.push_back(std::move(Next));
+        R.Next.push_back(std::move(Next));
+      }
+      return R;
+    };
+
+    std::deque<Item> Work;
+    {
+      Item Init;
+      Init.C = closureOf(InitIdx);
+      Work.push_back(std::move(Init));
+    }
+    std::vector<Item> Wave;
+    std::vector<ItemOut> Results;
+    while (!Work.empty()) {
+      // Drain the queue in FIFO order (the serial engine's pop order),
+      // deduplicating against the visited set.
+      Wave.clear();
+      while (!Work.empty()) {
+        Item It = std::move(Work.front());
+        Work.pop_front();
+        if (visit(It))
+          Wave.push_back(std::move(It));
+      }
+      Results.assign(Wave.size(), ItemOut{});
+      parallelChunks(Opts.Threads, Wave.size(),
+                     [&](std::size_t B, std::size_t E, unsigned) {
+                       for (std::size_t I = B; I < E; ++I)
+                         Results[I] = processItem(Wave[I]);
+                     });
+      // Merge in wave order so the queue evolves exactly as serially.
+      for (ItemOut &R : Results) {
+        for (Trace &T : R.Emit)
+          Out.insert(std::move(T));
+        for (Item &N : R.Next)
+          Work.push_back(std::move(N));
       }
     }
+    Stats.TraceMs += msSince(Start);
     return Out;
   }
 
   /// Runs the Race rule of Fig. 9 over every reachable state; returns the
-  /// first witness found, or nullopt when the program is race free (DRF
-  /// for World, NPDRF for NPWorld).
-  std::optional<RaceWitness> findRace() const {
-    for (const Node &N : Nodes) {
-      if (!N.W.racePredictable())
-        continue;
-      unsigned NT = N.W.numThreads();
-      std::vector<std::vector<InstrFootprint>> Preds(NT);
-      for (ThreadId T = 0; T < NT; ++T)
-        Preds[T] = N.W.predictFor(T);
-      for (ThreadId T1 = 0; T1 < NT; ++T1) {
-        for (ThreadId T2 = T1 + 1; T2 < NT; ++T2) {
-          for (const InstrFootprint &F1 : Preds[T1]) {
-            for (const InstrFootprint &F2 : Preds[T2]) {
-              if (F1.conflictsWith(F2)) {
-                RaceWitness W;
-                W.StateKey = N.W.key();
-                W.T1 = T1;
-                W.T2 = T2;
-                W.FP1 = F1;
-                W.FP2 = F2;
-                return W;
-              }
-            }
-          }
-        }
-      }
-    }
-    return std::nullopt;
+  /// first witness found (lowest node id, same as a serial scan), or
+  /// nullopt when no reachable state predicts a race. See checkRace()
+  /// for the truncation-aware variant.
+  std::optional<RaceWitness> findRace() const { return checkRace().Witness; }
+
+  /// Race rule with conclusiveness: a truncated exploration that found
+  /// no witness reports Conclusive = false (verdict Inconclusive).
+  RaceCheck checkRace() const {
+    auto Start = std::chrono::steady_clock::now();
+    RaceCheck Out;
+    const std::size_t N = Nodes.size();
+    const unsigned MaxWorkers = std::max(1u, Opts.Threads);
+    struct Hit {
+      std::size_t Idx = 0;
+      RaceWitness W;
+    };
+    std::vector<std::optional<Hit>> Hits(MaxWorkers);
+    std::atomic<std::size_t> Best{N};
+    parallelChunks(Opts.Threads, N,
+                   [&](std::size_t B, std::size_t E, unsigned Worker) {
+                     for (std::size_t I = B; I < E; ++I) {
+                       // A hit below this chunk supersedes anything here.
+                       if (Best.load(std::memory_order_relaxed) < B)
+                         break;
+                       std::optional<RaceWitness> W = raceAt(Nodes[I]);
+                       if (W) {
+                         Hits[Worker] = Hit{I, std::move(*W)};
+                         std::size_t Prev =
+                             Best.load(std::memory_order_relaxed);
+                         while (Prev > I && !Best.compare_exchange_weak(
+                                                Prev, I,
+                                                std::memory_order_relaxed)) {
+                         }
+                         break;
+                       }
+                     }
+                   });
+    const Hit *BestHit = nullptr;
+    for (const auto &H : Hits)
+      if (H && (!BestHit || H->Idx < BestHit->Idx))
+        BestHit = &*H;
+    if (BestHit)
+      Out.Witness = BestHit->W;
+    Out.Conclusive = Out.Witness.has_value() || !Truncated;
+    Stats.RaceMs += msSince(Start);
+    return Out;
   }
 
   /// Finds all races and classifies each as confined iff both conflicting
   /// footprints touch only addresses in \p Region (the object data of
   /// Sec. 7.1; such races are the paper's confined benign races).
   std::vector<RaceWitness> findRacesConfinedTo(const AddrSet &Region) const {
-    std::vector<RaceWitness> Out;
-    std::set<std::string> Dedup;
-    for (const Node &N : Nodes) {
-      if (!N.W.racePredictable())
-        continue;
-      unsigned NT = N.W.numThreads();
-      std::vector<std::vector<InstrFootprint>> Preds(NT);
-      for (ThreadId T = 0; T < NT; ++T)
-        Preds[T] = N.W.predictFor(T);
-      for (ThreadId T1 = 0; T1 < NT; ++T1) {
-        for (ThreadId T2 = T1 + 1; T2 < NT; ++T2) {
-          for (const InstrFootprint &F1 : Preds[T1]) {
-            for (const InstrFootprint &F2 : Preds[T2]) {
-              if (!F1.conflictsWith(F2))
-                continue;
-              RaceWitness W;
-              W.T1 = T1;
-              W.T2 = T2;
-              W.FP1 = F1;
-              W.FP2 = F2;
-              W.Confined = F1.FP.asSet().subsetOf(Region) &&
-                           F2.FP.asSet().subsetOf(Region);
-              std::string Key = std::to_string(T1) + "/" +
-                                std::to_string(T2) + ":" +
-                                F1.FP.toString() + F2.FP.toString();
-              if (Dedup.insert(Key).second) {
-                W.StateKey = N.W.key();
-                Out.push_back(W);
+    auto Start = std::chrono::steady_clock::now();
+    const unsigned MaxWorkers = std::max(1u, Opts.Threads);
+    struct Cand {
+      std::size_t NodeIdx;
+      RaceWitness W;
+      std::string Key;
+    };
+    std::vector<std::vector<Cand>> PerChunk(MaxWorkers);
+    parallelChunks(
+        Opts.Threads, Nodes.size(),
+        [&](std::size_t B, std::size_t E, unsigned Worker) {
+          std::vector<Cand> &Local = PerChunk[Worker];
+          for (std::size_t I = B; I < E; ++I) {
+            const Node &N = Nodes[I];
+            if (!N.W.racePredictable())
+              continue;
+            unsigned NT = N.W.numThreads();
+            std::vector<std::vector<InstrFootprint>> Preds(NT);
+            for (ThreadId T = 0; T < NT; ++T)
+              Preds[T] = N.W.predictFor(T);
+            for (ThreadId T1 = 0; T1 < NT; ++T1) {
+              for (ThreadId T2 = T1 + 1; T2 < NT; ++T2) {
+                for (const InstrFootprint &F1 : Preds[T1]) {
+                  for (const InstrFootprint &F2 : Preds[T2]) {
+                    if (!F1.conflictsWith(F2))
+                      continue;
+                    Cand C;
+                    C.NodeIdx = I;
+                    C.W.T1 = T1;
+                    C.W.T2 = T2;
+                    C.W.FP1 = F1;
+                    C.W.FP2 = F2;
+                    C.W.Confined = F1.FP.asSet().subsetOf(Region) &&
+                                   F2.FP.asSet().subsetOf(Region);
+                    // Unambiguous dedup key: thread pair, atomic bits and
+                    // footprints, '|'-delimited so distinct pairs (e.g.
+                    // same footprints with different atomic bits) can
+                    // never collide and drop a witness.
+                    C.Key = std::to_string(T1) + "/" + std::to_string(T2) +
+                            ":" + (F1.InAtomic ? "A" : "-") +
+                            F1.FP.toString() + "|" +
+                            (F2.InAtomic ? "A" : "-") + F2.FP.toString();
+                    Local.push_back(std::move(C));
+                  }
+                }
               }
             }
           }
+        });
+    // Merge per-chunk candidates in ascending node order; the dedup set
+    // keeps the first occurrence, exactly as a serial scan would.
+    std::vector<RaceWitness> Out;
+    std::set<std::string> Dedup;
+    for (std::vector<Cand> &Chunk : PerChunk) {
+      for (Cand &C : Chunk) {
+        if (Dedup.insert(C.Key).second) {
+          C.W.StateKey = Nodes[C.NodeIdx].W.key();
+          Out.push_back(std::move(C.W));
         }
       }
     }
+    Stats.RaceMs += msSince(Start);
     return Out;
   }
 
@@ -293,15 +534,184 @@ private:
     bool Div = false;
   };
 
-  unsigned intern(const WorldT &W) {
+  /// A state interned during the current layer, waiting for its canonical
+  /// id at the barrier.
+  struct Pending {
+    unsigned ProvId = 0;
+    WorldT W;
+    uint64_t Hash = 0;
+  };
+
+  /// Worker-private interning state, merged at each barrier.
+  struct WorkerState {
+    std::vector<Pending> News;
+    std::size_t Probes = 0;
+    std::size_t DedupHits = 0;
+    std::size_t HashCollisions = 0;
+  };
+
+  /// One shard of the interning table: hash -> [(key, id)]. The key string
+  /// lives in the shard so concurrent probes can verify same-hash entries
+  /// (including ones interned earlier in the same layer).
+  struct Shard {
+    std::mutex Mu;
+    std::unordered_map<uint64_t, std::vector<std::pair<std::string, unsigned>>>
+        Map;
+  };
+  static constexpr unsigned NumShards = 16;
+
+  static double msSince(std::chrono::steady_clock::time_point Start) {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - Start)
+        .count();
+  }
+
+  uint64_t maskHash(uint64_t H) const {
+    if (Opts.DebugHashBits >= 64)
+      return H;
+    if (Opts.DebugHashBits == 0)
+      return 0;
+    return H & ((uint64_t(1) << Opts.DebugHashBits) - 1);
+  }
+
+  /// Interns \p W, returning its (possibly provisional) node id. Safe to
+  /// call concurrently; new states are recorded in \p Ws and placed into
+  /// Nodes at the next barrier.
+  unsigned intern(const WorldT &W, WorkerState &Ws) {
+    ++Ws.Probes;
+    const uint64_t H = maskHash(W.hashKey());
     std::string Key = W.key();
-    auto It = KeyToIdx.find(Key);
-    if (It != KeyToIdx.end())
-      return It->second;
-    unsigned Idx = static_cast<unsigned>(Nodes.size());
-    Nodes.push_back(Node{W, {}, false, false, false});
-    KeyToIdx.emplace(std::move(Key), Idx);
-    return Idx;
+    Shard &S = Shards[H % NumShards];
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    auto &Bucket = S.Map[H];
+    bool Collided = false;
+    for (const auto &Entry : Bucket) {
+      if (Entry.first == Key) {
+        ++Ws.DedupHits;
+        if (Collided)
+          ++Ws.HashCollisions;
+        return Entry.second;
+      }
+      Collided = true;
+    }
+    if (Collided)
+      ++Ws.HashCollisions;
+    unsigned Id = NextId.fetch_add(1, std::memory_order_relaxed);
+    Bucket.emplace_back(std::move(Key), Id);
+    Ws.News.push_back(Pending{Id, W, H});
+    return Id;
+  }
+
+  void mergeCounters(const WorkerState &Ws) {
+    Stats.Probes += Ws.Probes;
+    Stats.DedupHits += Ws.DedupHits;
+    Stats.HashCollisions += Ws.HashCollisions;
+  }
+
+  /// Expands one BFS layer: workers enumerate successors and intern them
+  /// into the shards; the barrier canonicalizes the new ids to serial
+  /// discovery order, appends the new nodes, and refills the queue.
+  void expandLayer(const std::vector<unsigned> &Batch,
+                   std::deque<unsigned> &Work) {
+    const unsigned LayerBase = NextId.load(std::memory_order_relaxed);
+    const unsigned MaxWorkers = std::max(1u, Opts.Threads);
+    std::vector<WorkerState> Ws(MaxWorkers);
+
+    parallelChunks(Opts.Threads, Batch.size(),
+                   [&](std::size_t B, std::size_t E, unsigned Worker) {
+                     WorkerState &Local = Ws[Worker];
+                     for (std::size_t I = B; I < E; ++I) {
+                       Node &N = Nodes[Batch[I]];
+                       // Note: succ() of an aborted or done world is empty.
+                       auto Succs = N.W.succ();
+                       N.Out.reserve(Succs.size());
+                       for (auto &S : Succs) {
+                         Edge Ed;
+                         Ed.To = intern(S.Next, Local);
+                         Ed.K = S.L.K;
+                         Ed.Ev = S.L.EventVal;
+                         N.Out.push_back(Ed);
+                       }
+                     }
+                   });
+
+    // --- Barrier: canonicalize this layer's provisional ids. ---
+    const unsigned LayerEnd = NextId.load(std::memory_order_relaxed);
+    const unsigned NumNew = LayerEnd - LayerBase;
+
+    // Index pending records by provisional id.
+    std::vector<Pending *> ByProv(NumNew, nullptr);
+    for (WorkerState &W : Ws) {
+      for (Pending &P : W.News)
+        ByProv[P.ProvId - LayerBase] = &P;
+      mergeCounters(W);
+    }
+
+    // Canonical rank = order of first discovery scanning parents in layer
+    // order and successors in succ() order — the serial intern order.
+    constexpr unsigned Unranked = ~0u;
+    std::vector<unsigned> Remap(NumNew, Unranked);
+    std::vector<unsigned> CanonToProv;
+    CanonToProv.reserve(NumNew);
+    unsigned NextCanon = LayerBase;
+    for (unsigned Parent : Batch) {
+      for (const Edge &E : Nodes[Parent].Out) {
+        if (E.To >= LayerBase && Remap[E.To - LayerBase] == Unranked) {
+          Remap[E.To - LayerBase] = NextCanon++;
+          CanonToProv.push_back(E.To);
+        }
+      }
+    }
+
+    // Rewrite edge targets to canonical ids.
+    for (unsigned Parent : Batch)
+      for (Edge &E : Nodes[Parent].Out)
+        if (E.To >= LayerBase)
+          E.To = Remap[E.To - LayerBase];
+
+    // Rewrite shard entries and append the new nodes in canonical order.
+    for (unsigned Prov : CanonToProv) {
+      Pending &P = *ByProv[Prov - LayerBase];
+      Shard &S = Shards[P.Hash % NumShards];
+      for (auto &Entry : S.Map[P.Hash])
+        if (Entry.second == P.ProvId)
+          Entry.second = Remap[P.ProvId - LayerBase];
+      Nodes.push_back(Node{std::move(P.W), {}, false, false, false});
+    }
+
+    // Refill the queue exactly as the serial engine: one push per edge
+    // whose target is not yet expanded (duplicates included).
+    for (unsigned Parent : Batch)
+      for (const Edge &E : Nodes[Parent].Out)
+        if (!Nodes[E.To].Expanded)
+          Work.push_back(E.To);
+  }
+
+  std::optional<RaceWitness> raceAt(const Node &N) const {
+    if (!N.W.racePredictable())
+      return std::nullopt;
+    unsigned NT = N.W.numThreads();
+    std::vector<std::vector<InstrFootprint>> Preds(NT);
+    for (ThreadId T = 0; T < NT; ++T)
+      Preds[T] = N.W.predictFor(T);
+    for (ThreadId T1 = 0; T1 < NT; ++T1) {
+      for (ThreadId T2 = T1 + 1; T2 < NT; ++T2) {
+        for (const InstrFootprint &F1 : Preds[T1]) {
+          for (const InstrFootprint &F2 : Preds[T2]) {
+            if (F1.conflictsWith(F2)) {
+              RaceWitness W;
+              W.StateKey = N.W.key();
+              W.T1 = T1;
+              W.T2 = T2;
+              W.FP1 = F1;
+              W.FP2 = F2;
+              return W;
+            }
+          }
+        }
+      }
+    }
+    return std::nullopt;
   }
 
   /// Marks every node with an infinite silent path that makes real
@@ -412,10 +822,12 @@ private:
 
   ExploreOptions Opts;
   std::vector<Node> Nodes;
-  std::map<std::string, unsigned> KeyToIdx;
+  std::array<Shard, NumShards> Shards;
+  std::atomic<unsigned> NextId{0};
   std::vector<unsigned> InitIdx;
   unsigned NumExpanded = 0;
   bool Truncated = false;
+  mutable ExploreStats Stats;
 };
 
 } // namespace ccc

@@ -3,6 +3,7 @@
 #include "core/NPWorld.h"
 
 #include "mem/MemPred.h"
+#include "support/Hashing.h"
 #include "support/StrUtil.h"
 
 #include <cassert>
@@ -189,6 +190,18 @@ std::string NPWorld::key() const {
   return B.take();
 }
 
+uint64_t NPWorld::hashKey() const {
+  Hasher64 H;
+  H.b(Abort);
+  H.u32(Cur);
+  for (uint8_t D : DBits)
+    H.b(D != 0);
+  for (const ThreadState &T : Threads)
+    H.u64(threadHash(T));
+  H.u64(M.hashKey());
+  return H.get();
+}
+
 std::vector<InstrFootprint> NPWorld::predictFor(ThreadId T) const {
   // NPDRF prediction (Sec. 5): in the non-preemptive semantics a thread
   // runs a whole synchronization-free chunk between switch points, so the
@@ -227,7 +240,13 @@ std::vector<InstrFootprint> NPWorld::predictFor(ThreadId T) const {
       record(Cur.Acc); // conservative cutoff
       continue;
     }
-    if (!Seen.insert(Cur.W.key()).second)
+    // Dedup on (state, accumulated footprint), not the state alone: two
+    // paths of the chunk can converge on one state while having touched
+    // different locations, and dropping the second path's Acc would
+    // under-approximate the Predict set (and miss NPDRF races). The pair
+    // space is finite (states x subsets of touched addresses), and the
+    // Visited cap above still bounds the walk conservatively.
+    if (!Seen.insert(Cur.W.key() + '\x1f' + Cur.Acc.toString()).second)
       continue;
     auto Succs = Cur.W.succ();
     if (Succs.empty()) {

@@ -43,6 +43,10 @@ public:
   const std::string &abortReason() const { return AbortReason; }
   std::string key() const;
 
+  /// 64-bit incremental hash of key()'s content; equal worlds hash
+  /// equally, collisions are resolved by comparing key() strings.
+  uint64_t hashKey() const;
+
   /// NPDRF footprint prediction (Sec. 5): like Fig. 9's Predict but using
   /// the per-thread atomic bits.
   std::vector<InstrFootprint> predictFor(ThreadId T) const;

@@ -8,22 +8,20 @@ TraceSet ccc::preemptiveTraces(const Program &P, ExploreOptions Opts,
                                ExploreStats *Stats) {
   Explorer<World> E(Opts);
   E.build(World::load(P));
-  if (Stats) {
-    Stats->States = E.numStates();
-    Stats->Truncated = E.truncated();
-  }
-  return E.traces();
+  TraceSet Out = E.traces();
+  if (Stats)
+    *Stats = E.stats();
+  return Out;
 }
 
 TraceSet ccc::nonPreemptiveTraces(const Program &P, ExploreOptions Opts,
                                   ExploreStats *Stats) {
   Explorer<NPWorld> E(Opts);
   E.build(NPWorld::loadAll(P));
-  if (Stats) {
-    Stats->States = E.numStates();
-    Stats->Truncated = E.truncated();
-  }
-  return E.traces();
+  TraceSet Out = E.traces();
+  if (Stats)
+    *Stats = E.stats();
+  return Out;
 }
 
 std::optional<RaceWitness> ccc::findDataRace(const Program &P,
@@ -33,8 +31,14 @@ std::optional<RaceWitness> ccc::findDataRace(const Program &P,
   return E.findRace();
 }
 
+RaceCheck ccc::checkDRF(const Program &P, ExploreOptions Opts) {
+  Explorer<World> E(Opts);
+  E.build(World::load(P));
+  return E.checkRace();
+}
+
 bool ccc::isDRF(const Program &P, ExploreOptions Opts) {
-  return !findDataRace(P, Opts).has_value();
+  return checkDRF(P, Opts).verdict() == CheckVerdict::Certified;
 }
 
 std::optional<RaceWitness> ccc::findNPDataRace(const Program &P,
@@ -44,15 +48,26 @@ std::optional<RaceWitness> ccc::findNPDataRace(const Program &P,
   return E.findRace();
 }
 
-bool ccc::isNPDRF(const Program &P, ExploreOptions Opts) {
-  return !findNPDataRace(P, Opts).has_value();
+RaceCheck ccc::checkNPDRF(const Program &P, ExploreOptions Opts) {
+  Explorer<NPWorld> E(Opts);
+  E.build(NPWorld::loadAll(P));
+  return E.checkRace();
 }
 
-bool ccc::isSafe(const Program &P, ExploreOptions Opts, std::string *Reason) {
+bool ccc::isNPDRF(const Program &P, ExploreOptions Opts) {
+  return checkNPDRF(P, Opts).verdict() == CheckVerdict::Certified;
+}
+
+CheckVerdict ccc::checkSafe(const Program &P, ExploreOptions Opts,
+                            std::string *Reason) {
   Explorer<World> E(Opts);
   E.build(World::load(P));
   auto R = E.abortReason();
   if (R && Reason)
     *Reason = *R;
-  return !R.has_value();
+  return E.safetyVerdict();
+}
+
+bool ccc::isSafe(const Program &P, ExploreOptions Opts, std::string *Reason) {
+  return checkSafe(P, Opts, Reason) == CheckVerdict::Certified;
 }

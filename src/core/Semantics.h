@@ -24,11 +24,7 @@
 
 namespace ccc {
 
-/// Statistics from one exploration.
-struct ExploreStats {
-  std::size_t States = 0;
-  bool Truncated = false;
-};
+// ExploreStats lives in core/Explorer.h alongside the engine.
 
 /// Etr of the preemptive semantics (P = let Pi in f1 || ... || fn).
 TraceSet preemptiveTraces(const Program &P, ExploreOptions Opts = {},
@@ -42,14 +38,28 @@ TraceSet nonPreemptiveTraces(const Program &P, ExploreOptions Opts = {},
 /// footprints of two threads. Returns the witness when racy.
 std::optional<RaceWitness> findDataRace(const Program &P,
                                         ExploreOptions Opts = {});
+
+/// Tri-state DRF(P): Certified / Refuted (with witness) / Inconclusive
+/// when the exploration hit MaxStates without finding a race.
+RaceCheck checkDRF(const Program &P, ExploreOptions Opts = {});
+
+/// True only when DRF(P) is *certified*: a truncated exploration that
+/// found no race is inconclusive and reports false.
 bool isDRF(const Program &P, ExploreOptions Opts = {});
 
 /// NPDRF(P): the non-preemptive analogue.
 std::optional<RaceWitness> findNPDataRace(const Program &P,
                                           ExploreOptions Opts = {});
+RaceCheck checkNPDRF(const Program &P, ExploreOptions Opts = {});
 bool isNPDRF(const Program &P, ExploreOptions Opts = {});
 
-/// Safe(P): no reachable preemptive state is aborted.
+/// Tri-state Safe(P): Certified / Refuted (with \p Reason filled) /
+/// Inconclusive when the exploration was truncated.
+CheckVerdict checkSafe(const Program &P, ExploreOptions Opts = {},
+                       std::string *Reason = nullptr);
+
+/// True only when Safe(P) is *certified*: no reachable preemptive state
+/// is aborted AND the exploration was exhaustive.
 bool isSafe(const Program &P, ExploreOptions Opts = {},
             std::string *Reason = nullptr);
 

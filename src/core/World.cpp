@@ -3,6 +3,7 @@
 #include "core/World.h"
 
 #include "mem/MemPred.h"
+#include "support/Hashing.h"
 #include "support/StrUtil.h"
 
 #include <cassert>
@@ -160,6 +161,17 @@ std::string World::key() const {
     B << '[' << threadKey(T) << ']';
   B << '#' << M.key();
   return B.take();
+}
+
+uint64_t World::hashKey() const {
+  Hasher64 H;
+  H.b(Abort);
+  H.u32(Cur);
+  H.b(AtomBit);
+  for (const ThreadState &T : Threads)
+    H.u64(threadHash(T));
+  H.u64(M.hashKey());
+  return H.get();
 }
 
 std::vector<InstrFootprint> World::predictFor(ThreadId T) const {

@@ -43,6 +43,10 @@ public:
   /// Canonical key for memoized exploration.
   std::string key() const;
 
+  /// 64-bit incremental hash of key()'s content; equal worlds hash
+  /// equally, collisions are resolved by comparing key() strings.
+  uint64_t hashKey() const;
+
   /// The Predict rules of Fig. 9: the instrumented footprints thread \p T
   /// may generate next from this world. Only meaningful when the world's
   /// atomic bit is 0 (the Race rule's precondition).

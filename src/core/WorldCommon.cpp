@@ -2,6 +2,7 @@
 
 #include "core/WorldCommon.h"
 
+#include "support/Hashing.h"
 #include "support/StrUtil.h"
 
 #include <cassert>
@@ -117,6 +118,22 @@ std::string ccc::threadKey(const ThreadState &T) {
       << static_cast<uint64_t>(F.F.base()) << ':' << F.C->key();
   }
   return B.take();
+}
+
+uint64_t ccc::threadHash(const ThreadState &T) {
+  Hasher64 H;
+  if (T.Finished) {
+    H.b(true);
+    return H.get();
+  }
+  H.b(false);
+  H.u32(T.NextFrameOff);
+  for (const Frame &F : T.Stack) {
+    H.u32(F.ModIdx);
+    H.u32(F.F.base());
+    H.str(F.C->key());
+  }
+  return H.get();
 }
 
 std::vector<Footprint> ccc::predictAtomicBlock(const ModuleLang &Lang,

@@ -77,6 +77,9 @@ FrameStepStatus applyFrameStep(const Program &P, ThreadState &T,
 /// Renders a canonical key for a thread state.
 std::string threadKey(const ThreadState &T);
 
+/// 64-bit incremental hash over the same components as threadKey.
+uint64_t threadHash(const ThreadState &T);
+
 /// Creates a new thread for a Spawn message (the paper's future-work
 /// extension, Sec. 8): the thread gets the next free-list region, which
 /// is disjoint from every existing one by construction.

@@ -2,6 +2,7 @@
 
 #include "mem/Mem.h"
 
+#include "support/Hashing.h"
 #include "support/StrUtil.h"
 
 using namespace ccc;
@@ -25,6 +26,18 @@ std::string Mem::key() const {
       << ';';
   }
   return B.take();
+}
+
+uint64_t Mem::hashKey() const {
+  Hasher64 H;
+  for (const auto &KV : Data) {
+    const Value &V = KV.second;
+    H.u32(KV.first);
+    H.u32(static_cast<uint32_t>(V.kind()));
+    H.u32(V.isInt() ? static_cast<uint32_t>(V.asInt())
+                    : (V.isPtr() ? static_cast<uint32_t>(V.asPtr()) : 0u));
+  }
+  return H.get();
 }
 
 std::string Mem::toString() const {

@@ -77,6 +77,11 @@ public:
   /// Canonical key for memoized state exploration.
   std::string key() const;
 
+  /// 64-bit incremental hash of the canonical key's content, computed
+  /// without materializing the string. Equal memories hash equally;
+  /// colliding hashes are disambiguated by comparing key() strings.
+  uint64_t hashKey() const;
+
   /// Human-readable dump.
   std::string toString() const;
 

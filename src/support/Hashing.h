@@ -30,6 +30,49 @@ template <typename T> void hashCombineValue(std::size_t &Seed, const T &V) {
   hashCombine(Seed, std::hash<T>{}(V));
 }
 
+/// A streaming 64-bit FNV-1a hasher used for incremental state hashing.
+///
+/// The exploration engine keys its interning tables on a 64-bit hash of a
+/// world's canonical key and falls back to a full string comparison only
+/// when two keys share a hash (see Explorer). Worlds compute their hash
+/// incrementally from the same components that make up key(), so the
+/// expensive string materialization happens once per probe instead of
+/// O(log n) times per map descent.
+class Hasher64 {
+public:
+  Hasher64 &bytes(const void *Data, std::size_t N) {
+    const unsigned char *P = static_cast<const unsigned char *>(Data);
+    for (std::size_t I = 0; I < N; ++I) {
+      H ^= P[I];
+      H *= 0x100000001b3ULL;
+    }
+    return *this;
+  }
+
+  Hasher64 &u64(uint64_t V) { return bytes(&V, sizeof(V)); }
+  Hasher64 &u32(uint32_t V) { return bytes(&V, sizeof(V)); }
+  Hasher64 &b(bool V) { return u32(V ? 1u : 0u); }
+
+  /// Length-prefixed so "ab"+"c" and "a"+"bc" hash differently.
+  Hasher64 &str(const std::string &S) {
+    u64(S.size());
+    return bytes(S.data(), S.size());
+  }
+
+  uint64_t get() const { return H; }
+
+private:
+  uint64_t H = 0xcbf29ce484222325ULL; // FNV-1a offset basis
+};
+
+/// Hashes a whole string (FNV-1a, same stream as Hasher64::str without the
+/// length prefix).
+inline uint64_t hashString64(const std::string &S) {
+  Hasher64 Hs;
+  Hs.bytes(S.data(), S.size());
+  return Hs.get();
+}
+
 } // namespace ccc
 
 #endif // CASCC_SUPPORT_HASHING_H

@@ -1,0 +1,70 @@
+//===- support/Parallel.h - Deterministic fork-join helpers -----*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal fork-join helper for the exploration engine. Work is split
+/// into contiguous index ranges, one per worker; callers own determinism
+/// by writing results into disjoint, preallocated slots and merging them
+/// in index order after the join. With Threads <= 1 (or a batch too small
+/// to amortize thread start-up) the body runs inline on the calling
+/// thread, which makes the single-threaded configuration byte-identical
+/// to a build without this header.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_SUPPORT_PARALLEL_H
+#define CASCC_SUPPORT_PARALLEL_H
+
+#include <algorithm>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+namespace ccc {
+
+/// Minimum items per worker before forking is worth the thread start-up.
+inline constexpr std::size_t ParallelGrainSize = 16;
+
+/// Runs \p Fn(Begin, End, Worker) over [0, N) split into at most
+/// \p Threads contiguous chunks. Chunk boundaries depend only on
+/// (Threads, N), never on timing. Fn must write only to worker-private or
+/// per-index state; the call joins every worker before returning.
+template <typename Fn>
+void parallelChunks(unsigned Threads, std::size_t N, const Fn &Body) {
+  if (N == 0)
+    return;
+  std::size_t UseThreads =
+      std::min<std::size_t>(Threads ? Threads : 1,
+                            std::max<std::size_t>(1, N / ParallelGrainSize));
+  if (UseThreads <= 1) {
+    Body(static_cast<std::size_t>(0), N, 0u);
+    return;
+  }
+  std::vector<std::thread> Workers;
+  Workers.reserve(UseThreads - 1);
+  auto ChunkBounds = [&](std::size_t W) {
+    // Even split; the first N % UseThreads chunks get one extra item.
+    std::size_t Base = N / UseThreads, Extra = N % UseThreads;
+    std::size_t Begin = W * Base + std::min(W, Extra);
+    std::size_t End = Begin + Base + (W < Extra ? 1 : 0);
+    return std::make_pair(Begin, End);
+  };
+  for (std::size_t W = 1; W < UseThreads; ++W) {
+    auto [Begin, End] = ChunkBounds(W);
+    Workers.emplace_back([&Body, Begin, End, W] {
+      Body(Begin, End, static_cast<unsigned>(W));
+    });
+  }
+  auto [Begin, End] = ChunkBounds(0);
+  Body(Begin, End, 0u);
+  for (std::thread &T : Workers)
+    T.join();
+}
+
+} // namespace ccc
+
+#endif // CASCC_SUPPORT_PARALLEL_H

@@ -1,0 +1,409 @@
+//===- tests/ExplorerEngineTest.cpp - Parallel engine and dedup tests ------===//
+//
+// Regression and equivalence tests for the hash-interned parallel
+// exploration engine:
+//
+//  - NPWorld::predictFor must dedup chunk items on (state, accumulated
+//    footprint), not the state alone (two converging paths can carry
+//    different footprints).
+//  - findRacesConfinedTo's dedup key must distinguish the atomic bits of
+//    the footprint pair, not just the footprint strings.
+//  - A truncated exploration must report Inconclusive, never a DRF/Safe
+//    certificate.
+//  - traces(), findRace() and numStates() are bit-identical for any
+//    Threads value, and with hash collisions forced the string-verify
+//    fallback keeps states distinct.
+//
+// The first two scenarios need in-thread nondeterminism that CImp does
+// not produce, so they use a scripted FakeLang test double.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/RaceDetector.h"
+#include "cimp/CImpLang.h"
+#include "core/Semantics.h"
+#include "workload/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+using namespace ccc;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// FakeLang: a scripted module language. Each core is a named state; the
+// script maps a state to its local steps (message, footprint over global
+// names, successor state). Used to build the nondeterministic shapes the
+// dedup regressions need.
+//===----------------------------------------------------------------------===//
+
+class FakeCore : public Core {
+public:
+  explicit FakeCore(std::string Name) : Name(std::move(Name)) {}
+  std::string key() const override { return Name; }
+
+private:
+  std::string Name;
+};
+
+struct FakeStep {
+  Msg M;
+  std::vector<std::string> ReadNames;
+  std::vector<std::string> WriteNames;
+  std::string NextState; // ignored for Ret steps
+};
+
+class FakeLang : public ModuleLang {
+public:
+  std::map<std::string, std::vector<FakeStep>> Script;
+  std::map<std::string, std::string> EntryState;
+
+  std::string name() const override { return "Fake"; }
+
+  CoreRef initCore(const std::string &Entry,
+                   const std::vector<Value> &) const override {
+    auto It = EntryState.find(Entry);
+    if (It == EntryState.end())
+      return nullptr;
+    return std::make_shared<FakeCore>(It->second);
+  }
+
+  std::vector<LocalStep> step(const FreeList &, const Core &C,
+                              const Mem &M) const override {
+    std::vector<LocalStep> Out;
+    auto It = Script.find(C.key());
+    if (It == Script.end())
+      return Out; // stuck
+    for (const FakeStep &S : It->second) {
+      LocalStep LS;
+      LS.M = S.M;
+      AddrSet R, W;
+      for (const std::string &N : S.ReadNames)
+        R.insert(globalAddr(N));
+      for (const std::string &N : S.WriteNames)
+        W.insert(globalAddr(N));
+      LS.FP = Footprint(R, W);
+      LS.NextMem = M;
+      if (S.M.K != Msg::Kind::Ret)
+        LS.Next = std::make_shared<FakeCore>(S.NextState);
+      Out.push_back(std::move(LS));
+    }
+    return Out;
+  }
+
+  CoreRef applyReturn(const Core &, const Value &) const override {
+    return nullptr;
+  }
+};
+
+Program fakeProgram(std::unique_ptr<FakeLang> Lang, GlobalEnv GE,
+                    std::vector<std::string> Entries) {
+  Program P;
+  P.addModule("fake", std::move(Lang), std::move(GE));
+  for (std::string &E : Entries)
+    P.addThread(std::move(E));
+  P.link();
+  return P;
+}
+
+//===----------------------------------------------------------------------===//
+// Satellite regression 1: predictFor must not drop a footprint when two
+// chunk paths converge on one state.
+//===----------------------------------------------------------------------===//
+
+TEST(PredictForDedup, ConvergingPathsKeepBothFootprints) {
+  // One thread; from s0 two tau paths (reading x resp. y, memory
+  // untouched) converge on the identical state s1, where the chunk ends.
+  auto Lang = std::make_unique<FakeLang>();
+  Lang->EntryState["d"] = "s0";
+  Lang->Script["s0"] = {
+      FakeStep{Msg::tau(), {"x"}, {}, "s1"},
+      FakeStep{Msg::tau(), {"y"}, {}, "s1"},
+  };
+  Lang->Script["s1"] = {FakeStep{Msg::ret(Value::makeInt(0)), {}, {}, ""}};
+  GlobalEnv GE;
+  GE.declare("x", Value::makeInt(0));
+  GE.declare("y", Value::makeInt(0));
+  Program P = fakeProgram(std::move(Lang), std::move(GE), {"d"});
+
+  Addr XA = *P.module(0).GE.lookup("x");
+  Addr YA = *P.module(0).GE.lookup("y");
+
+  NPWorld W = NPWorld::load(P, 0);
+  std::vector<InstrFootprint> FPs = W.predictFor(0);
+
+  // A dedup on the world key alone drops the y-path at s1 and predicts
+  // only r{x}; the (state, footprint) dedup keeps both chunk footprints.
+  ASSERT_EQ(FPs.size(), 2u);
+  std::set<std::string> Got;
+  for (const InstrFootprint &F : FPs) {
+    EXPECT_FALSE(F.InAtomic);
+    Got.insert(F.FP.toString());
+  }
+  std::set<std::string> Want = {Footprint::ofRead(XA).toString(),
+                                Footprint::ofRead(YA).toString()};
+  EXPECT_EQ(Got, Want);
+}
+
+//===----------------------------------------------------------------------===//
+// Satellite regression 2: findRacesConfinedTo must not merge witness
+// pairs that differ only in their atomic bits.
+//===----------------------------------------------------------------------===//
+
+TEST(ConfinedRaceDedup, AtomicBitDistinguishesWitnesses) {
+  // Thread a nondeterministically either enters an atomic block writing x
+  // or writes x with a plain step: two predicted footprints with the same
+  // footprint string but different atomic bits. Thread b plainly writes
+  // x. Both pairs conflict, and a dedup key built only from the footprint
+  // strings would collapse them into one witness.
+  auto Lang = std::make_unique<FakeLang>();
+  Lang->EntryState["a"] = "a0";
+  Lang->EntryState["b"] = "b0";
+  Lang->Script["a0"] = {
+      FakeStep{Msg::entAtom(), {}, {}, "a1"},
+      FakeStep{Msg::tau(), {}, {"x"}, "afin"},
+  };
+  Lang->Script["a1"] = {FakeStep{Msg::extAtom(), {}, {"x"}, "afin"}};
+  Lang->Script["afin"] = {FakeStep{Msg::ret(Value::makeInt(0)), {}, {}, ""}};
+  Lang->Script["b0"] = {FakeStep{Msg::tau(), {}, {"x"}, "bfin"}};
+  Lang->Script["bfin"] = {FakeStep{Msg::ret(Value::makeInt(0)), {}, {}, ""}};
+  GlobalEnv GE;
+  GE.declare("x", Value::makeInt(0));
+  Program P = fakeProgram(std::move(Lang), std::move(GE), {"a", "b"});
+
+  Explorer<World> E;
+  E.build(World::load(P));
+  std::vector<RaceWitness> Races = E.findRacesConfinedTo(AddrSet{});
+
+  unsigned AtomicPairs = 0, PlainPairs = 0;
+  for (const RaceWitness &W : Races) {
+    EXPECT_EQ(W.T1, 0u);
+    EXPECT_EQ(W.T2, 1u);
+    EXPECT_FALSE(W.FP2.InAtomic);
+    EXPECT_FALSE(W.Confined);
+    if (W.FP1.InAtomic)
+      ++AtomicPairs;
+    else
+      ++PlainPairs;
+  }
+  // Both variants of the pair must survive deduplication.
+  EXPECT_EQ(AtomicPairs, 1u);
+  EXPECT_EQ(PlainPairs, 1u);
+  EXPECT_EQ(Races.size(), 2u);
+}
+
+//===----------------------------------------------------------------------===//
+// Satellite regression 3: a truncated exploration is Inconclusive, not a
+// certificate.
+//===----------------------------------------------------------------------===//
+
+namespace {
+Program slowRacyPair() {
+  // Each thread does private work before the unsynchronized store, so the
+  // race-predicting states sit several layers deep and a tiny state cap
+  // cannot reach them.
+  Program P;
+  cimp::addCImpModule(P, "m", R"(
+    global x = 0;
+    t1() { a := 1; b := a; [x] := b; }
+    t2() { a := 1; b := a; [x] := b; }
+  )");
+  P.addThread("t1");
+  P.addThread("t2");
+  P.link();
+  return P;
+}
+} // namespace
+
+TEST(TruncatedVerdicts, CappedDrfCheckIsInconclusiveNotCertified) {
+  Program P = slowRacyPair();
+
+  // The full exploration refutes DRF.
+  RaceCheck Full = checkDRF(P);
+  EXPECT_EQ(Full.verdict(), CheckVerdict::Refuted);
+  ASSERT_TRUE(Full.Witness.has_value());
+
+  // With a tiny state cap the explorer cannot reach the racy region; the
+  // absence of a witness must surface as Inconclusive, and the boolean
+  // facade must not read as verified.
+  ExploreOptions Tiny;
+  Tiny.MaxStates = 4;
+  RaceCheck Capped = checkDRF(P, Tiny);
+  EXPECT_FALSE(Capped.Witness.has_value());
+  EXPECT_FALSE(Capped.Conclusive);
+  EXPECT_EQ(Capped.verdict(), CheckVerdict::Inconclusive);
+  EXPECT_FALSE(isDRF(P, Tiny));
+
+  // Same for the non-preemptive check and the combined detector.
+  EXPECT_FALSE(isNPDRF(P, Tiny));
+  analysis::DetectOptions DO;
+  DO.UseStaticFastPath = false;
+  DO.Explore = Tiny;
+  analysis::DetectResult DR = analysis::detectRaces(P, DO);
+  if (!DR.Witness) {
+    EXPECT_FALSE(DR.Conclusive);
+    EXPECT_FALSE(DR.Drf);
+    EXPECT_EQ(DR.verdict(), CheckVerdict::Inconclusive);
+  }
+}
+
+TEST(TruncatedVerdicts, CappedSafetyCheckIsInconclusive) {
+  // A perfectly safe program: the capped exploration still must not
+  // certify Safe(P).
+  Program P;
+  cimp::addCImpModule(P, "m",
+                      "main() { n := 0; while (n < 40) { n := n + 1; } }");
+  P.addThread("main");
+  P.link();
+
+  EXPECT_TRUE(isSafe(P));
+  ExploreOptions Tiny;
+  Tiny.MaxStates = 3;
+  EXPECT_EQ(checkSafe(P, Tiny), CheckVerdict::Inconclusive);
+  EXPECT_FALSE(isSafe(P, Tiny));
+}
+
+//===----------------------------------------------------------------------===//
+// Satellite 4: parallel-vs-serial equivalence and collision injection.
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct EngineFingerprint {
+  std::size_t States = 0;
+  bool Truncated = false;
+  std::string Traces;
+  std::string Race;
+  std::vector<std::string> ConfinedRaces;
+};
+
+std::string witnessString(const RaceWitness &W) {
+  return W.StateKey + "|" + std::to_string(W.T1) + "/" +
+         std::to_string(W.T2) + "|" + (W.FP1.InAtomic ? "A" : "-") +
+         W.FP1.FP.toString() + "|" + (W.FP2.InAtomic ? "A" : "-") +
+         W.FP2.FP.toString() + "|" + (W.Confined ? "c" : "u");
+}
+
+template <typename WorldT>
+EngineFingerprint fingerprint(const Program &P, ExploreOptions Opts) {
+  Explorer<WorldT> E(Opts);
+  if constexpr (std::is_same_v<WorldT, NPWorld>)
+    E.build(NPWorld::loadAll(P));
+  else
+    E.build(WorldT::load(P, 0));
+  EngineFingerprint F;
+  F.States = E.numStates();
+  F.Truncated = E.truncated();
+  F.Traces = E.traces().toString();
+  auto W = E.findRace();
+  F.Race = W ? witnessString(*W) : "none";
+  for (const RaceWitness &R : E.findRacesConfinedTo(P.objectAddrs()))
+    F.ConfinedRaces.push_back(witnessString(R));
+  return F;
+}
+
+template <typename WorldT>
+void expectEngineDeterminism(const Program &P, ExploreOptions Base = {}) {
+  EngineFingerprint Serial = fingerprint<WorldT>(P, Base);
+  for (unsigned Threads : {2u, 8u}) {
+    ExploreOptions Opts = Base;
+    Opts.Threads = Threads;
+    EngineFingerprint Par = fingerprint<WorldT>(P, Opts);
+    EXPECT_EQ(Par.States, Serial.States) << "Threads=" << Threads;
+    EXPECT_EQ(Par.Truncated, Serial.Truncated) << "Threads=" << Threads;
+    EXPECT_EQ(Par.Traces, Serial.Traces) << "Threads=" << Threads;
+    EXPECT_EQ(Par.Race, Serial.Race) << "Threads=" << Threads;
+    EXPECT_EQ(Par.ConfinedRaces, Serial.ConfinedRaces)
+        << "Threads=" << Threads;
+  }
+}
+
+} // namespace
+
+TEST(ParallelEquivalence, AtomicCounterPreemptive) {
+  Program P = workload::atomicCounter(2, 2);
+  expectEngineDeterminism<World>(P);
+}
+
+TEST(ParallelEquivalence, AtomicCounterNonPreemptive) {
+  Program P = workload::atomicCounter(2, 2);
+  expectEngineDeterminism<NPWorld>(P);
+}
+
+TEST(ParallelEquivalence, RacyCounterBothSemantics) {
+  Program P1 = workload::racyCounter(2);
+  expectEngineDeterminism<World>(P1);
+  Program P2 = workload::racyCounter(2);
+  expectEngineDeterminism<NPWorld>(P2);
+}
+
+TEST(ParallelEquivalence, LockedCounterPreemptive) {
+  Program P = workload::lockedCounter(2, 1, 0);
+  expectEngineDeterminism<World>(P);
+}
+
+TEST(ParallelEquivalence, TruncatedExplorationIsDeterministicToo) {
+  Program P = workload::atomicCounter(3, 1);
+  ExploreOptions Opts;
+  Opts.MaxStates = 40;
+  expectEngineDeterminism<World>(P, Opts);
+}
+
+TEST(HashCollisions, MaskedHashesFallBackToStringVerify) {
+  // With 2-bit hashes almost every intern probe collides; the engine must
+  // keep distinct states distinct via the exact key strings kept behind
+  // the hash, producing the identical graph.
+  Program P = workload::atomicCounter(2, 2);
+  EngineFingerprint Full = fingerprint<World>(P, ExploreOptions{});
+
+  ExploreOptions Masked;
+  Masked.DebugHashBits = 2;
+  EngineFingerprint Collided = fingerprint<World>(P, Masked);
+  EXPECT_EQ(Collided.States, Full.States);
+  EXPECT_EQ(Collided.Traces, Full.Traces);
+  EXPECT_EQ(Collided.Race, Full.Race);
+
+  Explorer<World> E(Masked);
+  E.build(World::load(P));
+  EXPECT_GT(E.stats().HashCollisions, 0u);
+
+  // And collisions plus parallelism still agree with the serial engine.
+  for (unsigned Threads : {2u, 8u}) {
+    ExploreOptions Opts = Masked;
+    Opts.Threads = Threads;
+    EngineFingerprint Par = fingerprint<World>(P, Opts);
+    EXPECT_EQ(Par.States, Full.States) << "Threads=" << Threads;
+    EXPECT_EQ(Par.Traces, Full.Traces) << "Threads=" << Threads;
+  }
+}
+
+TEST(EngineStats, CountersAreCoherent) {
+  Program P = workload::atomicCounter(2, 2);
+  Explorer<World> E;
+  E.build(World::load(P));
+  (void)E.traces();
+  const ExploreStats &S = E.stats();
+  EXPECT_EQ(S.States, E.numStates());
+  EXPECT_LE(S.Expanded, S.States);
+  EXPECT_GT(S.Expanded, 0u);
+  EXPECT_GE(S.Probes, S.DedupHits);
+  // Every interned state is either the target of a dedup hit or new:
+  // probes = dedup hits + fresh interns (minus nothing; inits are
+  // probed too).
+  EXPECT_EQ(S.Probes - S.DedupHits, S.States);
+  EXPECT_GE(S.dedupHitRate(), 0.0);
+  EXPECT_LE(S.dedupHitRate(), 1.0);
+  EXPECT_GE(S.PeakFrontier, 1u);
+  EXPECT_FALSE(S.Truncated);
+  std::string J = S.toJson();
+  EXPECT_NE(J.find("\"states\":"), std::string::npos);
+  EXPECT_NE(J.find("\"dedup_hits\":"), std::string::npos);
+  EXPECT_NE(J.find("\"truncated\":false"), std::string::npos);
+}
+
+} // namespace
