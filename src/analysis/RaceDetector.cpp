@@ -15,12 +15,11 @@ double msSince(std::chrono::steady_clock::time_point Start) {
       .count();
 }
 
-} // namespace
-
-DetectResult ccc::analysis::detectRaces(const Program &P,
-                                        const DetectOptions &O) {
-  DetectResult R;
-
+/// The shared tail of both overloads: lockset fast path, then dynamic
+/// exploration of \p P as it stands (already SC-switched by the mutable
+/// overload when the robustness certificates allowed it).
+DetectResult detectImpl(const Program &P, const DetectOptions &O,
+                        DetectResult R) {
   auto StaticStart = std::chrono::steady_clock::now();
   R.Static = staticRaceAnalysis(P);
   R.StaticMs = msSince(StaticStart);
@@ -54,4 +53,28 @@ DetectResult ccc::analysis::detectRaces(const Program &P,
   R.ExploreMs = msSince(ExpStart);
   R.Drf = !R.Witness && R.Conclusive;
   return R;
+}
+
+} // namespace
+
+DetectResult ccc::analysis::detectRaces(const Program &P,
+                                        const DetectOptions &O) {
+  DetectResult R;
+  if (O.UseTsoFastPath) {
+    auto TsoStart = std::chrono::steady_clock::now();
+    R.Tso = programTsoRobustness(P);
+    R.TsoMs = msSince(TsoStart);
+  }
+  return detectImpl(P, O, std::move(R));
+}
+
+DetectResult ccc::analysis::detectRaces(Program &P, const DetectOptions &O) {
+  DetectResult R;
+  if (O.UseTsoFastPath) {
+    auto TsoStart = std::chrono::steady_clock::now();
+    R.Tso = programTsoRobustness(P);
+    R.ScSwitched = applyScFastPath(P, R.Tso);
+    R.TsoMs = msSince(TsoStart);
+  }
+  return detectImpl(P, O, std::move(R));
 }

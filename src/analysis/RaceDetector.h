@@ -22,6 +22,7 @@
 #define CASCC_ANALYSIS_RACEDETECTOR_H
 
 #include "analysis/StaticRace.h"
+#include "analysis/TsoRobust.h"
 #include "core/Semantics.h"
 
 #include <optional>
@@ -35,6 +36,12 @@ struct DetectOptions {
   /// When the fast path fires, still run the (cheap) non-preemptive
   /// exploration as a belt-and-braces confirmation of the certificate.
   bool SampleConfirm = false;
+  /// Run the static TSO-robustness pass (TsoRobust.h) and — on the
+  /// mutable overload — execute certified-Robust x86-TSO modules under
+  /// MemModel::SC, pruning the store-buffer dimension of the explored
+  /// state space. Sound by robustness: every TSO trace of a Robust
+  /// module is SC-explainable, so race verdicts are unchanged.
+  bool UseTsoFastPath = true;
   ExploreOptions Explore{};
 };
 
@@ -55,7 +62,13 @@ struct DetectResult {
   std::size_t ExploredStates = 0;
   /// Full engine statistics of the dynamic exploration, when it ran.
   ExploreStats Explore{};
+  /// Robustness verdict of every x86 module (empty when the program has
+  /// none). Populated by both overloads.
+  ProgramTsoReport Tso;
+  /// Modules actually downgraded to SC by the mutable overload.
+  unsigned ScSwitched = 0;
   double StaticMs = 0.0;
+  double TsoMs = 0.0;
   double ExploreMs = 0.0;
 
   CheckVerdict verdict() const {
@@ -65,8 +78,15 @@ struct DetectResult {
   }
 };
 
-/// Runs the combined detector on a linked program.
+/// Runs the combined detector on a linked program. The TSO robustness
+/// report is computed for the result, but the program is not modified.
 DetectResult detectRaces(const Program &P, const DetectOptions &O = {});
+
+/// As above, but when UseTsoFastPath is set, certified-Robust x86-TSO
+/// modules of \p P are switched to MemModel::SC in place before the
+/// exploration (applyScFastPath) — the explorer then never enumerates
+/// their store-buffer interleavings.
+DetectResult detectRaces(Program &P, const DetectOptions &O = {});
 
 } // namespace analysis
 } // namespace ccc

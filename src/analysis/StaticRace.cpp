@@ -74,6 +74,10 @@ struct CalleeInfo {
   unsigned ModIdx = 0;
   const clight::Function *ClightF = nullptr;
   const cimp::Function *CImpF = nullptr;
+  /// Lock/unlock resolved into an x86 object module: the token still
+  /// models the client's mutual exclusion, but the assembly body is not
+  /// walked, so its memory discipline is outside this certificate.
+  bool X86Impl = false;
 };
 
 /// A points-to value: a set of global names, or "anything".
@@ -192,6 +196,7 @@ struct Analyzer {
         // are confined to object data.
         CalleeInfo CI;
         CI.ModIdx = I;
+        CI.X86Impl = true;
         if (auto T = acquireToken(Callee)) {
           CI.K = CalleeInfo::Kind::LockAcquire;
           CI.Token = *T;
@@ -594,10 +599,23 @@ struct Analyzer {
     CalleeInfo CI = resolveCallee(Callee);
     switch (CI.K) {
     case CalleeInfo::Kind::LockAcquire:
-      Held.insert(CI.Token);
-      return Held;
     case CalleeInfo::Kind::LockRelease:
-      Held.erase(CI.Token);
+      if (CI.X86Impl) {
+        // The client's lockset still tracks the token, but the external
+        // assembly body is never walked: its own accesses (and their
+        // TSO weak behaviours) are invisible here, so no certificate
+        // may silently vouch for them. The dynamic detector — or an
+        // object refinement proof plus the TSO robustness pass — must
+        // cover the object side.
+        Certifiable = false;
+        note("lock entry '" + Callee +
+             "' is implemented in x86 assembly — its body is outside "
+             "the lockset walk, certificate declined");
+      }
+      if (CI.K == CalleeInfo::Kind::LockAcquire)
+        Held.insert(CI.Token);
+      else
+        Held.erase(CI.Token);
       return Held;
     case CalleeInfo::Kind::ObjectOpaque:
       note("call to object-confined entry '" + Callee +

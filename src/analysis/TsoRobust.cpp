@@ -1,0 +1,604 @@
+//===- analysis/TsoRobust.cpp - Static TSO robustness ----------------------===//
+
+#include "analysis/TsoRobust.h"
+
+#include "support/StrUtil.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <deque>
+#include <map>
+#include <set>
+
+using namespace ccc;
+using namespace ccc::analysis;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Register abstract values
+//===----------------------------------------------------------------------===//
+
+/// What a register may hold at a program point. The lattice is
+/// Bot < {NonPtr, Global(g), Frame} < Top; joins of unequal non-Bot
+/// values go to Top.
+struct AbsVal {
+  enum class Kind : uint8_t { Bot, NonPtr, Global, Frame, Top };
+  Kind K = Kind::Bot;
+  std::string Name; // Global only
+
+  static AbsVal bot() { return {}; }
+  static AbsVal nonPtr() { return {Kind::NonPtr, {}}; }
+  static AbsVal global(std::string G) { return {Kind::Global, std::move(G)}; }
+  static AbsVal frame() { return {Kind::Frame, {}}; }
+  static AbsVal top() { return {Kind::Top, {}}; }
+
+  bool operator==(const AbsVal &O) const {
+    return K == O.K && (K != Kind::Global || Name == O.Name);
+  }
+
+  AbsVal join(const AbsVal &O) const {
+    if (K == Kind::Bot)
+      return O;
+    if (O.K == Kind::Bot)
+      return *this;
+    if (*this == O)
+      return *this;
+    return top();
+  }
+};
+
+using RegState = std::array<AbsVal, x86::NumRegs>;
+
+RegState joinStates(const RegState &A, const RegState &B) {
+  RegState Out;
+  for (unsigned I = 0; I < x86::NumRegs; ++I)
+    Out[I] = A[I].join(B[I]);
+  return Out;
+}
+
+AbsVal &regOf(RegState &S, x86::Reg R) {
+  return S[static_cast<unsigned>(R)];
+}
+const AbsVal &regOf(const RegState &S, x86::Reg R) {
+  return S[static_cast<unsigned>(R)];
+}
+
+/// Abstract evaluation of a readable operand.
+AbsVal evalOperand(const x86::Operand &O, const RegState &S) {
+  using OK = x86::Operand::Kind;
+  switch (O.K) {
+  case OK::Imm:
+    return AbsVal::nonPtr();
+  case OK::GlobalImm:
+    return AbsVal::global(O.Global);
+  case OK::Reg:
+    return regOf(S, O.R);
+  case OK::MemBase:
+  case OK::MemGlobal:
+    // A loaded value: beyond this analysis (could be any address).
+    return AbsVal::top();
+  }
+  return AbsVal::top();
+}
+
+/// The register transfer of one instruction (memory effects are handled
+/// by the robustness walk, not here).
+RegState transfer(const x86::Instr &I, RegState S) {
+  using IK = x86::Instr::Kind;
+  auto setReg = [&S](const x86::Operand &Dst, AbsVal V) {
+    if (Dst.K == x86::Operand::Kind::Reg)
+      regOf(S, Dst.R) = std::move(V);
+  };
+  switch (I.K) {
+  case IK::Mov:
+    setReg(I.Dst, evalOperand(I.Src, S));
+    break;
+  case IK::Add:
+  case IK::Sub: {
+    if (I.Dst.K == x86::Operand::Kind::Reg) {
+      const AbsVal &D = regOf(S, I.Dst.R);
+      // Pointer arithmetic yields a pointer to an unknown cell; pure
+      // integer arithmetic stays non-pointer.
+      AbsVal Src = evalOperand(I.Src, S);
+      if (D.K == AbsVal::Kind::NonPtr && Src.K == AbsVal::Kind::NonPtr)
+        regOf(S, I.Dst.R) = AbsVal::nonPtr();
+      else
+        regOf(S, I.Dst.R) = AbsVal::top();
+    }
+    break;
+  }
+  case IK::Imul:
+  case IK::Div:
+  case IK::And:
+  case IK::Or:
+  case IK::Xor:
+  case IK::Shl:
+  case IK::Sar:
+  case IK::Neg:
+  case IK::Not:
+    // Integer-only in the dynamic semantics (pointer operands abort).
+    setReg(I.Dst, AbsVal::nonPtr());
+    break;
+  case IK::Setcc:
+    setReg(I.Dst, AbsVal::nonPtr());
+    break;
+  case IK::Call:
+    // applyReturn writes the return value into EAX and preserves every
+    // other register.
+    regOf(S, x86::Reg::EAX) = AbsVal::top();
+    break;
+  case IK::LockCmpxchg:
+    // On failure the memory value is loaded into EAX.
+    regOf(S, x86::Reg::EAX) = AbsVal::top();
+    break;
+  default:
+    break;
+  }
+  return S;
+}
+
+//===----------------------------------------------------------------------===//
+// Per-entry analysis
+//===----------------------------------------------------------------------===//
+
+/// One classified memory access site: (PC, effect slot) with its class.
+struct SiteInfo {
+  TsoAccess Acc;
+  bool Locked = false;
+};
+
+struct EntryAnalysis {
+  const x86::Module &M;
+  const std::string Entry;
+  const x86::EntryInfo &EI;
+  TsoRobustReport &R;
+
+  /// Reachable PCs of this entry, in BFS discovery order.
+  std::vector<unsigned> Reachable;
+  /// Register abstract state at each reachable PC (fixpoint).
+  std::map<unsigned, RegState> RegAt;
+
+  EntryAnalysis(const x86::Module &Mod, std::string E,
+                const x86::EntryInfo &Info, TsoRobustReport &Rep)
+      : M(Mod), Entry(std::move(E)), EI(Info), R(Rep) {}
+
+  void computeReachable() {
+    std::set<unsigned> Seen;
+    std::deque<unsigned> Work{EI.PCIndex};
+    Seen.insert(EI.PCIndex);
+    while (!Work.empty()) {
+      unsigned PC = Work.front();
+      Work.pop_front();
+      Reachable.push_back(PC);
+      for (unsigned S : x86::successors(M, PC))
+        if (Seen.insert(S).second)
+          Work.push_back(S);
+    }
+  }
+
+  void fixpointRegs() {
+    RegState Init;
+    for (unsigned I = 0; I < x86::NumRegs; ++I)
+      Init[I] = AbsVal::top();
+    // The implicit frame-allocation step materializes the frame pointer.
+    if (EI.FrameSize > 0)
+      regOf(Init, x86::Reg::ESP) = AbsVal::frame();
+    RegAt[EI.PCIndex] = Init;
+
+    std::deque<unsigned> Work{EI.PCIndex};
+    std::set<unsigned> InWork{EI.PCIndex};
+    while (!Work.empty()) {
+      unsigned PC = Work.front();
+      Work.pop_front();
+      InWork.erase(PC);
+      RegState Out = transfer(M.Code[PC], RegAt[PC]);
+      for (unsigned S : x86::successors(M, PC)) {
+        auto It = RegAt.find(S);
+        RegState Joined =
+            It == RegAt.end() ? Out : joinStates(It->second, Out);
+        if (It == RegAt.end() || !(Joined == It->second)) {
+          RegAt[S] = std::move(Joined);
+          if (InWork.insert(S).second)
+            Work.push_back(S);
+        }
+      }
+    }
+  }
+
+  /// Classifies one memory operand at \p PC under the fixpoint state.
+  TsoAccess classify(unsigned PC, const x86::Operand &Op, bool Write) const {
+    TsoAccess A;
+    A.PC = PC;
+    A.Entry = Entry;
+    A.Text = M.Code[PC].toString();
+    A.Write = Write;
+    using OK = x86::Operand::Kind;
+    if (Op.K == OK::MemGlobal) {
+      A.Cls = AccessClass::SharedKnown;
+      A.Global = Op.Global;
+      return A;
+    }
+    assert(Op.K == OK::MemBase && "not a memory operand");
+    auto It = RegAt.find(PC);
+    const AbsVal Base = It == RegAt.end() ? AbsVal::top()
+                                          : regOf(It->second, Op.R);
+    switch (Base.K) {
+    case AbsVal::Kind::Global:
+      if (Op.Disp == 0) {
+        A.Cls = AccessClass::SharedKnown;
+        A.Global = Base.Name;
+      } else {
+        // A displaced global points at a neighbouring cell of the linked
+        // layout — shared, name unknown.
+        A.Cls = AccessClass::SharedUnknown;
+        A.Global = "?";
+      }
+      return A;
+    case AbsVal::Kind::Frame:
+      if (Op.Disp >= 0 &&
+          static_cast<uint32_t>(Op.Disp) < EI.FrameSize) {
+        A.Cls = AccessClass::Confined;
+        A.Global = "<frame+" + std::to_string(Op.Disp) + ">";
+      } else {
+        A.Cls = AccessClass::SharedUnknown;
+        A.Global = "?";
+      }
+      return A;
+    default:
+      A.Cls = AccessClass::SharedUnknown;
+      A.Global = "?";
+      return A;
+    }
+  }
+
+  /// Reconstructs a drain-free PC path from \p From to \p To for witness
+  /// reporting (BFS over non-draining instructions).
+  std::vector<unsigned> findPath(unsigned From, unsigned To) const {
+    std::map<unsigned, unsigned> Parent;
+    std::deque<unsigned> Work{From};
+    Parent[From] = From;
+    while (!Work.empty()) {
+      unsigned PC = Work.front();
+      Work.pop_front();
+      if (PC == To)
+        break;
+      if (PC != From && x86::drainsStoreBuffer(M.Code[PC]))
+        continue;
+      for (unsigned S : x86::successors(M, PC))
+        if (Parent.emplace(S, PC).second)
+          Work.push_back(S);
+    }
+    std::vector<unsigned> Path;
+    if (!Parent.count(To))
+      return Path;
+    for (unsigned PC = To;; PC = Parent[PC]) {
+      Path.push_back(PC);
+      if (PC == Parent[PC])
+        break;
+    }
+    std::reverse(Path.begin(), Path.end());
+    return Path;
+  }
+
+  void run() {
+    computeReachable();
+    if (Reachable.empty())
+      return;
+    fixpointRegs();
+
+    // Collect and count the access sites once (stats are per site, not
+    // per dataflow visit), and assign ids to the plain shared stores.
+    struct StoreSite {
+      TsoAccess Acc;
+    };
+    std::vector<StoreSite> Stores;
+    std::map<std::pair<unsigned, unsigned>, unsigned> StoreId;
+    for (unsigned PC : Reachable) {
+      auto Effects = x86::memEffects(M.Code[PC]);
+      for (unsigned EIx = 0; EIx < Effects.size(); ++EIx) {
+        const x86::MemEffect &E = Effects[EIx];
+        TsoAccess A = classify(PC, *E.Op, E.IsStore);
+        if (E.Locked) {
+          ++R.LockedOps;
+          continue;
+        }
+        if (A.Cls == AccessClass::Confined) {
+          ++R.ConfinedAccesses;
+          continue;
+        }
+        if (E.IsStore) {
+          ++R.SharedStores;
+          StoreId[{PC, EIx}] = static_cast<unsigned>(Stores.size());
+          Stores.push_back({A});
+        }
+        if (E.IsLoad)
+          ++R.SharedLoads;
+      }
+    }
+
+    // Pending-store dataflow: the fact at a PC is the set of unfenced
+    // shared stores that may still sit in the buffer when control
+    // reaches it. Union join; monotone; finite.
+    std::map<unsigned, std::set<unsigned>> PendingAt;
+    PendingAt[EI.PCIndex] = {};
+    std::deque<unsigned> Work{EI.PCIndex};
+    std::set<unsigned> InWork{EI.PCIndex};
+
+    // Witness / certificate dedup across dataflow revisits.
+    std::set<std::pair<unsigned, unsigned>> SeenTriangles; // (store, load PC)
+    std::set<std::pair<unsigned, unsigned>> SeenEscapes;   // (store, exit PC)
+    std::set<std::pair<unsigned, unsigned>> SeenCerts;     // (store, drain PC)
+    std::set<unsigned> Witnessed;                          // store ids
+
+    auto emitTriangle = [&](unsigned StoreIdx, const TsoAccess &Load) {
+      if (!SeenTriangles.insert({StoreIdx, Load.PC}).second)
+        return;
+      Witnessed.insert(StoreIdx);
+      TriangularWitness W;
+      W.Store = Stores[StoreIdx].Acc;
+      W.Load = Load;
+      W.Path = findPath(W.Store.PC, Load.PC);
+      W.Tentative = W.Store.Cls == AccessClass::SharedUnknown ||
+                    Load.Cls == AccessClass::SharedUnknown;
+      R.Witnesses.push_back(std::move(W));
+    };
+    auto emitEscape = [&](unsigned StoreIdx, unsigned ExitPC) {
+      if (!SeenEscapes.insert({StoreIdx, ExitPC}).second)
+        return;
+      Witnessed.insert(StoreIdx);
+      TriangularWitness W;
+      W.Store = Stores[StoreIdx].Acc;
+      TsoAccess Exit;
+      Exit.PC = ExitPC;
+      Exit.Entry = Entry;
+      Exit.Text = M.Code[ExitPC].toString();
+      Exit.Cls = AccessClass::SharedUnknown;
+      Exit.Global = "?";
+      W.Escape = std::move(Exit);
+      W.Path = findPath(StoreIdx < Stores.size() ? W.Store.PC : ExitPC,
+                        ExitPC);
+      W.Tentative = W.Store.Cls == AccessClass::SharedUnknown;
+      R.Witnesses.push_back(std::move(W));
+    };
+    auto emitCert = [&](unsigned StoreIdx, unsigned DrainPC) {
+      if (!SeenCerts.insert({StoreIdx, DrainPC}).second)
+        return;
+      FenceCert C;
+      C.Entry = Entry;
+      C.StorePC = Stores[StoreIdx].Acc.PC;
+      C.DrainPC = DrainPC;
+      C.StoreText = Stores[StoreIdx].Acc.Text;
+      C.DrainText = M.Code[DrainPC].toString();
+      R.Certificates.push_back(std::move(C));
+    };
+
+    while (!Work.empty()) {
+      unsigned PC = Work.front();
+      Work.pop_front();
+      InWork.erase(PC);
+      const x86::Instr &I = M.Code[PC];
+      std::set<unsigned> Out = PendingAt[PC];
+
+      if (x86::drainsStoreBuffer(I)) {
+        for (unsigned S : Out)
+          emitCert(S, PC);
+        Out.clear();
+      } else if (x86::crossesModuleBoundary(I)) {
+        // The executable model drains here, but the analysis does not
+        // credit it: the buffered store escapes into the caller/callee.
+        for (unsigned S : Out)
+          emitEscape(S, PC);
+        Out.clear();
+      } else {
+        auto Effects = x86::memEffects(I);
+        for (unsigned EIx = 0; EIx < Effects.size(); ++EIx) {
+          const x86::MemEffect &E = Effects[EIx];
+          TsoAccess A = classify(PC, *E.Op, E.IsStore);
+          if (A.Cls == AccessClass::Confined)
+            continue;
+          if (E.IsLoad) {
+            for (unsigned S : Out) {
+              const TsoAccess &St = Stores[S].Acc;
+              // Same known cell: the load snoops the buffered value —
+              // SC-explainable (flush immediately after the store).
+              if (St.Cls == AccessClass::SharedKnown &&
+                  A.Cls == AccessClass::SharedKnown && St.Global == A.Global)
+                continue;
+              TsoAccess LoadA = A;
+              LoadA.Write = false;
+              emitTriangle(S, LoadA);
+            }
+          }
+          if (E.IsStore)
+            Out.insert(StoreId.at({PC, EIx}));
+        }
+      }
+
+      for (unsigned S : x86::successors(M, PC)) {
+        auto It = PendingAt.find(S);
+        if (It == PendingAt.end()) {
+          PendingAt[S] = Out;
+          if (InWork.insert(S).second)
+            Work.push_back(S);
+        } else {
+          std::set<unsigned> Joined = It->second;
+          Joined.insert(Out.begin(), Out.end());
+          if (Joined != It->second) {
+            It->second = std::move(Joined);
+            if (InWork.insert(S).second)
+              Work.push_back(S);
+          }
+        }
+      }
+    }
+
+    // A store never fenced and never witnessed can only sit on a path
+    // that silently diverges before the next shared access — with no
+    // subsequent load the flush point is a valid linearization point.
+    std::set<unsigned> Certified;
+    for (const auto &KV : SeenCerts)
+      Certified.insert(KV.first);
+    for (unsigned S = 0; S < Stores.size(); ++S)
+      if (!Certified.count(S) && !Witnessed.count(S))
+        R.Notes.push_back("entry '" + Entry + "': store at PC " +
+                          std::to_string(Stores[S].Acc.PC) + " (" +
+                          Stores[S].Acc.Text +
+                          ") only reaches divergent paths — " +
+                          "SC-explainable without a fence");
+  }
+};
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Public API
+//===----------------------------------------------------------------------===//
+
+const char *ccc::analysis::tsoVerdictName(TsoVerdict V) {
+  switch (V) {
+  case TsoVerdict::Robust:
+    return "robust";
+  case TsoVerdict::NotRobust:
+    return "not-robust";
+  case TsoVerdict::Unknown:
+    return "unknown";
+  }
+  return "?";
+}
+
+std::string TsoAccess::describe() const {
+  std::string Cl = Cls == AccessClass::Confined
+                       ? "confined"
+                       : (Cls == AccessClass::SharedKnown ? "shared"
+                                                          : "shared?");
+  return Entry + "+" + std::to_string(PC) + ": " +
+         (Write ? "store " : "load ") + Global + " [" + Cl + "] (" + Text +
+         ")";
+}
+
+std::string TriangularWitness::describe() const {
+  StrBuilder B;
+  B << (Tentative ? "tentative " : "") << "triangular race: unfenced "
+    << Store.describe();
+  if (Load)
+    B << " followed by " << Load->describe();
+  if (Escape)
+    B << " buffered across module boundary at " << Escape->Entry << '+'
+      << Escape->PC << " (" << Escape->Text << ")";
+  if (!Path.empty()) {
+    B << " via path [";
+    for (std::size_t I = 0; I < Path.size(); ++I)
+      B << (I ? "," : "") << Path[I];
+    B << ']';
+  }
+  return B.take();
+}
+
+std::string FenceCert::describe() const {
+  return Entry + ": store at PC " + std::to_string(StorePC) + " (" +
+         StoreText + ") drained at PC " + std::to_string(DrainPC) + " (" +
+         DrainText + ")";
+}
+
+std::string TsoRobustReport::toString() const {
+  StrBuilder B;
+  B << "TSO robustness verdict: " << tsoVerdictName(Verdict) << " (entries "
+    << Entries << ", shared stores " << SharedStores << ", shared loads "
+    << SharedLoads << ", confined " << ConfinedAccesses << ", locked "
+    << LockedOps << ")\n";
+  for (const TriangularWitness &W : Witnesses)
+    B << "  witness: " << W.describe() << '\n';
+  for (const FenceCert &C : Certificates)
+    B << "  fence: " << C.describe() << '\n';
+  for (const std::string &N : Notes)
+    B << "  note: " << N << '\n';
+  return B.take();
+}
+
+TsoRobustReport ccc::analysis::tsoRobustness(const x86::Module &M) {
+  TsoRobustReport R;
+  R.Entries = static_cast<unsigned>(M.Entries.size());
+  for (const auto &E : M.Entries) {
+    EntryAnalysis A(M, E.first, E.second, R);
+    A.run();
+  }
+  bool AnyHard = false, AnyTentative = false;
+  for (const TriangularWitness &W : R.Witnesses)
+    (W.Tentative ? AnyTentative : AnyHard) = true;
+  if (AnyHard)
+    R.Verdict = TsoVerdict::NotRobust;
+  else if (AnyTentative)
+    R.Verdict = TsoVerdict::Unknown;
+  else
+    R.Verdict = TsoVerdict::Robust;
+  return R;
+}
+
+bool ProgramTsoReport::allRobust() const {
+  if (Modules.empty())
+    return false;
+  for (const ModuleTsoInfo &M : Modules)
+    if (!M.Report.robust())
+      return false;
+  return true;
+}
+
+bool ProgramTsoReport::anyScSwitchable() const {
+  for (const ModuleTsoInfo &M : Modules)
+    if (M.Model == x86::MemModel::TSO && M.Report.robust())
+      return true;
+  return false;
+}
+
+std::string ProgramTsoReport::toString() const {
+  StrBuilder B;
+  for (const ModuleTsoInfo &M : Modules) {
+    B << "module '" << M.Name << "' ("
+      << (M.Model == x86::MemModel::TSO ? "x86-TSO" : "x86-SC")
+      << (M.ObjectMode ? ", object" : "") << "): "
+      << tsoVerdictName(M.Report.Verdict);
+    if (M.AllowedByRefinement)
+      B << " [allowed by refinement]";
+    B << '\n' << M.Report.toString();
+  }
+  return B.take();
+}
+
+ProgramTsoReport ccc::analysis::programTsoRobustness(const Program &P) {
+  ProgramTsoReport R;
+  for (const ModuleDecl &D : P.modules()) {
+    const auto *L = dynamic_cast<const x86::X86Lang *>(D.Lang.get());
+    if (!L)
+      continue;
+    ModuleTsoInfo Info;
+    Info.Name = D.Name;
+    Info.ObjectMode = L->objectMode();
+    Info.Model = L->memModel();
+    Info.Report = tsoRobustness(L->module());
+    R.Modules.push_back(std::move(Info));
+  }
+  return R;
+}
+
+unsigned ccc::analysis::applyScFastPath(Program &P,
+                                        const ProgramTsoReport &R) {
+  unsigned Switched = 0;
+  for (const ModuleTsoInfo &Info : R.Modules) {
+    if (Info.Model != x86::MemModel::TSO || !Info.Report.robust())
+      continue;
+    for (unsigned I = 0; I < P.modules().size(); ++I) {
+      ModuleDecl &D = P.module(I);
+      auto *L = dynamic_cast<const x86::X86Lang *>(D.Lang.get());
+      if (!L || D.Name != Info.Name || L->memModel() != x86::MemModel::TSO)
+        continue;
+      D.Lang = std::make_unique<x86::X86Lang>(
+          L->modulePtr(), x86::MemModel::SC, L->objectMode());
+      if (P.linked())
+        D.Lang->bindGlobals(&D.GE);
+      ++Switched;
+    }
+  }
+  return Switched;
+}

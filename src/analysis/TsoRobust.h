@@ -1,0 +1,182 @@
+//===- analysis/TsoRobust.h - Static TSO robustness -------------*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A static SC-equivalence (robustness) analysis for x86 object modules,
+/// in the style of Owens' triangular-race criterion (ECOOP 2010): the only
+/// behaviours x86-TSO adds over x86-SC come from a thread's *plain* store
+/// lingering in its FIFO store buffer while the same thread's later load
+/// of a *different* shared location overtakes it. If every path from a
+/// plain store to a shared location reaches an mfence or lock-prefixed
+/// instruction (the buffer-draining points) before any load of a possibly
+/// different shared location — and before control leaves the module — the
+/// store buffer can always be flushed at the SC-equivalent point and every
+/// TSO trace is SC-explainable.
+///
+/// Per entry point, the pass
+///  1. builds the CFG from the flat X86Asm code stream (x86::successors),
+///  2. runs a register abstract-value analysis so memory operands resolve
+///     to a named global, the thread-private frame, or "unknown", and
+///  3. propagates the set of pending (unfenced) shared stores along the
+///     CFG, flagging triangular store/load pairs and stores that escape
+///     the module boundary unfenced.
+///
+/// The verdict is three-valued:
+///  - Robust: every shared store is covered by a drain on every path —
+///    emitted with a per-store fence certificate. Certified modules may
+///    soundly run under MemModel::SC, pruning the store-buffer dimension
+///    of the explorer's state space.
+///  - NotRobust: a concrete witness path names an unfenced store/load
+///    pair, or a store that crosses the module boundary unfenced (the
+///    caller may complete the triangle; pi_lock's release store is the
+///    canonical instance). NotRobust object modules can still be *allowed*
+///    when an object-refinement check covers their weak behaviours
+///    (Sec. 7.3: pi_lock refines' gamma_lock).
+///  - Unknown: an access target could not be resolved (loads used as
+///    addresses, pointer arithmetic): no claim either way.
+///
+/// Two deliberate conservatisms keep the certificate meaningful:
+///  - call/ret drain the buffer in the executable model (a documented
+///    simplification), but the analysis does NOT credit them as fences —
+///    real x86-TSO fences at neither, and a certificate should survive
+///    the model simplification being lifted.
+///  - A store escaping the module boundary is a witness even though no
+///    in-module load completes the triangle: the client executes under
+///    the same buffer, so any client load of another shared location
+///    completes it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_ANALYSIS_TSOROBUST_H
+#define CASCC_ANALYSIS_TSOROBUST_H
+
+#include "core/Program.h"
+#include "x86/X86Asm.h"
+#include "x86/X86Lang.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ccc {
+namespace analysis {
+
+enum class TsoVerdict { Robust, NotRobust, Unknown };
+
+const char *tsoVerdictName(TsoVerdict V);
+
+/// How the analysis classified one memory access site.
+enum class AccessClass {
+  Confined,      ///< Thread-private frame slot — invisible to other threads.
+  SharedKnown,   ///< A global cell with a resolved name.
+  SharedUnknown, ///< Possibly shared, target unresolved.
+};
+
+/// One memory access site named by a witness or certificate.
+struct TsoAccess {
+  unsigned PC = 0;
+  std::string Entry;  ///< Entry point whose CFG reaches the site.
+  std::string Text;   ///< Instruction text (Instr::toString).
+  std::string Global; ///< Resolved target cell, or "?" when unresolved.
+  bool Write = false;
+  AccessClass Cls = AccessClass::SharedUnknown;
+
+  std::string describe() const;
+};
+
+/// A concrete robustness violation: an unfenced plain store to a shared
+/// location, completed either by an in-module load of a (possibly)
+/// different shared location, or by crossing the module boundary with the
+/// store still buffered.
+struct TriangularWitness {
+  TsoAccess Store;
+  /// The completing load; nullopt when the store escapes the boundary
+  /// (Escape names the crossing instruction instead).
+  std::optional<TsoAccess> Load;
+  /// The boundary instruction (call/tcall/ret) the buffered store crosses.
+  std::optional<TsoAccess> Escape;
+  /// PC path from the store to the violation, fence-free by construction.
+  std::vector<unsigned> Path;
+  /// True when an unresolved target made this witness conservative — it
+  /// degrades the verdict to Unknown instead of NotRobust.
+  bool Tentative = false;
+
+  std::string describe() const;
+};
+
+/// Per-store proof obligation discharged on a Robust module: the drain
+/// point covering every path from the store.
+struct FenceCert {
+  std::string Entry;
+  unsigned StorePC = 0;
+  unsigned DrainPC = 0;
+  std::string StoreText;
+  std::string DrainText;
+
+  std::string describe() const;
+};
+
+/// The per-module analysis result.
+struct TsoRobustReport {
+  TsoVerdict Verdict = TsoVerdict::Unknown;
+  /// Concrete witnesses (NotRobust) and tentative ones (Unknown).
+  std::vector<TriangularWitness> Witnesses;
+  /// Per-store fence certificates; complete exactly when Robust.
+  std::vector<FenceCert> Certificates;
+  std::vector<std::string> Notes;
+
+  unsigned SharedStores = 0;   ///< Plain stores to shared locations.
+  unsigned SharedLoads = 0;    ///< Plain loads of shared locations.
+  unsigned ConfinedAccesses = 0; ///< Frame-confined accesses (ignored).
+  unsigned LockedOps = 0;      ///< Lock-prefixed accesses (drain points).
+  unsigned Entries = 0;        ///< Entry points analyzed.
+
+  bool robust() const { return Verdict == TsoVerdict::Robust; }
+  std::string toString() const;
+};
+
+/// Runs the robustness analysis on one x86 module.
+TsoRobustReport tsoRobustness(const x86::Module &M);
+
+/// One x86 module of a linked program, with its verdict.
+struct ModuleTsoInfo {
+  std::string Name;
+  bool ObjectMode = false;
+  x86::MemModel Model = x86::MemModel::SC;
+  TsoRobustReport Report;
+  /// Set by the caller once an object-refinement check (refinesTraces
+  /// against the module's abstract spec) covers the weak behaviours —
+  /// the "flagged-but-allowed" state of a benign NotRobust module.
+  bool AllowedByRefinement = false;
+};
+
+/// Program-level summary: the robustness verdict of every x86 module.
+struct ProgramTsoReport {
+  std::vector<ModuleTsoInfo> Modules;
+
+  /// True when the program has x86 modules and every one is Robust.
+  bool allRobust() const;
+  /// True when some x86-TSO module is certified Robust (SC fast path
+  /// applicable to it).
+  bool anyScSwitchable() const;
+  std::string toString() const;
+};
+
+/// Analyzes every x86 module of \p P.
+ProgramTsoReport programTsoRobustness(const Program &P);
+
+/// Downgrades every certified-Robust x86-TSO module of \p P to
+/// MemModel::SC: by robustness its TSO behaviours are SC-explainable, so
+/// the store-buffer dimension of the explorer's state space is redundant.
+/// Returns the number of modules switched. \p P may be linked; module
+/// global bindings are preserved.
+unsigned applyScFastPath(Program &P, const ProgramTsoReport &R);
+
+} // namespace analysis
+} // namespace ccc
+
+#endif // CASCC_ANALYSIS_TSOROBUST_H

@@ -58,6 +58,40 @@ const std::string &ccc::sync::piLockSource() {
   return Src;
 }
 
+const std::string &ccc::sync::piLockFencedSource() {
+  // As piLockSource, with the release store fenced. Under the executable
+  // model the mfence is redundant (ret drains the buffer), but it turns
+  // the escaping release store into a certified one for the static
+  // robustness pass — the Robust counterpart to pi_lock's NotRobust.
+  static const std::string Src = R"(
+    .data L 1
+    .entry lock 0 0
+    .entry unlock 0 0
+
+    lock:
+            movl    $L, %ecx
+            movl    $0, %edx
+    l_acq:
+            movl    $1, %eax
+            lock cmpxchgl %edx, (%ecx)
+            je      enter
+    spin:
+            movl    (%ecx), %ebx
+            cmpl    $0, %ebx
+            je      spin
+            jmp     l_acq
+    enter:
+            retl
+
+    unlock:
+            movl    $L, %eax
+            movl    $1, (%eax)
+            mfence
+            retl
+  )";
+  return Src;
+}
+
 unsigned ccc::sync::addGammaLock(Program &P) {
   return cimp::addCImpModule(P, "lockspec", gammaLockSource(),
                              /*ObjectMode=*/true);
@@ -65,5 +99,10 @@ unsigned ccc::sync::addGammaLock(Program &P) {
 
 unsigned ccc::sync::addPiLock(Program &P, x86::MemModel Model) {
   return x86::addAsmModule(P, "lockimpl", piLockSource(), Model,
+                           /*ObjectMode=*/true);
+}
+
+unsigned ccc::sync::addPiLockFenced(Program &P, x86::MemModel Model) {
+  return x86::addAsmModule(P, "lockimpl", piLockFencedSource(), Model,
                            /*ObjectMode=*/true);
 }

@@ -35,6 +35,12 @@ const std::string &gammaLockSource();
 /// and a plain (racy, benign) store release.
 const std::string &piLockSource();
 
+/// pi_lock with an mfence after the release store: semantically
+/// equivalent (the model's ret drains the buffer anyway) but certifiable
+/// by the static TSO robustness pass, which credits only mfence and
+/// lock-prefixed instructions as drain points.
+const std::string &piLockFencedSource();
+
 /// Registers gamma_lock as an object module named "lockspec"; returns the
 /// module index.
 unsigned addGammaLock(Program &P);
@@ -42,6 +48,10 @@ unsigned addGammaLock(Program &P);
 /// Registers pi_lock (Fig. 10b) as an x86 object module named "lockimpl"
 /// under the given memory model; returns the module index.
 unsigned addPiLock(Program &P, x86::MemModel Model);
+
+/// Registers the fenced pi_lock variant as an x86 object module named
+/// "lockimpl"; returns the module index.
+unsigned addPiLockFenced(Program &P, x86::MemModel Model);
 
 } // namespace sync
 } // namespace ccc

@@ -122,6 +122,63 @@ Program ccc::workload::asmCounterWithPiLock(x86::MemModel Model,
   return P;
 }
 
+Program ccc::workload::asmCounterWithPiLockFenced(x86::MemModel Model,
+                                                  unsigned Threads) {
+  Program P;
+  x86::addAsmModule(P, "client", R"(
+    .data x 0
+    .entry inc 0 0
+    .extern lock 0
+    .extern unlock 0
+    inc:
+            call lock
+            movl x, %ebx
+            movl %ebx, %ecx
+            addl $1, %ecx
+            movl %ecx, x
+            mfence
+            call unlock
+            printl %ebx
+            retl
+  )",
+                    Model);
+  sync::addPiLockFenced(P, Model);
+  for (unsigned T = 0; T < Threads; ++T)
+    P.addThread("inc");
+  P.link();
+  return P;
+}
+
+Program ccc::workload::fencedPingPong(x86::MemModel Model, unsigned Rounds) {
+  StrBuilder B;
+  B << "    .data x 0\n"
+    << "    .data y 0\n"
+    << "    .entry t1 0 0\n"
+    << "    .entry t2 0 0\n";
+  auto thread = [&B, Rounds](const char *Entry, const char *Own,
+                             const char *Peer) {
+    B << Entry << ":\n"
+      << "            movl $" << Rounds << ", %ecx\n"
+      << Entry << "_loop:\n"
+      << "            movl %ecx, " << Own << "\n"
+      << "            mfence\n"
+      << "            movl " << Peer << ", %eax\n"
+      << "            printl %eax\n"
+      << "            subl $1, %ecx\n"
+      << "            cmpl $0, %ecx\n"
+      << "            jne " << Entry << "_loop\n"
+      << "            retl\n";
+  };
+  thread("t1", "x", "y");
+  thread("t2", "y", "x");
+  Program P;
+  x86::addAsmModule(P, "m", B.take(), Model);
+  P.addThread("t1");
+  P.addThread("t2");
+  P.link();
+  return P;
+}
+
 Program ccc::workload::sbLitmus(x86::MemModel Model, bool Fenced) {
   const char *Plain = R"(
     .data x 0

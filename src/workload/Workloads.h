@@ -51,6 +51,19 @@ Program clightLockedCounter(unsigned Threads);
 /// The hand-written assembly counter client against pi_lock.
 Program asmCounterWithPiLock(x86::MemModel Model, unsigned Threads);
 
+/// The fully fenced variant: the client fences its counter store before
+/// calling unlock, and the lock is the fenced pi_lock. Every module is
+/// certified Robust by the static TSO robustness pass, so the SC fast
+/// path applies to the whole program.
+Program asmCounterWithPiLockFenced(x86::MemModel Model, unsigned Threads);
+
+/// An iterated store-buffering ping-pong: two threads, each round stores
+/// its own flag, fences, then loads (and prints) the peer's flag,
+/// \p Rounds times. Robust (every store is immediately fenced) but racy,
+/// so the dynamic explorer must run — the workload that measures the SC
+/// fast path's state-space reduction.
+Program fencedPingPong(x86::MemModel Model, unsigned Rounds);
+
 /// The store-buffering litmus test (both-zero allowed under TSO only).
 Program sbLitmus(x86::MemModel Model, bool Fenced);
 

@@ -134,6 +134,97 @@ std::string Instr::toString() const {
   return "?";
 }
 
+std::vector<MemEffect> ccc::x86::memEffects(const Instr &I) {
+  std::vector<MemEffect> Out;
+  auto add = [&Out](const Operand &O, bool Load, bool Store,
+                    bool Locked = false) {
+    if (O.isMem())
+      Out.push_back(MemEffect{&O, Load, Store, Locked});
+  };
+  switch (I.K) {
+  case Instr::Kind::Mov:
+    add(I.Src, /*Load=*/true, /*Store=*/false);
+    add(I.Dst, /*Load=*/false, /*Store=*/true);
+    break;
+  case Instr::Kind::Add:
+  case Instr::Kind::Sub:
+  case Instr::Kind::Imul:
+  case Instr::Kind::Div:
+  case Instr::Kind::And:
+  case Instr::Kind::Or:
+  case Instr::Kind::Xor:
+  case Instr::Kind::Shl:
+  case Instr::Kind::Sar:
+    add(I.Src, /*Load=*/true, /*Store=*/false);
+    add(I.Dst, /*Load=*/true, /*Store=*/true);
+    break;
+  case Instr::Kind::Neg:
+  case Instr::Kind::Not:
+    add(I.Dst, /*Load=*/true, /*Store=*/true);
+    break;
+  case Instr::Kind::Cmp:
+    add(I.Src, /*Load=*/true, /*Store=*/false);
+    add(I.Dst, /*Load=*/true, /*Store=*/false);
+    break;
+  case Instr::Kind::Setcc:
+    add(I.Dst, /*Load=*/false, /*Store=*/true);
+    break;
+  case Instr::Kind::LockCmpxchg:
+    add(I.Dst, /*Load=*/true, /*Store=*/true, /*Locked=*/true);
+    break;
+  case Instr::Kind::Print:
+    add(I.Src, /*Load=*/true, /*Store=*/false);
+    break;
+  case Instr::Kind::Jmp:
+  case Instr::Kind::Jcc:
+  case Instr::Kind::Call:
+  case Instr::Kind::TailCall:
+  case Instr::Kind::Ret:
+  case Instr::Kind::Mfence:
+  case Instr::Kind::Label:
+    break;
+  }
+  return Out;
+}
+
+bool ccc::x86::drainsStoreBuffer(const Instr &I) {
+  return I.K == Instr::Kind::Mfence || I.K == Instr::Kind::LockCmpxchg;
+}
+
+bool ccc::x86::crossesModuleBoundary(const Instr &I) {
+  return I.K == Instr::Kind::Call || I.K == Instr::Kind::TailCall ||
+         I.K == Instr::Kind::Ret;
+}
+
+std::vector<unsigned> ccc::x86::successors(const Module &M, unsigned PC) {
+  std::vector<unsigned> Out;
+  if (PC >= M.Code.size())
+    return Out;
+  const Instr &I = M.Code[PC];
+  auto fallThrough = [&] {
+    if (PC + 1 < M.Code.size())
+      Out.push_back(PC + 1);
+  };
+  switch (I.K) {
+  case Instr::Kind::Jmp:
+    if (auto L = M.label(I.Name))
+      Out.push_back(*L);
+    break;
+  case Instr::Kind::Jcc:
+    if (auto L = M.label(I.Name))
+      Out.push_back(*L);
+    fallThrough();
+    break;
+  case Instr::Kind::Ret:
+  case Instr::Kind::TailCall:
+    break;
+  default:
+    fallThrough();
+    break;
+  }
+  return Out;
+}
+
 std::string Module::toString() const {
   StrBuilder B;
   for (const auto &G : Globals)

@@ -169,6 +169,44 @@ struct Module {
   std::string toString() const;
 };
 
+//===----------------------------------------------------------------------===//
+// Static metadata used by the analyses (analysis/TsoRobust.h): control-flow
+// successors and the memory effects of each instruction, exposed here so
+// every client agrees with the executable semantics of X86Lang.cpp.
+//===----------------------------------------------------------------------===//
+
+/// One memory operand of an instruction together with its effect. A
+/// read-modify-write operand (ALU with memory destination, cmpxchg)
+/// appears once with both IsLoad and IsStore set.
+struct MemEffect {
+  const Operand *Op = nullptr;
+  bool IsLoad = false;
+  bool IsStore = false;
+  /// True for lock-prefixed accesses: they execute atomically against
+  /// drained buffers and never enter the store buffer.
+  bool Locked = false;
+};
+
+/// The memory operands of \p I, in evaluation order.
+std::vector<MemEffect> memEffects(const Instr &I);
+
+/// True when the instruction drains the TSO store buffer *before*
+/// executing (mfence and lock-prefixed instructions). These are the fence
+/// points the robustness analysis credits.
+bool drainsStoreBuffer(const Instr &I);
+
+/// True when control crosses the module boundary (call / tcall / ret).
+/// The executable model also drains the buffer at these points (a
+/// documented simplification of real x86-TSO, where neither call nor ret
+/// fences), so analyses must NOT credit them as fences if their verdicts
+/// are to stay meaningful for the hardware the model abstracts.
+bool crossesModuleBoundary(const Instr &I);
+
+/// Successor PC indices of the instruction at \p PC within \p M:
+/// fall-through and/or branch target. Empty for ret and tcall (control
+/// leaves the module). Calls fall through to their return point.
+std::vector<unsigned> successors(const Module &M, unsigned PC);
+
 } // namespace x86
 } // namespace ccc
 

@@ -56,7 +56,9 @@ public:
   CoreRef applyReturn(const Core &C, const Value &V) const override;
 
   const Module &module() const { return *Mod; }
+  std::shared_ptr<const Module> modulePtr() const { return Mod; }
   MemModel memModel() const { return Model; }
+  bool objectMode() const { return ObjectMode; }
 
   /// The argument-passing registers of our simplified calling convention.
   static constexpr Reg ArgRegs[3] = {Reg::EDI, Reg::ESI, Reg::EDX};

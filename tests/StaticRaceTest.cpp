@@ -302,6 +302,32 @@ TEST(StaticRace, DerefThroughIntGlobalIsNotCertified) {
   EXPECT_NE(R.Verdict, StaticVerdict::Certified) << R.toString();
 }
 
+TEST(StaticRace, X86LockImplementationDeclinesTheCertificate) {
+  // A Clight client synchronizing through entries that resolve into an
+  // x86 object module (pi_lock): the lock token still models the
+  // client's mutual exclusion — no race is flagged — but the assembly
+  // body is outside the lockset walk, so no certificate may silently
+  // vouch for it. The external call must be handled conservatively.
+  Program P;
+  clight::addClightModule(P, "client", workload::fig10cClientSource());
+  sync::addPiLock(P, x86::MemModel::TSO);
+  P.addThread("inc");
+  P.addThread("inc");
+  P.link();
+  StaticDrfReport R = staticRaceAnalysis(P);
+  EXPECT_NE(R.Verdict, StaticVerdict::Certified) << R.toString();
+  EXPECT_NE(R.Verdict, StaticVerdict::Racy) << R.toString();
+  bool Noted = false;
+  for (const std::string &N : R.Notes)
+    Noted = Noted || N.find("x86 assembly") != std::string::npos;
+  EXPECT_TRUE(Noted) << R.toString();
+
+  // And the combined detector therefore does NOT take the lockset fast
+  // path on such a program.
+  DetectResult D = detectRaces(P);
+  EXPECT_FALSE(D.FastPath);
+}
+
 // --- diagnostic ranking ---------------------------------------------------
 
 TEST(StaticRace, OneSideLockedWriteWriteRanksTwo) {

@@ -236,6 +236,104 @@ TEST(X86Tso, FlushesAreFifo) {
   EXPECT_TRUE(T.contains(doneTrace({1, 1})));
 }
 
+TEST(X86Tso, LoadsMayOvertakePendingStoresOfOtherCells) {
+  // The weak behaviour the static robustness pass (analysis/TsoRobust.h)
+  // hunts: a load of a *different* cell executes while the thread's own
+  // earlier store is still buffered. Under TSO both threads can read 0;
+  // under SC at least one store is visible.
+  auto build = [](MemModel Model) {
+    Program P;
+    addAsmModule(P, "m", R"(
+      .data x 0
+      .data y 0
+      .entry t1 0 0
+      .entry t2 0 0
+      t1:
+              movl $1, x
+              movl y, %eax
+              printl %eax
+              retl
+      t2:
+              movl $1, y
+              movl x, %ebx
+              printl %ebx
+              retl
+    )",
+                  Model);
+    P.addThread("t1");
+    P.addThread("t2");
+    P.link();
+    return preemptiveTraces(P);
+  };
+  EXPECT_TRUE(build(MemModel::TSO).contains(doneTrace({0, 0})));
+  EXPECT_FALSE(build(MemModel::SC).contains(doneTrace({0, 0})));
+}
+
+TEST(X86Tso, MfenceDrainsBeforeExecuting) {
+  // mfence can only execute with an empty buffer, so a load after it
+  // never overtakes the earlier store: both-zero is gone. This is the
+  // drain point the robustness pass credits with a fence certificate.
+  Program P;
+  addAsmModule(P, "m", R"(
+    .data x 0
+    .data y 0
+    .entry t1 0 0
+    .entry t2 0 0
+    t1:
+            movl $1, x
+            mfence
+            movl y, %eax
+            printl %eax
+            retl
+    t2:
+            movl $1, y
+            mfence
+            movl x, %ebx
+            printl %ebx
+            retl
+  )",
+                MemModel::TSO);
+  P.addThread("t1");
+  P.addThread("t2");
+  P.link();
+  EXPECT_FALSE(preemptiveTraces(P).contains(doneTrace({0, 0})));
+}
+
+TEST(X86Tso, LockCmpxchgDrainsBeforeExecuting) {
+  // A lock-prefixed cmpxchg also drains the buffer *before* its own
+  // atomic access: once its write to g2 is visible, the thread's earlier
+  // plain store to g1 must be too (the second drain point the pass
+  // credits).
+  Program P;
+  addAsmModule(P, "m", R"(
+    .data g1 0
+    .data g2 0
+    .entry t1 0 0
+    .entry t2 0 0
+    t1:
+            movl $1, g1
+            movl $0, %eax
+            movl $1, %edx
+            lock cmpxchgl %edx, g2
+            retl
+    t2:
+            movl g2, %eax
+            movl g1, %ebx
+            printl %eax
+            printl %ebx
+            retl
+  )",
+                MemModel::TSO);
+  P.addThread("t1");
+  P.addThread("t2");
+  P.link();
+  TraceSet T = preemptiveTraces(P);
+  // Forbidden: cmpxchg's write visible while the earlier store is not.
+  EXPECT_FALSE(T.contains(doneTrace({1, 0})));
+  EXPECT_TRUE(T.contains(doneTrace({1, 1})));
+  EXPECT_TRUE(T.contains(doneTrace({0, 0})));
+}
+
 TEST(X86Tso, RetDrainsTheBuffer) {
   // The callee's buffered store must be globally visible once the call
   // returns (ret requires an empty buffer).
