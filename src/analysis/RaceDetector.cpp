@@ -15,9 +15,10 @@ double msSince(std::chrono::steady_clock::time_point Start) {
       .count();
 }
 
-/// The shared tail of both overloads: lockset fast path, then dynamic
-/// exploration of \p P as it stands (already SC-switched by the mutable
-/// overload when the robustness certificates allowed it).
+/// The shared tail of detectRaces and detectRacesInPlace: lockset fast
+/// path, then dynamic exploration of \p P as it stands (already
+/// SC-switched by detectRacesInPlace when the robustness certificates
+/// allowed it).
 DetectResult detectImpl(const Program &P, const DetectOptions &O,
                         DetectResult R) {
   auto StaticStart = std::chrono::steady_clock::now();
@@ -68,7 +69,8 @@ DetectResult ccc::analysis::detectRaces(const Program &P,
   return detectImpl(P, O, std::move(R));
 }
 
-DetectResult ccc::analysis::detectRaces(Program &P, const DetectOptions &O) {
+DetectResult ccc::analysis::detectRacesInPlace(Program &P,
+                                               const DetectOptions &O) {
   DetectResult R;
   if (O.UseTsoFastPath) {
     auto TsoStart = std::chrono::steady_clock::now();

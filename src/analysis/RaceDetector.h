@@ -36,8 +36,8 @@ struct DetectOptions {
   /// When the fast path fires, still run the (cheap) non-preemptive
   /// exploration as a belt-and-braces confirmation of the certificate.
   bool SampleConfirm = false;
-  /// Run the static TSO-robustness pass (TsoRobust.h) and — on the
-  /// mutable overload — execute certified-Robust x86-TSO modules under
+  /// Run the static TSO-robustness pass (TsoRobust.h) and — under
+  /// detectRacesInPlace — execute certified-Robust x86-TSO modules under
   /// MemModel::SC, pruning the store-buffer dimension of the explored
   /// state space. Sound by robustness: every TSO trace of a Robust
   /// module is SC-explainable, so race verdicts are unchanged.
@@ -63,9 +63,9 @@ struct DetectResult {
   /// Full engine statistics of the dynamic exploration, when it ran.
   ExploreStats Explore{};
   /// Robustness verdict of every x86 module (empty when the program has
-  /// none). Populated by both overloads.
+  /// none). Populated by both entry points.
   ProgramTsoReport Tso;
-  /// Modules actually downgraded to SC by the mutable overload.
+  /// Modules actually downgraded to SC by detectRacesInPlace.
   unsigned ScSwitched = 0;
   double StaticMs = 0.0;
   double TsoMs = 0.0;
@@ -85,8 +85,11 @@ DetectResult detectRaces(const Program &P, const DetectOptions &O = {});
 /// As above, but when UseTsoFastPath is set, certified-Robust x86-TSO
 /// modules of \p P are switched to MemModel::SC in place before the
 /// exploration (applyScFastPath) — the explorer then never enumerates
-/// their store-buffer interleavings.
-DetectResult detectRaces(Program &P, const DetectOptions &O = {});
+/// their store-buffer interleavings. Deliberately a distinct name rather
+/// than a non-const overload of detectRaces: mutating the caller's
+/// program is opt-in, not something overload resolution should decide
+/// from the constness of the argument.
+DetectResult detectRacesInPlace(Program &P, const DetectOptions &O = {});
 
 } // namespace analysis
 } // namespace ccc

@@ -22,20 +22,32 @@ namespace {
 
 /// What a register may hold at a program point. The lattice is
 /// Bot < {NonPtr, Global(g), Frame} < Top; joins of unequal non-Bot
-/// values go to Top.
+/// values go to Top. Alongside the kind, FrameDeriv tracks whether the
+/// value may be derived from this entry's own frame address (the taint
+/// that decides frame-pointer escape): Frame is always derived, and the
+/// taint survives Mov and pointer arithmetic even after the kind has
+/// been joined away to Top.
 struct AbsVal {
   enum class Kind : uint8_t { Bot, NonPtr, Global, Frame, Top };
   Kind K = Kind::Bot;
+  bool FrameDeriv = false;
   std::string Name; // Global only
 
   static AbsVal bot() { return {}; }
-  static AbsVal nonPtr() { return {Kind::NonPtr, {}}; }
-  static AbsVal global(std::string G) { return {Kind::Global, std::move(G)}; }
-  static AbsVal frame() { return {Kind::Frame, {}}; }
-  static AbsVal top() { return {Kind::Top, {}}; }
+  static AbsVal nonPtr() { return {Kind::NonPtr, false, {}}; }
+  static AbsVal global(std::string G) {
+    return {Kind::Global, false, std::move(G)};
+  }
+  static AbsVal frame() { return {Kind::Frame, true, {}}; }
+  static AbsVal top() { return {Kind::Top, false, {}}; }
+
+  /// May this value carry the entry's frame address (or a pointer
+  /// computed from it)?
+  bool frameDerived() const { return K == Kind::Frame || FrameDeriv; }
 
   bool operator==(const AbsVal &O) const {
-    return K == O.K && (K != Kind::Global || Name == O.Name);
+    return K == O.K && FrameDeriv == O.FrameDeriv &&
+           (K != Kind::Global || Name == O.Name);
   }
 
   AbsVal join(const AbsVal &O) const {
@@ -43,9 +55,9 @@ struct AbsVal {
       return O;
     if (O.K == Kind::Bot)
       return *this;
-    if (*this == O)
-      return *this;
-    return top();
+    AbsVal J = *this == O ? *this : top();
+    J.FrameDeriv = FrameDeriv || O.FrameDeriv;
+    return J;
   }
 };
 
@@ -77,7 +89,11 @@ AbsVal evalOperand(const x86::Operand &O, const RegState &S) {
     return regOf(S, O.R);
   case OK::MemBase:
   case OK::MemGlobal:
-    // A loaded value: beyond this analysis (could be any address).
+    // A loaded value: beyond this analysis (could be any address). It is
+    // treated as not frame-derived: the frame is freshly allocated at
+    // entry, so memory can only hold its address after an escape store —
+    // and the escape scan flags that store itself, degrading the whole
+    // entry before this assumption is ever relied on.
     return AbsVal::top();
   }
   return AbsVal::top();
@@ -100,12 +116,17 @@ RegState transfer(const x86::Instr &I, RegState S) {
     if (I.Dst.K == x86::Operand::Kind::Reg) {
       const AbsVal &D = regOf(S, I.Dst.R);
       // Pointer arithmetic yields a pointer to an unknown cell; pure
-      // integer arithmetic stays non-pointer.
+      // integer arithmetic stays non-pointer. The frame taint survives:
+      // frame + k still points into (or near) the frame.
       AbsVal Src = evalOperand(I.Src, S);
+      bool Deriv = D.frameDerived() || Src.frameDerived();
       if (D.K == AbsVal::Kind::NonPtr && Src.K == AbsVal::Kind::NonPtr)
         regOf(S, I.Dst.R) = AbsVal::nonPtr();
-      else
-        regOf(S, I.Dst.R) = AbsVal::top();
+      else {
+        AbsVal V = AbsVal::top();
+        V.FrameDeriv = Deriv;
+        regOf(S, I.Dst.R) = std::move(V);
+      }
     }
     break;
   }
@@ -118,7 +139,9 @@ RegState transfer(const x86::Instr &I, RegState S) {
   case IK::Sar:
   case IK::Neg:
   case IK::Not:
-    // Integer-only in the dynamic semantics (pointer operands abort).
+    // Integer-only in the dynamic semantics (pointer operands abort), so
+    // the result can never be a usable pointer — the frame taint is
+    // cleared along with the kind.
     setReg(I.Dst, AbsVal::nonPtr());
     break;
   case IK::Setcc:
@@ -159,6 +182,11 @@ struct EntryAnalysis {
   std::vector<unsigned> Reachable;
   /// Register abstract state at each reachable PC (fixpoint).
   std::map<unsigned, RegState> RegAt;
+  /// True when the frame address may become visible to another thread
+  /// (stored to memory, passed as a call argument, or returned): frame
+  /// cells are then no longer thread-private, and classify() treats them
+  /// as SharedUnknown instead of Confined.
+  bool FrameEscaped = false;
 
   EntryAnalysis(const x86::Module &Mod, std::string E,
                 const x86::EntryInfo &Info, TsoRobustReport &Rep)
@@ -207,6 +235,59 @@ struct EntryAnalysis {
     }
   }
 
+  /// Scans the reachable instructions for a point where a frame-derived
+  /// value leaves the thread's registers: stored to any memory operand
+  /// (including the frame itself — the address can be laundered back out
+  /// through a load), published by a lock-prefixed cmpxchg, passed in an
+  /// argument register at a call/tcall, or live in EAX at ret. Any such
+  /// point means a peer thread may learn the frame address and race on
+  /// frame cells, so frame confinement is forfeited for the whole entry.
+  /// Sound by induction on execution steps: the *first* concrete escape
+  /// flows from ESP purely through register operations, which the
+  /// fixpoint taint over-approximates (loads and call returns can only
+  /// yield the frame address after some earlier escape).
+  bool frameEscapes() const {
+    for (unsigned PC : Reachable) {
+      const x86::Instr &I = M.Code[PC];
+      auto It = RegAt.find(PC);
+      if (It == RegAt.end())
+        continue;
+      const RegState &S = It->second;
+      using IK = x86::Instr::Kind;
+      switch (I.K) {
+      case IK::Mov:
+        if (I.Dst.isMem() && evalOperand(I.Src, S).frameDerived())
+          return true;
+        break;
+      case IK::LockCmpxchg:
+        if (I.Src.K == x86::Operand::Kind::Reg &&
+            regOf(S, I.Src.R).frameDerived())
+          return true;
+        break;
+      case IK::Call:
+      case IK::TailCall: {
+        auto Arity = M.arityOf(I.Name);
+        unsigned N = Arity ? std::min<unsigned>(*Arity, 3u) : 3u;
+        for (unsigned A = 0; A < N; ++A)
+          if (regOf(S, x86::X86Lang::ArgRegs[A]).frameDerived())
+            return true;
+        break;
+      }
+      case IK::Ret:
+        if (regOf(S, x86::Reg::EAX).frameDerived())
+          return true;
+        break;
+      default:
+        // ALU stores cannot publish a register-held pointer: the only
+        // pointer-producing forms are add/sub with the pointer in the
+        // *destination*, and a pointer ALU source aborts. printl aborts
+        // on pointers outright.
+        break;
+      }
+    }
+    return false;
+  }
+
   /// Classifies one memory operand at \p PC under the fixpoint state.
   TsoAccess classify(unsigned PC, const x86::Operand &Op, bool Write) const {
     TsoAccess A;
@@ -237,8 +318,13 @@ struct EntryAnalysis {
       }
       return A;
     case AbsVal::Kind::Frame:
-      if (Op.Disp >= 0 &&
-          static_cast<uint32_t>(Op.Disp) < EI.FrameSize) {
+      if (FrameEscaped) {
+        // The frame address may be known to a peer thread: frame cells
+        // are shared memory like any other, with unresolved identity.
+        A.Cls = AccessClass::SharedUnknown;
+        A.Global = "<escaped frame+" + std::to_string(Op.Disp) + ">";
+      } else if (Op.Disp >= 0 &&
+                 static_cast<uint32_t>(Op.Disp) < EI.FrameSize) {
         A.Cls = AccessClass::Confined;
         A.Global = "<frame+" + std::to_string(Op.Disp) + ">";
       } else {
@@ -254,7 +340,11 @@ struct EntryAnalysis {
   }
 
   /// Reconstructs a drain-free PC path from \p From to \p To for witness
-  /// reporting (BFS over non-draining instructions).
+  /// reporting (BFS over non-draining instructions). Module-boundary
+  /// instructions are skipped too — the dataflow clears the pending set
+  /// there (emitting an escape), so a path routed through a call would
+  /// not be one on which the store is still buffered. \p To itself may be
+  /// a boundary instruction (the escape point of an escape witness).
   std::vector<unsigned> findPath(unsigned From, unsigned To) const {
     std::map<unsigned, unsigned> Parent;
     std::deque<unsigned> Work{From};
@@ -264,7 +354,8 @@ struct EntryAnalysis {
       Work.pop_front();
       if (PC == To)
         break;
-      if (PC != From && x86::drainsStoreBuffer(M.Code[PC]))
+      if (PC != From && (x86::drainsStoreBuffer(M.Code[PC]) ||
+                         x86::crossesModuleBoundary(M.Code[PC])))
         continue;
       for (unsigned S : x86::successors(M, PC))
         if (Parent.emplace(S, PC).second)
@@ -287,6 +378,12 @@ struct EntryAnalysis {
     if (Reachable.empty())
       return;
     fixpointRegs();
+    FrameEscaped = EI.FrameSize > 0 && frameEscapes();
+    if (FrameEscaped)
+      R.Notes.push_back("entry '" + Entry +
+                        "': frame address may escape to another thread — "
+                        "frame accesses treated as shared (verdict at "
+                        "most Unknown for them)");
 
     // Collect and count the access sites once (stats are per site, not
     // per dataflow visit), and assign ids to the plain shared stores.
@@ -357,8 +454,7 @@ struct EntryAnalysis {
       Exit.Cls = AccessClass::SharedUnknown;
       Exit.Global = "?";
       W.Escape = std::move(Exit);
-      W.Path = findPath(StoreIdx < Stores.size() ? W.Store.PC : ExitPC,
-                        ExitPC);
+      W.Path = findPath(W.Store.PC, ExitPC);
       W.Tentative = W.Store.Cls == AccessClass::SharedUnknown;
       R.Witnesses.push_back(std::move(W));
     };

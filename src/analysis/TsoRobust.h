@@ -39,6 +39,16 @@
 ///  - Unknown: an access target could not be resolved (loads used as
 ///    addresses, pointer arithmetic): no claim either way.
 ///
+/// Frame cells count as thread-private (Confined) only while the frame
+/// address provably stays in the thread's registers. The abstract values
+/// carry a frame-derived taint through moves and pointer arithmetic, and
+/// an escape scan checks every point where a register value leaves the
+/// thread — stores to memory, cmpxchg publishes, call arguments, the
+/// return value at ret. If any such point may carry the frame address,
+/// the entry's frame accesses are reclassified as SharedUnknown: frames
+/// live in ordinary shared memory, so a peer that learns the address can
+/// race on them, and a certificate that ignored that would be unsound.
+///
 /// Two deliberate conservatisms keep the certificate meaningful:
 ///  - call/ret drain the buffer in the executable model (a documented
 ///    simplification), but the analysis does NOT credit them as fences —

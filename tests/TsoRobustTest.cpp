@@ -157,6 +157,109 @@ TEST(TsoRobust, FrameAccessesAreConfined) {
   EXPECT_EQ(R.SharedStores, 0u);
 }
 
+TEST(TsoRobust, FrameEscapeViaStoreForfeitsConfinement) {
+  // The soundness counterexample for naive frame confinement: the frame
+  // address is published through x, so a peer thread can load it and
+  // race on the frame cell — the unfenced frame store before the load of
+  // y is a real SB pattern. The escape must degrade frame accesses to
+  // shared (verdict at most Unknown), keeping the SC fast path off.
+  TsoRobustReport R = analyzeSource(R"(
+    .data x 0
+    .data y 0
+    .entry f 1 0
+    f:
+            movl %esp, x
+            mfence
+            movl $1, (%esp)
+            movl y, %eax
+            printl %eax
+            retl
+  )");
+  EXPECT_NE(R.Verdict, TsoVerdict::Robust) << R.toString();
+  EXPECT_EQ(R.Verdict, TsoVerdict::Unknown) << R.toString();
+  EXPECT_EQ(R.ConfinedAccesses, 0u);
+  // The frame store / load-of-y triangle is reported (tentatively: the
+  // escaped frame cell has unresolved identity).
+  bool FrameTriangle = false;
+  for (const TriangularWitness &W : R.Witnesses)
+    if (W.Store.Global.find("escaped frame") != std::string::npos && W.Load &&
+        W.Load->Global == "y")
+      FrameTriangle = true;
+  EXPECT_TRUE(FrameTriangle) << R.toString();
+}
+
+TEST(TsoRobust, FrameEscapeViaCallArgumentForfeitsConfinement) {
+  // Passing the frame address (here laundered through a mov and pointer
+  // arithmetic) to an external callee lets the callee publish it.
+  TsoRobustReport R = analyzeSource(R"(
+    .data g 0
+    .extern ext 1
+    .entry f 2 0
+    f:
+            movl %esp, %edi
+            addl $1, %edi
+            movl $1, (%esp)
+            movl g, %eax
+            printl %eax
+            mfence
+            call ext
+            retl
+  )");
+  EXPECT_EQ(R.Verdict, TsoVerdict::Unknown) << R.toString();
+  EXPECT_EQ(R.ConfinedAccesses, 0u);
+}
+
+TEST(TsoRobust, FrameEscapeViaReturnValueForfeitsConfinement) {
+  // Returning the frame address hands it to the caller.
+  TsoRobustReport R = analyzeSource(R"(
+    .data g 0
+    .entry f 1 0
+    f:
+            movl $1, (%esp)
+            movl g, %ebx
+            printl %ebx
+            movl %esp, %eax
+            retl
+  )");
+  EXPECT_EQ(R.Verdict, TsoVerdict::Unknown) << R.toString();
+  EXPECT_EQ(R.ConfinedAccesses, 0u);
+}
+
+TEST(TsoRobust, FrameEscapeLaunderedThroughOwnFrameIsCaught) {
+  // Storing the frame address into the frame itself already counts as an
+  // escape: a later load from that slot would carry the address with no
+  // taint, so the scan must flag the publishing store, not the load.
+  TsoRobustReport R = analyzeSource(R"(
+    .data x 0
+    .entry f 1 0
+    f:
+            movl %esp, (%esp)
+            movl (%esp), %eax
+            movl %eax, x
+            mfence
+            retl
+  )");
+  EXPECT_NE(R.Verdict, TsoVerdict::Robust) << R.toString();
+  EXPECT_EQ(R.ConfinedAccesses, 0u);
+}
+
+TEST(TsoRobust, FrameKeptByTheThreadStaysConfined) {
+  // Moving the frame pointer between registers and indexing off the copy
+  // is not an escape: the address never leaves the thread.
+  TsoRobustReport R = analyzeSource(R"(
+    .data g 0
+    .entry f 2 0
+    f:
+            movl %esp, %ebx
+            movl $7, 1(%ebx)
+            movl g, %eax
+            printl %eax
+            retl
+  )");
+  EXPECT_EQ(R.Verdict, TsoVerdict::Robust) << R.toString();
+  EXPECT_EQ(R.ConfinedAccesses, 1u);
+}
+
 TEST(TsoRobust, OutOfFrameDisplacementIsShared) {
   // A displacement beyond the declared frame size may alias shared
   // memory: the store is not confined, and escapes at ret.
@@ -364,7 +467,7 @@ TEST(TsoRobust, DetectRacesAppliesTheFastPathInPlace) {
   O.UseTsoFastPath = false;
   DetectResult Before = detectRaces(Baseline, O);
 
-  DetectResult After = detectRaces(P);
+  DetectResult After = detectRacesInPlace(P);
   EXPECT_EQ(After.ScSwitched, 1u);
   ASSERT_EQ(After.Tso.Modules.size(), 1u);
   EXPECT_TRUE(After.Tso.Modules[0].Report.robust());
@@ -373,10 +476,12 @@ TEST(TsoRobust, DetectRacesAppliesTheFastPathInPlace) {
   EXPECT_LE(After.ExploredStates, Before.ExploredStates);
 }
 
-TEST(TsoRobust, DetectRacesConstOverloadDoesNotMutate) {
+TEST(TsoRobust, DetectRacesDoesNotMutateEvenWithNonConstArgument) {
+  // Regression for a former non-const overload of detectRaces that
+  // silently captured non-const call sites and SC-switched their program
+  // in place: only detectRacesInPlace may mutate.
   Program P = workload::fencedPingPong(x86::MemModel::TSO, 2);
-  const Program &CP = P;
-  DetectResult R = detectRaces(CP);
+  DetectResult R = detectRaces(P);
   EXPECT_EQ(R.ScSwitched, 0u);
   const auto *L =
       dynamic_cast<const x86::X86Lang *>(P.modules()[0].Lang.get());
