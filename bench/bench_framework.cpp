@@ -49,6 +49,7 @@ int main() {
   benchtable::Table T({"program", "DRF", "NPDRF", "DRF<=>NPDRF",
                        "pre states", "np states", "pre == np", "ms"});
   bool AllGood = true;
+  benchtable::JsonLog Log;
   for (Item &It : Items) {
     benchtable::Timer Tm;
     bool Drf = isDRF(It.P);
@@ -71,10 +72,21 @@ int main() {
               benchtable::yesNo(Agree), std::to_string(PreS.States),
               std::to_string(NpS.States), EquivCell,
               benchtable::fmtMs(Tm.ms())});
+    Log.add("equivalence",
+            "{\"program\":" + benchtable::jsonStr(It.Name) +
+                ",\"drf\":" + (Drf ? "true" : "false") +
+                ",\"npdrf\":" + (NpDrf ? "true" : "false") +
+                ",\"total_ms\":" + std::to_string(Tm.ms()) +
+                ",\"preemptive\":" + PreS.toJson() +
+                ",\"non_preemptive\":" + NpS.toJson() + "}");
   }
   T.print();
   std::printf("\nresult: %s — DRF programs behave identically under both "
               "semantics; NPDRF coincides with DRF on every sample\n",
               AllGood ? "PASS" : "FAIL");
+  if (!Log.write("BENCH_framework.json"))
+    std::printf("warning: could not write BENCH_framework.json\n");
+  else
+    std::printf("machine-readable stats written to BENCH_framework.json\n");
   return AllGood ? 0 : 1;
 }

@@ -66,6 +66,7 @@ int main() {
 
   benchtable::Table T({"object", "threads", "impl states", "refines' spec",
                        "races", "confined", "ms"});
+  benchtable::JsonLog Log;
   for (unsigned Threads : {2u, 3u}) {
     benchtable::Timer Tm;
     Program Spec = faiProgram(false, x86::MemModel::SC, Threads);
@@ -84,6 +85,14 @@ int main() {
               std::to_string(E.numStates()), benchtable::yesNo(R.Holds),
               std::to_string(Races.size()), benchtable::yesNo(Confined),
               benchtable::fmtMs(Tm.ms())});
+    Log.add("objects",
+            "{\"object\":\"fetch-and-inc\",\"threads\":" +
+                std::to_string(Threads) +
+                ",\"refines\":" + (R.Holds ? "true" : "false") +
+                ",\"races\":" + std::to_string(Races.size()) +
+                ",\"confined\":" + (Confined ? "true" : "false") +
+                ",\"total_ms\":" + std::to_string(Tm.ms()) +
+                ",\"impl_explore\":" + E.stats().toJson() + "}");
   }
   T.print();
 
@@ -112,5 +121,9 @@ int main() {
   std::printf("\nresult: %s — the racy CAS object is a correct "
               "implementation of its atomic spec under TSO\n",
               AllGood ? "PASS" : "FAIL");
+  if (!Log.write("BENCH_objects.json"))
+    std::printf("warning: could not write BENCH_objects.json\n");
+  else
+    std::printf("machine-readable stats written to BENCH_objects.json\n");
   return AllGood ? 0 : 1;
 }

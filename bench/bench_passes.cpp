@@ -81,6 +81,7 @@ int main() {
 
   benchtable::Table T({"pass", "validated", "entries", "obligations",
                        "product states", "ms"});
+  benchtable::JsonLog Log;
   for (const std::string &Name : compiler::passNames()) {
     const PassResult &A = Agg[Name];
     AllGood = AllGood && A.Holds;
@@ -89,6 +90,13 @@ int main() {
               std::to_string(A.Obligations),
               std::to_string(A.ProductStates),
               benchtable::fmtMs(A.Millis)});
+    Log.add("pass_validation",
+            "{\"pass\":" + benchtable::jsonStr(Name) +
+                ",\"validated\":" + (A.Holds ? "true" : "false") +
+                ",\"entries\":" + std::to_string(A.EntriesChecked) +
+                ",\"obligations\":" + std::to_string(A.Obligations) +
+                ",\"product_states\":" + std::to_string(A.ProductStates) +
+                ",\"ms\":" + std::to_string(A.Millis) + "}");
   }
   T.print();
 
@@ -118,10 +126,20 @@ int main() {
                std::to_string(Equal) + "/" +
                    std::to_string(compiler::numStages() - 1),
                benchtable::fmtMs(Tm.ms())});
+    Log.add("trace_preservation",
+            "{\"scenario\":" + benchtable::jsonStr(Sc.Name) +
+                ",\"stages_equal\":" + std::to_string(Equal) +
+                ",\"stages_total\":" +
+                std::to_string(compiler::numStages() - 1) +
+                ",\"ms\":" + std::to_string(Tm.ms()) + "}");
   }
   T2.print();
 
   std::printf("\nresult: %s — all %zu passes validate on the suite\n",
               AllGood ? "PASS" : "FAIL", compiler::passNames().size());
+  if (!Log.write("BENCH_passes.json"))
+    std::printf("warning: could not write BENCH_passes.json\n");
+  else
+    std::printf("machine-readable stats written to BENCH_passes.json\n");
   return AllGood ? 0 : 1;
 }

@@ -67,6 +67,7 @@ int main() {
                        "paper proof LoC", "obligations", "product states",
                        "validated", "ms"});
   bool AllGood = true;
+  benchtable::JsonLog Log;
   for (const std::string &Name : compiler::passNames()) {
     const PassResult &A = Agg[Name];
     auto P = PaperLoC.at(Name);
@@ -75,6 +76,14 @@ int main() {
               std::to_string(A.Obligations),
               std::to_string(A.ProductStates), benchtable::yesNo(A.Holds),
               benchtable::fmtMs(A.Millis)});
+    Log.add("effort_table",
+            "{\"pass\":" + benchtable::jsonStr(Name) +
+                ",\"paper_spec_loc\":" + std::to_string(P.first) +
+                ",\"paper_proof_loc\":" + std::to_string(P.second) +
+                ",\"obligations\":" + std::to_string(A.Obligations) +
+                ",\"product_states\":" + std::to_string(A.ProductStates) +
+                ",\"validated\":" + (A.Holds ? "true" : "false") +
+                ",\"ms\":" + std::to_string(A.Millis) + "}");
   }
   T.print();
 
@@ -102,9 +111,20 @@ int main() {
                "preemptive == non-preemptive trace sets",
                std::to_string(PreS.States + NpS.States),
                benchtable::yesNo(Equiv)});
+    Log.add("framework_lemmas",
+            "{\"workload\":\"locked t=2\",\"equiv\":" +
+                std::string(Equiv ? "true" : "false") +
+                ",\"drf\":" + (Drf ? "true" : "false") +
+                ",\"npdrf\":" + (NpDrf ? "true" : "false") +
+                ",\"preemptive\":" + PreS.toJson() +
+                ",\"non_preemptive\":" + NpS.toJson() + "}");
   }
   T2.print();
 
   std::printf("\nresult: %s\n", AllGood ? "PASS" : "FAIL");
+  if (!Log.write("BENCH_statistics.json"))
+    std::printf("warning: could not write BENCH_statistics.json\n");
+  else
+    std::printf("machine-readable stats written to BENCH_statistics.json\n");
   return AllGood ? 0 : 1;
 }

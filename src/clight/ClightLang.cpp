@@ -223,11 +223,11 @@ std::vector<LocalStep> ClightLang::step(const FreeList &FL, const Core &C,
     S.NextMem = M;
     for (unsigned I = 0; I < Slots; ++I) {
       // Frame regions are reused after returns (stack discipline), so the
-      // cell may already be allocated: allocation overwrites it.
+      // cell may already be allocated: allocFrame overwrites it.
       Addr A = FL.at(I);
       Value Init = I < Cr.EntryArgs.size() ? Cr.EntryArgs[I]
                                            : Value::makeUndef();
-      S.NextMem.alloc(A, Init);
+      S.NextMem.allocFrame(A, Init);
       S.FP.addWrite(A);
     }
     auto N = std::make_shared<ClightCore>(Cr);

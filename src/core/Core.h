@@ -17,6 +17,9 @@
 #ifndef CASCC_CORE_CORE_H
 #define CASCC_CORE_CORE_H
 
+#include "support/Hashing.h"
+
+#include <atomic>
 #include <memory>
 #include <string>
 
@@ -30,11 +33,35 @@ public:
   /// Canonical key uniquely identifying this core state within its module.
   virtual std::string key() const = 0;
 
+  /// 64-bit hash of key(), computed once per core object and cached
+  /// (cores are immutable once shared, so the key cannot change under the
+  /// cache). Equal cores hash equally; the exploration engine never
+  /// merges on hash alone.
+  uint64_t keyHash() const {
+    uint64_t H = CachedKeyHash.load(std::memory_order_relaxed);
+    if (H == 0) {
+      H = hashString64(key());
+      H += H == 0; // reserve 0 as the "not yet computed" sentinel
+      CachedKeyHash.store(H, std::memory_order_relaxed);
+    }
+    return H;
+  }
+
   /// Human-readable rendering (defaults to the key).
   virtual std::string pretty() const { return key(); }
 
 protected:
   Core() = default;
+  /// Languages copy-construct a core and mutate it before sharing, so a
+  /// copy must start with an empty hash cache (and the atomic member
+  /// deletes the defaults).
+  Core(const Core &) : Core() {}
+  Core &operator=(const Core &) { return *this; }
+
+private:
+  /// Lazily computed keyHash(); 0 = not yet computed. Benignly racy:
+  /// concurrent readers compute the same value.
+  mutable std::atomic<uint64_t> CachedKeyHash{0};
 };
 
 using CoreRef = std::shared_ptr<const Core>;

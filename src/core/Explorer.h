@@ -15,10 +15,13 @@
 ///
 /// The engine is hash-interned and layer-parallel:
 ///
-///  - States are interned by a 64-bit incremental hash (World::hashKey)
-///    into a sharded unordered map; the canonical key string is kept
-///    behind the hash and compared only when two states share a hash, so
-///    a collision can never merge distinct states.
+///  - States are interned by a 64-bit maintained hash (World::hashKey,
+///    assembled from the Mem's incrementally-maintained hash and cached
+///    per-thread hashes) into a sharded unordered map; behind the hash
+///    lives a compact canonical record — the COW memory snapshot plus
+///    the serialized non-memory residue — compared exactly whenever two
+///    states share a hash, so a collision can never merge distinct
+///    states.
 ///  - The BFS frontier is expanded one layer at a time by a small worker
 ///    pool. Workers intern successors into the shards under per-shard
 ///    locks and receive provisional node ids; at the layer barrier the
@@ -42,6 +45,7 @@
 
 #include "core/Trace.h"
 #include "core/WorldCommon.h"
+#include "mem/Mem.h"
 #include "support/Hashing.h"
 #include "support/Parallel.h"
 
@@ -57,7 +61,12 @@
 #include <set>
 #include <string>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
 
 namespace ccc {
 
@@ -71,8 +80,8 @@ struct ExploreOptions {
   /// produces bit-identical results.
   unsigned Threads = 1;
   /// Test hook: keep only the low N bits of every state hash, forcing
-  /// hash collisions so the string-verify fallback is exercised. 64 (the
-  /// default) keeps the full hash.
+  /// hash collisions so the exact-verify fallback (residue + structural
+  /// Mem comparison) is exercised. 64 (the default) keeps the full hash.
   unsigned DebugHashBits = 64;
 };
 
@@ -86,10 +95,20 @@ struct ExploreStats {
   std::size_t Probes = 0;
   /// Probes that resolved to an already-interned state.
   std::size_t DedupHits = 0;
-  /// Probes that met a same-hash different-key entry (string-verified).
+  /// Probes that met a same-hash different-state entry (exact-verified).
   std::size_t HashCollisions = 0;
   /// Widest BFS layer expanded.
   std::size_t PeakFrontier = 0;
+  /// Shared bytes retained by the intern table: residue strings, record
+  /// overhead, and each distinct COW memory page counted exactly once no
+  /// matter how many interned states reference it.
+  std::size_t StateBytes = 0;
+  /// Distinct page objects across all interned memory snapshots.
+  std::size_t UniqueMemPages = 0;
+  /// Sum of per-state page references (UniqueMemPages / this = sharing).
+  std::size_t TotalPageRefs = 0;
+  /// Process peak resident set size, in KiB (0 where unsupported).
+  long PeakRssKb = 0;
   bool Truncated = false;
   double BuildMs = 0.0;
   double DivergenceMs = 0.0;
@@ -107,6 +126,13 @@ struct ExploreStats {
                          : 0.0;
   }
 
+  /// Shared intern-table bytes per state (COW pages deduplicated).
+  double bytesPerState() const {
+    return States ? static_cast<double>(StateBytes) /
+                        static_cast<double>(States)
+                  : 0.0;
+  }
+
   /// Machine-readable rendering for BENCH_*.json trajectories.
   std::string toJson() const {
     std::string J = "{";
@@ -119,6 +145,11 @@ struct ExploreStats {
     Field("dedup_hits", std::to_string(DedupHits));
     Field("hash_collisions", std::to_string(HashCollisions));
     Field("peak_frontier", std::to_string(PeakFrontier));
+    Field("state_bytes", std::to_string(StateBytes));
+    Field("bytes_per_state", std::to_string(bytesPerState()));
+    Field("unique_mem_pages", std::to_string(UniqueMemPages));
+    Field("total_page_refs", std::to_string(TotalPageRefs));
+    Field("peak_rss_kb", std::to_string(PeakRssKb));
     Field("truncated", Truncated ? "true" : "false");
     Field("build_ms", std::to_string(BuildMs));
     Field("divergence_ms", std::to_string(DivergenceMs));
@@ -230,6 +261,7 @@ public:
     Stats.States = Nodes.size();
     Stats.Truncated = Truncated;
     Stats.BuildMs = msSince(BuildStart);
+    measureRepresentation();
 
     auto DivStart = std::chrono::steady_clock::now();
     computeDivergence();
@@ -242,6 +274,19 @@ public:
   std::size_t numStates() const { return Nodes.size(); }
   bool truncated() const { return Truncated; }
   const ExploreStats &stats() const { return Stats; }
+
+  /// The interned world of node \p I (ids are canonical discovery order).
+  const WorldT &world(std::size_t I) const { return Nodes[I].W; }
+
+  /// Walks every edge of the state graph in deterministic order: source
+  /// nodes ascending, out-edges in successor enumeration order. \p Fn is
+  /// called as Fn(From, To, Kind, EventVal). Used by the representation-
+  /// swap differential tests to fingerprint the exact graph.
+  template <typename Fn> void forEachEdge(Fn &&F) const {
+    for (std::size_t I = 0; I < Nodes.size(); ++I)
+      for (const Edge &E : Nodes[I].Out)
+        F(static_cast<unsigned>(I), E.To, E.K, E.Ev);
+  }
 
   /// True if an aborted state is reachable (the paper's Safe(P) is the
   /// negation of this). NOTE: on a truncated exploration, false only
@@ -550,13 +595,50 @@ private:
     std::size_t HashCollisions = 0;
   };
 
-  /// One shard of the interning table: hash -> [(key, id)]. The key string
-  /// lives in the shard so concurrent probes can verify same-hash entries
-  /// (including ones interned earlier in the same layer).
+  /// A compact canonical state record kept behind the hash: the COW
+  /// memory snapshot itself (page-pointer copies, compared structurally
+  /// with the shared-page fast path) plus the short serialized residue of
+  /// the non-memory components. Together they identify the state exactly,
+  /// so a hash collision can never merge distinct states — without
+  /// retaining the full key() string per interned state.
+  struct InternRec {
+    std::string Residue;
+    Mem M;
+    unsigned Id = 0;
+    uint64_t H = 0;
+  };
+
+  /// One shard of the interning table: an open-addressed power-of-two
+  /// slot array over a dense record vector (slots hold record index + 1,
+  /// 0 = empty). The maintained 64-bit state hashes are already well
+  /// mixed, so slot = H & Mask with linear probing; compared to a
+  /// chained unordered_map this avoids the prime-modulo division and
+  /// node allocation on every probe, which profiled as the single
+  /// largest cost of exploration. Records live in the shard so
+  /// concurrent probes can verify same-hash entries (including ones
+  /// interned earlier in the same layer).
   struct Shard {
     std::mutex Mu;
-    std::unordered_map<uint64_t, std::vector<std::pair<std::string, unsigned>>>
-        Map;
+    std::vector<InternRec> Recs;
+    std::vector<uint32_t> Table = std::vector<uint32_t>(1024, 0);
+    uint32_t Mask = 1023;
+
+    /// Keeps the load factor under 0.7 so probe chains stay short and an
+    /// empty slot always terminates the walk. Called with Mu held.
+    void growIfNeeded() {
+      if ((Recs.size() + 1) * 10 < static_cast<std::size_t>(Mask + 1) * 7)
+        return;
+      const uint32_t NewMask = (Mask + 1) * 2 - 1;
+      std::vector<uint32_t> NewTable(NewMask + 1, 0);
+      for (uint32_t R = 0; R < Recs.size(); ++R) {
+        uint32_t I = static_cast<uint32_t>(Recs[R].H) & NewMask;
+        while (NewTable[I] != 0)
+          I = (I + 1) & NewMask;
+        NewTable[I] = R + 1;
+      }
+      Table = std::move(NewTable);
+      Mask = NewMask;
+    }
   };
   static constexpr unsigned NumShards = 16;
 
@@ -564,6 +646,50 @@ private:
     return std::chrono::duration<double, std::milli>(
                std::chrono::steady_clock::now() - Start)
         .count();
+  }
+
+  /// Fills the representation-cost counters: shared state-representation
+  /// bytes — intern residues, record overhead, each node's shallow memory
+  /// snapshot, and every distinct COW page counted once no matter how
+  /// many snapshots (node worlds or intern records) reference it — the
+  /// page-sharing ratio, and the process peak RSS. Runs single-threaded
+  /// at the end of build(), after BuildMs is taken, so it never skews
+  /// throughput.
+  void measureRepresentation() {
+    std::unordered_set<const void *> UniquePages;
+    std::size_t Bytes = 0, Refs = 0;
+    auto CountPages = [&](const Mem &M) {
+      M.forEachPageId([&](const void *P) {
+        ++Refs;
+        if (UniquePages.insert(P).second)
+          Bytes += Mem::pageBytes();
+      });
+    };
+    for (const Shard &S : Shards) {
+      Bytes += S.Table.capacity() * sizeof(uint32_t);
+      for (const InternRec &R : S.Recs) {
+        Bytes += sizeof(InternRec) - sizeof(Mem) + R.Residue.capacity() +
+                 R.M.shallowBytes();
+        CountPages(R.M);
+      }
+    }
+    for (const Node &N : Nodes) {
+      Bytes += N.W.mem().shallowBytes();
+      CountPages(N.W.mem());
+    }
+    Stats.StateBytes = Bytes;
+    Stats.UniqueMemPages = UniquePages.size();
+    Stats.TotalPageRefs = Refs;
+#if defined(__unix__) || defined(__APPLE__)
+    struct rusage RU {};
+    if (getrusage(RUSAGE_SELF, &RU) == 0) {
+#if defined(__APPLE__)
+      Stats.PeakRssKb = RU.ru_maxrss / 1024;
+#else
+      Stats.PeakRssKb = RU.ru_maxrss;
+#endif
+    }
+#endif
   }
 
   uint64_t maskHash(uint64_t H) const {
@@ -580,24 +706,29 @@ private:
   unsigned intern(const WorldT &W, WorkerState &Ws) {
     ++Ws.Probes;
     const uint64_t H = maskHash(W.hashKey());
-    std::string Key = W.key();
+    std::string Res = W.residueKey();
     Shard &S = Shards[H % NumShards];
     std::lock_guard<std::mutex> Lock(S.Mu);
-    auto &Bucket = S.Map[H];
+    S.growIfNeeded();
     bool Collided = false;
-    for (const auto &Entry : Bucket) {
-      if (Entry.first == Key) {
+    uint32_t I = static_cast<uint32_t>(H) & S.Mask;
+    for (; S.Table[I] != 0; I = (I + 1) & S.Mask) {
+      const InternRec &Entry = S.Recs[S.Table[I] - 1];
+      if (Entry.H != H)
+        continue;
+      if (Entry.Residue == Res && Entry.M == W.mem()) {
         ++Ws.DedupHits;
         if (Collided)
           ++Ws.HashCollisions;
-        return Entry.second;
+        return Entry.Id;
       }
       Collided = true;
     }
     if (Collided)
       ++Ws.HashCollisions;
     unsigned Id = NextId.fetch_add(1, std::memory_order_relaxed);
-    Bucket.emplace_back(std::move(Key), Id);
+    S.Recs.push_back(InternRec{std::move(Res), W.mem(), Id, H});
+    S.Table[I] = static_cast<uint32_t>(S.Recs.size());
     Ws.News.push_back(Pending{Id, W, H});
     return Id;
   }
@@ -673,9 +804,14 @@ private:
     for (unsigned Prov : CanonToProv) {
       Pending &P = *ByProv[Prov - LayerBase];
       Shard &S = Shards[P.Hash % NumShards];
-      for (auto &Entry : S.Map[P.Hash])
-        if (Entry.second == P.ProvId)
-          Entry.second = Remap[P.ProvId - LayerBase];
+      for (uint32_t I = static_cast<uint32_t>(P.Hash) & S.Mask;
+           S.Table[I] != 0; I = (I + 1) & S.Mask) {
+        InternRec &Entry = S.Recs[S.Table[I] - 1];
+        if (Entry.H == P.Hash && Entry.Id == P.ProvId) {
+          Entry.Id = Remap[P.ProvId - LayerBase];
+          break;
+        }
+      }
       Nodes.push_back(Node{std::move(P.W), {}, false, false, false});
     }
 

@@ -34,10 +34,9 @@ NPWorld NPWorld::load(const Program &P, ThreadId Start) {
       return W;
     }
     FreeList Region = P.threadRegion(T);
-    TS.Stack.push_back(
-        Frame{Resolved->first, Resolved->second,
-              Region.subRegion(0, Program::FrameRegionSize)});
-    TS.NextFrameOff = Program::FrameRegionSize;
+    TS.pushFrame(Frame{Resolved->first, Resolved->second,
+                       Region.subRegion(0, Program::FrameRegionSize)},
+                 Program::FrameRegionSize);
     W.Threads.push_back(std::move(TS));
     W.DBits.push_back(0);
   }
@@ -52,7 +51,7 @@ bool NPWorld::done() const {
   if (Abort)
     return false;
   for (const ThreadState &T : Threads)
-    if (!T.Finished)
+    if (!T.finished())
       return false;
   return true;
 }
@@ -70,7 +69,7 @@ void NPWorld::pushSwitches(std::vector<GSucc<NPWorld>> &Out,
                            const Footprint &FP) const {
   bool Any = false;
   for (ThreadId T = 0; T < Base.Threads.size(); ++T) {
-    if (Base.Threads[T].Finished)
+    if (Base.Threads[T].finished())
       continue;
     NPWorld Next = Base;
     Next.Cur = T;
@@ -89,7 +88,7 @@ std::vector<GSucc<NPWorld>> NPWorld::succ() const {
     return Out;
 
   const ThreadState &CurT = Threads[Cur];
-  assert(!CurT.Finished && "current thread of an NP world is finished");
+  assert(!CurT.finished() && "current thread of an NP world is finished");
   const ModuleDecl &Mod = Prog->module(CurT.top().ModIdx);
   auto Steps = Mod.Lang->step(CurT.top().F, *CurT.top().C, M);
   if (Steps.empty())
@@ -109,7 +108,7 @@ std::vector<GSucc<NPWorld>> NPWorld::succ() const {
       }
       NPWorld Base = *this;
       Base.DBits[Cur] = 1;
-      Base.Threads[Cur].top().C = LS.Next;
+      Base.Threads[Cur].setTopCore(LS.Next);
       pushSwitches(Out, Base, GLabel::sw(), LS.FP);
       break;
     }
@@ -121,14 +120,14 @@ std::vector<GSucc<NPWorld>> NPWorld::succ() const {
       }
       NPWorld Base = *this;
       Base.DBits[Cur] = 0;
-      Base.Threads[Cur].top().C = LS.Next;
+      Base.Threads[Cur].setTopCore(LS.Next);
       pushSwitches(Out, Base, GLabel::sw(), LS.FP);
       break;
     }
     case Msg::Kind::Event: {
       // Observable events are interaction points: emit then switch.
       NPWorld Base = *this;
-      Base.Threads[Cur].top().C = LS.Next;
+      Base.Threads[Cur].setTopCore(LS.Next);
       Base.M = LS.NextMem;
       pushSwitches(Out, Base, GLabel::event(LS.M.EventVal), LS.FP);
       break;
@@ -143,7 +142,7 @@ std::vector<GSucc<NPWorld>> NPWorld::succ() const {
         break;
       }
       Base.DBits.push_back(0);
-      Base.Threads[Cur].top().C = LS.Next;
+      Base.Threads[Cur].setTopCore(LS.Next);
       Base.M = LS.NextMem;
       pushSwitches(Out, Base, GLabel::sw(), LS.FP);
       break;
@@ -177,7 +176,7 @@ std::vector<GSucc<NPWorld>> NPWorld::succ() const {
   return Out;
 }
 
-std::string NPWorld::key() const {
+std::string NPWorld::residueKey() const {
   StrBuilder B;
   if (Abort)
     B << "ABORT|";
@@ -186,7 +185,12 @@ std::string NPWorld::key() const {
     B << (D ? '1' : '0');
   for (const ThreadState &T : Threads)
     B << '[' << threadKey(T) << ']';
-  B << '#' << M.key();
+  return B.take();
+}
+
+std::string NPWorld::key() const {
+  StrBuilder B;
+  B << residueKey() << '#' << M.key();
   return B.take();
 }
 
@@ -211,7 +215,7 @@ std::vector<InstrFootprint> NPWorld::predictFor(ThreadId T) const {
   // ExtAtom are switch points, so the whole chunk carries the thread's
   // current atomic bit.
   std::vector<InstrFootprint> Out;
-  if (Abort || Threads[T].Finished)
+  if (Abort || Threads[T].finished())
     return Out;
   const bool InAtomic = DBits[T] != 0;
 

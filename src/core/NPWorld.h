@@ -41,10 +41,15 @@ public:
   bool done() const;
   bool aborted() const { return Abort; }
   const std::string &abortReason() const { return AbortReason; }
+  /// Canonical key (== residueKey() + '#' + mem().key()).
   std::string key() const;
 
-  /// 64-bit incremental hash of key()'s content; equal worlds hash
-  /// equally, collisions are resolved by comparing key() strings.
+  /// The non-memory part of the canonical key (see World::residueKey).
+  std::string residueKey() const;
+
+  /// 64-bit hash over the same components as key(), assembled from the
+  /// maintained Mem hash and the cached per-thread hashes; equal worlds
+  /// hash equally, collisions are resolved by exact comparison.
   uint64_t hashKey() const;
 
   /// NPDRF footprint prediction (Sec. 5): like Fig. 9's Predict but using

@@ -25,10 +25,9 @@ World World::load(const Program &P, ThreadId Start) {
       return W;
     }
     FreeList Region = P.threadRegion(T);
-    TS.Stack.push_back(
-        Frame{Resolved->first, Resolved->second,
-              Region.subRegion(0, Program::FrameRegionSize)});
-    TS.NextFrameOff = Program::FrameRegionSize;
+    TS.pushFrame(Frame{Resolved->first, Resolved->second,
+                       Region.subRegion(0, Program::FrameRegionSize)},
+                 Program::FrameRegionSize);
     W.Threads.push_back(std::move(TS));
   }
   // Load side condition: the initial memory contains no wild pointers.
@@ -43,7 +42,7 @@ bool World::done() const {
   if (Abort)
     return false;
   for (const ThreadState &T : Threads)
-    if (!T.Finished)
+    if (!T.finished())
       return false;
   return true;
 }
@@ -62,7 +61,7 @@ std::vector<GSucc<World>> World::succ() const {
     return Out;
 
   const ThreadState &CurT = Threads[Cur];
-  if (!CurT.Finished) {
+  if (!CurT.finished()) {
     const ModuleDecl &Mod = Prog->module(CurT.top().ModIdx);
     auto Steps = Mod.Lang->step(CurT.top().F, *CurT.top().C, M);
     if (Steps.empty()) {
@@ -82,7 +81,7 @@ std::vector<GSucc<World>> World::succ() const {
         }
         World Next = *this;
         Next.AtomBit = true;
-        Next.Threads[Cur].top().C = LS.Next;
+        Next.Threads[Cur].setTopCore(LS.Next);
         Out.push_back(
             GSucc<World>{GLabel::tau(), LS.FP, Cur, std::move(Next)});
         break;
@@ -95,7 +94,7 @@ std::vector<GSucc<World>> World::succ() const {
         }
         World Next = *this;
         Next.AtomBit = false;
-        Next.Threads[Cur].top().C = LS.Next;
+        Next.Threads[Cur].setTopCore(LS.Next);
         Out.push_back(
             GSucc<World>{GLabel::tau(), LS.FP, Cur, std::move(Next)});
         break;
@@ -109,7 +108,7 @@ std::vector<GSucc<World>> World::succ() const {
           Out.push_back(makeAbort(Reason));
           break;
         }
-        Next.Threads[Cur].top().C = LS.Next;
+        Next.Threads[Cur].setTopCore(LS.Next);
         Next.M = LS.NextMem;
         Out.push_back(
             GSucc<World>{GLabel::tau(), LS.FP, Cur, std::move(Next)});
@@ -141,7 +140,7 @@ std::vector<GSucc<World>> World::succ() const {
   // Switch rule: any live thread may be scheduled when d = 0.
   if (!AtomBit) {
     for (ThreadId T = 0; T < Threads.size(); ++T) {
-      if (T == Cur || Threads[T].Finished)
+      if (T == Cur || Threads[T].finished())
         continue;
       World Next = *this;
       Next.Cur = T;
@@ -152,14 +151,19 @@ std::vector<GSucc<World>> World::succ() const {
   return Out;
 }
 
-std::string World::key() const {
+std::string World::residueKey() const {
   StrBuilder B;
   if (Abort)
     B << "ABORT|";
   B << 't' << Cur << 'd' << (AtomBit ? 1 : 0);
   for (const ThreadState &T : Threads)
     B << '[' << threadKey(T) << ']';
-  B << '#' << M.key();
+  return B.take();
+}
+
+std::string World::key() const {
+  StrBuilder B;
+  B << residueKey() << '#' << M.key();
   return B.take();
 }
 
@@ -177,7 +181,7 @@ uint64_t World::hashKey() const {
 std::vector<InstrFootprint> World::predictFor(ThreadId T) const {
   std::vector<InstrFootprint> Out;
   const ThreadState &TS = Threads[T];
-  if (TS.Finished || Abort)
+  if (TS.finished() || Abort)
     return Out;
   const ModuleDecl &Mod = Prog->module(TS.top().ModIdx);
   auto Steps = Mod.Lang->step(TS.top().F, *TS.top().C, M);

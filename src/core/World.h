@@ -40,11 +40,20 @@ public:
   bool aborted() const { return Abort; }
   const std::string &abortReason() const { return AbortReason; }
 
-  /// Canonical key for memoized exploration.
+  /// Canonical key for memoized exploration
+  /// (== residueKey() + '#' + mem().key()).
   std::string key() const;
 
-  /// 64-bit incremental hash of key()'s content; equal worlds hash
-  /// equally, collisions are resolved by comparing key() strings.
+  /// The non-memory part of the canonical key: scheduling state and
+  /// per-thread keys. The exploration engine's intern records pair this
+  /// short residue with the COW memory snapshot itself, so the memory is
+  /// compared structurally (page-granular) instead of through key()
+  /// strings.
+  std::string residueKey() const;
+
+  /// 64-bit hash over the same components as key(), assembled from the
+  /// maintained Mem hash and the cached per-thread hashes; equal worlds
+  /// hash equally, collisions are resolved by exact comparison.
   uint64_t hashKey() const;
 
   /// The Predict rules of Fig. 9: the instrumented footprints thread \p T

@@ -27,24 +27,23 @@ FrameStepStatus ccc::applyFrameStep(const Program &P, ThreadState &T,
                                     const FreeList &ThreadRegion,
                                     const LocalStep &LS, Mem &M,
                                     std::string &AbortReason) {
-  assert(!T.Finished && "stepping a finished thread");
+  assert(!T.finished() && "stepping a finished thread");
   switch (LS.M.K) {
   case Msg::Kind::Tau:
   case Msg::Kind::Event:
-    T.top().C = LS.Next;
+    T.setTopCore(LS.Next);
     M = LS.NextMem;
     return FrameStepStatus::Ok;
 
   case Msg::Kind::Ret: {
     M = LS.NextMem;
-    T.Stack.pop_back();
     // Stack discipline: the frame's free-list region becomes reusable by
     // the next call. The memory cells stay allocated (the paper's
     // forward property — the domain never shrinks); re-entry overwrites
     // them at the allocation step.
-    T.NextFrameOff -= Program::FrameRegionSize;
-    if (T.Stack.empty()) {
-      T.Finished = true;
+    T.popFrame(Program::FrameRegionSize);
+    if (T.numFrames() == 0) {
+      T.setFinished();
       return FrameStepStatus::ThreadFinished;
     }
     const ModuleDecl &Caller = P.module(T.top().ModIdx);
@@ -53,7 +52,7 @@ FrameStepStatus ccc::applyFrameStep(const Program &P, ThreadState &T,
       AbortReason = "caller cannot accept return value";
       return FrameStepStatus::Abort;
     }
-    T.top().C = Resumed;
+    T.setTopCore(std::move(Resumed));
     return FrameStepStatus::Ok;
   }
 
@@ -61,24 +60,22 @@ FrameStepStatus ccc::applyFrameStep(const Program &P, ThreadState &T,
   case Msg::Kind::TailCall: {
     M = LS.NextMem;
     // The calling core has already stepped to its after-call continuation.
-    T.top().C = LS.Next;
-    if (LS.M.K == Msg::Kind::TailCall) {
-      T.Stack.pop_back();
-      T.NextFrameOff -= Program::FrameRegionSize;
-    }
+    T.setTopCore(LS.Next);
+    if (LS.M.K == Msg::Kind::TailCall)
+      T.popFrame(Program::FrameRegionSize);
     auto Resolved = P.resolveEntry(LS.M.Callee, LS.M.Args);
     if (!Resolved) {
       AbortReason = "unknown external entry: " + LS.M.Callee;
       return FrameStepStatus::Abort;
     }
-    if (T.NextFrameOff + Program::FrameRegionSize > ThreadRegion.size()) {
+    if (T.nextFrameOff() + Program::FrameRegionSize > ThreadRegion.size()) {
       AbortReason = "thread free list exhausted (call depth)";
       return FrameStepStatus::Abort;
     }
     FreeList FrameF =
-        ThreadRegion.subRegion(T.NextFrameOff, Program::FrameRegionSize);
-    T.NextFrameOff += Program::FrameRegionSize;
-    T.Stack.push_back(Frame{Resolved->first, Resolved->second, FrameF});
+        ThreadRegion.subRegion(T.nextFrameOff(), Program::FrameRegionSize);
+    T.pushFrame(Frame{Resolved->first, Resolved->second, FrameF},
+                Program::FrameRegionSize);
     return FrameStepStatus::Ok;
   }
 
@@ -101,39 +98,43 @@ bool ccc::spawnThread(const Program &P, std::vector<ThreadState> &Threads,
   ThreadId NewTid = static_cast<ThreadId>(Threads.size());
   FreeList Region = P.threadRegion(NewTid);
   ThreadState TS;
-  TS.Stack.push_back(Frame{Resolved->first, Resolved->second,
-                           Region.subRegion(0, Program::FrameRegionSize)});
-  TS.NextFrameOff = Program::FrameRegionSize;
+  TS.pushFrame(Frame{Resolved->first, Resolved->second,
+                     Region.subRegion(0, Program::FrameRegionSize)},
+               Program::FrameRegionSize);
   Threads.push_back(std::move(TS));
   return true;
 }
 
-std::string ccc::threadKey(const ThreadState &T) {
-  if (T.Finished)
-    return "fin";
-  StrBuilder B;
-  B << "o" << T.NextFrameOff;
-  for (const Frame &F : T.Stack) {
-    B << "|m" << F.ModIdx << '@'
-      << static_cast<uint64_t>(F.F.base()) << ':' << F.C->key();
-  }
-  return B.take();
+const std::string &ThreadState::key() const {
+  if (!CacheValid)
+    hash(); // fills both cache members
+  return KeyCache;
 }
 
-uint64_t ccc::threadHash(const ThreadState &T) {
+uint64_t ThreadState::hash() const {
+  if (CacheValid)
+    return HashCache;
   Hasher64 H;
-  if (T.Finished) {
+  if (Finished) {
+    KeyCache = "fin";
     H.b(true);
-    return H.get();
+  } else {
+    StrBuilder B;
+    B << "o" << NextFrameOff;
+    H.b(false);
+    H.u32(NextFrameOff);
+    for (const Frame &F : Stack) {
+      B << "|m" << F.ModIdx << '@' << static_cast<uint64_t>(F.F.base())
+        << ':' << F.C->key();
+      H.u32(F.ModIdx);
+      H.u32(F.F.base());
+      H.u64(F.C->keyHash());
+    }
+    KeyCache = B.take();
   }
-  H.b(false);
-  H.u32(T.NextFrameOff);
-  for (const Frame &F : T.Stack) {
-    H.u32(F.ModIdx);
-    H.u32(F.F.base());
-    H.str(F.C->key());
-  }
-  return H.get();
+  HashCache = H.get();
+  CacheValid = true;
+  return HashCache;
 }
 
 std::vector<Footprint> ccc::predictAtomicBlock(const ModuleLang &Lang,

@@ -33,13 +33,69 @@ struct Frame {
 
 /// The runtime state of one thread: a stack of frames plus the allocation
 /// cursor of the thread's free-list region.
-struct ThreadState {
+///
+/// The canonical key and its 64-bit hash are cached and invalidated by
+/// the mutators, so a world's hashKey() is assembled from per-thread
+/// field reads instead of re-serializing every frame's core at each
+/// intern. The cache rides along on copies (successor worlds share the
+/// valid cache of every thread the step did not touch).
+class ThreadState {
+public:
+  ThreadState() = default;
+
+  const Frame &top() const { return Stack.back(); }
+  bool finished() const { return Finished; }
+  uint32_t nextFrameOff() const { return NextFrameOff; }
+  std::size_t numFrames() const { return Stack.size(); }
+  const std::vector<Frame> &frames() const { return Stack; }
+
+  /// Replaces the core of the topmost frame.
+  void setTopCore(CoreRef C) {
+    Stack.back().C = std::move(C);
+    invalidate();
+  }
+
+  /// Pushes \p F and advances the frame cursor by \p RegionSize.
+  void pushFrame(Frame F, uint32_t RegionSize) {
+    Stack.push_back(std::move(F));
+    NextFrameOff += RegionSize;
+    invalidate();
+  }
+
+  /// Pops the top frame and rewinds the frame cursor (stack discipline:
+  /// the region becomes reusable by the next call).
+  void popFrame(uint32_t RegionSize) {
+    Stack.pop_back();
+    NextFrameOff -= RegionSize;
+    invalidate();
+  }
+
+  /// Marks the thread terminated (kept separate from popFrame: a tail
+  /// call also pops the last frame but immediately pushes the callee's).
+  void setFinished() {
+    Finished = true;
+    invalidate();
+  }
+
+  /// Canonical key of the thread state, cached until the next mutation.
+  const std::string &key() const;
+
+  /// 64-bit hash over the same components as key(), cached alongside it.
+  uint64_t hash() const;
+
+private:
+  void invalidate() { CacheValid = false; }
+
   std::vector<Frame> Stack;
   uint32_t NextFrameOff = 0;
   bool Finished = false;
 
-  const Frame &top() const { return Stack.back(); }
-  Frame &top() { return Stack.back(); }
+  /// key()/hash() cache; mutated only under exclusive access (a thread
+  /// state is only read concurrently after its world was interned, and
+  /// interning populates the cache first).
+  mutable std::string KeyCache;
+  mutable uint64_t HashCache = 0;
+  mutable bool CacheValid = false;
 };
 
 /// The label of a global step (paper: o ::= tau | e | sw, Fig. 7).
@@ -74,11 +130,13 @@ FrameStepStatus applyFrameStep(const Program &P, ThreadState &T,
                                const LocalStep &LS, Mem &M,
                                std::string &AbortReason);
 
-/// Renders a canonical key for a thread state.
-std::string threadKey(const ThreadState &T);
+/// Renders a canonical key for a thread state (cached; see
+/// ThreadState::key).
+inline const std::string &threadKey(const ThreadState &T) { return T.key(); }
 
-/// 64-bit incremental hash over the same components as threadKey.
-uint64_t threadHash(const ThreadState &T);
+/// 64-bit incremental hash over the same components as threadKey
+/// (cached; see ThreadState::hash).
+inline uint64_t threadHash(const ThreadState &T) { return T.hash(); }
 
 /// Creates a new thread for a Spawn message (the paper's future-work
 /// extension, Sec. 8): the thread gets the next free-list region, which

@@ -182,7 +182,7 @@ CsharpminorLang::step(const FreeList &FL, const Core &C,
       Addr A = FL.at(I);
       Value Init = I < Cr.EntryArgs.size() ? Cr.EntryArgs[I]
                                            : Value::makeUndef();
-      S.NextMem.alloc(A, Init);
+      S.NextMem.allocFrame(A, Init);
       S.FP.addWrite(A);
     }
     auto N = std::make_shared<CshCore>(Cr);

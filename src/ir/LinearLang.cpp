@@ -472,7 +472,7 @@ std::vector<LocalStep> MachLang::step(const FreeList &FL, const Core &C,
     S.NextMem = M;
     for (unsigned I = 0; I < F.FrameSize; ++I) {
       Addr A = FL.at(I);
-      S.NextMem.alloc(A, Value::makeUndef());
+      S.NextMem.allocFrame(A, Value::makeUndef());
       S.FP.addWrite(A);
     }
     auto N = std::make_shared<MachCore>(Cr);

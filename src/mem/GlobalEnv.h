@@ -21,6 +21,7 @@
 #include "mem/Mem.h"
 #include "mem/Value.h"
 
+#include <cassert>
 #include <optional>
 #include <string>
 #include <vector>
@@ -73,8 +74,11 @@ public:
   /// Installs this environment's globals into \p M (part of GE(Pi) in the
   /// Load rule, Fig. 7).
   void installInto(Mem &M) const {
-    for (const GlobalVar &G : Vars)
-      M.alloc(G.Address, G.Init);
+    for (const GlobalVar &G : Vars) {
+      bool Fresh = M.alloc(G.Address, G.Init);
+      assert(Fresh && "global addresses are linker-assigned and unique");
+      (void)Fresh;
+    }
   }
 
 private:

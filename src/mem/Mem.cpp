@@ -2,54 +2,141 @@
 
 #include "mem/Mem.h"
 
-#include "support/Hashing.h"
 #include "support/StrUtil.h"
+
+#include <algorithm>
 
 using namespace ccc;
 
+const Mem::PageRef *Mem::findPage(uint32_t Idx) const {
+  auto It = std::lower_bound(
+      Pages.begin(), Pages.end(), Idx,
+      [](const PageEntry &E, uint32_t I) { return E.Index < I; });
+  if (It == Pages.end() || It->Index != Idx)
+    return nullptr;
+  return &It->P;
+}
+
+Mem::PageEntry *Mem::findPageEntry(uint32_t Idx) {
+  auto It = std::lower_bound(
+      Pages.begin(), Pages.end(), Idx,
+      [](const PageEntry &E, uint32_t I) { return E.Index < I; });
+  if (It == Pages.end() || It->Index != Idx)
+    return nullptr;
+  return &*It;
+}
+
+bool Mem::store(Addr A, const Value &V) {
+  PageEntry *E = findPageEntry(A >> PageBits);
+  if (!E)
+    return false;
+  const unsigned S = A & SlotMask;
+  if (!((E->P->AllocMask >> S) & 1))
+    return false;
+  const Value &Old = E->P->Slots[S];
+  if (Old == V)
+    return true;
+  const uint64_t Delta = slotHash(A, Old) ^ slotHash(A, V);
+  Page &P = pageForWrite(*E);
+  P.Slots[S] = V;
+  P.Hash ^= Delta;
+  Hash ^= Delta;
+  return true;
+}
+
+bool Mem::alloc(Addr A, const Value &Init) {
+  const uint32_t Idx = A >> PageBits;
+  const unsigned S = A & SlotMask;
+  auto It = std::lower_bound(
+      Pages.begin(), Pages.end(), Idx,
+      [](const PageEntry &E, uint32_t I) { return E.Index < I; });
+  if (It == Pages.end() || It->Index != Idx) {
+    PageEntry Fresh;
+    Fresh.Index = Idx;
+    Fresh.P = std::make_shared<Page>();
+    It = Pages.insert(It, std::move(Fresh));
+  } else if ((It->P->AllocMask >> S) & 1) {
+    return false;
+  }
+  const uint64_t Delta = slotHash(A, Init);
+  Page &P = pageForWrite(*It);
+  P.Slots[S] = Init;
+  P.AllocMask |= uint64_t(1) << S;
+  P.Hash ^= Delta;
+  Hash ^= Delta;
+  ++DomCount;
+  return true;
+}
+
+bool Mem::operator==(const Mem &Other) const {
+  if (Hash != Other.Hash || DomCount != Other.DomCount ||
+      Pages.size() != Other.Pages.size())
+    return false;
+  for (std::size_t I = 0, N = Pages.size(); I != N; ++I) {
+    const PageEntry &L = Pages[I], &R = Other.Pages[I];
+    if (L.Index != R.Index)
+      return false;
+    if (L.P == R.P)
+      continue;
+    if (L.P->AllocMask != R.P->AllocMask || L.P->Hash != R.P->Hash ||
+        L.P->Slots != R.P->Slots)
+      return false;
+  }
+  return true;
+}
+
 bool Mem::eqOn(const Mem &Other, const AddrSet &Set) const {
-  for (Addr A : Set) {
-    auto L = load(A);
-    auto R = Other.load(A);
-    if (L.has_value() != R.has_value())
-      return false;
-    if (L.has_value() && *L != *R)
-      return false;
+  // Group the (sorted) address set by page so a page shared between the
+  // two memories is skipped with one pointer compare.
+  const std::vector<Addr> &E = Set.elems();
+  const std::size_t N = E.size();
+  for (std::size_t I = 0; I != N;) {
+    const uint32_t Idx = E[I] >> PageBits;
+    const PageRef *L = findPage(Idx);
+    const PageRef *R = Other.findPage(Idx);
+    if (L && R && *L == *R) {
+      while (I != N && (E[I] >> PageBits) == Idx)
+        ++I;
+      continue;
+    }
+    for (; I != N && (E[I] >> PageBits) == Idx; ++I) {
+      const Addr A = E[I];
+      const unsigned S = A & SlotMask;
+      const bool InL = L && (((*L)->AllocMask >> S) & 1);
+      const bool InR = R && (((*R)->AllocMask >> S) & 1);
+      if (InL != InR)
+        return false;
+      if (InL && (*L)->Slots[S] != (*R)->Slots[S])
+        return false;
+    }
   }
   return true;
 }
 
 std::string Mem::key() const {
   StrBuilder B;
-  for (const auto &KV : Data) {
-    B << static_cast<uint64_t>(KV.first) << '=' << KV.second.toString()
-      << ';';
-  }
+  forEach([&B](Addr A, const Value &V) {
+    B << static_cast<uint64_t>(A) << '=' << V.toString() << ';';
+  });
   return B.take();
-}
-
-uint64_t Mem::hashKey() const {
-  Hasher64 H;
-  for (const auto &KV : Data) {
-    const Value &V = KV.second;
-    H.u32(KV.first);
-    H.u32(static_cast<uint32_t>(V.kind()));
-    H.u32(V.isInt() ? static_cast<uint32_t>(V.asInt())
-                    : (V.isPtr() ? static_cast<uint32_t>(V.asPtr()) : 0u));
-  }
-  return H.get();
 }
 
 std::string Mem::toString() const {
   StrBuilder B;
   B << "[";
   bool First = true;
-  for (const auto &KV : Data) {
+  forEach([&](Addr A, const Value &V) {
     if (!First)
       B << ", ";
     First = false;
-    B << static_cast<uint64_t>(KV.first) << " -> " << KV.second.toString();
-  }
+    B << static_cast<uint64_t>(A) << " -> " << V.toString();
+  });
   B << "]";
   return B.take();
+}
+
+std::size_t Mem::pageBytes() { return sizeof(Page); }
+
+std::size_t Mem::shallowBytes() const {
+  return sizeof(Mem) + Pages.capacity() * sizeof(PageEntry);
 }

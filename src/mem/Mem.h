@@ -10,6 +10,24 @@
 /// from addresses to values, Fig. 4). Memory only ever grows (the paper's
 /// forward property); allocation extends the domain, there is no free.
 ///
+/// Representation: a persistent copy-on-write paged store. The address
+/// space is carved into fixed-size pages of Value slots (page index =
+/// Addr >> PageBits); a Mem holds a sorted vector of shared_ptr pages, so
+/// copying a Mem is O(pages) pointer copies and the successor states of
+/// one exploration share every page their parent did not write. A page is
+/// cloned on the first write through a Mem that does not own it
+/// exclusively. The paper's forward/no-free discipline means pages only
+/// ever gain slots, never lose them, so a page is never removed and the
+/// sharing structure is append-friendly.
+///
+/// A 64-bit hash of the whole memory is maintained incrementally: every
+/// allocated slot contributes slotHash(addr, value) to an XOR-fold, and
+/// store/alloc update the fold in O(1). hashKey() is therefore a field
+/// read. Equal memories (same domain, same values) always have equal
+/// hashes; colliding hashes are disambiguated by the exploration engine
+/// through exact comparison (operator==, which has a page-granular
+/// shared-pointer fast path). See DESIGN.md section 4f.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef CASCC_MEM_MEM_H
@@ -18,78 +36,270 @@
 #include "mem/Addr.h"
 #include "mem/Value.h"
 
-#include <map>
+#include <array>
+#include <bit>
+#include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 namespace ccc {
 
 /// A finite partial map from addresses to values.
 class Mem {
 public:
+  /// Slots per page. 64 keeps the allocation bitmap in one word and —
+  /// with the linker's layout (frame regions of 0x100 slots, thread
+  /// regions 0x10000 apart, globals below 0x2000) — guarantees that two
+  /// different frames, and two different threads, never share a page.
+  static constexpr unsigned PageBits = 6;
+  static constexpr unsigned PageSize = 1u << PageBits;
+  static constexpr Addr SlotMask = PageSize - 1;
+
   Mem() = default;
 
   /// Returns the value at \p A, or nullopt if unallocated.
   std::optional<Value> load(Addr A) const {
-    auto It = Data.find(A);
-    if (It == Data.end())
+    const PageRef *P = findPage(A >> PageBits);
+    if (!P)
       return std::nullopt;
-    return It->second;
+    const unsigned S = A & SlotMask;
+    if (!(((*P)->AllocMask >> S) & 1))
+      return std::nullopt;
+    return (*P)->Slots[S];
   }
 
-  bool allocated(Addr A) const { return Data.count(A) != 0; }
-
-  /// Stores \p V at the already-allocated address \p A. Returns false if the
-  /// address is not allocated (the caller reports abort).
-  bool store(Addr A, const Value &V) {
-    auto It = Data.find(A);
-    if (It == Data.end())
-      return false;
-    It->second = V;
-    return true;
+  bool allocated(Addr A) const {
+    const PageRef *P = findPage(A >> PageBits);
+    return P && (((*P)->AllocMask >> (A & SlotMask)) & 1);
   }
 
-  /// Allocates \p A (possibly already allocated, which is an error) with an
-  /// initial value.
-  void alloc(Addr A, const Value &Init) { Data[A] = Init; }
+  /// Stores \p V at the already-allocated address \p A. Returns false if
+  /// the address is not allocated (the caller reports abort).
+  bool store(Addr A, const Value &V);
 
-  /// The domain of the memory as an address set.
+  /// Allocates \p A with an initial value. Returns false if \p A is
+  /// already allocated (a double allocation; the caller reports abort,
+  /// matching store's unallocated-address convention). A failed alloc
+  /// leaves the memory — including its maintained hash — untouched.
+  bool alloc(Addr A, const Value &Init);
+
+  /// Allocates \p A, or overwrites it if already allocated: the stack-
+  /// discipline path for frame regions, which are reused after returns
+  /// (the domain never shrinks — WorldCommon's Ret keeps the cells
+  /// allocated — so re-entry finds them occupied by design). Only frame
+  /// allocation may use this; every other allocation goes through the
+  /// checked alloc().
+  void allocFrame(Addr A, const Value &Init) {
+    if (!alloc(A, Init)) {
+      bool Stored = store(A, Init);
+      (void)Stored;
+    }
+  }
+
+  /// The domain of the memory as an address set (materialized; prefer
+  /// domSize()/forEach()/forEachInRange() on hot paths — the per-page
+  /// allocation bitmaps are the domain view and are shared COW-style
+  /// between parent and child states, so those never materialize).
   AddrSet dom() const {
-    AddrSet Out;
     std::vector<Addr> Elems;
-    Elems.reserve(Data.size());
-    for (const auto &KV : Data)
-      Elems.push_back(KV.first);
+    Elems.reserve(DomCount);
+    forEach([&Elems](Addr A, const Value &) { Elems.push_back(A); });
     return AddrSet(std::move(Elems));
   }
 
-  std::size_t domSize() const { return Data.size(); }
+  std::size_t domSize() const { return DomCount; }
 
-  bool operator==(const Mem &Other) const { return Data == Other.Data; }
+  /// Exact equality. Fast paths: maintained hashes and domain sizes are
+  /// compared first, and pages shared between the two memories (the
+  /// common case for states related by a few steps) are skipped without
+  /// touching their slots.
+  bool operator==(const Mem &Other) const;
   bool operator!=(const Mem &Other) const { return !(*this == Other); }
 
   /// Returns true if this memory and \p Other agree on every address in
   /// \p Set per the paper's sigma =rs= sigma' relation (Fig. 6): each
   /// address is either outside both domains, or inside both with equal
-  /// values.
+  /// values. Addresses falling into a page shared by both memories are
+  /// skipped page-at-a-time.
   bool eqOn(const Mem &Other, const AddrSet &Set) const;
 
   /// Canonical key for memoized state exploration.
   std::string key() const;
 
-  /// 64-bit incremental hash of the canonical key's content, computed
-  /// without materializing the string. Equal memories hash equally;
-  /// colliding hashes are disambiguated by comparing key() strings.
-  uint64_t hashKey() const;
+  /// Maintained 64-bit hash: a field read. Equal memories hash equally;
+  /// colliding hashes are disambiguated by exact comparison.
+  uint64_t hashKey() const { return Hash; }
 
   /// Human-readable dump.
   std::string toString() const;
 
-  const std::map<Addr, Value> &data() const { return Data; }
+  /// Calls \p F(Addr, const Value &) for every allocated address in
+  /// ascending address order.
+  template <typename Fn> void forEach(Fn &&F) const {
+    for (const PageEntry &E : Pages)
+      forEachInPage(E, F);
+  }
+
+  /// forEach restricted to addresses in [\p Lo, \p Hi) — touches only the
+  /// pages overlapping the range.
+  template <typename Fn> void forEachInRange(Addr Lo, Addr Hi, Fn &&F) const {
+    if (Lo >= Hi)
+      return;
+    const uint32_t FirstPage = Lo >> PageBits;
+    const uint32_t LastPage = (Hi - 1) >> PageBits;
+    for (const PageEntry &E : Pages) {
+      if (E.Index < FirstPage)
+        continue;
+      if (E.Index > LastPage)
+        break;
+      forEachInPage(E, [&](Addr A, const Value &V) {
+        if (A >= Lo && A < Hi)
+          F(A, V);
+      });
+    }
+  }
+
+  /// Walks every address where \p Before and \p After differ (allocated in
+  /// only one, or allocated in both with different values), in ascending
+  /// address order, calling \p F(Addr, const Value *BeforeVal,
+  /// const Value *AfterVal) with nullptr for "unallocated here". Pages
+  /// shared by both memories are skipped without touching their slots. \p F
+  /// returns false to stop the walk early.
+  template <typename Fn>
+  static void forEachDiff(const Mem &Before, const Mem &After, Fn &&F);
+
+  /// Number of page objects referenced (diagnostics / bench).
+  std::size_t numPages() const { return Pages.size(); }
+
+  /// True if \p Other references the very same page object for the page
+  /// containing \p A (diagnostics / tests of the COW sharing structure).
+  bool sharesPageWith(const Mem &Other, Addr A) const {
+    const PageRef *P = findPage(A >> PageBits);
+    const PageRef *Q = Other.findPage(A >> PageBits);
+    return P && Q && *P == *Q;
+  }
+
+  /// Heap bytes of one page object (for shared-bytes accounting: a page
+  /// referenced by many snapshots is paid for once).
+  static std::size_t pageBytes();
+
+  /// Shallow bytes owned by this Mem itself: the object plus its
+  /// page-table entries, excluding the (shared) page contents.
+  std::size_t shallowBytes() const;
+
+  /// Visits the identity of every referenced page, as an opaque pointer.
+  /// Callers deduplicate across memories to measure COW sharing.
+  template <typename Fn> void forEachPageId(Fn &&F) const {
+    for (const PageEntry &E : Pages)
+      F(static_cast<const void *>(E.P.get()));
+  }
 
 private:
-  std::map<Addr, Value> Data;
+  /// One fixed-size page: slot values, the allocation bitmap (the page's
+  /// slice of dom(sigma)), and the XOR-fold of its allocated slots'
+  /// hashes. Unallocated slots are kept at Value() so whole-page
+  /// comparisons need not mask them.
+  struct Page {
+    std::array<Value, PageSize> Slots;
+    uint64_t AllocMask = 0;
+    uint64_t Hash = 0;
+  };
+  using PageRef = std::shared_ptr<Page>;
+
+  struct PageEntry {
+    uint32_t Index = 0;
+    PageRef P;
+  };
+
+  /// Mixes one (address, value) binding into a 64-bit slot hash. The
+  /// whole-memory hash is the XOR of slot hashes, so this must scatter
+  /// well; splitmix64's finalizer does.
+  static uint64_t slotHash(Addr A, const Value &V) {
+    uint64_t X = (static_cast<uint64_t>(A) << 32) | V.rawBits();
+    X ^= static_cast<uint64_t>(static_cast<uint32_t>(V.kind())) *
+         0x9E3779B97F4A7C15ULL;
+    X += 0x9E3779B97F4A7C15ULL;
+    X = (X ^ (X >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    X = (X ^ (X >> 27)) * 0x94D049BB133111EBULL;
+    return X ^ (X >> 31);
+  }
+
+  template <typename Fn>
+  static void forEachInPage(const PageEntry &E, Fn &&F) {
+    uint64_t Mask = E.P->AllocMask;
+    const Addr Base = static_cast<Addr>(E.Index) << PageBits;
+    while (Mask) {
+      const unsigned S = static_cast<unsigned>(std::countr_zero(Mask));
+      Mask &= Mask - 1;
+      F(Base + S, E.P->Slots[S]);
+    }
+  }
+
+  const PageRef *findPage(uint32_t Idx) const;
+  PageEntry *findPageEntry(uint32_t Idx);
+
+  /// Clones the page iff it is shared with another Mem, returning an
+  /// exclusively-owned page to write into.
+  Page &pageForWrite(PageEntry &E) {
+    if (E.P.use_count() != 1)
+      E.P = std::make_shared<Page>(*E.P);
+    return *E.P;
+  }
+
+  /// Pages sorted by index; copying a Mem copies this vector (refcount
+  /// bumps only) — the copy-on-write snapshot.
+  std::vector<PageEntry> Pages;
+  /// XOR-fold of slotHash over every allocated slot, maintained on
+  /// mutation.
+  uint64_t Hash = 0;
+  /// |dom(sigma)|, maintained on allocation.
+  std::size_t DomCount = 0;
 };
+
+template <typename Fn>
+void Mem::forEachDiff(const Mem &Before, const Mem &After, Fn &&F) {
+  auto I = Before.Pages.begin(), IE = Before.Pages.end();
+  auto J = After.Pages.begin(), JE = After.Pages.end();
+  // Per-slot comparison of one (possibly one-sided) page pair.
+  auto diffPage = [&F](uint32_t Idx, const Page *B, const Page *A) {
+    const uint64_t BMask = B ? B->AllocMask : 0;
+    const uint64_t AMask = A ? A->AllocMask : 0;
+    uint64_t Mask = BMask | AMask;
+    const Addr Base = static_cast<Addr>(Idx) << PageBits;
+    while (Mask) {
+      const unsigned S = static_cast<unsigned>(std::countr_zero(Mask));
+      Mask &= Mask - 1;
+      const bool InB = (BMask >> S) & 1, InA = (AMask >> S) & 1;
+      if (InB && InA && B->Slots[S] == A->Slots[S])
+        continue;
+      if (!InB && !InA)
+        continue;
+      if (!F(Base + S, InB ? &B->Slots[S] : nullptr,
+             InA ? &A->Slots[S] : nullptr))
+        return false;
+    }
+    return true;
+  };
+  while (I != IE || J != JE) {
+    if (J == JE || (I != IE && I->Index < J->Index)) {
+      if (!diffPage(I->Index, I->P.get(), nullptr))
+        return;
+      ++I;
+    } else if (I == IE || J->Index < I->Index) {
+      if (!diffPage(J->Index, nullptr, J->P.get()))
+        return;
+      ++J;
+    } else {
+      // Same page index: a shared page object cannot differ.
+      if (I->P != J->P && !diffPage(I->Index, I->P.get(), J->P.get()))
+        return;
+      ++I;
+      ++J;
+    }
+  }
+}
 
 } // namespace ccc
 

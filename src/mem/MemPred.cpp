@@ -5,10 +5,18 @@
 using namespace ccc;
 
 bool ccc::memForward(const Mem &Before, const Mem &After) {
-  for (const auto &KV : Before.data())
-    if (!After.allocated(KV.first))
-      return false;
-  return true;
+  // dom(Before) subset dom(After): any diff slot allocated only in Before
+  // violates it. The diff walk skips pages the two memories share.
+  bool Fwd = true;
+  Mem::forEachDiff(Before, After,
+                   [&Fwd](Addr, const Value *B, const Value *A) {
+                     if (B && !A) {
+                       Fwd = false;
+                       return false;
+                     }
+                     return true;
+                   });
+  return Fwd;
 }
 
 /// dom(M) restricted to the addresses of \p Set.
@@ -20,13 +28,19 @@ static AddrSet domOn(const Mem &M, const AddrSet &Set) {
   return Out;
 }
 
-/// dom(M) restricted to a free-list region.
-static AddrSet domOnFreeList(const Mem &M, const FreeList &F) {
-  AddrSet Out;
-  for (const auto &KV : M.data())
-    if (F.contains(KV.first))
-      Out.insert(KV.first);
-  return Out;
+/// dom(M1) and dom(M2) agree on the free-list region. Page-aware: only
+/// slots where the two memories differ (never slots on shared pages) are
+/// consulted, instead of materializing both restricted domains.
+static bool domEqOnFreeList(const Mem &M1, const Mem &M2, const FreeList &F) {
+  bool Eq = true;
+  Mem::forEachDiff(M1, M2, [&](Addr A, const Value *B, const Value *C) {
+    if ((B == nullptr) != (C == nullptr) && F.contains(A)) {
+      Eq = false;
+      return false;
+    }
+    return true;
+  });
+  return Eq;
 }
 
 bool ccc::lEqPre(const Mem &M1, const Mem &M2, const Footprint &FP,
@@ -35,28 +49,34 @@ bool ccc::lEqPre(const Mem &M1, const Mem &M2, const Footprint &FP,
     return false;
   if (domOn(M1, FP.writes()) != domOn(M2, FP.writes()))
     return false;
-  return domOnFreeList(M1, F) == domOnFreeList(M2, F);
+  return domEqOnFreeList(M1, M2, F);
 }
 
 bool ccc::lEqPost(const Mem &M1, const Mem &M2, const Footprint &FP,
                   const FreeList &F) {
   if (!M1.eqOn(M2, FP.writes()))
     return false;
-  return domOnFreeList(M1, F) == domOnFreeList(M2, F);
+  return domEqOnFreeList(M1, M2, F);
 }
 
 bool ccc::lEffect(const Mem &Before, const Mem &After, const Footprint &FP,
                   const FreeList &F) {
-  // sigma1 ={dom(sigma1) - ws}= sigma2.
-  AddrSet Untouched = Before.dom().minus(FP.writes());
-  if (!Before.eqOn(After, Untouched))
-    return false;
-  // (dom(sigma2) - dom(sigma1)) subset (ws n F).
-  AddrSet Fresh = After.dom().minus(Before.dom());
-  for (Addr A : Fresh)
-    if (!FP.writes().contains(A) || !F.contains(A))
-      return false;
-  return true;
+  // sigma1 ={dom(sigma1) - ws}= sigma2 and
+  // (dom(sigma2) - dom(sigma1)) subset (ws n F), in one diff walk: every
+  // slot that changed or vanished must sit inside ws, and every fresh
+  // slot inside ws n F.
+  bool Ok = true;
+  Mem::forEachDiff(Before, After,
+                   [&](Addr A, const Value *B, const Value *C) {
+                     if (B ? !FP.writes().contains(A)
+                           : (!FP.writes().contains(A) || !F.contains(A))) {
+                       Ok = false;
+                       return false;
+                     }
+                     (void)C;
+                     return true;
+                   });
+  return Ok;
 }
 
 bool ccc::closedOn(const AddrSet &S, const Mem &M) {
@@ -70,7 +90,16 @@ bool ccc::closedOn(const AddrSet &S, const Mem &M) {
   return true;
 }
 
-bool ccc::closedMem(const Mem &M) { return closedOn(M.dom(), M); }
+bool ccc::closedMem(const Mem &M) {
+  // closedOn(dom(M), M) without materializing the domain: a pointer value
+  // is in-domain iff its target is allocated.
+  bool Closed = true;
+  M.forEach([&](Addr, const Value &V) {
+    if (V.isPtr() && !M.allocated(V.asPtr()))
+      Closed = false;
+  });
+  return Closed;
+}
 
 AddrSet Mu::image(const AddrSet &S) const {
   AddrSet Out;
@@ -170,18 +199,18 @@ bool ccc::guaranteeLG(const Mu &M, const Footprint &TgtFP, const Mem &TgtMem,
 
 bool ccc::relyR(const Mem &Before, const Mem &After, const FreeList &F,
                 const AddrSet &S) {
-  // Sigma ={F}= Sigma'.
-  for (const auto &KV : Before.data()) {
-    if (!F.contains(KV.first))
-      continue;
-    auto V = After.load(KV.first);
-    if (!V || *V != KV.second)
-      return false;
-  }
-  for (const auto &KV : After.data())
-    if (F.contains(KV.first) && !Before.allocated(KV.first))
-      return false;
-  return closedOn(S, After) && memForward(Before, After);
+  // Sigma ={F}= Sigma' (no diff of any kind inside F) and forward
+  // (nothing vanishes anywhere), in one page-aware diff walk.
+  bool Ok = true;
+  Mem::forEachDiff(Before, After,
+                   [&](Addr A, const Value *B, const Value *C) {
+                     if ((B && !C) || F.contains(A)) {
+                       Ok = false;
+                       return false;
+                     }
+                     return true;
+                   });
+  return Ok && closedOn(S, After);
 }
 
 bool ccc::relyRel(const Mu &M, const Mem &SrcBefore, const Mem &SrcAfter,

@@ -65,6 +65,10 @@ public:
   /// treats undef operands as an abort at a higher level.
   int32_t intOrZero() const { return isInt() ? asInt() : 0; }
 
+  /// The raw 32-bit payload regardless of kind; pairs with kind() for
+  /// hashing a value without branching on its representation.
+  uint32_t rawBits() const { return Bits; }
+
   bool operator==(const Value &Other) const {
     return K == Other.K && Bits == Other.Bits;
   }

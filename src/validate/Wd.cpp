@@ -59,17 +59,17 @@ void exploreLocal(const Program &P, unsigned ModIdx,
 std::vector<Mem> lEqPrePerturbations(const Mem &M, const Footprint &FP,
                                      const FreeList &F, unsigned MaxOut) {
   std::vector<Mem> Out;
-  for (const auto &KV : M.data()) {
+  M.forEach([&](Addr A, const Value &V) {
     if (Out.size() >= MaxOut)
-      break;
-    if (FP.reads().contains(KV.first) || F.contains(KV.first))
-      continue;
-    if (!KV.second.isInt())
-      continue;
+      return;
+    if (FP.reads().contains(A) || F.contains(A))
+      return;
+    if (!V.isInt())
+      return;
     Mem M2 = M;
-    M2.store(KV.first, Value::makeInt(KV.second.asInt() + 1));
+    M2.store(A, Value::makeInt(V.asInt() + 1));
     Out.push_back(std::move(M2));
-  }
+  });
   if (Out.size() < MaxOut) {
     // Fresh allocation far away from everything.
     Mem M2 = M;

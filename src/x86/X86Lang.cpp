@@ -127,9 +127,9 @@ std::vector<LocalStep> X86Lang::step(const FreeList &F, const Core &C,
     S.NextMem = M;
     Footprint FP;
     for (uint32_t I = 0; I < Cr.FrameSize; ++I) {
-      // Frame regions are reused after returns; allocation overwrites.
+      // Frame regions are reused after returns; allocFrame overwrites.
       Addr A = F.at(I);
-      S.NextMem.alloc(A, Value::makeUndef());
+      S.NextMem.allocFrame(A, Value::makeUndef());
       FP.addWrite(A);
     }
     auto N = std::make_shared<X86Core>(Cr);

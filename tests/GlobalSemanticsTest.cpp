@@ -79,7 +79,7 @@ TEST(PreemptiveRules, SwitchTargetsOnlyLiveThreads) {
   World AtT2 = W.succ().back().Next;
   ASSERT_EQ(AtT2.curThread(), 1u);
   World Fin = stepLocal(stepLocal(AtT2));
-  EXPECT_TRUE(Fin.thread(1).Finished);
+  EXPECT_TRUE(Fin.thread(1).finished());
   // Back at scheduling: t2 is finished, so no switch edge targets it.
   for (const auto &S : Fin.succ()) {
     if (S.L.K == GLabel::Kind::Sw) {

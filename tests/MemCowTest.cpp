@@ -1,0 +1,237 @@
+//===- tests/MemCowTest.cpp - COW paged memory tests -----------------------===//
+//
+// Tests of the copy-on-write paged Mem representation: a randomized
+// differential check against a reference std::map model, snapshot
+// isolation (child writes never leak into parent pages), maintained-hash
+// invariants, and forced hash collisions routed through the Explorer's
+// compact intern records.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Semantics.h"
+#include "mem/Mem.h"
+#include "workload/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <random>
+
+using namespace ccc;
+
+namespace {
+
+/// The pre-refactor reference semantics: a plain ordered map.
+struct ModelMem {
+  std::map<Addr, Value> Data;
+
+  std::optional<Value> load(Addr A) const {
+    auto It = Data.find(A);
+    if (It == Data.end())
+      return std::nullopt;
+    return It->second;
+  }
+  bool store(Addr A, const Value &V) {
+    auto It = Data.find(A);
+    if (It == Data.end())
+      return false;
+    It->second = V;
+    return true;
+  }
+  bool alloc(Addr A, const Value &Init) {
+    return Data.emplace(A, Init).second;
+  }
+  bool eqOn(const ModelMem &Other, const AddrSet &Set) const {
+    for (Addr A : Set) {
+      auto L = load(A), R = Other.load(A);
+      if (L.has_value() != R.has_value())
+        return false;
+      if (L && *L != *R)
+        return false;
+    }
+    return true;
+  }
+  std::string key() const {
+    std::string B;
+    for (const auto &KV : Data)
+      B += std::to_string(static_cast<uint64_t>(KV.first)) + '=' +
+           KV.second.toString() + ';';
+    return B;
+  }
+};
+
+Value randomValue(std::mt19937 &Rng) {
+  switch (Rng() % 3) {
+  case 0:
+    return Value::makeUndef();
+  case 1:
+    return Value::makeInt(static_cast<int32_t>(Rng() % 1000) - 500);
+  default:
+    return Value::makePtr(static_cast<Addr>(Rng() % 512));
+  }
+}
+
+/// Addresses drawn from a few distinct pages plus a sparse far region, so
+/// the walk exercises page boundaries, page creation, and the sorted
+/// page-vector search.
+Addr randomAddr(std::mt19937 &Rng) {
+  if (Rng() % 8 == 0)
+    return 0x100000 + static_cast<Addr>(Rng() % 96);
+  return static_cast<Addr>(Rng() % 512);
+}
+
+} // namespace
+
+TEST(MemCow, RandomizedDifferentialVsMapModel) {
+  std::mt19937 Rng(0xC0FFEE);
+  Mem M;
+  ModelMem Ref;
+  // Snapshots taken along the way; each pair must stay bit-identical to
+  // its model forever (persistence).
+  std::vector<std::pair<Mem, ModelMem>> Snaps;
+
+  for (int Op = 0; Op < 10000; ++Op) {
+    const Addr A = randomAddr(Rng);
+    switch (Rng() % 5) {
+    case 0: {
+      const Value V = randomValue(Rng);
+      EXPECT_EQ(M.alloc(A, V), Ref.alloc(A, V));
+      break;
+    }
+    case 1: {
+      const Value V = randomValue(Rng);
+      EXPECT_EQ(M.store(A, V), Ref.store(A, V));
+      break;
+    }
+    case 2: {
+      auto L = M.load(A), R = Ref.load(A);
+      EXPECT_EQ(L.has_value(), R.has_value());
+      if (L && R) {
+        EXPECT_EQ(*L, *R);
+      }
+      break;
+    }
+    case 3: {
+      AddrSet Set{A, randomAddr(Rng), randomAddr(Rng)};
+      if (!Snaps.empty()) {
+        const auto &S = Snaps[Rng() % Snaps.size()];
+        EXPECT_EQ(M.eqOn(S.first, Set), Ref.eqOn(S.second, Set));
+      }
+      break;
+    }
+    default:
+      if (Snaps.size() < 32)
+        Snaps.emplace_back(M, Ref);
+      break;
+    }
+    if (Op % 1000 == 0) {
+      ASSERT_EQ(M.key(), Ref.key()) << "divergence at op " << Op;
+      ASSERT_EQ(M.domSize(), Ref.Data.size());
+    }
+  }
+  EXPECT_EQ(M.key(), Ref.key());
+  for (const auto &S : Snaps)
+    EXPECT_EQ(S.first.key(), S.second.key());
+}
+
+TEST(MemCow, HashIsContentDetermined) {
+  // Same contents reached through different mutation orders must agree on
+  // hashKey() (the XOR-fold is order-independent) and on key().
+  std::mt19937 Rng(42);
+  std::vector<std::pair<Addr, Value>> Cells;
+  for (int I = 0; I < 200; ++I)
+    Cells.emplace_back(randomAddr(Rng), randomValue(Rng));
+
+  Mem Fwd, Rev;
+  for (const auto &C : Cells)
+    Fwd.allocFrame(C.first, C.second);
+  for (auto It = Cells.rbegin(); It != Cells.rend(); ++It) {
+    // Reverse order keeps the FIRST occurrence of a duplicate address in
+    // Rev, so overwrite duplicates to the forward-order winner after.
+    Rev.allocFrame(It->first, It->second);
+  }
+  for (const auto &C : Cells)
+    ASSERT_TRUE(Rev.store(C.first, C.second));
+
+  EXPECT_EQ(Fwd.key(), Rev.key());
+  EXPECT_EQ(Fwd.hashKey(), Rev.hashKey());
+  EXPECT_TRUE(Fwd == Rev);
+
+  // A store that changes a value changes the hash, and storing the old
+  // value back restores it exactly.
+  const uint64_t H0 = Fwd.hashKey();
+  const Value Old = *Fwd.load(Cells[0].first);
+  ASSERT_TRUE(Fwd.store(Cells[0].first, Value::makeInt(123456)));
+  EXPECT_NE(Fwd.hashKey(), H0);
+  ASSERT_TRUE(Fwd.store(Cells[0].first, Old));
+  EXPECT_EQ(Fwd.hashKey(), H0);
+}
+
+TEST(MemCow, SnapshotIsolation) {
+  Mem Parent;
+  for (Addr A = 0; A < 128; ++A)
+    ASSERT_TRUE(Parent.alloc(A, Value::makeInt(static_cast<int32_t>(A))));
+  const std::string ParentKey = Parent.key();
+  const uint64_t ParentHash = Parent.hashKey();
+
+  Mem Child = Parent;
+  // Freshly copied: every page is shared.
+  EXPECT_TRUE(Child.sharesPageWith(Parent, 0));
+  EXPECT_TRUE(Child.sharesPageWith(Parent, 127));
+
+  // A child write clones only the touched page; the sibling page stays
+  // shared and the parent sees nothing.
+  ASSERT_TRUE(Child.store(3, Value::makeInt(999)));
+  EXPECT_FALSE(Child.sharesPageWith(Parent, 3));
+  EXPECT_TRUE(Child.sharesPageWith(Parent, 127));
+  EXPECT_EQ(Parent.load(3)->asInt(), 3);
+  EXPECT_EQ(Child.load(3)->asInt(), 999);
+  EXPECT_EQ(Parent.key(), ParentKey);
+  EXPECT_EQ(Parent.hashKey(), ParentHash);
+
+  // A child allocation in a fresh page leaves the parent's page vector
+  // untouched.
+  ASSERT_TRUE(Child.alloc(0x100000, Value::makeInt(7)));
+  EXPECT_FALSE(Parent.allocated(0x100000));
+  EXPECT_EQ(Parent.key(), ParentKey);
+
+  // eqOn over shared pages takes the pointer-equality fast path and must
+  // still be correct on the cloned page.
+  AddrSet All;
+  for (Addr A = 0; A < 128; ++A)
+    All.insert(A);
+  EXPECT_FALSE(Parent.eqOn(Child, All));
+  EXPECT_TRUE(Parent.eqOn(Child, All.minus(AddrSet{3})));
+}
+
+TEST(MemCow, ForcedHashCollisionsThroughCompactInternRecords) {
+  // DebugHashBits=2 leaves four possible hashes, so almost every intern
+  // probe hits a populated bucket and must disambiguate through the
+  // compact records (residue string + structural Mem comparison). The
+  // graph must be bit-identical to the full-hash run.
+  Program P = workload::lockedCounter(2, 1, 0);
+
+  ExploreOptions Full;
+  Explorer<World> EF(Full);
+  EF.build(World::load(P, 0));
+
+  ExploreOptions Collide;
+  Collide.DebugHashBits = 2;
+  Explorer<World> EC(Collide);
+  EC.build(World::load(P, 0));
+
+  EXPECT_GT(EC.stats().HashCollisions, 0u);
+  ASSERT_EQ(EC.numStates(), EF.numStates());
+  for (std::size_t I = 0; I < EF.numStates(); ++I)
+    ASSERT_EQ(EC.world(I).key(), EF.world(I).key()) << "node " << I;
+
+  std::vector<std::tuple<unsigned, unsigned, int, int64_t>> EdgesF, EdgesC;
+  EF.forEachEdge([&](unsigned F, unsigned T, GLabel::Kind K, int64_t Ev) {
+    EdgesF.emplace_back(F, T, static_cast<int>(K), Ev);
+  });
+  EC.forEachEdge([&](unsigned F, unsigned T, GLabel::Kind K, int64_t Ev) {
+    EdgesC.emplace_back(F, T, static_cast<int>(K), Ev);
+  });
+  EXPECT_EQ(EdgesF, EdgesC);
+  EXPECT_EQ(EF.traces().toString(), EC.traces().toString());
+}

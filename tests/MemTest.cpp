@@ -67,6 +67,32 @@ TEST(Mem, LoadStoreAlloc) {
   EXPECT_EQ(M.dom(), (AddrSet{1}));
 }
 
+TEST(Mem, DoubleAllocIsCheckedFailure) {
+  // Regression: alloc used to document double allocation as "an error"
+  // but silently overwrite the cell (and would have corrupted the
+  // maintained incremental hash). It must fail like store on an
+  // unallocated address fails, leaving the memory untouched.
+  Mem M;
+  EXPECT_TRUE(M.alloc(7, Value::makeInt(1)));
+  const std::string KeyBefore = M.key();
+  const uint64_t HashBefore = M.hashKey();
+  EXPECT_FALSE(M.alloc(7, Value::makeInt(2)));
+  EXPECT_EQ(M.load(7)->asInt(), 1);
+  EXPECT_EQ(M.domSize(), 1u);
+  EXPECT_EQ(M.key(), KeyBefore);
+  EXPECT_EQ(M.hashKey(), HashBefore);
+}
+
+TEST(Mem, AllocFrameOverwritesForStackReuse) {
+  // Frame regions are reused after returns; allocFrame is the one path
+  // allowed to overwrite an already-allocated cell.
+  Mem M;
+  M.allocFrame(0x100000, Value::makeInt(1));
+  M.allocFrame(0x100000, Value::makeInt(2));
+  EXPECT_EQ(M.load(0x100000)->asInt(), 2);
+  EXPECT_EQ(M.domSize(), 1u);
+}
+
 TEST(Mem, EqOn) {
   Mem A, B;
   A.alloc(1, Value::makeInt(1));

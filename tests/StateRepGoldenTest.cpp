@@ -1,0 +1,162 @@
+//===- tests/StateRepGoldenTest.cpp - Representation-swap goldens ----------===//
+//
+// Differential test of the exploration results against fingerprints
+// captured from the seed engine (std::map memory, string-key interning)
+// before the copy-on-write representation swap. The engine's results must
+// be bit-identical: state counts, edges over canonical node ids (edge
+// kinds and event values included), complete trace sets, and race-witness
+// counts — at every worker-pool width.
+//
+// Node key strings and RaceWitness::StateKey embed core object identities
+// (heap pointers), so their hashes are only stable within one process;
+// the fingerprints below are the run-stable quantities. Within a process,
+// full keys and witnesses are additionally asserted identical across
+// Threads values.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Semantics.h"
+#include "support/Hashing.h"
+#include "workload/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <vector>
+
+using namespace ccc;
+
+namespace {
+
+/// Run-stable fingerprint of one exploration.
+struct GraphFp {
+  std::size_t States = 0;
+  std::size_t Edges = 0;
+  uint64_t EdgeHash = 0; // over (From, To, Kind, Ev) in canonical order
+  uint64_t TraceHash = 0;
+  std::size_t TraceLen = 0;
+  std::size_t Races = 0;
+
+  bool operator==(const GraphFp &O) const = default;
+};
+
+/// Process-local fingerprint: adds the full node key sequence and race
+/// witnesses, which are stable within one process only.
+struct LocalFp {
+  GraphFp G;
+  uint64_t NodeKeyHash = 0;
+  uint64_t RaceHash = 0;
+
+  bool operator==(const LocalFp &O) const = default;
+};
+
+std::string witnessString(const RaceWitness &W) {
+  return W.StateKey + "|" + std::to_string(W.T1) + "/" +
+         std::to_string(W.T2) + "|" + (W.FP1.InAtomic ? "A" : "-") +
+         W.FP1.FP.toString() + "|" + (W.FP2.InAtomic ? "A" : "-") +
+         W.FP2.FP.toString() + "|" + (W.Confined ? "c" : "u");
+}
+
+template <typename WorldT>
+LocalFp fingerprint(const Program &P, unsigned Threads) {
+  ExploreOptions Opts;
+  Opts.Threads = Threads;
+  Explorer<WorldT> E(Opts);
+  if constexpr (std::is_same_v<WorldT, NPWorld>)
+    E.build(NPWorld::loadAll(P));
+  else
+    E.build(WorldT::load(P, 0));
+
+  LocalFp Out;
+  Out.G.States = E.numStates();
+
+  Hasher64 NodeH;
+  for (std::size_t I = 0; I < E.numStates(); ++I)
+    NodeH.str(E.world(I).key());
+  Out.NodeKeyHash = NodeH.get();
+
+  Hasher64 EdgeH;
+  E.forEachEdge([&](unsigned From, unsigned To, GLabel::Kind K, int64_t Ev) {
+    EdgeH.u32(From);
+    EdgeH.u32(To);
+    EdgeH.u32(static_cast<uint32_t>(K));
+    EdgeH.u64(static_cast<uint64_t>(Ev));
+    ++Out.G.Edges;
+  });
+  Out.G.EdgeHash = EdgeH.get();
+
+  const std::string Traces = E.traces().toString();
+  Out.G.TraceHash = hashString64(Traces);
+  Out.G.TraceLen = Traces.size();
+
+  Hasher64 RaceH;
+  for (const RaceWitness &W : E.findRacesConfinedTo(P.objectAddrs())) {
+    RaceH.str(witnessString(W));
+    ++Out.G.Races;
+  }
+  Out.RaceHash = RaceH.get();
+  return Out;
+}
+
+struct GoldenCase {
+  const char *Name;
+  std::function<Program()> Make;
+  bool NonPreemptive;
+  GraphFp Want;
+};
+
+/// Captured from the seed engine (commit 0004343) with the capture tool in
+/// this test's header; one entry per workload family and semantics.
+const std::vector<GoldenCase> &goldens() {
+  static const std::vector<GoldenCase> G = {
+      {"atomic t=2 w=2 [pre]", [] { return workload::atomicCounter(2, 2); },
+       false, {86, 118, 0xf9aaf87405adfe17ULL, 0xe50db829bffe75edULL, 6, 0}},
+      {"atomic t=2 w=2 [np]", [] { return workload::atomicCounter(2, 2); },
+       true, {62, 72, 0x059db3ab576c5c6fULL, 0xe50db829bffe75edULL, 6, 0}},
+      {"atomic t=3 w=3 [pre]", [] { return workload::atomicCounter(3, 3); },
+       false,
+       {1185, 2376, 0x222a106a18a58cc8ULL, 0xe50db829bffe75edULL, 6, 0}},
+      {"atomic t=3 w=3 [np]", [] { return workload::atomicCounter(3, 3); },
+       true, {525, 744, 0xf47059e054c7c4fbULL, 0xe50db829bffe75edULL, 6, 0}},
+      {"locked t=2 [pre]", [] { return workload::lockedCounter(2, 1, 0); },
+       false,
+       {850, 1404, 0xb836bf179a8f9632ULL, 0x4a6b5d0e3ba6feb8ULL, 25, 0}},
+      {"locked t=2 [np]", [] { return workload::lockedCounter(2, 1, 0); },
+       true, {358, 418, 0xae4036a5bfc2b041ULL, 0x4a6b5d0e3ba6feb8ULL, 25, 0}},
+      {"racy t=2 [pre]", [] { return workload::racyCounter(2); }, false,
+       {96, 148, 0xa9cde544bbb22935ULL, 0x54fa296e29dac585ULL, 30, 3}},
+      {"racy t=2 [np]", [] { return workload::racyCounter(2); }, true,
+       {30, 32, 0xceb2a468b36bd879ULL, 0xd3f7e143c7a3260aULL, 10, 3}},
+      {"clight locked t=2 [pre]",
+       [] { return workload::clightLockedCounter(2); }, false,
+       {712, 1154, 0x71873e7d1f882945ULL, 0x4a6b5d0e3ba6feb8ULL, 25, 0}},
+      {"sb tso [pre]",
+       [] { return workload::sbLitmus(x86::MemModel::TSO, false); }, false,
+       {234, 460, 0x43883cf7d1d72292ULL, 0x9d1387aa07959b6dULL, 40, 2}},
+      {"mp tso [pre]", [] { return workload::mpLitmus(x86::MemModel::TSO); },
+       false, {156, 286, 0x293223d628868cbcULL, 0x066930f35f611092ULL, 14, 1}},
+      {"fenced pingpong tso [pre]",
+       [] { return workload::fencedPingPong(x86::MemModel::TSO, 2); }, false,
+       {2520, 4840, 0xd553b0043cb1bcbcULL, 0x9161c48dd956d670ULL, 266, 2}},
+  };
+  return G;
+}
+
+} // namespace
+
+TEST(StateRepGolden, BitIdenticalToSeedEngineAtEveryWidth) {
+  for (const GoldenCase &C : goldens()) {
+    Program P = C.Make();
+    LocalFp Serial = C.NonPreemptive ? fingerprint<NPWorld>(P, 1)
+                                     : fingerprint<World>(P, 1);
+    EXPECT_EQ(Serial.G, C.Want) << C.Name << " (serial)";
+    for (unsigned Threads : {2u, 8u}) {
+      LocalFp Par = C.NonPreemptive ? fingerprint<NPWorld>(P, Threads)
+                                    : fingerprint<World>(P, Threads);
+      // Across widths the full process-local fingerprint must match,
+      // including node key strings and race witnesses.
+      EXPECT_EQ(Par, Serial) << C.Name << " Threads=" << Threads;
+    }
+  }
+}
