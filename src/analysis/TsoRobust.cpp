@@ -8,6 +8,7 @@
 #include <array>
 #include <cassert>
 #include <deque>
+#include <limits>
 #include <map>
 #include <set>
 
@@ -45,6 +46,10 @@ struct AbsVal {
   /// computed from it)?
   bool frameDerived() const { return K == Kind::Frame || FrameDeriv; }
 
+  /// May this value be a usable pointer at all? NonPtr and Bot cannot;
+  /// everything else conservatively may.
+  bool mayBePtr() const { return K != Kind::NonPtr && K != Kind::Bot; }
+
   bool operator==(const AbsVal &O) const {
     return K == O.K && FrameDeriv == O.FrameDeriv &&
            (K != Kind::Global || Name == O.Name);
@@ -77,31 +82,68 @@ const AbsVal &regOf(const RegState &S, x86::Reg R) {
   return S[static_cast<unsigned>(R)];
 }
 
+/// The view onto a (possibly absent) global points-to map, consulted
+/// when a load reads a named global cell: with a trusted map the result
+/// refines to NonPtr (no pointer is ever stored there program-wide) or
+/// to the address of the unique pointee; without one, Top.
+struct PtsMap {
+  const std::map<std::string, TsoModuleContext::Pointees> *PT = nullptr;
+
+  AbsVal load(const std::string &G) const {
+    if (!PT)
+      return AbsVal::top();
+    auto It = PT->find(G);
+    if (It == PT->end() || It->second.Wild)
+      return AbsVal::top();
+    if (It->second.Cells.empty())
+      return AbsVal::nonPtr();
+    if (It->second.Cells.size() == 1)
+      return AbsVal::global(*It->second.Cells.begin());
+    return AbsVal::top();
+  }
+
+  /// May the cell \p G hold a pointer?
+  bool mayHoldPtr(const std::string &G) const {
+    if (!PT)
+      return true;
+    auto It = PT->find(G);
+    return It == PT->end() || It->second.Wild || !It->second.Cells.empty();
+  }
+};
+
 /// Abstract evaluation of a readable operand.
-AbsVal evalOperand(const x86::Operand &O, const RegState &S) {
+AbsVal evalOperand(const x86::Operand &O, const RegState &S,
+                   const PtsMap &Pts) {
   using OK = x86::Operand::Kind;
   switch (O.K) {
   case OK::Imm:
     return AbsVal::nonPtr();
   case OK::GlobalImm:
     return AbsVal::global(O.Global);
+  case OK::MemGlobal:
+    return Pts.load(O.Global);
   case OK::Reg:
     return regOf(S, O.R);
-  case OK::MemBase:
-  case OK::MemGlobal:
-    // A loaded value: beyond this analysis (could be any address). It is
+  case OK::MemBase: {
+    // A loaded value. When the base resolves to a named cell (directly
+    // or through the points-to map) the content refines like a direct
+    // global load; otherwise it could be anything. Either way it is
     // treated as not frame-derived: the frame is freshly allocated at
     // entry, so memory can only hold its address after an escape store —
     // and the escape scan flags that store itself, degrading the whole
     // entry before this assumption is ever relied on.
+    const AbsVal &Base = regOf(S, O.R);
+    if (Base.K == AbsVal::Kind::Global && O.Disp == 0)
+      return Pts.load(Base.Name);
     return AbsVal::top();
+  }
   }
   return AbsVal::top();
 }
 
 /// The register transfer of one instruction (memory effects are handled
 /// by the robustness walk, not here).
-RegState transfer(const x86::Instr &I, RegState S) {
+RegState transfer(const x86::Instr &I, RegState S, const PtsMap &Pts) {
   using IK = x86::Instr::Kind;
   auto setReg = [&S](const x86::Operand &Dst, AbsVal V) {
     if (Dst.K == x86::Operand::Kind::Reg)
@@ -109,7 +151,7 @@ RegState transfer(const x86::Instr &I, RegState S) {
   };
   switch (I.K) {
   case IK::Mov:
-    setReg(I.Dst, evalOperand(I.Src, S));
+    setReg(I.Dst, evalOperand(I.Src, S, Pts));
     break;
   case IK::Add:
   case IK::Sub: {
@@ -118,7 +160,7 @@ RegState transfer(const x86::Instr &I, RegState S) {
       // Pointer arithmetic yields a pointer to an unknown cell; pure
       // integer arithmetic stays non-pointer. The frame taint survives:
       // frame + k still points into (or near) the frame.
-      AbsVal Src = evalOperand(I.Src, S);
+      AbsVal Src = evalOperand(I.Src, S, Pts);
       bool Deriv = D.frameDerived() || Src.frameDerived();
       if (D.K == AbsVal::Kind::NonPtr && Src.K == AbsVal::Kind::NonPtr)
         regOf(S, I.Dst.R) = AbsVal::nonPtr();
@@ -163,76 +205,322 @@ RegState transfer(const x86::Instr &I, RegState S) {
 }
 
 //===----------------------------------------------------------------------===//
-// Per-entry analysis
+// Shared CFG helpers
 //===----------------------------------------------------------------------===//
 
-/// One classified memory access site: (PC, effect slot) with its class.
-struct SiteInfo {
-  TsoAccess Acc;
-  bool Locked = false;
-};
+std::vector<unsigned> reachableFrom(const x86::Module &M, unsigned Start) {
+  std::vector<unsigned> Out;
+  std::set<unsigned> Seen{Start};
+  std::deque<unsigned> Work{Start};
+  while (!Work.empty()) {
+    unsigned PC = Work.front();
+    Work.pop_front();
+    Out.push_back(PC);
+    for (unsigned S : x86::successors(M, PC))
+      if (Seen.insert(S).second)
+        Work.push_back(S);
+  }
+  return Out;
+}
 
-struct EntryAnalysis {
-  const x86::Module &M;
-  const std::string Entry;
-  const x86::EntryInfo &EI;
-  TsoRobustReport &R;
-
-  /// Reachable PCs of this entry, in BFS discovery order.
-  std::vector<unsigned> Reachable;
-  /// Register abstract state at each reachable PC (fixpoint).
+std::map<unsigned, RegState> fixpointRegsFor(const x86::Module &M,
+                                             const x86::EntryInfo &EI,
+                                             const PtsMap &Pts) {
   std::map<unsigned, RegState> RegAt;
-  /// True when the frame address may become visible to another thread
-  /// (stored to memory, passed as a call argument, or returned): frame
-  /// cells are then no longer thread-private, and classify() treats them
-  /// as SharedUnknown instead of Confined.
-  bool FrameEscaped = false;
+  RegState Init;
+  for (unsigned I = 0; I < x86::NumRegs; ++I)
+    Init[I] = AbsVal::top();
+  // The implicit frame-allocation step materializes the frame pointer.
+  if (EI.FrameSize > 0)
+    regOf(Init, x86::Reg::ESP) = AbsVal::frame();
+  RegAt[EI.PCIndex] = Init;
 
-  EntryAnalysis(const x86::Module &Mod, std::string E,
-                const x86::EntryInfo &Info, TsoRobustReport &Rep)
-      : M(Mod), Entry(std::move(E)), EI(Info), R(Rep) {}
-
-  void computeReachable() {
-    std::set<unsigned> Seen;
-    std::deque<unsigned> Work{EI.PCIndex};
-    Seen.insert(EI.PCIndex);
-    while (!Work.empty()) {
-      unsigned PC = Work.front();
-      Work.pop_front();
-      Reachable.push_back(PC);
-      for (unsigned S : x86::successors(M, PC))
-        if (Seen.insert(S).second)
+  std::deque<unsigned> Work{EI.PCIndex};
+  std::set<unsigned> InWork{EI.PCIndex};
+  while (!Work.empty()) {
+    unsigned PC = Work.front();
+    Work.pop_front();
+    InWork.erase(PC);
+    RegState Out = transfer(M.Code[PC], RegAt[PC], Pts);
+    for (unsigned S : x86::successors(M, PC)) {
+      auto It = RegAt.find(S);
+      RegState Joined = It == RegAt.end() ? Out : joinStates(It->second, Out);
+      if (It == RegAt.end() || !(Joined == It->second)) {
+        RegAt[S] = std::move(Joined);
+        if (InWork.insert(S).second)
           Work.push_back(S);
+      }
     }
   }
+  return RegAt;
+}
 
-  void fixpointRegs() {
-    RegState Init;
-    for (unsigned I = 0; I < x86::NumRegs; ++I)
-      Init[I] = AbsVal::top();
-    // The implicit frame-allocation step materializes the frame pointer.
-    if (EI.FrameSize > 0)
-      regOf(Init, x86::Reg::ESP) = AbsVal::frame();
-    RegAt[EI.PCIndex] = Init;
+//===----------------------------------------------------------------------===//
+// Module-local global points-to
+//===----------------------------------------------------------------------===//
 
-    std::deque<unsigned> Work{EI.PCIndex};
-    std::set<unsigned> InWork{EI.PCIndex};
-    while (!Work.empty()) {
-      unsigned PC = Work.front();
-      Work.pop_front();
-      InWork.erase(PC);
-      RegState Out = transfer(M.Code[PC], RegAt[PC]);
-      for (unsigned S : x86::successors(M, PC)) {
-        auto It = RegAt.find(S);
-        RegState Joined =
-            It == RegAt.end() ? Out : joinStates(It->second, Out);
-        if (It == RegAt.end() || !(Joined == It->second)) {
-          RegAt[S] = std::move(Joined);
-          if (InWork.insert(S).second)
-            Work.push_back(S);
+/// Per-module contribution to the program's flow-insensitive global
+/// points-to. MayPtrUnresolved flags a store that may write a pointer
+/// value through an unresolved target — the one channel by which a
+/// pointer could be laundered into another module's cell (foreign cells
+/// cannot be named directly: MemGlobal and GlobalImm bind to the
+/// module's own environment). Frame-derived targets are exempt: frames
+/// live in the thread regions (0x100000+), disjoint from the globals
+/// (0x1000+) by the linker's layout, so such a store can never land in
+/// a global cell.
+struct PtsBuildResult {
+  std::map<std::string, TsoModuleContext::Pointees> PT;
+  bool MayPtrUnresolved = false;
+};
+
+/// Where a store effect may land.
+enum class StoreTarget { Global, FrameLike, NoStore, Unresolved };
+
+StoreTarget storeTargetOf(const x86::Operand &Op, const RegState &S,
+                          std::string &GlobalOut) {
+  using OK = x86::Operand::Kind;
+  if (Op.K == OK::MemGlobal) {
+    GlobalOut = Op.Global;
+    return StoreTarget::Global;
+  }
+  assert(Op.K == OK::MemBase && "not a memory store target");
+  const AbsVal &Base = regOf(S, Op.R);
+  switch (Base.K) {
+  case AbsVal::Kind::Global:
+    if (Op.Disp == 0) {
+      GlobalOut = Base.Name;
+      return StoreTarget::Global;
+    }
+    return StoreTarget::Unresolved; // a neighbouring cell of the layout
+  case AbsVal::Kind::Frame:
+    // Any displacement stays inside (or aborts outside) the thread
+    // region — never a global cell.
+    return StoreTarget::FrameLike;
+  case AbsVal::Kind::NonPtr:
+  case AbsVal::Kind::Bot:
+    // Dereferencing a non-pointer aborts: the store never happens.
+    return StoreTarget::NoStore;
+  case AbsVal::Kind::Top:
+    return StoreTarget::Unresolved;
+  }
+  return StoreTarget::Unresolved;
+}
+
+/// Optimistic fixpoint: PT starts empty (loads of globals evaluate to
+/// NonPtr), each round re-runs every entry's register fixpoint under the
+/// current map and folds the module's stores in, until stable. PT only
+/// grows (cells accumulate, Wild latches) and evalOperand is monotone in
+/// it, so the iteration terminates at the least map closed under the
+/// module's own stores.
+PtsBuildResult computePointsTo(const x86::Module &M) {
+  PtsBuildResult R;
+  for (const auto &G : M.Globals)
+    R.PT[G.first]; // declared cells start empty (hold only integers)
+
+  for (;;) {
+    bool Changed = false;
+    R.MayPtrUnresolved = false;
+    PtsMap View{&R.PT};
+
+    auto markWild = [&](const std::string &G) {
+      auto &P = R.PT[G];
+      if (!P.Wild) {
+        P.Wild = true;
+        Changed = true;
+      }
+    };
+    auto addCell = [&](const std::string &G, const std::string &Cell) {
+      auto &P = R.PT[G];
+      if (!P.Wild && P.Cells.insert(Cell).second)
+        Changed = true;
+    };
+    auto storeValue = [&](const x86::Operand &Target, const RegState &S,
+                          const AbsVal &V) {
+      std::string G;
+      switch (storeTargetOf(Target, S, G)) {
+      case StoreTarget::Global:
+        if (V.K == AbsVal::Kind::Global)
+          addCell(G, V.Name);
+        else if (V.mayBePtr())
+          markWild(G);
+        break;
+      case StoreTarget::Unresolved:
+        if (V.mayBePtr())
+          R.MayPtrUnresolved = true;
+        break;
+      case StoreTarget::FrameLike:
+      case StoreTarget::NoStore:
+        break;
+      }
+    };
+
+    for (const auto &E : M.Entries) {
+      std::vector<unsigned> Reach = reachableFrom(M, E.second.PCIndex);
+      std::map<unsigned, RegState> RegAt = fixpointRegsFor(M, E.second, View);
+      for (unsigned PC : Reach) {
+        const x86::Instr &I = M.Code[PC];
+        auto It = RegAt.find(PC);
+        if (It == RegAt.end())
+          continue;
+        const RegState &S = It->second;
+        using IK = x86::Instr::Kind;
+        switch (I.K) {
+        case IK::Mov:
+          if (I.Dst.isMem())
+            storeValue(I.Dst, S, evalOperand(I.Src, S, View));
+          break;
+        case IK::LockCmpxchg:
+          // On success the Src register value is published into Dst.
+          storeValue(I.Dst, S, evalOperand(I.Src, S, View));
+          break;
+        case IK::Add:
+        case IK::Sub:
+          // On a memory destination the loaded content is adjusted and
+          // stored back: the result is a pointer whenever the cell may
+          // hold one (pointer +- int stays a pointer) or the source may
+          // be one (int + pointer too).
+          if (I.Dst.isMem()) {
+            std::string G;
+            StoreTarget T = storeTargetOf(I.Dst, S, G);
+            bool ContentMayPtr =
+                T == StoreTarget::Global ? View.mayHoldPtr(G)
+                                         : T == StoreTarget::Unresolved;
+            bool MayPtr =
+                ContentMayPtr || evalOperand(I.Src, S, View).mayBePtr();
+            AbsVal V = MayPtr ? AbsVal::top() : AbsVal::nonPtr();
+            storeValue(I.Dst, S, V);
+          }
+          break;
+        case IK::Imul:
+        case IK::Div:
+        case IK::And:
+        case IK::Or:
+        case IK::Xor:
+        case IK::Shl:
+        case IK::Sar:
+        case IK::Neg:
+        case IK::Not:
+        case IK::Setcc:
+          // Integer-only results (pointer operands abort dynamically).
+          if (I.Dst.isMem())
+            storeValue(I.Dst, S, AbsVal::nonPtr());
+          break;
+        default:
+          break;
         }
       }
     }
+
+    if (!Changed)
+      break;
+  }
+  return R;
+}
+
+//===----------------------------------------------------------------------===//
+// Module analysis
+//===----------------------------------------------------------------------===//
+
+/// The pending-store dataflow fact: for every store that may still sit
+/// unfenced in the buffer, the set of cells that *must* have been stored
+/// after it and are still pending behind it (its covers). Join is union
+/// on the keys (may-pending) and intersection on the covers of common
+/// keys (must-covered); a one-sided key keeps its covers — on the paths
+/// where the store is not pending the cover claim is vacuous.
+using Fact = std::map<unsigned, std::set<std::string>>;
+
+/// The virtual pending-store id standing for the caller's entire buffer
+/// while an entry is walked in summary mode.
+constexpr unsigned CallerToken = std::numeric_limits<unsigned>::max();
+
+Fact joinFacts(const Fact &A, const Fact &B) {
+  Fact Out = A;
+  for (const auto &KV : B) {
+    auto It = Out.find(KV.first);
+    if (It == Out.end()) {
+      Out.insert(KV);
+      continue;
+    }
+    std::set<std::string> Inter;
+    std::set_intersection(It->second.begin(), It->second.end(),
+                          KV.second.begin(), KV.second.end(),
+                          std::inserter(Inter, Inter.begin()));
+    It->second = std::move(Inter);
+  }
+  return Out;
+}
+
+/// The memoized drain/pending/pre-drain-load effect of a same-module
+/// callee, phrased against the CallerToken planted in its initial fact:
+///  - PreLoads: shared loads the callee may execute while the caller's
+///    buffer is (partly) undrained and that the callee's own must-stores
+///    behind the whole buffer do not excuse;
+///  - TokenDrainPCs: drain points the token reaches (the caller's buffer
+///    is certified there on those paths);
+///  - TokenEscapes: boundary crossings the token reaches (the caller's
+///    buffer escapes there);
+///  - AtRet: the joined fact at the callee's rets — the token's presence
+///    means the caller's buffer may survive the call (with the token's
+///    covers telling what the callee must-stored behind it), and real
+///    ids are the callee's own stores still pending at return.
+struct Summary {
+  bool Valid = false;
+  std::vector<TsoAccess> PreLoads;
+  std::set<unsigned> PreLoadPCs;
+  std::set<unsigned> TokenDrainPCs;
+  std::map<unsigned, std::string> TokenEscapes; // PC -> entry name
+  bool HasRet = false;
+  Fact AtRet;
+};
+
+struct ModuleAnalysis {
+  const x86::Module &M;
+  const TsoModuleContext *Ctx;
+  TsoRobustReport &R;
+  PtsMap Pts;
+
+  struct EntryState {
+    const x86::EntryInfo *EI = nullptr;
+    std::string Name;
+    std::vector<unsigned> Reachable;
+    std::map<unsigned, RegState> RegAt;
+    /// True when the frame address may become visible to another thread
+    /// (stored to memory, passed as a call argument, or returned): frame
+    /// cells are then no longer thread-private, and classify() treats
+    /// them as SharedUnknown instead of Confined.
+    bool FrameEscaped = false;
+    bool Prepared = false;
+  };
+  std::map<std::string, EntryState> Entries;
+
+  /// Module-wide store site table: every plain shared store reachable
+  /// from a walked entry, identified by (PC, effect index) and counted
+  /// once no matter how many entries or summaries revisit it.
+  std::vector<TsoAccess> Stores;
+  std::map<std::pair<unsigned, unsigned>, unsigned> StoreId;
+  std::set<std::pair<unsigned, unsigned>> CountedSites;
+
+  std::set<std::pair<unsigned, unsigned>> SeenTriangles; // (store, load PC)
+  std::set<std::pair<unsigned, unsigned>> SeenEscapes;   // (store, exit PC)
+  std::set<std::pair<unsigned, unsigned>> SeenCerts;     // (store, drain PC)
+  std::set<unsigned> Witnessed;
+  std::set<unsigned> Certified;
+  std::set<std::string> NoteDedup;
+
+  std::map<std::string, Summary> Summaries;
+  std::set<std::string> InProgress;
+  Summary InvalidSummary;
+
+  ModuleAnalysis(const x86::Module &Mod, const TsoModuleContext *C,
+                 TsoRobustReport &Rep)
+      : M(Mod), Ctx(C), R(Rep) {
+    if (Ctx && Ctx->Closed && Ctx->HasPointsTo)
+      Pts.PT = &Ctx->GlobalPointsTo;
+  }
+
+  void note(std::string N) {
+    if (NoteDedup.insert(N).second)
+      R.Notes.push_back(std::move(N));
   }
 
   /// Scans the reachable instructions for a point where a frame-derived
@@ -246,17 +534,17 @@ struct EntryAnalysis {
   /// flows from ESP purely through register operations, which the
   /// fixpoint taint over-approximates (loads and call returns can only
   /// yield the frame address after some earlier escape).
-  bool frameEscapes() const {
-    for (unsigned PC : Reachable) {
+  bool frameEscapes(const EntryState &E) const {
+    for (unsigned PC : E.Reachable) {
       const x86::Instr &I = M.Code[PC];
-      auto It = RegAt.find(PC);
-      if (It == RegAt.end())
+      auto It = E.RegAt.find(PC);
+      if (It == E.RegAt.end())
         continue;
       const RegState &S = It->second;
       using IK = x86::Instr::Kind;
       switch (I.K) {
       case IK::Mov:
-        if (I.Dst.isMem() && evalOperand(I.Src, S).frameDerived())
+        if (I.Dst.isMem() && evalOperand(I.Src, S, Pts).frameDerived())
           return true;
         break;
       case IK::LockCmpxchg:
@@ -289,10 +577,11 @@ struct EntryAnalysis {
   }
 
   /// Classifies one memory operand at \p PC under the fixpoint state.
-  TsoAccess classify(unsigned PC, const x86::Operand &Op, bool Write) const {
+  TsoAccess classify(const EntryState &E, unsigned PC, const x86::Operand &Op,
+                     bool Write) const {
     TsoAccess A;
     A.PC = PC;
-    A.Entry = Entry;
+    A.Entry = E.Name;
     A.Text = M.Code[PC].toString();
     A.Write = Write;
     using OK = x86::Operand::Kind;
@@ -302,9 +591,9 @@ struct EntryAnalysis {
       return A;
     }
     assert(Op.K == OK::MemBase && "not a memory operand");
-    auto It = RegAt.find(PC);
-    const AbsVal Base = It == RegAt.end() ? AbsVal::top()
-                                          : regOf(It->second, Op.R);
+    auto It = E.RegAt.find(PC);
+    const AbsVal Base =
+        It == E.RegAt.end() ? AbsVal::top() : regOf(It->second, Op.R);
     switch (Base.K) {
     case AbsVal::Kind::Global:
       if (Op.Disp == 0) {
@@ -318,13 +607,13 @@ struct EntryAnalysis {
       }
       return A;
     case AbsVal::Kind::Frame:
-      if (FrameEscaped) {
+      if (E.FrameEscaped) {
         // The frame address may be known to a peer thread: frame cells
         // are shared memory like any other, with unresolved identity.
         A.Cls = AccessClass::SharedUnknown;
         A.Global = "<escaped frame+" + std::to_string(Op.Disp) + ">";
       } else if (Op.Disp >= 0 &&
-                 static_cast<uint32_t>(Op.Disp) < EI.FrameSize) {
+                 static_cast<uint32_t>(Op.Disp) < E.EI->FrameSize) {
         A.Cls = AccessClass::Confined;
         A.Global = "<frame+" + std::to_string(Op.Disp) + ">";
       } else {
@@ -337,6 +626,70 @@ struct EntryAnalysis {
       A.Global = "?";
       return A;
     }
+  }
+
+  EntryState &prepareEntry(const std::string &Name) {
+    EntryState &E = Entries[Name];
+    if (E.Prepared)
+      return E;
+    E.Prepared = true;
+    E.Name = Name;
+    E.EI = &M.Entries.at(Name);
+    E.Reachable = reachableFrom(M, E.EI->PCIndex);
+    E.RegAt = fixpointRegsFor(M, *E.EI, Pts);
+    E.FrameEscaped = E.EI->FrameSize > 0 && frameEscapes(E);
+    if (E.FrameEscaped)
+      note("entry '" + Name +
+           "': frame address may escape to another thread — frame accesses "
+           "treated as shared (verdict at most Unknown for them)");
+
+    // Collect and count the access sites once (stats are per site, not
+    // per dataflow visit), and assign ids to the plain shared stores.
+    for (unsigned PC : E.Reachable) {
+      auto Effects = x86::memEffects(M.Code[PC]);
+      for (unsigned EIx = 0; EIx < Effects.size(); ++EIx) {
+        if (!CountedSites.insert({PC, EIx}).second)
+          continue;
+        const x86::MemEffect &Ef = Effects[EIx];
+        TsoAccess A = classify(E, PC, *Ef.Op, Ef.IsStore);
+        noteOutOfFrame(E, PC, *Ef.Op);
+        if (Ef.Locked) {
+          ++R.LockedOps;
+          continue;
+        }
+        if (A.Cls == AccessClass::Confined) {
+          ++R.ConfinedAccesses;
+          continue;
+        }
+        if (Ef.IsStore) {
+          ++R.SharedStores;
+          StoreId[{PC, EIx}] = static_cast<unsigned>(Stores.size());
+          Stores.push_back(A);
+        }
+        if (Ef.IsLoad)
+          ++R.SharedLoads;
+      }
+    }
+    return E;
+  }
+
+  /// Diagnoses an out-of-frame frame-relative access (disp outside
+  /// [0, FrameSize)) so the SharedUnknown classification — and the
+  /// Unknown verdict it induces — is explainable from the report alone.
+  void noteOutOfFrame(const EntryState &E, unsigned PC,
+                      const x86::Operand &Op) {
+    if (Op.K != x86::Operand::Kind::MemBase || E.FrameEscaped)
+      return;
+    auto It = E.RegAt.find(PC);
+    if (It == E.RegAt.end() ||
+        regOf(It->second, Op.R).K != AbsVal::Kind::Frame)
+      return;
+    if (Op.Disp >= 0 && static_cast<uint32_t>(Op.Disp) < E.EI->FrameSize)
+      return;
+    note("entry '" + E.Name + "': out-of-frame frame access at PC " +
+         std::to_string(PC) + ": displacement " + std::to_string(Op.Disp) +
+         " outside frame of size " + std::to_string(E.EI->FrameSize) + " (" +
+         M.Code[PC].toString() + ")");
   }
 
   /// Reconstructs a drain-free PC path from \p From to \p To for witness
@@ -373,176 +726,311 @@ struct EntryAnalysis {
     return Path;
   }
 
-  void run() {
-    computeReachable();
-    if (Reachable.empty())
-      return;
-    fixpointRegs();
-    FrameEscaped = EI.FrameSize > 0 && frameEscapes();
-    if (FrameEscaped)
-      R.Notes.push_back("entry '" + Entry +
-                        "': frame address may escape to another thread — "
-                        "frame accesses treated as shared (verdict at "
-                        "most Unknown for them)");
+  /// The buffer-order context of a violation: the other stores that may
+  /// share the buffer with \p Self when it fires.
+  std::vector<unsigned> bufferPCs(const Fact &F, unsigned Self) const {
+    std::vector<unsigned> Out;
+    for (const auto &KV : F)
+      if (KV.first != Self && KV.first != CallerToken)
+        Out.push_back(Stores[KV.first].PC);
+    std::sort(Out.begin(), Out.end());
+    Out.erase(std::unique(Out.begin(), Out.end()), Out.end());
+    return Out;
+  }
 
-    // Collect and count the access sites once (stats are per site, not
-    // per dataflow visit), and assign ids to the plain shared stores.
-    struct StoreSite {
-      TsoAccess Acc;
-    };
-    std::vector<StoreSite> Stores;
-    std::map<std::pair<unsigned, unsigned>, unsigned> StoreId;
-    for (unsigned PC : Reachable) {
-      auto Effects = x86::memEffects(M.Code[PC]);
-      for (unsigned EIx = 0; EIx < Effects.size(); ++EIx) {
-        const x86::MemEffect &E = Effects[EIx];
-        TsoAccess A = classify(PC, *E.Op, E.IsStore);
-        if (E.Locked) {
-          ++R.LockedOps;
-          continue;
+  void emitTriangle(unsigned Sid, const TsoAccess &Load, const Fact &F) {
+    if (!SeenTriangles.insert({Sid, Load.PC}).second)
+      return;
+    Witnessed.insert(Sid);
+    TriangularWitness W;
+    W.Store = Stores[Sid];
+    W.Load = Load;
+    if (W.Store.Entry == Load.Entry)
+      W.Path = findPath(W.Store.PC, Load.PC);
+    W.BufferPCs = bufferPCs(F, Sid);
+    W.Tentative = W.Store.Cls == AccessClass::SharedUnknown ||
+                  Load.Cls == AccessClass::SharedUnknown;
+    R.Witnesses.push_back(std::move(W));
+  }
+
+  void emitEscape(unsigned Sid, unsigned ExitPC, const std::string &ExitEntry,
+                  const Fact &F) {
+    if (!SeenEscapes.insert({Sid, ExitPC}).second)
+      return;
+    Witnessed.insert(Sid);
+    TriangularWitness W;
+    W.Store = Stores[Sid];
+    TsoAccess Exit;
+    Exit.PC = ExitPC;
+    Exit.Entry = ExitEntry;
+    Exit.Text = M.Code[ExitPC].toString();
+    Exit.Cls = AccessClass::SharedUnknown;
+    Exit.Global = "?";
+    W.Escape = std::move(Exit);
+    if (W.Store.Entry == ExitEntry)
+      W.Path = findPath(W.Store.PC, ExitPC);
+    W.BufferPCs = bufferPCs(F, Sid);
+    W.Tentative = W.Store.Cls == AccessClass::SharedUnknown;
+    R.Witnesses.push_back(std::move(W));
+  }
+
+  void emitCert(unsigned Sid, unsigned DrainPC, bool AtExit) {
+    if (!SeenCerts.insert({Sid, DrainPC}).second)
+      return;
+    Certified.insert(Sid);
+    FenceCert C;
+    C.Entry = Stores[Sid].Entry;
+    C.StorePC = Stores[Sid].PC;
+    C.DrainPC = DrainPC;
+    C.StoreText = Stores[Sid].Text;
+    C.DrainText = M.Code[DrainPC].toString();
+    C.AtThreadExit = AtExit;
+    R.Certificates.push_back(std::move(C));
+  }
+
+  void escapeAll(const Fact &F, unsigned PC, const std::string &Entry,
+                 Summary *S) {
+    for (const auto &KV : F) {
+      if (KV.first == CallerToken)
+        S->TokenEscapes.emplace(PC, Entry);
+      else
+        emitEscape(KV.first, PC, Entry, F);
+    }
+  }
+
+  /// Builds (and memoizes) the summary of same-module entry \p Name.
+  /// A recursive back-edge yields the invalid summary — the call site
+  /// falls back to a boundary escape, which is today's conservative
+  /// treatment and trivially sound.
+  const Summary &getSummary(const std::string &Name) {
+    auto It = Summaries.find(Name);
+    if (It != Summaries.end())
+      return It->second;
+    if (!InProgress.insert(Name).second)
+      return InvalidSummary;
+    Summary S;
+    walkEntry(Name, /*SummaryMode=*/true, &S);
+    S.Valid = true;
+    InProgress.erase(Name);
+    return Summaries[Name] = std::move(S);
+  }
+
+  /// Inlines a valid callee summary at a call site holding \p In and
+  /// returns the fact after the call. \p S receives transitively
+  /// recorded token interactions when the walk itself runs in summary
+  /// mode (never dereferenced otherwise: the token id cannot occur in a
+  /// standalone fact).
+  Fact applySummary(const Summary &CS, const Fact &In, Summary *S) {
+    // 1. Loads the callee may execute before the caller's buffer drains.
+    for (const TsoAccess &L : CS.PreLoads) {
+      for (const auto &KV : In) {
+        unsigned Sid = KV.first;
+        if (L.Cls == AccessClass::SharedKnown) {
+          if (Sid != CallerToken &&
+              Stores[Sid].Cls == AccessClass::SharedKnown &&
+              Stores[Sid].Global == L.Global)
+            continue; // same cell: the load forwards from the buffer
+          if (KV.second.count(L.Global))
+            continue; // a later pending store to the cell covers it
         }
-        if (A.Cls == AccessClass::Confined) {
-          ++R.ConfinedAccesses;
-          continue;
+        if (Sid == CallerToken) {
+          if (S->PreLoadPCs.insert(L.PC).second)
+            S->PreLoads.push_back(L);
+        } else {
+          emitTriangle(Sid, L, In);
         }
-        if (E.IsStore) {
-          ++R.SharedStores;
-          StoreId[{PC, EIx}] = static_cast<unsigned>(Stores.size());
-          Stores.push_back({A});
-        }
-        if (E.IsLoad)
-          ++R.SharedLoads;
       }
     }
+    // 2. Drain points the caller's buffer reaches inside the callee.
+    for (unsigned D : CS.TokenDrainPCs)
+      for (const auto &KV : In) {
+        if (KV.first == CallerToken)
+          S->TokenDrainPCs.insert(D);
+        else
+          emitCert(KV.first, D, /*AtExit=*/false);
+      }
+    // 3. Boundary crossings the caller's buffer reaches inside.
+    for (const auto &Esc : CS.TokenEscapes)
+      for (const auto &KV : In) {
+        if (KV.first == CallerToken)
+          S->TokenEscapes.insert(Esc);
+        else
+          emitEscape(KV.first, Esc.first, Esc.second, In);
+      }
+    // 4. The fact after the call: the caller's stores survive only when
+    // the token reaches some ret undrained (gaining the callee's
+    // must-stores behind the whole buffer as covers), and the callee's
+    // own leftover pending stores join in.
+    Fact Out;
+    if (CS.HasRet) {
+      auto TokIt = CS.AtRet.find(CallerToken);
+      if (TokIt != CS.AtRet.end()) {
+        for (const auto &KV : In) {
+          std::set<std::string> Cov = KV.second;
+          Cov.insert(TokIt->second.begin(), TokIt->second.end());
+          Out[KV.first] = std::move(Cov);
+        }
+      }
+      for (const auto &KV : CS.AtRet) {
+        if (KV.first == CallerToken)
+          continue;
+        auto OIt = Out.find(KV.first);
+        if (OIt == Out.end()) {
+          Out[KV.first] = KV.second;
+        } else {
+          std::set<std::string> Inter;
+          std::set_intersection(OIt->second.begin(), OIt->second.end(),
+                                KV.second.begin(), KV.second.end(),
+                                std::inserter(Inter, Inter.begin()));
+          OIt->second = std::move(Inter);
+        }
+      }
+    }
+    return Out;
+  }
 
-    // Pending-store dataflow: the fact at a PC is the set of unfenced
-    // shared stores that may still sit in the buffer when control
-    // reaches it. Union join; monotone; finite.
-    std::map<unsigned, std::set<unsigned>> PendingAt;
-    PendingAt[EI.PCIndex] = {};
-    std::deque<unsigned> Work{EI.PCIndex};
-    std::set<unsigned> InWork{EI.PCIndex};
+  /// The ordered pending-store dataflow over one entry's CFG. In summary
+  /// mode the initial fact carries the CallerToken and \p S records its
+  /// interactions; in standalone mode \p S is unused.
+  void walkEntry(const std::string &Name, bool SummaryMode, Summary *S) {
+    EntryState &E = prepareEntry(Name);
+    if (E.Reachable.empty())
+      return;
+    const bool Discharge = !SummaryMode && Ctx && Ctx->Closed &&
+                           Ctx->RootOnlyEntries.count(Name) > 0;
 
-    // Witness / certificate dedup across dataflow revisits.
-    std::set<std::pair<unsigned, unsigned>> SeenTriangles; // (store, load PC)
-    std::set<std::pair<unsigned, unsigned>> SeenEscapes;   // (store, exit PC)
-    std::set<std::pair<unsigned, unsigned>> SeenCerts;     // (store, drain PC)
-    std::set<unsigned> Witnessed;                          // store ids
-
-    auto emitTriangle = [&](unsigned StoreIdx, const TsoAccess &Load) {
-      if (!SeenTriangles.insert({StoreIdx, Load.PC}).second)
-        return;
-      Witnessed.insert(StoreIdx);
-      TriangularWitness W;
-      W.Store = Stores[StoreIdx].Acc;
-      W.Load = Load;
-      W.Path = findPath(W.Store.PC, Load.PC);
-      W.Tentative = W.Store.Cls == AccessClass::SharedUnknown ||
-                    Load.Cls == AccessClass::SharedUnknown;
-      R.Witnesses.push_back(std::move(W));
-    };
-    auto emitEscape = [&](unsigned StoreIdx, unsigned ExitPC) {
-      if (!SeenEscapes.insert({StoreIdx, ExitPC}).second)
-        return;
-      Witnessed.insert(StoreIdx);
-      TriangularWitness W;
-      W.Store = Stores[StoreIdx].Acc;
-      TsoAccess Exit;
-      Exit.PC = ExitPC;
-      Exit.Entry = Entry;
-      Exit.Text = M.Code[ExitPC].toString();
-      Exit.Cls = AccessClass::SharedUnknown;
-      Exit.Global = "?";
-      W.Escape = std::move(Exit);
-      W.Path = findPath(W.Store.PC, ExitPC);
-      W.Tentative = W.Store.Cls == AccessClass::SharedUnknown;
-      R.Witnesses.push_back(std::move(W));
-    };
-    auto emitCert = [&](unsigned StoreIdx, unsigned DrainPC) {
-      if (!SeenCerts.insert({StoreIdx, DrainPC}).second)
-        return;
-      FenceCert C;
-      C.Entry = Entry;
-      C.StorePC = Stores[StoreIdx].Acc.PC;
-      C.DrainPC = DrainPC;
-      C.StoreText = Stores[StoreIdx].Acc.Text;
-      C.DrainText = M.Code[DrainPC].toString();
-      R.Certificates.push_back(std::move(C));
-    };
+    std::map<unsigned, Fact> FactAt;
+    Fact Init;
+    if (SummaryMode)
+      Init[CallerToken];
+    FactAt[E.EI->PCIndex] = Init;
+    std::deque<unsigned> Work{E.EI->PCIndex};
+    std::set<unsigned> InWork{E.EI->PCIndex};
 
     while (!Work.empty()) {
       unsigned PC = Work.front();
       Work.pop_front();
       InWork.erase(PC);
       const x86::Instr &I = M.Code[PC];
-      std::set<unsigned> Out = PendingAt[PC];
+      Fact Out = FactAt[PC];
 
       if (x86::drainsStoreBuffer(I)) {
-        for (unsigned S : Out)
-          emitCert(S, PC);
+        for (const auto &KV : Out) {
+          if (KV.first == CallerToken)
+            S->TokenDrainPCs.insert(PC);
+          else
+            emitCert(KV.first, PC, /*AtExit=*/false);
+        }
         Out.clear();
+      } else if (I.K == x86::Instr::Kind::Call && M.Entries.count(I.Name) &&
+                 Ctx && Ctx->Closed &&
+                 Ctx->SelfResolvedEntries.count(I.Name)) {
+        // A call that provably dispatches to another entry of this very
+        // module: inline its summarized effect instead of escaping.
+        const Summary &CS = getSummary(I.Name);
+        if (CS.Valid)
+          Out = applySummary(CS, Out, S);
+        else {
+          escapeAll(Out, PC, E.Name, S);
+          Out.clear();
+        }
       } else if (x86::crossesModuleBoundary(I)) {
-        // The executable model drains here, but the analysis does not
-        // credit it: the buffered store escapes into the caller/callee.
-        for (unsigned S : Out)
-          emitEscape(S, PC);
-        Out.clear();
+        if (I.K == x86::Instr::Kind::Ret && SummaryMode) {
+          // The caller resumes here: hand the fact back through AtRet.
+          S->AtRet = S->HasRet ? joinFacts(S->AtRet, Out) : Out;
+          S->HasRet = true;
+          Out.clear();
+        } else if (I.K == x86::Instr::Kind::Ret && Discharge) {
+          // Root-only entry: no call site anywhere names it, so every
+          // activation is a thread root and this ret ends the thread.
+          // The buffer drains with no later same-thread load possible —
+          // the flush at exit is a valid linearization point.
+          if (!Out.empty())
+            note("entry '" + Name + "': pending store(s) retired at thread "
+                 "exit (root-only entry: no call site names it, so ret "
+                 "terminates the thread)");
+          for (const auto &KV : Out)
+            emitCert(KV.first, PC, /*AtExit=*/true);
+          Out.clear();
+        } else {
+          // The executable model drains here, but the analysis does not
+          // credit it: the buffered store escapes into the caller/callee.
+          escapeAll(Out, PC, E.Name, S);
+          Out.clear();
+        }
       } else {
         auto Effects = x86::memEffects(I);
         for (unsigned EIx = 0; EIx < Effects.size(); ++EIx) {
-          const x86::MemEffect &E = Effects[EIx];
-          TsoAccess A = classify(PC, *E.Op, E.IsStore);
+          const x86::MemEffect &Ef = Effects[EIx];
+          TsoAccess A = classify(E, PC, *Ef.Op, Ef.IsStore);
           if (A.Cls == AccessClass::Confined)
             continue;
-          if (E.IsLoad) {
-            for (unsigned S : Out) {
-              const TsoAccess &St = Stores[S].Acc;
-              // Same known cell: the load snoops the buffered value —
-              // SC-explainable (flush immediately after the store).
-              if (St.Cls == AccessClass::SharedKnown &&
-                  A.Cls == AccessClass::SharedKnown && St.Global == A.Global)
-                continue;
-              TsoAccess LoadA = A;
-              LoadA.Write = false;
-              emitTriangle(S, LoadA);
+          if (Ef.IsLoad) {
+            TsoAccess LoadA = A;
+            LoadA.Write = false;
+            for (const auto &KV : Out) {
+              unsigned Sid = KV.first;
+              if (A.Cls == AccessClass::SharedKnown) {
+                // Same known cell: the load snoops the buffered value —
+                // SC-explainable (flush immediately after the store).
+                if (Sid != CallerToken &&
+                    Stores[Sid].Cls == AccessClass::SharedKnown &&
+                    Stores[Sid].Global == A.Global)
+                  continue;
+                // FIFO cover: a store to the loaded cell must still be
+                // pending behind Sid. Either it is still buffered when
+                // this load executes (the load forwards from the buffer
+                // and never reads memory) or — FIFO — Sid has already
+                // been flushed. Both ways the pair is SC-explainable.
+                if (KV.second.count(A.Global))
+                  continue;
+              }
+              if (Sid == CallerToken) {
+                if (S->PreLoadPCs.insert(LoadA.PC).second)
+                  S->PreLoads.push_back(LoadA);
+              } else {
+                emitTriangle(Sid, LoadA, Out);
+              }
             }
           }
-          if (E.IsStore)
-            Out.insert(StoreId.at({PC, EIx}));
+          if (Ef.IsStore) {
+            unsigned Sid = StoreId.at({PC, EIx});
+            if (A.Cls == AccessClass::SharedKnown)
+              for (auto &KV : Out)
+                KV.second.insert(A.Global);
+            // The newest instance of this site is itself uncovered
+            // (reset on loop re-entry keeps the must-claim sound).
+            Out[Sid].clear();
+          }
+        }
+        if (I.K == x86::Instr::Kind::Print) {
+          // An observable event with stores still buffered distinguishes
+          // TSO from SC divergence-sensitively: the event proves the
+          // thread progressed past the store, yet an unfair schedule can
+          // starve the flush while a peer loops on the stale cell forever
+          // — a divergence no SC schedule reproduces (under SC the store
+          // hits memory before the event). The store stays pending (no
+          // clear): the event does not retire it.
+          escapeAll(Out, PC, E.Name, S);
         }
       }
 
-      for (unsigned S : x86::successors(M, PC)) {
-        auto It = PendingAt.find(S);
-        if (It == PendingAt.end()) {
-          PendingAt[S] = Out;
-          if (InWork.insert(S).second)
-            Work.push_back(S);
+      for (unsigned Succ : x86::successors(M, PC)) {
+        auto It = FactAt.find(Succ);
+        if (It == FactAt.end()) {
+          FactAt[Succ] = Out;
+          if (InWork.insert(Succ).second)
+            Work.push_back(Succ);
         } else {
-          std::set<unsigned> Joined = It->second;
-          Joined.insert(Out.begin(), Out.end());
+          Fact Joined = joinFacts(It->second, Out);
           if (Joined != It->second) {
             It->second = std::move(Joined);
-            if (InWork.insert(S).second)
-              Work.push_back(S);
+            if (InWork.insert(Succ).second)
+              Work.push_back(Succ);
           }
         }
       }
     }
-
-    // A store never fenced and never witnessed can only sit on a path
-    // that silently diverges before the next shared access — with no
-    // subsequent load the flush point is a valid linearization point.
-    std::set<unsigned> Certified;
-    for (const auto &KV : SeenCerts)
-      Certified.insert(KV.first);
-    for (unsigned S = 0; S < Stores.size(); ++S)
-      if (!Certified.count(S) && !Witnessed.count(S))
-        R.Notes.push_back("entry '" + Entry + "': store at PC " +
-                          std::to_string(Stores[S].Acc.PC) + " (" +
-                          Stores[S].Acc.Text +
-                          ") only reaches divergent paths — " +
-                          "SC-explainable without a fence");
   }
 };
 
@@ -581,12 +1069,18 @@ std::string TriangularWitness::describe() const {
   if (Load)
     B << " followed by " << Load->describe();
   if (Escape)
-    B << " buffered across module boundary at " << Escape->Entry << '+'
+    B << " buffered across observable point at " << Escape->Entry << '+'
       << Escape->PC << " (" << Escape->Text << ")";
   if (!Path.empty()) {
     B << " via path [";
     for (std::size_t I = 0; I < Path.size(); ++I)
       B << (I ? "," : "") << Path[I];
+    B << ']';
+  }
+  if (!BufferPCs.empty()) {
+    B << " with buffer-mates at PCs [";
+    for (std::size_t I = 0; I < BufferPCs.size(); ++I)
+      B << (I ? "," : "") << BufferPCs[I];
     B << ']';
   }
   return B.take();
@@ -595,15 +1089,46 @@ std::string TriangularWitness::describe() const {
 std::string FenceCert::describe() const {
   return Entry + ": store at PC " + std::to_string(StorePC) + " (" +
          StoreText + ") drained at PC " + std::to_string(DrainPC) + " (" +
-         DrainText + ")";
+         DrainText + ")" + (AtThreadExit ? " [thread exit]" : "");
+}
+
+std::string TsoRobustReport::inconsistency() const {
+  switch (Verdict) {
+  case TsoVerdict::Robust:
+    if (!Witnesses.empty() || WitnessedStores != 0)
+      return "Robust verdict with witnessed stores";
+    if (CertifiedStores + DivergentStores != SharedStores)
+      return "Robust verdict but certificates are incomplete: certified " +
+             std::to_string(CertifiedStores) + " + divergent " +
+             std::to_string(DivergentStores) + " != shared " +
+             std::to_string(SharedStores);
+    break;
+  case TsoVerdict::NotRobust: {
+    bool AnyConcrete = false;
+    for (const TriangularWitness &W : Witnesses)
+      AnyConcrete = AnyConcrete || !W.Tentative;
+    if (!AnyConcrete)
+      return "NotRobust verdict without a concrete witness";
+    break;
+  }
+  case TsoVerdict::Unknown:
+    if (Witnesses.empty())
+      return "Unknown verdict without a tentative witness";
+    for (const TriangularWitness &W : Witnesses)
+      if (!W.Tentative)
+        return "Unknown verdict despite a concrete witness";
+    break;
+  }
+  return {};
 }
 
 std::string TsoRobustReport::toString() const {
   StrBuilder B;
   B << "TSO robustness verdict: " << tsoVerdictName(Verdict) << " (entries "
-    << Entries << ", shared stores " << SharedStores << ", shared loads "
-    << SharedLoads << ", confined " << ConfinedAccesses << ", locked "
-    << LockedOps << ")\n";
+    << Entries << ", shared stores " << SharedStores << " [certified "
+    << CertifiedStores << ", witnessed " << WitnessedStores << ", divergent "
+    << DivergentStores << "], shared loads " << SharedLoads << ", confined "
+    << ConfinedAccesses << ", locked " << LockedOps << ")\n";
   for (const TriangularWitness &W : Witnesses)
     B << "  witness: " << W.describe() << '\n';
   for (const FenceCert &C : Certificates)
@@ -613,13 +1138,41 @@ std::string TsoRobustReport::toString() const {
   return B.take();
 }
 
-TsoRobustReport ccc::analysis::tsoRobustness(const x86::Module &M) {
+TsoRobustReport ccc::analysis::tsoRobustness(const x86::Module &M,
+                                             const TsoModuleContext *Ctx) {
   TsoRobustReport R;
   R.Entries = static_cast<unsigned>(M.Entries.size());
+  ModuleAnalysis A(M, Ctx, R);
   for (const auto &E : M.Entries) {
-    EntryAnalysis A(M, E.first, E.second, R);
-    A.run();
+    // Entries reached only through same-module calls are fully accounted
+    // for by the summaries their call sites inline: a standalone walk
+    // would re-impose the unknown-caller worst case (escape at ret) the
+    // context just ruled out.
+    if (Ctx && Ctx->Closed && Ctx->SummaryOnlyEntries.count(E.first))
+      continue;
+    A.walkEntry(E.first, /*SummaryMode=*/false, nullptr);
   }
+
+  for (unsigned Sid = 0; Sid < A.Stores.size(); ++Sid) {
+    bool C = A.Certified.count(Sid) > 0;
+    bool W = A.Witnessed.count(Sid) > 0;
+    if (C)
+      ++R.CertifiedStores;
+    if (W)
+      ++R.WitnessedStores;
+    if (!C && !W) {
+      // A store never fenced and never witnessed can only sit on a path
+      // that silently diverges before the next shared access — with no
+      // subsequent load the flush point is a valid linearization point.
+      ++R.DivergentStores;
+      R.Notes.push_back("entry '" + A.Stores[Sid].Entry + "': store at PC " +
+                        std::to_string(A.Stores[Sid].PC) + " (" +
+                        A.Stores[Sid].Text +
+                        ") only reaches divergent paths — " +
+                        "SC-explainable without a fence");
+    }
+  }
+
   bool AnyHard = false, AnyTentative = false;
   for (const TriangularWitness &W : R.Witnesses)
     (W.Tentative ? AnyTentative : AnyHard) = true;
@@ -629,7 +1182,90 @@ TsoRobustReport ccc::analysis::tsoRobustness(const x86::Module &M) {
     R.Verdict = TsoVerdict::Unknown;
   else
     R.Verdict = TsoVerdict::Robust;
+
+  std::string Err = R.inconsistency();
+  if (!Err.empty()) {
+    assert(false && "TsoRobustReport invariant violated");
+    R.Notes.push_back("internal consistency violation: " + Err);
+    if (R.robust())
+      R.Verdict = TsoVerdict::Unknown;
+  }
   return R;
+}
+
+std::map<std::string, TsoModuleContext>
+ccc::analysis::tsoModuleContexts(const Program &P) {
+  std::map<std::string, TsoModuleContext> Out;
+  std::vector<const x86::X86Lang *> Langs;
+  for (const ModuleDecl &D : P.modules()) {
+    const auto *L = dynamic_cast<const x86::X86Lang *>(D.Lang.get());
+    if (!L)
+      return {}; // open program: a non-x86 module hides call sites/stores
+    Langs.push_back(L);
+  }
+  if (Langs.empty())
+    return {};
+
+  // Entry name -> first defining module (the program's resolution order).
+  std::map<std::string, unsigned> FirstDef;
+  for (unsigned I = 0; I < Langs.size(); ++I)
+    for (const auto &E : Langs[I]->module().Entries)
+      FirstDef.emplace(E.first, I);
+
+  // Every call/tailcall site in the program, by callee name.
+  struct SiteSet {
+    bool TailCalled = false;
+    std::set<unsigned> CallerMods;
+  };
+  std::map<std::string, SiteSet> Sites;
+  for (unsigned I = 0; I < Langs.size(); ++I)
+    for (const x86::Instr &In : Langs[I]->module().Code)
+      if (In.K == x86::Instr::Kind::Call ||
+          In.K == x86::Instr::Kind::TailCall) {
+        SiteSet &SS = Sites[In.Name];
+        SS.TailCalled = SS.TailCalled || In.K == x86::Instr::Kind::TailCall;
+        SS.CallerMods.insert(I);
+      }
+
+  std::set<std::string> Roots;
+  for (unsigned T = 0; T < P.numThreads(); ++T)
+    Roots.insert(P.threadEntry(T));
+
+  // Per-module local points-to. The maps are only trusted when no module
+  // may store a pointer through an unresolved target: that is the one
+  // channel by which a pointer could reach a cell behind a local map's
+  // back (foreign cells cannot be named directly, and pointer values
+  // received across a boundary are Top — any resolved store of them
+  // already wilds the target locally).
+  std::vector<PtsBuildResult> Pts;
+  bool Contaminated = false;
+  for (const x86::X86Lang *L : Langs) {
+    Pts.push_back(computePointsTo(L->module()));
+    Contaminated = Contaminated || Pts.back().MayPtrUnresolved;
+  }
+
+  for (unsigned I = 0; I < Langs.size(); ++I) {
+    const x86::Module &M = Langs[I]->module();
+    TsoModuleContext C;
+    C.Closed = true;
+    for (const auto &E : M.Entries) {
+      const std::string &N = E.first;
+      auto SI = Sites.find(N);
+      if (SI == Sites.end())
+        C.RootOnlyEntries.insert(N);
+      if (FirstDef.at(N) == I)
+        C.SelfResolvedEntries.insert(N);
+      if (SI != Sites.end() && !SI->second.TailCalled && !Roots.count(N) &&
+          FirstDef.at(N) == I && SI->second.CallerMods.size() == 1 &&
+          *SI->second.CallerMods.begin() == I)
+        C.SummaryOnlyEntries.insert(N);
+    }
+    C.HasPointsTo = !Contaminated;
+    if (C.HasPointsTo)
+      C.GlobalPointsTo = Pts[I].PT;
+    Out[P.modules()[I].Name] = std::move(C);
+  }
+  return Out;
 }
 
 bool ProgramTsoReport::allRobust() const {
@@ -664,6 +1300,7 @@ std::string ProgramTsoReport::toString() const {
 
 ProgramTsoReport ccc::analysis::programTsoRobustness(const Program &P) {
   ProgramTsoReport R;
+  std::map<std::string, TsoModuleContext> Ctxs = tsoModuleContexts(P);
   for (const ModuleDecl &D : P.modules()) {
     const auto *L = dynamic_cast<const x86::X86Lang *>(D.Lang.get());
     if (!L)
@@ -672,7 +1309,9 @@ ProgramTsoReport ccc::analysis::programTsoRobustness(const Program &P) {
     Info.Name = D.Name;
     Info.ObjectMode = L->objectMode();
     Info.Model = L->memModel();
-    Info.Report = tsoRobustness(L->module());
+    auto It = Ctxs.find(D.Name);
+    Info.Report =
+        tsoRobustness(L->module(), It == Ctxs.end() ? nullptr : &It->second);
     R.Modules.push_back(std::move(Info));
   }
   return R;

@@ -21,9 +21,20 @@
 ///  1. builds the CFG from the flat X86Asm code stream (x86::successors),
 ///  2. runs a register abstract-value analysis so memory operands resolve
 ///     to a named global, the thread-private frame, or "unknown", and
-///  3. propagates the set of pending (unfenced) shared stores along the
-///     CFG, flagging triangular store/load pairs and stores that escape
-///     the module boundary unfenced.
+///  3. propagates the *FIFO-ordered* pending (unfenced) shared stores
+///     along the CFG, flagging triangular store/load pairs and stores
+///     that escape the module boundary unfenced.
+///
+/// The pending-store fact is order-aware: for each pending store s it
+/// tracks the set of cells that *must* have been stored after s and are
+/// still pending behind it in the buffer (its covers). A load of y only
+/// races with a pending store s when no later pending store to y sits
+/// behind s: with such a cover, either the covering store is still
+/// buffered at the load (the load forwards from the buffer and never
+/// reads memory) or — by FIFO order — s has already been flushed. This
+/// is the store-order refinement that certifies the MP publication idiom
+/// (store data; store flag; re-read flag) where the per-location
+/// criterion could not.
 ///
 /// The verdict is three-valued:
 ///  - Robust: every shared store is covered by a drain on every path —
@@ -39,6 +50,28 @@
 ///  - Unknown: an access target could not be resolved (loads used as
 ///    addresses, pointer arithmetic): no claim either way.
 ///
+/// A module analyzed on its own is treated maximally conservatively: any
+/// entry may be invoked by an unknown client with an arbitrary buffer,
+/// any call leaves the module, any global may hold any value. Analyzing
+/// a module *inside a closed program* (every module x86, every call site
+/// visible) justifies three refinements, packaged as a TsoModuleContext:
+///  - Thread-exit discharge: an entry never named by any call/tailcall
+///    anywhere only runs as a thread root, so its ret terminates the
+///    thread — stores still buffered there drain at thread exit with no
+///    subsequent same-thread load, and get certificates instead of
+///    escape witnesses.
+///  - Same-module call summaries: a call whose target resolves (under
+///    the program's first-module-wins entry resolution) to another entry
+///    of the same module inlines that entry's summarized drain / pending
+///    / pre-drain-load effect instead of emitting an escape witness.
+///    Tail calls and cross-module calls remain boundary escapes.
+///  - Address points-to: a flow-insensitive may-points-to over the
+///    program's globals (mirroring the lockset analysis' one) resolves
+///    loads used as addresses (`movl p, %eax; movl (%eax), %ebx` where
+///    p holds &x) to named cells. The map is only trusted when no module
+///    may store a pointer through an unresolved target (else every cell
+///    is wild), keeping cross-module pointer laundering sound.
+///
 /// Frame cells count as thread-private (Confined) only while the frame
 /// address provably stays in the thread's registers. The abstract values
 /// carry a frame-derived taint through moves and pointer arithmetic, and
@@ -49,11 +82,21 @@
 /// live in ordinary shared memory, so a peer that learns the address can
 /// race on them, and a certificate that ignored that would be unsound.
 ///
+/// Robustness here is *divergence-sensitive* SC-equivalence (the bench
+/// gate compares full trace sets, divergent prefixes included), which
+/// makes observable events violation points too: an event emitted while
+/// stores are buffered proves the thread progressed past the store, yet
+/// an unfair schedule can starve the flush while a peer loops on the
+/// stale cell forever — a divergence no SC schedule reproduces, since
+/// under SC the store hits memory before the event. A pending store
+/// crossing a printl is therefore a witness, same as a boundary escape.
+///
 /// Two deliberate conservatisms keep the certificate meaningful:
 ///  - call/ret drain the buffer in the executable model (a documented
 ///    simplification), but the analysis does NOT credit them as fences —
 ///    real x86-TSO fences at neither, and a certificate should survive
-///    the model simplification being lifted.
+///    the model simplification being lifted. (Thread-exit discharge is
+///    different: it relies on the thread *ending*, not on a drain.)
 ///  - A store escaping the module boundary is a witness even though no
 ///    in-module load completes the triangle: the client executes under
 ///    the same buffer, so any client load of another shared location
@@ -68,7 +111,9 @@
 #include "x86/X86Asm.h"
 #include "x86/X86Lang.h"
 
+#include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -107,10 +152,18 @@ struct TriangularWitness {
   /// The completing load; nullopt when the store escapes the boundary
   /// (Escape names the crossing instruction instead).
   std::optional<TsoAccess> Load;
-  /// The boundary instruction (call/tcall/ret) the buffered store crosses.
+  /// The observable crossing point the store stays buffered across: a
+  /// boundary instruction (call/tcall/ret) or an event emission (printl).
   std::optional<TsoAccess> Escape;
-  /// PC path from the store to the violation, fence-free by construction.
+  /// PC path from the store to the violation, fence-free by construction
+  /// (empty when the store and the violation sit in different entries,
+  /// connected through a same-module call).
   std::vector<unsigned> Path;
+  /// Buffer-order context: PCs of the *other* stores that may share the
+  /// store buffer with Store when the violation fires. None of them is a
+  /// must-pending store to the load's cell (that would have excused the
+  /// pair under the FIFO criterion).
+  std::vector<unsigned> BufferPCs;
   /// True when an unresolved target made this witness conservative — it
   /// degrades the verdict to Unknown instead of NotRobust.
   bool Tentative = false;
@@ -126,8 +179,53 @@ struct FenceCert {
   unsigned DrainPC = 0;
   std::string StoreText;
   std::string DrainText;
+  /// True when the drain point is the ret of a root-only entry: the
+  /// store retires because the thread exits, not because of a fence.
+  bool AtThreadExit = false;
 
   std::string describe() const;
+};
+
+/// Program-derived facts that sharpen the per-module analysis. Only
+/// meaningful for a *closed* program: every module is x86, so every call
+/// site, thread root, and store in the program is visible to the
+/// builder. Absent a context, tsoRobustness treats the module as
+/// callable by arbitrary unknown clients (maximally conservative).
+struct TsoModuleContext {
+  /// The owning program is closed (all modules x86).
+  bool Closed = false;
+
+  /// Entries never named by any call/tailcall in any module: every
+  /// activation is a thread root, so ret is a thread exit and pending
+  /// stores retire there (thread-exit certificates).
+  std::set<std::string> RootOnlyEntries;
+
+  /// Entries of this module that a call from this module actually
+  /// dispatches to (no earlier module shadows the name under the
+  /// program's first-module-wins resolution). Same-module call
+  /// summaries apply only to these.
+  std::set<std::string> SelfResolvedEntries;
+
+  /// Entries reached only through same-module plain calls (never a
+  /// thread root, never called from another module, never tail-called):
+  /// they are analyzed solely through their call-site summaries, so a
+  /// pending store at their ret is the *caller's* obligation, not an
+  /// escape.
+  std::set<std::string> SummaryOnlyEntries;
+
+  /// Flow-insensitive may-points-to for one global cell: the named
+  /// cells whose address the global may hold, or Wild when it may hold
+  /// an arbitrary pointer.
+  struct Pointees {
+    bool Wild = false;
+    std::set<std::string> Cells;
+  };
+
+  /// True when GlobalPointsTo is trustworthy program-wide: no module
+  /// may store a may-pointer value through an unresolved target, so no
+  /// pointer can be laundered into a cell behind the map's back.
+  bool HasPointsTo = false;
+  std::map<std::string, Pointees> GlobalPointsTo;
 };
 
 /// The per-module analysis result.
@@ -145,12 +243,40 @@ struct TsoRobustReport {
   unsigned LockedOps = 0;      ///< Lock-prefixed accesses (drain points).
   unsigned Entries = 0;        ///< Entry points analyzed.
 
+  /// Per-store accounting over the SharedStores sites: how many hold at
+  /// least one fence certificate, how many appear in at least one
+  /// witness, and how many reach neither (every path from them diverges
+  /// before the next shared access). Certified and Divergent partition
+  /// the stores exactly when Robust (no witnesses).
+  unsigned CertifiedStores = 0;
+  unsigned WitnessedStores = 0;
+  unsigned DivergentStores = 0;
+
   bool robust() const { return Verdict == TsoVerdict::Robust; }
+
+  /// Checks the report's structural invariant — "certificates complete
+  /// exactly when Robust": a Robust verdict must carry no witnesses and
+  /// must certify-or-diverge every counted shared store; a non-Robust
+  /// verdict must name at least one witness. Returns an explanation of
+  /// the violation, or the empty string when consistent. tsoRobustness
+  /// checks this before returning and degrades an inconsistent Robust
+  /// verdict to Unknown with a note.
+  std::string inconsistency() const;
+
   std::string toString() const;
 };
 
-/// Runs the robustness analysis on one x86 module.
-TsoRobustReport tsoRobustness(const x86::Module &M);
+/// Runs the robustness analysis on one x86 module. \p Ctx, when given,
+/// supplies closed-program facts (thread-exit discharge, same-module
+/// summaries, points-to); null means standalone worst-case assumptions.
+TsoRobustReport tsoRobustness(const x86::Module &M,
+                              const TsoModuleContext *Ctx = nullptr);
+
+/// Builds the per-module analysis context for every module of \p P.
+/// Returns an empty map unless the program is closed (all modules x86):
+/// open programs get no context and modules fall back to standalone
+/// worst-case analysis. Keys are module names.
+std::map<std::string, TsoModuleContext> tsoModuleContexts(const Program &P);
 
 /// One x86 module of a linked program, with its verdict.
 struct ModuleTsoInfo {
@@ -176,14 +302,18 @@ struct ProgramTsoReport {
   std::string toString() const;
 };
 
-/// Analyzes every x86 module of \p P.
+/// Analyzes every x86 module of \p P, under the closed-program contexts
+/// of tsoModuleContexts when the program is closed.
 ProgramTsoReport programTsoRobustness(const Program &P);
 
 /// Downgrades every certified-Robust x86-TSO module of \p P to
 /// MemModel::SC: by robustness its TSO behaviours are SC-explainable, so
 /// the store-buffer dimension of the explorer's state space is redundant.
 /// Returns the number of modules switched. \p P may be linked; module
-/// global bindings are preserved.
+/// global bindings are preserved. Non-Robust modules — including
+/// AllowedByRefinement ones (flagged-but-allowed) — are never switched:
+/// "allowed" means the refinement check covers their weak behaviours,
+/// not that they have none.
 unsigned applyScFastPath(Program &P, const ProgramTsoReport &R);
 
 } // namespace analysis

@@ -248,3 +248,97 @@ Program ccc::workload::mpLitmus(x86::MemModel Model) {
   P.link();
   return P;
 }
+
+Program ccc::workload::mpPublishReadback(x86::MemModel Model) {
+  Program P;
+  x86::addAsmModule(P, "m", R"(
+    .data data 0
+    .data flag 0
+    .entry t1 0 0
+    .entry t2 0 0
+    t1:
+            movl $42, data
+            movl $1, flag
+            movl flag, %eax
+            mfence
+            printl %eax
+            retl
+    t2:
+    spin:
+            movl flag, %eax
+            cmpl $1, %eax
+            jne spin
+            movl data, %ebx
+            printl %ebx
+            retl
+  )",
+                    Model);
+  P.addThread("t1");
+  P.addThread("t2");
+  P.link();
+  return P;
+}
+
+Program ccc::workload::lockThenPublish(x86::MemModel Model) {
+  Program P;
+  x86::addAsmModule(P, "m", R"(
+    .data data 0
+    .data flag 0
+    .entry t1 0 0
+    .entry t2 0 0
+    .entry pub 0 0
+    t1:
+            movl $42, data
+            call pub
+            retl
+    pub:
+            movl $1, flag
+            mfence
+            retl
+    t2:
+    spin:
+            movl flag, %eax
+            cmpl $1, %eax
+            jne spin
+            movl data, %ebx
+            printl %ebx
+            retl
+  )",
+                    Model);
+  P.addThread("t1");
+  P.addThread("t2");
+  P.link();
+  return P;
+}
+
+Program ccc::workload::pointerChainClient(x86::MemModel Model) {
+  Program P;
+  x86::addAsmModule(P, "m", R"(
+    .data x 0
+    .data y 0
+    .data p 0
+    .entry t1 0 0
+    .entry t2 0 0
+    t1:
+            movl $x, p
+            mfence
+            movl $1, x
+            mfence
+            retl
+    t2:
+    spin:
+            movl p, %eax
+            cmpl $0, %eax
+            je spin
+            movl $2, (%eax)
+            mfence
+            movl y, %ebx
+            printl %ebx
+            retl
+  )",
+                    Model);
+  P.addThread("t1");
+  P.addThread("t2");
+  P.link();
+  return P;
+}

@@ -71,6 +71,31 @@ Program sbLitmus(x86::MemModel Model, bool Fenced);
 /// the flag then reads data (TSO preserves this — stores are FIFO).
 Program mpLitmus(x86::MemModel Model);
 
+/// MP variant where the publisher re-reads its own flag after publishing
+/// (store data; store flag; load flag; mfence; print): the load races
+/// with neither pending store — the flag store forwards from the buffer,
+/// and the data store has the flag store pending *behind* it, so by FIFO
+/// order the pair is SC-explainable. Certifiable only by the
+/// store-order-aware criterion; the per-location triangular check flags
+/// it. The mfence before the print is required: an observable event with
+/// the stores still buffered would genuinely distinguish TSO from SC
+/// (divergence-sensitively).
+Program mpPublishReadback(x86::MemModel Model);
+
+/// A same-module lock-then-publish idiom: t1 stores data, then calls a
+/// same-module `pub` entry that stores the flag and fences. The data
+/// store's certificate lives *inside the callee* — certifiable only with
+/// same-module call summaries (a boundary-escape treatment of the call
+/// flags it).
+Program lockThenPublish(x86::MemModel Model);
+
+/// A pointer-chain client: t1 publishes `&x` through the global `p` and
+/// fences; t2 spins on `p`, stores through the loaded pointer, fences,
+/// then reads another cell. Certifiable only with the global points-to
+/// (standalone analysis cannot resolve the store target and returns
+/// Unknown).
+Program pointerChainClient(x86::MemModel Model);
+
 } // namespace workload
 } // namespace ccc
 

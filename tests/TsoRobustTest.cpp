@@ -65,15 +65,98 @@ TEST(TsoRobust, FencedStoreBufferingIsRobust) {
   EXPECT_TRUE(R.anyScSwitchable());
 }
 
-TEST(TsoRobust, MessagePassingIsConservativelyFlagged) {
+TEST(TsoRobust, MessagePassingIsRobust) {
   // MP is SC-equivalent on real TSO (FIFO buffers preserve the
-  // store-store order), but the per-location analysis cannot see that:
-  // the data store is pending when flag is stored and control returns.
-  // Known false positive — documented in ROADMAP.md.
+  // store-store order). The former per-location criterion flagged it (a
+  // documented false positive); the store-order-aware dataflow plus
+  // thread-exit discharge certify it: t1's two stores retire when the
+  // root-only entry returns and the thread exits, with no same-thread
+  // load in between.
   Program P = workload::mpLitmus(x86::MemModel::TSO);
   ProgramTsoReport R = programTsoRobustness(P);
   ASSERT_EQ(R.Modules.size(), 1u);
-  EXPECT_EQ(R.Modules[0].Report.Verdict, TsoVerdict::NotRobust);
+  EXPECT_EQ(R.Modules[0].Report.Verdict, TsoVerdict::Robust)
+      << R.toString();
+  // t1's stores hold thread-exit certificates, not fence certificates.
+  unsigned AtExit = 0;
+  for (const FenceCert &C : R.Modules[0].Report.Certificates)
+    if (C.AtThreadExit)
+      ++AtExit;
+  EXPECT_EQ(AtExit, 2u) << R.toString();
+
+  // The upgraded verdict is backed dynamically: TSO and SC trace sets
+  // are identical, and the SC fast path now switches the module.
+  TraceSet Tso = preemptiveTraces(P);
+  TraceSet Sc = preemptiveTraces(workload::mpLitmus(x86::MemModel::SC));
+  EXPECT_TRUE(Tso == Sc);
+  EXPECT_EQ(applyScFastPath(P, R), 1u);
+}
+
+TEST(TsoRobust, MpPublishReadbackIsRobust) {
+  // store data; store flag; load flag — the load is excused against the
+  // flag store by store forwarding and against the data store by the
+  // FIFO cover rule (the flag store is pending *behind* it). Only the
+  // store-order-aware criterion certifies this shape.
+  Program P = workload::mpPublishReadback(x86::MemModel::TSO);
+  ProgramTsoReport R = programTsoRobustness(P);
+  ASSERT_EQ(R.Modules.size(), 1u);
+  EXPECT_EQ(R.Modules[0].Report.Verdict, TsoVerdict::Robust)
+      << R.toString();
+  EXPECT_EQ(R.Modules[0].Report.Witnesses.size(), 0u);
+  TraceSet Tso = preemptiveTraces(P);
+  TraceSet Sc =
+      preemptiveTraces(workload::mpPublishReadback(x86::MemModel::SC));
+  EXPECT_TRUE(Tso == Sc);
+}
+
+TEST(TsoRobust, ReadbackBeforeOlderStoreStaysFlagged) {
+  // The FIFO cover rule only excuses a load against stores *ahead* of a
+  // pending same-cell store in the buffer. Here the load of x races with
+  // the *later* pending store to y (x's store sits in front of y's, so
+  // nothing covers the pair) — the plain SB shape, still flagged.
+  TsoRobustReport R = analyzeSource(R"(
+    .data x 0
+    .data y 0
+    .entry f 0 0
+    f:
+            movl $1, x
+            movl $1, y
+            movl x, %eax
+            mfence
+            printl %eax
+            retl
+  )");
+  EXPECT_EQ(R.Verdict, TsoVerdict::NotRobust) << R.toString();
+  bool Found = false;
+  for (const TriangularWitness &W : R.Witnesses)
+    if (W.Store.Global == "y" && W.Load && W.Load->Global == "x" &&
+        !W.Tentative)
+      Found = true;
+  EXPECT_TRUE(Found) << R.toString();
+}
+
+TEST(TsoRobust, EventWhilePendingStoreIsAWitness) {
+  // Robustness is divergence-sensitive: an observable event emitted with
+  // a store still buffered proves the thread progressed past the store,
+  // while an unfair schedule can starve the flush and let a peer loop on
+  // the stale cell forever — no SC schedule reproduces that divergence.
+  TsoRobustReport R = analyzeSource(R"(
+    .data g 0
+    .entry f 0 0
+    f:
+            movl $0, %ebx
+            movl $1, g
+            printl %ebx
+            mfence
+            retl
+  )");
+  EXPECT_EQ(R.Verdict, TsoVerdict::NotRobust) << R.toString();
+  bool Found = false;
+  for (const TriangularWitness &W : R.Witnesses)
+    if (W.Store.Global == "g" && W.Escape &&
+        W.Escape->Text.find("printl") != std::string::npos)
+      Found = true;
+  EXPECT_TRUE(Found) << R.toString();
 }
 
 //===----------------------------------------------------------------------===//
@@ -297,16 +380,17 @@ TEST(TsoRobust, UnresolvedPointerStoreIsUnknown) {
 
 TEST(TsoRobust, SameLocationReloadIsNotATriangle) {
   // A load of the *same* cell snoops the issuing thread's own buffered
-  // store (store forwarding) — SC-explainable, no witness; but the store
-  // still escapes at ret.
+  // store (store forwarding) — SC-explainable, no witness. The print sits
+  // after the mfence: an event with the store still buffered would be a
+  // genuine violation in its own right.
   TsoRobustReport R = analyzeSource(R"(
     .data g 0
     .entry f 0 0
     f:
             movl $1, g
             movl g, %eax
-            printl %eax
             mfence
+            printl %eax
             retl
   )");
   EXPECT_EQ(R.Verdict, TsoVerdict::Robust) << R.toString();
@@ -372,8 +456,219 @@ TEST(TsoRobust, LockPrefixedStoreNeedsNoFence) {
 }
 
 //===----------------------------------------------------------------------===//
+// Closed-program refinements: same-module summaries and points-to
+//===----------------------------------------------------------------------===//
+
+TEST(TsoRobust, SameModuleCallSummaryCertifiesLockThenPublish) {
+  // t1's data store is pending across `call pub`; the callee is another
+  // entry of the same module, so the call inlines pub's summary instead
+  // of escaping — and the summary says the caller's buffer drains at
+  // pub's mfence. The data store's certificate names a drain point in a
+  // *different* entry.
+  Program P = workload::lockThenPublish(x86::MemModel::TSO);
+  ProgramTsoReport R = programTsoRobustness(P);
+  ASSERT_EQ(R.Modules.size(), 1u);
+  const TsoRobustReport &M = R.Modules[0].Report;
+  EXPECT_EQ(M.Verdict, TsoVerdict::Robust) << M.toString();
+  bool CrossEntryCert = false;
+  for (const FenceCert &C : M.Certificates)
+    if (C.Entry == "t1" &&
+        C.DrainText.find("mfence") != std::string::npos)
+      CrossEntryCert = true;
+  EXPECT_TRUE(CrossEntryCert) << M.toString();
+
+  TraceSet Tso = preemptiveTraces(P);
+  TraceSet Sc =
+      preemptiveTraces(workload::lockThenPublish(x86::MemModel::SC));
+  EXPECT_TRUE(Tso == Sc);
+  EXPECT_EQ(applyScFastPath(P, R), 1u);
+}
+
+TEST(TsoRobust, SummaryCarriesPendingStoresBackToCaller) {
+  // The callee returns with its own store still buffered; the summary
+  // hands it back to the caller, whose load of a different cell then
+  // completes a *cross-entry* triangle. A boundary-escape treatment of
+  // the call would have flagged the call site instead.
+  Program P;
+  x86::addAsmModule(P, "m", R"(
+    .data g 0
+    .data h 0
+    .entry t1 0 0
+    .entry leak 0 0
+    t1:
+            call leak
+            movl h, %eax
+            mfence
+            printl %eax
+            retl
+    leak:
+            movl $1, g
+            retl
+  )",
+                    x86::MemModel::TSO);
+  P.addThread("t1");
+  P.link();
+  ProgramTsoReport R = programTsoRobustness(P);
+  ASSERT_EQ(R.Modules.size(), 1u);
+  const TsoRobustReport &M = R.Modules[0].Report;
+  EXPECT_EQ(M.Verdict, TsoVerdict::NotRobust) << M.toString();
+  bool CrossEntry = false;
+  for (const TriangularWitness &W : M.Witnesses)
+    if (W.Store.Entry == "leak" && W.Store.Global == "g" && W.Load &&
+        W.Load->Entry == "t1" && W.Load->Global == "h" && !W.Tentative)
+      CrossEntry = true;
+  EXPECT_TRUE(CrossEntry) << M.toString();
+}
+
+TEST(TsoRobust, SameModuleSummaryDoesNotCrossModules) {
+  // The client's counter store is pending at `call unlock`, whose target
+  // lives in the *lockimpl* module: no summary applies and the escape
+  // witness must survive — summaries are strictly same-module.
+  Program P = workload::asmCounterWithPiLock(x86::MemModel::TSO, 2);
+  ProgramTsoReport R = programTsoRobustness(P);
+  const TsoRobustReport *Client = reportFor(R, "client");
+  ASSERT_NE(Client, nullptr);
+  EXPECT_EQ(Client->Verdict, TsoVerdict::NotRobust) << Client->toString();
+  bool EscapeAtCall = false;
+  for (const TriangularWitness &W : Client->Witnesses)
+    if (W.Store.Global == "x" && W.Escape &&
+        W.Escape->Text.find("call") != std::string::npos && !W.Tentative)
+      EscapeAtCall = true;
+  EXPECT_TRUE(EscapeAtCall) << Client->toString();
+}
+
+TEST(TsoRobust, PointerChainResolvesThroughGlobalPointsTo) {
+  // `movl p, %eax; movl $2, (%eax)` — standalone the store target is
+  // unresolvable (Unknown verdict, pinned by UnresolvedPointerStoreIs-
+  // Unknown); inside the closed program the points-to knows p only ever
+  // holds &x, the store resolves, and its mfence certifies it.
+  Program P = workload::pointerChainClient(x86::MemModel::TSO);
+
+  std::map<std::string, TsoModuleContext> Ctxs = tsoModuleContexts(P);
+  ASSERT_EQ(Ctxs.size(), 1u);
+  const TsoModuleContext &C = Ctxs.begin()->second;
+  EXPECT_TRUE(C.HasPointsTo);
+  auto It = C.GlobalPointsTo.find("p");
+  ASSERT_NE(It, C.GlobalPointsTo.end());
+  EXPECT_FALSE(It->second.Wild);
+  EXPECT_EQ(It->second.Cells, std::set<std::string>{"x"});
+
+  ProgramTsoReport R = programTsoRobustness(P);
+  ASSERT_EQ(R.Modules.size(), 1u);
+  EXPECT_EQ(R.Modules[0].Report.Verdict, TsoVerdict::Robust)
+      << R.Modules[0].Report.toString();
+  TraceSet Tso = preemptiveTraces(P);
+  TraceSet Sc =
+      preemptiveTraces(workload::pointerChainClient(x86::MemModel::SC));
+  EXPECT_TRUE(Tso == Sc);
+  EXPECT_EQ(applyScFastPath(P, R), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Report diagnostics and the consistency invariant
+//===----------------------------------------------------------------------===//
+
+TEST(TsoRobust, OutOfFrameDisplacementGetsNote) {
+  // The SharedUnknown classification of an out-of-frame access must be
+  // diagnosable from the report alone: a note names the entry, the PC,
+  // and the displacement.
+  TsoRobustReport R = analyzeSource(R"(
+    .entry f 1 0
+    f:
+            movl $7, 3(%esp)
+            retl
+  )");
+  EXPECT_EQ(R.Verdict, TsoVerdict::Unknown) << R.toString();
+  bool Found = false;
+  for (const std::string &N : R.Notes)
+    if (N.find("out-of-frame") != std::string::npos &&
+        N.find("'f'") != std::string::npos &&
+        N.find("PC 1") != std::string::npos &&
+        N.find("displacement 3") != std::string::npos)
+      Found = true;
+  EXPECT_TRUE(Found) << R.toString();
+}
+
+TEST(TsoRobust, ConsistencyInvariantOnReports) {
+  // inconsistency() pins "certificates complete exactly when Robust".
+  TsoRobustReport R;
+  R.Verdict = TsoVerdict::Robust;
+  R.SharedStores = 2;
+  R.CertifiedStores = 2;
+  EXPECT_TRUE(R.inconsistency().empty()) << R.inconsistency();
+
+  // Robust with a partial certificate list is inconsistent.
+  R.CertifiedStores = 1;
+  EXPECT_FALSE(R.inconsistency().empty());
+  R.CertifiedStores = 1;
+  R.DivergentStores = 1;
+  EXPECT_TRUE(R.inconsistency().empty()) << R.inconsistency();
+
+  // Robust with a witnessed store is inconsistent.
+  R.WitnessedStores = 1;
+  EXPECT_FALSE(R.inconsistency().empty());
+  R.WitnessedStores = 0;
+
+  // NotRobust needs a concrete witness; a tentative one is not enough.
+  R.Verdict = TsoVerdict::NotRobust;
+  EXPECT_FALSE(R.inconsistency().empty());
+  TriangularWitness W;
+  W.Tentative = true;
+  R.Witnesses.push_back(W);
+  EXPECT_FALSE(R.inconsistency().empty());
+  R.Witnesses[0].Tentative = false;
+  EXPECT_TRUE(R.inconsistency().empty()) << R.inconsistency();
+
+  // Unknown needs a tentative witness and tolerates no concrete one.
+  R.Verdict = TsoVerdict::Unknown;
+  EXPECT_FALSE(R.inconsistency().empty());
+  R.Witnesses[0].Tentative = true;
+  EXPECT_TRUE(R.inconsistency().empty()) << R.inconsistency();
+  R.Witnesses.clear();
+  EXPECT_FALSE(R.inconsistency().empty());
+}
+
+TEST(TsoRobust, RealReportsSatisfyTheInvariant) {
+  // Every report the analysis actually emits — across all verdict kinds —
+  // passes its own consistency check.
+  std::vector<Program> Ps;
+  Ps.push_back(workload::sbLitmus(x86::MemModel::TSO, false));
+  Ps.push_back(workload::sbLitmus(x86::MemModel::TSO, true));
+  Ps.push_back(workload::mpLitmus(x86::MemModel::TSO));
+  Ps.push_back(workload::mpPublishReadback(x86::MemModel::TSO));
+  Ps.push_back(workload::lockThenPublish(x86::MemModel::TSO));
+  Ps.push_back(workload::pointerChainClient(x86::MemModel::TSO));
+  Ps.push_back(workload::asmCounterWithPiLock(x86::MemModel::TSO, 2));
+  Ps.push_back(workload::asmCounterWithPiLockFenced(x86::MemModel::TSO, 2));
+  for (const Program &P : Ps) {
+    ProgramTsoReport R = programTsoRobustness(P);
+    for (const ModuleTsoInfo &M : R.Modules)
+      EXPECT_TRUE(M.Report.inconsistency().empty())
+          << M.Name << ": " << M.Report.inconsistency() << "\n"
+          << M.Report.toString();
+  }
+}
+
+//===----------------------------------------------------------------------===//
 // SC fast path
 //===----------------------------------------------------------------------===//
+
+TEST(TsoRobust, AllowedByRefinementModulesAreNeverScSwitched) {
+  // "Allowed by refinement" means the object-refinement check covers the
+  // module's weak behaviours — not that it has none. Switching it to SC
+  // would erase exactly the behaviours the refinement licensed.
+  Program P = workload::asmCounterWithPiLock(x86::MemModel::TSO, 2);
+  ProgramTsoReport R = programTsoRobustness(P);
+  for (ModuleTsoInfo &M : R.Modules)
+    if (M.Name == "lockimpl" && !M.Report.robust())
+      M.AllowedByRefinement = true;
+  EXPECT_EQ(applyScFastPath(P, R), 0u);
+  for (const ModuleDecl &D : P.modules()) {
+    const auto *L = dynamic_cast<const x86::X86Lang *>(D.Lang.get());
+    ASSERT_NE(L, nullptr);
+    EXPECT_EQ(L->memModel(), x86::MemModel::TSO);
+  }
+}
 
 TEST(TsoRobust, ScFastPathSwitchesOnlyRobustTsoModules) {
   Program P = workload::asmCounterWithPiLockFenced(x86::MemModel::TSO, 2);
@@ -438,6 +733,17 @@ TEST(TsoRobust, RobustVerdictsMatchDynamicEquivalence) {
   Cases.push_back({"counter_fenced",
                    workload::asmCounterWithPiLockFenced(x86::MemModel::TSO, 2),
                    workload::asmCounterWithPiLockFenced(x86::MemModel::SC, 2)});
+  Cases.push_back({"mp", workload::mpLitmus(x86::MemModel::TSO),
+                   workload::mpLitmus(x86::MemModel::SC)});
+  Cases.push_back({"mp_readback",
+                   workload::mpPublishReadback(x86::MemModel::TSO),
+                   workload::mpPublishReadback(x86::MemModel::SC)});
+  Cases.push_back({"lock_then_publish",
+                   workload::lockThenPublish(x86::MemModel::TSO),
+                   workload::lockThenPublish(x86::MemModel::SC)});
+  Cases.push_back({"pointer_chain",
+                   workload::pointerChainClient(x86::MemModel::TSO),
+                   workload::pointerChainClient(x86::MemModel::SC)});
   for (Case &C : Cases) {
     ProgramTsoReport R = programTsoRobustness(C.Tso);
     ASSERT_TRUE(R.allRobust()) << C.Name << "\n" << R.toString();
