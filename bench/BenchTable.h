@@ -16,6 +16,16 @@
 
 namespace benchtable {
 
+/// True unless the shared `--no-por` escape hatch is on the command line:
+/// with it, benchmark explorations run without partial-order reduction,
+/// so reduced and full runs can be archived and diffed by tooling.
+inline bool porEnabled(int argc, char **argv) {
+  for (int I = 1; I < argc; ++I)
+    if (std::string(argv[I]) == "--no-por")
+      return false;
+  return true;
+}
+
 /// Escapes a string for embedding in a JSON document.
 inline std::string jsonStr(const std::string &S) {
   std::string Out = "\"";

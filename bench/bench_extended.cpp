@@ -23,6 +23,12 @@
 using namespace ccc;
 
 namespace {
+/// Exploration options shared by every run in this binary; Por is set
+/// from the --no-por escape hatch in main.
+ExploreOptions BaseOpts;
+} // namespace
+
+namespace {
 
 Program makeP(const compiler::CompileResult &R, unsigned Stage,
               bool PiLock, x86::MemModel Model, unsigned Threads) {
@@ -40,7 +46,9 @@ Program makeP(const compiler::CompileResult &R, unsigned Stage,
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  if (!benchtable::porEnabled(argc, argv))
+    BaseOpts.Por = PorMode::Off;
   std::printf("E6 (Fig. 3): the extended framework with the racy TSO lock\n\n");
   bool AllGood = true;
 
@@ -66,9 +74,9 @@ int main() {
   bool DrfP = isDRF(P);
   bool DrfPsc = isDRF(Psc);
   ExploreStats SP, SPsc, SPrmm;
-  TraceSet TP = preemptiveTraces(P, {}, &SP);
-  TraceSet TPsc = preemptiveTraces(Psc, {}, &SPsc);
-  TraceSet TPrmm = preemptiveTraces(Prmm, {}, &SPrmm);
+  TraceSet TP = preemptiveTraces(P, BaseOpts, &SP);
+  TraceSet TPsc = preemptiveTraces(Psc, BaseOpts, &SPsc);
+  TraceSet TPrmm = preemptiveTraces(Prmm, BaseOpts, &SPrmm);
   RefineResult Step1 = refinesTraces(TPsc, TP);
   RefineResult Step3 = refinesTraces(TPrmm, TPsc, /*TermInsensitive=*/true);
   RefineResult End2End = refinesTraces(TPrmm, TP, /*TermInsensitive=*/true);

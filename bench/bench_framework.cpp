@@ -24,7 +24,15 @@
 
 using namespace ccc;
 
-int main() {
+namespace {
+/// Exploration options shared by every run in this binary; Por is set
+/// from the --no-por escape hatch in main.
+ExploreOptions BaseOpts;
+} // namespace
+
+int main(int argc, char **argv) {
+  if (!benchtable::porEnabled(argc, argv))
+    BaseOpts.Por = PorMode::Off;
   std::printf("E1 (Fig. 2): preemptive/non-preemptive equivalence and "
               "DRF <=> NPDRF\n\n");
 
@@ -58,14 +66,14 @@ int main() {
     std::string EquivCell = "n/a (racy)";
     ExploreStats PreS, NpS;
     if (Drf) {
-      TraceSet Pre = preemptiveTraces(It.P, {}, &PreS);
-      TraceSet Np = nonPreemptiveTraces(It.P, {}, &NpS);
+      TraceSet Pre = preemptiveTraces(It.P, BaseOpts, &PreS);
+      TraceSet Np = nonPreemptiveTraces(It.P, BaseOpts, &NpS);
       RefineResult R = equivTraces(Pre, Np);
       EquivCell = benchtable::yesNo(R.Holds);
       AllGood = AllGood && R.Holds && R.Definitive;
     } else {
-      (void)preemptiveTraces(It.P, {}, &PreS);
-      (void)nonPreemptiveTraces(It.P, {}, &NpS);
+      (void)preemptiveTraces(It.P, BaseOpts, &PreS);
+      (void)nonPreemptiveTraces(It.P, BaseOpts, &NpS);
     }
     AllGood = AllGood && Agree && (Drf == It.ExpectDRF);
     T.addRow({It.Name, benchtable::yesNo(Drf), benchtable::yesNo(NpDrf),

@@ -20,6 +20,12 @@
 using namespace ccc;
 
 namespace {
+/// Exploration options shared by every run in this binary; Por is set
+/// from the --no-por escape hatch in main.
+ExploreOptions BaseOpts;
+} // namespace
+
+namespace {
 
 const char *FaiSpec = R"(
   global C = 0;
@@ -59,7 +65,9 @@ Program faiProgram(bool UseImpl, x86::MemModel Model, unsigned Threads) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  if (!benchtable::porEnabled(argc, argv))
+    BaseOpts.Por = PorMode::Off;
   std::printf("E3b (Sec. 2.4): general concurrent objects beyond the "
               "lock\n\n");
   bool AllGood = true;
@@ -71,8 +79,8 @@ int main() {
     benchtable::Timer Tm;
     Program Spec = faiProgram(false, x86::MemModel::SC, Threads);
     Program Impl = faiProgram(true, x86::MemModel::TSO, Threads);
-    TraceSet SpecT = preemptiveTraces(Spec);
-    Explorer<World> E;
+    TraceSet SpecT = preemptiveTraces(Spec, BaseOpts);
+    Explorer<World> E(BaseOpts);
     E.build(World::load(Impl));
     TraceSet ImplT = E.traces();
     RefineResult R = refinesTraces(ImplT, SpecT, /*TermInsensitive=*/true);
@@ -101,7 +109,7 @@ int main() {
   {
     benchtable::Table T2({"object", "DRF", "distinct tickets"});
     Program Spec = faiProgram(false, x86::MemModel::SC, 2);
-    TraceSet SpecT = preemptiveTraces(Spec);
+    TraceSet SpecT = preemptiveTraces(Spec, BaseOpts);
     bool Distinct = true;
     for (const Trace &Tr : SpecT.traces()) {
       if (Tr.End != TraceEnd::Done)

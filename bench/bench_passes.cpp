@@ -19,6 +19,12 @@
 #include <map>
 
 using namespace ccc;
+
+namespace {
+/// Exploration options shared by every run in this binary; Por is set
+/// from the --no-por escape hatch in main.
+ExploreOptions BaseOpts;
+} // namespace
 using namespace ccc::validate;
 
 namespace {
@@ -54,7 +60,9 @@ std::vector<Scenario> suite() {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  if (!benchtable::porEnabled(argc, argv))
+    BaseOpts.Por = PorMode::Off;
   std::printf("E4 (Fig. 11): per-pass translation validation "
               "(footprint-preserving simulation, Defs. 2-3/10)\n\n");
 
@@ -113,7 +121,7 @@ int main() {
       for (const std::string &E : Sc.Threads)
         P.addThread(E);
       P.link();
-      return preemptiveTraces(P);
+      return preemptiveTraces(P, BaseOpts);
     };
     TraceSet Src = traces(0);
     unsigned Equal = 0;

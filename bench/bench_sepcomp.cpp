@@ -21,6 +21,12 @@
 using namespace ccc;
 
 namespace {
+/// Exploration options shared by every run in this binary; Por is set
+/// from the --no-por escape hatch in main.
+ExploreOptions BaseOpts;
+} // namespace
+
+namespace {
 
 const char *S1Source = R"(
   extern void g(int *x);
@@ -47,7 +53,9 @@ const char *S2Source = R"(
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  if (!benchtable::porEnabled(argc, argv))
+    BaseOpts.Por = PorMode::Off;
   std::printf("E7 (Sec. 2.2): separate compilation of interacting modules "
               "(example 2.1)\n\n");
   bool AllGood = true;
@@ -72,7 +80,7 @@ int main() {
 
   benchtable::Timer Tm0;
   ExploreStats SrcStats;
-  TraceSet Src = runLinked(0, 0, {}, &SrcStats);
+  TraceSet Src = runLinked(0, 0, BaseOpts, &SrcStats);
   T.addRow({"S1(Clight) o S2(Clight)", Src.toString(), "-",
             std::to_string(SrcStats.States), benchtable::fmtMs(Tm0.ms())});
   Log.add("e7", "{\"config\":\"S1(Clight) o S2(Clight)\",\"explore\":" +
@@ -93,7 +101,7 @@ int main() {
   for (const Combo &C : Combos) {
     benchtable::Timer Tm;
     ExploreStats Stats;
-    TraceSet Tgt = runLinked(C.St1, C.St2, {}, &Stats);
+    TraceSet Tgt = runLinked(C.St1, C.St2, BaseOpts, &Stats);
     RefineResult R = equivTraces(Tgt, Src);
     AllGood = AllGood && R.Holds;
     T.addRow({C.Name, Tgt.toString(), benchtable::yesNo(R.Holds),
@@ -110,7 +118,7 @@ int main() {
   benchtable::Table Tp(
       {"threads", "states", "build ms", "trace ms", "total ms", "identical"});
   for (unsigned Threads : {1u, 2u, 4u, 8u}) {
-    ExploreOptions Opts;
+    ExploreOptions Opts = BaseOpts;
     Opts.Threads = Threads;
     benchtable::Timer Tm;
     ExploreStats Stats;

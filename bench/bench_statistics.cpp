@@ -22,6 +22,12 @@
 #include <map>
 
 using namespace ccc;
+
+namespace {
+/// Exploration options shared by every run in this binary; Por is set
+/// from the --no-por escape hatch in main.
+ExploreOptions BaseOpts;
+} // namespace
 using namespace ccc::validate;
 
 namespace {
@@ -38,7 +44,9 @@ const std::map<std::string, std::pair<int, int>> PaperLoC = {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  if (!benchtable::porEnabled(argc, argv))
+    BaseOpts.Por = PorMode::Off;
   std::printf("E5 (Fig. 13): per-pass effort — Coq proof lines (paper) vs "
               "validation obligations (this reproduction)\n\n");
 
@@ -95,8 +103,8 @@ int main() {
   {
     Program P = workload::lockedCounter(2, 1, 0);
     ExploreStats PreS, NpS;
-    TraceSet Pre = preemptiveTraces(P, {}, &PreS);
-    TraceSet Np = nonPreemptiveTraces(P, {}, &NpS);
+    TraceSet Pre = preemptiveTraces(P, BaseOpts, &PreS);
+    TraceSet Np = nonPreemptiveTraces(P, BaseOpts, &NpS);
     bool Equiv = equivTraces(Pre, Np).Holds;
     bool Drf = isDRF(P), NpDrf = isNPDRF(P);
     AllGood = AllGood && Equiv && Drf && NpDrf;

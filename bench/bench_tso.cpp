@@ -37,6 +37,12 @@
 using namespace ccc;
 
 namespace {
+/// Exploration options shared by every run in this binary; Por is set
+/// from the --no-por escape hatch in main.
+ExploreOptions BaseOpts;
+} // namespace
+
+namespace {
 
 Trace doneTrace(std::vector<int64_t> Ev) {
   return Trace{std::move(Ev), TraceEnd::Done};
@@ -64,7 +70,7 @@ bool benchFig10(benchtable::JsonLog &Log) {
   bool Good = true;
   for (Row &R : Rows) {
     benchtable::Timer Tm;
-    Explorer<World> E;
+    Explorer<World> E(BaseOpts);
     E.build(World::load(R.P));
     TraceSet Tr = E.traces();
     // Mutual exclusion: every terminating trace prints a permutation of
@@ -103,8 +109,8 @@ bool benchLemma16(benchtable::JsonLog &Log, bool &PiLockRefines) {
   benchtable::Table T({"impl", "spec", "refines'", "ms"});
   benchtable::Timer Tm;
   TraceSet Impl = preemptiveTraces(
-      workload::asmCounterWithPiLock(x86::MemModel::TSO, 2));
-  TraceSet Spec = preemptiveTraces(workload::lockedCounter(2, 1, 0));
+      workload::asmCounterWithPiLock(x86::MemModel::TSO, 2), BaseOpts);
+  TraceSet Spec = preemptiveTraces(workload::lockedCounter(2, 1, 0), BaseOpts);
   RefineResult R = refinesTraces(Impl, Spec, /*TermInsensitive=*/true);
   PiLockRefines = R.Holds && R.Definitive;
   T.addRow({"asm client + pi_lock (TSO)", "CImp client + gamma_lock (SC)",
@@ -141,7 +147,7 @@ bool benchLitmus(benchtable::JsonLog &Log) {
   bool Good = true;
   for (L &X : Ls) {
     benchtable::Timer Tm;
-    TraceSet Tr = preemptiveTraces(X.P);
+    TraceSet Tr = preemptiveTraces(X.P, BaseOpts);
     bool Seen = Tr.contains(doneTrace(X.Relaxed));
     Good = Good && Seen == X.Expect;
     T.addRow({X.Name, X.Model, benchtable::yesNo(Seen),
@@ -212,8 +218,8 @@ bool benchVerdicts(benchtable::JsonLog &Log, bool PiLockRefines) {
     Program P = R.Make(x86::MemModel::TSO);
     analysis::ProgramTsoReport Rep = analysis::programTsoRobustness(P);
 
-    bool Equiv = preemptiveTraces(P) ==
-                 preemptiveTraces(R.Make(x86::MemModel::SC));
+    bool Equiv = preemptiveTraces(P, BaseOpts) ==
+                 preemptiveTraces(R.Make(x86::MemModel::SC), BaseOpts);
     if (R.ExpectEquiv)
       Good = Good && Equiv == *R.ExpectEquiv;
 
@@ -316,7 +322,7 @@ bool benchScFastPath(benchtable::JsonLog &Log) {
     Program Tso = R.Make();
     benchtable::Timer T1;
     ExploreStats S1;
-    TraceSet TsoTraces = preemptiveTraces(Tso, {}, &S1);
+    TraceSet TsoTraces = preemptiveTraces(Tso, BaseOpts, &S1);
     double TsoMs = T1.ms();
 
     Program Sc = R.Make();
@@ -324,7 +330,7 @@ bool benchScFastPath(benchtable::JsonLog &Log) {
     analysis::ProgramTsoReport Rep = analysis::programTsoRobustness(Sc);
     unsigned Switched = analysis::applyScFastPath(Sc, Rep);
     ExploreStats S2;
-    TraceSet ScTraces = preemptiveTraces(Sc, {}, &S2);
+    TraceSet ScTraces = preemptiveTraces(Sc, BaseOpts, &S2);
     double ScMs = T2.ms();
 
     bool Identical = TsoTraces == ScTraces;
@@ -356,7 +362,9 @@ bool benchScFastPath(benchtable::JsonLog &Log) {
 
 } // namespace
 
-int main() {
+int main(int argc, char **argv) {
+  if (!benchtable::porEnabled(argc, argv))
+    BaseOpts.Por = PorMode::Off;
   benchtable::JsonLog Log;
   bool AllGood = true;
 

@@ -1,0 +1,806 @@
+//===- analysis/Independence.cpp - Static independence certifier ----------===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+//
+// Per-module may-access summaries compiled into the static conflict
+// relation driving partial-order reduction. Three analyzers share one
+// cross-module closure fixpoint:
+//
+//  - CImp: expressions are register-pure, so only Load/Store/Atomic carry
+//    effects; an address is exact when it is a global-address literal.
+//  - Clight: variable reads/writes resolve to a frame slot (own-region
+//    flag) or a linked global (exact cell); dereferences are exact only
+//    through an address-of-global literal.
+//  - x86: a per-PC register abstraction {Top, Konst, FrameRel} tracks
+//    pointer constants (movl $L, %r) and frame-relative addressing off
+//    the allocated frame base, classifying each memory operand as an
+//    exact cell, an own-frame access, or Unknown.
+//
+// Call and spawn edges resolve exactly as Program::resolveEntry links
+// them (first module defining the entry at the call's arity, in program
+// order); a module in an unanalyzable language forces the resolution —
+// and with it the caller's closure — to Unknown. Function closures are
+// computed by a joint Kleene iteration: summaries only grow, and the
+// effect lattice over the finite global address space is finite, so the
+// iteration terminates.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Independence.h"
+
+#include "cimp/CImpLang.h"
+#include "clight/ClightLang.h"
+#include "core/World.h"
+#include "x86/X86Lang.h"
+
+#include <array>
+#include <deque>
+#include <functional>
+#include <optional>
+
+namespace ccc {
+
+// Out-of-line anchor for the oracle interface (core/PorOracle.h).
+PorOracle::~PorOracle() = default;
+
+namespace analysis {
+namespace {
+
+/// Canonicalizes a summary: Unknown absorbs everything else, so equal
+/// abstract values compare equal structurally.
+EffectSummary canon(EffectSummary E) {
+  if (E.Unknown)
+    return EffectSummary::top();
+  return E;
+}
+
+bool sameEffect(const EffectSummary &A, const EffectSummary &B) {
+  return A.Unknown == B.Unknown && A.OwnR == B.OwnR && A.OwnW == B.OwnW &&
+         A.R == B.R && A.W == B.W;
+}
+
+/// Closure summary of a resolved callee: (entry name, call arity) -> effect.
+using CalleeFn = std::function<EffectSummary(const std::string &, std::size_t)>;
+
+//===----------------------------------------------------------------------===//
+// CImp
+//===----------------------------------------------------------------------===//
+
+/// The exact address of a CImp load/store target, when statically known.
+std::optional<Addr> cimpStaticAddr(const cimp::Expr &E, const GlobalEnv &GE) {
+  if (E.K == cimp::Expr::Kind::GlobalAddr)
+    return GE.lookup(E.Name);
+  return std::nullopt;
+}
+
+EffectSummary cimpClosure(const cimp::Stmt &S, const GlobalEnv &GE,
+                          const CalleeFn &CalleeCl);
+
+EffectSummary cimpBlockClosure(const cimp::Block &B, const GlobalEnv &GE,
+                               const CalleeFn &CalleeCl) {
+  EffectSummary E;
+  for (const cimp::StmtPtr &S : B)
+    E.unionWith(cimpClosure(*S, GE, CalleeCl));
+  return canon(E);
+}
+
+EffectSummary cimpClosure(const cimp::Stmt &S, const GlobalEnv &GE,
+                          const CalleeFn &CalleeCl) {
+  EffectSummary E;
+  switch (S.K) {
+  case cimp::Stmt::Kind::Skip:
+  case cimp::Stmt::Kind::Assign:
+  case cimp::Stmt::Kind::Assert:
+  case cimp::Stmt::Kind::Print:
+  case cimp::Stmt::Kind::Return:
+    break; // Register-pure.
+  case cimp::Stmt::Kind::Load: {
+    if (auto A = cimpStaticAddr(*S.E1, GE))
+      E.addRead(*A);
+    else
+      E.Unknown = true;
+    break;
+  }
+  case cimp::Stmt::Kind::Store: {
+    if (auto A = cimpStaticAddr(*S.E1, GE))
+      E.addWrite(*A);
+    else
+      E.Unknown = true;
+    break;
+  }
+  case cimp::Stmt::Kind::If:
+    E.unionWith(cimpBlockClosure(S.Body, GE, CalleeCl));
+    E.unionWith(cimpBlockClosure(S.Else, GE, CalleeCl));
+    break;
+  case cimp::Stmt::Kind::While:
+  case cimp::Stmt::Kind::Atomic:
+    E.unionWith(cimpBlockClosure(S.Body, GE, CalleeCl));
+    break;
+  case cimp::Stmt::Kind::Call:
+  case cimp::Stmt::Kind::Spawn:
+    // The call result lands in a register; a spawned thread's frame
+    // effects fold in as own-region flags of whichever thread runs them
+    // (regions of distinct threads are disjoint either way).
+    E.unionWith(CalleeCl(S.Callee, S.Args.size()));
+    break;
+  }
+  return canon(E);
+}
+
+/// The one-step effect of the statement at the head of the continuation.
+/// An atomic block runs to its end without preemption, so its instruction
+/// summary is the whole-block closure.
+EffectSummary cimpInstr(const cimp::Stmt &S, const GlobalEnv &GE,
+                        const CalleeFn &CalleeCl) {
+  switch (S.K) {
+  case cimp::Stmt::Kind::Load:
+  case cimp::Stmt::Kind::Store:
+    return cimpClosure(S, GE, CalleeCl);
+  case cimp::Stmt::Kind::Atomic:
+    return cimpBlockClosure(S.Body, GE, CalleeCl);
+  default:
+    return {}; // Condition/argument evaluation is register-pure.
+  }
+}
+
+void cimpForEachStmt(const cimp::Block &B,
+                     const std::function<void(const cimp::Stmt &)> &Fn) {
+  for (const cimp::StmtPtr &S : B) {
+    Fn(*S);
+    cimpForEachStmt(S->Body, Fn);
+    cimpForEachStmt(S->Else, Fn);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Clight
+//===----------------------------------------------------------------------===//
+
+bool clightIsSlot(const clight::Function &F, const std::string &Name) {
+  for (const clight::VarDecl &D : F.Params)
+    if (D.Name == Name)
+      return true;
+  for (const clight::VarDecl &D : F.Locals)
+    if (D.Name == Name)
+      return true;
+  return false;
+}
+
+/// Effect of evaluating \p E (variable reads hit memory in Clight).
+void clightExprEffect(const clight::Expr &E, const clight::Function &F,
+                      const GlobalEnv &GE, EffectSummary &Out) {
+  switch (E.K) {
+  case clight::Expr::Kind::IntLit:
+  case clight::Expr::Kind::AddrOfGlobal:
+    return;
+  case clight::Expr::Kind::Var: {
+    if (clightIsSlot(F, E.Name)) {
+      Out.OwnR = true;
+    } else if (auto A = GE.lookup(E.Name)) {
+      Out.addRead(*A);
+    } else {
+      Out.Unknown = true; // Unbound name: aborts dynamically.
+    }
+    return;
+  }
+  case clight::Expr::Kind::Un: {
+    clightExprEffect(*E.L, F, GE, Out);
+    if (E.U == clight::UnOp::Deref) {
+      // Footnote 6: stack locals never have their address taken, so an
+      // exact target exists only through an address-of-global literal.
+      if (E.L->K == clight::Expr::Kind::AddrOfGlobal) {
+        if (auto A = GE.lookup(E.L->Name))
+          Out.addRead(*A);
+        else
+          Out.Unknown = true;
+      } else {
+        Out.Unknown = true;
+      }
+    }
+    return;
+  }
+  case clight::Expr::Kind::Bin:
+    clightExprEffect(*E.L, F, GE, Out);
+    clightExprEffect(*E.R, F, GE, Out);
+    return;
+  }
+}
+
+/// The write produced by assigning to variable \p Name.
+void clightVarWrite(const std::string &Name, const clight::Function &F,
+                    const GlobalEnv &GE, EffectSummary &Out) {
+  if (clightIsSlot(F, Name)) {
+    Out.OwnW = true;
+  } else if (auto A = GE.lookup(Name)) {
+    Out.addWrite(*A);
+  } else {
+    Out.Unknown = true;
+  }
+}
+
+/// One-step effect of the statement (each Clight statement head executes
+/// in a single local step; If/While only evaluate their condition).
+EffectSummary clightInstr(const clight::Stmt &S, const clight::Function &F,
+                          const GlobalEnv &GE) {
+  EffectSummary E;
+  switch (S.K) {
+  case clight::Stmt::Kind::Skip:
+    break;
+  case clight::Stmt::Kind::AssignVar:
+    clightExprEffect(*S.E1, F, GE, E);
+    clightVarWrite(S.Dst, F, GE, E);
+    break;
+  case clight::Stmt::Kind::AssignDeref:
+    clightExprEffect(*S.E1, F, GE, E);
+    clightExprEffect(*S.E2, F, GE, E);
+    if (S.E1->K == clight::Expr::Kind::AddrOfGlobal) {
+      if (auto A = GE.lookup(S.E1->Name))
+        E.addWrite(*A);
+      else
+        E.Unknown = true;
+    } else {
+      E.Unknown = true;
+    }
+    break;
+  case clight::Stmt::Kind::If:
+  case clight::Stmt::Kind::While:
+    clightExprEffect(*S.E1, F, GE, E);
+    break;
+  case clight::Stmt::Kind::Call:
+    for (const clight::ExprPtr &A : S.Args)
+      clightExprEffect(*A, F, GE, E);
+    break;
+  case clight::Stmt::Kind::Return:
+    if (S.E1)
+      clightExprEffect(*S.E1, F, GE, E);
+    break;
+  case clight::Stmt::Kind::Print:
+    clightExprEffect(*S.E1, F, GE, E);
+    break;
+  }
+  return canon(E);
+}
+
+EffectSummary clightClosure(const clight::Stmt &S, const clight::Function &F,
+                            const GlobalEnv &GE, const CalleeFn &CalleeCl) {
+  EffectSummary E = clightInstr(S, F, GE);
+  auto Blk = [&](const clight::Block &B) {
+    for (const clight::StmtPtr &Sub : B)
+      E.unionWith(clightClosure(*Sub, F, GE, CalleeCl));
+  };
+  switch (S.K) {
+  case clight::Stmt::Kind::If:
+    Blk(S.Body);
+    Blk(S.Else);
+    break;
+  case clight::Stmt::Kind::While:
+    Blk(S.Body);
+    break;
+  case clight::Stmt::Kind::Call:
+    E.unionWith(CalleeCl(S.Callee, S.Args.size()));
+    if (!S.Dst.empty())
+      clightVarWrite(S.Dst, F, GE, E); // Deferred call-result store.
+    break;
+  default:
+    break;
+  }
+  return canon(E);
+}
+
+void clightForEachStmt(const clight::Block &B,
+                       const std::function<void(const clight::Stmt &)> &Fn) {
+  for (const clight::StmtPtr &S : B) {
+    Fn(*S);
+    clightForEachStmt(S->Body, Fn);
+    clightForEachStmt(S->Else, Fn);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// x86
+//===----------------------------------------------------------------------===//
+
+/// Abstract register value: an arbitrary word, a known constant (which
+/// covers linked global addresses loaded via $L immediates), or a known
+/// offset from the frame base the allocation step put into %esp.
+struct AbsVal {
+  enum class K : uint8_t { Top, Konst, FrameRel };
+  K Kind = K::Top;
+  int32_t V = 0;
+
+  static AbsVal top() { return {}; }
+  static AbsVal konst(int32_t V) { return {K::Konst, V}; }
+  static AbsVal frameRel(int32_t D) { return {K::FrameRel, D}; }
+
+  bool operator==(const AbsVal &O) const {
+    return Kind == O.Kind && (Kind == K::Top || V == O.V);
+  }
+};
+
+AbsVal joinVal(const AbsVal &A, const AbsVal &B) {
+  return A == B ? A : AbsVal::top();
+}
+
+using RegState = std::array<AbsVal, x86::NumRegs>;
+
+AbsVal absOfOperand(const x86::Operand &O, const RegState &S,
+                    const GlobalEnv &GE) {
+  switch (O.K) {
+  case x86::Operand::Kind::Imm:
+    return AbsVal::konst(O.Imm);
+  case x86::Operand::Kind::GlobalImm: {
+    if (auto A = GE.lookup(O.Global))
+      return AbsVal::konst(static_cast<int32_t>(*A));
+    return AbsVal::top();
+  }
+  case x86::Operand::Kind::Reg:
+    return S[static_cast<unsigned>(O.R)];
+  case x86::Operand::Kind::MemBase:
+  case x86::Operand::Kind::MemGlobal:
+    return AbsVal::top(); // Loaded values are not tracked.
+  }
+  return AbsVal::top();
+}
+
+RegState x86Transfer(const x86::Instr &I, RegState S, const GlobalEnv &GE) {
+  auto dstReg = [&]() -> AbsVal * {
+    if (I.Dst.K == x86::Operand::Kind::Reg)
+      return &S[static_cast<unsigned>(I.Dst.R)];
+    return nullptr;
+  };
+  switch (I.K) {
+  case x86::Instr::Kind::Mov:
+    if (AbsVal *D = dstReg())
+      *D = absOfOperand(I.Src, S, GE);
+    break;
+  case x86::Instr::Kind::Add:
+  case x86::Instr::Kind::Sub: {
+    AbsVal *D = dstReg();
+    if (!D)
+      break;
+    AbsVal Src = absOfOperand(I.Src, S, GE);
+    int32_t Delta = I.K == x86::Instr::Kind::Add ? Src.V : -Src.V;
+    if (Src.Kind == AbsVal::K::Konst && D->Kind != AbsVal::K::Top) {
+      D->V += Delta;
+    } else if (I.K == x86::Instr::Kind::Add &&
+               Src.Kind == AbsVal::K::FrameRel &&
+               D->Kind == AbsVal::K::Konst) {
+      *D = AbsVal::frameRel(Src.V + D->V);
+    } else {
+      *D = AbsVal::top();
+    }
+    break;
+  }
+  case x86::Instr::Kind::Xor:
+    if (AbsVal *D = dstReg()) {
+      // xorl %r, %r zeroes the register (common compiler idiom).
+      if (I.Src.K == x86::Operand::Kind::Reg && I.Src.R == I.Dst.R)
+        *D = AbsVal::konst(0);
+      else
+        *D = AbsVal::top();
+    }
+    break;
+  case x86::Instr::Kind::Imul:
+  case x86::Instr::Kind::Div:
+  case x86::Instr::Kind::And:
+  case x86::Instr::Kind::Or:
+  case x86::Instr::Kind::Shl:
+  case x86::Instr::Kind::Sar:
+  case x86::Instr::Kind::Neg:
+  case x86::Instr::Kind::Not:
+  case x86::Instr::Kind::Setcc:
+    if (AbsVal *D = dstReg())
+      *D = AbsVal::top();
+    break;
+  case x86::Instr::Kind::LockCmpxchg:
+    // cmpxchg loads the old memory value into %eax.
+    S[static_cast<unsigned>(x86::Reg::EAX)] = AbsVal::top();
+    break;
+  case x86::Instr::Kind::Call:
+    // applyReturn overwrites %eax with the returned value and preserves
+    // the remaining registers of the caller core.
+    S[static_cast<unsigned>(x86::Reg::EAX)] = AbsVal::top();
+    break;
+  case x86::Instr::Kind::Cmp:
+  case x86::Instr::Kind::Jmp:
+  case x86::Instr::Kind::Jcc:
+  case x86::Instr::Kind::TailCall:
+  case x86::Instr::Kind::Ret:
+  case x86::Instr::Kind::Mfence:
+  case x86::Instr::Kind::Print:
+  case x86::Instr::Kind::Label:
+    break;
+  }
+  return S;
+}
+
+/// Per-module x86 tables: register states, one-step effects, and forward
+/// closures per PC.
+struct X86Tables {
+  std::vector<std::optional<RegState>> In;
+  std::vector<EffectSummary> Instr;
+  std::vector<EffectSummary> Future;
+};
+
+/// Runs the register abstraction to fixpoint and derives the per-PC
+/// one-step effect summaries (closure-independent, computed once).
+X86Tables x86BuildBase(const x86::Module &M, const GlobalEnv &GE) {
+  X86Tables T;
+  const std::size_t N = M.Code.size();
+  T.In.resize(N);
+  T.Instr.assign(N, EffectSummary::top());
+  T.Future.assign(N, EffectSummary{});
+
+  auto joinInto = [](std::optional<RegState> &Tgt, const RegState &S) {
+    if (!Tgt) {
+      Tgt = S;
+      return true;
+    }
+    bool Changed = false;
+    for (unsigned R = 0; R < x86::NumRegs; ++R) {
+      AbsVal J = joinVal((*Tgt)[R], S[R]);
+      if (!(J == (*Tgt)[R])) {
+        (*Tgt)[R] = J;
+        Changed = true;
+      }
+    }
+    return Changed;
+  };
+
+  std::deque<unsigned> WL;
+  for (const auto &[Name, EI] : M.Entries) {
+    (void)Name;
+    if (EI.PCIndex >= N)
+      continue;
+    RegState Seed; // All Top.
+    if (EI.FrameSize > 0) {
+      // The allocation step points %esp at the frame base.
+      Seed[static_cast<unsigned>(x86::Reg::ESP)] = AbsVal::frameRel(0);
+    }
+    if (joinInto(T.In[EI.PCIndex], Seed))
+      WL.push_back(EI.PCIndex);
+  }
+  while (!WL.empty()) {
+    unsigned PC = WL.front();
+    WL.pop_front();
+    RegState Out = x86Transfer(M.Code[PC], *T.In[PC], GE);
+    for (unsigned S : x86::successors(M, PC))
+      if (S < N && joinInto(T.In[S], Out))
+        WL.push_back(S);
+  }
+
+  for (unsigned PC = 0; PC < N; ++PC) {
+    if (!T.In[PC])
+      continue; // Unreachable from every entry: stays Unknown.
+    EffectSummary E;
+    for (const x86::MemEffect &ME : x86::memEffects(M.Code[PC])) {
+      bool Own = false;
+      std::optional<Addr> A;
+      if (ME.Op->K == x86::Operand::Kind::MemGlobal) {
+        A = GE.lookup(ME.Op->Global);
+      } else {
+        const AbsVal &Base = (*T.In[PC])[static_cast<unsigned>(ME.Op->R)];
+        if (Base.Kind == AbsVal::K::Konst) {
+          A = static_cast<Addr>(Base.V + ME.Op->Disp);
+        } else if (Base.Kind == AbsVal::K::FrameRel) {
+          int64_t D = static_cast<int64_t>(Base.V) + ME.Op->Disp;
+          if (D >= 0 && D < static_cast<int64_t>(Program::FrameRegionSize))
+            Own = true;
+        }
+      }
+      if (A) {
+        if (ME.IsLoad)
+          E.addRead(*A);
+        if (ME.IsStore)
+          E.addWrite(*A);
+      } else if (Own) {
+        E.OwnR = E.OwnR || ME.IsLoad;
+        E.OwnW = E.OwnW || ME.IsStore;
+      } else {
+        E.Unknown = true;
+      }
+    }
+    T.Instr[PC] = canon(E);
+  }
+  return T;
+}
+
+/// Recomputes the per-PC forward closures to a local fixpoint under the
+/// current cross-module function closures. Returns true on any change.
+bool x86UpdateFuture(const x86::Module &M, X86Tables &T,
+                     const CalleeFn &CalleeCl) {
+  const std::size_t N = M.Code.size();
+  bool AnyChange = false;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (std::size_t R = 0; R < N; ++R) {
+      // Visit backwards: forward closures converge faster bottom-up.
+      unsigned PC = static_cast<unsigned>(N - 1 - R);
+      EffectSummary E = T.Instr[PC];
+      const x86::Instr &I = M.Code[PC];
+      if (I.K == x86::Instr::Kind::Call ||
+          I.K == x86::Instr::Kind::TailCall) {
+        if (auto Arity = M.arityOf(I.Name))
+          E.unionWith(CalleeCl(I.Name, *Arity));
+        else
+          E.Unknown = true; // Unresolvable callee: aborts dynamically.
+      }
+      for (unsigned S : x86::successors(M, PC))
+        if (S < N)
+          E.unionWith(T.Future[S]);
+      E = canon(E);
+      if (!sameEffect(E, T.Future[PC])) {
+        T.Future[PC] = std::move(E);
+        Changed = true;
+        AnyChange = true;
+      }
+    }
+  }
+  return AnyChange;
+}
+
+/// Per-module language views discovered via RTTI.
+struct LangView {
+  const cimp::CImpLang *CI = nullptr;
+  const clight::ClightLang *CL = nullptr;
+  const x86::X86Lang *X = nullptr;
+
+  bool analyzable() const { return CI || CL || X; }
+};
+
+} // namespace
+
+const char *toString(IndepVerdict V) {
+  switch (V) {
+  case IndepVerdict::Independent:
+    return "Independent";
+  case IndepVerdict::MayConflict:
+    return "MayConflict";
+  case IndepVerdict::Unknown:
+    return "Unknown";
+  }
+  return "?";
+}
+
+std::shared_ptr<const Independence> Independence::build(const Program &P) {
+  auto Ind = std::make_shared<Independence>();
+  const auto &Decls = P.modules();
+  Ind->Mods.resize(Decls.size());
+
+  std::vector<LangView> Views(Decls.size());
+  for (unsigned I = 0; I < Decls.size(); ++I) {
+    const ModuleLang *L = Decls[I].Lang.get();
+    Views[I].CI = dynamic_cast<const cimp::CImpLang *>(L);
+    Views[I].CL = dynamic_cast<const clight::ClightLang *>(L);
+    Views[I].X = dynamic_cast<const x86::X86Lang *>(L);
+    Ind->Mods[I].Analyzable = Views[I].analyzable();
+  }
+
+  // Function closures, keyed by (module, entry name); absent = bottom.
+  std::map<std::pair<unsigned, std::string>, EffectSummary> FnClosure;
+
+  // Mirrors Program::resolveEntry: the first module whose initCore
+  // accepts (name, arity) wins. A module we cannot model may or may not
+  // define the entry, so resolution (and the caller) degrades to Unknown.
+  CalleeFn CalleeCl = [&](const std::string &Name,
+                          std::size_t Arity) -> EffectSummary {
+    for (unsigned I = 0; I < Decls.size(); ++I) {
+      const LangView &V = Views[I];
+      if (!V.analyzable())
+        return EffectSummary::top();
+      if (V.CI) {
+        if (const cimp::Function *F = V.CI->module().find(Name)) {
+          if (F->Params.size() != Arity)
+            continue;
+          auto It = FnClosure.find({I, Name});
+          return It == FnClosure.end() ? EffectSummary{} : It->second;
+        }
+        continue;
+      }
+      if (V.CL) {
+        if (const clight::Function *F = V.CL->module().find(Name)) {
+          if (F->Params.size() != Arity)
+            continue;
+          auto It = FnClosure.find({I, Name});
+          return It == FnClosure.end() ? EffectSummary{} : It->second;
+        }
+        continue;
+      }
+      auto EIt = V.X->module().Entries.find(Name);
+      if (EIt != V.X->module().Entries.end()) {
+        if (EIt->second.Arity != Arity || Arity > 3)
+          continue;
+        auto It = FnClosure.find({I, Name});
+        return It == FnClosure.end() ? EffectSummary{} : It->second;
+      }
+    }
+    return EffectSummary::top(); // Unresolved: the call aborts dynamically.
+  };
+
+  // Base x86 tables (closure-independent part).
+  std::map<unsigned, X86Tables> X86;
+  for (unsigned I = 0; I < Decls.size(); ++I)
+    if (Views[I].X)
+      X86[I] = x86BuildBase(Views[I].X->module(), Decls[I].GE);
+
+  // Kleene iteration over every function closure of every module.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (unsigned I = 0; I < Decls.size(); ++I) {
+      const LangView &V = Views[I];
+      auto update = [&](const std::string &Name, EffectSummary E) {
+        E = canon(std::move(E));
+        auto It = FnClosure.find({I, Name});
+        if (It == FnClosure.end() || !sameEffect(It->second, E)) {
+          FnClosure[{I, Name}] = std::move(E);
+          Changed = true;
+        }
+      };
+      if (V.CI) {
+        for (const cimp::Function &F : V.CI->module().Funcs)
+          update(F.Name, cimpBlockClosure(F.Body, Decls[I].GE, CalleeCl));
+      } else if (V.CL) {
+        for (const clight::Function &F : V.CL->module().Funcs) {
+          EffectSummary E;
+          E.OwnW = true; // The allocation step writes the local slots.
+          for (const clight::StmtPtr &S : F.Body)
+            E.unionWith(clightClosure(*S, F, Decls[I].GE, CalleeCl));
+          update(F.Name, std::move(E));
+        }
+      } else if (V.X) {
+        X86Tables &T = X86[I];
+        if (x86UpdateFuture(V.X->module(), T, CalleeCl))
+          Changed = true;
+        for (const auto &[Name, EI] : V.X->module().Entries) {
+          EffectSummary E;
+          if (EI.PCIndex < T.Future.size())
+            E = T.Future[EI.PCIndex];
+          else
+            E.Unknown = true;
+          if (EI.FrameSize > 0)
+            E.OwnW = true; // The allocation step writes the frame.
+          update(Name, std::move(E));
+        }
+      }
+    }
+  }
+
+  // Final per-point tables under the converged closures.
+  for (unsigned I = 0; I < Decls.size(); ++I) {
+    const LangView &V = Views[I];
+    ModuleTable &T = Ind->Mods[I];
+    if (V.CI) {
+      const GlobalEnv &GE = Decls[I].GE;
+      for (const cimp::Function &F : V.CI->module().Funcs)
+        cimpForEachStmt(F.Body, [&](const cimp::Stmt &S) {
+          T.Instr[&S] = cimpInstr(S, GE, CalleeCl);
+          T.Closure[&S] = cimpClosure(S, GE, CalleeCl);
+        });
+    } else if (V.CL) {
+      const GlobalEnv &GE = Decls[I].GE;
+      for (const clight::Function &F : V.CL->module().Funcs)
+        clightForEachStmt(F.Body, [&](const clight::Stmt &S) {
+          T.Instr[&S] = clightInstr(S, F, GE);
+          T.Closure[&S] = clightClosure(S, F, GE, CalleeCl);
+        });
+    } else if (V.X) {
+      const x86::Module &M = V.X->module();
+      const X86Tables &XT = X86[I];
+      for (unsigned PC = 0; PC < M.Code.size(); ++PC) {
+        T.Instr[&M.Code[PC]] = XT.Instr[PC];
+        T.Closure[&M.Code[PC]] =
+            XT.In[PC] ? XT.Future[PC] : EffectSummary::top();
+      }
+    }
+  }
+  return Ind;
+}
+
+bool Independence::analyzable(unsigned ModIdx) const {
+  return ModIdx < Mods.size() && Mods[ModIdx].Analyzable;
+}
+
+EffectSummary Independence::lookup(bool Closure, unsigned ModIdx,
+                                   const void *Token) const {
+  if (ModIdx >= Mods.size() || !Mods[ModIdx].Analyzable)
+    return EffectSummary::top();
+  const ModuleTable &T = Mods[ModIdx];
+  const auto &Map = Closure ? T.Closure : T.Instr;
+  auto It = Map.find(Token);
+  return It == Map.end() ? EffectSummary::top() : It->second;
+}
+
+EffectSummary Independence::instrSummary(unsigned ModIdx,
+                                         const PorPoint &Pt) const {
+  return lookup(false, ModIdx, Pt.Token);
+}
+
+EffectSummary Independence::closureSummary(unsigned ModIdx,
+                                           const PorPoint &Pt) const {
+  return lookup(true, ModIdx, Pt.Token);
+}
+
+IndepVerdict Independence::mayConflict(unsigned ModA, const PorPoint &PA,
+                                       unsigned ModB,
+                                       const PorPoint &PB) const {
+  EffectSummary A = instrSummary(ModA, PA);
+  EffectSummary B = instrSummary(ModB, PB);
+  if (A.touchesNothing() || B.touchesNothing())
+    return IndepVerdict::Independent;
+  if (A.Unknown || B.Unknown)
+    return IndepVerdict::Unknown;
+  return summariesConflict(A, 0, B, 1) ? IndepVerdict::MayConflict
+                                       : IndepVerdict::Independent;
+}
+
+EffectSummary Independence::pendingOf(const Program &P,
+                                      const ThreadState &T) const {
+  if (T.finished() || T.frames().empty())
+    return {};
+  EffectSummary E;
+  const auto &Frames = T.frames();
+  for (std::size_t I = 0; I < Frames.size(); ++I) {
+    const Frame &Fr = Frames[I];
+    std::vector<PorPoint> Pts;
+    EffectSummary Extra;
+    if (!P.module(Fr.ModIdx).Lang->porPoints(Fr.F, *Fr.C, Pts, Extra))
+      return EffectSummary::top();
+    E.unionWith(Extra);
+    if (I + 1 == Frames.size() && !Pts.empty())
+      E.unionWith(lookup(false, Fr.ModIdx, Pts[0].Token));
+  }
+  return canon(E);
+}
+
+EffectSummary Independence::futureOf(const Program &P,
+                                     const ThreadState &T) const {
+  if (T.finished() || T.frames().empty())
+    return {};
+  EffectSummary E;
+  for (const Frame &Fr : T.frames()) {
+    std::vector<PorPoint> Pts;
+    EffectSummary Extra;
+    if (!P.module(Fr.ModIdx).Lang->porPoints(Fr.F, *Fr.C, Pts, Extra))
+      return EffectSummary::top();
+    E.unionWith(Extra);
+    for (const PorPoint &Pt : Pts)
+      E.unionWith(lookup(true, Fr.ModIdx, Pt.Token));
+  }
+  return canon(E);
+}
+
+} // namespace analysis
+
+namespace {
+
+/// PorOracle over the compiled independence tables.
+class IndependenceOracle : public PorOracle {
+public:
+  IndependenceOracle(const Program &P,
+                     std::shared_ptr<const analysis::Independence> Ind)
+      : P(&P), Ind(std::move(Ind)) {}
+
+  EffectSummary pendingOf(const ThreadState &T) const override {
+    return Ind->pendingOf(*P, T);
+  }
+  EffectSummary futureOf(const ThreadState &T) const override {
+    return Ind->futureOf(*P, T);
+  }
+
+private:
+  const Program *P;
+  std::shared_ptr<const analysis::Independence> Ind;
+};
+
+} // namespace
+
+std::shared_ptr<const PorOracle> buildIndependenceOracle(const Program &P) {
+  return std::make_shared<IndependenceOracle>(P, analysis::Independence::build(P));
+}
+
+} // namespace ccc

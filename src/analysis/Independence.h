@@ -1,0 +1,114 @@
+//===- analysis/Independence.h - Static independence certifier --*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A per-module static may-access analysis compiled into a conservative
+/// independence relation between program points, used to drive the
+/// ample/sleep-set partial-order reduction of the exploration engine
+/// (core/Explorer.h). For every static program point of every module —
+/// a CImp or Clight statement, an x86 instruction slot — the analysis
+/// computes two effect summaries:
+///
+///  - the *instruction* summary: the cells one execution of the point may
+///    read or write (for a CImp atomic block: the whole block, since the
+///    global semantics runs it without preemption);
+///  - the *closure* summary: everything executing the point to completion
+///    may touch, through nested statements, cross-module calls (resolved
+///    exactly as Program::resolveEntry links them) and spawned threads.
+///
+/// Accesses confined to the executing thread's free-list region (Clight
+/// locals, x86 frame slots addressed at statically known offsets) are
+/// summarized as own-frame flags rather than addresses: distinct threads'
+/// regions are disjoint by construction, so these never conflict across
+/// threads. Anything unresolvable — a store through an unknown pointer,
+/// a call into an intermediate-representation module — degrades the
+/// summary to Unknown, the top element that conflicts with everything.
+///
+/// The derived three-valued relation mayConflict(modA, pA, modB, pB)
+/// answers whether two points, executed by *different* threads, could
+/// ever interfere: Independent means the two steps commute in every
+/// reachable state (their footprints are provably disjoint), MayConflict
+/// means a concrete overlap was found, Unknown means the analysis lost
+/// precision and the pair must be treated as conflicting. Soundness is
+/// the over-approximation contract of core/PorOracle.h: the dynamic
+/// footprint of every step a point can take is contained in its static
+/// summary, so statically Independent steps have disjoint dynamic
+/// footprints and commute (checked end-to-end by IndependenceFuzzTest).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_ANALYSIS_INDEPENDENCE_H
+#define CASCC_ANALYSIS_INDEPENDENCE_H
+
+#include "core/PorOracle.h"
+#include "core/Program.h"
+
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace ccc {
+namespace analysis {
+
+/// Three-valued verdict of the static conflict relation.
+enum class IndepVerdict {
+  Independent, ///< The points provably commute (disjoint footprints).
+  MayConflict, ///< A concrete may-overlap between the footprints.
+  Unknown,     ///< Analysis lost precision; treated as conflicting.
+};
+
+const char *toString(IndepVerdict V);
+
+/// The compiled per-program independence tables.
+class Independence {
+public:
+  /// Analyzes every module of the linked program \p P.
+  static std::shared_ptr<const Independence> build(const Program &P);
+
+  /// True when module \p ModIdx is in an analyzable language (CImp,
+  /// Clight, x86). Points of unanalyzable modules summarize to Unknown.
+  bool analyzable(unsigned ModIdx) const;
+
+  /// The instruction summary of point \p Pt of module \p ModIdx
+  /// (EffectSummary::top() for an unknown point).
+  EffectSummary instrSummary(unsigned ModIdx, const PorPoint &Pt) const;
+
+  /// The closure summary of point \p Pt of module \p ModIdx.
+  EffectSummary closureSummary(unsigned ModIdx, const PorPoint &Pt) const;
+
+  /// The static conflict relation between two points run by different
+  /// threads (instruction summaries; Unknown when either side is).
+  IndepVerdict mayConflict(unsigned ModA, const PorPoint &PA, unsigned ModB,
+                           const PorPoint &PB) const;
+
+  /// Over-approximation of thread \p T's next local step's effect:
+  /// instruction summary of the top frame's most imminent point united
+  /// with every frame's unattributed extras (TSO store-buffer flushes,
+  /// frame allocation, call-result stores).
+  EffectSummary pendingOf(const Program &P, const ThreadState &T) const;
+
+  /// Over-approximation of everything thread \p T may still access:
+  /// union of the closure summaries of every outstanding point of every
+  /// frame, plus the per-frame extras.
+  EffectSummary futureOf(const Program &P, const ThreadState &T) const;
+
+private:
+  struct ModuleTable {
+    bool Analyzable = false;
+    std::map<const void *, EffectSummary> Instr;
+    std::map<const void *, EffectSummary> Closure;
+  };
+
+  EffectSummary lookup(bool Closure, unsigned ModIdx, const void *Token) const;
+
+  std::vector<ModuleTable> Mods;
+};
+
+} // namespace analysis
+} // namespace ccc
+
+#endif // CASCC_ANALYSIS_INDEPENDENCE_H

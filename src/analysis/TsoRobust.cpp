@@ -260,21 +260,32 @@ std::map<unsigned, RegState> fixpointRegsFor(const x86::Module &M,
 //===----------------------------------------------------------------------===//
 
 /// Per-module contribution to the program's flow-insensitive global
-/// points-to. MayPtrUnresolved flags a store that may write a pointer
-/// value through an unresolved target — the one channel by which a
-/// pointer could be laundered into another module's cell (foreign cells
-/// cannot be named directly: MemGlobal and GlobalImm bind to the
-/// module's own environment). Frame-derived targets are exempt: frames
-/// live in the thread regions (0x100000+), disjoint from the globals
-/// (0x1000+) by the linker's layout, so such a store can never land in
-/// a global cell.
+/// points-to. Two channels can launder a pointer into a cell behind the
+/// module-local map's back (foreign cells cannot be named directly:
+/// MemGlobal and GlobalImm bind to the module's own environment):
+///
+///  - Neighbours: stores through a base register holding a *named*
+///    global's address with a nonzero displacement. Module-locally the
+///    victim cell is unknown, but the linker's layout pins it exactly
+///    (the address is addr(base) + disp), so the context builder can
+///    resolve each such store and degrade just the affected cell.
+///  - MayPtrUnresolved: a store of a may-pointer value through a
+///    completely unknown base (Top) — it could land in any cell of any
+///    module, so it still poisons every map.
+///
+/// Frame-derived targets are exempt from both: frames live in the
+/// thread regions (0x100000+), disjoint from the globals (0x1000+) by
+/// the linker's layout, so such a store can never land in a global cell.
 struct PtsBuildResult {
   std::map<std::string, TsoModuleContext::Pointees> PT;
+  /// (base cell, displacement) -> what the store may publish there.
+  std::map<std::pair<std::string, int32_t>, TsoModuleContext::Pointees>
+      Neighbours;
   bool MayPtrUnresolved = false;
 };
 
 /// Where a store effect may land.
-enum class StoreTarget { Global, FrameLike, NoStore, Unresolved };
+enum class StoreTarget { Global, FrameLike, NoStore, Neighbour, Unresolved };
 
 StoreTarget storeTargetOf(const x86::Operand &Op, const RegState &S,
                           std::string &GlobalOut) {
@@ -287,11 +298,12 @@ StoreTarget storeTargetOf(const x86::Operand &Op, const RegState &S,
   const AbsVal &Base = regOf(S, Op.R);
   switch (Base.K) {
   case AbsVal::Kind::Global:
-    if (Op.Disp == 0) {
-      GlobalOut = Base.Name;
+    GlobalOut = Base.Name;
+    if (Op.Disp == 0)
       return StoreTarget::Global;
-    }
-    return StoreTarget::Unresolved; // a neighbouring cell of the layout
+    // A neighbouring cell of the layout: unresolved here, but exactly
+    // addr(GlobalOut) + Op.Disp once the linker has fixed addresses.
+    return StoreTarget::Neighbour;
   case AbsVal::Kind::Frame:
     // Any displacement stays inside (or aborts outside) the thread
     // region — never a global cell.
@@ -311,15 +323,30 @@ StoreTarget storeTargetOf(const x86::Operand &Op, const RegState &S,
 /// current map and folds the module's stores in, until stable. PT only
 /// grows (cells accumulate, Wild latches) and evalOperand is monotone in
 /// it, so the iteration terminates at the least map closed under the
-/// module's own stores.
-PtsBuildResult computePointsTo(const x86::Module &M) {
+/// module's own stores. \p Inject seeds cells with pointees published by
+/// *other* stores the caller has resolved against the linked layout
+/// (neighbour stores, possibly from other modules); the fixpoint then
+/// closes the module's own flows over them.
+PtsBuildResult computePointsTo(
+    const x86::Module &M,
+    const std::map<std::string, TsoModuleContext::Pointees> *Inject =
+        nullptr) {
   PtsBuildResult R;
   for (const auto &G : M.Globals)
     R.PT[G.first]; // declared cells start empty (hold only integers)
+  if (Inject)
+    for (const auto &[Name, Pt] : *Inject) {
+      auto It = R.PT.find(Name);
+      if (It == R.PT.end())
+        continue; // victims are always declared cells of this module
+      It->second.Wild = It->second.Wild || Pt.Wild;
+      It->second.Cells.insert(Pt.Cells.begin(), Pt.Cells.end());
+    }
 
   for (;;) {
     bool Changed = false;
     R.MayPtrUnresolved = false;
+    R.Neighbours.clear();
     PtsMap View{&R.PT};
 
     auto markWild = [&](const std::string &G) {
@@ -344,6 +371,16 @@ PtsBuildResult computePointsTo(const x86::Module &M) {
         else if (V.mayBePtr())
           markWild(G);
         break;
+      case StoreTarget::Neighbour: {
+        if (!V.mayBePtr())
+          break;
+        auto &NP = R.Neighbours[{G, Target.Disp}];
+        if (V.K == AbsVal::Kind::Global)
+          NP.Cells.insert(V.Name);
+        else
+          NP.Wild = true;
+        break;
+      }
       case StoreTarget::Unresolved:
         if (V.mayBePtr())
           R.MayPtrUnresolved = true;
@@ -382,9 +419,10 @@ PtsBuildResult computePointsTo(const x86::Module &M) {
           if (I.Dst.isMem()) {
             std::string G;
             StoreTarget T = storeTargetOf(I.Dst, S, G);
-            bool ContentMayPtr =
-                T == StoreTarget::Global ? View.mayHoldPtr(G)
-                                         : T == StoreTarget::Unresolved;
+            bool ContentMayPtr = T == StoreTarget::Global
+                                     ? View.mayHoldPtr(G)
+                                     : T == StoreTarget::Unresolved ||
+                                           T == StoreTarget::Neighbour;
             bool MayPtr =
                 ContentMayPtr || evalOperand(I.Src, S, View).mayBePtr();
             AbsVal V = MayPtr ? AbsVal::top() : AbsVal::nonPtr();
@@ -1231,17 +1269,67 @@ ccc::analysis::tsoModuleContexts(const Program &P) {
   for (unsigned T = 0; T < P.numThreads(); ++T)
     Roots.insert(P.threadEntry(T));
 
-  // Per-module local points-to. The maps are only trusted when no module
-  // may store a pointer through an unresolved target: that is the one
-  // channel by which a pointer could reach a cell behind a local map's
-  // back (foreign cells cannot be named directly, and pointer values
-  // received across a boundary are Top — any resolved store of them
-  // already wilds the target locally).
+  // Per-module local points-to, closed program-wide. A neighbour store
+  // (pointer value written through a named global's address plus a
+  // nonzero displacement) is module-locally unresolved, but the linker's
+  // layout pins its victim exactly: resolve it here and degrade only the
+  // affected cell — in whichever module owns it — then re-close every
+  // map until no store publishes anything new. A foreign pointee is not
+  // representable in the victim module's namespace, so a cross-module
+  // injection degrades the victim cell to Wild; a same-module one keeps
+  // the named pointees. Only a store of a may-pointer value through a
+  // completely unknown base (Top) still distrusts every map: it could
+  // land in any cell of any module. Termination: the injection sets only
+  // grow and are bounded by cells x pointee names.
+  std::map<Addr, std::pair<unsigned, std::string>> CellAt;
+  if (P.linked())
+    for (unsigned I = 0; I < Langs.size(); ++I)
+      for (const GlobalVar &G : P.modules()[I].GE.vars())
+        CellAt[G.Address] = {I, G.Name};
+
+  std::vector<std::map<std::string, TsoModuleContext::Pointees>> Inject(
+      Langs.size());
   std::vector<PtsBuildResult> Pts;
   bool Contaminated = false;
-  for (const x86::X86Lang *L : Langs) {
-    Pts.push_back(computePointsTo(L->module()));
-    Contaminated = Contaminated || Pts.back().MayPtrUnresolved;
+  for (;;) {
+    Pts.clear();
+    Contaminated = false;
+    for (unsigned I = 0; I < Langs.size(); ++I) {
+      Pts.push_back(computePointsTo(Langs[I]->module(), &Inject[I]));
+      Contaminated = Contaminated || Pts.back().MayPtrUnresolved;
+      // Without linker addresses a neighbour store cannot be resolved to
+      // its victim cell; fall back to distrusting every map.
+      Contaminated =
+          Contaminated || (!P.linked() && !Pts.back().Neighbours.empty());
+    }
+    if (Contaminated)
+      break;
+    bool Grew = false;
+    for (unsigned I = 0; I < Langs.size(); ++I) {
+      for (const auto &NS : Pts[I].Neighbours) {
+        std::optional<Addr> Base = P.modules()[I].GE.lookup(NS.first.first);
+        if (!Base)
+          continue; // undeclared base: the address never materializes
+        const int64_t VictimAddr = int64_t(*Base) + NS.first.second;
+        auto It = VictimAddr >= 0 ? CellAt.find(Addr(VictimAddr))
+                                  : CellAt.end();
+        if (It == CellAt.end())
+          continue; // outside every global cell: irrelevant to the maps
+        const auto &[VMod, VName] = It->second;
+        TsoModuleContext::Pointees &Dst = Inject[VMod][VName];
+        if (VMod != I || NS.second.Wild) {
+          if (!Dst.Wild) {
+            Dst.Wild = true;
+            Grew = true;
+          }
+        } else {
+          for (const std::string &C : NS.second.Cells)
+            Grew = Dst.Cells.insert(C).second || Grew;
+        }
+      }
+    }
+    if (!Grew)
+      break;
   }
 
   for (unsigned I = 0; I < Langs.size(); ++I) {

@@ -221,9 +221,12 @@ struct TsoModuleContext {
     std::set<std::string> Cells;
   };
 
-  /// True when GlobalPointsTo is trustworthy program-wide: no module
-  /// may store a may-pointer value through an unresolved target, so no
-  /// pointer can be laundered into a cell behind the map's back.
+  /// True when GlobalPointsTo is trustworthy program-wide: every store
+  /// of a may-pointer value lands in a cell the context builder can
+  /// name — directly, or through a linker-resolved neighbour target
+  /// whose victim cell has been degraded (per-cell, not whole-map).
+  /// Only a store through a completely unknown base address leaves the
+  /// maps distrusted.
   bool HasPointsTo = false;
   std::map<std::string, Pointees> GlobalPointsTo;
 };

@@ -433,6 +433,21 @@ std::vector<LocalStep> CImpLang::step(const FreeList &F, const Core &C,
   return Out;
 }
 
+bool CImpLang::porPoints(const FreeList &F, const Core &C,
+                         std::vector<PorPoint> &Out,
+                         EffectSummary &Extra) const {
+  (void)F;
+  (void)Extra; // CImp locals are registers; nothing outside the points.
+  const auto &Cr = static_cast<const CImpCore &>(C);
+  // back() is next: emit most-imminent first. AtomicEnd and PendingRet
+  // markers step with an empty footprint (ExtAtom; the return value lands
+  // in a register), so they carry no static point.
+  for (auto It = Cr.Kont.rbegin(); It != Cr.Kont.rend(); ++It)
+    if (It->K == KontItem::Kind::Stmt)
+      Out.push_back(PorPoint{It->S, 0});
+  return true;
+}
+
 CoreRef CImpLang::applyReturn(const Core &C, const Value &V) const {
   const auto &Cr = static_cast<const CImpCore &>(C);
   if (Cr.Kont.empty() || Cr.Kont.back().K != KontItem::Kind::PendingRet)

@@ -44,6 +44,12 @@ public:
 
   CoreRef applyReturn(const Core &C, const Value &V) const override;
 
+  /// POR points: one token per pending statement on the continuation
+  /// stack (atomic-end and pending-return markers have no effect and are
+  /// skipped). Tokens are Stmt pointers into module().
+  bool porPoints(const FreeList &F, const Core &C, std::vector<PorPoint> &Out,
+                 EffectSummary &Extra) const override;
+
   const Module &module() const { return *Mod; }
   bool objectMode() const { return ObjectMode; }
 

@@ -403,6 +403,36 @@ std::vector<LocalStep> ClightLang::step(const FreeList &FL, const Core &C,
   return Out;
 }
 
+bool ClightLang::porPoints(const FreeList &F, const Core &C,
+                           std::vector<PorPoint> &Out,
+                           EffectSummary &Extra) const {
+  (void)F;
+  const auto &Cr = static_cast<const ClightCore &>(C);
+  // The allocation step writes the function's local slots, all inside the
+  // thread's own frame region.
+  if (!Cr.Allocated)
+    Extra.OwnW = true;
+  for (auto It = Cr.Kont.rbegin(); It != Cr.Kont.rend(); ++It) {
+    if (It->K == KontItem::Kind::Stmt) {
+      Out.push_back(PorPoint{It->S, 0});
+      continue;
+    }
+    // StoreRet: writes the call result to a local slot (own frame) or to
+    // a module global (concrete cell).
+    if (It->Dst.empty())
+      continue;
+    if (slotIndex(*Cr.F, It->Dst) >= 0) {
+      Extra.OwnW = true;
+      continue;
+    }
+    auto A = Globals->lookup(It->Dst);
+    if (!A)
+      return false;
+    Extra.addWrite(*A);
+  }
+  return true;
+}
+
 CoreRef ClightLang::applyReturn(const Core &C, const Value &V) const {
   const auto &Cr = static_cast<const ClightCore &>(C);
   if (Cr.Kont.empty() || Cr.Kont.back().K != KontItem::Kind::StoreRet)

@@ -41,6 +41,12 @@ public:
 
   CoreRef applyReturn(const Core &C, const Value &V) const override;
 
+  /// POR points: one token per pending statement on the continuation
+  /// stack. Frame allocation and call-result stores are reported through
+  /// \p Extra (own-frame flags, or the concrete global cell).
+  bool porPoints(const FreeList &F, const Core &C, std::vector<PorPoint> &Out,
+                 EffectSummary &Extra) const override;
+
   const Module &module() const { return *Mod; }
   std::shared_ptr<const Module> moduleRef() const { return Mod; }
 

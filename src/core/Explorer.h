@@ -43,6 +43,7 @@
 #ifndef CASCC_CORE_EXPLORER_H
 #define CASCC_CORE_EXPLORER_H
 
+#include "core/PorOracle.h"
 #include "core/Trace.h"
 #include "core/WorldCommon.h"
 #include "mem/Mem.h"
@@ -83,6 +84,34 @@ struct ExploreOptions {
   /// hash collisions so the exact-verify fallback (residue + structural
   /// Mem comparison) is exercised. 64 (the default) keeps the full hash.
   unsigned DebugHashBits = 64;
+  /// Partial-order reduction: ample-set selection plus sleep sets driven
+  /// by the static independence certifier (analysis/Independence.h). On
+  /// by default; only world types opting in via PorTraits are reduced,
+  /// and the reduced graph yields the same trace set, safety verdict,
+  /// race verdict and divergence flags as a PorMode::Off exploration.
+  PorMode Por = PorMode::On;
+};
+
+/// Partial-order-reduction counters of one exploration. All zero when POR
+/// is off or the world type does not support it.
+struct PorStats {
+  /// True when an independence oracle was built and consulted.
+  bool Enabled = false;
+  /// States expanded with an ample set: only the scheduled thread's step
+  /// successors, every switch edge provably deferrable.
+  std::size_t AmpleHits = 0;
+  /// States expanded with the full successor set.
+  std::size_t FullExpansions = 0;
+  /// Ample candidates demoted to a full expansion by the cycle proviso
+  /// (a step successor closed a cycle back into the explored graph).
+  std::size_t ProvisoFallbacks = 0;
+  /// Switch edges suppressed because the target thread was asleep.
+  std::size_t SleepPrunes = 0;
+  /// Suppressed switch edges restored when a sleep mask later weakened.
+  std::size_t SleepReadds = 0;
+  /// Successor edges never enumerated (ample skips plus net sleep prunes):
+  /// each avoided edge is a state expansion the engine may never pay for.
+  std::size_t EdgesAvoided = 0;
 };
 
 /// Observability counters of one exploration.
@@ -109,6 +138,8 @@ struct ExploreStats {
   std::size_t TotalPageRefs = 0;
   /// Process peak resident set size, in KiB (0 where unsupported).
   long PeakRssKb = 0;
+  /// Partial-order-reduction counters (see PorStats).
+  PorStats Por;
   bool Truncated = false;
   double BuildMs = 0.0;
   double DivergenceMs = 0.0;
@@ -150,6 +181,13 @@ struct ExploreStats {
     Field("unique_mem_pages", std::to_string(UniqueMemPages));
     Field("total_page_refs", std::to_string(TotalPageRefs));
     Field("peak_rss_kb", std::to_string(PeakRssKb));
+    Field("por_enabled", Por.Enabled ? "true" : "false");
+    Field("por_ample_hits", std::to_string(Por.AmpleHits));
+    Field("por_full_expansions", std::to_string(Por.FullExpansions));
+    Field("por_proviso_fallbacks", std::to_string(Por.ProvisoFallbacks));
+    Field("por_sleep_prunes", std::to_string(Por.SleepPrunes));
+    Field("por_sleep_readds", std::to_string(Por.SleepReadds));
+    Field("por_edges_avoided", std::to_string(Por.EdgesAvoided));
     Field("truncated", Truncated ? "true" : "false");
     Field("build_ms", std::to_string(BuildMs));
     Field("divergence_ms", std::to_string(DivergenceMs));
@@ -214,6 +252,12 @@ public:
   /// Builds the reachable state graph from the given initial worlds.
   void build(const std::vector<WorldT> &Inits) {
     auto BuildStart = std::chrono::steady_clock::now();
+    if constexpr (PorTraits<WorldT>::Enabled) {
+      if (Opts.Por == PorMode::On && !Inits.empty()) {
+        Oracle = PorTraits<WorldT>::make(Inits.front());
+        Stats.Por.Enabled = Oracle != nullptr;
+      }
+    }
     WorkerState InitWs;
     std::deque<unsigned> Work;
     for (const WorldT &W : Inits) {
@@ -229,6 +273,10 @@ public:
               });
     for (Pending &P : InitWs.News)
       Nodes.push_back(Node{std::move(P.W), {}, false, false, false});
+    // Roots have no incoming edges: their sleep sets are empty, not the
+    // "no constraint yet" sentinel new nodes start from.
+    for (unsigned I : InitIdx)
+      Nodes[I].Sleep = 0;
     mergeCounters(InitWs);
 
     std::vector<unsigned> Batch;
@@ -577,6 +625,20 @@ private:
     bool Expanded = false;
     bool Frontier = false;
     bool Div = false;
+    /// Sleep mask (PorMode::On): bit t set means thread t's next step need
+    /// not be re-explored from here because an equivalent interleaving
+    /// already ran it on an earlier sibling branch. Intersected over all
+    /// incoming edges at the layer barriers; all-ones until the first
+    /// incoming edge seeds it (roots are reset to the empty mask).
+    uint64_t Sleep = ~uint64_t(0);
+    /// Switch edges suppressed under Sleep at expansion time, kept so a
+    /// later weakening of Sleep can restore exactly the missing edges.
+    uint64_t Pruned = 0;
+    /// Whether this node had any step successor, and whether all of them
+    /// were clean (Tau-labeled, no abort, no spawn): the preconditions
+    /// for entering the scheduled thread into a sibling's sleep mask.
+    bool HasSteps = false;
+    bool StepsClean = false;
   };
 
   /// A state interned during the current layer, waiting for its canonical
@@ -593,6 +655,11 @@ private:
     std::size_t Probes = 0;
     std::size_t DedupHits = 0;
     std::size_t HashCollisions = 0;
+    std::size_t AmpleHits = 0;
+    std::size_t FullExpansions = 0;
+    std::size_t ProvisoFallbacks = 0;
+    std::size_t SleepPrunes = 0;
+    std::size_t EdgesAvoided = 0;
   };
 
   /// A compact canonical state record kept behind the hash: the COW
@@ -737,6 +804,11 @@ private:
     Stats.Probes += Ws.Probes;
     Stats.DedupHits += Ws.DedupHits;
     Stats.HashCollisions += Ws.HashCollisions;
+    Stats.Por.AmpleHits += Ws.AmpleHits;
+    Stats.Por.FullExpansions += Ws.FullExpansions;
+    Stats.Por.ProvisoFallbacks += Ws.ProvisoFallbacks;
+    Stats.Por.SleepPrunes += Ws.SleepPrunes;
+    Stats.Por.EdgesAvoided += Ws.EdgesAvoided;
   }
 
   /// Expands one BFS layer: workers enumerate successors and intern them
@@ -752,6 +824,12 @@ private:
                    [&](std::size_t B, std::size_t E, unsigned Worker) {
                      WorkerState &Local = Ws[Worker];
                      for (std::size_t I = B; I < E; ++I) {
+                       if constexpr (PorTraits<WorldT>::Enabled) {
+                         if (Oracle) {
+                           expandNodePor(Batch[I], Local, LayerBase);
+                           continue;
+                         }
+                       }
                        Node &N = Nodes[Batch[I]];
                        // Note: succ() of an aborted or done world is empty.
                        auto Succs = N.W.succ();
@@ -815,12 +893,199 @@ private:
       Nodes.push_back(Node{std::move(P.W), {}, false, false, false});
     }
 
+    // Sleep-mask propagation runs serially after ids are canonical, so
+    // masks and any re-added edges are identical for every Threads value.
+    if constexpr (PorTraits<WorldT>::Enabled)
+      if (Oracle)
+        porBarrier(Batch, Work);
+
     // Refill the queue exactly as the serial engine: one push per edge
     // whose target is not yet expanded (duplicates included).
     for (unsigned Parent : Batch)
       for (const Edge &E : Nodes[Parent].Out)
         if (!Nodes[E.To].Expanded)
           Work.push_back(E.To);
+  }
+
+  static constexpr uint64_t bitOf(ThreadId T) { return uint64_t(1) << T; }
+
+  /// POR expansion of one node. Always emits the scheduled thread's step
+  /// successors; switch successors are elided entirely when the pending
+  /// step is an ample set (statically independent of every other live
+  /// thread's entire future, clean, and not closing a cycle), and
+  /// individually when the target thread is asleep. Only instantiated for
+  /// world types whose PorTraits opt in.
+  void expandNodePor(unsigned Idx, WorkerState &Local, unsigned LayerBase) {
+    Node &N = Nodes[Idx];
+    auto Steps = N.W.stepSuccs();
+    N.HasSteps = !Steps.empty();
+    bool Clean = N.HasSteps;
+    for (const auto &S : Steps)
+      if (S.L.K != GLabel::Kind::Tau || S.Next.aborted() ||
+          S.Next.numThreads() != N.W.numThreads())
+        Clean = false;
+    N.StepsClean = Clean;
+
+    N.Out.reserve(Steps.size());
+    for (auto &S : Steps) {
+      Edge Ed;
+      Ed.To = intern(S.Next, Local);
+      Ed.K = S.L.K;
+      Ed.Ev = S.L.EventVal;
+      N.Out.push_back(Ed);
+    }
+
+    // No switch successors exist from aborted/done/atomic states.
+    if (N.W.aborted() || N.W.done() || N.W.inAtomic())
+      return;
+
+    const ThreadId Cur = N.W.curThread();
+    const unsigned NT = N.W.numThreads();
+    unsigned NumSw = 0;
+    for (ThreadId T = 0; T < NT; ++T)
+      if (T != Cur && !N.W.thread(T).finished())
+        ++NumSw;
+
+    if (Clean && NumSw > 0) {
+      const EffectSummary PendCur = Oracle->pendingOf(N.W.thread(Cur));
+      bool Ample = true;
+      for (ThreadId T = 0; T < NT && Ample; ++T) {
+        if (T == Cur || N.W.thread(T).finished())
+          continue;
+        if (summariesConflict(PendCur, Cur, Oracle->futureOf(N.W.thread(T)),
+                              T))
+          Ample = false;
+      }
+      if (Ample) {
+        // Cycle proviso: an ample step may not close a cycle back into
+        // the explored graph, or deferred threads could be starved around
+        // it forever. Provisional ids never fall below LayerBase, so the
+        // test is deterministic for every Threads value.
+        for (const Edge &Ed : N.Out)
+          if (Ed.To < LayerBase) {
+            Ample = false;
+            ++Local.ProvisoFallbacks;
+            break;
+          }
+      }
+      if (Ample) {
+        ++Local.AmpleHits;
+        Local.EdgesAvoided += NumSw;
+        return;
+      }
+    }
+
+    ++Local.FullExpansions;
+    auto Sws = N.W.switchSuccs();
+    for (auto &S : Sws) {
+      const ThreadId T = S.Tid;
+      // Sleep pruning only applies while the scheduled thread itself can
+      // make progress; a stuck scheduler must keep every switch open.
+      if (N.HasSteps && T < 64 && (N.Sleep & bitOf(T))) {
+        N.Pruned |= bitOf(T);
+        ++Local.SleepPrunes;
+        ++Local.EdgesAvoided;
+        continue;
+      }
+      Edge Ed;
+      Ed.To = intern(S.Next, Local);
+      Ed.K = S.L.K;
+      Ed.Ev = S.L.EventVal;
+      N.Out.push_back(Ed);
+    }
+  }
+
+  /// The sleep mask edge \p E carries from node \p P into its target. An
+  /// observable event or a spawn wakes everything (deferred steps must be
+  /// re-explorable on both sides of it); a step keeps a thread asleep only
+  /// while it is independent of the step just taken; a switch passes the
+  /// mask through, drops the thread being scheduled, and puts the thread
+  /// switched *away from* to sleep when its (clean) pending step is
+  /// independent of the scheduled thread's — the step branch explored it
+  /// already, so re-running it after the switch would be redundant.
+  uint64_t carriedMask(unsigned P, const Edge &E) const {
+    const Node &PN = Nodes[P];
+    if (E.K == GLabel::Kind::Event)
+      return 0;
+    const WorldT &PW = PN.W;
+    const WorldT &TW = Nodes[E.To].W;
+    const ThreadId C = PW.curThread();
+    if (E.K == GLabel::Kind::Sw) {
+      const ThreadId To = TW.curThread();
+      uint64_t M = PN.Sleep;
+      if (To < 64)
+        M &= ~bitOf(To);
+      if (C < 64 && PN.HasSteps && PN.StepsClean &&
+          !PW.thread(C).finished() &&
+          !summariesConflict(Oracle->pendingOf(PW.thread(C)), C,
+                             Oracle->pendingOf(PW.thread(To)), To))
+        M |= bitOf(C);
+      return M;
+    }
+    if (TW.numThreads() != PW.numThreads() || TW.aborted())
+      return 0;
+    uint64_t M = PN.Sleep;
+    if (!M)
+      return 0;
+    const EffectSummary PendC = Oracle->pendingOf(PW.thread(C));
+    uint64_t Out = 0;
+    for (ThreadId T = 0; T < PW.numThreads() && T < 64; ++T) {
+      if (!(M & bitOf(T)) || T == C || PW.thread(T).finished())
+        continue;
+      if (!summariesConflict(Oracle->pendingOf(PW.thread(T)), T, PendC, C))
+        Out |= bitOf(T);
+    }
+    return Out;
+  }
+
+  /// Serial part of a POR layer: intersect each edge's carried mask into
+  /// its target's sleep mask, and run the weakening fixpoint — when an
+  /// already-expanded node's mask shrinks, restore the switch edges it
+  /// pruned under bits no longer slept (interning their targets in
+  /// deterministic order) and re-relax its out-edges. Masks only ever
+  /// shrink, so the cascade terminates.
+  void porBarrier(const std::vector<unsigned> &Batch,
+                  std::deque<unsigned> &Work) {
+    std::set<unsigned> Dirty;
+    auto Relax = [&](unsigned P, const Edge &E) {
+      const uint64_t CM = carriedMask(P, E);
+      Node &T = Nodes[E.To];
+      const uint64_t NewS = T.Sleep & CM;
+      if (NewS != T.Sleep) {
+        T.Sleep = NewS;
+        if (T.Expanded)
+          Dirty.insert(E.To);
+      }
+    };
+    for (unsigned P : Batch)
+      for (const Edge &E : Nodes[P].Out)
+        Relax(P, E);
+    while (!Dirty.empty()) {
+      const unsigned NIdx = *Dirty.begin();
+      Dirty.erase(Dirty.begin());
+      const uint64_t ReAdd = Nodes[NIdx].Pruned & ~Nodes[NIdx].Sleep;
+      if (ReAdd) {
+        Nodes[NIdx].Pruned &= ~ReAdd;
+        for (ThreadId T = 0; T < 64; ++T) {
+          if (!(ReAdd & bitOf(T)))
+            continue;
+          WorldT SW = Nodes[NIdx].W.switchTo(T);
+          WorkerState Tmp;
+          const unsigned Id = intern(SW, Tmp);
+          mergeCounters(Tmp);
+          // Serial intern: a fresh id equals the append position, so the
+          // canonical-order invariant Nodes.size() == NextId holds.
+          for (Pending &P : Tmp.News)
+            Nodes.push_back(Node{std::move(P.W), {}, false, false, false});
+          Nodes[NIdx].Out.push_back(Edge{Id, GLabel::Kind::Sw, 0});
+          ++Stats.Por.SleepReadds;
+          if (!Nodes[Id].Expanded)
+            Work.push_back(Id);
+        }
+      }
+      for (const Edge &E : Nodes[NIdx].Out)
+        Relax(NIdx, E);
+    }
   }
 
   std::optional<RaceWitness> raceAt(const Node &N) const {
@@ -957,6 +1222,9 @@ private:
   }
 
   ExploreOptions Opts;
+  /// The static independence oracle; null when POR is off or the world
+  /// type does not opt in, which routes every node to the full expansion.
+  std::shared_ptr<const PorOracle> Oracle;
   std::vector<Node> Nodes;
   std::array<Shard, NumShards> Shards;
   std::atomic<unsigned> NextId{0};

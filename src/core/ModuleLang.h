@@ -48,6 +48,50 @@ struct LocalStep {
   }
 };
 
+/// An opaque handle onto one outstanding static program point of a core:
+/// the token identifies the point to the language's static analysis (a
+/// statement node, an instruction slot, ...), Aux carries a language-
+/// specific discriminator (e.g. the x86 PC index).
+struct PorPoint {
+  const void *Token = nullptr;
+  uint32_t Aux = 0;
+};
+
+/// A conservative static effect summary: the global cells a fragment may
+/// read/write, plus flags for accesses confined to the owning thread's
+/// free-list region (which can never conflict across threads). Unknown
+/// is the top element — the fragment may touch anything.
+struct EffectSummary {
+  AddrSet R;
+  AddrSet W;
+  bool OwnR = false;
+  bool OwnW = false;
+  bool Unknown = false;
+
+  static EffectSummary top() {
+    EffectSummary S;
+    S.Unknown = true;
+    return S;
+  }
+
+  void unionWith(const EffectSummary &O) {
+    Unknown = Unknown || O.Unknown;
+    OwnR = OwnR || O.OwnR;
+    OwnW = OwnW || O.OwnW;
+    R.unionWith(O.R);
+    W.unionWith(O.W);
+  }
+
+  void addRead(Addr A) { R.insert(A); }
+  void addWrite(Addr A) { W.insert(A); }
+
+  /// True when the fragment provably performs no memory access at all
+  /// (such a step commutes with everything, even Unknown peers).
+  bool touchesNothing() const {
+    return !Unknown && !OwnR && !OwnW && R.empty() && W.empty();
+  }
+};
+
 /// The abstract module language interface every concrete language
 /// (CImp, Clight, the compiler IRs, x86-SC, x86-TSO) instantiates.
 class ModuleLang {
@@ -71,6 +115,32 @@ public:
   /// Resumes a caller core after an external call returned \p V
   /// (Compositional CompCert's after-external).
   virtual CoreRef applyReturn(const Core &C, const Value &V) const = 0;
+
+  /// Enumerates the outstanding static program points of \p C for the
+  /// independence analysis (partial-order reduction). On success, \p Out
+  /// lists the core's pending points most-imminent first, and \p Extra
+  /// accumulates effects not attributable to any static point (pending
+  /// TSO store-buffer flushes, frame allocation, call-result stores) —
+  /// with concrete addresses where available. The contract:
+  ///
+  ///  - the frame's next local step's footprint is covered by the
+  ///    analysis' instruction summary of Out[0] united with Extra
+  ///    (an empty Out with Extra covers it entirely, e.g. implicit ret);
+  ///  - every footprint the frame may ever produce is covered by the
+  ///    union of the points' subtree-closure summaries united with Extra.
+  ///
+  /// Returns false when the core cannot be summarized — the exploration
+  /// then treats the whole thread as Unknown (conflicts with everything).
+  /// The default keeps every language sound and un-reduced.
+  virtual bool porPoints(const FreeList &F, const Core &C,
+                         std::vector<PorPoint> &Out,
+                         EffectSummary &Extra) const {
+    (void)F;
+    (void)C;
+    (void)Out;
+    (void)Extra;
+    return false;
+  }
 
   /// Binds the module's resolved global environment after linking.
   void bindGlobals(const GlobalEnv *GE) { Globals = GE; }

@@ -1,0 +1,105 @@
+//===- core/PorOracle.h - Static independence oracle for POR ----*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The abstract oracle the exploration engine consults for partial-order
+/// reduction: conservative static effect summaries of a thread's next
+/// step and of everything the thread may still do. The concrete
+/// implementation (src/analysis/Independence.cpp) compiles per-module
+/// may-access summaries over Clight/CImp/x86 into these queries; the
+/// engine only relies on the over-approximation contract:
+///
+///  - pendingOf(T) covers the footprint of every local step T can take
+///    next (including pending TSO flushes);
+///  - futureOf(T) covers every footprint T may ever produce from here,
+///    including through calls into other modules and through threads it
+///    may spawn.
+///
+/// Unknown summaries conflict with everything, so an unanalyzable thread
+/// soundly disables reduction around it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_CORE_PORORACLE_H
+#define CASCC_CORE_PORORACLE_H
+
+#include "core/Program.h"
+#include "core/WorldCommon.h"
+
+#include <memory>
+
+namespace ccc {
+
+/// Partial-order reduction toggle (ExploreOptions::Por).
+enum class PorMode { Off, On };
+
+/// The static independence oracle consulted during exploration.
+class PorOracle {
+public:
+  virtual ~PorOracle();
+
+  /// Over-approximation of thread \p T's next local step's effect.
+  virtual EffectSummary pendingOf(const ThreadState &T) const = 0;
+
+  /// Over-approximation of everything thread \p T may still access, over
+  /// all frames of its stack, transitively through calls and spawns.
+  virtual EffectSummary futureOf(const ThreadState &T) const = 0;
+};
+
+/// True when addresses of \p S fall inside thread \p T's free-list region
+/// (where \p T's own-frame accesses live).
+inline bool touchesRegionOf(const AddrSet &S, ThreadId T) {
+  const Addr Lo = Program::ThreadRegionBase + T * Program::ThreadRegionSize;
+  const Addr Hi = Lo + Program::ThreadRegionSize;
+  for (Addr A : S)
+    if (A >= Lo && A < Hi)
+      return true;
+  return false;
+}
+
+/// Conservative conflict test between the summarized effects of two
+/// *distinct* threads \p TA and \p TB. Two effects conflict when one may
+/// write a cell the other may touch; own-frame accesses of distinct
+/// threads live in disjoint regions and never conflict with each other,
+/// but a concrete address inside the peer's region does conflict with the
+/// peer's own-frame accesses. A provably access-free effect conflicts
+/// with nothing, even Unknown.
+inline bool summariesConflict(const EffectSummary &A, ThreadId TA,
+                              const EffectSummary &B, ThreadId TB) {
+  if (A.touchesNothing() || B.touchesNothing())
+    return false;
+  if (A.Unknown || B.Unknown)
+    return true;
+  // Concrete write/touch overlap.
+  if (A.W.intersects(B.R) || A.W.intersects(B.W) || B.W.intersects(A.R))
+    return true;
+  // A's own-frame accesses vs B's concrete addresses in A's region
+  // (and vice versa). A write on either side makes the pair conflict.
+  if (A.OwnW && (touchesRegionOf(B.R, TA) || touchesRegionOf(B.W, TA)))
+    return true;
+  if (A.OwnR && touchesRegionOf(B.W, TA))
+    return true;
+  if (B.OwnW && (touchesRegionOf(A.R, TB) || touchesRegionOf(A.W, TB)))
+    return true;
+  if (B.OwnR && touchesRegionOf(A.W, TB))
+    return true;
+  return false;
+}
+
+/// Engine-side trait: which world types support POR, and how to build the
+/// oracle for one. The primary template disables POR (NPWorld, the test
+/// harness worlds); World opts in via the specialization in World.h.
+template <typename WorldT> struct PorTraits {
+  static constexpr bool Enabled = false;
+  static std::shared_ptr<const PorOracle> make(const WorldT &) {
+    return nullptr;
+  }
+};
+
+} // namespace ccc
+
+#endif // CASCC_CORE_PORORACLE_H

@@ -56,6 +56,14 @@ GSucc<World> World::makeAbort(std::string Reason) const {
 }
 
 std::vector<GSucc<World>> World::succ() const {
+  std::vector<GSucc<World>> Out = stepSuccs();
+  std::vector<GSucc<World>> Sw = switchSuccs();
+  for (GSucc<World> &S : Sw)
+    Out.push_back(std::move(S));
+  return Out;
+}
+
+std::vector<GSucc<World>> World::stepSuccs() const {
   std::vector<GSucc<World>> Out;
   if (Abort || done())
     return Out;
@@ -136,19 +144,29 @@ std::vector<GSucc<World>> World::succ() const {
       }
     }
   }
+  return Out;
+}
 
+std::vector<GSucc<World>> World::switchSuccs() const {
+  std::vector<GSucc<World>> Out;
+  if (Abort || done())
+    return Out;
   // Switch rule: any live thread may be scheduled when d = 0.
   if (!AtomBit) {
     for (ThreadId T = 0; T < Threads.size(); ++T) {
       if (T == Cur || Threads[T].finished())
         continue;
-      World Next = *this;
-      Next.Cur = T;
-      Out.push_back(
-          GSucc<World>{GLabel::sw(), Footprint::emp(), T, std::move(Next)});
+      Out.push_back(GSucc<World>{GLabel::sw(), Footprint::emp(), T,
+                                 switchTo(T)});
     }
   }
   return Out;
+}
+
+World World::switchTo(ThreadId T) const {
+  World Next = *this;
+  Next.Cur = T;
+  return Next;
 }
 
 std::string World::residueKey() const {

@@ -15,8 +15,10 @@
 #ifndef CASCC_CORE_WORLD_H
 #define CASCC_CORE_WORLD_H
 
+#include "core/PorOracle.h"
 #include "core/WorldCommon.h"
 
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -31,7 +33,20 @@ public:
   static World load(const Program &P, ThreadId Start = 0);
 
   /// All global successors per Fig. 7 (tau-step, EntAt, ExtAt, Switch).
+  /// Exactly stepSuccs() followed by switchSuccs().
   std::vector<GSucc<World>> succ() const;
+
+  /// The current thread's own step successors (tau-step, EntAt, ExtAt;
+  /// empty when the current thread has finished).
+  std::vector<GSucc<World>> stepSuccs() const;
+
+  /// The Switch-rule successors (one per other live thread when d = 0).
+  std::vector<GSucc<World>> switchSuccs() const;
+
+  /// The Switch-rule successor scheduling thread \p T (same state, new
+  /// scheduler pointer). Used by the engine to restore switch edges it
+  /// pruned under a sleep mask that later weakened.
+  World switchTo(ThreadId T) const;
 
   /// True when every thread has terminated (the done marker).
   bool done() const;
@@ -81,6 +96,19 @@ private:
   std::string AbortReason;
 
   GSucc<World> makeAbort(std::string Reason) const;
+};
+
+/// Builds the static independence oracle for \p P (implemented by the
+/// analysis layer, src/analysis/Independence.cpp).
+std::shared_ptr<const PorOracle> buildIndependenceOracle(const Program &P);
+
+/// The preemptive World supports ample/sleep-set POR; the oracle is the
+/// static independence certifier over the program's modules.
+template <> struct PorTraits<World> {
+  static constexpr bool Enabled = true;
+  static std::shared_ptr<const PorOracle> make(const World &W) {
+    return buildIndependenceOracle(W.program());
+  }
 };
 
 } // namespace ccc

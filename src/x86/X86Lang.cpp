@@ -101,6 +101,23 @@ CoreRef X86Lang::applyReturn(const Core &C, const Value &V) const {
   return N;
 }
 
+bool X86Lang::porPoints(const FreeList &F, const Core &C,
+                        std::vector<PorPoint> &Out,
+                        EffectSummary &Extra) const {
+  (void)F;
+  const auto &Cr = static_cast<const X86Core &>(C);
+  // Pending frame allocation writes the frame cells (own region).
+  if (!Cr.FrameAllocated)
+    Extra.OwnW = true;
+  // Buffered TSO stores flush at concrete addresses.
+  for (const auto &E : Cr.Buf)
+    Extra.addWrite(E.first);
+  // An out-of-range PC steps to abort with no footprint: no point.
+  if (Cr.PC < Mod->Code.size())
+    Out.push_back(PorPoint{&Mod->Code[Cr.PC], Cr.PC});
+  return true;
+}
+
 std::vector<LocalStep> X86Lang::step(const FreeList &F, const Core &C,
                                      const Mem &M) const {
   const auto &Cr = static_cast<const X86Core &>(C);

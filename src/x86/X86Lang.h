@@ -55,6 +55,13 @@ public:
 
   CoreRef applyReturn(const Core &C, const Value &V) const override;
 
+  /// POR points: the single continuation point is the current PC (token =
+  /// the Instr slot, Aux = PC index). Pending TSO store-buffer entries
+  /// are reported as concrete writes in \p Extra; an unallocated frame
+  /// contributes own-frame writes.
+  bool porPoints(const FreeList &F, const Core &C, std::vector<PorPoint> &Out,
+                 EffectSummary &Extra) const override;
+
   const Module &module() const { return *Mod; }
   std::shared_ptr<const Module> modulePtr() const { return Mod; }
   MemModel memModel() const { return Model; }

@@ -1,0 +1,154 @@
+//===- tests/IndependenceFuzzTest.cpp - Static summary soundness -----------===//
+//
+// End-to-end soundness fuzz of the static independence certifier
+// (analysis/Independence.h) against the dynamic semantics: along
+// randomized schedules of every workload family, the footprint of every
+// step a thread can actually take must be contained in the oracle's
+// static pending summary for that thread (and, transitively, in its
+// future summary), and every pair of dynamically conflicting footprints
+// of two different threads must be flagged as conflicting statically.
+// This is exactly the over-approximation contract that makes ample-set
+// selection and sleep-set pruning in the explorer sound: if any
+// dynamically observed conflict were statically Independent, POR could
+// prune a distinguishing interleaving.
+//
+// Seeds are fixed, so the walks (and the test) are deterministic.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/PorOracle.h"
+#include "core/World.h"
+#include "workload/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <random>
+#include <string>
+#include <vector>
+
+using namespace ccc;
+
+namespace {
+
+/// True when the static summary \p S of thread \p T covers the dynamic
+/// footprint \p FP: every read under R (or OwnR inside T's region), every
+/// write under W (or OwnW inside T's region); Unknown covers everything.
+bool covers(const EffectSummary &S, ThreadId T, const Footprint &FP) {
+  if (S.Unknown)
+    return true;
+  const Addr Lo = Program::ThreadRegionBase + T * Program::ThreadRegionSize;
+  const Addr Hi = Lo + Program::ThreadRegionSize;
+  auto InOwn = [&](Addr A) { return A >= Lo && A < Hi; };
+  for (Addr A : FP.reads())
+    if (!S.R.contains(A) && !(S.OwnR && InOwn(A)))
+      return false;
+  for (Addr A : FP.writes())
+    if (!S.W.contains(A) && !(S.OwnW && InOwn(A)))
+      return false;
+  return true;
+}
+
+std::string describe(const char *What, ThreadId T, const Footprint &FP) {
+  return std::string(What) + " thread " + std::to_string(T) + " fp " +
+         FP.toString();
+}
+
+/// One fuzzed workload: random walks over the preemptive semantics, with
+/// the oracle's summaries checked at every visited state.
+void fuzzWorkload(const char *Name, const Program &P, unsigned Walks,
+                  unsigned Depth, uint32_t Seed) {
+  SCOPED_TRACE(Name);
+  auto Oracle = buildIndependenceOracle(P);
+  ASSERT_TRUE(Oracle);
+
+  for (unsigned Walk = 0; Walk < Walks; ++Walk) {
+    std::mt19937 Rng(Seed + Walk * 7919u);
+    World W = World::load(P, 0);
+    for (unsigned Step = 0; Step < Depth; ++Step) {
+      if (W.aborted() || W.done())
+        break;
+
+      // The per-thread dynamic step footprints observable at this state:
+      // while an atomic block is open only the scheduled thread can move,
+      // otherwise any live thread can be scheduled here.
+      std::vector<std::pair<ThreadId, Footprint>> Observed;
+      for (ThreadId T = 0; T < W.numThreads(); ++T) {
+        if (W.thread(T).finished())
+          continue;
+        if (W.inAtomic() && T != W.curThread())
+          continue;
+        const World Here = T == W.curThread() ? W : W.switchTo(T);
+        const EffectSummary Pend = Oracle->pendingOf(W.thread(T));
+        const EffectSummary Fut = Oracle->futureOf(W.thread(T));
+        for (const auto &S : Here.stepSuccs()) {
+          EXPECT_TRUE(covers(Pend, T, S.FP))
+              << describe("pending misses", T, S.FP);
+          EXPECT_TRUE(covers(Fut, T, S.FP))
+              << describe("future misses", T, S.FP);
+          Observed.emplace_back(T, S.FP);
+        }
+      }
+
+      // Every dynamically conflicting cross-thread pair must be flagged
+      // by the static relation the explorer prunes with — on the pending
+      // summaries (sleep sets) and pending-vs-future (ample sets).
+      for (std::size_t I = 0; I < Observed.size(); ++I) {
+        for (std::size_t J = I + 1; J < Observed.size(); ++J) {
+          const auto &[TA, FA] = Observed[I];
+          const auto &[TB, FB] = Observed[J];
+          if (TA == TB || !FA.conflictsWith(FB))
+            continue;
+          const EffectSummary PA = Oracle->pendingOf(W.thread(TA));
+          const EffectSummary PB = Oracle->pendingOf(W.thread(TB));
+          EXPECT_TRUE(summariesConflict(PA, TA, PB, TB))
+              << describe("pending/pending misses", TA, FA) << " vs "
+              << describe("", TB, FB);
+          EXPECT_TRUE(
+              summariesConflict(PA, TA, Oracle->futureOf(W.thread(TB)), TB))
+              << describe("pending/future misses", TA, FA) << " vs "
+              << describe("", TB, FB);
+        }
+      }
+
+      // Advance along a uniformly random successor.
+      auto Succs = W.succ();
+      if (Succs.empty())
+        break;
+      std::uniform_int_distribution<std::size_t> Pick(0, Succs.size() - 1);
+      W = Succs[Pick(Rng)].Next;
+    }
+  }
+}
+
+} // namespace
+
+TEST(IndependenceFuzz, DynamicConflictsAreStaticallyFlagged) {
+  struct Case {
+    const char *Name;
+    std::function<Program()> Make;
+  };
+  const std::vector<Case> Cases = {
+      {"lockedCounter(2,1,0)", [] { return workload::lockedCounter(2, 1, 0); }},
+      {"lockedCounter(3,1,0)", [] { return workload::lockedCounter(3, 1, 0); }},
+      {"lockedCounter(2,2,3)", [] { return workload::lockedCounter(2, 2, 3); }},
+      {"racyCounter(2)", [] { return workload::racyCounter(2); }},
+      {"atomicCounter(2,2)", [] { return workload::atomicCounter(2, 2); }},
+      {"atomicCounter(3,1)", [] { return workload::atomicCounter(3, 1); }},
+      {"clightLockedCounter(2)",
+       [] { return workload::clightLockedCounter(2); }},
+      {"asmCounterWithPiLock(TSO,2)",
+       [] { return workload::asmCounterWithPiLock(x86::MemModel::TSO, 2); }},
+      {"fencedPingPong(TSO,2)",
+       [] { return workload::fencedPingPong(x86::MemModel::TSO, 2); }},
+      {"sbLitmus(TSO)",
+       [] { return workload::sbLitmus(x86::MemModel::TSO, false); }},
+      {"mpLitmus(TSO)", [] { return workload::mpLitmus(x86::MemModel::TSO); }},
+  };
+  uint32_t Seed = 0x5eed;
+  for (const Case &C : Cases) {
+    Program P = C.Make();
+    fuzzWorkload(C.Name, P, /*Walks=*/24, /*Depth=*/160, Seed);
+    Seed += 0x9e3779b9u;
+  }
+}

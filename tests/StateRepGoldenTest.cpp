@@ -42,11 +42,15 @@ struct GraphFp {
 };
 
 /// Process-local fingerprint: adds the full node key sequence and race
-/// witnesses, which are stable within one process only.
+/// witnesses, which are stable within one process only, plus the three
+/// tri-state verdicts partial-order reduction must preserve.
 struct LocalFp {
   GraphFp G;
   uint64_t NodeKeyHash = 0;
   uint64_t RaceHash = 0;
+  CheckVerdict Safety = CheckVerdict::Inconclusive;
+  CheckVerdict Race = CheckVerdict::Inconclusive;
+  bool Truncated = false;
 
   bool operator==(const LocalFp &O) const = default;
 };
@@ -59,9 +63,11 @@ std::string witnessString(const RaceWitness &W) {
 }
 
 template <typename WorldT>
-LocalFp fingerprint(const Program &P, unsigned Threads) {
+LocalFp fingerprint(const Program &P, unsigned Threads,
+                    PorMode Por = PorMode::Off) {
   ExploreOptions Opts;
   Opts.Threads = Threads;
+  Opts.Por = Por;
   Explorer<WorldT> E(Opts);
   if constexpr (std::is_same_v<WorldT, NPWorld>)
     E.build(NPWorld::loadAll(P));
@@ -96,6 +102,9 @@ LocalFp fingerprint(const Program &P, unsigned Threads) {
     ++Out.G.Races;
   }
   Out.RaceHash = RaceH.get();
+  Out.Safety = E.safetyVerdict();
+  Out.Race = E.checkRace().verdict();
+  Out.Truncated = E.truncated();
   return Out;
 }
 
@@ -157,6 +166,33 @@ TEST(StateRepGolden, BitIdenticalToSeedEngineAtEveryWidth) {
       // Across widths the full process-local fingerprint must match,
       // including node key strings and race witnesses.
       EXPECT_EQ(Par, Serial) << C.Name << " Threads=" << Threads;
+    }
+  }
+}
+
+// Partial-order reduction must be invisible to every observable result:
+// on each preemptive workload family the POR-on exploration yields the
+// same complete trace set, safety verdict, race verdict, conclusiveness
+// and confined-race count as the full exploration — while its own graph
+// is bit-identical at every worker-pool width. (NPWorld does not opt
+// into POR; its explorations are untouched by construction.)
+TEST(StateRepGolden, PorOnVerdictsBitIdenticalToFullExploration) {
+  for (const GoldenCase &C : goldens()) {
+    if (C.NonPreemptive)
+      continue;
+    Program P = C.Make();
+    LocalFp Off = fingerprint<World>(P, 1, PorMode::Off);
+    LocalFp On = fingerprint<World>(P, 1, PorMode::On);
+    EXPECT_EQ(On.G.TraceHash, Off.G.TraceHash) << C.Name;
+    EXPECT_EQ(On.G.TraceLen, Off.G.TraceLen) << C.Name;
+    EXPECT_EQ(On.G.Races, Off.G.Races) << C.Name;
+    EXPECT_EQ(On.Safety, Off.Safety) << C.Name;
+    EXPECT_EQ(On.Race, Off.Race) << C.Name;
+    EXPECT_EQ(On.Truncated, Off.Truncated) << C.Name;
+    EXPECT_LE(On.G.States, Off.G.States) << C.Name;
+    for (unsigned Threads : {2u, 8u}) {
+      LocalFp Par = fingerprint<World>(P, Threads, PorMode::On);
+      EXPECT_EQ(Par, On) << C.Name << " Threads=" << Threads;
     }
   }
 }

@@ -564,6 +564,146 @@ TEST(TsoRobust, PointerChainResolvesThroughGlobalPointsTo) {
   EXPECT_EQ(applyScFastPath(P, R), 1u);
 }
 
+TEST(TsoRobust, NeighbourLaunderingDegradesOnlyTheAffectedCell) {
+  // A second module stores a pointer through a computed neighbour target
+  // (&a + 1). Formerly any such store distrusted every module's
+  // points-to map program-wide (HasPointsTo false everywhere), so the
+  // pointer-chain client regressed to Unknown. The linker pins the
+  // victim exactly — the cell after a is the laundering module's own
+  // pad — so only pad degrades: the client's map keeps p -> {x}, the
+  // chain store still resolves, and the client certifies Robust.
+  Program P;
+  x86::addAsmModule(P, "client", R"(
+    .data x 0
+    .data y 0
+    .data p 0
+    .entry t1 0 0
+    .entry t2 0 0
+    t1:
+            movl $x, p
+            mfence
+            movl $1, x
+            mfence
+            retl
+    t2:
+    spin:
+            movl p, %eax
+            cmpl $0, %eax
+            je spin
+            movl $2, (%eax)
+            mfence
+            movl y, %ebx
+            printl %ebx
+            retl
+  )",
+                    x86::MemModel::TSO);
+  x86::addAsmModule(P, "launder", R"(
+    .data a 0
+    .data pad 0
+    .entry t3 0 0
+    t3:
+            movl $a, %eax
+            movl $pad, 1(%eax)
+            mfence
+            retl
+  )",
+                    x86::MemModel::TSO);
+  P.addThread("t1");
+  P.addThread("t2");
+  P.addThread("t3");
+  P.link();
+
+  std::map<std::string, TsoModuleContext> Ctxs = tsoModuleContexts(P);
+  ASSERT_EQ(Ctxs.size(), 2u);
+  const TsoModuleContext &Client = Ctxs.at("client");
+  const TsoModuleContext &Launder = Ctxs.at("launder");
+
+  // Both maps stay trusted; only the victim cell carries the laundered
+  // pointee, resolved within the laundering module's own namespace.
+  EXPECT_TRUE(Client.HasPointsTo);
+  EXPECT_TRUE(Launder.HasPointsTo);
+  auto PIt = Client.GlobalPointsTo.find("p");
+  ASSERT_NE(PIt, Client.GlobalPointsTo.end());
+  EXPECT_FALSE(PIt->second.Wild);
+  EXPECT_EQ(PIt->second.Cells, std::set<std::string>{"x"});
+  auto PadIt = Launder.GlobalPointsTo.find("pad");
+  ASSERT_NE(PadIt, Launder.GlobalPointsTo.end());
+  EXPECT_FALSE(PadIt->second.Wild);
+  EXPECT_EQ(PadIt->second.Cells, std::set<std::string>{"pad"});
+
+  ProgramTsoReport R = programTsoRobustness(P);
+  const TsoRobustReport *ClientR = reportFor(R, "client");
+  ASSERT_NE(ClientR, nullptr);
+  EXPECT_EQ(ClientR->Verdict, TsoVerdict::Robust) << ClientR->toString();
+}
+
+TEST(TsoRobust, CrossModuleLaunderingWildsTheForeignVictimCell) {
+  // When the neighbour store reaches past the laundering module's own
+  // globals into the next module's first cell, the pointee cannot be
+  // named in the victim's namespace: that one cell goes Wild, while
+  // every other cell's facts — including the victim module's own
+  // pointer chain — survive.
+  Program P;
+  x86::addAsmModule(P, "launder", R"(
+    .data a 0
+    .entry t3 0 0
+    t3:
+            movl $a, %eax
+            movl $a, 1(%eax)
+            mfence
+            retl
+  )",
+                    x86::MemModel::TSO);
+  x86::addAsmModule(P, "client", R"(
+    .data scratch 0
+    .data x 0
+    .data y 0
+    .data p 0
+    .entry t1 0 0
+    .entry t2 0 0
+    t1:
+            movl $x, p
+            mfence
+            movl $1, x
+            mfence
+            retl
+    t2:
+    spin:
+            movl p, %eax
+            cmpl $0, %eax
+            je spin
+            movl $2, (%eax)
+            mfence
+            movl y, %ebx
+            printl %ebx
+            retl
+  )",
+                    x86::MemModel::TSO);
+  P.addThread("t1");
+  P.addThread("t2");
+  P.addThread("t3");
+  P.link();
+
+  std::map<std::string, TsoModuleContext> Ctxs = tsoModuleContexts(P);
+  ASSERT_EQ(Ctxs.size(), 2u);
+  const TsoModuleContext &Client = Ctxs.at("client");
+  EXPECT_TRUE(Client.HasPointsTo);
+  // a + 1 is the client's first cell: wilded, foreign pointee unnameable.
+  auto ScratchIt = Client.GlobalPointsTo.find("scratch");
+  ASSERT_NE(ScratchIt, Client.GlobalPointsTo.end());
+  EXPECT_TRUE(ScratchIt->second.Wild);
+  // The chain cell keeps its exact pointee regardless.
+  auto PIt = Client.GlobalPointsTo.find("p");
+  ASSERT_NE(PIt, Client.GlobalPointsTo.end());
+  EXPECT_FALSE(PIt->second.Wild);
+  EXPECT_EQ(PIt->second.Cells, std::set<std::string>{"x"});
+
+  ProgramTsoReport R = programTsoRobustness(P);
+  const TsoRobustReport *ClientR = reportFor(R, "client");
+  ASSERT_NE(ClientR, nullptr);
+  EXPECT_EQ(ClientR->Verdict, TsoVerdict::Robust) << ClientR->toString();
+}
+
 //===----------------------------------------------------------------------===//
 // Report diagnostics and the consistency invariant
 //===----------------------------------------------------------------------===//

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json files on their verdict content only.
+
+CI runs every bench binary twice — partial-order reduction on (the
+default) and off (--no-por) — and this script asserts the two runs
+agree on every verdict-bearing field: DRF/NPDRF verdicts, refinement
+and trace-equality checks, fast-path decisions, soundness flags,
+truncation. Everything the reduction is allowed to change is ignored:
+state counts, edge counts, timings, throughput, memory statistics, and
+the PorStats themselves (all floats, plus the integer counters listed
+below). Exits nonzero with a path-level report when the runs disagree,
+making the POR-on/POR-off diff a hard-failing check.
+"""
+
+import json
+import sys
+
+# Integer statistics a reduced exploration legitimately changes.
+DROP_EXACT = {
+    "expanded",
+    "probes",
+    "dedup_hits",
+    "hash_collisions",
+    "peak_frontier",
+    "state_bytes",
+    "bytes_per_state",
+    "unique_mem_pages",
+    "total_page_refs",
+    "peak_rss_kb",
+}
+# Substring-matched keys: state counts and the PorStats block.
+DROP_SUBSTR = ("states", "por_")
+
+
+def clean(x):
+    """Strip non-verdict content; floats are all timings/rates/ratios."""
+    if isinstance(x, dict):
+        return {
+            k: clean(v)
+            for k, v in x.items()
+            if k not in DROP_EXACT
+            and not any(s in k for s in DROP_SUBSTR)
+            and not isinstance(v, float)
+        }
+    if isinstance(x, list):
+        return [clean(v) for v in x]
+    return x
+
+
+def report(a, b, path="$"):
+    if isinstance(a, dict) and isinstance(b, dict):
+        for k in sorted(set(a) | set(b)):
+            if k not in a or k not in b:
+                print(f"{path}.{k}: present in only one run")
+            elif a[k] != b[k]:
+                report(a[k], b[k], f"{path}.{k}")
+        return
+    if isinstance(a, list) and isinstance(b, list):
+        if len(a) != len(b):
+            print(f"{path}: {len(a)} vs {len(b)} entries")
+        for i, (x, y) in enumerate(zip(a, b)):
+            if x != y:
+                report(x, y, f"{path}[{i}]")
+        return
+    print(f"{path}: {a!r} vs {b!r}")
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(f"usage: {argv[0]} <bench-a.json> <bench-b.json>")
+        return 2
+    with open(argv[1]) as f:
+        a = clean(json.load(f))
+    with open(argv[2]) as f:
+        b = clean(json.load(f))
+    if a == b:
+        print(f"OK: {argv[1]} and {argv[2]} agree on every verdict field")
+        return 0
+    print(f"FAIL: verdict tables differ between {argv[1]} and {argv[2]}:")
+    report(a, b)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
