@@ -546,8 +546,21 @@ struct ModuleAnalysis {
   std::set<std::string> NoteDedup;
 
   std::map<std::string, Summary> Summaries;
-  std::set<std::string> InProgress;
   Summary InvalidSummary;
+
+  /// Gates the witness/certificate emitters (and their dedup sets) while
+  /// the summary fixpoint iterates: intermediate walks run against
+  /// under-approximate callee summaries, so anything they would report
+  /// is re-derived — against the converged summaries — by the final
+  /// emitting pass of getSummary or by the standalone walks.
+  bool Emit = true;
+
+  /// Bound on summary fixpoint rounds. The facts live in finite
+  /// lattices (pending ids bounded by store sites, covers by global
+  /// names), so Kleene iteration terminates; the cap is a widening
+  /// backstop that degrades the whole group to the invalid summary —
+  /// call sites then escape, which is the sound pre-fixpoint treatment.
+  static constexpr unsigned MaxSummaryIters = 16;
 
   ModuleAnalysis(const x86::Module &Mod, const TsoModuleContext *C,
                  TsoRobustReport &Rep)
@@ -614,6 +627,16 @@ struct ModuleAnalysis {
     return false;
   }
 
+  /// The cell extent of \p E's private frame region: the recorded
+  /// frame-layout extent (which covers the declared size), clamped to
+  /// the fixed per-frame region — displacements at or past
+  /// FrameRegionSize leave the frame's own block and may reach another
+  /// thread's region, so the private claim stops there.
+  static uint32_t frameExtentOf(const EntryState &E) {
+    return std::min(std::max(E.EI->FrameSize, E.EI->FrameExtent),
+                    Program::FrameRegionSize);
+  }
+
   /// Classifies one memory operand at \p PC under the fixpoint state.
   TsoAccess classify(const EntryState &E, unsigned PC, const x86::Operand &Op,
                      bool Write) const {
@@ -651,7 +674,15 @@ struct ModuleAnalysis {
         A.Cls = AccessClass::SharedUnknown;
         A.Global = "<escaped frame+" + std::to_string(Op.Disp) + ">";
       } else if (Op.Disp >= 0 &&
-                 static_cast<uint32_t>(Op.Disp) < E.EI->FrameSize) {
+                 static_cast<uint32_t>(Op.Disp) < frameExtentOf(E)) {
+        // In-extent frame cell. The bound is the recorded frame-layout
+        // extent, not just the declared frame size: every frame is a
+        // fixed FrameRegionSize block carved from the thread's own
+        // region, so a positive displacement inside that block is
+        // thread-private memory even past the declared frame (popped
+        // deeper frames leave their cells allocated — the domain never
+        // shrinks). Absent a frame escape no peer can name the address,
+        // so the access can never witness a TSO reordering.
         A.Cls = AccessClass::Confined;
         A.Global = "<frame+" + std::to_string(Op.Disp) + ">";
       } else {
@@ -711,9 +742,10 @@ struct ModuleAnalysis {
     return E;
   }
 
-  /// Diagnoses an out-of-frame frame-relative access (disp outside
-  /// [0, FrameSize)) so the SharedUnknown classification — and the
-  /// Unknown verdict it induces — is explainable from the report alone.
+  /// Diagnoses an out-of-region frame-relative access (disp outside
+  /// [0, frameExtentOf(E))) so the SharedUnknown classification — and
+  /// the Unknown verdict it induces — is explainable from the report
+  /// alone.
   void noteOutOfFrame(const EntryState &E, unsigned PC,
                       const x86::Operand &Op) {
     if (Op.K != x86::Operand::Kind::MemBase || E.FrameEscaped)
@@ -722,12 +754,13 @@ struct ModuleAnalysis {
     if (It == E.RegAt.end() ||
         regOf(It->second, Op.R).K != AbsVal::Kind::Frame)
       return;
-    if (Op.Disp >= 0 && static_cast<uint32_t>(Op.Disp) < E.EI->FrameSize)
+    if (Op.Disp >= 0 && static_cast<uint32_t>(Op.Disp) < frameExtentOf(E))
       return;
-    note("entry '" + E.Name + "': out-of-frame frame access at PC " +
-         std::to_string(PC) + ": displacement " + std::to_string(Op.Disp) +
-         " outside frame of size " + std::to_string(E.EI->FrameSize) + " (" +
-         M.Code[PC].toString() + ")");
+    note("entry '" + E.Name + "': frame access at PC " + std::to_string(PC) +
+         ": displacement " + std::to_string(Op.Disp) +
+         " outside the private frame extent " +
+         std::to_string(frameExtentOf(E)) + " (" + M.Code[PC].toString() +
+         ")");
   }
 
   /// Reconstructs a drain-free PC path from \p From to \p To for witness
@@ -777,7 +810,7 @@ struct ModuleAnalysis {
   }
 
   void emitTriangle(unsigned Sid, const TsoAccess &Load, const Fact &F) {
-    if (!SeenTriangles.insert({Sid, Load.PC}).second)
+    if (!Emit || !SeenTriangles.insert({Sid, Load.PC}).second)
       return;
     Witnessed.insert(Sid);
     TriangularWitness W;
@@ -793,7 +826,7 @@ struct ModuleAnalysis {
 
   void emitEscape(unsigned Sid, unsigned ExitPC, const std::string &ExitEntry,
                   const Fact &F) {
-    if (!SeenEscapes.insert({Sid, ExitPC}).second)
+    if (!Emit || !SeenEscapes.insert({Sid, ExitPC}).second)
       return;
     Witnessed.insert(Sid);
     TriangularWitness W;
@@ -813,7 +846,7 @@ struct ModuleAnalysis {
   }
 
   void emitCert(unsigned Sid, unsigned DrainPC, bool AtExit) {
-    if (!SeenCerts.insert({Sid, DrainPC}).second)
+    if (!Emit || !SeenCerts.insert({Sid, DrainPC}).second)
       return;
     Certified.insert(Sid);
     FenceCert C;
@@ -836,21 +869,97 @@ struct ModuleAnalysis {
     }
   }
 
-  /// Builds (and memoizes) the summary of same-module entry \p Name.
-  /// A recursive back-edge yields the invalid summary — the call site
-  /// falls back to a boundary escape, which is today's conservative
-  /// treatment and trivially sound.
+  /// Change detection for the summary fixpoint. PreLoads is keyed by
+  /// PreLoadPCs (the classification of a load PC is deterministic per
+  /// entry), so comparing the PC set covers the vector.
+  static bool summaryEq(const Summary &A, const Summary &B) {
+    return A.Valid == B.Valid && A.PreLoadPCs == B.PreLoadPCs &&
+           A.TokenDrainPCs == B.TokenDrainPCs &&
+           A.TokenEscapes == B.TokenEscapes && A.HasRet == B.HasRet &&
+           A.AtRet == B.AtRet;
+  }
+
+  /// Collects the not-yet-summarized same-module entries reachable from
+  /// \p Root through summary-eligible call sites: the recursive group
+  /// \p Root participates in, plus every unsummarized callee it pulls
+  /// in. Solving them jointly lets mutual recursion converge too.
+  std::vector<std::string> summaryGroup(const std::string &Root) {
+    std::vector<std::string> Group;
+    std::set<std::string> Seen{Root};
+    std::deque<std::string> Work{Root};
+    while (!Work.empty()) {
+      std::string N = Work.front();
+      Work.pop_front();
+      Group.push_back(N);
+      const EntryState &E = prepareEntry(N);
+      for (unsigned PC : E.Reachable) {
+        const x86::Instr &I = M.Code[PC];
+        if (I.K == x86::Instr::Kind::Call && M.Entries.count(I.Name) &&
+            Ctx && Ctx->Closed && Ctx->SelfResolvedEntries.count(I.Name) &&
+            !Summaries.count(I.Name) && Seen.insert(I.Name).second)
+          Work.push_back(I.Name);
+      }
+    }
+    return Group;
+  }
+
+  /// Builds (and memoizes) the summary of same-module entry \p Name as
+  /// a joint Kleene fixpoint over its recursive group. Every member
+  /// starts at bottom ("does nothing, never returns" — the least
+  /// element: preloads, drains, escapes and AtRet only grow from there,
+  /// covers only shrink), walks re-run with emissions gated off until
+  /// no member's summary changes, then one final emitting walk per
+  /// member reports each member's own foreground effects exactly once
+  /// against the converged summaries. A recursive spin-loop thus gets a
+  /// real summary (and its caller a real verdict) instead of the old
+  /// one-pass memoization's invalid summary, which capped every
+  /// recursive or mutually-recursive callee at a boundary escape and
+  /// the module at Unknown.
   const Summary &getSummary(const std::string &Name) {
     auto It = Summaries.find(Name);
     if (It != Summaries.end())
       return It->second;
-    if (!InProgress.insert(Name).second)
-      return InvalidSummary;
-    Summary S;
-    walkEntry(Name, /*SummaryMode=*/true, &S);
-    S.Valid = true;
-    InProgress.erase(Name);
-    return Summaries[Name] = std::move(S);
+    const std::vector<std::string> Group = summaryGroup(Name);
+    for (const std::string &N : Group) {
+      Summary Bottom;
+      Bottom.Valid = true;
+      Summaries.emplace(N, std::move(Bottom));
+    }
+    const bool SavedEmit = Emit;
+    Emit = false;
+    bool Converged = false;
+    for (unsigned Iter = 0; Iter < MaxSummaryIters && !Converged; ++Iter) {
+      Converged = true;
+      for (const std::string &N : Group) {
+        Summary S;
+        walkEntry(N, /*SummaryMode=*/true, &S);
+        S.Valid = true;
+        Summary &Cur = Summaries[N];
+        if (!summaryEq(Cur, S)) {
+          Cur = std::move(S);
+          Converged = false;
+        }
+      }
+    }
+    Emit = SavedEmit;
+    if (!Converged) {
+      note("summary fixpoint for the call group of entry '" + Name +
+           "' did not settle within " + std::to_string(MaxSummaryIters) +
+           " rounds — its call sites fall back to boundary escapes");
+      for (const std::string &N : Group)
+        Summaries[N] = InvalidSummary;
+      return Summaries[Name];
+    }
+    // Final pass at the fixpoint: re-walk each member with emissions
+    // live so its own triangles/certificates/escapes are reported once,
+    // derived against the converged callee summaries.
+    for (const std::string &N : Group) {
+      Summary S;
+      walkEntry(N, /*SummaryMode=*/true, &S);
+      S.Valid = true;
+      Summaries[N] = std::move(S);
+    }
+    return Summaries[Name];
   }
 
   /// Inlines a valid callee summary at a call site holding \p In and

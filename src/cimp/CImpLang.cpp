@@ -48,6 +48,34 @@ public:
       B << KV.first << '=' << KV.second.toString() << ',';
     return B.take();
   }
+
+  void residueBytes(ResidueBuf &B) const override {
+    // Continuation: count-prefixed items, each a tag plus a payload
+    // whose width the tag determines. No string is built per object —
+    // statements encode as their interned-AST pointer and PendingRet
+    // destinations as a one-time interned string id.
+    B.word(static_cast<uint32_t>(Kont.size()));
+    for (const KontItem &I : Kont) {
+      B.word(static_cast<uint32_t>(I.K));
+      switch (I.K) {
+      case KontItem::Kind::Stmt:
+        B.ptr(I.S);
+        break;
+      case KontItem::Kind::AtomicEnd:
+        break;
+      case KontItem::Kind::PendingRet:
+        B.word(B.internString(I.Dst));
+        break;
+      }
+    }
+    // Registers in std::map order (the same order key() renders): the
+    // interned name id and the value's (kind, bits).
+    for (const auto &KV : Regs) {
+      B.word(B.internString(KV.first));
+      B.word(static_cast<uint32_t>(KV.second.kind()));
+      B.word(KV.second.rawBits());
+    }
+  }
 };
 
 /// Pushes a block's statements so that the first statement is on top.

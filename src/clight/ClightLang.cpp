@@ -48,6 +48,30 @@ public:
     }
     return B.take();
   }
+
+  void residueBytes(ResidueBuf &B) const override {
+    B.ptr(F);
+    B.word((Allocated ? 1u : 0u) | (HasPending ? 2u : 0u));
+    if (HasPending) {
+      B.word(static_cast<uint32_t>(PendingVal.kind()));
+      B.word(PendingVal.rawBits());
+    }
+    B.word(static_cast<uint32_t>(Kont.size()));
+    for (const KontItem &I : Kont) {
+      B.word(static_cast<uint32_t>(I.K));
+      if (I.K == KontItem::Kind::Stmt)
+        B.ptr(I.S);
+      else
+        B.word(B.internString(I.Dst));
+    }
+    // Mirrors key(): entry args are part of the state only until the
+    // allocation step consumes them.
+    if (!Allocated)
+      for (const Value &V : EntryArgs) {
+        B.word(static_cast<uint32_t>(V.kind()));
+        B.word(V.rawBits());
+      }
+  }
 };
 
 void pushBlock(std::vector<KontItem> &Kont, const Block &B) {

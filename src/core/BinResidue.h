@@ -1,0 +1,408 @@
+//===- core/BinResidue.h - Binary tree-compressed state store ---*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Binary residue encoding and the tree-compressed state store that
+/// replaces the string-keyed intern path (DIVINE's ntreehashset shape):
+///
+///  - ResidueBuf: an append-only word buffer the World/ThreadState/Core
+///    encoders emit fixed-width fields into. Nested components intern
+///    their own word span as a subtree (subIntern) and contribute only
+///    the resulting 32-bit node id to the enclosing encoding, so
+///    near-identical states share every unchanged subtree.
+///  - TreeStore: hash-consed recursive interning of word vectors into
+///    binary tree nodes ((A,B,tag) triples) across 16 mutex-sharded
+///    open-addressed tables. Two vectors receive the same root id iff
+///    they are element-wise equal (see the injectivity note below), so
+///    the Explorer's exact-verify step becomes two integer compares.
+///  - StringInterner: residual strings (CImp register names, pending-ret
+///    destinations, and the default Core::key() fallback) interned once
+///    into a slab arena; encodings carry the 32-bit string id.
+///
+/// Injectivity invariant (the tree-node sharing invariant, DESIGN.md
+/// §4h): node ids are hash-consed on the exact triple (tag, A, B), and
+/// the split point of a vector of length N is determined by N alone
+/// (mid = (N+1)/2). By induction, equal root ids imply equal tags at
+/// every node, hence equal shapes, hence equal leaf sequences — and
+/// unequal vectors differ in some leaf or in length (different shape),
+/// so they can never hash-cons to the same root. Ids depend on arrival
+/// order across threads, but only id *equality* is ever observed, and
+/// the node *count* per explored state set is order-independent, which
+/// keeps StateBytes deterministic across Threads values.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_CORE_BINRESIDUE_H
+#define CASCC_CORE_BINRESIDUE_H
+
+#include "core/StatePool.h"
+
+#include <array>
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <mutex>
+#include <string_view>
+#include <vector>
+
+namespace ccc {
+
+/// One hash-consed tree node: leaves carry raw words, inner nodes carry
+/// child node ids. The tag disambiguates, so a leaf word that happens to
+/// equal a node id can never be confused with a child reference.
+enum class TreeTag : uint8_t {
+  Inner = 0, ///< A, B are node ids of the two halves.
+  Leaf1 = 1, ///< A is the single word; B unused (0).
+  Leaf2 = 2, ///< A, B are two consecutive words.
+  Empty = 3, ///< The empty vector; A, B unused (0).
+};
+
+/// Hash-consed recursive tree interning of u32 vectors, 16-way sharded.
+/// Node ids are dense per shard: id = (indexInShard << 4) | shard.
+class TreeStore {
+public:
+  static constexpr unsigned NumShards = 16;
+
+  /// Interns \p N words at \p V; equal spans get equal root ids.
+  uint32_t internSpan(const uint32_t *V, std::size_t N) {
+    if (N == 0)
+      return node(TreeTag::Empty, 0, 0);
+    if (N == 1)
+      return node(TreeTag::Leaf1, V[0], 0);
+    if (N == 2)
+      return node(TreeTag::Leaf2, V[0], V[1]);
+    std::size_t Mid = (N + 1) / 2;
+    uint32_t A = internSpan(V, Mid);
+    uint32_t B = internSpan(V + Mid, N - Mid);
+    return node(TreeTag::Inner, A, B);
+  }
+
+  /// Reconstructs the word vector behind \p Root (tests and debugging;
+  /// the engine itself never decodes).
+  void decode(uint32_t Root, std::vector<uint32_t> &Out) const {
+    const Shard &S = Shards[Root & (NumShards - 1)];
+    std::size_t Idx = Root >> 4;
+    uint64_t Packed = S.AB[Idx];
+    uint32_t A = static_cast<uint32_t>(Packed >> 32);
+    uint32_t B = static_cast<uint32_t>(Packed);
+    switch (static_cast<TreeTag>(S.Tags[Idx])) {
+    case TreeTag::Empty:
+      return;
+    case TreeTag::Leaf1:
+      Out.push_back(A);
+      return;
+    case TreeTag::Leaf2:
+      Out.push_back(A);
+      Out.push_back(B);
+      return;
+    case TreeTag::Inner:
+      decode(A, Out);
+      decode(B, Out);
+      return;
+    }
+  }
+
+  std::size_t numNodes() const {
+    std::size_t N = 0;
+    for (const Shard &S : Shards) {
+      std::lock_guard<std::mutex> Lock(S.Mu);
+      N += S.AB.size();
+    }
+    return N;
+  }
+
+  /// Exact retained bytes: node slabs (capacity/live) plus the
+  /// open-addressed tables.
+  void accumStats(PoolStats &Arena, std::size_t &TableBytes) const {
+    for (const Shard &S : Shards) {
+      std::lock_guard<std::mutex> Lock(S.Mu);
+      PoolStats AB = S.AB.stats(), Tags = S.Tags.stats();
+      Arena.CapacityBytes += AB.CapacityBytes + Tags.CapacityBytes;
+      Arena.LiveBytes += AB.LiveBytes + Tags.LiveBytes;
+      Arena.LiveObjects += AB.LiveObjects;
+      TableBytes += S.Table.capacity() * sizeof(uint32_t);
+    }
+  }
+
+private:
+  struct Shard {
+    mutable std::mutex Mu;
+    /// Small slabs (512 nodes = 4 KiB + 512 B) keep capacity-accounted
+    /// bytes honest on tiny explorations.
+    SlabVector<uint64_t, 9> AB;  ///< (A << 32) | B per node.
+    SlabVector<uint8_t, 9> Tags; ///< TreeTag per node.
+    std::vector<uint32_t> Table; ///< Open-addressed: node index + 1.
+    std::size_t Entries = 0;
+  };
+
+  static uint64_t mix64(uint64_t X) {
+    // splitmix64 finalizer.
+    X += 0x9e3779b97f4a7c15ull;
+    X = (X ^ (X >> 30)) * 0xbf58476d1ce4e5b9ull;
+    X = (X ^ (X >> 27)) * 0x94d049bb133111ebull;
+    return X ^ (X >> 31);
+  }
+
+  static uint64_t hashNode(TreeTag Tag, uint32_t A, uint32_t B) {
+    return mix64((uint64_t(A) << 32 | B) + (uint64_t(Tag) << 56)) ^
+           mix64(uint64_t(Tag) + 0x517cc1b727220a95ull);
+  }
+
+  uint32_t node(TreeTag Tag, uint32_t A, uint32_t B) {
+    uint64_t H = hashNode(Tag, A, B);
+    unsigned ShardIdx = H & (NumShards - 1);
+    Shard &S = Shards[ShardIdx];
+    uint64_t Packed = uint64_t(A) << 32 | B;
+    std::lock_guard<std::mutex> Lock(S.Mu);
+    growIfNeeded(S);
+    std::size_t Mask = S.Table.size() - 1;
+    std::size_t Slot = (H >> 4) & Mask;
+    while (uint32_t E = S.Table[Slot]) {
+      std::size_t Idx = E - 1;
+      if (S.AB[Idx] == Packed && S.Tags[Idx] == uint8_t(Tag))
+        return static_cast<uint32_t>(Idx << 4 | ShardIdx);
+      Slot = (Slot + 1) & Mask;
+    }
+    std::size_t Idx = S.AB.size();
+    assert(Idx < (std::size_t(1) << 28) && "tree shard full");
+    S.AB.push_back(Packed);
+    S.Tags.push_back(uint8_t(Tag));
+    S.Table[Slot] = static_cast<uint32_t>(Idx + 1);
+    ++S.Entries;
+    return static_cast<uint32_t>(Idx << 4 | ShardIdx);
+  }
+
+  static void growIfNeeded(Shard &S) {
+    if (S.Table.empty()) {
+      S.Table.assign(256, 0);
+      return;
+    }
+    if (S.Entries * 10 < S.Table.size() * 7)
+      return;
+    std::vector<uint32_t> Old = std::move(S.Table);
+    S.Table.assign(Old.size() * 2, 0);
+    std::size_t Mask = S.Table.size() - 1;
+    for (uint32_t E : Old) {
+      if (!E)
+        continue;
+      std::size_t Idx = E - 1;
+      uint64_t Packed = S.AB[Idx];
+      uint64_t H = hashNode(static_cast<TreeTag>(S.Tags[Idx]),
+                            static_cast<uint32_t>(Packed >> 32),
+                            static_cast<uint32_t>(Packed));
+      std::size_t Slot = (H >> 4) & Mask;
+      while (S.Table[Slot])
+        Slot = (Slot + 1) & Mask;
+      S.Table[Slot] = E;
+    }
+  }
+
+  std::array<Shard, NumShards> Shards;
+};
+
+/// Interns strings into a slab arena; equal strings get equal u32 ids.
+/// Hot encodings avoid strings entirely — this covers CImp register
+/// names / pending-ret destinations and the default Core::key() fallback.
+class StringInterner {
+public:
+  uint32_t intern(std::string_view S) {
+    uint64_t H = fnv(S);
+    std::lock_guard<std::mutex> Lock(Mu);
+    growIfNeeded();
+    std::size_t Mask = Table.size() - 1;
+    std::size_t Slot = H & Mask;
+    while (uint32_t E = Table[Slot]) {
+      std::size_t Idx = E - 1;
+      if (equals(Idx, S))
+        return static_cast<uint32_t>(Idx);
+      Slot = (Slot + 1) & Mask;
+    }
+    std::size_t Idx = Recs.size();
+    Recs.push_back(Rec{Chars.size(), static_cast<uint32_t>(S.size())});
+    for (char C : S)
+      Chars.push_back(C);
+    Table[Slot] = static_cast<uint32_t>(Idx + 1);
+    return static_cast<uint32_t>(Idx);
+  }
+
+  /// Reconstructs string \p Id (tests and debugging only).
+  std::string text(uint32_t Id) const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    const Rec &R = Recs[Id];
+    std::string S;
+    S.reserve(R.Len);
+    for (uint32_t I = 0; I < R.Len; ++I)
+      S.push_back(Chars[R.Off + I]);
+    return S;
+  }
+
+  void accumStats(PoolStats &Arena, std::size_t &TableBytes) const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    PoolStats C = Chars.stats(), R = Recs.stats();
+    Arena.CapacityBytes += C.CapacityBytes + R.CapacityBytes;
+    Arena.LiveBytes += C.LiveBytes + R.LiveBytes;
+    TableBytes += Table.capacity() * sizeof(uint32_t);
+  }
+
+private:
+  struct Rec {
+    std::size_t Off = 0;
+    uint32_t Len = 0;
+  };
+
+  static uint64_t fnv(std::string_view S) {
+    uint64_t H = 1469598103934665603ull;
+    for (char C : S)
+      H = (H ^ static_cast<uint8_t>(C)) * 1099511628211ull;
+    return H;
+  }
+
+  bool equals(std::size_t Idx, std::string_view S) const {
+    const Rec &R = Recs[Idx];
+    if (R.Len != S.size())
+      return false;
+    for (uint32_t I = 0; I < R.Len; ++I)
+      if (Chars[R.Off + I] != S[I])
+        return false;
+    return true;
+  }
+
+  void growIfNeeded() {
+    if (Table.empty()) {
+      Table.assign(256, 0);
+      return;
+    }
+    if (Recs.size() * 10 < Table.size() * 7)
+      return;
+    std::vector<uint32_t> Old = std::move(Table);
+    Table.assign(Old.size() * 2, 0);
+    std::size_t Mask = Table.size() - 1;
+    for (uint32_t E : Old) {
+      if (!E)
+        continue;
+      const Rec &R = Recs[E - 1];
+      uint64_t H = 1469598103934665603ull;
+      for (uint32_t I = 0; I < R.Len; ++I)
+        H = (H ^ static_cast<uint8_t>(Chars[R.Off + I])) * 1099511628211ull;
+      std::size_t Slot = H & Mask;
+      while (Table[Slot])
+        Slot = (Slot + 1) & Mask;
+      Table[Slot] = E;
+    }
+  }
+
+  mutable std::mutex Mu;
+  SlabVector<char, 10> Chars;
+  SlabVector<Rec, 6> Recs;
+  std::vector<uint32_t> Table;
+};
+
+/// Aggregated retained-byte accounting of one StateStore.
+struct StoreStats {
+  std::size_t TreeNodes = 0;
+  std::size_t ArenaCapacityBytes = 0; ///< Node/string slabs as reserved.
+  std::size_t ArenaLiveBytes = 0;     ///< Node/string bytes actually live.
+  std::size_t TableBytes = 0;         ///< Internal open-addressed tables.
+};
+
+/// One exploration's tree + string store. Each store draws a distinct
+/// epoch so the residue-id caches embedded in shared Core/Page objects
+/// can tell which store their cached id belongs to (cores and pages
+/// outlive and cross Explorer instances).
+class StateStore {
+public:
+  StateStore() : Epoch(NextEpoch.fetch_add(1, std::memory_order_relaxed)) {}
+
+  StateStore(const StateStore &) = delete;
+  StateStore &operator=(const StateStore &) = delete;
+
+  /// Packs node id \p Id into a cache word no other store ever matches.
+  /// Never 0 (epochs start at 1), so 0 is the universal empty sentinel.
+  uint64_t cacheWord(uint32_t Id) const {
+    return (uint64_t(Epoch) << 32) | Id;
+  }
+
+  /// Decodes a cache word; false if it belongs to another store (or is
+  /// the empty sentinel).
+  bool cacheHit(uint64_t W, uint32_t &Id) const {
+    if ((W >> 32) != Epoch)
+      return false;
+    Id = static_cast<uint32_t>(W);
+    return true;
+  }
+
+  StoreStats stats() const {
+    StoreStats S;
+    PoolStats Arena;
+    Tree.accumStats(Arena, S.TableBytes);
+    S.TreeNodes = Arena.LiveObjects;
+    Strings.accumStats(Arena, S.TableBytes);
+    S.ArenaCapacityBytes = Arena.CapacityBytes;
+    S.ArenaLiveBytes = Arena.LiveBytes;
+    return S;
+  }
+
+  TreeStore Tree;
+  StringInterner Strings;
+
+private:
+  uint32_t Epoch;
+  static inline std::atomic<uint32_t> NextEpoch{1};
+};
+
+/// The word buffer an encoder emits into. One ResidueBuf lives per
+/// worker thread and is reused across states; nested components intern
+/// their span via subIntern and leave only a node id behind.
+class ResidueBuf {
+public:
+  explicit ResidueBuf(StateStore &S) : Store(&S) {}
+
+  StateStore &store() { return *Store; }
+
+  void word(uint32_t W) { Words.push_back(W); }
+
+  void word64(uint64_t W) {
+    word(static_cast<uint32_t>(W));
+    word(static_cast<uint32_t>(W >> 32));
+  }
+
+  void ptr(const void *P) {
+    word64(static_cast<uint64_t>(reinterpret_cast<uintptr_t>(P)));
+  }
+
+  /// Interns \p S and returns its id (the caller emits it with word()).
+  uint32_t internString(std::string_view S) {
+    return Store->Strings.intern(S);
+  }
+
+  /// Runs \p Fill, interns exactly the words it emitted as one subtree,
+  /// and removes them from the buffer. Nests arbitrarily.
+  template <typename F> uint32_t subIntern(F &&Fill) {
+    std::size_t Start = Words.size();
+    Fill();
+    uint32_t Id = Store->Tree.internSpan(Words.data() + Start,
+                                         Words.size() - Start);
+    Words.resize(Start);
+    return Id;
+  }
+
+  /// Interns the whole buffered encoding as the root and resets the
+  /// buffer for the next state.
+  uint32_t takeRoot() {
+    uint32_t Id = Store->Tree.internSpan(Words.data(), Words.size());
+    Words.clear();
+    return Id;
+  }
+
+private:
+  StateStore *Store;
+  std::vector<uint32_t> Words;
+};
+
+} // namespace ccc
+
+#endif // CASCC_CORE_BINRESIDUE_H

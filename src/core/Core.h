@@ -17,6 +17,7 @@
 #ifndef CASCC_CORE_CORE_H
 #define CASCC_CORE_CORE_H
 
+#include "core/BinResidue.h"
 #include "support/Hashing.h"
 
 #include <atomic>
@@ -47,6 +48,30 @@ public:
     return H;
   }
 
+  /// Emits the binary residue encoding of this core into \p B:
+  /// fixed-width words whose sequence-equality coincides exactly with
+  /// key()-equality for cores of the same language. Languages override
+  /// this to stop materializing key() strings per state; the fallback
+  /// interns the string key once and emits its id (correct for any
+  /// language, just slower on the first encounter of each core value).
+  virtual void residueBytes(ResidueBuf &B) const {
+    B.word(B.internString(key()));
+  }
+
+  /// Interns this core's residue encoding as a tree node and returns the
+  /// node id, cached per store epoch (cores are immutable once shared, so
+  /// the encoding cannot change under the cache). Benignly racy like
+  /// keyHash(): concurrent encoders compute the same id.
+  uint32_t residueRoot(ResidueBuf &B) const {
+    uint64_t Cached = CachedResidueId.load(std::memory_order_relaxed);
+    uint32_t Id;
+    if (B.store().cacheHit(Cached, Id))
+      return Id;
+    Id = B.subIntern([&] { residueBytes(B); });
+    CachedResidueId.store(B.store().cacheWord(Id), std::memory_order_relaxed);
+    return Id;
+  }
+
   /// Human-readable rendering (defaults to the key).
   virtual std::string pretty() const { return key(); }
 
@@ -62,6 +87,11 @@ private:
   /// Lazily computed keyHash(); 0 = not yet computed. Benignly racy:
   /// concurrent readers compute the same value.
   mutable std::atomic<uint64_t> CachedKeyHash{0};
+
+  /// Cached residueRoot() packed as (store epoch << 32) | node id;
+  /// 0 = empty. Cores are shared across Explorer instances, so the
+  /// epoch tells which store the id belongs to.
+  mutable std::atomic<uint64_t> CachedResidueId{0};
 };
 
 using CoreRef = std::shared_ptr<const Core>;

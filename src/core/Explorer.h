@@ -43,7 +43,9 @@
 #ifndef CASCC_CORE_EXPLORER_H
 #define CASCC_CORE_EXPLORER_H
 
+#include "core/BinResidue.h"
 #include "core/PorOracle.h"
+#include "core/StatePool.h"
 #include "core/Trace.h"
 #include "core/WorldCommon.h"
 #include "mem/Mem.h"
@@ -55,6 +57,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <deque>
 #include <map>
 #include <mutex>
@@ -81,9 +84,16 @@ struct ExploreOptions {
   /// produces bit-identical results.
   unsigned Threads = 1;
   /// Test hook: keep only the low N bits of every state hash, forcing
-  /// hash collisions so the exact-verify fallback (residue + structural
-  /// Mem comparison) is exercised. 64 (the default) keeps the full hash.
+  /// hash collisions so the exact-verify fallback (binary residue root +
+  /// memory subtree comparison) is exercised. 64 (the default) keeps the
+  /// full hash.
   unsigned DebugHashBits = 64;
+  /// Debug flag: additionally retain the legacy key() string per intern
+  /// record and cross-check every probe's tree-compression verdict
+  /// against string equality, aborting on divergence. Off by default —
+  /// this reintroduces exactly the per-state string cost the binary
+  /// store removes.
+  bool VerifyResidues = false;
   /// Partial-order reduction: ample-set selection plus sleep sets driven
   /// by the static independence certifier (analysis/Independence.h). On
   /// by default; only world types opting in via PorTraits are reduced,
@@ -128,13 +138,38 @@ struct ExploreStats {
   std::size_t HashCollisions = 0;
   /// Widest BFS layer expanded.
   std::size_t PeakFrontier = 0;
-  /// Shared bytes retained by the intern table: residue strings, record
-  /// overhead, and each distinct COW memory page counted exactly once no
-  /// matter how many interned states reference it.
+  /// Bytes retained by the intern store, accounted exactly:
+  /// TableBytes + RecBytes + ArenaCapacityBytes. This is the marginal
+  /// cost of remembering one more distinct state (bytes_per_state), and
+  /// is deterministic for a given workload across Threads values
+  /// (hash-consing makes the tree-node set order-independent).
   std::size_t StateBytes = 0;
-  /// Distinct page objects across all interned memory snapshots.
+  /// Open-addressed intern shard tables (slot arrays, as reserved).
+  std::size_t TableBytes = 0;
+  /// Intern record slabs (24-byte records, slab capacity).
+  std::size_t RecBytes = 0;
+  /// Tree-node and string arenas of the state store, as reserved —
+  /// slab capacity plus the store's internal index tables.
+  std::size_t ArenaCapacityBytes = 0;
+  /// Bytes of the same arenas actually occupied by live nodes/strings
+  /// (ArenaLiveBytes <= ArenaCapacityBytes always; the difference is
+  /// slab slack the process still pays for).
+  std::size_t ArenaLiveBytes = 0;
+  /// Hash-consed tree nodes interned by this exploration's store.
+  std::size_t TreeNodes = 0;
+  /// Process-wide COW page pool, as reserved (slabs are recycled, never
+  /// returned, so this is a high-water mark across explorations).
+  std::size_t PagePoolCapacityBytes = 0;
+  /// Pages of the pool currently live (referenced by some Mem).
+  std::size_t PagePoolLiveBytes = 0;
+  /// Bytes retained by the state graph itself (node worlds): per-node
+  /// shallow memory snapshots plus each distinct COW page counted once.
+  /// Separate from StateBytes — the graph keeps full worlds for trace /
+  /// race reconstruction, the store only dedups.
+  std::size_t GraphBytes = 0;
+  /// Distinct page objects across all node worlds.
   std::size_t UniqueMemPages = 0;
-  /// Sum of per-state page references (UniqueMemPages / this = sharing).
+  /// Sum of per-node page references (this / UniqueMemPages = sharing).
   std::size_t TotalPageRefs = 0;
   /// Process peak resident set size, in KiB (0 where unsupported).
   long PeakRssKb = 0;
@@ -178,6 +213,14 @@ struct ExploreStats {
     Field("peak_frontier", std::to_string(PeakFrontier));
     Field("state_bytes", std::to_string(StateBytes));
     Field("bytes_per_state", std::to_string(bytesPerState()));
+    Field("table_bytes", std::to_string(TableBytes));
+    Field("rec_bytes", std::to_string(RecBytes));
+    Field("arena_capacity_bytes", std::to_string(ArenaCapacityBytes));
+    Field("arena_live_bytes", std::to_string(ArenaLiveBytes));
+    Field("tree_nodes", std::to_string(TreeNodes));
+    Field("page_pool_capacity_bytes", std::to_string(PagePoolCapacityBytes));
+    Field("page_pool_live_bytes", std::to_string(PagePoolLiveBytes));
+    Field("graph_bytes", std::to_string(GraphBytes));
     Field("unique_mem_pages", std::to_string(UniqueMemPages));
     Field("total_page_refs", std::to_string(TotalPageRefs));
     Field("peak_rss_kb", std::to_string(PeakRssKb));
@@ -258,7 +301,7 @@ public:
         Stats.Por.Enabled = Oracle != nullptr;
       }
     }
-    WorkerState InitWs;
+    WorkerState InitWs(Store);
     std::deque<unsigned> Work;
     for (const WorldT &W : Inits) {
       unsigned Idx = intern(W, InitWs);
@@ -649,8 +692,12 @@ private:
     uint64_t Hash = 0;
   };
 
-  /// Worker-private interning state, merged at each barrier.
+  /// Worker-private interning state, merged at each barrier. Carries the
+  /// worker's reusable residue-encoding buffer (word vector + the store
+  /// handle), so encoding a state allocates nothing on the steady path.
   struct WorkerState {
+    explicit WorkerState(StateStore &S) : Buf(S) {}
+    ResidueBuf Buf;
     std::vector<Pending> News;
     std::size_t Probes = 0;
     std::size_t DedupHits = 0;
@@ -662,33 +709,39 @@ private:
     std::size_t EdgesAvoided = 0;
   };
 
-  /// A compact canonical state record kept behind the hash: the COW
-  /// memory snapshot itself (page-pointer copies, compared structurally
-  /// with the shared-page fast path) plus the short serialized residue of
-  /// the non-memory components. Together they identify the state exactly,
-  /// so a hash collision can never merge distinct states — without
-  /// retaining the full key() string per interned state.
+  /// A binary canonical state record kept behind the hash: the tree-
+  /// interned root of the world's residue encoding plus the root of its
+  /// memory encoding. Root equality coincides exactly with the legacy
+  /// (residue string, structural Mem) comparison, so a hash collision
+  /// can never merge distinct states — and the exact-verify step is two
+  /// integer compares against a 24-byte record instead of a string
+  /// compare plus a page walk.
   struct InternRec {
-    std::string Residue;
-    Mem M;
-    unsigned Id = 0;
     uint64_t H = 0;
+    unsigned Id = 0;
+    uint32_t RRoot = 0;
+    uint32_t MRoot = 0;
   };
 
   /// One shard of the interning table: an open-addressed power-of-two
-  /// slot array over a dense record vector (slots hold record index + 1,
-  /// 0 = empty). The maintained 64-bit state hashes are already well
-  /// mixed, so slot = H & Mask with linear probing; compared to a
-  /// chained unordered_map this avoids the prime-modulo division and
-  /// node allocation on every probe, which profiled as the single
-  /// largest cost of exploration. Records live in the shard so
+  /// slot array over a slab-allocated record vector (slots hold record
+  /// index + 1, 0 = empty). The maintained 64-bit state hashes are
+  /// already well mixed, so slot = H & Mask with linear probing;
+  /// compared to a chained unordered_map this avoids the prime-modulo
+  /// division and node allocation on every probe, which profiled as the
+  /// single largest cost of exploration. Records live in the shard so
   /// concurrent probes can verify same-hash entries (including ones
   /// interned earlier in the same layer).
   struct Shard {
     std::mutex Mu;
-    std::vector<InternRec> Recs;
-    std::vector<uint32_t> Table = std::vector<uint32_t>(1024, 0);
-    uint32_t Mask = 1023;
+    /// Small slabs (128 records = 3 KiB) keep the capacity-accounted
+    /// bytes honest on tiny explorations.
+    SlabVector<InternRec, 7> Recs;
+    std::vector<uint32_t> Table = std::vector<uint32_t>(256, 0);
+    uint32_t Mask = 255;
+    /// Parallel legacy key() strings, populated only under
+    /// ExploreOptions::VerifyResidues.
+    std::vector<std::string> DebugKeys;
 
     /// Keeps the load factor under 0.7 so probe chains stay short and an
     /// empty slot always terminates the walk. Called with Mu held.
@@ -715,38 +768,47 @@ private:
         .count();
   }
 
-  /// Fills the representation-cost counters: shared state-representation
-  /// bytes — intern residues, record overhead, each node's shallow memory
-  /// snapshot, and every distinct COW page counted once no matter how
-  /// many snapshots (node worlds or intern records) reference it — the
-  /// page-sharing ratio, and the process peak RSS. Runs single-threaded
-  /// at the end of build(), after BuildMs is taken, so it never skews
-  /// throughput.
+  /// Fills the representation-cost counters. StateBytes is the exact
+  /// retained footprint of the intern store — shard tables, record
+  /// slabs, and the tree/string arenas at capacity — so bytes_per_state
+  /// reports what remembering one more distinct state costs. The state
+  /// graph's own retention (node worlds: shallow snapshots plus each
+  /// distinct COW page once) is reported separately as GraphBytes. Runs
+  /// single-threaded at the end of build(), after BuildMs is taken, so
+  /// it never skews throughput.
   void measureRepresentation() {
+    std::size_t TableBytes = 0, RecBytes = 0;
+    for (const Shard &S : Shards) {
+      TableBytes += S.Table.capacity() * sizeof(uint32_t);
+      RecBytes += S.Recs.stats().CapacityBytes;
+      for (const std::string &K : S.DebugKeys)
+        RecBytes += K.capacity(); // VerifyResidues debug mode only
+    }
+    const StoreStats SS = Store.stats();
+    Stats.TableBytes = TableBytes;
+    Stats.RecBytes = RecBytes;
+    Stats.ArenaCapacityBytes = SS.ArenaCapacityBytes + SS.TableBytes;
+    Stats.ArenaLiveBytes = SS.ArenaLiveBytes;
+    Stats.TreeNodes = SS.TreeNodes;
+    Stats.StateBytes = TableBytes + RecBytes + Stats.ArenaCapacityBytes;
+
     std::unordered_set<const void *> UniquePages;
-    std::size_t Bytes = 0, Refs = 0;
-    auto CountPages = [&](const Mem &M) {
-      M.forEachPageId([&](const void *P) {
+    std::size_t GraphBytes = 0, Refs = 0;
+    for (const Node &N : Nodes) {
+      GraphBytes += N.W.mem().shallowBytes();
+      N.W.mem().forEachPageId([&](const void *P) {
         ++Refs;
         if (UniquePages.insert(P).second)
-          Bytes += Mem::pageBytes();
+          GraphBytes += Mem::pageBytes();
       });
-    };
-    for (const Shard &S : Shards) {
-      Bytes += S.Table.capacity() * sizeof(uint32_t);
-      for (const InternRec &R : S.Recs) {
-        Bytes += sizeof(InternRec) - sizeof(Mem) + R.Residue.capacity() +
-                 R.M.shallowBytes();
-        CountPages(R.M);
-      }
     }
-    for (const Node &N : Nodes) {
-      Bytes += N.W.mem().shallowBytes();
-      CountPages(N.W.mem());
-    }
-    Stats.StateBytes = Bytes;
+    Stats.GraphBytes = GraphBytes;
     Stats.UniqueMemPages = UniquePages.size();
     Stats.TotalPageRefs = Refs;
+
+    const PoolStats PP = Mem::pagePoolStats();
+    Stats.PagePoolCapacityBytes = PP.CapacityBytes;
+    Stats.PagePoolLiveBytes = PP.LiveBytes;
 #if defined(__unix__) || defined(__APPLE__)
     struct rusage RU {};
     if (getrusage(RUSAGE_SELF, &RU) == 0) {
@@ -769,11 +831,19 @@ private:
 
   /// Interns \p W, returning its (possibly provisional) node id. Safe to
   /// call concurrently; new states are recorded in \p Ws and placed into
-  /// Nodes at the next barrier.
+  /// Nodes at the next barrier. The state is identified by the tree-
+  /// interned roots of its binary residue and memory encodings; the
+  /// exact-verify step against a same-hash entry is two integer
+  /// compares (root equality <=> legacy residue+Mem equality).
   unsigned intern(const WorldT &W, WorkerState &Ws) {
     ++Ws.Probes;
     const uint64_t H = maskHash(W.hashKey());
-    std::string Res = W.residueKey();
+    W.residueBytes(Ws.Buf);
+    const uint32_t RRoot = Ws.Buf.takeRoot();
+    const uint32_t MRoot = W.mem().residueRoot(Ws.Buf);
+    std::string DbgKey;
+    if (Opts.VerifyResidues)
+      DbgKey = W.key();
     Shard &S = Shards[H % NumShards];
     std::lock_guard<std::mutex> Lock(S.Mu);
     S.growIfNeeded();
@@ -783,7 +853,11 @@ private:
       const InternRec &Entry = S.Recs[S.Table[I] - 1];
       if (Entry.H != H)
         continue;
-      if (Entry.Residue == Res && Entry.M == W.mem()) {
+      const bool TreeEq = Entry.RRoot == RRoot && Entry.MRoot == MRoot;
+      if (Opts.VerifyResidues)
+        verifyResidueVerdict(TreeEq,
+                             S.DebugKeys[S.Table[I] - 1] == DbgKey);
+      if (TreeEq) {
         ++Ws.DedupHits;
         if (Collided)
           ++Ws.HashCollisions;
@@ -794,10 +868,27 @@ private:
     if (Collided)
       ++Ws.HashCollisions;
     unsigned Id = NextId.fetch_add(1, std::memory_order_relaxed);
-    S.Recs.push_back(InternRec{std::move(Res), W.mem(), Id, H});
+    S.Recs.push_back(InternRec{H, Id, RRoot, MRoot});
     S.Table[I] = static_cast<uint32_t>(S.Recs.size());
+    if (Opts.VerifyResidues) {
+      S.DebugKeys.resize(S.Recs.size());
+      S.DebugKeys[S.Recs.size() - 1] = std::move(DbgKey);
+    }
     Ws.News.push_back(Pending{Id, W, H});
     return Id;
+  }
+
+  /// VerifyResidues cross-check: the tree store's equality verdict must
+  /// agree with legacy key() string equality on every probe. A hard
+  /// abort (not assert) so the check also fires in NDEBUG builds.
+  static void verifyResidueVerdict(bool TreeEq, bool KeyEq) {
+    if (TreeEq != KeyEq) {
+      std::fprintf(stderr,
+                   "FATAL: binary residue verdict (%d) disagrees with "
+                   "legacy key() equality (%d)\n",
+                   int(TreeEq), int(KeyEq));
+      std::abort();
+    }
   }
 
   void mergeCounters(const WorkerState &Ws) {
@@ -818,7 +909,7 @@ private:
                    std::deque<unsigned> &Work) {
     const unsigned LayerBase = NextId.load(std::memory_order_relaxed);
     const unsigned MaxWorkers = std::max(1u, Opts.Threads);
-    std::vector<WorkerState> Ws(MaxWorkers);
+    std::vector<WorkerState> Ws(MaxWorkers, WorkerState(Store));
 
     parallelChunks(Opts.Threads, Batch.size(),
                    [&](std::size_t B, std::size_t E, unsigned Worker) {
@@ -1070,7 +1161,7 @@ private:
           if (!(ReAdd & bitOf(T)))
             continue;
           WorldT SW = Nodes[NIdx].W.switchTo(T);
-          WorkerState Tmp;
+          WorkerState Tmp(Store);
           const unsigned Id = intern(SW, Tmp);
           mergeCounters(Tmp);
           // Serial intern: a fresh id equals the append position, so the
@@ -1226,6 +1317,10 @@ private:
   /// type does not opt in, which routes every node to the full expansion.
   std::shared_ptr<const PorOracle> Oracle;
   std::vector<Node> Nodes;
+  /// The tree/string store every intern record's roots point into; one
+  /// per exploration (its epoch distinguishes this store's cached ids
+  /// from other explorations' in shared Core/Page objects).
+  StateStore Store;
   std::array<Shard, NumShards> Shards;
   std::atomic<unsigned> NextId{0};
   std::vector<unsigned> InitIdx;

@@ -188,6 +188,23 @@ std::string NPWorld::residueKey() const {
   return B.take();
 }
 
+void NPWorld::residueBytes(ResidueBuf &B) const {
+  // Mirrors residueKey(): abort flag (not the reason), scheduler
+  // pointer, the per-thread atomic bits (length-prefixed, packed 32 per
+  // word), then one subtree per thread.
+  B.word(Abort ? 1u : 0u);
+  B.word(Cur);
+  B.word(static_cast<uint32_t>(DBits.size()));
+  for (std::size_t Base = 0; Base < DBits.size(); Base += 32) {
+    uint32_t W = 0;
+    for (std::size_t I = Base; I < DBits.size() && I < Base + 32; ++I)
+      W |= uint32_t(DBits[I] ? 1 : 0) << (I - Base);
+    B.word(W);
+  }
+  for (const ThreadState &T : Threads)
+    B.word(T.residueRoot(B));
+}
+
 std::string NPWorld::key() const {
   StrBuilder B;
   B << residueKey() << '#' << M.key();

@@ -47,6 +47,11 @@ public:
   /// The non-memory part of the canonical key (see World::residueKey).
   std::string residueKey() const;
 
+  /// Binary residue encoding (see World::residueBytes); additionally
+  /// carries the per-thread atomic-bit map as a length-prefixed packed
+  /// bitset.
+  void residueBytes(ResidueBuf &B) const;
+
   /// 64-bit hash over the same components as key(), assembled from the
   /// maintained Mem hash and the cached per-thread hashes; equal worlds
   /// hash equally, collisions are resolved by exact comparison.

@@ -1,0 +1,149 @@
+//===- core/StatePool.h - Slab pools for the state store --------*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Slab allocation for the exploration engine's state representation:
+///
+///  - SlabVector<T>: an append-only chunked array with stable element
+///    addresses (no reallocation copies) used for intern records and
+///    tree-store nodes. Exposes exact capacity-vs-live byte accounting so
+///    ExploreStats::StateBytes can report arena bytes honestly instead of
+///    guessing at std::vector growth slack.
+///  - RecyclingPool<T>: a thread-safe free-list slab pool for objects with
+///    high churn — the COW memory pages, which previously went through
+///    one shared_ptr control-block allocation each. Recycled objects are
+///    reused in LIFO order, so hot exploration loops keep touching the
+///    same few cache-warm slots.
+///
+/// Both are dependency-free templates (mem/ includes this header for the
+/// page pool, so it must not pull in core types).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_CORE_STATEPOOL_H
+#define CASCC_CORE_STATEPOOL_H
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <new>
+#include <utility>
+#include <vector>
+
+namespace ccc {
+
+/// Exact byte accounting of one arena: what the slabs reserve vs what the
+/// live objects actually occupy. CapacityBytes >= LiveBytes always; the
+/// difference is allocation slack the process is still charged for, which
+/// is why StateBytes accounts capacity, not live.
+struct PoolStats {
+  std::size_t CapacityBytes = 0;
+  std::size_t LiveBytes = 0;
+  std::size_t LiveObjects = 0;
+};
+
+/// An append-only chunked array: grows by fixed-size slabs, never moves
+/// an element, and reports exact slab capacity. Indexing is two shifts —
+/// ChunkSize is a power of two.
+template <typename T, std::size_t ChunkSizeLog2 = 12> class SlabVector {
+public:
+  static constexpr std::size_t ChunkSize = std::size_t(1) << ChunkSizeLog2;
+  static constexpr std::size_t ChunkMask = ChunkSize - 1;
+
+  std::size_t size() const { return Count; }
+  bool empty() const { return Count == 0; }
+
+  T &operator[](std::size_t I) {
+    return Chunks[I >> ChunkSizeLog2][I & ChunkMask];
+  }
+  const T &operator[](std::size_t I) const {
+    return Chunks[I >> ChunkSizeLog2][I & ChunkMask];
+  }
+
+  T &push_back(T V) {
+    if ((Count & ChunkMask) == 0 && (Count >> ChunkSizeLog2) == Chunks.size())
+      Chunks.push_back(std::make_unique<T[]>(ChunkSize));
+    T &Slot = (*this)[Count];
+    Slot = std::move(V);
+    ++Count;
+    return Slot;
+  }
+
+  /// Exact arena accounting: slabs reserved vs elements live.
+  PoolStats stats() const {
+    PoolStats S;
+    S.CapacityBytes = Chunks.size() * ChunkSize * sizeof(T) +
+                      Chunks.capacity() * sizeof(Chunks[0]);
+    S.LiveBytes = Count * sizeof(T);
+    S.LiveObjects = Count;
+    return S;
+  }
+
+private:
+  std::vector<std::unique_ptr<T[]>> Chunks;
+  std::size_t Count = 0;
+};
+
+/// A thread-safe recycling slab pool: objects are carved out of fixed
+/// slabs and returned to a LIFO free list instead of the heap. acquire()
+/// default- or copy-constructs in place; release() destroys and recycles
+/// the slot. Slabs are never returned to the OS (the exploration engine's
+/// grow-only discipline), so CapacityBytes is monotone and exact.
+template <typename T, std::size_t SlabObjects = 1024> class RecyclingPool {
+public:
+  template <typename... Args> T *acquire(Args &&...CtorArgs) {
+    void *Slot = takeSlot();
+    return ::new (Slot) T(std::forward<Args>(CtorArgs)...);
+  }
+
+  void release(T *Obj) {
+    Obj->~T();
+    std::lock_guard<std::mutex> Lock(Mu);
+    FreeList.push_back(Obj);
+    --Live;
+  }
+
+  PoolStats stats() const {
+    std::lock_guard<std::mutex> Lock(Mu);
+    PoolStats S;
+    S.CapacityBytes = Slabs.size() * SlabObjects * sizeof(T) +
+                      FreeList.capacity() * sizeof(void *);
+    S.LiveBytes = Live * sizeof(T);
+    S.LiveObjects = Live;
+    return S;
+  }
+
+private:
+  void *takeSlot() {
+    std::lock_guard<std::mutex> Lock(Mu);
+    if (FreeList.empty()) {
+      Slabs.push_back(
+          std::make_unique<Storage[]>(SlabObjects));
+      Storage *Slab = Slabs.back().get();
+      FreeList.reserve(FreeList.size() + SlabObjects);
+      // Push in reverse so the LIFO free list hands out ascending
+      // addresses within a fresh slab.
+      for (std::size_t I = SlabObjects; I > 0; --I)
+        FreeList.push_back(&Slab[I - 1]);
+    }
+    void *Slot = FreeList.back();
+    FreeList.pop_back();
+    ++Live;
+    return Slot;
+  }
+
+  using Storage = std::aligned_storage_t<sizeof(T), alignof(T)>;
+  mutable std::mutex Mu;
+  std::vector<std::unique_ptr<Storage[]>> Slabs;
+  std::vector<void *> FreeList;
+  std::size_t Live = 0;
+};
+
+} // namespace ccc
+
+#endif // CASCC_CORE_STATEPOOL_H

@@ -179,6 +179,16 @@ std::string World::residueKey() const {
   return B.take();
 }
 
+void World::residueBytes(ResidueBuf &B) const {
+  // Mirrors residueKey(): the abort *flag* is part of the key, the
+  // abort reason is not (two aborted worlds with different reasons are
+  // key-equal, and the binary encoding must agree).
+  B.word((Abort ? 1u : 0u) | (AtomBit ? 2u : 0u));
+  B.word(Cur);
+  for (const ThreadState &T : Threads)
+    B.word(T.residueRoot(B));
+}
+
 std::string World::key() const {
   StrBuilder B;
   B << residueKey() << '#' << M.key();

@@ -66,6 +66,13 @@ public:
   /// strings.
   std::string residueKey() const;
 
+  /// Binary residue encoding: emits the same components as residueKey()
+  /// as fixed-width words (abort/atomic flags, scheduler pointer, one
+  /// interned subtree id per thread) into \p B. Word-sequence equality
+  /// coincides exactly with residueKey() equality; the engine interns
+  /// the span via B.takeRoot() and dedups on the resulting node id.
+  void residueBytes(ResidueBuf &B) const;
+
   /// 64-bit hash over the same components as key(), assembled from the
   /// maintained Mem hash and the cached per-thread hashes; equal worlds
   /// hash equally, collisions are resolved by exact comparison.

@@ -137,6 +137,31 @@ uint64_t ThreadState::hash() const {
   return HashCache;
 }
 
+uint32_t ThreadState::residueRoot(ResidueBuf &B) const {
+  uint32_t Id;
+  if (B.store().cacheHit(ResidueCache, Id))
+    return Id;
+  Id = B.subIntern([&] {
+    if (Finished) {
+      B.word(1);
+    } else {
+      // Mirrors key(): the frame cursor, then per frame the module
+      // index, the frame region base, and the core's own subtree.
+      // Frame sizes are fixed (Program::FrameRegionSize), so the base
+      // plus the core pin the frame exactly as the string key does.
+      B.word(0);
+      B.word(NextFrameOff);
+      for (const Frame &F : Stack) {
+        B.word(F.ModIdx);
+        B.word64(static_cast<uint64_t>(F.F.base()));
+        B.word(F.C->residueRoot(B));
+      }
+    }
+  });
+  ResidueCache = B.store().cacheWord(Id);
+  return Id;
+}
+
 std::vector<Footprint> ccc::predictAtomicBlock(const ModuleLang &Lang,
                                                const FreeList &F,
                                                const CoreRef &AfterEnt,

@@ -83,8 +83,18 @@ public:
   /// 64-bit hash over the same components as key(), cached alongside it.
   uint64_t hash() const;
 
+  /// Interns the binary residue encoding of this thread state (same
+  /// components as key(): finished flag, frame cursor, per-frame module
+  /// index / frame base / core subtree) and returns the tree-node id.
+  /// Cached until the next mutation; the cache rides along on copies,
+  /// so threads the step did not touch skip re-encoding entirely.
+  uint32_t residueRoot(ResidueBuf &B) const;
+
 private:
-  void invalidate() { CacheValid = false; }
+  void invalidate() {
+    CacheValid = false;
+    ResidueCache = 0;
+  }
 
   std::vector<Frame> Stack;
   uint32_t NextFrameOff = 0;
@@ -96,6 +106,10 @@ private:
   mutable std::string KeyCache;
   mutable uint64_t HashCache = 0;
   mutable bool CacheValid = false;
+
+  /// residueRoot() cache packed as (store epoch << 32) | node id; 0 =
+  /// empty. Same exclusive-access discipline as KeyCache.
+  mutable uint64_t ResidueCache = 0;
 };
 
 /// The label of a global step (paper: o ::= tau | e | sw, Fig. 7).

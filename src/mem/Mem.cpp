@@ -2,9 +2,11 @@
 
 #include "mem/Mem.h"
 
+#include "core/BinResidue.h"
 #include "support/StrUtil.h"
 
 #include <algorithm>
+#include <bit>
 
 using namespace ccc;
 
@@ -40,7 +42,9 @@ bool Mem::store(Addr A, const Value &V) {
   Page &P = pageForWrite(*E);
   P.Slots[S] = V;
   P.Hash ^= Delta;
+  P.InternCache.store(0, std::memory_order_relaxed);
   Hash ^= Delta;
+  ResidueCache = 0;
   return true;
 }
 
@@ -53,7 +57,7 @@ bool Mem::alloc(Addr A, const Value &Init) {
   if (It == Pages.end() || It->Index != Idx) {
     PageEntry Fresh;
     Fresh.Index = Idx;
-    Fresh.P = std::make_shared<Page>();
+    Fresh.P = PageRef(pagePool().acquire());
     It = Pages.insert(It, std::move(Fresh));
   } else if ((It->P->AllocMask >> S) & 1) {
     return false;
@@ -63,7 +67,9 @@ bool Mem::alloc(Addr A, const Value &Init) {
   P.Slots[S] = Init;
   P.AllocMask |= uint64_t(1) << S;
   P.Hash ^= Delta;
+  P.InternCache.store(0, std::memory_order_relaxed);
   Hash ^= Delta;
+  ResidueCache = 0;
   ++DomCount;
   return true;
 }
@@ -139,4 +145,49 @@ std::size_t Mem::pageBytes() { return sizeof(Page); }
 
 std::size_t Mem::shallowBytes() const {
   return sizeof(Mem) + Pages.capacity() * sizeof(PageEntry);
+}
+
+RecyclingPool<Mem::Page> &Mem::pagePool() {
+  // Leaked on purpose: pages held by static-storage Mems release during
+  // teardown in unspecified order, so the pool must outlive them all.
+  static RecyclingPool<Page> *P = new RecyclingPool<Page>();
+  return *P;
+}
+
+PoolStats Mem::pagePoolStats() { return pagePool().stats(); }
+
+uint32_t Mem::pageRoot(const Page &P, ResidueBuf &B) {
+  uint32_t Id;
+  uint64_t Cached = P.InternCache.load(std::memory_order_relaxed);
+  if (B.store().cacheHit(Cached, Id))
+    return Id;
+  Id = B.subIntern([&] {
+    // The bitmap pins which slots follow, and unallocated slots are
+    // kept at Value(), so this is a canonical encoding of the page
+    // content: word-equal iff the pages compare content-equal.
+    B.word64(P.AllocMask);
+    uint64_t Mask = P.AllocMask;
+    while (Mask) {
+      const unsigned S = static_cast<unsigned>(std::countr_zero(Mask));
+      Mask &= Mask - 1;
+      B.word(static_cast<uint32_t>(P.Slots[S].kind()));
+      B.word(P.Slots[S].rawBits());
+    }
+  });
+  P.InternCache.store(B.store().cacheWord(Id), std::memory_order_relaxed);
+  return Id;
+}
+
+uint32_t Mem::residueRoot(ResidueBuf &B) const {
+  uint32_t Id;
+  if (B.store().cacheHit(ResidueCache, Id))
+    return Id;
+  Id = B.subIntern([&] {
+    for (const PageEntry &E : Pages) {
+      B.word(E.Index);
+      B.word(pageRoot(*E.P, B));
+    }
+  });
+  ResidueCache = B.store().cacheWord(Id);
+  return Id;
 }

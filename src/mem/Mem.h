@@ -33,10 +33,12 @@
 #ifndef CASCC_MEM_MEM_H
 #define CASCC_MEM_MEM_H
 
+#include "core/StatePool.h"
 #include "mem/Addr.h"
 #include "mem/Value.h"
 
 #include <array>
+#include <atomic>
 #include <bit>
 #include <cstdint>
 #include <memory>
@@ -45,6 +47,8 @@
 #include <vector>
 
 namespace ccc {
+
+class ResidueBuf;
 
 /// A finite partial map from addresses to values.
 class Mem {
@@ -128,6 +132,16 @@ public:
   /// Canonical key for memoized state exploration.
   std::string key() const;
 
+  /// Interns the binary encoding of this memory into \p B's tree store
+  /// and returns the root node id: one (page index, page-content
+  /// subtree) pair per page, in index order. Two memories receive the
+  /// same root iff they are operator==-equal. Page subtrees are cached
+  /// on the page object (equal contents hash-cons to the same id even
+  /// across distinct page objects) and the whole-memory root is cached
+  /// on the Mem until the next mutation, so the common re-encode after
+  /// a step only visits the page the step wrote.
+  uint32_t residueRoot(ResidueBuf &B) const;
+
   /// Maintained 64-bit hash: a field read. Equal memories hash equally;
   /// colliding hashes are disambiguated by exact comparison.
   uint64_t hashKey() const { return Hash; }
@@ -185,6 +199,10 @@ public:
   /// referenced by many snapshots is paid for once).
   static std::size_t pageBytes();
 
+  /// Exact byte accounting of the process-wide page pool (slab capacity
+  /// vs live pages); surfaced in ExploreStats.
+  static PoolStats pagePoolStats();
+
   /// Shallow bytes owned by this Mem itself: the object plus its
   /// page-table entries, excluding the (shared) page contents.
   std::size_t shallowBytes() const;
@@ -200,18 +218,78 @@ private:
   /// One fixed-size page: slot values, the allocation bitmap (the page's
   /// slice of dom(sigma)), and the XOR-fold of its allocated slots'
   /// hashes. Unallocated slots are kept at Value() so whole-page
-  /// comparisons need not mask them.
+  /// comparisons need not mask them. Pages are pool-allocated
+  /// (RecyclingPool) with an intrusive refcount instead of going through
+  /// one shared_ptr control block per page.
   struct Page {
     std::array<Value, PageSize> Slots;
     uint64_t AllocMask = 0;
     uint64_t Hash = 0;
+    /// Cached residue subtree id, (store epoch << 32) | node id; 0 =
+    /// empty. Reset by the mutators; the copy keeps it (a clone is
+    /// content-equal until its first write).
+    mutable std::atomic<uint64_t> InternCache{0};
+    /// Intrusive refcount; a fresh or cloned page starts exclusively
+    /// owned.
+    std::atomic<uint32_t> RC{1};
+
+    Page() = default;
+    Page(const Page &O)
+        : Slots(O.Slots), AllocMask(O.AllocMask), Hash(O.Hash),
+          InternCache(O.InternCache.load(std::memory_order_relaxed)) {}
   };
-  using PageRef = std::shared_ptr<Page>;
+
+  /// Intrusive smart pointer over pool-allocated pages; drop-in for the
+  /// former shared_ptr<Page> (get / == / use_count), releasing the page
+  /// back to the recycling pool at refcount zero.
+  class PageRef {
+  public:
+    PageRef() = default;
+    /// Adopts a page fresh from the pool (refcount already 1).
+    explicit PageRef(Page *Adopted) : P(Adopted) {}
+    PageRef(const PageRef &O) : P(O.P) { retain(); }
+    PageRef(PageRef &&O) noexcept : P(O.P) { O.P = nullptr; }
+    PageRef &operator=(const PageRef &O) {
+      PageRef Tmp(O);
+      std::swap(P, Tmp.P);
+      return *this;
+    }
+    PageRef &operator=(PageRef &&O) noexcept {
+      std::swap(P, O.P);
+      return *this;
+    }
+    ~PageRef() { releaseRef(); }
+
+    Page *get() const { return P; }
+    Page &operator*() const { return *P; }
+    Page *operator->() const { return P; }
+    explicit operator bool() const { return P != nullptr; }
+    bool operator==(const PageRef &O) const { return P == O.P; }
+    bool operator!=(const PageRef &O) const { return P != O.P; }
+    uint32_t use_count() const {
+      return P ? P->RC.load(std::memory_order_relaxed) : 0;
+    }
+
+  private:
+    void retain() {
+      if (P)
+        P->RC.fetch_add(1, std::memory_order_relaxed);
+    }
+    void releaseRef();
+    Page *P = nullptr;
+  };
 
   struct PageEntry {
     uint32_t Index = 0;
     PageRef P;
   };
+
+  /// The process-wide page pool (leaked on purpose: pages held by
+  /// statics may be released during teardown in any order).
+  static RecyclingPool<Page> &pagePool();
+
+  /// Encodes and interns one page's content (cached on the page).
+  static uint32_t pageRoot(const Page &P, ResidueBuf &B);
 
   /// Mixes one (address, value) binding into a 64-bit slot hash. The
   /// whole-memory hash is the XOR of slot hashes, so this must scatter
@@ -244,7 +322,7 @@ private:
   /// exclusively-owned page to write into.
   Page &pageForWrite(PageEntry &E) {
     if (E.P.use_count() != 1)
-      E.P = std::make_shared<Page>(*E.P);
+      E.P = PageRef(pagePool().acquire(*E.P));
     return *E.P;
   }
 
@@ -256,7 +334,16 @@ private:
   uint64_t Hash = 0;
   /// |dom(sigma)|, maintained on allocation.
   std::size_t DomCount = 0;
+  /// residueRoot() cache, (store epoch << 32) | node id; 0 = empty.
+  /// Reset by the mutators; kept on copy (the copy is content-equal).
+  mutable uint64_t ResidueCache = 0;
 };
+
+inline void Mem::PageRef::releaseRef() {
+  if (P && P->RC.fetch_sub(1, std::memory_order_acq_rel) == 1)
+    pagePool().release(P);
+  P = nullptr;
+}
 
 template <typename Fn>
 void Mem::forEachDiff(const Mem &Before, const Mem &After, Fn &&F) {

@@ -92,6 +92,46 @@ const std::string &ccc::sync::piLockFencedSource() {
   return Src;
 }
 
+const std::string &ccc::sync::piLockRecursiveSource() {
+  // As piLockSource, but the acquire spin loop is a recursive retry call
+  // and the release store drains through a recursive flush helper. The
+  // release store is pending across the same-module `call rflush`, so
+  // only a summary that closes the recursive call group — every rflush
+  // path ends in the mfence — can certify it; a memoized one-pass
+  // summary turns the back-edge into a spurious boundary escape.
+  static const std::string Src = R"(
+    .data L 1
+    .entry lock 0 0
+    .entry unlock 0 0
+    .entry rflush 0 0
+
+    lock:
+            movl    $L, %ecx
+            movl    $0, %edx
+            movl    $1, %eax
+            lock cmpxchgl %edx, (%ecx)
+            je      enter
+            call    lock
+    enter:
+            retl
+
+    unlock:
+            movl    $1, L
+            call    rflush
+            retl
+
+    rflush:
+            movl    $0, %ecx
+            cmpl    $0, %ecx
+            je      rdone
+            call    rflush
+    rdone:
+            mfence
+            retl
+  )";
+  return Src;
+}
+
 unsigned ccc::sync::addGammaLock(Program &P) {
   return cimp::addCImpModule(P, "lockspec", gammaLockSource(),
                              /*ObjectMode=*/true);
@@ -104,5 +144,10 @@ unsigned ccc::sync::addPiLock(Program &P, x86::MemModel Model) {
 
 unsigned ccc::sync::addPiLockFenced(Program &P, x86::MemModel Model) {
   return x86::addAsmModule(P, "lockimpl", piLockFencedSource(), Model,
+                           /*ObjectMode=*/true);
+}
+
+unsigned ccc::sync::addPiLockRecursive(Program &P, x86::MemModel Model) {
+  return x86::addAsmModule(P, "lockimpl", piLockRecursiveSource(), Model,
                            /*ObjectMode=*/true);
 }

@@ -53,6 +53,18 @@ unsigned addPiLock(Program &P, x86::MemModel Model);
 /// "lockimpl"; returns the module index.
 unsigned addPiLockFenced(Program &P, x86::MemModel Model);
 
+/// pi_lock with the spin loop expressed as a recursive retry call and the
+/// release store flushed through a recursive same-module helper: the
+/// store is pending across `call rflush`, so certifying it requires the
+/// robustness pass to close the recursive call group into a real summary
+/// (every rflush path ends in an mfence) instead of degrading the
+/// back-edge to a boundary escape.
+const std::string &piLockRecursiveSource();
+
+/// Registers the recursive pi_lock variant as an x86 object module named
+/// "lockimpl" under the given memory model; returns the module index.
+unsigned addPiLockRecursive(Program &P, x86::MemModel Model);
+
 } // namespace sync
 } // namespace ccc
 

@@ -149,6 +149,33 @@ Program ccc::workload::asmCounterWithPiLockFenced(x86::MemModel Model,
   return P;
 }
 
+Program ccc::workload::asmCounterWithRecLock(x86::MemModel Model,
+                                             unsigned Threads) {
+  Program P;
+  x86::addAsmModule(P, "client", R"(
+    .data x 0
+    .entry inc 0 0
+    .extern lock 0
+    .extern unlock 0
+    inc:
+            call lock
+            movl x, %ebx
+            movl %ebx, %ecx
+            addl $1, %ecx
+            movl %ecx, x
+            mfence
+            call unlock
+            printl %ebx
+            retl
+  )",
+                    Model);
+  sync::addPiLockRecursive(P, Model);
+  for (unsigned T = 0; T < Threads; ++T)
+    P.addThread("inc");
+  P.link();
+  return P;
+}
+
 Program ccc::workload::fencedPingPong(x86::MemModel Model, unsigned Rounds) {
   StrBuilder B;
   B << "    .data x 0\n"

@@ -57,6 +57,13 @@ Program asmCounterWithPiLock(x86::MemModel Model, unsigned Threads);
 /// path applies to the whole program.
 Program asmCounterWithPiLockFenced(x86::MemModel Model, unsigned Threads);
 
+/// The fenced counter client against the recursive pi_lock variant
+/// (sync::piLockRecursiveSource): the lock spins by recursive retry and
+/// the release drains through a recursive same-module flush helper, so
+/// certifying the lock module exercises the robustness pass's summary
+/// fixpoint over recursive call groups.
+Program asmCounterWithRecLock(x86::MemModel Model, unsigned Threads);
+
 /// An iterated store-buffering ping-pong: two threads, each round stores
 /// its own flag, fences, then loads (and prints) the peer's flag,
 /// \p Rounds times. Robust (every store is immediately fenced) but racy,

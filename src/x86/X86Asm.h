@@ -138,6 +138,14 @@ struct EntryInfo {
   unsigned PCIndex = 0;
   uint32_t FrameSize = 0;
   unsigned Arity = 0;
+  /// Frame-layout extent: one past the largest non-negative esp-relative
+  /// displacement the entry's reachable code addresses directly (at
+  /// least FrameSize). Filled by the parser; analyses use it to bound
+  /// which cells of the entry's fixed frame region the code may treat
+  /// as its own even when the declared frame is smaller. Zero when the
+  /// module was built without the parser (the declared size then stands
+  /// alone).
+  uint32_t FrameExtent = 0;
 };
 
 /// An x86 module: one flat code stream with labels, entry points, data

@@ -46,6 +46,29 @@ public:
     }
     return B.take();
   }
+
+  void residueBytes(ResidueBuf &B) const override {
+    B.word(PC);
+    // Register kinds packed 2 bits each, then the raw payloads.
+    uint32_t Kinds = 0;
+    for (unsigned I = 0; I < NumRegs; ++I)
+      Kinds |= static_cast<uint32_t>(Regs[I].kind()) << (2 * I);
+    B.word(Kinds);
+    for (const Value &V : Regs)
+      B.word(V.rawBits());
+    // Mirrors key(): a stale CmpVal is omitted while the flags are
+    // invalid (the flag word says whether the two CmpVal words follow).
+    B.word((FlagsValid ? 1u : 0u) | (FrameAllocated ? 2u : 0u));
+    if (FlagsValid)
+      B.word64(static_cast<uint64_t>(CmpVal));
+    B.word(FrameSize);
+    B.word(static_cast<uint32_t>(Buf.size()));
+    for (const auto &E : Buf) {
+      B.word64(static_cast<uint64_t>(E.first));
+      B.word(static_cast<uint32_t>(E.second.kind()));
+      B.word(E.second.rawBits());
+    }
+  }
 };
 
 bool condHolds(Cond C, int64_t CmpVal) {

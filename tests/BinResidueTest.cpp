@@ -1,0 +1,246 @@
+//===- tests/BinResidueTest.cpp - Binary residue differential --------------===//
+//
+// Differential test of the binary tree-compressed state store against the
+// legacy string-keyed representation: across tens of thousands of real
+// workload states, two states receive equal (residue root, memory root)
+// pairs exactly when their legacy key() strings are equal; decoded word
+// vectors agree with a test-side flat map of the same states; and the
+// DebugHashBits collision hook plus the VerifyResidues cross-check keep
+// the exact-verify fallback honest.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/BinResidue.h"
+#include "core/Semantics.h"
+#include "workload/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+using namespace ccc;
+
+namespace {
+
+using RootPair = std::pair<uint32_t, uint32_t>;
+
+/// Re-encodes every explored state of \p P into a fresh StateStore and
+/// checks the store's contract against the legacy string keys:
+///  - distinct explorer states (which are deduped, hence pairwise
+///    distinct) get pairwise distinct root pairs AND pairwise distinct
+///    legacy keys — equal roots iff equal keys, over all state pairs;
+///  - re-encoding a state (reverse order, warm caches) reproduces the
+///    same roots — interning is deterministic and cache-transparent;
+///  - decoded word vectors form a flat map that is in bijection with the
+///    tree root ids (the injectivity invariant, DESIGN.md §4h).
+template <typename WorldT>
+void differentialFamily(const Program &P, const char *Name) {
+  ExploreOptions Opts;
+  Opts.Threads = 2;
+  Explorer<WorldT> E(Opts);
+  if constexpr (std::is_same_v<WorldT, NPWorld>)
+    E.build(NPWorld::loadAll(P));
+  else
+    E.build(WorldT::load(P, 0));
+  ASSERT_GT(E.numStates(), 0u) << Name;
+
+  StateStore Store;
+  ResidueBuf Buf(Store);
+  auto encode = [&](const WorldT &W) -> RootPair {
+    W.residueBytes(Buf);
+    uint32_t R = Buf.takeRoot();
+    uint32_t M = W.mem().residueRoot(Buf);
+    return {R, M};
+  };
+
+  std::vector<RootPair> Roots(E.numStates());
+  std::map<std::string, RootPair> ByKey;
+  std::map<RootPair, std::string> ByRoot;
+  for (std::size_t I = 0; I < E.numStates(); ++I) {
+    const WorldT &W = E.world(I);
+    Roots[I] = encode(W);
+    std::string K = W.key();
+    // The explorer dedups on the binary roots, so every stored state
+    // must carry a fresh key (or the binary store merged two states the
+    // legacy representation distinguishes)...
+    EXPECT_TRUE(ByKey.emplace(K, Roots[I]).second)
+        << Name << ": states " << I << " share a legacy key";
+    // ...and a fresh root pair (or the legacy keys distinguish states
+    // the binary store cannot).
+    EXPECT_TRUE(ByRoot.emplace(Roots[I], K).second)
+        << Name << ": state " << I << " shares roots with the state keyed "
+        << ByRoot[Roots[I]];
+  }
+
+  // Reverse-order second pass: same store, warm sub-intern caches; every
+  // state must reproduce its first-pass roots exactly.
+  for (std::size_t I = E.numStates(); I-- > 0;) {
+    RootPair Again = encode(E.world(I));
+    EXPECT_EQ(Again, Roots[I]) << Name << ": state " << I
+                               << " re-encoded to different roots";
+  }
+
+  // Flat-map cross-check: decode every root into its word vector; the
+  // map decoded-vectors -> root-pair must be a bijection (equal vectors
+  // iff equal ids).
+  std::map<std::pair<std::vector<uint32_t>, std::vector<uint32_t>>, RootPair>
+      Flat;
+  for (std::size_t I = 0; I < E.numStates(); ++I) {
+    std::vector<uint32_t> R, M;
+    Store.Tree.decode(Roots[I].first, R);
+    Store.Tree.decode(Roots[I].second, M);
+    auto [It, New] = Flat.emplace(std::make_pair(std::move(R), std::move(M)),
+                                  Roots[I]);
+    if (!New)
+      EXPECT_EQ(It->second, Roots[I])
+          << Name << ": distinct roots decode to equal word vectors";
+    else
+      EXPECT_TRUE(New);
+  }
+  EXPECT_EQ(Flat.size(), E.numStates()) << Name;
+}
+
+} // namespace
+
+TEST(BinResidue, DifferentialAgainstLegacyKeys) {
+  // ~29k states across every world type and memory model: the CImp
+  // preemptive families (including the 24885-state locked t=3), the
+  // non-preemptive world, Clight, and the x86-TSO litmus workloads.
+  differentialFamily<World>(workload::lockedCounter(3, 1, 0), "locked t=3");
+  differentialFamily<World>(workload::racyCounter(2), "racy t=2");
+  differentialFamily<World>(workload::atomicCounter(3, 3), "atomic t=3 w=3");
+  differentialFamily<World>(workload::clightLockedCounter(2),
+                            "clight locked t=2");
+  differentialFamily<World>(workload::sbLitmus(x86::MemModel::TSO, false),
+                            "sb tso");
+  differentialFamily<World>(workload::fencedPingPong(x86::MemModel::TSO, 2),
+                            "pingpong tso");
+  differentialFamily<NPWorld>(workload::lockedCounter(2, 1, 0),
+                              "locked t=2 [np]");
+}
+
+TEST(BinResidue, ForcedHashCollisionsExactVerify) {
+  // DebugHashBits=4 leaves 16 distinct hashes for 850 states: nearly
+  // every probe meets a same-hash different-state entry and must be
+  // saved by the exact binary comparison. With VerifyResidues on, every
+  // probe additionally cross-checks the tree verdict against legacy
+  // string equality and aborts on divergence — so a green run certifies
+  // agreement on thousands of collision probes. Results must be
+  // bit-identical to the full-hash run.
+  Program P = workload::lockedCounter(2, 1, 0);
+
+  ExploreOptions Full;
+  Explorer<World> EFull(Full);
+  EFull.build(World::load(P, 0));
+
+  ExploreOptions Collide;
+  Collide.DebugHashBits = 4;
+  Collide.VerifyResidues = true;
+  Explorer<World> ECol(Collide);
+  ECol.build(World::load(P, 0));
+
+  EXPECT_EQ(ECol.numStates(), EFull.numStates());
+  EXPECT_EQ(ECol.traces().toString(), EFull.traces().toString());
+  EXPECT_GT(ECol.stats().HashCollisions, 0u);
+  EXPECT_EQ(EFull.stats().HashCollisions, 0u);
+  // The debug keys retained under VerifyResidues are charged to the
+  // store accounting.
+  EXPECT_GT(ECol.stats().RecBytes, EFull.stats().RecBytes);
+}
+
+TEST(BinResidue, TreeStoreInternsSpansInjectively) {
+  TreeStore T;
+  std::vector<std::vector<uint32_t>> Spans = {
+      {},
+      {0},
+      {1},
+      {1, 2},
+      {2, 1},
+      {1, 2, 3},
+      {1, 2, 3, 4, 5, 6, 7},
+      {1, 2, 3, 4, 5, 6, 7, 8},
+      {0, 0, 0, 0},
+      {0, 0, 0},
+  };
+  std::vector<uint32_t> Ids;
+  for (const auto &S : Spans)
+    Ids.push_back(T.internSpan(S.data(), S.size()));
+  for (std::size_t I = 0; I < Spans.size(); ++I) {
+    // Same span, same id; decode roundtrips.
+    EXPECT_EQ(T.internSpan(Spans[I].data(), Spans[I].size()), Ids[I]);
+    std::vector<uint32_t> Out;
+    T.decode(Ids[I], Out);
+    EXPECT_EQ(Out, Spans[I]);
+    // Distinct spans, distinct ids.
+    for (std::size_t J = I + 1; J < Spans.size(); ++J)
+      EXPECT_NE(Ids[I], Ids[J]) << I << " vs " << J;
+  }
+  // Re-interning adds no nodes (hash-consing), and shared subtrees are
+  // stored once: the node count is far below the sum of span lengths.
+  std::size_t Nodes = T.numNodes();
+  for (const auto &S : Spans)
+    T.internSpan(S.data(), S.size());
+  EXPECT_EQ(T.numNodes(), Nodes);
+}
+
+TEST(BinResidue, SharedSubtreesAreStoredOnce) {
+  // Two long vectors differing only in the last element share the whole
+  // left spine: interning the second adds only the right-edge path, not
+  // a second copy of the tree.
+  TreeStore T;
+  std::vector<uint32_t> A(1024), B;
+  for (std::size_t I = 0; I < A.size(); ++I)
+    A[I] = static_cast<uint32_t>(I * 7 + 1);
+  B = A;
+  B.back() ^= 0xdeadbeef;
+  uint32_t IdA = T.internSpan(A.data(), A.size());
+  std::size_t AfterA = T.numNodes();
+  uint32_t IdB = T.internSpan(B.data(), B.size());
+  std::size_t AfterB = T.numNodes();
+  EXPECT_NE(IdA, IdB);
+  // log2(1024) = 10: only the rightmost root-to-leaf path differs.
+  EXPECT_LE(AfterB - AfterA, 11u);
+  std::vector<uint32_t> OutA, OutB;
+  T.decode(IdA, OutA);
+  T.decode(IdB, OutB);
+  EXPECT_EQ(OutA, A);
+  EXPECT_EQ(OutB, B);
+}
+
+TEST(BinResidue, StringInternerRoundtrips) {
+  StringInterner S;
+  uint32_t A = S.intern("alpha");
+  uint32_t B = S.intern("beta");
+  uint32_t Empty = S.intern("");
+  EXPECT_NE(A, B);
+  EXPECT_NE(A, Empty);
+  EXPECT_EQ(S.intern("alpha"), A);
+  EXPECT_EQ(S.intern(std::string("al") + "pha"), A);
+  EXPECT_EQ(S.text(A), "alpha");
+  EXPECT_EQ(S.text(B), "beta");
+  EXPECT_EQ(S.text(Empty), "");
+  // Enough strings to force table growth; ids stay dense and stable.
+  for (unsigned I = 0; I < 1000; ++I)
+    S.intern("str" + std::to_string(I));
+  EXPECT_EQ(S.intern("alpha"), A);
+  EXPECT_EQ(S.text(B), "beta");
+}
+
+TEST(BinResidue, CacheWordsAreEpochScoped) {
+  // A cache word minted by one store never hits in another — the epoch
+  // guard that lets shared Core/Page objects carry a single cached id
+  // across Explorer instances.
+  StateStore S1, S2;
+  uint64_t W1 = S1.cacheWord(42);
+  EXPECT_NE(W1, 0u) << "0 must remain the universal empty sentinel";
+  uint32_t Id = 0;
+  EXPECT_TRUE(S1.cacheHit(W1, Id));
+  EXPECT_EQ(Id, 42u);
+  EXPECT_FALSE(S2.cacheHit(W1, Id));
+  EXPECT_FALSE(S1.cacheHit(0, Id));
+  EXPECT_FALSE(S1.cacheHit(S2.cacheWord(42), Id));
+}

@@ -29,6 +29,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <tuple>
 #include <vector>
 
 using namespace ccc;
@@ -404,6 +405,61 @@ TEST(EngineStats, CountersAreCoherent) {
   EXPECT_NE(J.find("\"states\":"), std::string::npos);
   EXPECT_NE(J.find("\"dedup_hits\":"), std::string::npos);
   EXPECT_NE(J.find("\"truncated\":false"), std::string::npos);
+}
+
+TEST(EngineStats, StateBytesAccountingIsCoherent) {
+  // StateBytes is the exact retained cost of the intern store and must
+  // decompose into its three published components; the arena and page
+  // pool live/capacity pairs must respect capacity >= live. The page
+  // pool is process-wide (slabs are recycled across explorations), so it
+  // is deliberately *not* part of StateBytes.
+  Program P = workload::lockedCounter(2, 1, 0);
+  Explorer<World> E;
+  E.build(World::load(P));
+  const ExploreStats &S = E.stats();
+  EXPECT_EQ(S.StateBytes,
+            S.TableBytes + S.RecBytes + S.ArenaCapacityBytes);
+  EXPECT_GT(S.TableBytes, 0u);
+  EXPECT_GT(S.RecBytes, 0u);
+  EXPECT_GT(S.TreeNodes, 0u);
+  EXPECT_LE(S.ArenaLiveBytes, S.ArenaCapacityBytes);
+  EXPECT_GT(S.ArenaLiveBytes, 0u);
+  EXPECT_LE(S.PagePoolLiveBytes, S.PagePoolCapacityBytes);
+  // The graph's retained worlds are accounted separately from the store.
+  EXPECT_GT(S.GraphBytes, 0u);
+  EXPECT_GT(S.UniqueMemPages, 0u);
+  EXPECT_GE(S.TotalPageRefs, S.UniqueMemPages);
+  std::string J = S.toJson();
+  EXPECT_NE(J.find("\"table_bytes\":"), std::string::npos);
+  EXPECT_NE(J.find("\"rec_bytes\":"), std::string::npos);
+  EXPECT_NE(J.find("\"arena_capacity_bytes\":"), std::string::npos);
+  EXPECT_NE(J.find("\"arena_live_bytes\":"), std::string::npos);
+  EXPECT_NE(J.find("\"tree_nodes\":"), std::string::npos);
+  EXPECT_NE(J.find("\"page_pool_capacity_bytes\":"), std::string::npos);
+  EXPECT_NE(J.find("\"page_pool_live_bytes\":"), std::string::npos);
+}
+
+TEST(EngineStats, StateBytesIsDeterministicAcrossWidths) {
+  // Hash-consing makes the tree-node set (and hence every StateBytes
+  // component) a function of the explored state set, not of worker
+  // interleaving: the store accounting must be bit-equal at every pool
+  // width.
+  Program P = workload::atomicCounter(3, 3);
+  auto storeBytes = [&](unsigned Threads) {
+    ExploreOptions Opts;
+    Opts.Threads = Threads;
+    Explorer<World> E(Opts);
+    E.build(World::load(P));
+    const ExploreStats &S = E.stats();
+    EXPECT_EQ(S.StateBytes,
+              S.TableBytes + S.RecBytes + S.ArenaCapacityBytes)
+        << "Threads=" << Threads;
+    return std::tuple(S.StateBytes, S.TableBytes, S.RecBytes,
+                      S.ArenaCapacityBytes, S.TreeNodes);
+  };
+  auto Serial = storeBytes(1);
+  EXPECT_EQ(storeBytes(2), Serial);
+  EXPECT_EQ(storeBytes(8), Serial);
 }
 
 } // namespace

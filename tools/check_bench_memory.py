@@ -1,0 +1,143 @@
+#!/usr/bin/env python3
+"""Gate bytes_per_state in a BENCH_drf.json produced by bench_drf.
+
+Two hard-failing checks over the por_cross_check section (which carries
+full ExploreStats for both the POR-off "full" and POR-on "por" run of
+every workload family):
+
+1. Absolute bar: every *counter family* (family name contains locked/
+   racy/atomic — the lockedCounter/racyCounter/atomicCounter workload
+   generators) must stay under MAX_COUNTER_BYTES bytes per state. The
+   intern store's capacity accounting has a small fixed floor (slab
+   chunks and minimum table sizes across the 16 shards, ~tens of KiB),
+   so the bar is only meaningful once enough states amortize it; runs
+   below MIN_STATES are exempt from the absolute bar (the relative
+   check still covers them).
+2. Relative bar: no family's bytes_per_state may regress more than
+   ALLOWED_REGRESSION above the committed baseline
+   (tools/bench_memory_baseline.json). Families absent from the
+   baseline are reported but do not fail, so adding a workload does not
+   break CI; refresh the baseline with --update-baseline.
+
+Also asserts the accounting coherence invariant on every entry:
+state_bytes == table_bytes + rec_bytes + arena_capacity_bytes and
+arena_live_bytes <= arena_capacity_bytes.
+
+Usage:
+  check_bench_memory.py BENCH_drf.json [--baseline FILE]
+                        [--update-baseline]
+"""
+
+import json
+import os
+import sys
+
+MAX_COUNTER_BYTES = 100.0
+MIN_STATES = 2000
+ALLOWED_REGRESSION = 0.10
+COUNTER_MARKERS = ("locked", "racy", "atomic")
+DEFAULT_BASELINE = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "bench_memory_baseline.json"
+)
+
+
+def is_counter_family(name):
+    return any(m in name for m in COUNTER_MARKERS)
+
+
+def check_coherence(family, run, stats, errors):
+    parts = (
+        stats["table_bytes"] + stats["rec_bytes"] + stats["arena_capacity_bytes"]
+    )
+    if stats["state_bytes"] != parts:
+        errors.append(
+            f"{family} [{run}]: state_bytes {stats['state_bytes']} != "
+            f"table+rec+arena {parts} (accounting incoherent)"
+        )
+    if stats["arena_live_bytes"] > stats["arena_capacity_bytes"]:
+        errors.append(
+            f"{family} [{run}]: arena_live_bytes "
+            f"{stats['arena_live_bytes']} > arena_capacity_bytes "
+            f"{stats['arena_capacity_bytes']}"
+        )
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    update = "--update-baseline" in argv
+    baseline_path = DEFAULT_BASELINE
+    if "--baseline" in argv:
+        baseline_path = argv[argv.index("--baseline") + 1]
+    if len(args) != 1:
+        print(f"usage: {argv[0]} <BENCH_drf.json> [--baseline FILE]"
+              " [--update-baseline]")
+        return 2
+
+    with open(args[0]) as f:
+        bench = json.load(f)
+    entries = bench.get("por_cross_check", [])
+    if not entries:
+        print(f"FAIL: no por_cross_check section in {args[0]}")
+        return 1
+
+    baseline = {}
+    if not update and os.path.exists(baseline_path):
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+
+    errors, notes, measured = [], [], {}
+    for e in entries:
+        family = e["family"]
+        for run in ("full", "por"):
+            stats = e[run]
+            check_coherence(family, run, stats, errors)
+            bps = stats["bytes_per_state"]
+            states = stats["states"]
+            key = f"{family} [{run}]"
+            measured[key] = bps
+            if is_counter_family(family):
+                if states >= MIN_STATES and bps > MAX_COUNTER_BYTES:
+                    errors.append(
+                        f"{key}: {bps:.1f} B/state > {MAX_COUNTER_BYTES:.0f} B"
+                        f" bar ({states} states)"
+                    )
+                elif states < MIN_STATES:
+                    notes.append(
+                        f"{key}: {bps:.1f} B/state over {states} states"
+                        f" (< {MIN_STATES}, absolute bar not applied)"
+                    )
+            if key in baseline:
+                allowed = baseline[key] * (1.0 + ALLOWED_REGRESSION)
+                if bps > allowed and states >= MIN_STATES:
+                    errors.append(
+                        f"{key}: {bps:.1f} B/state regressed >"
+                        f" {ALLOWED_REGRESSION:.0%} vs baseline"
+                        f" {baseline[key]:.1f}"
+                    )
+            elif baseline:
+                notes.append(f"{key}: not in baseline (new family?)")
+
+    if update:
+        with open(baseline_path, "w") as f:
+            json.dump(measured, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"baseline updated: {baseline_path} ({len(measured)} runs)")
+        return 0
+
+    for n in notes:
+        print(f"note: {n}")
+    if errors:
+        print(f"FAIL: {args[0]} memory gate:")
+        for e in errors:
+            print(f"  {e}")
+        return 1
+    print(
+        f"OK: {args[0]} — {len(measured)} runs within the"
+        f" {MAX_COUNTER_BYTES:.0f} B counter bar and"
+        f" {ALLOWED_REGRESSION:.0%} baseline envelope"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -24,6 +24,14 @@ DROP_EXACT = {
     "peak_frontier",
     "state_bytes",
     "bytes_per_state",
+    "table_bytes",
+    "rec_bytes",
+    "arena_capacity_bytes",
+    "arena_live_bytes",
+    "tree_nodes",
+    "page_pool_capacity_bytes",
+    "page_pool_live_bytes",
+    "graph_bytes",
     "unique_mem_pages",
     "total_page_refs",
     "peak_rss_kb",
