@@ -10,20 +10,67 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <utility>
 #include <vector>
 
 namespace benchtable {
 
-/// True unless the shared `--no-por` escape hatch is on the command line:
-/// with it, benchmark explorations run without partial-order reduction,
-/// so reduced and full runs can be archived and diffed by tooling.
-inline bool porEnabled(int argc, char **argv) {
-  for (int I = 1; I < argc; ++I)
-    if (std::string(argv[I]) == "--no-por")
-      return false;
-  return true;
+/// The command-line options shared by every bench binary. Each binary
+/// used to hand-roll its own `--no-por` scan (and bench_drf its own
+/// `--capacity`); the one parser below is the single place a new shared
+/// flag is added.
+struct BenchFlags {
+  /// Partial-order reduction on (off with `--no-por`, so reduced and
+  /// full runs can be archived and diffed by tooling).
+  bool Por = true;
+  /// Fence synthesis enabled (off with `--no-fence-synth`): bench_tso's
+  /// escape hatch to skip the repair pipeline and report raw NotRobust
+  /// workloads only.
+  bool FenceSynth = true;
+  /// bench_drf's `--capacity` soak mode (ignored by the other binaries).
+  bool Capacity = false;
+};
+
+inline void printBenchHelp(const char *Prog) {
+  std::printf(
+      "usage: %s [options]\n"
+      "\n"
+      "Options shared by all bench binaries:\n"
+      "  --no-por          explore without partial-order reduction (full\n"
+      "                    state spaces, for POR-on/off diffing)\n"
+      "  --no-fence-synth  skip the fence-synthesis repair pipeline\n"
+      "                    (bench_tso only; others accept and ignore it)\n"
+      "  --capacity        run the state-store capacity soak instead of\n"
+      "                    the benchmark (bench_drf only)\n"
+      "  --help            show this text\n",
+      Prog);
+}
+
+/// Parses the shared flag set. `--help` prints the shared help text and
+/// exits 0; an unknown argument prints it and exits 2.
+inline BenchFlags parseBenchFlags(int argc, char **argv) {
+  BenchFlags F;
+  const char *Prog = argc > 0 ? argv[0] : "bench";
+  for (int I = 1; I < argc; ++I) {
+    const std::string Arg = argv[I];
+    if (Arg == "--no-por") {
+      F.Por = false;
+    } else if (Arg == "--no-fence-synth") {
+      F.FenceSynth = false;
+    } else if (Arg == "--capacity") {
+      F.Capacity = true;
+    } else if (Arg == "--help" || Arg == "-h") {
+      printBenchHelp(Prog);
+      std::exit(0);
+    } else {
+      std::fprintf(stderr, "unknown argument '%s'\n\n", Arg.c_str());
+      printBenchHelp(Prog);
+      std::exit(2);
+    }
+  }
+  return F;
 }
 
 /// Escapes a string for embedding in a JSON document.

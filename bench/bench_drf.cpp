@@ -370,11 +370,10 @@ int runCapacity() {
 } // namespace
 
 int main(int argc, char **argv) {
-  for (int I = 1; I < argc; ++I)
-    if (std::string(argv[I]) == "--capacity")
-      return runCapacity();
-  const PorMode Por =
-      benchtable::porEnabled(argc, argv) ? PorMode::On : PorMode::Off;
+  const benchtable::BenchFlags Flags = benchtable::parseBenchFlags(argc, argv);
+  if (Flags.Capacity)
+    return runCapacity();
+  const PorMode Por = Flags.Por ? PorMode::On : PorMode::Off;
   std::printf("E2 (Fig. 9): DRF checking — preemptive vs non-preemptive "
               "state spaces%s\n\n",
               Por == PorMode::Off ? " [--no-por]" : "");

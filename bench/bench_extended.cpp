@@ -47,7 +47,8 @@ Program makeP(const compiler::CompileResult &R, unsigned Stage,
 } // namespace
 
 int main(int argc, char **argv) {
-  if (!benchtable::porEnabled(argc, argv))
+  const benchtable::BenchFlags Flags = benchtable::parseBenchFlags(argc, argv);
+  if (!Flags.Por)
     BaseOpts.Por = PorMode::Off;
   std::printf("E6 (Fig. 3): the extended framework with the racy TSO lock\n\n");
   bool AllGood = true;

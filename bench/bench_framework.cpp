@@ -31,7 +31,8 @@ ExploreOptions BaseOpts;
 } // namespace
 
 int main(int argc, char **argv) {
-  if (!benchtable::porEnabled(argc, argv))
+  const benchtable::BenchFlags Flags = benchtable::parseBenchFlags(argc, argv);
+  if (!Flags.Por)
     BaseOpts.Por = PorMode::Off;
   std::printf("E1 (Fig. 2): preemptive/non-preemptive equivalence and "
               "DRF <=> NPDRF\n\n");

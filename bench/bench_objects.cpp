@@ -66,7 +66,8 @@ Program faiProgram(bool UseImpl, x86::MemModel Model, unsigned Threads) {
 } // namespace
 
 int main(int argc, char **argv) {
-  if (!benchtable::porEnabled(argc, argv))
+  const benchtable::BenchFlags Flags = benchtable::parseBenchFlags(argc, argv);
+  if (!Flags.Por)
     BaseOpts.Por = PorMode::Off;
   std::printf("E3b (Sec. 2.4): general concurrent objects beyond the "
               "lock\n\n");

@@ -61,7 +61,8 @@ std::vector<Scenario> suite() {
 } // namespace
 
 int main(int argc, char **argv) {
-  if (!benchtable::porEnabled(argc, argv))
+  const benchtable::BenchFlags Flags = benchtable::parseBenchFlags(argc, argv);
+  if (!Flags.Por)
     BaseOpts.Por = PorMode::Off;
   std::printf("E4 (Fig. 11): per-pass translation validation "
               "(footprint-preserving simulation, Defs. 2-3/10)\n\n");

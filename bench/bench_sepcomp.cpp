@@ -54,7 +54,8 @@ const char *S2Source = R"(
 } // namespace
 
 int main(int argc, char **argv) {
-  if (!benchtable::porEnabled(argc, argv))
+  const benchtable::BenchFlags Flags = benchtable::parseBenchFlags(argc, argv);
+  if (!Flags.Por)
     BaseOpts.Por = PorMode::Off;
   std::printf("E7 (Sec. 2.2): separate compilation of interacting modules "
               "(example 2.1)\n\n");

@@ -45,7 +45,8 @@ const std::map<std::string, std::pair<int, int>> PaperLoC = {
 } // namespace
 
 int main(int argc, char **argv) {
-  if (!benchtable::porEnabled(argc, argv))
+  const benchtable::BenchFlags Flags = benchtable::parseBenchFlags(argc, argv);
+  if (!Flags.Por)
     BaseOpts.Por = PorMode::Off;
   std::printf("E5 (Fig. 13): per-pass effort — Coq proof lines (paper) vs "
               "validation obligations (this reproduction)\n\n");

@@ -26,6 +26,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "BenchTable.h"
+#include "analysis/FenceSynth.h"
 #include "analysis/TsoRobust.h"
 #include "core/Semantics.h"
 #include "sync/LockLib.h"
@@ -33,6 +34,8 @@
 
 #include <cstdio>
 #include <functional>
+#include <map>
+#include <memory>
 
 using namespace ccc;
 
@@ -360,10 +363,143 @@ bool benchScFastPath(benchtable::JsonLog &Log) {
   return Good;
 }
 
+/// A deterministic content hash of a trace set, emitted as a string
+/// field so tools/diff_bench_verdicts.py hard-fails when a repaired
+/// workload's trace set differs POR-on vs POR-off (numeric state counts
+/// are dropped by the differ; this is not).
+std::string traceSetHash(const TraceSet &Tr) {
+  uint64_t H = 1469598103934665603ull; // FNV-1a
+  for (char C : Tr.toString()) {
+    H ^= static_cast<unsigned char>(C);
+    H *= 1099511628211ull;
+  }
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(H));
+  return Buf;
+}
+
+/// Fence synthesis: repair the seed NotRobust workloads, verify
+/// minimality by single-fence-removal re-analysis, hard-fail unless the
+/// repaired program's TSO and SC trace sets coincide, and report the SC
+/// fast-path state reduction the repair unlocks (EXPERIMENTS.md E3d).
+bool benchFenceSynth(benchtable::JsonLog &Log) {
+  std::printf("\nfence synthesis: repairing the NotRobust workloads "
+              "(minimality + TSO-vs-SC cross-check hard-fail)\n\n");
+  struct Row {
+    const char *Name;
+    std::function<Program()> Make;
+    unsigned HandFences; ///< Fence count of the hand-fenced reference.
+  };
+  const Row Rows[] = {
+      {"pingpong-unf r=2",
+       [] { return workload::unfencedPingPong(x86::MemModel::TSO, 2); }, 2},
+      {"pingpong-unf r=3",
+       [] { return workload::unfencedPingPong(x86::MemModel::TSO, 3); }, 2},
+      {"counter+pi_lock",
+       [] { return workload::asmCounterWithPiLock(x86::MemModel::TSO, 2); },
+       2},
+      {"counter+rec_lock-unf",
+       [] {
+         return workload::asmCounterWithRecLockUnfenced(x86::MemModel::TSO,
+                                                        2);
+       },
+       2},
+  };
+  benchtable::Table T({"workload", "fences", "hand", "repaired robust",
+                       "minimal", "tso states", "sc states",
+                       "state reduction", "tso=sc traces"});
+  bool Good = true;
+  for (const Row &R : Rows) {
+    // Repair a fresh instance, keeping the original modules + contexts
+    // for the minimality re-analysis.
+    Program Tso = R.Make();
+    std::map<std::string, analysis::TsoModuleContext> Ctxs =
+        analysis::tsoModuleContexts(Tso);
+    std::map<std::string, std::shared_ptr<const x86::Module>> Originals;
+    for (const ModuleDecl &D : Tso.modules())
+      if (const auto *L = dynamic_cast<const x86::X86Lang *>(D.Lang.get()))
+        Originals[D.Name] = L->modulePtr();
+    analysis::ProgramRepairReport Rep = analysis::repairTsoRobustness(Tso);
+    bool AllRepaired =
+        Rep.allRepaired() && Rep.ModulesRepaired == Rep.Modules.size() &&
+        Rep.ModulesRepaired > 0;
+    bool AfterRobust = analysis::programTsoRobustness(Tso).allRobust();
+
+    bool Minimal = true;
+    for (const analysis::ProgramRepairReport::ModuleRepair &M :
+         Rep.Modules) {
+      auto It = Ctxs.find(M.Name);
+      std::string Why;
+      Minimal = Minimal &&
+                analysis::verifyFenceMinimality(
+                    *Originals.at(M.Name),
+                    It == Ctxs.end() ? nullptr : &It->second, M.Synth, &Why);
+      if (!Why.empty())
+        std::printf("  minimality FAILED for %s/%s: %s\n", R.Name,
+                    M.Name.c_str(), Why.c_str());
+    }
+
+    // Dynamic cross-check on the repaired program: TSO vs the SC fast
+    // path must produce identical trace sets.
+    ExploreStats S1;
+    TraceSet TsoTraces = preemptiveTraces(Tso, BaseOpts, &S1);
+    Program Sc = R.Make();
+    unsigned Switched = analysis::repairAndApplyScFastPath(Sc);
+    ExploreStats S2;
+    TraceSet ScTraces = preemptiveTraces(Sc, BaseOpts, &S2);
+    bool Identical = TsoTraces == ScTraces;
+
+    Good = Good && AllRepaired && AfterRobust && Minimal && Identical &&
+           Switched > 0 && Rep.FencesInserted <= R.HandFences &&
+           S2.States <= S1.States;
+    double Reduction = S2.States ? static_cast<double>(S1.States) /
+                                       static_cast<double>(S2.States)
+                                 : 0.0;
+    char RedBuf[32];
+    std::snprintf(RedBuf, sizeof(RedBuf), "%.2fx", Reduction);
+    T.addRow({R.Name, std::to_string(Rep.FencesInserted),
+              std::to_string(R.HandFences), benchtable::yesNo(AfterRobust),
+              benchtable::yesNo(Minimal), std::to_string(S1.States),
+              std::to_string(S2.States), RedBuf,
+              benchtable::yesNo(Identical)});
+
+    std::string ModulesJson = "[";
+    for (std::size_t I = 0; I < Rep.Modules.size(); ++I) {
+      const auto &M = Rep.Modules[I];
+      ModulesJson +=
+          std::string(I ? "," : "") + "{\"module\":" +
+          benchtable::jsonStr(M.Name) + ",\"fences\":" +
+          std::to_string(M.Synth.Fences.size()) + ",\"repaired_verdict\":" +
+          benchtable::jsonStr(
+              analysis::tsoVerdictName(M.Synth.After.Verdict)) +
+          "}";
+    }
+    ModulesJson += "]";
+    Log.add("fence_synth",
+            "{\"workload\":" + benchtable::jsonStr(R.Name) +
+                ",\"fences_inserted\":" + std::to_string(Rep.FencesInserted) +
+                ",\"hand_fences\":" + std::to_string(R.HandFences) +
+                ",\"modules\":" + ModulesJson +
+                ",\"minimal\":" + (Minimal ? "true" : "false") +
+                ",\"identical\":" + (Identical ? "true" : "false") +
+                ",\"switched\":" + std::to_string(Switched) +
+                ",\"trace_hash\":" +
+                benchtable::jsonStr(traceSetHash(TsoTraces)) +
+                ",\"tso\":" + S1.toJson() + ",\"sc\":" + S2.toJson() + "}");
+  }
+  T.print();
+  std::printf("\nformerly NotRobust workloads now certify Robust and "
+              "collect the SC fast-path reduction; 'fences <= hand' and "
+              "trace equality are hard gates.\n");
+  return Good;
+}
+
 } // namespace
 
 int main(int argc, char **argv) {
-  if (!benchtable::porEnabled(argc, argv))
+  const benchtable::BenchFlags Flags = benchtable::parseBenchFlags(argc, argv);
+  if (!Flags.Por)
     BaseOpts.Por = PorMode::Off;
   benchtable::JsonLog Log;
   bool AllGood = true;
@@ -376,6 +512,10 @@ int main(int argc, char **argv) {
   AllGood = benchLitmus(Log) && AllGood;
   AllGood = benchVerdicts(Log, PiLockRefines) && AllGood;
   AllGood = benchScFastPath(Log) && AllGood;
+  if (Flags.FenceSynth)
+    AllGood = benchFenceSynth(Log) && AllGood;
+  else
+    std::printf("\nfence synthesis skipped (--no-fence-synth)\n");
 
   if (!Log.write("BENCH_tso.json"))
     std::printf("\nwarning: could not write BENCH_tso.json\n");

@@ -1,0 +1,601 @@
+//===- analysis/FenceSynth.cpp - Static minimal-fence synthesis ------------===//
+//
+// The cut-and-certify loop. The graph half of the pass (candidate
+// regions, exact/greedy cut search) is an over-approximation used only to
+// *propose* fence sets; every accepted set is validated by re-running the
+// TsoRobust certifier on the rewritten module, and minimality is enforced
+// by certifier-backed pruning, never by trusting the graph. See the
+// header comment for the construction and its soundness argument.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/FenceSynth.h"
+
+#include "support/StrUtil.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+using namespace ccc;
+using namespace ccc::analysis;
+using namespace ccc::x86;
+
+const char *ccc::analysis::repairOutcomeName(RepairOutcome O) {
+  switch (O) {
+  case RepairOutcome::AlreadyRobust:
+    return "AlreadyRobust";
+  case RepairOutcome::Repaired:
+    return "Repaired";
+  case RepairOutcome::NotRepairable:
+    return "NotRepairable";
+  }
+  return "?";
+}
+
+unsigned ccc::analysis::mfenceCount(const Module &M) {
+  unsigned N = 0;
+  for (const Instr &I : M.Code)
+    if (I.K == Instr::Kind::Mfence)
+      ++N;
+  return N;
+}
+
+namespace {
+
+/// The fence-free store-to-violation path graph plus the witness pairs
+/// the cut must cover.
+struct CutProblem {
+  /// Fence-free out-edges per PC: successors, except drains end paths,
+  /// module-boundary instructions end paths, and summarized same-module
+  /// calls route through the callee (entry edge + context-insensitive
+  /// return edges).
+  std::vector<std::vector<unsigned>> Adj;
+  /// Distinct (store PC, violation PC) pairs from the pre-repair report.
+  std::vector<std::pair<unsigned, unsigned>> Pairs;
+  /// Violation PCs grouped per distinct witnessed store PC.
+  std::map<unsigned, std::vector<unsigned>> ByStore;
+};
+
+bool isSummarizedCall(const Module &M, const TsoModuleContext *Ctx,
+                      const Instr &I) {
+  return I.K == Instr::Kind::Call && Ctx && Ctx->Closed &&
+         M.Entries.count(I.Name) != 0 &&
+         Ctx->SelfResolvedEntries.count(I.Name) != 0;
+}
+
+/// Builds the fence-free flow graph. Return edges of summarized callees
+/// are grown to a fixpoint: each round recomputes which ret PCs are
+/// fence-free-reachable from each summarized callee's entry (possibly
+/// through return edges added in earlier rounds for nested calls) and
+/// wires them to every such call's return point.
+std::vector<std::vector<unsigned>> buildFenceFreeGraph(
+    const Module &M, const TsoModuleContext *Ctx) {
+  const unsigned N = static_cast<unsigned>(M.Code.size());
+  std::vector<std::vector<unsigned>> Adj(N);
+  std::vector<std::pair<unsigned, unsigned>> SummCalls; // (callPC, calleePC)
+
+  for (unsigned PC = 0; PC < N; ++PC) {
+    const Instr &I = M.Code[PC];
+    if (drainsStoreBuffer(I))
+      continue; // pending facts die here: no fence-free continuation
+    if (isSummarizedCall(M, Ctx, I)) {
+      unsigned CalleePC = M.Entries.at(I.Name).PCIndex;
+      if (CalleePC < N)
+        Adj[PC].push_back(CalleePC);
+      SummCalls.emplace_back(PC, CalleePC);
+      continue; // flow back to PC+1 only via the callee's return edges
+    }
+    if (crossesModuleBoundary(I))
+      continue; // escape point: the path (and the obligation) ends here
+    for (unsigned S : successors(M, PC))
+      Adj[PC].push_back(S);
+  }
+
+  std::set<std::pair<unsigned, unsigned>> ReturnEdges;
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const auto &C : SummCalls) {
+      if (C.first + 1 >= N)
+        continue;
+      // Ret PCs fence-free-reachable from the callee entry.
+      std::vector<bool> Seen(N, false);
+      std::vector<unsigned> Work;
+      if (C.second < N) {
+        Seen[C.second] = true;
+        Work.push_back(C.second);
+      }
+      while (!Work.empty()) {
+        unsigned PC = Work.back();
+        Work.pop_back();
+        if (M.Code[PC].K == Instr::Kind::Ret &&
+            ReturnEdges.insert({PC, C.first + 1}).second) {
+          Adj[PC].push_back(C.first + 1);
+          Changed = true;
+        }
+        for (unsigned S : Adj[PC])
+          if (S < N && !Seen[S]) {
+            Seen[S] = true;
+            Work.push_back(S);
+          }
+      }
+    }
+  }
+  return Adj;
+}
+
+/// True when the fence set \p Blocked cuts every pair of \p P: for each
+/// witnessed store, no violation PC is reachable from the store's
+/// out-neighbours without entering a blocked node (a fence before PC v
+/// intercepts every entry into v, since branch targets are labels and
+/// labels are never candidates).
+bool cutsAllPairs(const CutProblem &P, const std::vector<bool> &Blocked,
+                  unsigned &Checks) {
+  ++Checks;
+  const unsigned N = static_cast<unsigned>(P.Adj.size());
+  std::vector<bool> Seen(N);
+  std::vector<unsigned> Work;
+  for (const auto &SV : P.ByStore) {
+    std::fill(Seen.begin(), Seen.end(), false);
+    Work.clear();
+    for (unsigned S : P.Adj[SV.first])
+      if (!Blocked[S] && !Seen[S]) {
+        Seen[S] = true;
+        Work.push_back(S);
+      }
+    while (!Work.empty()) {
+      unsigned PC = Work.back();
+      Work.pop_back();
+      for (unsigned S : P.Adj[PC])
+        if (!Blocked[S] && !Seen[S]) {
+          Seen[S] = true;
+          Work.push_back(S);
+        }
+    }
+    for (unsigned V : SV.second)
+      if (Seen[V])
+        return false;
+  }
+  return true;
+}
+
+/// Pair indexes of \p P cut by \p Fences (for per-fence display stats).
+std::set<std::size_t> cutPairIndexes(const CutProblem &P,
+                                     const std::vector<unsigned> &Fences) {
+  const unsigned N = static_cast<unsigned>(P.Adj.size());
+  std::vector<bool> Blocked(N, false);
+  for (unsigned F : Fences)
+    Blocked[F] = true;
+  std::set<std::size_t> Cut;
+  std::vector<bool> Seen(N);
+  std::vector<unsigned> Work;
+  std::map<unsigned, std::vector<bool>> ReachByStore;
+  for (const auto &SV : P.ByStore) {
+    std::fill(Seen.begin(), Seen.end(), false);
+    Work.clear();
+    for (unsigned S : P.Adj[SV.first])
+      if (!Blocked[S] && !Seen[S]) {
+        Seen[S] = true;
+        Work.push_back(S);
+      }
+    while (!Work.empty()) {
+      unsigned PC = Work.back();
+      Work.pop_back();
+      for (unsigned S : P.Adj[PC])
+        if (!Blocked[S] && !Seen[S]) {
+          Seen[S] = true;
+          Work.push_back(S);
+        }
+    }
+    ReachByStore[SV.first] = Seen;
+  }
+  for (std::size_t I = 0; I < P.Pairs.size(); ++I)
+    if (!ReachByStore[P.Pairs[I].first][P.Pairs[I].second])
+      Cut.insert(I);
+  return Cut;
+}
+
+/// The first non-label PC at or after \p PC, or nullopt past the end.
+std::optional<unsigned> firstNonLabelAt(const Module &M, unsigned PC) {
+  for (unsigned P = PC; P < M.Code.size(); ++P)
+    if (M.Code[P].K != Instr::Kind::Label)
+      return P;
+  return std::nullopt;
+}
+
+/// The guaranteed-sufficient anchor for a witnessed store: the first
+/// non-label instruction after it. Stores fall through, so every path
+/// from the store funnels through this PC before reaching anything.
+std::optional<unsigned> anchorAfterStore(const Module &M, unsigned StorePC) {
+  return firstNonLabelAt(M, StorePC + 1);
+}
+
+/// Exact minimum-cut search: combinations of \p Cands in increasing size
+/// and lexicographic order (deterministic tie-break: lowest PCs win).
+/// Returns nullopt when no cut of size <= MaxK exists or the check
+/// budget runs out.
+std::optional<std::vector<unsigned>> exactMinCut(
+    const CutProblem &P, const std::vector<unsigned> &Cands, unsigned MaxK,
+    unsigned &Checks, unsigned Budget) {
+  const unsigned N = static_cast<unsigned>(P.Adj.size());
+  const unsigned NC = static_cast<unsigned>(Cands.size());
+  std::vector<bool> Blocked(N, false);
+  for (unsigned K = 1; K <= std::min(MaxK, NC); ++K) {
+    std::vector<unsigned> Sel(K);
+    for (unsigned I = 0; I < K; ++I)
+      Sel[I] = I;
+    while (true) {
+      if (Checks >= Budget)
+        return std::nullopt;
+      std::fill(Blocked.begin(), Blocked.end(), false);
+      for (unsigned I : Sel)
+        Blocked[Cands[I]] = true;
+      if (cutsAllPairs(P, Blocked, Checks)) {
+        std::vector<unsigned> F;
+        F.reserve(K);
+        for (unsigned I : Sel)
+          F.push_back(Cands[I]);
+        return F;
+      }
+      int I = static_cast<int>(K) - 1;
+      while (I >= 0 && Sel[I] == NC - K + I)
+        --I;
+      if (I < 0)
+        break;
+      ++Sel[I];
+      for (unsigned J = I + 1; J < K; ++J)
+        Sel[J] = Sel[J - 1] + 1;
+    }
+  }
+  return std::nullopt;
+}
+
+/// Greedy max-coverage cut, topped up with per-store anchors for any
+/// pair the greedy picks fail to cover. Always returns a cut.
+std::vector<unsigned> greedyCut(const Module &M, const CutProblem &P,
+                                const std::vector<unsigned> &Cands,
+                                unsigned &Checks) {
+  std::vector<unsigned> F;
+  std::set<std::size_t> Covered;
+  while (Covered.size() < P.Pairs.size()) {
+    unsigned Best = 0;
+    std::size_t BestGain = 0;
+    for (unsigned C : Cands) {
+      if (std::find(F.begin(), F.end(), C) != F.end())
+        continue;
+      std::vector<unsigned> Try = F;
+      Try.push_back(C);
+      ++Checks;
+      std::size_t Gain = cutPairIndexes(P, Try).size() - Covered.size();
+      if (Gain > BestGain) {
+        BestGain = Gain;
+        Best = C;
+      }
+    }
+    if (BestGain == 0)
+      break;
+    F.push_back(Best);
+    Covered = cutPairIndexes(P, F);
+  }
+  // Anchor any store whose pairs remain uncovered.
+  for (std::size_t I = 0; I < P.Pairs.size(); ++I) {
+    if (Covered.count(I))
+      continue;
+    if (auto A = anchorAfterStore(M, P.Pairs[I].first))
+      if (std::find(F.begin(), F.end(), *A) == F.end())
+        F.push_back(*A);
+    Covered = cutPairIndexes(P, F);
+  }
+  std::sort(F.begin(), F.end());
+  return F;
+}
+
+/// Per-entry reachable-PC sets over the plain successor graph (calls
+/// fall through; entry bodies are contiguous), for attributing a fence
+/// to the entry whose code carries it.
+std::map<std::string, std::vector<bool>> entryReachability(const Module &M) {
+  std::map<std::string, std::vector<bool>> R;
+  for (const auto &E : M.Entries) {
+    std::vector<bool> Seen(M.Code.size(), false);
+    std::vector<unsigned> Work;
+    if (E.second.PCIndex < M.Code.size()) {
+      Seen[E.second.PCIndex] = true;
+      Work.push_back(E.second.PCIndex);
+    }
+    while (!Work.empty()) {
+      unsigned PC = Work.back();
+      Work.pop_back();
+      for (unsigned S : successors(M, PC))
+        if (S < M.Code.size() && !Seen[S]) {
+          Seen[S] = true;
+          Work.push_back(S);
+        }
+    }
+    R[E.first] = std::move(Seen);
+  }
+  return R;
+}
+
+} // namespace
+
+std::string FencePlacement::describe() const {
+  StrBuilder B;
+  B << "mfence @" << RepairedPC << " before [" << BeforePC << "] "
+    << AnchorText;
+  if (!Entry.empty())
+    B << " (entry '" << Entry << "'";
+  if (WitnessesCut > 0)
+    B << (Entry.empty() ? " (" : ", ") << WitnessesCut << " witness pair"
+      << (WitnessesCut == 1 ? "" : "s");
+  if (!Entry.empty() || WitnessesCut > 0)
+    B << ")";
+  return B.take();
+}
+
+std::string FenceSynthResult::toString() const {
+  StrBuilder B;
+  B << "fence synthesis: " << repairOutcomeName(Outcome) << ", "
+    << Fences.size() << " fence" << (Fences.size() == 1 ? "" : "s")
+    << " for " << WitnessPairs << " witness pair"
+    << (WitnessPairs == 1 ? "" : "s") << " (" << CandidatePoints
+    << " candidate points, " << CutChecks << " cut checks)\n";
+  for (const FencePlacement &F : Fences)
+    B << "  " << F.describe() << '\n';
+  for (const std::string &N : Notes)
+    B << "  note: " << N << '\n';
+  B << "  before: " << tsoVerdictName(Before.Verdict)
+    << ", after: " << tsoVerdictName(After.Verdict) << '\n';
+  return B.take();
+}
+
+FenceSynthResult ccc::analysis::synthesizeFences(const Module &M,
+                                                 const TsoModuleContext *Ctx) {
+  FenceSynthResult R;
+  R.Before = tsoRobustness(M, Ctx);
+  if (R.Before.robust()) {
+    R.Outcome = RepairOutcome::AlreadyRobust;
+    R.After = R.Before;
+    return R;
+  }
+
+  // Harvest the distinct (store, violation) pairs the cut must cover.
+  CutProblem P;
+  P.Adj = buildFenceFreeGraph(M, Ctx);
+  {
+    std::set<std::pair<unsigned, unsigned>> Seen;
+    for (const TriangularWitness &W : R.Before.Witnesses) {
+      unsigned Viol;
+      if (W.Load)
+        Viol = W.Load->PC;
+      else if (W.Escape)
+        Viol = W.Escape->PC;
+      else
+        continue;
+      if (W.Store.PC >= M.Code.size() || Viol >= M.Code.size())
+        continue;
+      if (Seen.insert({W.Store.PC, Viol}).second) {
+        P.Pairs.emplace_back(W.Store.PC, Viol);
+        P.ByStore[W.Store.PC].push_back(Viol);
+      }
+    }
+  }
+  R.WitnessPairs = static_cast<unsigned>(P.Pairs.size());
+  if (P.Pairs.empty()) {
+    R.After = R.Before;
+    R.Notes.push_back("no usable witness pairs: cannot repair");
+    return R;
+  }
+
+  // Candidates: non-label PCs inside some store's fence-free danger
+  // region (or a violation PC itself) — nothing outside can lie on a
+  // store-to-violation path.
+  std::set<unsigned> CandSet;
+  for (const auto &SV : P.ByStore) {
+    std::vector<bool> Seen(P.Adj.size(), false);
+    std::vector<unsigned> Work;
+    for (unsigned S : P.Adj[SV.first])
+      if (!Seen[S]) {
+        Seen[S] = true;
+        Work.push_back(S);
+      }
+    while (!Work.empty()) {
+      unsigned PC = Work.back();
+      Work.pop_back();
+      if (M.Code[PC].K != Instr::Kind::Label)
+        CandSet.insert(PC);
+      for (unsigned S : P.Adj[PC])
+        if (!Seen[S]) {
+          Seen[S] = true;
+          Work.push_back(S);
+        }
+    }
+  }
+  std::vector<unsigned> Cands(CandSet.begin(), CandSet.end());
+  R.CandidatePoints = static_cast<unsigned>(Cands.size());
+
+  // Propose a cut: exact search up to the per-store-anchor bound, greedy
+  // plus anchors past the budget.
+  const unsigned MaxK = static_cast<unsigned>(P.ByStore.size());
+  constexpr unsigned Budget = 200000;
+  std::vector<unsigned> F;
+  if (auto Exact = exactMinCut(P, Cands, MaxK, R.CutChecks, Budget)) {
+    F = *Exact;
+    R.Notes.push_back("exact graph cut of size " +
+                      std::to_string(F.size()));
+  } else {
+    F = greedyCut(M, P, Cands, R.CutChecks);
+    R.Notes.push_back("greedy graph cut of size " + std::to_string(F.size()) +
+                      " (exact search exhausted)");
+  }
+
+  // Certify the proposal; fall back to per-store anchors when the graph
+  // cut does not satisfy the certifier (the graph is approximate in both
+  // directions only for *summarized* flows; the anchors are sufficient
+  // by the store's single fall-through funnel).
+  auto certify = [&](const std::vector<unsigned> &Fences,
+                     std::shared_ptr<Module> &Out) {
+    Out = insertFences(M, Fences);
+    return tsoRobustness(*Out, Ctx);
+  };
+  std::sort(F.begin(), F.end());
+  std::shared_ptr<Module> Repaired;
+  TsoRobustReport After = certify(F, Repaired);
+  if (!After.robust()) {
+    std::vector<unsigned> Anchors;
+    for (const auto &SV : P.ByStore)
+      if (auto A = anchorAfterStore(M, SV.first))
+        Anchors.push_back(*A);
+    std::sort(Anchors.begin(), Anchors.end());
+    Anchors.erase(std::unique(Anchors.begin(), Anchors.end()), Anchors.end());
+    if (!Anchors.empty() && Anchors != F) {
+      TsoRobustReport A2 = certify(Anchors, Repaired);
+      if (A2.robust()) {
+        F = Anchors;
+        After = std::move(A2);
+        R.Notes.push_back("graph cut rejected by certifier; "
+                          "per-store anchors used");
+      }
+    }
+  }
+  if (!After.robust()) {
+    R.After = std::move(After);
+    R.Notes.push_back("no fence set certified: module left unrepaired");
+    return R;
+  }
+
+  // Certifier-backed minimality pruning: drop any fence whose removal
+  // keeps the module Robust, until no single removal does. This is what
+  // makes the single-fence-removal regression property hold regardless
+  // of how good the graph cut was.
+  bool Pruned = true;
+  while (Pruned) {
+    Pruned = false;
+    for (std::size_t I = 0; I < F.size(); ++I) {
+      std::vector<unsigned> Without = F;
+      Without.erase(Without.begin() + static_cast<long>(I));
+      std::shared_ptr<Module> Try;
+      TsoRobustReport TryReport = certify(Without, Try);
+      ++R.CutChecks;
+      if (TryReport.robust()) {
+        R.Notes.push_back("pruned redundant fence before PC " +
+                          std::to_string(F[I]));
+        F = std::move(Without);
+        Repaired = std::move(Try);
+        After = std::move(TryReport);
+        Pruned = true;
+        break;
+      }
+    }
+  }
+
+  R.Outcome = RepairOutcome::Repaired;
+  R.RepairedModule = Repaired;
+  R.After = std::move(After);
+
+  // Placements: F is sorted, so fence i lands at BeforePC + i in the
+  // rewritten stream.
+  auto Reach = entryReachability(M);
+  std::set<std::size_t> BaseCut = cutPairIndexes(P, F);
+  for (std::size_t I = 0; I < F.size(); ++I) {
+    FencePlacement FP;
+    FP.BeforePC = F[I];
+    FP.RepairedPC = F[I] + static_cast<unsigned>(I);
+    FP.AnchorText = M.Code[F[I]].toString();
+    for (const auto &E : Reach)
+      if (E.second[F[I]]) {
+        FP.Entry = E.first;
+        break;
+      }
+    std::vector<unsigned> Without = F;
+    Without.erase(Without.begin() + static_cast<long>(I));
+    std::set<std::size_t> WithoutCut = cutPairIndexes(P, Without);
+    for (std::size_t Pair : BaseCut)
+      if (!WithoutCut.count(Pair))
+        ++FP.WitnessesCut;
+    R.Fences.push_back(std::move(FP));
+  }
+  return R;
+}
+
+bool ccc::analysis::verifyFenceMinimality(const Module &M,
+                                          const TsoModuleContext *Ctx,
+                                          const FenceSynthResult &R,
+                                          std::string *Why) {
+  auto explain = [&](const std::string &Msg) {
+    if (Why)
+      *Why = Msg;
+    return false;
+  };
+  if (!R.repaired())
+    return explain("result is not Repaired");
+  if (R.Fences.empty())
+    return explain("Repaired result carries no fences");
+  std::vector<unsigned> All;
+  All.reserve(R.Fences.size());
+  for (const FencePlacement &F : R.Fences)
+    All.push_back(F.BeforePC);
+  for (std::size_t I = 0; I < All.size(); ++I) {
+    std::vector<unsigned> Without = All;
+    Without.erase(Without.begin() + static_cast<long>(I));
+    auto M2 = insertFences(M, Without);
+    TsoRobustReport Rep = tsoRobustness(*M2, Ctx);
+    if (Rep.robust())
+      return explain("removing the fence before PC " +
+                     std::to_string(All[I]) +
+                     " keeps the module Robust: the set is not minimal");
+  }
+  return true;
+}
+
+bool ProgramRepairReport::allRepaired() const {
+  for (const ModuleRepair &M : Modules)
+    if (!M.Synth.repaired())
+      return false;
+  return true;
+}
+
+std::string ProgramRepairReport::toString() const {
+  StrBuilder B;
+  B << "program repair: " << ModulesRepaired << " module"
+    << (ModulesRepaired == 1 ? "" : "s") << " repaired, " << FencesInserted
+    << " fence" << (FencesInserted == 1 ? "" : "s") << " inserted\n";
+  for (const ModuleRepair &M : Modules)
+    B << "module '" << M.Name << "': " << M.Synth.toString();
+  return B.take();
+}
+
+ProgramRepairReport ccc::analysis::repairTsoRobustness(Program &P) {
+  ProgramRepairReport Rep;
+  std::map<std::string, TsoModuleContext> Ctxs = tsoModuleContexts(P);
+  for (unsigned I = 0; I < P.modules().size(); ++I) {
+    ModuleDecl &D = P.module(I);
+    auto *L = dynamic_cast<const X86Lang *>(D.Lang.get());
+    if (!L || L->memModel() != MemModel::TSO)
+      continue;
+    auto It = Ctxs.find(D.Name);
+    const TsoModuleContext *Ctx = It == Ctxs.end() ? nullptr : &It->second;
+    FenceSynthResult S = synthesizeFences(L->module(), Ctx);
+    if (S.Outcome == RepairOutcome::AlreadyRobust)
+      continue;
+    if (S.repaired()) {
+      D.Lang = std::make_unique<X86Lang>(S.RepairedModule, MemModel::TSO,
+                                         L->objectMode());
+      if (P.linked())
+        D.Lang->bindGlobals(&D.GE);
+      ++Rep.ModulesRepaired;
+      Rep.FencesInserted += static_cast<unsigned>(S.Fences.size());
+    }
+    Rep.Modules.push_back({D.Name, std::move(S)});
+  }
+  return Rep;
+}
+
+unsigned ccc::analysis::repairAndApplyScFastPath(Program &P,
+                                                 ProgramRepairReport *Rep) {
+  ProgramRepairReport R = repairTsoRobustness(P);
+  unsigned Switched = applyScFastPath(P, programTsoRobustness(P));
+  if (Rep)
+    *Rep = std::move(R);
+  return Switched;
+}

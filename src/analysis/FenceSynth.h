@@ -1,0 +1,185 @@
+//===- analysis/FenceSynth.h - Static minimal-fence synthesis ---*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Static fence-placement synthesis: the repair pass that turns the
+/// TsoRobust certifier's NotRobust diagnosis into a certified-Robust
+/// module. Where TsoRobust names the disease — a plain store whose
+/// buffered value survives to a triangular load, an observable event, or
+/// the module boundary — FenceSynth computes where `mfence` instructions
+/// must land so that *every* fence-free path from a witnessed store to
+/// one of its violation points crosses an inserted drain, and nothing
+/// else pays: stores already discharged by a FenceCert, and stores whose
+/// paths diverge before the next shared access, get no fence.
+///
+/// The placement problem is a minimum multi-cut over the fence-free
+/// store-to-violation path graph:
+///  - nodes are the module's PCs; edges follow x86::successors, except
+///    that buffer-draining instructions (mfence, lock-prefixed) have no
+///    out-edges (the pending set dies there) and module-boundary
+///    instructions end the path (they are violation points themselves
+///    when a witness names them). Same-module summarized calls — the
+///    ones the certifier inlines instead of escaping — carry edges into
+///    the callee's entry and from the callee's reachable rets back to
+///    the call's return point, so inter-entry witnesses (a store pending
+///    across a call, violated inside or after the callee) are cut on the
+///    same graph. The return edges are context-insensitive, a sound
+///    over-approximation of the certifier's summary semantics.
+///  - inserting a fence "before PC v" blocks every entry into v: branch
+///    targets are always Label pseudo-instructions, so a non-label
+///    instruction is entered only by fall-through and the spliced fence
+///    intercepts all of it. Label PCs are therefore never candidates
+///    (a jump to the label would skip a fence placed in front of it).
+///  - a witness pair (store s, violation v) is cut by a fence set F when
+///    v is unreachable from s's successors in the graph with the F-nodes
+///    blocked.
+///
+/// The synthesizer searches for an exact minimum cut (combination search
+/// in increasing size, deterministic lexicographic tie-break), falling
+/// back to greedy max-coverage plus the always-sufficient per-store
+/// anchor set (a fence immediately after each witnessed store) when the
+/// search budget is exhausted. The result is then closed through the
+/// certifier, not trusted from the graph:
+///  1. re-analysis: the rewritten module (x86::insertFences) must
+///     certify Robust under the same module context — through the
+///     summary fixpoint, frame extents, points-to, everything;
+///  2. minimality pruning: any fence whose removal keeps the module
+///     Robust is dropped (the graph over-approximates the certifier's
+///     FIFO-cover precision, so a graph-minimal cut can still carry a
+///     certifier-redundant fence); after pruning, removing *any* single
+///     fence provably reverts the verdict (verifyFenceMinimality).
+///
+/// Program-level repair (repairTsoRobustness) runs the synthesis on
+/// every non-Robust x86-TSO module of a program under its closed-program
+/// context, swaps repaired modules in place, and hands the now-Robust
+/// program to applyScFastPath — formerly NotRobust workloads then
+/// collect the SC fast path's state-space reduction. Repair is a
+/// *program transformation*: the repaired program has strictly fewer
+/// behaviours than the original (the relaxed outcomes are gone), which
+/// is exactly the point — callers opt in, and bench_tso cross-checks
+/// repaired-TSO against repaired-SC trace equality dynamically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_ANALYSIS_FENCESYNTH_H
+#define CASCC_ANALYSIS_FENCESYNTH_H
+
+#include "analysis/TsoRobust.h"
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ccc {
+namespace analysis {
+
+/// How a synthesis attempt ended.
+enum class RepairOutcome {
+  AlreadyRobust,  ///< No witnesses: nothing to repair, zero fences.
+  Repaired,       ///< Fences inserted; re-analysis certifies Robust.
+  NotRepairable,  ///< No fence set made the certifier say Robust.
+};
+
+const char *repairOutcomeName(RepairOutcome O);
+
+/// One synthesized fence: an `mfence` spliced in front of an original
+/// instruction.
+struct FencePlacement {
+  /// Entry whose reachable code contains the anchor instruction.
+  std::string Entry;
+  /// PC (in the *original* module) of the instruction the fence
+  /// precedes.
+  unsigned BeforePC = 0;
+  /// PC of the inserted mfence in the repaired module.
+  unsigned RepairedPC = 0;
+  /// Text of the original anchor instruction.
+  std::string AnchorText;
+  /// Witness pairs of the pre-repair report this fence helps cut (on
+  /// the path graph; display statistic).
+  unsigned WitnessesCut = 0;
+
+  std::string describe() const;
+};
+
+/// The result of one module-repair attempt.
+struct FenceSynthResult {
+  RepairOutcome Outcome = RepairOutcome::NotRepairable;
+  std::vector<FencePlacement> Fences;
+  /// The rewritten module; null unless Outcome == Repaired.
+  std::shared_ptr<const x86::Module> RepairedModule;
+  /// Certifier report on the original module.
+  TsoRobustReport Before;
+  /// Certifier report on the repaired module (== Before when
+  /// AlreadyRobust; the best attempt when NotRepairable).
+  TsoRobustReport After;
+  /// Distinct (store, violation) witness pairs the cut had to cover.
+  unsigned WitnessPairs = 0;
+  /// Candidate insertion points considered.
+  unsigned CandidatePoints = 0;
+  /// Fence-set feasibility checks spent by the cut search.
+  unsigned CutChecks = 0;
+  std::vector<std::string> Notes;
+
+  bool repaired() const { return Outcome == RepairOutcome::Repaired; }
+  std::string toString() const;
+};
+
+/// Synthesizes a minimal fence set for \p M under the optional
+/// closed-program context \p Ctx (the same contract as tsoRobustness:
+/// null means standalone worst-case assumptions). Deterministic: equal
+/// inputs produce equal placements.
+FenceSynthResult synthesizeFences(const x86::Module &M,
+                                  const TsoModuleContext *Ctx = nullptr);
+
+/// Verifies the single-fence-removal minimality of a Repaired result:
+/// for every synthesized fence, re-analyzing the module with that one
+/// fence withheld must NOT certify Robust. Returns true when every
+/// removal reverts the verdict; otherwise false with an explanation in
+/// \p Why (when given). Also fails non-Repaired results.
+bool verifyFenceMinimality(const x86::Module &M, const TsoModuleContext *Ctx,
+                           const FenceSynthResult &R,
+                           std::string *Why = nullptr);
+
+/// Number of Mfence instructions in \p M — for synthesized-vs-hand
+/// placement comparisons.
+unsigned mfenceCount(const x86::Module &M);
+
+/// Program-level repair summary.
+struct ProgramRepairReport {
+  struct ModuleRepair {
+    std::string Name;
+    FenceSynthResult Synth;
+  };
+  /// One entry per x86-TSO module that was not already Robust.
+  std::vector<ModuleRepair> Modules;
+  unsigned ModulesRepaired = 0;
+  unsigned FencesInserted = 0;
+
+  /// True when every attempted module ended Repaired (vacuously true
+  /// when nothing needed repair).
+  bool allRepaired() const;
+  std::string toString() const;
+};
+
+/// Repairs every non-Robust x86-TSO module of \p P in place: builds the
+/// closed-program contexts, synthesizes fences per module, and swaps
+/// each successfully repaired module's code for the rewritten one
+/// (module name, memory model, object mode and global bindings are
+/// preserved). Modules the synthesis cannot repair are left untouched.
+ProgramRepairReport repairTsoRobustness(Program &P);
+
+/// The repair-to-fast-path pipeline: repairTsoRobustness, then a fresh
+/// programTsoRobustness over the repaired program handed to
+/// applyScFastPath. Returns the number of modules switched to SC;
+/// \p Rep (when given) receives the repair report.
+unsigned repairAndApplyScFastPath(Program &P,
+                                  ProgramRepairReport *Rep = nullptr);
+
+} // namespace analysis
+} // namespace ccc
+
+#endif // CASCC_ANALYSIS_FENCESYNTH_H

@@ -132,6 +132,44 @@ const std::string &ccc::sync::piLockRecursiveSource() {
   return Src;
 }
 
+const std::string &ccc::sync::piLockRecursiveUnfencedSource() {
+  // piLockRecursiveSource with rflush's mfence dropped: the recursive
+  // flush helper no longer flushes, so unlock's release store is pending
+  // at its ret on every path — NotRobust through the summary fixpoint,
+  // and the repair target for fence synthesis (hand reference: the one
+  // mfence of piLockRecursiveSource).
+  static const std::string Src = R"(
+    .data L 1
+    .entry lock 0 0
+    .entry unlock 0 0
+    .entry rflush 0 0
+
+    lock:
+            movl    $L, %ecx
+            movl    $0, %edx
+            movl    $1, %eax
+            lock cmpxchgl %edx, (%ecx)
+            je      enter
+            call    lock
+    enter:
+            retl
+
+    unlock:
+            movl    $1, L
+            call    rflush
+            retl
+
+    rflush:
+            movl    $0, %ecx
+            cmpl    $0, %ecx
+            je      rdone
+            call    rflush
+    rdone:
+            retl
+  )";
+  return Src;
+}
+
 unsigned ccc::sync::addGammaLock(Program &P) {
   return cimp::addCImpModule(P, "lockspec", gammaLockSource(),
                              /*ObjectMode=*/true);
@@ -150,4 +188,10 @@ unsigned ccc::sync::addPiLockFenced(Program &P, x86::MemModel Model) {
 unsigned ccc::sync::addPiLockRecursive(Program &P, x86::MemModel Model) {
   return x86::addAsmModule(P, "lockimpl", piLockRecursiveSource(), Model,
                            /*ObjectMode=*/true);
+}
+
+unsigned ccc::sync::addPiLockRecursiveUnfenced(Program &P,
+                                               x86::MemModel Model) {
+  return x86::addAsmModule(P, "lockimpl", piLockRecursiveUnfencedSource(),
+                           Model, /*ObjectMode=*/true);
 }

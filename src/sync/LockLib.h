@@ -65,6 +65,19 @@ const std::string &piLockRecursiveSource();
 /// "lockimpl" under the given memory model; returns the module index.
 unsigned addPiLockRecursive(Program &P, x86::MemModel Model);
 
+/// The recursive pi_lock variant with the flush helper's mfence removed:
+/// the release store now escapes unlock's ret with no drain anywhere in
+/// the recursive call group, so the module is NotRobust — the repair
+/// target that exercises fence synthesis *through* the recursive-summary
+/// fixpoint (the synthesized fence must re-certify via the closed call
+/// group, and the hand-fenced piLockRecursiveSource is its one-fence
+/// reference placement).
+const std::string &piLockRecursiveUnfencedSource();
+
+/// Registers the unfenced recursive pi_lock variant as an x86 object
+/// module named "lockimpl"; returns the module index.
+unsigned addPiLockRecursiveUnfenced(Program &P, x86::MemModel Model);
+
 } // namespace sync
 } // namespace ccc
 

@@ -176,20 +176,23 @@ Program ccc::workload::asmCounterWithRecLock(x86::MemModel Model,
   return P;
 }
 
-Program ccc::workload::fencedPingPong(x86::MemModel Model, unsigned Rounds) {
+namespace {
+
+Program pingPongProgram(x86::MemModel Model, unsigned Rounds, bool Fenced) {
   StrBuilder B;
   B << "    .data x 0\n"
     << "    .data y 0\n"
     << "    .entry t1 0 0\n"
     << "    .entry t2 0 0\n";
-  auto thread = [&B, Rounds](const char *Entry, const char *Own,
-                             const char *Peer) {
+  auto thread = [&B, Rounds, Fenced](const char *Entry, const char *Own,
+                                     const char *Peer) {
     B << Entry << ":\n"
       << "            movl $" << Rounds << ", %ecx\n"
       << Entry << "_loop:\n"
-      << "            movl %ecx, " << Own << "\n"
-      << "            mfence\n"
-      << "            movl " << Peer << ", %eax\n"
+      << "            movl %ecx, " << Own << "\n";
+    if (Fenced)
+      B << "            mfence\n";
+    B << "            movl " << Peer << ", %eax\n"
       << "            printl %eax\n"
       << "            subl $1, %ecx\n"
       << "            cmpl $0, %ecx\n"
@@ -202,6 +205,43 @@ Program ccc::workload::fencedPingPong(x86::MemModel Model, unsigned Rounds) {
   x86::addAsmModule(P, "m", B.take(), Model);
   P.addThread("t1");
   P.addThread("t2");
+  P.link();
+  return P;
+}
+
+} // namespace
+
+Program ccc::workload::fencedPingPong(x86::MemModel Model, unsigned Rounds) {
+  return pingPongProgram(Model, Rounds, /*Fenced=*/true);
+}
+
+Program ccc::workload::unfencedPingPong(x86::MemModel Model,
+                                        unsigned Rounds) {
+  return pingPongProgram(Model, Rounds, /*Fenced=*/false);
+}
+
+Program ccc::workload::asmCounterWithRecLockUnfenced(x86::MemModel Model,
+                                                     unsigned Threads) {
+  Program P;
+  x86::addAsmModule(P, "client", R"(
+    .data x 0
+    .entry inc 0 0
+    .extern lock 0
+    .extern unlock 0
+    inc:
+            call lock
+            movl x, %ebx
+            movl %ebx, %ecx
+            addl $1, %ecx
+            movl %ecx, x
+            call unlock
+            printl %ebx
+            retl
+  )",
+                    Model);
+  sync::addPiLockRecursiveUnfenced(P, Model);
+  for (unsigned T = 0; T < Threads; ++T)
+    P.addThread("inc");
   P.link();
   return P;
 }

@@ -71,6 +71,23 @@ Program asmCounterWithRecLock(x86::MemModel Model, unsigned Threads);
 /// fast path's state-space reduction.
 Program fencedPingPong(x86::MemModel Model, unsigned Rounds);
 
+/// fencedPingPong without the per-round mfence: each round's flag store
+/// stays buffered across the peer-flag load — the textbook triangular
+/// race, NotRobust with one witness per thread entry. The primary repair
+/// target for fence synthesis (hand reference: fencedPingPong's two
+/// fences, one per thread).
+Program unfencedPingPong(x86::MemModel Model, unsigned Rounds);
+
+/// asmCounterWithRecLock with every hand fence removed: the client's
+/// counter store is pending across `call unlock`, and the recursive
+/// lock's release store escapes through the unfenced flush helper
+/// (sync::piLockRecursiveUnfencedSource). Both modules are NotRobust, and
+/// repairing the lock exercises synthesis through the recursive-summary
+/// fixpoint. Hand reference: asmCounterWithRecLock's one client fence
+/// plus the recursive lock's one rflush fence.
+Program asmCounterWithRecLockUnfenced(x86::MemModel Model,
+                                      unsigned Threads);
+
 /// The store-buffering litmus test (both-zero allowed under TSO only).
 Program sbLitmus(x86::MemModel Model, bool Fenced);
 

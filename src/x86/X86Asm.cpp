@@ -4,6 +4,9 @@
 
 #include "support/StrUtil.h"
 
+#include <algorithm>
+#include <cassert>
+
 using namespace ccc;
 using namespace ccc::x86;
 
@@ -222,6 +225,93 @@ std::vector<unsigned> ccc::x86::successors(const Module &M, unsigned PC) {
     fallThrough();
     break;
   }
+  return Out;
+}
+
+void ccc::x86::recomputeFrameExtents(Module &M) {
+  for (auto &E : M.Entries) {
+    uint32_t Extent = E.second.FrameSize;
+    std::vector<bool> Seen(M.Code.size(), false);
+    std::vector<unsigned> Work;
+    if (E.second.PCIndex < M.Code.size()) {
+      Seen[E.second.PCIndex] = true;
+      Work.push_back(E.second.PCIndex);
+    }
+    while (!Work.empty()) {
+      unsigned PC = Work.back();
+      Work.pop_back();
+      for (const MemEffect &Ef : memEffects(M.Code[PC])) {
+        const Operand &Op = *Ef.Op;
+        if (Op.K == Operand::Kind::MemBase && Op.R == Reg::ESP &&
+            Op.Disp >= 0)
+          Extent = std::max(Extent, static_cast<uint32_t>(Op.Disp) + 1);
+      }
+      for (unsigned S : successors(M, PC))
+        if (S < M.Code.size() && !Seen[S]) {
+          Seen[S] = true;
+          Work.push_back(S);
+        }
+    }
+    E.second.FrameExtent = Extent;
+  }
+}
+
+std::shared_ptr<Module>
+ccc::x86::insertFences(const Module &M,
+                       const std::vector<unsigned> &BeforePCs) {
+  std::vector<unsigned> Points = BeforePCs;
+  std::sort(Points.begin(), Points.end());
+  Points.erase(std::unique(Points.begin(), Points.end()), Points.end());
+
+  auto Out = std::make_shared<Module>();
+  Out->ExternArity = M.ExternArity;
+  Out->Globals = M.Globals;
+
+  // Old PC -> new PC of the same instruction: each original slot shifts
+  // by the number of fences inserted at or before it.
+  std::vector<unsigned> NewPC(M.Code.size() + 1);
+  {
+    std::size_t Next = 0;
+    unsigned Shift = 0;
+    for (unsigned PC = 0; PC <= M.Code.size(); ++PC) {
+      if (Next < Points.size() && Points[Next] == PC) {
+        assert(PC < M.Code.size() &&
+               M.Code[PC].K != Instr::Kind::Label &&
+               "fence insertion points must be non-label instructions");
+        ++Shift;
+        ++Next;
+      }
+      NewPC[PC] = PC + Shift;
+    }
+  }
+
+  Out->Code.reserve(M.Code.size() + Points.size());
+  {
+    std::size_t Next = 0;
+    for (unsigned PC = 0; PC < M.Code.size(); ++PC) {
+      if (Next < Points.size() && Points[Next] == PC) {
+        Instr F;
+        F.K = Instr::Kind::Mfence;
+        Out->Code.push_back(std::move(F));
+        ++Next;
+      }
+      Out->Code.push_back(M.Code[PC]);
+    }
+  }
+
+  for (const auto &L : M.Labels)
+    Out->Labels[L.first] = NewPC[L.second];
+  for (const auto &E : M.Entries) {
+    EntryInfo EI = E.second;
+    EI.PCIndex = NewPC[EI.PCIndex];
+    Out->Entries[E.first] = EI;
+  }
+  // Branch targets are label names, remapped through Labels above; the
+  // successor graph of the original instructions is therefore preserved
+  // with the fences spliced onto every incoming path. Extents cannot
+  // change (mfence has no operands) but are recomputed to keep the
+  // parser-established invariant explicit.
+  recomputeFrameExtents(*Out);
   return Out;
 }
 

@@ -27,6 +27,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -214,6 +215,34 @@ bool crossesModuleBoundary(const Instr &I);
 /// fall-through and/or branch target. Empty for ret and tcall (control
 /// leaves the module). Calls fall through to their return point.
 std::vector<unsigned> successors(const Module &M, unsigned PC);
+
+//===----------------------------------------------------------------------===//
+// Program rewriting (analysis/FenceSynth.h): instruction insertion with
+// PC remapping, used to apply synthesized fence placements.
+//===----------------------------------------------------------------------===//
+
+/// Returns a copy of \p M with an `mfence` inserted immediately *before*
+/// each PC in \p BeforePCs (duplicates allowed, any order; one fence per
+/// distinct PC). Labels, entry PCIndexes and branch structure are
+/// remapped so the control-flow graph of the original instructions is
+/// preserved exactly — every path that executed the instruction at an
+/// original PC p now drains the store buffer first.
+///
+/// Insertion points must name non-Label instructions: labels are the
+/// only branch-target anchors, so a fence in front of one would be
+/// skipped by jumps to it (fall-through-only coverage), breaking the
+/// "every path crosses the fence" guarantee the caller relies on.
+/// Frame-layout extents (EntryInfo::FrameExtent) are recomputed over the
+/// rewritten successor graph via x86::recomputeFrameExtents.
+std::shared_ptr<Module> insertFences(const Module &M,
+                                     const std::vector<unsigned> &BeforePCs);
+
+/// Recomputes every entry's EntryInfo::FrameExtent (one past the largest
+/// non-negative esp-relative displacement its reachable code addresses,
+/// at least the declared frame size) by a BFS over x86::successors.
+/// Shared by the parser's post-pass and the rewrite layer, so inserted
+/// instructions can never leave a stale extent behind.
+void recomputeFrameExtents(Module &M);
 
 } // namespace x86
 } // namespace ccc

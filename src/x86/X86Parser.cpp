@@ -46,42 +46,13 @@ public:
     // reachable code addresses esp-relative with a non-negative
     // displacement (a syntactic bound — frame pointers laundered
     // through other registers are not chased; analyses fall back to
-    // the declared size for those).
-    for (auto &E : M->Entries)
-      E.second.FrameExtent = frameExtent(*M, E.second);
+    // the declared size for those). Shared with the fence-insertion
+    // rewrite layer, which re-runs it after splicing instructions in.
+    recomputeFrameExtents(*M);
     return M;
   }
 
 private:
-  /// One past the largest non-negative esp-relative displacement in the
-  /// code reachable from \p E (at least the declared frame size), found
-  /// by a BFS over the control-flow successors.
-  static uint32_t frameExtent(const Module &M, const EntryInfo &E) {
-    uint32_t Extent = E.FrameSize;
-    std::vector<bool> Seen(M.Code.size(), false);
-    std::vector<unsigned> Work;
-    if (E.PCIndex < M.Code.size()) {
-      Seen[E.PCIndex] = true;
-      Work.push_back(E.PCIndex);
-    }
-    while (!Work.empty()) {
-      unsigned PC = Work.back();
-      Work.pop_back();
-      for (const MemEffect &Ef : memEffects(M.Code[PC])) {
-        const Operand &Op = *Ef.Op;
-        if (Op.K == Operand::Kind::MemBase && Op.R == Reg::ESP &&
-            Op.Disp >= 0)
-          Extent = std::max(Extent, static_cast<uint32_t>(Op.Disp) + 1);
-      }
-      for (unsigned S : successors(M, PC))
-        if (S < M.Code.size() && !Seen[S]) {
-          Seen[S] = true;
-          Work.push_back(S);
-        }
-    }
-    return Extent;
-  }
-
   bool fail(const std::string &Msg) {
     Error = "asm parse error (line " + std::to_string(Toks.line()) +
             "): " + Msg;

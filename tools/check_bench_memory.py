@@ -1,9 +1,20 @@
 #!/usr/bin/env python3
-"""Gate bytes_per_state in a BENCH_drf.json produced by bench_drf.
+"""Gate bytes_per_state across the BENCH_*.json files the bench binaries emit.
 
-Two hard-failing checks over the por_cross_check section (which carries
-full ExploreStats for both the POR-off "full" and POR-on "por" run of
-every workload family):
+Accepts any number of bench JSON files in one invocation and reports
+*every* family violating a bar across all of them before exiting
+nonzero — one run, one complete report, instead of stopping at the
+first failing file.
+
+Gated sections (a file must carry at least one):
+
+- por_cross_check (bench_drf): full ExploreStats for the POR-off
+  "full" and POR-on "por" run of every workload family;
+- sc_fast_path and fence_synth (bench_tso): ExploreStats for the
+  "tso" baseline run and the "sc" fast-path run of every workload, so
+  the TSO path sits under the same memory gate as the DRF families.
+
+Two hard-failing checks over every (family, run) pair:
 
 1. Absolute bar: every *counter family* (family name contains locked/
    racy/atomic — the lockedCounter/racyCounter/atomicCounter workload
@@ -17,15 +28,17 @@ every workload family):
    ALLOWED_REGRESSION above the committed baseline
    (tools/bench_memory_baseline.json). Families absent from the
    baseline are reported but do not fail, so adding a workload does not
-   break CI; refresh the baseline with --update-baseline.
+   break CI; refresh the baseline with --update-baseline (measurements
+   from the given files are merged over the existing baseline, so a
+   partial update does not drop the other binaries' families).
 
 Also asserts the accounting coherence invariant on every entry:
 state_bytes == table_bytes + rec_bytes + arena_capacity_bytes and
 arena_live_bytes <= arena_capacity_bytes.
 
 Usage:
-  check_bench_memory.py BENCH_drf.json [--baseline FILE]
-                        [--update-baseline]
+  check_bench_memory.py BENCH_drf.json [BENCH_tso.json ...]
+                        [--baseline FILE] [--update-baseline]
 """
 
 import json
@@ -62,34 +75,49 @@ def check_coherence(family, run, stats, errors):
         )
 
 
+def gated_runs(bench):
+    """Yields (family, run, stats) for every gated entry of one file."""
+    for e in bench.get("por_cross_check", []):
+        for run in ("full", "por"):
+            yield e["family"], run, e[run]
+    for section in ("sc_fast_path", "fence_synth"):
+        for e in bench.get(section, []):
+            for run in ("tso", "sc"):
+                if run in e:
+                    # Unlike por_cross_check, the same (workload, run) is
+                    # emitted by both the POR-on and POR-off bench
+                    # invocation with genuinely different amortization, so
+                    # the POR mode must be part of the baseline key.
+                    mode = "por" if e[run].get("por_enabled") else "full"
+                    yield e["workload"], f"{run}/{mode}", e[run]
+
+
 def main(argv):
     args = [a for a in argv[1:] if not a.startswith("--")]
     update = "--update-baseline" in argv
     baseline_path = DEFAULT_BASELINE
     if "--baseline" in argv:
         baseline_path = argv[argv.index("--baseline") + 1]
-    if len(args) != 1:
-        print(f"usage: {argv[0]} <BENCH_drf.json> [--baseline FILE]"
+    if not args:
+        print(f"usage: {argv[0]} <BENCH_*.json>... [--baseline FILE]"
               " [--update-baseline]")
         return 2
 
-    with open(args[0]) as f:
-        bench = json.load(f)
-    entries = bench.get("por_cross_check", [])
-    if not entries:
-        print(f"FAIL: no por_cross_check section in {args[0]}")
-        return 1
-
     baseline = {}
-    if not update and os.path.exists(baseline_path):
+    if os.path.exists(baseline_path):
         with open(baseline_path) as f:
             baseline = json.load(f)
 
     errors, notes, measured = [], [], {}
-    for e in entries:
-        family = e["family"]
-        for run in ("full", "por"):
-            stats = e[run]
+    for path in args:
+        with open(path) as f:
+            bench = json.load(f)
+        runs = list(gated_runs(bench))
+        if not runs:
+            errors.append(f"{path}: no gated section"
+                          " (por_cross_check/sc_fast_path/fence_synth)")
+            continue
+        for family, run, stats in runs:
             check_coherence(family, run, stats, errors)
             bps = stats["bytes_per_state"]
             states = stats["states"]
@@ -106,6 +134,8 @@ def main(argv):
                         f"{key}: {bps:.1f} B/state over {states} states"
                         f" (< {MIN_STATES}, absolute bar not applied)"
                     )
+            if update:
+                continue
             if key in baseline:
                 allowed = baseline[key] * (1.0 + ALLOWED_REGRESSION)
                 if bps > allowed and states >= MIN_STATES:
@@ -118,21 +148,24 @@ def main(argv):
                 notes.append(f"{key}: not in baseline (new family?)")
 
     if update:
+        merged = dict(baseline)
+        merged.update(measured)
         with open(baseline_path, "w") as f:
-            json.dump(measured, f, indent=2, sort_keys=True)
+            json.dump(merged, f, indent=2, sort_keys=True)
             f.write("\n")
-        print(f"baseline updated: {baseline_path} ({len(measured)} runs)")
+        print(f"baseline updated: {baseline_path} ({len(measured)} runs"
+              f" measured, {len(merged)} total)")
         return 0
 
     for n in notes:
         print(f"note: {n}")
     if errors:
-        print(f"FAIL: {args[0]} memory gate:")
+        print(f"FAIL: memory gate over {', '.join(args)}:")
         for e in errors:
             print(f"  {e}")
         return 1
     print(
-        f"OK: {args[0]} — {len(measured)} runs within the"
+        f"OK: {', '.join(args)} — {len(measured)} runs within the"
         f" {MAX_COUNTER_BYTES:.0f} B counter bar and"
         f" {ALLOWED_REGRESSION:.0%} baseline envelope"
     )

@@ -10,6 +10,13 @@ state counts, edge counts, timings, throughput, memory statistics, and
 the PorStats themselves (all floats, plus the integer counters listed
 below). Exits nonzero with a path-level report when the runs disagree,
 making the POR-on/POR-off diff a hard-failing check.
+
+The fence_synth section of BENCH_tso.json is deliberately verdict-rich
+under this rule: each repaired workload's per-module repaired_verdict
+strings, its synthesized fence count, and the trace_hash of the
+repaired program's full trace set all survive clean(), so a repaired
+module whose verdict or trace set differs between the POR-on and
+POR-off run hard-fails the diff.
 """
 
 import json
