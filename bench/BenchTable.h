@@ -8,7 +8,10 @@
 #ifndef CASCC_BENCH_BENCHTABLE_H
 #define CASCC_BENCH_BENCHTABLE_H
 
+#include "core/MemModel.h"
+
 #include <chrono>
+#include <optional>
 #include <cstdio>
 #include <cstdlib>
 #include <string>
@@ -31,6 +34,13 @@ struct BenchFlags {
   bool FenceSynth = true;
   /// bench_drf's `--capacity` soak mode (ignored by the other binaries).
   bool Capacity = false;
+  /// `--model=sc|tso|relaxed`: the memory model for the model-parametric
+  /// workloads/sections of a binary. Unset means the binary's default —
+  /// bench_tso's litmus matrix then sweeps every model; bench_drf's x86
+  /// POR families run under TSO. Binaries whose expectations are pinned
+  /// to one model (the E3 goldens, the refinement gates) accept and
+  /// ignore it.
+  std::optional<ccc::MemModel> Model;
 };
 
 inline void printBenchHelp(const char *Prog) {
@@ -44,6 +54,11 @@ inline void printBenchHelp(const char *Prog) {
       "                    (bench_tso only; others accept and ignore it)\n"
       "  --capacity        run the state-store capacity soak instead of\n"
       "                    the benchmark (bench_drf only)\n"
+      "  --model=MODEL     memory model (sc|tso|relaxed) for the\n"
+      "                    model-parametric sections: restricts\n"
+      "                    bench_tso's litmus matrix to one model and\n"
+      "                    sets the model of bench_drf's x86 POR\n"
+      "                    families; pinned-model sections ignore it\n"
       "  --help            show this text\n",
       Prog);
 }
@@ -61,6 +76,14 @@ inline BenchFlags parseBenchFlags(int argc, char **argv) {
       F.FenceSynth = false;
     } else if (Arg == "--capacity") {
       F.Capacity = true;
+    } else if (Arg.rfind("--model=", 0) == 0) {
+      F.Model = ccc::parseMemModel(Arg.substr(8));
+      if (!F.Model) {
+        std::fprintf(stderr, "unknown memory model '%s'\n\n",
+                     Arg.substr(8).c_str());
+        printBenchHelp(Prog);
+        std::exit(2);
+      }
     } else if (Arg == "--help" || Arg == "-h") {
       printBenchHelp(Prog);
       std::exit(0);

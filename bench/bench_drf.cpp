@@ -47,12 +47,13 @@ std::string fmtPct(double Frac) {
 /// on the largest locked t=3 family it must shrink the state space by at
 /// least 5x. Runs both modes regardless of --no-por: this is the gate
 /// that makes the reduction trustworthy, not a benchmark.
-bool benchPorCrossCheck(benchtable::JsonLog &Log) {
+bool benchPorCrossCheck(benchtable::JsonLog &Log, ccc::MemModel WeakModel) {
+  const std::string MN = memModelName(WeakModel);
   std::printf("\nPartial-order reduction cross-check (verdicts must be "
               "identical, hard-failing)\n\n");
 
   struct FamilyRow {
-    const char *Name;
+    std::string Name;
     std::function<Program()> Make;
     double MinReduction; // 0 = identity only
   };
@@ -64,11 +65,12 @@ bool benchPorCrossCheck(benchtable::JsonLog &Log) {
       {"atomic t=2 w=2", [] { return workload::atomicCounter(2, 2); }, 0.0},
       {"atomic t=3 w=3", [] { return workload::atomicCounter(3, 3); }, 0.0},
       {"clight locked", [] { return workload::clightLockedCounter(2); }, 0.0},
-      {"sb tso",
-       [] { return workload::sbLitmus(x86::MemModel::TSO, false); }, 0.0},
-      {"mp tso", [] { return workload::mpLitmus(x86::MemModel::TSO); }, 0.0},
-      {"pingpong tso",
-       [] { return workload::fencedPingPong(x86::MemModel::TSO, 2); }, 0.0},
+      {"sb " + MN,
+       [=] { return workload::sbLitmus(WeakModel, false); }, 0.0},
+      {"mp " + MN, [=] { return workload::mpLitmus(WeakModel); },
+       0.0},
+      {"pingpong " + MN,
+       [=] { return workload::fencedPingPong(WeakModel, 2); }, 0.0},
   };
 
   benchtable::Table T({"family", "full states", "por states", "reduction",
@@ -420,7 +422,7 @@ int main(int argc, char **argv) {
   }
   T.print();
 
-  bool PorOk = benchPorCrossCheck(Log);
+  bool PorOk = benchPorCrossCheck(Log, Flags.Model.value_or(ccc::MemModel::TSO));
   AllGood = AllGood && PorOk;
 
   bool StaticSound = benchStaticFastPath(Log, Por);

@@ -2,8 +2,9 @@
 //
 // Regenerates the Fig. 10 case study: the abstract lock gamma_lock (CImp,
 // SC) versus the efficient TTAS implementation pi_lock (x86-TSO) under
-// the counter clients, plus the TSO litmus landscape, the static TSO
-// robustness verdicts, and the SC fast path they license.
+// the counter clients, plus the litmus matrix across all three memory
+// models (SC / TSO / Relaxed), the static per-model robustness verdicts,
+// the SC fast path they license, and the mixed-model linked program.
 //
 // Expected shape:
 //  - the TSO program with pi_lock refines (termination-insensitively) the
@@ -27,11 +28,12 @@
 
 #include "BenchTable.h"
 #include "analysis/FenceSynth.h"
-#include "analysis/TsoRobust.h"
+#include "analysis/Robustness.h"
 #include "core/Semantics.h"
 #include "sync/LockLib.h"
 #include "workload/Workloads.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <functional>
 #include <map>
@@ -124,42 +126,238 @@ bool benchLemma16(benchtable::JsonLog &Log, bool &PiLockRefines) {
   return R.Holds;
 }
 
-/// The TSO litmus landscape.
-bool benchLitmus(benchtable::JsonLog &Log) {
-  std::printf("\nTSO litmus landscape\n\n");
-  benchtable::Table T(
-      {"litmus", "model", "relaxed outcome observable", "ms"});
-  struct L {
-    std::string Name, Model;
-    Program P;
-    std::vector<int64_t> Relaxed;
-    bool Expect;
+/// True when some complete trace's event multiset contains all of \p Ev.
+bool someTraceContains(const TraceSet &T, const std::vector<int64_t> &Ev) {
+  for (const Trace &Tr : T.traces()) {
+    bool All = true;
+    for (int64_t E : Ev) {
+      if (std::count(Tr.Events.begin(), Tr.Events.end(), E) <
+          std::count(Ev.begin(), Ev.end(), E)) {
+        All = false;
+        break;
+      }
+    }
+    if (All)
+      return true;
+  }
+  return false;
+}
+
+/// A deterministic content hash of a trace set, emitted as a string
+/// field so tools/diff_bench_verdicts.py hard-fails when a workload's
+/// trace set differs POR-on vs POR-off (numeric state counts are
+/// dropped by the differ; this is not).
+std::string traceSetHash(const TraceSet &Tr) {
+  uint64_t H = 1469598103934665603ull; // FNV-1a
+  for (char C : Tr.toString()) {
+    H ^= static_cast<unsigned char>(C);
+    H *= 1099511628211ull;
+  }
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(H));
+  return Buf;
+}
+
+/// The litmus matrix: every registry shape under every selected memory
+/// model, fenced and unfenced. Hard gates per cell: the distinguishing
+/// weak outcome is observable exactly when the model is weak enough and
+/// the fences are absent, and the static per-model robustness verdict
+/// agrees with dynamic SC-equivalence (Robust iff the cell's trace set
+/// equals the SC cell's). Across cells (full sweep only): SC ⊆ TSO ⊆
+/// Relaxed trace inclusion, and fenced siblings identical in all models.
+bool benchLitmusMatrix(benchtable::JsonLog &Log,
+                       const std::vector<MemModel> &Models) {
+  std::printf("\nlitmus matrix across memory models\n\n");
+  struct Shape {
+    const char *Name;
+    std::vector<int64_t> Weak; ///< Empty: no weak outcome in any model.
+    MemModel Needs;            ///< Weakest model reaching Weak.
   };
-  std::vector<L> Ls;
-  Ls.push_back({"SB", "SC", workload::sbLitmus(x86::MemModel::SC, false),
-                {0, 0}, false});
-  Ls.push_back({"SB", "TSO", workload::sbLitmus(x86::MemModel::TSO, false),
-                {0, 0}, true});
-  Ls.push_back({"SB+mfence", "TSO",
-                workload::sbLitmus(x86::MemModel::TSO, true),
-                {0, 0}, false});
-  // MP: the relaxed outcome would be reading stale data (0) after the
-  // flag; TSO forbids it (FIFO buffers).
-  Ls.push_back({"MP", "TSO", workload::mpLitmus(x86::MemModel::TSO),
-                {0}, false});
+  const Shape Shapes[] = {
+      {"SB", {0, 0}, MemModel::TSO},
+      {"MP", {}, MemModel::SC},
+      {"LB", {11, 21}, MemModel::Relaxed},
+      {"IRIW", {12, 22}, MemModel::Relaxed},
+  };
+  benchtable::Table T({"litmus", "model", "fenced", "weak outcome",
+                       "verdict", "states", "ms"});
   bool Good = true;
-  for (L &X : Ls) {
-    benchtable::Timer Tm;
-    TraceSet Tr = preemptiveTraces(X.P, BaseOpts);
-    bool Seen = Tr.contains(doneTrace(X.Relaxed));
-    Good = Good && Seen == X.Expect;
-    T.addRow({X.Name, X.Model, benchtable::yesNo(Seen),
-              benchtable::fmtMs(Tm.ms())});
-    Log.add("litmus", "{\"litmus\":" + benchtable::jsonStr(X.Name) +
-                          ",\"model\":" + benchtable::jsonStr(X.Model) +
-                          ",\"relaxed\":" + (Seen ? "true" : "false") + "}");
+  for (const Shape &S : Shapes) {
+    std::map<std::pair<int, bool>, TraceSet> Cells;
+    for (MemModel M : Models) {
+      for (bool Fenced : {false, true}) {
+        benchtable::Timer Tm;
+        Program P = workload::litmus(S.Name, M, Fenced);
+        ExploreStats St;
+        TraceSet Tr = preemptiveTraces(P, BaseOpts, &St);
+        Cells.emplace(std::make_pair(static_cast<int>(M), Fenced), Tr);
+
+        const bool WeakSeen =
+            !S.Weak.empty() && someTraceContains(Tr, S.Weak);
+        const bool WeakExpected = !S.Weak.empty() && !Fenced &&
+                                  static_cast<int>(M) >=
+                                      static_cast<int>(S.Needs) &&
+                                  S.Needs != MemModel::SC;
+        if (WeakSeen != WeakExpected) {
+          std::printf("ERROR: %s under %s fenced=%d: weak outcome %s\n",
+                      S.Name, memModelName(M), Fenced ? 1 : 0,
+                      WeakSeen ? "observable" : "unreachable");
+          Good = false;
+        }
+
+        // Static verdict under the declared model, soundness-checked
+        // against dynamic SC-equivalence of the cell: Robust must imply
+        // SC-equal traces (the converse may fail — the certifier is
+        // conservative, e.g. LB under TSO flags the store escaping to
+        // the print even though TSO alone cannot realize the wedge).
+        auto Ctxs = analysis::robustContexts(P);
+        const auto *L =
+            dynamic_cast<const x86::X86Lang *>(P.modules()[0].Lang.get());
+        auto It = Ctxs.find(P.modules()[0].Name);
+        analysis::RobustReport Rep = analysis::robustness(
+            L->module(), It == Ctxs.end() ? nullptr : &It->second, M);
+        bool ScEqual =
+            Tr == preemptiveTraces(workload::litmus(S.Name, MemModel::SC,
+                                                    Fenced),
+                                   BaseOpts);
+        if (Rep.robust() && !ScEqual) {
+          std::printf("ERROR: %s under %s fenced=%d: certified Robust "
+                      "but the trace set differs from SC — unsound "
+                      "certificate\n",
+                      S.Name, memModelName(M), Fenced ? 1 : 0);
+          Good = false;
+        }
+
+        T.addRow({S.Name, memModelName(M), benchtable::yesNo(Fenced),
+                  S.Weak.empty() ? "n/a" : benchtable::yesNo(WeakSeen),
+                  analysis::robustVerdictName(Rep.Verdict),
+                  std::to_string(St.States), benchtable::fmtMs(Tm.ms())});
+        Log.add("litmus_matrix",
+                "{\"litmus\":" + benchtable::jsonStr(S.Name) +
+                    ",\"model\":" +
+                    benchtable::jsonStr(memModelName(M)) +
+                    ",\"fenced\":" + (Fenced ? "true" : "false") +
+                    ",\"weak\":" + (WeakSeen ? "true" : "false") +
+                    ",\"verdict\":" +
+                    benchtable::jsonStr(
+                        analysis::robustVerdictName(Rep.Verdict)) +
+                    ",\"trace_hash\":" +
+                    benchtable::jsonStr(traceSetHash(Tr)) +
+                    ",\"stats\":" + St.toJson() + "}");
+      }
+    }
+    // The N-model inclusion gate (needs the full sweep).
+    if (Models.size() == 3) {
+      const TraceSet &Sc = Cells.at({static_cast<int>(MemModel::SC), false});
+      const TraceSet &Tso =
+          Cells.at({static_cast<int>(MemModel::TSO), false});
+      const TraceSet &Rlx =
+          Cells.at({static_cast<int>(MemModel::Relaxed), false});
+      if (!Sc.subsetOf(Tso) || !Tso.subsetOf(Rlx)) {
+        std::printf("ERROR: %s: SC ⊆ TSO ⊆ Relaxed inclusion broken\n",
+                    S.Name);
+        Good = false;
+      }
+      const TraceSet &FSc = Cells.at({static_cast<int>(MemModel::SC), true});
+      if (!(FSc == Cells.at({static_cast<int>(MemModel::TSO), true})) ||
+          !(FSc == Cells.at({static_cast<int>(MemModel::Relaxed), true}))) {
+        std::printf("ERROR: %s: fenced siblings differ across models\n",
+                    S.Name);
+        Good = false;
+      }
+    }
   }
   T.print();
+  std::printf("\neach weaker model only adds behaviours; a Robust verdict "
+              "must imply dynamic SC-equality per cell (hard gates).\n");
+  return Good;
+}
+
+/// The heterogeneous-model gate: one linked program holding an SC Clight
+/// observer, the SB pair as an x86-TSO module, and the LB pair as an
+/// x86-Relaxed module. POR-on and POR-off explorations must produce
+/// bit-identical trace sets (both modes run regardless of --no-por —
+/// this is the soundness gate for cross-model independence), both weak
+/// wedges must appear unfenced and vanish after the repair pipeline, and
+/// repair must land every module on SC.
+bool benchMixedModel(benchtable::JsonLog &Log) {
+  std::printf("\nmixed-model program: SC Clight + x86-TSO SB + x86-Relaxed "
+              "LB (POR-on/off bit-identical, hard gate)\n\n");
+  benchtable::Table T({"variant", "por states", "full states", "identical",
+                       "sb wedge", "lb wedge", "repaired", "switched",
+                       "ms"});
+  bool Good = true;
+  for (bool Fenced : {false, true}) {
+    benchtable::Timer Tm;
+    Program P1 = workload::mixedModelProgram(Fenced);
+    ExploreOptions PorOpts = BaseOpts;
+    PorOpts.Por = PorMode::On;
+    ExploreStats S1;
+    TraceSet Por = preemptiveTraces(P1, PorOpts, &S1);
+    Program P2 = workload::mixedModelProgram(Fenced);
+    ExploreOptions FullOpts = BaseOpts;
+    FullOpts.Por = PorMode::Off;
+    ExploreStats S2;
+    TraceSet Full = preemptiveTraces(P2, FullOpts, &S2);
+    const bool Identical = Por == Full;
+    const bool SbWedge = someTraceContains(Por, {100, 200});
+    const bool LbWedge = someTraceContains(Por, {11, 21});
+
+    // Declared models must survive linking, and each x86 module is
+    // judged under its own model.
+    analysis::ProgramRobustReport Rep = analysis::programRobustness(P1);
+    std::string VerdictsJson = "[";
+    for (std::size_t I = 0; I < Rep.Modules.size(); ++I)
+      VerdictsJson +=
+          std::string(I ? "," : "") + "{\"module\":" +
+          benchtable::jsonStr(Rep.Modules[I].Name) + ",\"model\":" +
+          benchtable::jsonStr(memModelName(Rep.Modules[I].Model)) +
+          ",\"verdict\":" +
+          benchtable::jsonStr(analysis::robustVerdictName(
+              Rep.Modules[I].Report.Verdict)) +
+          "}";
+    VerdictsJson += "]";
+
+    // Repair the weak modules under their own models; everything must
+    // land on SC and the wedges must be gone.
+    Program P3 = workload::mixedModelProgram(Fenced);
+    analysis::ProgramRepairReport RepairRep;
+    unsigned Switched = analysis::repairAndApplyScFastPath(P3, &RepairRep);
+    bool AllSc = true;
+    for (const ModuleDecl &D : P3.modules())
+      AllSc = AllSc && D.Lang->memModel() == MemModel::SC;
+    TraceSet Repaired = preemptiveTraces(P3, PorOpts);
+    const bool WedgesGone = !someTraceContains(Repaired, {100, 200}) &&
+                            !someTraceContains(Repaired, {11, 21});
+
+    Good = Good && Identical && SbWedge == !Fenced && LbWedge == !Fenced &&
+           RepairRep.ModulesRepaired == (Fenced ? 0u : 2u) &&
+           Switched == 2 && AllSc && WedgesGone && S1.States <= S2.States;
+    T.addRow({Fenced ? "fenced" : "unfenced", std::to_string(S1.States),
+              std::to_string(S2.States), benchtable::yesNo(Identical),
+              benchtable::yesNo(SbWedge), benchtable::yesNo(LbWedge),
+              std::to_string(RepairRep.ModulesRepaired),
+              std::to_string(Switched), benchtable::fmtMs(Tm.ms())});
+    Log.add("mixed_model",
+            "{\"variant\":" +
+                benchtable::jsonStr(Fenced ? "fenced" : "unfenced") +
+                ",\"identical\":" + (Identical ? "true" : "false") +
+                ",\"sb_wedge\":" + (SbWedge ? "true" : "false") +
+                ",\"lb_wedge\":" + (LbWedge ? "true" : "false") +
+                ",\"verdicts\":" + VerdictsJson +
+                ",\"repaired\":" +
+                std::to_string(RepairRep.ModulesRepaired) +
+                ",\"switched\":" + std::to_string(Switched) +
+                ",\"trace_hash\":" +
+                benchtable::jsonStr(traceSetHash(Por)) +
+                ",\"por\":" + S1.toJson() + ",\"full\":" + S2.toJson() +
+                "}");
+  }
+  T.print();
+  std::printf("\nfive threads, three memory models, one linker: the "
+              "reduction must stay exact when store-buffer, pending-load "
+              "and SC steps mix.\n");
   return Good;
 }
 
@@ -177,56 +375,56 @@ bool benchVerdicts(benchtable::JsonLog &Log, bool PiLockRefines) {
   struct Row {
     const char *Name;
     std::function<Program(x86::MemModel)> Make;
-    analysis::TsoVerdict Expect;
+    analysis::RobustVerdict Expect;
     /// nullopt: no dynamic expectation (conservative verdict).
     std::optional<bool> ExpectEquiv;
   };
   const Row Rows[] = {
       {"SB",
        [](x86::MemModel M) { return workload::sbLitmus(M, false); },
-       analysis::TsoVerdict::NotRobust, false},
+       analysis::RobustVerdict::NotRobust, false},
       {"SB+mfence",
        [](x86::MemModel M) { return workload::sbLitmus(M, true); },
-       analysis::TsoVerdict::Robust, true},
+       analysis::RobustVerdict::Robust, true},
       {"MP",
        [](x86::MemModel M) { return workload::mpLitmus(M); },
-       analysis::TsoVerdict::Robust, true},
+       analysis::RobustVerdict::Robust, true},
       {"MP+readback",
        [](x86::MemModel M) { return workload::mpPublishReadback(M); },
-       analysis::TsoVerdict::Robust, true},
+       analysis::RobustVerdict::Robust, true},
       {"lock-then-publish",
        [](x86::MemModel M) { return workload::lockThenPublish(M); },
-       analysis::TsoVerdict::Robust, true},
+       analysis::RobustVerdict::Robust, true},
       {"pointer-chain",
        [](x86::MemModel M) { return workload::pointerChainClient(M); },
-       analysis::TsoVerdict::Robust, true},
+       analysis::RobustVerdict::Robust, true},
       {"ping-pong r=2",
        [](x86::MemModel M) { return workload::fencedPingPong(M, 2); },
-       analysis::TsoVerdict::Robust, true},
+       analysis::RobustVerdict::Robust, true},
       {"counter+pi_lock",
        [](x86::MemModel M) {
          return workload::asmCounterWithPiLock(M, 2);
        },
-       analysis::TsoVerdict::NotRobust, std::nullopt},
+       analysis::RobustVerdict::NotRobust, std::nullopt},
       {"counter+pi_lock_f",
        [](x86::MemModel M) {
          return workload::asmCounterWithPiLockFenced(M, 2);
        },
-       analysis::TsoVerdict::Robust, true},
+       analysis::RobustVerdict::Robust, true},
   };
   benchtable::Table T({"workload", "module", "verdict", "witnesses",
                        "fence certs", "tso=sc traces", "allowed"});
   bool Good = true;
   for (const Row &R : Rows) {
     Program P = R.Make(x86::MemModel::TSO);
-    analysis::ProgramTsoReport Rep = analysis::programTsoRobustness(P);
+    analysis::ProgramRobustReport Rep = analysis::programRobustness(P);
 
     bool Equiv = preemptiveTraces(P, BaseOpts) ==
                  preemptiveTraces(R.Make(x86::MemModel::SC), BaseOpts);
     if (R.ExpectEquiv)
       Good = Good && Equiv == *R.ExpectEquiv;
 
-    for (analysis::ModuleTsoInfo &M : Rep.Modules) {
+    for (analysis::ModuleRobustInfo &M : Rep.Modules) {
       // The flagged-but-allowed state: pi_lock's NotRobust release store
       // is admitted because Lemma 16's refinement covers it.
       if (M.Name == "lockimpl" && !M.Report.robust())
@@ -251,7 +449,7 @@ bool benchVerdicts(benchtable::JsonLog &Log, bool PiLockRefines) {
                                 : (M.AllowedByRefinement ? "by refinement"
                                                          : "no");
       T.addRow({R.Name, M.Name,
-                analysis::tsoVerdictName(M.Report.Verdict),
+                analysis::robustVerdictName(M.Report.Verdict),
                 std::to_string(M.Report.Witnesses.size()),
                 std::to_string(M.Report.Certificates.size()),
                 benchtable::yesNo(Equiv), Allowed});
@@ -260,7 +458,7 @@ bool benchVerdicts(benchtable::JsonLog &Log, bool PiLockRefines) {
                   ",\"module\":" + benchtable::jsonStr(M.Name) +
                   ",\"verdict\":" +
                   benchtable::jsonStr(
-                      analysis::tsoVerdictName(M.Report.Verdict)) +
+                      analysis::robustVerdictName(M.Report.Verdict)) +
                   ",\"witnesses\":" +
                   std::to_string(M.Report.Witnesses.size()) +
                   ",\"certs\":" +
@@ -272,7 +470,7 @@ bool benchVerdicts(benchtable::JsonLog &Log, bool PiLockRefines) {
     // store escaping at the module boundary.
     if (std::string(R.Name) == "counter+pi_lock") {
       bool Named = false;
-      for (const analysis::ModuleTsoInfo &M : Rep.Modules)
+      for (const analysis::ModuleRobustInfo &M : Rep.Modules)
         if (M.Name == "lockimpl")
           for (const analysis::TriangularWitness &W : M.Report.Witnesses)
             Named = Named || (W.Store.Entry == "unlock" &&
@@ -330,8 +528,8 @@ bool benchScFastPath(benchtable::JsonLog &Log) {
 
     Program Sc = R.Make();
     benchtable::Timer T2;
-    analysis::ProgramTsoReport Rep = analysis::programTsoRobustness(Sc);
-    unsigned Switched = analysis::applyScFastPath(Sc, Rep);
+    analysis::ProgramRobustReport Rep = analysis::programRobustness(Sc);
+    unsigned Switched = analysis::switchRobustToSc(Sc, Rep);
     ExploreStats S2;
     TraceSet ScTraces = preemptiveTraces(Sc, BaseOpts, &S2);
     double ScMs = T2.ms();
@@ -363,29 +561,14 @@ bool benchScFastPath(benchtable::JsonLog &Log) {
   return Good;
 }
 
-/// A deterministic content hash of a trace set, emitted as a string
-/// field so tools/diff_bench_verdicts.py hard-fails when a repaired
-/// workload's trace set differs POR-on vs POR-off (numeric state counts
-/// are dropped by the differ; this is not).
-std::string traceSetHash(const TraceSet &Tr) {
-  uint64_t H = 1469598103934665603ull; // FNV-1a
-  for (char C : Tr.toString()) {
-    H ^= static_cast<unsigned char>(C);
-    H *= 1099511628211ull;
-  }
-  char Buf[32];
-  std::snprintf(Buf, sizeof(Buf), "%016llx",
-                static_cast<unsigned long long>(H));
-  return Buf;
-}
-
 /// Fence synthesis: repair the seed NotRobust workloads, verify
 /// minimality by single-fence-removal re-analysis, hard-fail unless the
 /// repaired program's TSO and SC trace sets coincide, and report the SC
 /// fast-path state reduction the repair unlocks (EXPERIMENTS.md E3d).
 bool benchFenceSynth(benchtable::JsonLog &Log) {
-  std::printf("\nfence synthesis: repairing the NotRobust workloads "
-              "(minimality + TSO-vs-SC cross-check hard-fail)\n\n");
+  std::printf("\nfence synthesis: repairing the NotRobust workloads under "
+              "their declared models (minimality + model-vs-SC "
+              "cross-check hard-fail)\n\n");
   struct Row {
     const char *Name;
     std::function<Program()> Make;
@@ -405,6 +588,16 @@ bool benchFenceSynth(benchtable::JsonLog &Log) {
                                                         2);
        },
        2},
+      // The Relaxed repairs: the load axis is NotRobust here, and the
+      // same mfence placements (full barriers on both axes) repair it.
+      // Hand references: the fenced litmus siblings.
+      {"SB relaxed",
+       [] { return workload::litmus("SB", MemModel::Relaxed, false); }, 2},
+      {"LB relaxed",
+       [] { return workload::litmus("LB", MemModel::Relaxed, false); }, 4},
+      {"IRIW relaxed",
+       [] { return workload::litmus("IRIW", MemModel::Relaxed, false); },
+       2},
   };
   benchtable::Table T({"workload", "fences", "hand", "repaired robust",
                        "minimal", "tso states", "sc states",
@@ -414,17 +607,20 @@ bool benchFenceSynth(benchtable::JsonLog &Log) {
     // Repair a fresh instance, keeping the original modules + contexts
     // for the minimality re-analysis.
     Program Tso = R.Make();
-    std::map<std::string, analysis::TsoModuleContext> Ctxs =
-        analysis::tsoModuleContexts(Tso);
+    std::map<std::string, analysis::RobustContext> Ctxs =
+        analysis::robustContexts(Tso);
     std::map<std::string, std::shared_ptr<const x86::Module>> Originals;
+    std::map<std::string, MemModel> Declared;
     for (const ModuleDecl &D : Tso.modules())
-      if (const auto *L = dynamic_cast<const x86::X86Lang *>(D.Lang.get()))
+      if (const auto *L = dynamic_cast<const x86::X86Lang *>(D.Lang.get())) {
         Originals[D.Name] = L->modulePtr();
-    analysis::ProgramRepairReport Rep = analysis::repairTsoRobustness(Tso);
+        Declared[D.Name] = L->memModel();
+      }
+    analysis::ProgramRepairReport Rep = analysis::repairRobustness(Tso);
     bool AllRepaired =
         Rep.allRepaired() && Rep.ModulesRepaired == Rep.Modules.size() &&
         Rep.ModulesRepaired > 0;
-    bool AfterRobust = analysis::programTsoRobustness(Tso).allRobust();
+    bool AfterRobust = analysis::programRobustness(Tso).allRobust();
 
     bool Minimal = true;
     for (const analysis::ProgramRepairReport::ModuleRepair &M :
@@ -434,14 +630,15 @@ bool benchFenceSynth(benchtable::JsonLog &Log) {
       Minimal = Minimal &&
                 analysis::verifyFenceMinimality(
                     *Originals.at(M.Name),
-                    It == Ctxs.end() ? nullptr : &It->second, M.Synth, &Why);
+                    It == Ctxs.end() ? nullptr : &It->second, M.Synth, &Why,
+                    Declared.at(M.Name));
       if (!Why.empty())
         std::printf("  minimality FAILED for %s/%s: %s\n", R.Name,
                     M.Name.c_str(), Why.c_str());
     }
 
-    // Dynamic cross-check on the repaired program: TSO vs the SC fast
-    // path must produce identical trace sets.
+    // Dynamic cross-check on the repaired program: the declared (weak)
+    // model vs the SC fast path must produce identical trace sets.
     ExploreStats S1;
     TraceSet TsoTraces = preemptiveTraces(Tso, BaseOpts, &S1);
     Program Sc = R.Make();
@@ -472,7 +669,7 @@ bool benchFenceSynth(benchtable::JsonLog &Log) {
           benchtable::jsonStr(M.Name) + ",\"fences\":" +
           std::to_string(M.Synth.Fences.size()) + ",\"repaired_verdict\":" +
           benchtable::jsonStr(
-              analysis::tsoVerdictName(M.Synth.After.Verdict)) +
+              analysis::robustVerdictName(M.Synth.After.Verdict)) +
           "}";
     }
     ModulesJson += "]";
@@ -501,6 +698,10 @@ int main(int argc, char **argv) {
   const benchtable::BenchFlags Flags = benchtable::parseBenchFlags(argc, argv);
   if (!Flags.Por)
     BaseOpts.Por = PorMode::Off;
+  const std::vector<MemModel> Models =
+      Flags.Model ? std::vector<MemModel>{*Flags.Model}
+                  : std::vector<MemModel>{MemModel::SC, MemModel::TSO,
+                                          MemModel::Relaxed};
   benchtable::JsonLog Log;
   bool AllGood = true;
 
@@ -509,7 +710,8 @@ int main(int argc, char **argv) {
   bool PiLockRefines = false;
   AllGood = benchLemma16(Log, PiLockRefines) && AllGood;
 
-  AllGood = benchLitmus(Log) && AllGood;
+  AllGood = benchLitmusMatrix(Log, Models) && AllGood;
+  AllGood = benchMixedModel(Log) && AllGood;
   AllGood = benchVerdicts(Log, PiLockRefines) && AllGood;
   AllGood = benchScFastPath(Log) && AllGood;
   if (Flags.FenceSynth)

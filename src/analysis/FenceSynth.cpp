@@ -57,7 +57,7 @@ struct CutProblem {
   std::map<unsigned, std::vector<unsigned>> ByStore;
 };
 
-bool isSummarizedCall(const Module &M, const TsoModuleContext *Ctx,
+bool isSummarizedCall(const Module &M, const RobustContext *Ctx,
                       const Instr &I) {
   return I.K == Instr::Kind::Call && Ctx && Ctx->Closed &&
          M.Entries.count(I.Name) != 0 &&
@@ -70,7 +70,7 @@ bool isSummarizedCall(const Module &M, const TsoModuleContext *Ctx,
 /// through return edges added in earlier rounds for nested calls) and
 /// wires them to every such call's return point.
 std::vector<std::vector<unsigned>> buildFenceFreeGraph(
-    const Module &M, const TsoModuleContext *Ctx) {
+    const Module &M, const RobustContext *Ctx) {
   const unsigned N = static_cast<unsigned>(M.Code.size());
   std::vector<std::vector<unsigned>> Adj(N);
   std::vector<std::pair<unsigned, unsigned>> SummCalls; // (callPC, calleePC)
@@ -344,22 +344,26 @@ std::string FenceSynthResult::toString() const {
     B << "  " << F.describe() << '\n';
   for (const std::string &N : Notes)
     B << "  note: " << N << '\n';
-  B << "  before: " << tsoVerdictName(Before.Verdict)
-    << ", after: " << tsoVerdictName(After.Verdict) << '\n';
+  B << "  before: " << robustVerdictName(Before.Verdict)
+    << ", after: " << robustVerdictName(After.Verdict) << '\n';
   return B.take();
 }
 
 FenceSynthResult ccc::analysis::synthesizeFences(const Module &M,
-                                                 const TsoModuleContext *Ctx) {
+                                                 const RobustContext *Ctx,
+                                                 MemModel Model) {
   FenceSynthResult R;
-  R.Before = tsoRobustness(M, Ctx);
+  R.Before = robustness(M, Ctx, Model);
   if (R.Before.robust()) {
     R.Outcome = RepairOutcome::AlreadyRobust;
     R.After = R.Before;
     return R;
   }
 
-  // Harvest the distinct (store, violation) pairs the cut must cover.
+  // Harvest the distinct (pending access, violation) pairs the cut must
+  // cover. Load-axis witnesses participate uniformly: W.Store then holds
+  // the deferred load, and a fence anywhere on the load-to-violation
+  // path completion-forces it (mfence is a full barrier on both axes).
   CutProblem P;
   P.Adj = buildFenceFreeGraph(M, Ctx);
   {
@@ -436,11 +440,11 @@ FenceSynthResult ccc::analysis::synthesizeFences(const Module &M,
   auto certify = [&](const std::vector<unsigned> &Fences,
                      std::shared_ptr<Module> &Out) {
     Out = insertFences(M, Fences);
-    return tsoRobustness(*Out, Ctx);
+    return robustness(*Out, Ctx, Model);
   };
   std::sort(F.begin(), F.end());
   std::shared_ptr<Module> Repaired;
-  TsoRobustReport After = certify(F, Repaired);
+  RobustReport After = certify(F, Repaired);
   if (!After.robust()) {
     std::vector<unsigned> Anchors;
     for (const auto &SV : P.ByStore)
@@ -449,7 +453,7 @@ FenceSynthResult ccc::analysis::synthesizeFences(const Module &M,
     std::sort(Anchors.begin(), Anchors.end());
     Anchors.erase(std::unique(Anchors.begin(), Anchors.end()), Anchors.end());
     if (!Anchors.empty() && Anchors != F) {
-      TsoRobustReport A2 = certify(Anchors, Repaired);
+      RobustReport A2 = certify(Anchors, Repaired);
       if (A2.robust()) {
         F = Anchors;
         After = std::move(A2);
@@ -475,7 +479,7 @@ FenceSynthResult ccc::analysis::synthesizeFences(const Module &M,
       std::vector<unsigned> Without = F;
       Without.erase(Without.begin() + static_cast<long>(I));
       std::shared_ptr<Module> Try;
-      TsoRobustReport TryReport = certify(Without, Try);
+      RobustReport TryReport = certify(Without, Try);
       ++R.CutChecks;
       if (TryReport.robust()) {
         R.Notes.push_back("pruned redundant fence before PC " +
@@ -519,9 +523,9 @@ FenceSynthResult ccc::analysis::synthesizeFences(const Module &M,
 }
 
 bool ccc::analysis::verifyFenceMinimality(const Module &M,
-                                          const TsoModuleContext *Ctx,
+                                          const RobustContext *Ctx,
                                           const FenceSynthResult &R,
-                                          std::string *Why) {
+                                          std::string *Why, MemModel Model) {
   auto explain = [&](const std::string &Msg) {
     if (Why)
       *Why = Msg;
@@ -539,7 +543,7 @@ bool ccc::analysis::verifyFenceMinimality(const Module &M,
     std::vector<unsigned> Without = All;
     Without.erase(Without.begin() + static_cast<long>(I));
     auto M2 = insertFences(M, Without);
-    TsoRobustReport Rep = tsoRobustness(*M2, Ctx);
+    RobustReport Rep = robustness(*M2, Ctx, Model);
     if (Rep.robust())
       return explain("removing the fence before PC " +
                      std::to_string(All[I]) +
@@ -565,21 +569,21 @@ std::string ProgramRepairReport::toString() const {
   return B.take();
 }
 
-ProgramRepairReport ccc::analysis::repairTsoRobustness(Program &P) {
+ProgramRepairReport ccc::analysis::repairRobustness(Program &P) {
   ProgramRepairReport Rep;
-  std::map<std::string, TsoModuleContext> Ctxs = tsoModuleContexts(P);
+  std::map<std::string, RobustContext> Ctxs = robustContexts(P);
   for (unsigned I = 0; I < P.modules().size(); ++I) {
     ModuleDecl &D = P.module(I);
     auto *L = dynamic_cast<const X86Lang *>(D.Lang.get());
-    if (!L || L->memModel() != MemModel::TSO)
+    if (!L || L->memModel() == MemModel::SC)
       continue;
     auto It = Ctxs.find(D.Name);
-    const TsoModuleContext *Ctx = It == Ctxs.end() ? nullptr : &It->second;
-    FenceSynthResult S = synthesizeFences(L->module(), Ctx);
+    const RobustContext *Ctx = It == Ctxs.end() ? nullptr : &It->second;
+    FenceSynthResult S = synthesizeFences(L->module(), Ctx, L->memModel());
     if (S.Outcome == RepairOutcome::AlreadyRobust)
       continue;
     if (S.repaired()) {
-      D.Lang = std::make_unique<X86Lang>(S.RepairedModule, MemModel::TSO,
+      D.Lang = std::make_unique<X86Lang>(S.RepairedModule, L->memModel(),
                                          L->objectMode());
       if (P.linked())
         D.Lang->bindGlobals(&D.GE);
@@ -593,8 +597,8 @@ ProgramRepairReport ccc::analysis::repairTsoRobustness(Program &P) {
 
 unsigned ccc::analysis::repairAndApplyScFastPath(Program &P,
                                                  ProgramRepairReport *Rep) {
-  ProgramRepairReport R = repairTsoRobustness(P);
-  unsigned Switched = applyScFastPath(P, programTsoRobustness(P));
+  ProgramRepairReport R = repairRobustness(P);
+  unsigned Switched = switchRobustToSc(P, programRobustness(P));
   if (Rep)
     *Rep = std::move(R);
   return Switched;

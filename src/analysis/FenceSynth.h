@@ -7,14 +7,20 @@
 ///
 /// \file
 /// Static fence-placement synthesis: the repair pass that turns the
-/// TsoRobust certifier's NotRobust diagnosis into a certified-Robust
-/// module. Where TsoRobust names the disease — a plain store whose
-/// buffered value survives to a triangular load, an observable event, or
-/// the module boundary — FenceSynth computes where `mfence` instructions
-/// must land so that *every* fence-free path from a witnessed store to
-/// one of its violation points crosses an inserted drain, and nothing
-/// else pays: stores already discharged by a FenceCert, and stores whose
-/// paths diverge before the next shared access, get no fence.
+/// robustness certifier's NotRobust diagnosis into a certified-Robust
+/// module, under whatever reorder table the module's declared memory
+/// model induces. Where the certifier names the disease — a plain store
+/// whose buffered value survives to a triangular load, an observable
+/// event, or the module boundary, or (under a LoadsDefer model) a
+/// deferable load still pending across a later shared access — FenceSynth
+/// computes where `mfence` instructions must land so that *every*
+/// fence-free path from a witnessed access to one of its violation
+/// points crosses an inserted drain, and nothing else pays: accesses
+/// already discharged by a FenceCert (including dependency certificates),
+/// and accesses whose paths diverge before the next shared access, get no
+/// fence. An mfence is a full barrier in every buffered model — it
+/// drains the store buffer and completion-forces pending loads — so one
+/// placement primitive repairs both axes.
 ///
 /// The placement problem is a minimum multi-cut over the fence-free
 /// store-to-violation path graph:
@@ -53,10 +59,11 @@
 ///     certifier-redundant fence); after pruning, removing *any* single
 ///     fence provably reverts the verdict (verifyFenceMinimality).
 ///
-/// Program-level repair (repairTsoRobustness) runs the synthesis on
-/// every non-Robust x86-TSO module of a program under its closed-program
-/// context, swaps repaired modules in place, and hands the now-Robust
-/// program to applyScFastPath — formerly NotRobust workloads then
+/// Program-level repair (repairRobustness) runs the synthesis on every
+/// non-Robust buffered-model (TSO or Relaxed) x86 module of a program
+/// under its closed-program context and its own declared model, swaps
+/// repaired modules in place, and hands the now-Robust program to
+/// switchRobustToSc — formerly NotRobust workloads then
 /// collect the SC fast path's state-space reduction. Repair is a
 /// *program transformation*: the repaired program has strictly fewer
 /// behaviours than the original (the relaxed outcomes are gone), which
@@ -68,6 +75,7 @@
 #ifndef CASCC_ANALYSIS_FENCESYNTH_H
 #define CASCC_ANALYSIS_FENCESYNTH_H
 
+#include "analysis/Robustness.h"
 #include "analysis/TsoRobust.h"
 
 #include <memory>
@@ -112,11 +120,12 @@ struct FenceSynthResult {
   /// The rewritten module; null unless Outcome == Repaired.
   std::shared_ptr<const x86::Module> RepairedModule;
   /// Certifier report on the original module.
-  TsoRobustReport Before;
+  RobustReport Before;
   /// Certifier report on the repaired module (== Before when
   /// AlreadyRobust; the best attempt when NotRepairable).
-  TsoRobustReport After;
-  /// Distinct (store, violation) witness pairs the cut had to cover.
+  RobustReport After;
+  /// Distinct (pending access, violation) witness pairs the cut had to
+  /// cover.
   unsigned WitnessPairs = 0;
   /// Candidate insertion points considered.
   unsigned CandidatePoints = 0;
@@ -128,21 +137,23 @@ struct FenceSynthResult {
   std::string toString() const;
 };
 
-/// Synthesizes a minimal fence set for \p M under the optional
-/// closed-program context \p Ctx (the same contract as tsoRobustness:
-/// null means standalone worst-case assumptions). Deterministic: equal
-/// inputs produce equal placements.
+/// Synthesizes a minimal fence set for \p M against the reorder table
+/// of \p Model, under the optional closed-program context \p Ctx (the
+/// same contract as robustness(): null means standalone worst-case
+/// assumptions). Deterministic: equal inputs produce equal placements.
 FenceSynthResult synthesizeFences(const x86::Module &M,
-                                  const TsoModuleContext *Ctx = nullptr);
+                                  const RobustContext *Ctx = nullptr,
+                                  MemModel Model = MemModel::TSO);
 
 /// Verifies the single-fence-removal minimality of a Repaired result:
 /// for every synthesized fence, re-analyzing the module with that one
 /// fence withheld must NOT certify Robust. Returns true when every
 /// removal reverts the verdict; otherwise false with an explanation in
 /// \p Why (when given). Also fails non-Repaired results.
-bool verifyFenceMinimality(const x86::Module &M, const TsoModuleContext *Ctx,
+bool verifyFenceMinimality(const x86::Module &M, const RobustContext *Ctx,
                            const FenceSynthResult &R,
-                           std::string *Why = nullptr);
+                           std::string *Why = nullptr,
+                           MemModel Model = MemModel::TSO);
 
 /// Number of Mfence instructions in \p M — for synthesized-vs-hand
 /// placement comparisons.
@@ -154,7 +165,8 @@ struct ProgramRepairReport {
     std::string Name;
     FenceSynthResult Synth;
   };
-  /// One entry per x86-TSO module that was not already Robust.
+  /// One entry per buffered-model (non-SC) x86 module that was not
+  /// already Robust.
   std::vector<ModuleRepair> Modules;
   unsigned ModulesRepaired = 0;
   unsigned FencesInserted = 0;
@@ -165,16 +177,25 @@ struct ProgramRepairReport {
   std::string toString() const;
 };
 
-/// Repairs every non-Robust x86-TSO module of \p P in place: builds the
-/// closed-program contexts, synthesizes fences per module, and swaps
-/// each successfully repaired module's code for the rewritten one
-/// (module name, memory model, object mode and global bindings are
-/// preserved). Modules the synthesis cannot repair are left untouched.
-ProgramRepairReport repairTsoRobustness(Program &P);
+/// Repairs every non-Robust buffered-model (TSO or Relaxed) x86 module
+/// of \p P in place, each against its own declared model's reorder
+/// table: builds the closed-program contexts, synthesizes fences per
+/// module, and swaps each successfully repaired module's code for the
+/// rewritten one (module name, memory model, object mode and global
+/// bindings are preserved). Modules the synthesis cannot repair are left
+/// untouched.
+ProgramRepairReport repairRobustness(Program &P);
 
-/// The repair-to-fast-path pipeline: repairTsoRobustness, then a fresh
-/// programTsoRobustness over the repaired program handed to
-/// applyScFastPath. Returns the number of modules switched to SC;
+/// Deprecated spelling of repairRobustness, kept for pre-MemModel
+/// clients (it was never TSO-specific at the program level — every
+/// non-SC module gets repaired under its own model).
+inline ProgramRepairReport repairTsoRobustness(Program &P) {
+  return repairRobustness(P);
+}
+
+/// The repair-to-fast-path pipeline: repairRobustness, then a fresh
+/// programRobustness over the repaired program handed to
+/// switchRobustToSc. Returns the number of modules switched to SC;
 /// \p Rep (when given) receives the repair report.
 unsigned repairAndApplyScFastPath(Program &P,
                                   ProgramRepairReport *Rep = nullptr);

@@ -63,7 +63,7 @@ DetectResult ccc::analysis::detectRaces(const Program &P,
   DetectResult R;
   if (O.UseTsoFastPath) {
     auto TsoStart = std::chrono::steady_clock::now();
-    R.Tso = programTsoRobustness(P);
+    R.Tso = programRobustness(P);
     R.TsoMs = msSince(TsoStart);
   }
   return detectImpl(P, O, std::move(R));
@@ -74,8 +74,8 @@ DetectResult ccc::analysis::detectRacesInPlace(Program &P,
   DetectResult R;
   if (O.UseTsoFastPath) {
     auto TsoStart = std::chrono::steady_clock::now();
-    R.Tso = programTsoRobustness(P);
-    R.ScSwitched = applyScFastPath(P, R.Tso);
+    R.Tso = programRobustness(P);
+    R.ScSwitched = switchRobustToSc(P, R.Tso);
     R.TsoMs = msSince(TsoStart);
   }
   return detectImpl(P, O, std::move(R));

@@ -22,7 +22,7 @@
 #define CASCC_ANALYSIS_RACEDETECTOR_H
 
 #include "analysis/StaticRace.h"
-#include "analysis/TsoRobust.h"
+#include "analysis/Robustness.h"
 #include "core/Semantics.h"
 
 #include <optional>
@@ -36,11 +36,12 @@ struct DetectOptions {
   /// When the fast path fires, still run the (cheap) non-preemptive
   /// exploration as a belt-and-braces confirmation of the certificate.
   bool SampleConfirm = false;
-  /// Run the static TSO-robustness pass (TsoRobust.h) and — under
-  /// detectRacesInPlace — execute certified-Robust x86-TSO modules under
-  /// MemModel::SC, pruning the store-buffer dimension of the explored
-  /// state space. Sound by robustness: every TSO trace of a Robust
-  /// module is SC-explainable, so race verdicts are unchanged.
+  /// Run the static robustness pass (Robustness.h) and — under
+  /// detectRacesInPlace — execute certified-Robust buffered-model x86
+  /// modules under MemModel::SC, pruning the store-buffer and
+  /// pending-load dimensions of the explored state space. Sound by
+  /// robustness: every TSO or Relaxed trace of a Robust module is
+  /// SC-explainable, so race verdicts are unchanged.
   bool UseTsoFastPath = true;
   ExploreOptions Explore{};
 };
@@ -64,7 +65,7 @@ struct DetectResult {
   ExploreStats Explore{};
   /// Robustness verdict of every x86 module (empty when the program has
   /// none). Populated by both entry points.
-  ProgramTsoReport Tso;
+  ProgramRobustReport Tso;
   /// Modules actually downgraded to SC by detectRacesInPlace.
   unsigned ScSwitched = 0;
   double StaticMs = 0.0;
@@ -82,10 +83,10 @@ struct DetectResult {
 /// report is computed for the result, but the program is not modified.
 DetectResult detectRaces(const Program &P, const DetectOptions &O = {});
 
-/// As above, but when UseTsoFastPath is set, certified-Robust x86-TSO
-/// modules of \p P are switched to MemModel::SC in place before the
-/// exploration (applyScFastPath) — the explorer then never enumerates
-/// their store-buffer interleavings. Deliberately a distinct name rather
+/// As above, but when UseTsoFastPath is set, certified-Robust
+/// buffered-model x86 modules of \p P are switched to MemModel::SC in
+/// place before the exploration (switchRobustToSc) — the explorer then
+/// never enumerates their store-buffer or pending-load interleavings. Deliberately a distinct name rather
 /// than a non-const overload of detectRaces: mutating the caller's
 /// program is opt-in, not something overload resolution should decide
 /// from the constness of the argument.

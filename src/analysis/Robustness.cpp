@@ -1,6 +1,6 @@
-//===- analysis/TsoRobust.cpp - Static TSO robustness ----------------------===//
+//===- analysis/Robustness.cpp - Model-generic static robustness -----------===//
 
-#include "analysis/TsoRobust.h"
+#include "analysis/Robustness.h"
 
 #include "support/StrUtil.h"
 
@@ -87,7 +87,7 @@ const AbsVal &regOf(const RegState &S, x86::Reg R) {
 /// refines to NonPtr (no pointer is ever stored there program-wide) or
 /// to the address of the unique pointee; without one, Top.
 struct PtsMap {
-  const std::map<std::string, TsoModuleContext::Pointees> *PT = nullptr;
+  const std::map<std::string, RobustContext::Pointees> *PT = nullptr;
 
   AbsVal load(const std::string &G) const {
     if (!PT)
@@ -277,9 +277,9 @@ std::map<unsigned, RegState> fixpointRegsFor(const x86::Module &M,
 /// thread regions (0x100000+), disjoint from the globals (0x1000+) by
 /// the linker's layout, so such a store can never land in a global cell.
 struct PtsBuildResult {
-  std::map<std::string, TsoModuleContext::Pointees> PT;
+  std::map<std::string, RobustContext::Pointees> PT;
   /// (base cell, displacement) -> what the store may publish there.
-  std::map<std::pair<std::string, int32_t>, TsoModuleContext::Pointees>
+  std::map<std::pair<std::string, int32_t>, RobustContext::Pointees>
       Neighbours;
   bool MayPtrUnresolved = false;
 };
@@ -329,7 +329,7 @@ StoreTarget storeTargetOf(const x86::Operand &Op, const RegState &S,
 /// closes the module's own flows over them.
 PtsBuildResult computePointsTo(
     const x86::Module &M,
-    const std::map<std::string, TsoModuleContext::Pointees> *Inject =
+    const std::map<std::string, RobustContext::Pointees> *Inject =
         nullptr) {
   PtsBuildResult R;
   for (const auto &G : M.Globals)
@@ -503,7 +503,7 @@ Fact joinFacts(const Fact &A, const Fact &B) {
 ///    ids are the callee's own stores still pending at return.
 struct Summary {
   bool Valid = false;
-  std::vector<TsoAccess> PreLoads;
+  std::vector<RobustAccess> PreLoads;
   std::set<unsigned> PreLoadPCs;
   std::set<unsigned> TokenDrainPCs;
   std::map<unsigned, std::string> TokenEscapes; // PC -> entry name
@@ -513,8 +513,12 @@ struct Summary {
 
 struct ModuleAnalysis {
   const x86::Module &M;
-  const TsoModuleContext *Ctx;
-  TsoRobustReport &R;
+  const RobustContext *Ctx;
+  RobustReport &R;
+  /// The declared model's reordering capabilities: StoresLinger drives
+  /// the (always-on here) pending-store dataflow, LoadsDefer additionally
+  /// enables the deferable-load dataflow.
+  const ReorderTable Table;
   PtsMap Pts;
 
   struct EntryState {
@@ -534,15 +538,28 @@ struct ModuleAnalysis {
   /// Module-wide store site table: every plain shared store reachable
   /// from a walked entry, identified by (PC, effect index) and counted
   /// once no matter how many entries or summaries revisit it.
-  std::vector<TsoAccess> Stores;
+  std::vector<RobustAccess> Stores;
   std::map<std::pair<unsigned, unsigned>, unsigned> StoreId;
   std::set<std::pair<unsigned, unsigned>> CountedSites;
+
+  /// Module-wide deferable-load site table (populated only when the
+  /// model's table defers loads): every plain shared register load —
+  /// exactly the sites the dynamic model may leave pending — with the
+  /// destination register whose first use completion-forces it.
+  std::vector<RobustAccess> Loads;
+  std::vector<x86::Reg> LoadRegs;
+  std::map<unsigned, unsigned> LoadId; // PC -> load id
 
   std::set<std::pair<unsigned, unsigned>> SeenTriangles; // (store, load PC)
   std::set<std::pair<unsigned, unsigned>> SeenEscapes;   // (store, exit PC)
   std::set<std::pair<unsigned, unsigned>> SeenCerts;     // (store, drain PC)
   std::set<unsigned> Witnessed;
   std::set<unsigned> Certified;
+
+  std::set<std::pair<unsigned, unsigned>> SeenLoadPairs; // (load, cross PC)
+  std::set<std::pair<unsigned, unsigned>> SeenLoadCerts; // (load, cert PC)
+  std::set<unsigned> WitnessedLoadIds;
+  std::set<unsigned> CertifiedLoadIds;
   std::set<std::string> NoteDedup;
 
   std::map<std::string, Summary> Summaries;
@@ -562,9 +579,9 @@ struct ModuleAnalysis {
   /// call sites then escape, which is the sound pre-fixpoint treatment.
   static constexpr unsigned MaxSummaryIters = 16;
 
-  ModuleAnalysis(const x86::Module &Mod, const TsoModuleContext *C,
-                 TsoRobustReport &Rep)
-      : M(Mod), Ctx(C), R(Rep) {
+  ModuleAnalysis(const x86::Module &Mod, const RobustContext *C,
+                 RobustReport &Rep, ReorderTable T)
+      : M(Mod), Ctx(C), R(Rep), Table(T) {
     if (Ctx && Ctx->Closed && Ctx->HasPointsTo)
       Pts.PT = &Ctx->GlobalPointsTo;
   }
@@ -638,9 +655,9 @@ struct ModuleAnalysis {
   }
 
   /// Classifies one memory operand at \p PC under the fixpoint state.
-  TsoAccess classify(const EntryState &E, unsigned PC, const x86::Operand &Op,
+  RobustAccess classify(const EntryState &E, unsigned PC, const x86::Operand &Op,
                      bool Write) const {
-    TsoAccess A;
+    RobustAccess A;
     A.PC = PC;
     A.Entry = E.Name;
     A.Text = M.Code[PC].toString();
@@ -720,7 +737,7 @@ struct ModuleAnalysis {
         if (!CountedSites.insert({PC, EIx}).second)
           continue;
         const x86::MemEffect &Ef = Effects[EIx];
-        TsoAccess A = classify(E, PC, *Ef.Op, Ef.IsStore);
+        RobustAccess A = classify(E, PC, *Ef.Op, Ef.IsStore);
         noteOutOfFrame(E, PC, *Ef.Op);
         if (Ef.Locked) {
           ++R.LockedOps;
@@ -735,8 +752,20 @@ struct ModuleAnalysis {
           StoreId[{PC, EIx}] = static_cast<unsigned>(Stores.size());
           Stores.push_back(A);
         }
-        if (Ef.IsLoad)
+        if (Ef.IsLoad) {
           ++R.SharedLoads;
+          const x86::Instr &I = M.Code[PC];
+          if (Table.LoadsDefer && I.K == x86::Instr::Kind::Mov &&
+              I.Dst.K == x86::Operand::Kind::Reg) {
+            // Deferable site: exactly the loads the dynamic Relaxed
+            // model may leave pending (a plain Mov of shared memory
+            // into a register).
+            ++R.DeferableLoads;
+            LoadId[PC] = static_cast<unsigned>(Loads.size());
+            Loads.push_back(A);
+            LoadRegs.push_back(I.Dst.R);
+          }
+        }
       }
     }
     return E;
@@ -809,7 +838,7 @@ struct ModuleAnalysis {
     return Out;
   }
 
-  void emitTriangle(unsigned Sid, const TsoAccess &Load, const Fact &F) {
+  void emitTriangle(unsigned Sid, const RobustAccess &Load, const Fact &F) {
     if (!Emit || !SeenTriangles.insert({Sid, Load.PC}).second)
       return;
     Witnessed.insert(Sid);
@@ -831,7 +860,7 @@ struct ModuleAnalysis {
     Witnessed.insert(Sid);
     TriangularWitness W;
     W.Store = Stores[Sid];
-    TsoAccess Exit;
+    RobustAccess Exit;
     Exit.PC = ExitPC;
     Exit.Entry = ExitEntry;
     Exit.Text = M.Code[ExitPC].toString();
@@ -857,6 +886,112 @@ struct ModuleAnalysis {
     C.DrainText = M.Code[DrainPC].toString();
     C.AtThreadExit = AtExit;
     R.Certificates.push_back(std::move(C));
+  }
+
+  void emitLoadWitness(unsigned Lid, const RobustAccess &Cross) {
+    if (!Emit || !SeenLoadPairs.insert({Lid, Cross.PC}).second)
+      return;
+    WitnessedLoadIds.insert(Lid);
+    TriangularWitness W;
+    W.DeferredLoad = true;
+    W.Store = Loads[Lid];
+    W.Load = Cross;
+    if (W.Store.Entry == Cross.Entry)
+      W.Path = findPath(W.Store.PC, Cross.PC);
+    W.Tentative = W.Store.Cls == AccessClass::SharedUnknown ||
+                  Cross.Cls == AccessClass::SharedUnknown;
+    R.Witnesses.push_back(std::move(W));
+  }
+
+  void emitLoadEscape(unsigned Lid, unsigned ExitPC,
+                      const std::string &ExitEntry) {
+    if (!Emit || !SeenLoadPairs.insert({Lid, ExitPC}).second)
+      return;
+    WitnessedLoadIds.insert(Lid);
+    TriangularWitness W;
+    W.DeferredLoad = true;
+    W.Store = Loads[Lid];
+    RobustAccess Exit;
+    Exit.PC = ExitPC;
+    Exit.Entry = ExitEntry;
+    Exit.Text = M.Code[ExitPC].toString();
+    Exit.Cls = AccessClass::SharedUnknown;
+    Exit.Global = "?";
+    W.Escape = std::move(Exit);
+    if (W.Store.Entry == ExitEntry)
+      W.Path = findPath(W.Store.PC, ExitPC);
+    W.Tentative = W.Store.Cls == AccessClass::SharedUnknown;
+    R.Witnesses.push_back(std::move(W));
+  }
+
+  void emitLoadCert(unsigned Lid, unsigned CertPC, bool AtExit,
+                    bool Dependency) {
+    if (!Emit || !SeenLoadCerts.insert({Lid, CertPC}).second)
+      return;
+    CertifiedLoadIds.insert(Lid);
+    FenceCert C;
+    C.DeferredLoad = true;
+    C.Dependency = Dependency;
+    C.Entry = Loads[Lid].Entry;
+    C.StorePC = Loads[Lid].PC;
+    C.DrainPC = CertPC;
+    C.StoreText = Loads[Lid].Text;
+    C.DrainText = M.Code[CertPC].toString();
+    C.AtThreadExit = AtExit;
+    R.Certificates.push_back(std::move(C));
+  }
+
+  /// The load-axis transfer of the (non-draining, non-boundary)
+  /// instruction at \p PC over the pending deferable-load set. Mirrors
+  /// the dynamic model's completion-forcing conflict gate, and order
+  /// matters exactly as it does there: (1) kills strictly first — an
+  /// operand naming a pending load's destination register, or an access
+  /// that provably targets the pending load's own cell, forces the load
+  /// to complete *before* this instruction executes (the dependency
+  /// certificate); (2) then any surviving pending load crossing a shared
+  /// access of a possibly different cell is a reordering a peer can
+  /// observe (witness), and an observable event is an escape-style
+  /// witness (divergence-sensitivity, as on the store axis); (3) finally
+  /// the instruction's own deferable load goes pending. Loop re-entry is
+  /// covered by (1): re-executing the site names its own destination
+  /// register, completing the previous instance first.
+  void stepPendingLoads(const EntryState &E, unsigned PC,
+                        std::set<unsigned> &Pend) {
+    const x86::Instr &I = M.Code[PC];
+    std::vector<RobustAccess> Accs;
+    for (const x86::MemEffect &Ef : x86::memEffects(I))
+      Accs.push_back(classify(E, PC, *Ef.Op, Ef.IsStore));
+
+    for (auto It = Pend.begin(); It != Pend.end();) {
+      const unsigned Lid = *It;
+      bool Kill = false;
+      for (const x86::Operand *O : {&I.Src, &I.Dst})
+        Kill = Kill || ((O->K == x86::Operand::Kind::Reg ||
+                         O->K == x86::Operand::Kind::MemBase) &&
+                        O->R == LoadRegs[Lid]);
+      for (const RobustAccess &A : Accs)
+        Kill = Kill || (A.Cls == AccessClass::SharedKnown &&
+                        Loads[Lid].Cls == AccessClass::SharedKnown &&
+                        A.Global == Loads[Lid].Global);
+      if (Kill) {
+        emitLoadCert(Lid, PC, /*AtExit=*/false, /*Dependency=*/true);
+        It = Pend.erase(It);
+      } else {
+        ++It;
+      }
+    }
+
+    for (unsigned Lid : Pend) {
+      for (const RobustAccess &A : Accs)
+        if (A.Cls != AccessClass::Confined)
+          emitLoadWitness(Lid, A);
+      if (I.K == x86::Instr::Kind::Print)
+        emitLoadEscape(Lid, PC, E.Name); // stays pending, like stores
+    }
+
+    auto LIt = LoadId.find(PC);
+    if (LIt != LoadId.end())
+      Pend.insert(LIt->second);
   }
 
   void escapeAll(const Fact &F, unsigned PC, const std::string &Entry,
@@ -969,7 +1104,7 @@ struct ModuleAnalysis {
   /// standalone fact).
   Fact applySummary(const Summary &CS, const Fact &In, Summary *S) {
     // 1. Loads the callee may execute before the caller's buffer drains.
-    for (const TsoAccess &L : CS.PreLoads) {
+    for (const RobustAccess &L : CS.PreLoads) {
       for (const auto &KV : In) {
         unsigned Sid = KV.first;
         if (L.Cls == AccessClass::SharedKnown) {
@@ -1047,10 +1182,12 @@ struct ModuleAnalysis {
                            Ctx->RootOnlyEntries.count(Name) > 0;
 
     std::map<unsigned, Fact> FactAt;
+    std::map<unsigned, std::set<unsigned>> PendAt;
     Fact Init;
     if (SummaryMode)
       Init[CallerToken];
     FactAt[E.EI->PCIndex] = Init;
+    PendAt[E.EI->PCIndex];
     std::deque<unsigned> Work{E.EI->PCIndex};
     std::set<unsigned> InWork{E.EI->PCIndex};
 
@@ -1060,6 +1197,7 @@ struct ModuleAnalysis {
       InWork.erase(PC);
       const x86::Instr &I = M.Code[PC];
       Fact Out = FactAt[PC];
+      std::set<unsigned> Pend = PendAt[PC];
 
       if (x86::drainsStoreBuffer(I)) {
         for (const auto &KV : Out) {
@@ -1069,11 +1207,23 @@ struct ModuleAnalysis {
             emitCert(KV.first, PC, /*AtExit=*/false);
         }
         Out.clear();
+        // Full barrier on the load axis too: the dynamic model refuses
+        // to execute a drain with loads still pending, so completion is
+        // forced before the barrier — a fence certificate.
+        for (unsigned Lid : Pend)
+          emitLoadCert(Lid, PC, /*AtExit=*/false, /*Dependency=*/false);
+        Pend.clear();
       } else if (I.K == x86::Instr::Kind::Call && M.Entries.count(I.Name) &&
                  Ctx && Ctx->Closed &&
                  Ctx->SelfResolvedEntries.count(I.Name)) {
         // A call that provably dispatches to another entry of this very
         // module: inline its summarized effect instead of escaping.
+        // Pending loads escape even here — the summaries cover the
+        // store axis only (a deliberate conservatism; the dependency
+        // window of a deferable load rarely spans a call).
+        for (unsigned Lid : Pend)
+          emitLoadEscape(Lid, PC, E.Name);
+        Pend.clear();
         const Summary &CS = getSummary(I.Name);
         if (CS.Valid)
           Out = applySummary(CS, Out, S);
@@ -1087,6 +1237,9 @@ struct ModuleAnalysis {
           S->AtRet = S->HasRet ? joinFacts(S->AtRet, Out) : Out;
           S->HasRet = true;
           Out.clear();
+          for (unsigned Lid : Pend)
+            emitLoadEscape(Lid, PC, E.Name);
+          Pend.clear();
         } else if (I.K == x86::Instr::Kind::Ret && Discharge) {
           // Root-only entry: no call site anywhere names it, so every
           // activation is a thread root and this ret ends the thread.
@@ -1099,21 +1252,30 @@ struct ModuleAnalysis {
           for (const auto &KV : Out)
             emitCert(KV.first, PC, /*AtExit=*/true);
           Out.clear();
+          // A load still pending at thread exit is never used: no
+          // dependent instruction follows, so its completion order is
+          // unobservable — discharged like the stores.
+          for (unsigned Lid : Pend)
+            emitLoadCert(Lid, PC, /*AtExit=*/true, /*Dependency=*/false);
+          Pend.clear();
         } else {
           // The executable model drains here, but the analysis does not
           // credit it: the buffered store escapes into the caller/callee.
           escapeAll(Out, PC, E.Name, S);
           Out.clear();
+          for (unsigned Lid : Pend)
+            emitLoadEscape(Lid, PC, E.Name);
+          Pend.clear();
         }
       } else {
         auto Effects = x86::memEffects(I);
         for (unsigned EIx = 0; EIx < Effects.size(); ++EIx) {
           const x86::MemEffect &Ef = Effects[EIx];
-          TsoAccess A = classify(E, PC, *Ef.Op, Ef.IsStore);
+          RobustAccess A = classify(E, PC, *Ef.Op, Ef.IsStore);
           if (A.Cls == AccessClass::Confined)
             continue;
           if (Ef.IsLoad) {
-            TsoAccess LoadA = A;
+            RobustAccess LoadA = A;
             LoadA.Write = false;
             for (const auto &KV : Out) {
               unsigned Sid = KV.first;
@@ -1160,21 +1322,30 @@ struct ModuleAnalysis {
           // clear): the event does not retire it.
           escapeAll(Out, PC, E.Name, S);
         }
+        if (Table.LoadsDefer)
+          stepPendingLoads(E, PC, Pend);
       }
 
       for (unsigned Succ : x86::successors(M, PC)) {
         auto It = FactAt.find(Succ);
         if (It == FactAt.end()) {
           FactAt[Succ] = Out;
+          PendAt[Succ] = Pend;
           if (InWork.insert(Succ).second)
             Work.push_back(Succ);
         } else {
+          bool Changed = false;
           Fact Joined = joinFacts(It->second, Out);
           if (Joined != It->second) {
             It->second = std::move(Joined);
-            if (InWork.insert(Succ).second)
-              Work.push_back(Succ);
+            Changed = true;
           }
+          // Pending loads join by union (may-pending).
+          std::set<unsigned> &PS = PendAt[Succ];
+          for (unsigned Lid : Pend)
+            Changed = PS.insert(Lid).second || Changed;
+          if (Changed && InWork.insert(Succ).second)
+            Work.push_back(Succ);
         }
       }
     }
@@ -1187,19 +1358,19 @@ struct ModuleAnalysis {
 // Public API
 //===----------------------------------------------------------------------===//
 
-const char *ccc::analysis::tsoVerdictName(TsoVerdict V) {
+const char *ccc::analysis::robustVerdictName(RobustVerdict V) {
   switch (V) {
-  case TsoVerdict::Robust:
+  case RobustVerdict::Robust:
     return "robust";
-  case TsoVerdict::NotRobust:
+  case RobustVerdict::NotRobust:
     return "not-robust";
-  case TsoVerdict::Unknown:
+  case RobustVerdict::Unknown:
     return "unknown";
   }
   return "?";
 }
 
-std::string TsoAccess::describe() const {
+std::string RobustAccess::describe() const {
   std::string Cl = Cls == AccessClass::Confined
                        ? "confined"
                        : (Cls == AccessClass::SharedKnown ? "shared"
@@ -1211,7 +1382,9 @@ std::string TsoAccess::describe() const {
 
 std::string TriangularWitness::describe() const {
   StrBuilder B;
-  B << (Tentative ? "tentative " : "") << "triangular race: unfenced "
+  B << (Tentative ? "tentative " : "")
+    << (DeferredLoad ? "load-reorder race: deferable "
+                     : "triangular race: unfenced ")
     << Store.describe();
   if (Load)
     B << " followed by " << Load->describe();
@@ -1234,23 +1407,31 @@ std::string TriangularWitness::describe() const {
 }
 
 std::string FenceCert::describe() const {
-  return Entry + ": store at PC " + std::to_string(StorePC) + " (" +
-         StoreText + ") drained at PC " + std::to_string(DrainPC) + " (" +
-         DrainText + ")" + (AtThreadExit ? " [thread exit]" : "");
+  return Entry + (DeferredLoad ? ": deferable load at PC " : ": store at PC ") +
+         std::to_string(StorePC) + " (" + StoreText + ") " +
+         (Dependency ? "completion-forced" : "drained") + " at PC " +
+         std::to_string(DrainPC) + " (" + DrainText + ")" +
+         (AtThreadExit ? " [thread exit]" : "");
 }
 
-std::string TsoRobustReport::inconsistency() const {
+std::string RobustReport::inconsistency() const {
   switch (Verdict) {
-  case TsoVerdict::Robust:
-    if (!Witnesses.empty() || WitnessedStores != 0)
-      return "Robust verdict with witnessed stores";
+  case RobustVerdict::Robust:
+    if (!Witnesses.empty() || WitnessedStores != 0 || WitnessedLoads != 0)
+      return "Robust verdict with witnessed accesses";
     if (CertifiedStores + DivergentStores != SharedStores)
       return "Robust verdict but certificates are incomplete: certified " +
              std::to_string(CertifiedStores) + " + divergent " +
              std::to_string(DivergentStores) + " != shared " +
              std::to_string(SharedStores);
+    if (CertifiedLoads + DivergentLoads != DeferableLoads)
+      return "Robust verdict but load certificates are incomplete: "
+             "certified " +
+             std::to_string(CertifiedLoads) + " + divergent " +
+             std::to_string(DivergentLoads) + " != deferable " +
+             std::to_string(DeferableLoads);
     break;
-  case TsoVerdict::NotRobust: {
+  case RobustVerdict::NotRobust: {
     bool AnyConcrete = false;
     for (const TriangularWitness &W : Witnesses)
       AnyConcrete = AnyConcrete || !W.Tentative;
@@ -1258,7 +1439,7 @@ std::string TsoRobustReport::inconsistency() const {
       return "NotRobust verdict without a concrete witness";
     break;
   }
-  case TsoVerdict::Unknown:
+  case RobustVerdict::Unknown:
     if (Witnesses.empty())
       return "Unknown verdict without a tentative witness";
     for (const TriangularWitness &W : Witnesses)
@@ -1269,13 +1450,19 @@ std::string TsoRobustReport::inconsistency() const {
   return {};
 }
 
-std::string TsoRobustReport::toString() const {
+std::string RobustReport::toString() const {
   StrBuilder B;
-  B << "TSO robustness verdict: " << tsoVerdictName(Verdict) << " (entries "
-    << Entries << ", shared stores " << SharedStores << " [certified "
+  B << "robustness verdict under " << memModelName(Model) << ": "
+    << robustVerdictName(Verdict) << " (entries " << Entries
+    << ", shared stores " << SharedStores << " [certified "
     << CertifiedStores << ", witnessed " << WitnessedStores << ", divergent "
-    << DivergentStores << "], shared loads " << SharedLoads << ", confined "
-    << ConfinedAccesses << ", locked " << LockedOps << ")\n";
+    << DivergentStores << "], shared loads " << SharedLoads;
+  if (DeferableLoads != 0)
+    B << " [deferable " << DeferableLoads << ": certified " << CertifiedLoads
+      << ", witnessed " << WitnessedLoads << ", divergent " << DivergentLoads
+      << "]";
+  B << ", confined " << ConfinedAccesses << ", locked " << LockedOps
+    << ")\n";
   for (const TriangularWitness &W : Witnesses)
     B << "  witness: " << W.describe() << '\n';
   for (const FenceCert &C : Certificates)
@@ -1285,11 +1472,23 @@ std::string TsoRobustReport::toString() const {
   return B.take();
 }
 
-TsoRobustReport ccc::analysis::tsoRobustness(const x86::Module &M,
-                                             const TsoModuleContext *Ctx) {
-  TsoRobustReport R;
+RobustReport ccc::analysis::robustness(const x86::Module &M,
+                                       const RobustContext *Ctx,
+                                       MemModel Model) {
+  RobustReport R;
+  R.Model = Model;
   R.Entries = static_cast<unsigned>(M.Entries.size());
-  ModuleAnalysis A(M, Ctx, R);
+  const ReorderTable Table = reorderTableFor(Model);
+  if (!Table.StoresLinger && !Table.LoadsDefer) {
+    // The model reorders nothing: every trace is an SC trace verbatim.
+    // No per-site accounting — the partition invariants of
+    // inconsistency() hold vacuously (0 + 0 == 0).
+    R.Verdict = RobustVerdict::Robust;
+    R.Notes.push_back(std::string("declared model '") + memModelName(Model) +
+                      "' permits no reordering — trivially SC-equivalent");
+    return R;
+  }
+  ModuleAnalysis A(M, Ctx, R, Table);
   for (const auto &E : M.Entries) {
     // Entries reached only through same-module calls are fully accounted
     // for by the summaries their call sites inline: a standalone walk
@@ -1320,29 +1519,50 @@ TsoRobustReport ccc::analysis::tsoRobustness(const x86::Module &M,
     }
   }
 
+  for (unsigned Lid = 0; Lid < A.Loads.size(); ++Lid) {
+    bool C = A.CertifiedLoadIds.count(Lid) > 0;
+    bool W = A.WitnessedLoadIds.count(Lid) > 0;
+    if (C)
+      ++R.CertifiedLoads;
+    if (W)
+      ++R.WitnessedLoads;
+    if (!C && !W) {
+      // Mirrors the divergent-store case: a deferable load whose value
+      // is never used on any path that reaches another shared access
+      // can complete at any time without an observable difference.
+      ++R.DivergentLoads;
+      R.Notes.push_back("entry '" + A.Loads[Lid].Entry +
+                        "': deferable load at PC " +
+                        std::to_string(A.Loads[Lid].PC) + " (" +
+                        A.Loads[Lid].Text +
+                        ") only reaches divergent paths — " +
+                        "SC-explainable without a dependency");
+    }
+  }
+
   bool AnyHard = false, AnyTentative = false;
   for (const TriangularWitness &W : R.Witnesses)
     (W.Tentative ? AnyTentative : AnyHard) = true;
   if (AnyHard)
-    R.Verdict = TsoVerdict::NotRobust;
+    R.Verdict = RobustVerdict::NotRobust;
   else if (AnyTentative)
-    R.Verdict = TsoVerdict::Unknown;
+    R.Verdict = RobustVerdict::Unknown;
   else
-    R.Verdict = TsoVerdict::Robust;
+    R.Verdict = RobustVerdict::Robust;
 
   std::string Err = R.inconsistency();
   if (!Err.empty()) {
-    assert(false && "TsoRobustReport invariant violated");
+    assert(false && "RobustReport invariant violated");
     R.Notes.push_back("internal consistency violation: " + Err);
     if (R.robust())
-      R.Verdict = TsoVerdict::Unknown;
+      R.Verdict = RobustVerdict::Unknown;
   }
   return R;
 }
 
-std::map<std::string, TsoModuleContext>
-ccc::analysis::tsoModuleContexts(const Program &P) {
-  std::map<std::string, TsoModuleContext> Out;
+std::map<std::string, RobustContext>
+ccc::analysis::robustContexts(const Program &P) {
+  std::map<std::string, RobustContext> Out;
   std::vector<const x86::X86Lang *> Langs;
   for (const ModuleDecl &D : P.modules()) {
     const auto *L = dynamic_cast<const x86::X86Lang *>(D.Lang.get());
@@ -1396,7 +1616,7 @@ ccc::analysis::tsoModuleContexts(const Program &P) {
       for (const GlobalVar &G : P.modules()[I].GE.vars())
         CellAt[G.Address] = {I, G.Name};
 
-  std::vector<std::map<std::string, TsoModuleContext::Pointees>> Inject(
+  std::vector<std::map<std::string, RobustContext::Pointees>> Inject(
       Langs.size());
   std::vector<PtsBuildResult> Pts;
   bool Contaminated = false;
@@ -1425,7 +1645,7 @@ ccc::analysis::tsoModuleContexts(const Program &P) {
         if (It == CellAt.end())
           continue; // outside every global cell: irrelevant to the maps
         const auto &[VMod, VName] = It->second;
-        TsoModuleContext::Pointees &Dst = Inject[VMod][VName];
+        RobustContext::Pointees &Dst = Inject[VMod][VName];
         if (VMod != I || NS.second.Wild) {
           if (!Dst.Wild) {
             Dst.Wild = true;
@@ -1443,7 +1663,7 @@ ccc::analysis::tsoModuleContexts(const Program &P) {
 
   for (unsigned I = 0; I < Langs.size(); ++I) {
     const x86::Module &M = Langs[I]->module();
-    TsoModuleContext C;
+    RobustContext C;
     C.Closed = true;
     for (const auto &E : M.Entries) {
       const std::string &N = E.first;
@@ -1465,29 +1685,28 @@ ccc::analysis::tsoModuleContexts(const Program &P) {
   return Out;
 }
 
-bool ProgramTsoReport::allRobust() const {
+bool ProgramRobustReport::allRobust() const {
   if (Modules.empty())
     return false;
-  for (const ModuleTsoInfo &M : Modules)
+  for (const ModuleRobustInfo &M : Modules)
     if (!M.Report.robust())
       return false;
   return true;
 }
 
-bool ProgramTsoReport::anyScSwitchable() const {
-  for (const ModuleTsoInfo &M : Modules)
-    if (M.Model == x86::MemModel::TSO && M.Report.robust())
+bool ProgramRobustReport::anyScSwitchable() const {
+  for (const ModuleRobustInfo &M : Modules)
+    if (M.Model != x86::MemModel::SC && M.Report.robust())
       return true;
   return false;
 }
 
-std::string ProgramTsoReport::toString() const {
+std::string ProgramRobustReport::toString() const {
   StrBuilder B;
-  for (const ModuleTsoInfo &M : Modules) {
-    B << "module '" << M.Name << "' ("
-      << (M.Model == x86::MemModel::TSO ? "x86-TSO" : "x86-SC")
+  for (const ModuleRobustInfo &M : Modules) {
+    B << "module '" << M.Name << "' (x86-" << memModelName(M.Model)
       << (M.ObjectMode ? ", object" : "") << "): "
-      << tsoVerdictName(M.Report.Verdict);
+      << robustVerdictName(M.Report.Verdict);
     if (M.AllowedByRefinement)
       B << " [allowed by refinement]";
     B << '\n' << M.Report.toString();
@@ -1495,35 +1714,44 @@ std::string ProgramTsoReport::toString() const {
   return B.take();
 }
 
-ProgramTsoReport ccc::analysis::programTsoRobustness(const Program &P) {
-  ProgramTsoReport R;
-  std::map<std::string, TsoModuleContext> Ctxs = tsoModuleContexts(P);
+ProgramRobustReport ccc::analysis::programRobustness(const Program &P) {
+  ProgramRobustReport R;
+  std::map<std::string, RobustContext> Ctxs = robustContexts(P);
   for (const ModuleDecl &D : P.modules()) {
     const auto *L = dynamic_cast<const x86::X86Lang *>(D.Lang.get());
     if (!L)
       continue;
-    ModuleTsoInfo Info;
+    ModuleRobustInfo Info;
     Info.Name = D.Name;
     Info.ObjectMode = L->objectMode();
     Info.Model = L->memModel();
     auto It = Ctxs.find(D.Name);
-    Info.Report =
-        tsoRobustness(L->module(), It == Ctxs.end() ? nullptr : &It->second);
+    // Each module is certified against its own declared model's table —
+    // except that an SC-declared module is analyzed under TSO rather
+    // than trivially discharged: the certificates are what justify an
+    // SC declaration (e.g. after an earlier fast-path switch), so the
+    // report stays informative.
+    const MemModel AnalysisModel = Info.Model == x86::MemModel::SC
+                                       ? x86::MemModel::TSO
+                                       : Info.Model;
+    Info.Report = robustness(L->module(),
+                             It == Ctxs.end() ? nullptr : &It->second,
+                             AnalysisModel);
     R.Modules.push_back(std::move(Info));
   }
   return R;
 }
 
-unsigned ccc::analysis::applyScFastPath(Program &P,
-                                        const ProgramTsoReport &R) {
+unsigned ccc::analysis::switchRobustToSc(Program &P,
+                                        const ProgramRobustReport &R) {
   unsigned Switched = 0;
-  for (const ModuleTsoInfo &Info : R.Modules) {
-    if (Info.Model != x86::MemModel::TSO || !Info.Report.robust())
+  for (const ModuleRobustInfo &Info : R.Modules) {
+    if (Info.Model == x86::MemModel::SC || !Info.Report.robust())
       continue;
     for (unsigned I = 0; I < P.modules().size(); ++I) {
       ModuleDecl &D = P.module(I);
       auto *L = dynamic_cast<const x86::X86Lang *>(D.Lang.get());
-      if (!L || D.Name != Info.Name || L->memModel() != x86::MemModel::TSO)
+      if (!L || D.Name != Info.Name || L->memModel() != Info.Model)
         continue;
       D.Lang = std::make_unique<x86::X86Lang>(
           L->modulePtr(), x86::MemModel::SC, L->objectMode());

@@ -1,4 +1,4 @@
-//===- analysis/TsoRobust.h - Static TSO robustness -------------*- C++ -*-===//
+//===- analysis/TsoRobust.h - TSO aliases for Robustness.h ------*- C++ -*-===//
 //
 // Part of CASCC, an executable model of certified separate compilation for
 // concurrent programs (PLDI 2019).
@@ -6,318 +6,51 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// A static SC-equivalence (robustness) analysis for x86 object modules,
-/// in the style of Owens' triangular-race criterion (ECOOP 2010): the only
-/// behaviours x86-TSO adds over x86-SC come from a thread's *plain* store
-/// lingering in its FIFO store buffer while the same thread's later load
-/// of a *different* shared location overtakes it. If every path from a
-/// plain store to a shared location reaches an mfence or lock-prefixed
-/// instruction (the buffer-draining points) before any load of a possibly
-/// different shared location — and before control leaves the module — the
-/// store buffer can always be flushed at the SC-equivalent point and every
-/// TSO trace is SC-explainable.
-///
-/// Per entry point, the pass
-///  1. builds the CFG from the flat X86Asm code stream (x86::successors),
-///  2. runs a register abstract-value analysis so memory operands resolve
-///     to a named global, the thread-private frame, or "unknown", and
-///  3. propagates the *FIFO-ordered* pending (unfenced) shared stores
-///     along the CFG, flagging triangular store/load pairs and stores
-///     that escape the module boundary unfenced.
-///
-/// The pending-store fact is order-aware: for each pending store s it
-/// tracks the set of cells that *must* have been stored after s and are
-/// still pending behind it in the buffer (its covers). A load of y only
-/// races with a pending store s when no later pending store to y sits
-/// behind s: with such a cover, either the covering store is still
-/// buffered at the load (the load forwards from the buffer and never
-/// reads memory) or — by FIFO order — s has already been flushed. This
-/// is the store-order refinement that certifies the MP publication idiom
-/// (store data; store flag; re-read flag) where the per-location
-/// criterion could not.
-///
-/// The verdict is three-valued:
-///  - Robust: every shared store is covered by a drain on every path —
-///    emitted with a per-store fence certificate. Certified modules may
-///    soundly run under MemModel::SC, pruning the store-buffer dimension
-///    of the explorer's state space.
-///  - NotRobust: a concrete witness path names an unfenced store/load
-///    pair, or a store that crosses the module boundary unfenced (the
-///    caller may complete the triangle; pi_lock's release store is the
-///    canonical instance). NotRobust object modules can still be *allowed*
-///    when an object-refinement check covers their weak behaviours
-///    (Sec. 7.3: pi_lock refines' gamma_lock).
-///  - Unknown: an access target could not be resolved (loads used as
-///    addresses, pointer arithmetic): no claim either way.
-///
-/// A module analyzed on its own is treated maximally conservatively: any
-/// entry may be invoked by an unknown client with an arbitrary buffer,
-/// any call leaves the module, any global may hold any value. Analyzing
-/// a module *inside a closed program* (every module x86, every call site
-/// visible) justifies three refinements, packaged as a TsoModuleContext:
-///  - Thread-exit discharge: an entry never named by any call/tailcall
-///    anywhere only runs as a thread root, so its ret terminates the
-///    thread — stores still buffered there drain at thread exit with no
-///    subsequent same-thread load, and get certificates instead of
-///    escape witnesses.
-///  - Same-module call summaries: a call whose target resolves (under
-///    the program's first-module-wins entry resolution) to another entry
-///    of the same module inlines that entry's summarized drain / pending
-///    / pre-drain-load effect instead of emitting an escape witness.
-///    Tail calls and cross-module calls remain boundary escapes.
-///  - Address points-to: a flow-insensitive may-points-to over the
-///    program's globals (mirroring the lockset analysis' one) resolves
-///    loads used as addresses (`movl p, %eax; movl (%eax), %ebx` where
-///    p holds &x) to named cells. The map is only trusted when no module
-///    may store a pointer through an unresolved target (else every cell
-///    is wild), keeping cross-module pointer laundering sound.
-///
-/// Frame cells count as thread-private (Confined) only while the frame
-/// address provably stays in the thread's registers. The abstract values
-/// carry a frame-derived taint through moves and pointer arithmetic, and
-/// an escape scan checks every point where a register value leaves the
-/// thread — stores to memory, cmpxchg publishes, call arguments, the
-/// return value at ret. If any such point may carry the frame address,
-/// the entry's frame accesses are reclassified as SharedUnknown: frames
-/// live in ordinary shared memory, so a peer that learns the address can
-/// race on them, and a certificate that ignored that would be unsound.
-///
-/// Robustness here is *divergence-sensitive* SC-equivalence (the bench
-/// gate compares full trace sets, divergent prefixes included), which
-/// makes observable events violation points too: an event emitted while
-/// stores are buffered proves the thread progressed past the store, yet
-/// an unfair schedule can starve the flush while a peer loops on the
-/// stale cell forever — a divergence no SC schedule reproduces, since
-/// under SC the store hits memory before the event. A pending store
-/// crossing a printl is therefore a witness, same as a boundary escape.
-///
-/// Two deliberate conservatisms keep the certificate meaningful:
-///  - call/ret drain the buffer in the executable model (a documented
-///    simplification), but the analysis does NOT credit them as fences —
-///    real x86-TSO fences at neither, and a certificate should survive
-///    the model simplification being lifted. (Thread-exit discharge is
-///    different: it relies on the thread *ending*, not on a drain.)
-///  - A store escaping the module boundary is a witness even though no
-///    in-module load completes the triangle: the client executes under
-///    the same buffer, so any client load of another shared location
-///    completes it.
+/// Deprecated TSO-only spellings of the model-generic robustness API.
+/// The analysis itself moved to analysis/Robustness.h when the memory
+/// model axis became program-level (MemModel::Relaxed joined SC/TSO);
+/// these aliases keep pre-existing clients compiling unchanged. New code
+/// should include analysis/Robustness.h and pass the model explicitly.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef CASCC_ANALYSIS_TSOROBUST_H
 #define CASCC_ANALYSIS_TSOROBUST_H
 
-#include "core/Program.h"
-#include "x86/X86Asm.h"
-#include "x86/X86Lang.h"
-
-#include <map>
-#include <optional>
-#include <set>
-#include <string>
-#include <vector>
+#include "analysis/Robustness.h"
 
 namespace ccc {
 namespace analysis {
 
-enum class TsoVerdict { Robust, NotRobust, Unknown };
+using TsoVerdict = RobustVerdict;
+using TsoAccess = RobustAccess;
+using TsoModuleContext = RobustContext;
+using TsoRobustReport = RobustReport;
+using ModuleTsoInfo = ModuleRobustInfo;
+using ProgramTsoReport = ProgramRobustReport;
 
-const char *tsoVerdictName(TsoVerdict V);
+inline const char *tsoVerdictName(RobustVerdict V) {
+  return robustVerdictName(V);
+}
 
-/// How the analysis classified one memory access site.
-enum class AccessClass {
-  Confined,      ///< Thread-private frame slot — invisible to other threads.
-  SharedKnown,   ///< A global cell with a resolved name.
-  SharedUnknown, ///< Possibly shared, target unresolved.
-};
+/// robustness() against the TSO reorder table.
+inline RobustReport tsoRobustness(const x86::Module &M,
+                                  const RobustContext *Ctx = nullptr) {
+  return robustness(M, Ctx, MemModel::TSO);
+}
 
-/// One memory access site named by a witness or certificate.
-struct TsoAccess {
-  unsigned PC = 0;
-  std::string Entry;  ///< Entry point whose CFG reaches the site.
-  std::string Text;   ///< Instruction text (Instr::toString).
-  std::string Global; ///< Resolved target cell, or "?" when unresolved.
-  bool Write = false;
-  AccessClass Cls = AccessClass::SharedUnknown;
+inline std::map<std::string, RobustContext>
+tsoModuleContexts(const Program &P) {
+  return robustContexts(P);
+}
 
-  std::string describe() const;
-};
+inline ProgramRobustReport programTsoRobustness(const Program &P) {
+  return programRobustness(P);
+}
 
-/// A concrete robustness violation: an unfenced plain store to a shared
-/// location, completed either by an in-module load of a (possibly)
-/// different shared location, or by crossing the module boundary with the
-/// store still buffered.
-struct TriangularWitness {
-  TsoAccess Store;
-  /// The completing load; nullopt when the store escapes the boundary
-  /// (Escape names the crossing instruction instead).
-  std::optional<TsoAccess> Load;
-  /// The observable crossing point the store stays buffered across: a
-  /// boundary instruction (call/tcall/ret) or an event emission (printl).
-  std::optional<TsoAccess> Escape;
-  /// PC path from the store to the violation, fence-free by construction
-  /// (empty when the store and the violation sit in different entries,
-  /// connected through a same-module call).
-  std::vector<unsigned> Path;
-  /// Buffer-order context: PCs of the *other* stores that may share the
-  /// store buffer with Store when the violation fires. None of them is a
-  /// must-pending store to the load's cell (that would have excused the
-  /// pair under the FIFO criterion).
-  std::vector<unsigned> BufferPCs;
-  /// True when an unresolved target made this witness conservative — it
-  /// degrades the verdict to Unknown instead of NotRobust.
-  bool Tentative = false;
-
-  std::string describe() const;
-};
-
-/// Per-store proof obligation discharged on a Robust module: the drain
-/// point covering every path from the store.
-struct FenceCert {
-  std::string Entry;
-  unsigned StorePC = 0;
-  unsigned DrainPC = 0;
-  std::string StoreText;
-  std::string DrainText;
-  /// True when the drain point is the ret of a root-only entry: the
-  /// store retires because the thread exits, not because of a fence.
-  bool AtThreadExit = false;
-
-  std::string describe() const;
-};
-
-/// Program-derived facts that sharpen the per-module analysis. Only
-/// meaningful for a *closed* program: every module is x86, so every call
-/// site, thread root, and store in the program is visible to the
-/// builder. Absent a context, tsoRobustness treats the module as
-/// callable by arbitrary unknown clients (maximally conservative).
-struct TsoModuleContext {
-  /// The owning program is closed (all modules x86).
-  bool Closed = false;
-
-  /// Entries never named by any call/tailcall in any module: every
-  /// activation is a thread root, so ret is a thread exit and pending
-  /// stores retire there (thread-exit certificates).
-  std::set<std::string> RootOnlyEntries;
-
-  /// Entries of this module that a call from this module actually
-  /// dispatches to (no earlier module shadows the name under the
-  /// program's first-module-wins resolution). Same-module call
-  /// summaries apply only to these.
-  std::set<std::string> SelfResolvedEntries;
-
-  /// Entries reached only through same-module plain calls (never a
-  /// thread root, never called from another module, never tail-called):
-  /// they are analyzed solely through their call-site summaries, so a
-  /// pending store at their ret is the *caller's* obligation, not an
-  /// escape.
-  std::set<std::string> SummaryOnlyEntries;
-
-  /// Flow-insensitive may-points-to for one global cell: the named
-  /// cells whose address the global may hold, or Wild when it may hold
-  /// an arbitrary pointer.
-  struct Pointees {
-    bool Wild = false;
-    std::set<std::string> Cells;
-  };
-
-  /// True when GlobalPointsTo is trustworthy program-wide: every store
-  /// of a may-pointer value lands in a cell the context builder can
-  /// name — directly, or through a linker-resolved neighbour target
-  /// whose victim cell has been degraded (per-cell, not whole-map).
-  /// Only a store through a completely unknown base address leaves the
-  /// maps distrusted.
-  bool HasPointsTo = false;
-  std::map<std::string, Pointees> GlobalPointsTo;
-};
-
-/// The per-module analysis result.
-struct TsoRobustReport {
-  TsoVerdict Verdict = TsoVerdict::Unknown;
-  /// Concrete witnesses (NotRobust) and tentative ones (Unknown).
-  std::vector<TriangularWitness> Witnesses;
-  /// Per-store fence certificates; complete exactly when Robust.
-  std::vector<FenceCert> Certificates;
-  std::vector<std::string> Notes;
-
-  unsigned SharedStores = 0;   ///< Plain stores to shared locations.
-  unsigned SharedLoads = 0;    ///< Plain loads of shared locations.
-  unsigned ConfinedAccesses = 0; ///< Frame-confined accesses (ignored).
-  unsigned LockedOps = 0;      ///< Lock-prefixed accesses (drain points).
-  unsigned Entries = 0;        ///< Entry points analyzed.
-
-  /// Per-store accounting over the SharedStores sites: how many hold at
-  /// least one fence certificate, how many appear in at least one
-  /// witness, and how many reach neither (every path from them diverges
-  /// before the next shared access). Certified and Divergent partition
-  /// the stores exactly when Robust (no witnesses).
-  unsigned CertifiedStores = 0;
-  unsigned WitnessedStores = 0;
-  unsigned DivergentStores = 0;
-
-  bool robust() const { return Verdict == TsoVerdict::Robust; }
-
-  /// Checks the report's structural invariant — "certificates complete
-  /// exactly when Robust": a Robust verdict must carry no witnesses and
-  /// must certify-or-diverge every counted shared store; a non-Robust
-  /// verdict must name at least one witness. Returns an explanation of
-  /// the violation, or the empty string when consistent. tsoRobustness
-  /// checks this before returning and degrades an inconsistent Robust
-  /// verdict to Unknown with a note.
-  std::string inconsistency() const;
-
-  std::string toString() const;
-};
-
-/// Runs the robustness analysis on one x86 module. \p Ctx, when given,
-/// supplies closed-program facts (thread-exit discharge, same-module
-/// summaries, points-to); null means standalone worst-case assumptions.
-TsoRobustReport tsoRobustness(const x86::Module &M,
-                              const TsoModuleContext *Ctx = nullptr);
-
-/// Builds the per-module analysis context for every module of \p P.
-/// Returns an empty map unless the program is closed (all modules x86):
-/// open programs get no context and modules fall back to standalone
-/// worst-case analysis. Keys are module names.
-std::map<std::string, TsoModuleContext> tsoModuleContexts(const Program &P);
-
-/// One x86 module of a linked program, with its verdict.
-struct ModuleTsoInfo {
-  std::string Name;
-  bool ObjectMode = false;
-  x86::MemModel Model = x86::MemModel::SC;
-  TsoRobustReport Report;
-  /// Set by the caller once an object-refinement check (refinesTraces
-  /// against the module's abstract spec) covers the weak behaviours —
-  /// the "flagged-but-allowed" state of a benign NotRobust module.
-  bool AllowedByRefinement = false;
-};
-
-/// Program-level summary: the robustness verdict of every x86 module.
-struct ProgramTsoReport {
-  std::vector<ModuleTsoInfo> Modules;
-
-  /// True when the program has x86 modules and every one is Robust.
-  bool allRobust() const;
-  /// True when some x86-TSO module is certified Robust (SC fast path
-  /// applicable to it).
-  bool anyScSwitchable() const;
-  std::string toString() const;
-};
-
-/// Analyzes every x86 module of \p P, under the closed-program contexts
-/// of tsoModuleContexts when the program is closed.
-ProgramTsoReport programTsoRobustness(const Program &P);
-
-/// Downgrades every certified-Robust x86-TSO module of \p P to
-/// MemModel::SC: by robustness its TSO behaviours are SC-explainable, so
-/// the store-buffer dimension of the explorer's state space is redundant.
-/// Returns the number of modules switched. \p P may be linked; module
-/// global bindings are preserved. Non-Robust modules — including
-/// AllowedByRefinement ones (flagged-but-allowed) — are never switched:
-/// "allowed" means the refinement check covers their weak behaviours,
-/// not that they have none.
-unsigned applyScFastPath(Program &P, const ProgramTsoReport &R);
+inline unsigned applyScFastPath(Program &P, const ProgramRobustReport &R) {
+  return switchRobustToSc(P, R);
+}
 
 } // namespace analysis
 } // namespace ccc

@@ -1,0 +1,68 @@
+//===- core/MemModel.h - Per-module memory models ----------------*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The program-level memory-model axis. Every module in a linked Program
+/// declares the memory model its local semantics runs under; the linker
+/// and the Explorer are model-agnostic (a module's model only shows up in
+/// which LocalSteps its language offers), so modules in *different* models
+/// compose in one program — the paper's separate-compilation story
+/// extended along the axis De Vilhena ("Extending the C/C++ Memory Model
+/// with Inline Assembly") names.
+///
+///  - SC: sequentially consistent; every access hits shared memory in
+///    program order.
+///  - TSO (Sewell et al., x86-TSO): per-thread FIFO store buffer; loads
+///    snoop the own buffer; mfence/locked instructions drain.
+///  - Relaxed: IMM-flavoured (Podkopaev-Lahav-Vafeiadis): the TSO store
+///    buffer *plus* bounded load reordering — plain loads may be deferred
+///    past later instructions and complete out of program order, so
+///    load-load and store-load reorderings are both observable (LB and
+///    IRIW shaped outcomes). mfence and locked instructions are full
+///    barriers (drain stores *and* pending loads); the release-write /
+///    acquire-read idiom is a locked write / a load immediately consumed
+///    by a dependent instruction (completion-forcing), matching the IMM
+///    compilation scheme for x86.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_CORE_MEMMODEL_H
+#define CASCC_CORE_MEMMODEL_H
+
+#include <optional>
+#include <string>
+
+namespace ccc {
+
+enum class MemModel { SC, TSO, Relaxed };
+
+inline const char *memModelName(MemModel M) {
+  switch (M) {
+  case MemModel::SC:
+    return "sc";
+  case MemModel::TSO:
+    return "tso";
+  case MemModel::Relaxed:
+    return "relaxed";
+  }
+  return "?";
+}
+
+/// Parses "sc" / "tso" / "relaxed" (as used by `--model=`).
+inline std::optional<MemModel> parseMemModel(const std::string &S) {
+  if (S == "sc")
+    return MemModel::SC;
+  if (S == "tso")
+    return MemModel::TSO;
+  if (S == "relaxed")
+    return MemModel::Relaxed;
+  return std::nullopt;
+}
+
+} // namespace ccc
+
+#endif // CASCC_CORE_MEMMODEL_H

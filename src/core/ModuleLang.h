@@ -18,6 +18,7 @@
 #define CASCC_CORE_MODULELANG_H
 
 #include "core/Core.h"
+#include "core/MemModel.h"
 #include "core/Msg.h"
 #include "mem/Footprint.h"
 #include "mem/FreeList.h"
@@ -100,6 +101,11 @@ public:
 
   /// The language's name ("Clight", "RTL", "x86-TSO", ...).
   virtual std::string name() const = 0;
+
+  /// The memory model this module's local semantics runs under. The
+  /// source-level languages and the compiler IRs are SC by construction;
+  /// machine-level languages override this with their declared model.
+  virtual MemModel memModel() const { return MemModel::SC; }
 
   /// InitCore (Fig. 4): builds the initial core for entry \p Entry with
   /// arguments \p Args, or null if this module does not define the entry.

@@ -7,6 +7,8 @@
 #include "support/StrUtil.h"
 #include "sync/LockLib.h"
 
+#include <cassert>
+
 using namespace ccc;
 using namespace ccc::workload;
 
@@ -246,52 +248,57 @@ Program ccc::workload::asmCounterWithRecLockUnfenced(x86::MemModel Model,
   return P;
 }
 
-Program ccc::workload::sbLitmus(x86::MemModel Model, bool Fenced) {
-  const char *Plain = R"(
-    .data x 0
-    .data y 0
-    .entry t1 0 0
-    .entry t2 0 0
-    t1:
-            movl $1, x
-            movl y, %eax
-            printl %eax
-            retl
-    t2:
-            movl $1, y
-            movl x, %ebx
-            printl %ebx
-            retl
-  )";
-  const char *WithFence = R"(
-    .data x 0
-    .data y 0
-    .entry t1 0 0
-    .entry t2 0 0
-    t1:
-            movl $1, x
-            mfence
-            movl y, %eax
-            printl %eax
-            retl
-    t2:
-            movl $1, y
-            mfence
-            movl x, %ebx
-            printl %ebx
-            retl
-  )";
-  Program P;
-  x86::addAsmModule(P, "m", Fenced ? WithFence : Plain, Model);
-  P.addThread("t1");
-  P.addThread("t2");
-  P.link();
-  return P;
-}
+namespace {
 
-Program ccc::workload::mpLitmus(x86::MemModel Model) {
-  Program P;
-  x86::addAsmModule(P, "m", R"(
+/// One row of the litmus registry: name, plain and fully fenced assembly
+/// sources, and the thread entries to spawn (in order).
+struct LitmusSpec {
+  const char *Name;
+  const char *Plain;
+  const char *Fenced;
+  std::vector<const char *> Entries;
+};
+
+const std::vector<LitmusSpec> &litmusTable() {
+  static const std::vector<LitmusSpec> Table = {
+      {"SB",
+       R"(
+    .data x 0
+    .data y 0
+    .entry t1 0 0
+    .entry t2 0 0
+    t1:
+            movl $1, x
+            movl y, %eax
+            printl %eax
+            retl
+    t2:
+            movl $1, y
+            movl x, %ebx
+            printl %ebx
+            retl
+  )",
+       R"(
+    .data x 0
+    .data y 0
+    .entry t1 0 0
+    .entry t2 0 0
+    t1:
+            movl $1, x
+            mfence
+            movl y, %eax
+            printl %eax
+            retl
+    t2:
+            movl $1, y
+            mfence
+            movl x, %ebx
+            printl %ebx
+            retl
+  )",
+       {"t1", "t2"}},
+      {"MP",
+       R"(
     .data data 0
     .data flag 0
     .entry t1 0 0
@@ -309,11 +316,279 @@ Program ccc::workload::mpLitmus(x86::MemModel Model) {
             printl %ebx
             retl
   )",
-                    Model);
-  P.addThread("t1");
-  P.addThread("t2");
+       R"(
+    .data data 0
+    .data flag 0
+    .entry t1 0 0
+    .entry t2 0 0
+    t1:
+            movl $42, data
+            mfence
+            movl $1, flag
+            retl
+    t2:
+    spin:
+            movl flag, %eax
+            cmpl $1, %eax
+            jne spin
+            mfence
+            movl data, %ebx
+            printl %ebx
+            retl
+  )",
+       {"t1", "t2"}},
+      // LB: each thread loads the peer's cell *then* stores its own. The
+      // both-one outcome (prints 1,1) requires the load to be satisfied
+      // after the program-later store — load buffering. t1 prints
+      // 10+r1, t2 prints 20+r2 so the outcome is readable off the trace.
+      {"LB",
+       R"(
+    .data x 0
+    .data y 0
+    .entry t1 0 0
+    .entry t2 0 0
+    t1:
+            movl y, %eax
+            movl $1, x
+            addl $10, %eax
+            printl %eax
+            retl
+    t2:
+            movl x, %ebx
+            movl $1, y
+            addl $20, %ebx
+            printl %ebx
+            retl
+  )",
+       R"(
+    .data x 0
+    .data y 0
+    .entry t1 0 0
+    .entry t2 0 0
+    t1:
+            movl y, %eax
+            mfence
+            movl $1, x
+            mfence
+            addl $10, %eax
+            printl %eax
+            retl
+    t2:
+            movl x, %ebx
+            mfence
+            movl $1, y
+            mfence
+            addl $20, %ebx
+            printl %ebx
+            retl
+  )",
+       {"t1", "t2"}},
+      // IRIW: two writers to independent cells, two readers scanning
+      // them in opposite orders. r1 prints 10+2*x+y, r2 prints
+      // 20+2*y+x; the readers-disagree outcome {12, 22} (r1 saw x
+      // first, r2 saw y first) requires load-load reordering, which
+      // TSO's total store visibility forbids.
+      {"IRIW",
+       R"(
+    .data x 0
+    .data y 0
+    .entry w1 0 0
+    .entry w2 0 0
+    .entry r1 0 0
+    .entry r2 0 0
+    w1:
+            movl $1, x
+            retl
+    w2:
+            movl $1, y
+            retl
+    r1:
+            movl x, %eax
+            movl y, %ebx
+            imull $2, %eax
+            addl %ebx, %eax
+            addl $10, %eax
+            printl %eax
+            retl
+    r2:
+            movl y, %ecx
+            movl x, %edx
+            imull $2, %ecx
+            addl %edx, %ecx
+            addl $20, %ecx
+            printl %ecx
+            retl
+  )",
+       R"(
+    .data x 0
+    .data y 0
+    .entry w1 0 0
+    .entry w2 0 0
+    .entry r1 0 0
+    .entry r2 0 0
+    w1:
+            movl $1, x
+            retl
+    w2:
+            movl $1, y
+            retl
+    r1:
+            movl x, %eax
+            mfence
+            movl y, %ebx
+            imull $2, %eax
+            addl %ebx, %eax
+            addl $10, %eax
+            printl %eax
+            retl
+    r2:
+            movl y, %ecx
+            mfence
+            movl x, %edx
+            imull $2, %ecx
+            addl %edx, %ecx
+            addl $20, %ecx
+            printl %ecx
+            retl
+  )",
+       {"w1", "w2", "r1", "r2"}},
+  };
+  return Table;
+}
+
+} // namespace
+
+std::vector<std::string> ccc::workload::litmusNames() {
+  std::vector<std::string> Names;
+  for (const auto &S : litmusTable())
+    Names.push_back(S.Name);
+  return Names;
+}
+
+Program ccc::workload::litmus(const std::string &Name, x86::MemModel Model,
+                              bool Fenced) {
+  for (const auto &S : litmusTable()) {
+    if (Name != S.Name)
+      continue;
+    Program P;
+    x86::addAsmModule(P, "m", Fenced ? S.Fenced : S.Plain, Model);
+    for (const char *E : S.Entries)
+      P.addThread(E);
+    P.link();
+    return P;
+  }
+  assert(false && "unknown litmus name");
+  return Program();
+}
+
+Program ccc::workload::mixedModelProgram(bool Fenced) {
+  Program P;
+  // SC observer: a Clight module whose single print interleaves with the
+  // weak-memory pairs below — the models compose in one linked program.
+  clight::addClightModule(P, "obsmod", R"(
+    void obs() {
+      print(7);
+    }
+  )");
+  // The SB pair under TSO: both-zero shows up as {100, 200}.
+  x86::addAsmModule(P, "sbmod",
+                    Fenced ? R"(
+    .data sx 0
+    .data sy 0
+    .entry s1 0 0
+    .entry s2 0 0
+    s1:
+            movl $1, sx
+            mfence
+            movl sy, %eax
+            addl $100, %eax
+            printl %eax
+            retl
+    s2:
+            movl $1, sy
+            mfence
+            movl sx, %ebx
+            addl $200, %ebx
+            printl %ebx
+            retl
+  )"
+                           : R"(
+    .data sx 0
+    .data sy 0
+    .entry s1 0 0
+    .entry s2 0 0
+    s1:
+            movl $1, sx
+            movl sy, %eax
+            addl $100, %eax
+            printl %eax
+            retl
+    s2:
+            movl $1, sy
+            movl sx, %ebx
+            addl $200, %ebx
+            printl %ebx
+            retl
+  )",
+                    x86::MemModel::TSO);
+  // The LB pair under Relaxed: both-one shows up as {11, 21}.
+  x86::addAsmModule(P, "lbmod",
+                    Fenced ? R"(
+    .data lx 0
+    .data ly 0
+    .entry l1 0 0
+    .entry l2 0 0
+    l1:
+            movl ly, %eax
+            mfence
+            movl $1, lx
+            mfence
+            addl $10, %eax
+            printl %eax
+            retl
+    l2:
+            movl lx, %ebx
+            mfence
+            movl $1, ly
+            mfence
+            addl $20, %ebx
+            printl %ebx
+            retl
+  )"
+                           : R"(
+    .data lx 0
+    .data ly 0
+    .entry l1 0 0
+    .entry l2 0 0
+    l1:
+            movl ly, %eax
+            movl $1, lx
+            addl $10, %eax
+            printl %eax
+            retl
+    l2:
+            movl lx, %ebx
+            movl $1, ly
+            addl $20, %ebx
+            printl %ebx
+            retl
+  )",
+                    x86::MemModel::Relaxed);
+  P.addThread("obs");
+  P.addThread("s1");
+  P.addThread("s2");
+  P.addThread("l1");
+  P.addThread("l2");
   P.link();
   return P;
+}
+
+Program ccc::workload::sbLitmus(x86::MemModel Model, bool Fenced) {
+  return litmus("SB", Model, Fenced);
+}
+
+Program ccc::workload::mpLitmus(x86::MemModel Model) {
+  return litmus("MP", Model, /*Fenced=*/false);
 }
 
 Program ccc::workload::mpPublishReadback(x86::MemModel Model) {

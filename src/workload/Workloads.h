@@ -20,6 +20,7 @@
 #include "x86/X86Lang.h"
 
 #include <string>
+#include <vector>
 
 namespace ccc {
 namespace workload {
@@ -88,11 +89,48 @@ Program unfencedPingPong(x86::MemModel Model, unsigned Rounds);
 Program asmCounterWithRecLockUnfenced(x86::MemModel Model,
                                       unsigned Threads);
 
-/// The store-buffering litmus test (both-zero allowed under TSO only).
+/// The table-driven litmus registry. Every classic litmus shape lives in
+/// one table (name, plain source, fully fenced sibling, thread entries)
+/// instead of a hand-rolled generator per bench/test:
+///
+///  - "SB"  : store buffering — both-zero outcome needs store-load
+///            reordering (reachable under TSO and Relaxed, not SC).
+///  - "MP"  : message passing — data-then-flag publication; preserved by
+///            every model here (TSO stores are FIFO; the Relaxed reader's
+///            flag test is a completion-forcing dependency).
+///  - "LB"  : load buffering — the both-one outcome needs a load
+///            reordered after a later store (reachable under Relaxed
+///            only).
+///  - "IRIW": independent reads of independent writes — the readers-
+///            disagree outcome needs load-load reordering (reachable
+///            under Relaxed only; TSO store visibility is total).
+///
+/// The fenced sibling of each shape is fully fenced (every reorderable
+/// pair split by mfence), so it is Robust — and SC-equivalent — under
+/// every model.
+std::vector<std::string> litmusNames();
+
+/// Builds litmus \p Name (see litmusNames) under \p Model; asserts on an
+/// unknown name.
+Program litmus(const std::string &Name, x86::MemModel Model, bool Fenced);
+
+/// The heterogeneous-model linked program: one SC Clight observer, one
+/// x86-TSO module running the SB pair (prints 100+r / 200+r), and one
+/// x86-Relaxed module running the LB pair (prints 10+r / 20+r), all in a
+/// single Program — five threads, three memory models, one linker. The
+/// unfenced build exhibits *both* weak wedges at once (SB's both-zero
+/// through the TSO store buffer, LB's both-one through the Relaxed
+/// pending loads); the fenced build is Robust — and SC-equivalent —
+/// module by module.
+Program mixedModelProgram(bool Fenced);
+
+/// The store-buffering litmus test (both-zero allowed under TSO/Relaxed
+/// only). Equivalent to litmus("SB", Model, Fenced).
 Program sbLitmus(x86::MemModel Model, bool Fenced);
 
 /// The message-passing litmus test: t1 writes data then flag; t2 spins on
 /// the flag then reads data (TSO preserves this — stores are FIFO).
+/// Equivalent to litmus("MP", Model, false).
 Program mpLitmus(x86::MemModel Model);
 
 /// MP variant where the publisher re-reads its own flag after publishing

@@ -1,4 +1,4 @@
-//===- x86/X86Lang.cpp - x86-SC and x86-TSO machines -----------------------===//
+//===- x86/X86Lang.cpp - x86-SC, x86-TSO and x86-Relaxed machines ----------===//
 
 #include "x86/X86Lang.h"
 
@@ -13,8 +13,8 @@ using namespace ccc::x86;
 
 namespace {
 
-/// The x86 core: program counter, register file, flags, frame state and
-/// (under TSO) the store buffer.
+/// The x86 core: program counter, register file, flags, frame state, the
+/// store buffer (TSO and Relaxed) and the pending-load queue (Relaxed).
 class X86Core : public Core {
 public:
   unsigned PC = 0;
@@ -24,8 +24,13 @@ public:
   bool FlagsValid = false;
   bool FrameAllocated = false;
   uint32_t FrameSize = 0;
-  /// TSO store buffer, oldest first.
+  /// TSO/Relaxed store buffer, oldest first.
   std::vector<std::pair<Addr, Value>> Buf;
+  /// Relaxed pending loads (destination register, resolved address),
+  /// issue order first. A deferred load's address is resolved in program
+  /// order but the read itself completes later — oldest first — which is
+  /// what makes LB/IRIW-shaped reorderings observable.
+  std::vector<std::pair<Reg, Addr>> Pending;
 
   std::string key() const override {
     StrBuilder B;
@@ -44,6 +49,12 @@ public:
         B << static_cast<uint64_t>(E.first) << '=' << E.second.toString()
           << ';';
     }
+    if (!Pending.empty()) {
+      B << "|pnd:";
+      for (const auto &E : Pending)
+        B << static_cast<unsigned>(E.first) << '='
+          << static_cast<uint64_t>(E.second) << ';';
+    }
     return B.take();
   }
 
@@ -57,8 +68,12 @@ public:
     for (const Value &V : Regs)
       B.word(V.rawBits());
     // Mirrors key(): a stale CmpVal is omitted while the flags are
-    // invalid (the flag word says whether the two CmpVal words follow).
-    B.word((FlagsValid ? 1u : 0u) | (FrameAllocated ? 2u : 0u));
+    // invalid (the flag word says whether the two CmpVal words follow),
+    // and the pending-load block is omitted when empty (bit 4 says
+    // whether it follows, keeping the encoding self-describing and the
+    // SC/TSO residues byte-identical to before the Relaxed model).
+    B.word((FlagsValid ? 1u : 0u) | (FrameAllocated ? 2u : 0u) |
+           (Pending.empty() ? 0u : 4u));
     if (FlagsValid)
       B.word64(static_cast<uint64_t>(CmpVal));
     B.word(FrameSize);
@@ -67,6 +82,13 @@ public:
       B.word64(static_cast<uint64_t>(E.first));
       B.word(static_cast<uint32_t>(E.second.kind()));
       B.word(E.second.rawBits());
+    }
+    if (!Pending.empty()) {
+      B.word(static_cast<uint32_t>(Pending.size()));
+      for (const auto &E : Pending) {
+        B.word(static_cast<uint32_t>(E.first));
+        B.word64(static_cast<uint64_t>(E.second));
+      }
     }
   }
 };
@@ -92,6 +114,11 @@ bool condHolds(Cond C, int64_t CmpVal) {
 Value wrapInt(int64_t V) {
   return Value::makeInt(static_cast<int32_t>(static_cast<uint32_t>(V)));
 }
+
+/// Relaxed load-reordering window: at most this many loads may be in
+/// flight per thread (bounds the extra nondeterminism; two suffices for
+/// every classic litmus shape — LB and IRIW need exactly one per thread).
+constexpr std::size_t MaxPendingLoads = 2;
 
 } // namespace
 
@@ -132,9 +159,12 @@ bool X86Lang::porPoints(const FreeList &F, const Core &C,
   // Pending frame allocation writes the frame cells (own region).
   if (!Cr.FrameAllocated)
     Extra.OwnW = true;
-  // Buffered TSO stores flush at concrete addresses.
+  // Buffered TSO/Relaxed stores flush at concrete addresses; Relaxed
+  // pending loads will read their resolved cells on completion.
   for (const auto &E : Cr.Buf)
     Extra.addWrite(E.first);
+  for (const auto &E : Cr.Pending)
+    Extra.addRead(E.second);
   // An out-of-range PC steps to abort with no footprint: no point.
   if (Cr.PC < Mod->Code.size())
     Out.push_back(PorPoint{&Mod->Code[Cr.PC], Cr.PC});
@@ -181,11 +211,14 @@ std::vector<LocalStep> X86Lang::step(const FreeList &F, const Core &C,
     return Out;
   }
 
-  const bool Tso = Model == MemModel::TSO;
+  // Store buffering is shared by TSO and Relaxed; Relaxed additionally
+  // defers loads.
+  const bool Buffered = Model != MemModel::SC;
+  const bool Rlx = Model == MemModel::Relaxed;
 
-  // -- TSO: a pending store may flush at any time.
+  // -- TSO/Relaxed: a pending store may flush at any time.
   auto pushFlush = [&]() {
-    if (!Tso || Cr.Buf.empty())
+    if (!Buffered || Cr.Buf.empty())
       return;
     Addr A = Cr.Buf.front().first;
     Mem NM = M;
@@ -204,6 +237,46 @@ std::vector<LocalStep> X86Lang::step(const FreeList &F, const Core &C,
   };
   pushFlush();
 
+  // -- Relaxed: the oldest deferred load may complete at any time. The
+  // value is read now — own store buffer first (newest entry wins), then
+  // shared memory. Same-address accesses issued after the defer are held
+  // back (see the conflict gate below), so forwarding only ever sees
+  // stores buffered before the load was deferred.
+  auto pushComplete = [&]() {
+    if (!Rlx || Cr.Pending.empty())
+      return;
+    const Reg R = Cr.Pending.front().first;
+    const Addr A = Cr.Pending.front().second;
+    Value V;
+    bool FromBuf = false;
+    for (auto It = Cr.Buf.rbegin(); It != Cr.Buf.rend(); ++It)
+      if (It->first == A) {
+        V = It->second;
+        FromBuf = true;
+        break;
+      }
+    Footprint CFP;
+    if (!FromBuf) {
+      auto L = M.load(A);
+      if (!L) {
+        abort("relaxed load completion on unallocated address");
+        return;
+      }
+      V = *L;
+      CFP.addRead(A);
+    }
+    auto N = std::make_shared<X86Core>(Cr);
+    N->Regs[static_cast<unsigned>(R)] = V;
+    N->Pending.erase(N->Pending.begin());
+    LocalStep S;
+    S.M = Msg::tau();
+    S.FP = std::move(CFP);
+    S.NextMem = M;
+    S.Next = std::move(N);
+    Out.push_back(std::move(S));
+  };
+  pushComplete();
+
   if (Cr.PC >= Mod->Code.size()) {
     abort("program counter out of range");
     return Out;
@@ -212,12 +285,15 @@ std::vector<LocalStep> X86Lang::step(const FreeList &F, const Core &C,
 
   // Instructions that serialize the store buffer can only run when it is
   // empty; until then the flush step above is the only enabled step.
+  // Under Relaxed they are full barriers: pending loads must also have
+  // completed (mfence/locked ops, and module boundaries, order
+  // everything).
   const bool NeedsDrain = I.K == Instr::Kind::LockCmpxchg ||
                           I.K == Instr::Kind::Mfence ||
                           I.K == Instr::Kind::Ret ||
                           I.K == Instr::Kind::Call ||
                           I.K == Instr::Kind::TailCall;
-  if (Tso && NeedsDrain && !Cr.Buf.empty())
+  if (Buffered && NeedsDrain && (!Cr.Buf.empty() || !Cr.Pending.empty()))
     return Out;
 
   // -- Operand helpers. Footprints accumulate into FP.
@@ -234,6 +310,40 @@ std::vector<LocalStep> X86Lang::step(const FreeList &F, const Core &C,
       return std::nullopt;
     return Base.asPtr() + static_cast<Addr>(O.Disp);
   };
+
+  // -- Relaxed conflict gate: an instruction that reads or writes a
+  // pending load's destination register (including as an address base),
+  // or touches a pending load's cell, must wait for the completion step
+  // — this is the dependency order the IMM compilation scheme preserves
+  // (address/data/control dependencies force completion, so MP's
+  // flag-then-data read chain stays in order while independent accesses
+  // may overtake). A completion step is always enabled while Pending is
+  // non-empty, so withholding the instruction cannot deadlock.
+  if (Rlx && !Cr.Pending.empty()) {
+    auto RegOverlap = [&](const Operand &O, Reg R) {
+      return (O.K == Operand::Kind::Reg || O.K == Operand::Kind::MemBase) &&
+             O.R == R;
+    };
+    bool Conflicts = false;
+    for (const auto &P : Cr.Pending) {
+      if (RegOverlap(I.Src, P.first) || RegOverlap(I.Dst, P.first)) {
+        Conflicts = true;
+        break;
+      }
+      for (const Operand *O : {&I.Src, &I.Dst})
+        if (O->isMem()) {
+          auto EA = effAddr(*O);
+          if (EA && *EA == P.second) {
+            Conflicts = true;
+            break;
+          }
+        }
+      if (Conflicts)
+        break;
+    }
+    if (Conflicts)
+      return Out;
+  }
 
   auto readOperand = [&](const Operand &O) -> std::optional<Value> {
     switch (O.K) {
@@ -252,7 +362,7 @@ std::vector<LocalStep> X86Lang::step(const FreeList &F, const Core &C,
       auto A = effAddr(O);
       if (!A || !accessAllowed(*A))
         return std::nullopt;
-      if (Tso) {
+      if (Buffered) {
         // Snoop the own store buffer, newest entry first.
         for (auto It = Cr.Buf.rbegin(); It != Cr.Buf.rend(); ++It)
           if (It->first == *A)
@@ -296,7 +406,7 @@ std::vector<LocalStep> X86Lang::step(const FreeList &F, const Core &C,
     auto A = effAddr(O);
     if (!A || !accessAllowed(*A))
       return false;
-    if (Tso) {
+    if (Buffered) {
       N->Buf.emplace_back(*A, V);
       return true;
     }
@@ -312,6 +422,23 @@ std::vector<LocalStep> X86Lang::step(const FreeList &F, const Core &C,
     break;
   }
   case Instr::Kind::Mov: {
+    // Relaxed: a plain register load may also be *deferred* — the
+    // address is resolved in program order, the read completes later
+    // (pushComplete above). Offered alongside the execute-now step.
+    if (Rlx && I.Dst.K == Operand::Kind::Reg && I.Src.isMem() &&
+        Cr.Pending.size() < MaxPendingLoads) {
+      auto A = effAddr(I.Src);
+      if (A && accessAllowed(*A)) {
+        auto N = std::make_shared<X86Core>(Cr);
+        N->PC = Cr.PC + 1;
+        N->Pending.emplace_back(I.Dst.R, *A);
+        LocalStep S;
+        S.M = Msg::tau();
+        S.NextMem = M;
+        S.Next = std::move(N);
+        Out.push_back(std::move(S));
+      }
+    }
     auto V = readOperand(I.Src);
     if (!V) {
       abort("bad mov source");

@@ -14,15 +14,20 @@
 ///    memory non-deterministically; lock-prefixed instructions and mfence
 ///    drain the buffer first and execute atomically.
 ///
-/// Syntactically a module is identical under both models (the Fig. 3
+///  - x86-Relaxed (IMM-flavoured): the TSO store buffer plus bounded
+///    load reordering — plain register loads may be deferred and
+///    completed out of program order (see core/MemModel.h).
+///
+/// Syntactically a module is identical under all models (the Fig. 3
 /// "identity transformation" from x86-SC to x86-TSO changes only the
-/// semantics) — both are served by this class, selected by MemModel.
+/// semantics) — all are served by this class, selected by MemModel.
 ///
 //===----------------------------------------------------------------------===//
 
 #ifndef CASCC_X86_X86LANG_H
 #define CASCC_X86_X86LANG_H
 
+#include "core/MemModel.h"
 #include "core/ModuleLang.h"
 #include "core/Program.h"
 #include "x86/X86Asm.h"
@@ -32,7 +37,9 @@
 namespace ccc {
 namespace x86 {
 
-enum class MemModel { SC, TSO };
+/// The model axis is program-level now (core/MemModel.h); this alias
+/// keeps the historical x86::MemModel spelling working.
+using MemModel = ccc::MemModel;
 
 /// x86 as a ModuleLang.
 class X86Lang : public ModuleLang {
@@ -44,7 +51,15 @@ public:
   ~X86Lang() override;
 
   std::string name() const override {
-    return Model == MemModel::SC ? "x86-SC" : "x86-TSO";
+    switch (Model) {
+    case MemModel::SC:
+      return "x86-SC";
+    case MemModel::TSO:
+      return "x86-TSO";
+    case MemModel::Relaxed:
+      return "x86-Relaxed";
+    }
+    return "x86-?";
   }
 
   CoreRef initCore(const std::string &Entry,
@@ -64,7 +79,7 @@ public:
 
   const Module &module() const { return *Mod; }
   std::shared_ptr<const Module> modulePtr() const { return Mod; }
-  MemModel memModel() const { return Model; }
+  MemModel memModel() const override { return Model; }
   bool objectMode() const { return ObjectMode; }
 
   /// The argument-passing registers of our simplified calling convention.

@@ -1,0 +1,155 @@
+//===- tests/LitmusMatrixTest.cpp - Litmus golden matrix across models -----===//
+//
+// The model-separation goldens: for every litmus shape in the registry
+// (SB / MP / LB / IRIW), fenced and unfenced, pin which distinguishing
+// outcome is reachable under each MemModel, and pin the inclusion
+// structure between the models' trace sets:
+//
+//   - SC traces ⊆ TSO traces ⊆ Relaxed traces (each model only *adds*
+//     behaviours — never-buffer / never-defer strategies replay the
+//     stronger model exactly);
+//   - fully fenced siblings are trace-identical across all three models;
+//   - SB's both-zero outcome needs TSO (store-load reordering);
+//   - LB's both-one and IRIW's readers-disagree outcomes need Relaxed
+//     (load reordering), and are unreachable under TSO — the wedge the
+//     tentpole acceptance criterion asks for.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Semantics.h"
+#include "workload/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace ccc;
+using namespace ccc::workload;
+
+namespace {
+
+TraceSet tracesOf(const std::string &Litmus, MemModel Model, bool Fenced,
+                  ExploreStats *Stats = nullptr) {
+  Program P = litmus(Litmus, Model, Fenced);
+  return preemptiveTraces(P, {}, Stats);
+}
+
+/// True when some complete trace's event multiset contains all of \p Ev.
+bool someTraceContains(const TraceSet &T, std::vector<int64_t> Ev) {
+  for (const Trace &Tr : T.traces()) {
+    bool All = true;
+    for (int64_t E : Ev) {
+      if (std::count(Tr.Events.begin(), Tr.Events.end(), E) <
+          std::count(Ev.begin(), Ev.end(), E)) {
+        All = false;
+        break;
+      }
+    }
+    if (All)
+      return true;
+  }
+  return false;
+}
+
+constexpr MemModel AllModels[] = {MemModel::SC, MemModel::TSO,
+                                  MemModel::Relaxed};
+
+} // namespace
+
+// SB: the both-zero outcome requires store-load reordering — reachable
+// under TSO and Relaxed, never under SC, never when fenced.
+TEST(LitmusMatrix, StoreBuffering) {
+  for (MemModel M : AllModels) {
+    const bool BothZero = M != MemModel::SC;
+    EXPECT_EQ(someTraceContains(tracesOf("SB", M, false), {0, 0}), BothZero)
+        << "SB unfenced under " << memModelName(M);
+    EXPECT_FALSE(someTraceContains(tracesOf("SB", M, true), {0, 0}))
+        << "SB fenced under " << memModelName(M);
+  }
+}
+
+// MP: publication is preserved by every model here — the reader's spin
+// test is a completion-forcing (control) dependency under Relaxed, and
+// TSO stores flush in FIFO order. The reader can only ever print 42.
+TEST(LitmusMatrix, MessagePassing) {
+  for (MemModel M : AllModels) {
+    for (bool Fenced : {false, true}) {
+      TraceSet T = tracesOf("MP", M, Fenced);
+      for (const Trace &Tr : T.traces())
+        for (int64_t E : Tr.Events)
+          EXPECT_EQ(E, 42) << "MP stale read under " << memModelName(M)
+                           << (Fenced ? " fenced" : " unfenced");
+    }
+  }
+}
+
+// LB: the both-one outcome (prints 11 and 21) requires a load satisfied
+// after a program-later store — Relaxed only.
+TEST(LitmusMatrix, LoadBuffering) {
+  for (MemModel M : AllModels) {
+    const bool BothOne = M == MemModel::Relaxed;
+    EXPECT_EQ(someTraceContains(tracesOf("LB", M, false), {11, 21}), BothOne)
+        << "LB unfenced under " << memModelName(M);
+    EXPECT_FALSE(someTraceContains(tracesOf("LB", M, true), {11, 21}))
+        << "LB fenced under " << memModelName(M);
+  }
+}
+
+// IRIW: the readers-disagree outcome (r1 prints 12 = saw x without y,
+// r2 prints 22 = saw y without x) requires load-load reordering; TSO's
+// total store visibility forbids it.
+TEST(LitmusMatrix, Iriw) {
+  for (MemModel M : AllModels) {
+    const bool Disagree = M == MemModel::Relaxed;
+    EXPECT_EQ(someTraceContains(tracesOf("IRIW", M, false), {12, 22}),
+              Disagree)
+        << "IRIW unfenced under " << memModelName(M);
+    EXPECT_FALSE(someTraceContains(tracesOf("IRIW", M, true), {12, 22}))
+        << "IRIW fenced under " << memModelName(M);
+  }
+}
+
+// Each weaker model only adds behaviours: SC ⊆ TSO ⊆ Relaxed at the
+// trace level (never-buffer / never-defer replays the stronger model),
+// and the Relaxed state graph is a superset of the TSO one.
+TEST(LitmusMatrix, WeakerModelsAddBehaviours) {
+  for (const std::string &Name : litmusNames()) {
+    for (bool Fenced : {false, true}) {
+      ExploreStats StTso, StRlx;
+      TraceSet Sc = tracesOf(Name, MemModel::SC, Fenced);
+      TraceSet Tso = tracesOf(Name, MemModel::TSO, Fenced, &StTso);
+      TraceSet Rlx = tracesOf(Name, MemModel::Relaxed, Fenced, &StRlx);
+      EXPECT_TRUE(Sc.subsetOf(Tso)) << Name << " fenced=" << Fenced;
+      EXPECT_TRUE(Tso.subsetOf(Rlx)) << Name << " fenced=" << Fenced;
+      EXPECT_GE(StRlx.States, StTso.States) << Name << " fenced=" << Fenced;
+    }
+  }
+}
+
+// Fully fenced siblings are SC-equivalent in every model: all three
+// trace sets coincide exactly.
+TEST(LitmusMatrix, FencedSiblingsModelIndependent) {
+  for (const std::string &Name : litmusNames()) {
+    TraceSet Sc = tracesOf(Name, MemModel::SC, true);
+    EXPECT_EQ(Sc == tracesOf(Name, MemModel::TSO, true), true) << Name;
+    EXPECT_EQ(Sc == tracesOf(Name, MemModel::Relaxed, true), true) << Name;
+  }
+}
+
+// POR on and off agree on every litmus trace set under every model (the
+// independence analysis must stay sound for the Relaxed pending-load
+// effects reported via porPoints).
+TEST(LitmusMatrix, PorAgreesPerModel) {
+  for (const std::string &Name : litmusNames()) {
+    for (MemModel M : AllModels) {
+      for (bool Fenced : {false, true}) {
+        Program P1 = litmus(Name, M, Fenced);
+        ExploreOptions Full;
+        Full.Por = PorMode::Off;
+        Program P2 = litmus(Name, M, Fenced);
+        EXPECT_EQ(preemptiveTraces(P1) == preemptiveTraces(P2, Full), true)
+            << Name << " " << memModelName(M) << " fenced=" << Fenced;
+      }
+    }
+  }
+}

@@ -1,0 +1,133 @@
+//===- tests/MixedModelTest.cpp - Heterogeneous-model linked programs ------===//
+//
+// The program/link layer of the memory-model axis: one linked Program
+// holding an SC Clight observer, an x86-TSO SB pair, and an x86-Relaxed
+// LB pair. The linker and explorer are model-agnostic — each module
+// contributes the LocalSteps its own model licenses — so both weak
+// wedges (SB's both-zero through the store buffer, LB's both-one through
+// the pending loads) appear in the same exploration, POR stays exact
+// across the mix, and the repair pipeline brings every module back to
+// certified-SC.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/FenceSynth.h"
+#include "analysis/Robustness.h"
+#include "core/Semantics.h"
+#include "workload/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+using namespace ccc;
+using namespace ccc::analysis;
+
+namespace {
+
+/// True when some complete trace's event multiset contains all of \p Ev.
+bool someTraceContains(const TraceSet &T, std::vector<int64_t> Ev) {
+  for (const Trace &Tr : T.traces()) {
+    bool All = true;
+    for (int64_t E : Ev) {
+      if (std::count(Tr.Events.begin(), Tr.Events.end(), E) <
+          std::count(Ev.begin(), Ev.end(), E)) {
+        All = false;
+        break;
+      }
+    }
+    if (All)
+      return true;
+  }
+  return false;
+}
+
+} // namespace
+
+// The declared models survive linking: one SC Clight module plus two x86
+// modules under different models, and the robustness report sees each
+// x86 module under its own model.
+TEST(MixedModel, DeclaredModelsSurviveLinking) {
+  Program P = workload::mixedModelProgram(false);
+  ASSERT_EQ(P.modules().size(), 3u);
+  EXPECT_EQ(P.modules()[0].Lang->memModel(), MemModel::SC);
+  EXPECT_EQ(P.modules()[1].Lang->memModel(), MemModel::TSO);
+  EXPECT_EQ(P.modules()[2].Lang->memModel(), MemModel::Relaxed);
+
+  ProgramRobustReport R = programRobustness(P);
+  ASSERT_EQ(R.Modules.size(), 2u);
+  for (const ModuleRobustInfo &M : R.Modules) {
+    EXPECT_EQ(M.Report.inconsistency(), "") << M.Report.toString();
+    if (M.Name == "sbmod") {
+      EXPECT_EQ(M.Model, MemModel::TSO);
+    }
+    if (M.Name == "lbmod") {
+      EXPECT_EQ(M.Model, MemModel::Relaxed);
+    }
+    EXPECT_FALSE(M.Report.robust()) << M.Name;
+  }
+}
+
+// Both weak wedges are reachable in one exploration of the unfenced mix:
+// the TSO module's both-zero SB outcome and the Relaxed module's
+// both-one LB outcome — even jointly in a single trace — while the
+// fenced sibling shows neither.
+TEST(MixedModel, BothWeakWedgesInOneProgram) {
+  TraceSet T = preemptiveTraces(workload::mixedModelProgram(false));
+  EXPECT_TRUE(someTraceContains(T, {100, 200}));
+  EXPECT_TRUE(someTraceContains(T, {11, 21}));
+  EXPECT_TRUE(someTraceContains(T, {100, 200, 11, 21}));
+
+  TraceSet F = preemptiveTraces(workload::mixedModelProgram(true));
+  EXPECT_FALSE(someTraceContains(F, {100, 200}));
+  EXPECT_FALSE(someTraceContains(F, {11, 21}));
+}
+
+// POR on and off agree bit-exactly on the heterogeneous program: the
+// independence analysis must stay sound when store-buffer effects (TSO)
+// and pending-load effects (Relaxed) coexist with SC steps. The fenced
+// mix keeps this affordable here; bench_tso hard-gates the (much larger)
+// unfenced exploration the same way.
+TEST(MixedModel, PorExactAcrossModels) {
+  Program P1 = workload::mixedModelProgram(true);
+  Program P2 = workload::mixedModelProgram(true);
+  ExploreOptions Full;
+  Full.Por = PorMode::Off;
+  ExploreStats SPor, SFull;
+  TraceSet Por = preemptiveTraces(P1, {}, &SPor);
+  TraceSet FullT = preemptiveTraces(P2, Full, &SFull);
+  EXPECT_EQ(Por == FullT, true);
+  EXPECT_LE(SPor.States, SFull.States);
+}
+
+// The repair pipeline on the mix: both weak modules are repaired under
+// their own models, every module ends on SC, and the weak wedges are
+// gone from the repaired exploration.
+TEST(MixedModel, RepairPipelineCoversBothModels) {
+  Program P = workload::mixedModelProgram(false);
+  ProgramRepairReport Rep;
+  unsigned Switched = repairAndApplyScFastPath(P, &Rep);
+  EXPECT_EQ(Rep.ModulesRepaired, 2u) << Rep.toString();
+  EXPECT_EQ(Switched, 2u);
+  for (const ModuleDecl &D : P.modules())
+    EXPECT_EQ(D.Lang->memModel(), MemModel::SC) << D.Name;
+  EXPECT_TRUE(programRobustness(P).allRobust());
+
+  TraceSet T = preemptiveTraces(P);
+  EXPECT_FALSE(someTraceContains(T, {100, 200}));
+  EXPECT_FALSE(someTraceContains(T, {11, 21}));
+}
+
+// The fenced mix certifies Robust module-by-module, each under its own
+// declared model, and the SC switch then preserves the trace set.
+TEST(MixedModel, FencedMixCertifiesAndSwitches) {
+  Program P = workload::mixedModelProgram(true);
+  ProgramRobustReport R = programRobustness(P);
+  EXPECT_TRUE(R.allRobust()) << R.toString();
+  EXPECT_TRUE(R.anyScSwitchable());
+
+  Program Q = workload::mixedModelProgram(true);
+  TraceSet Before = preemptiveTraces(Q);
+  EXPECT_EQ(switchRobustToSc(Q, R), 2u);
+  EXPECT_EQ(preemptiveTraces(Q) == Before, true);
+}

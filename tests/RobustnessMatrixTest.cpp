@@ -1,0 +1,220 @@
+//===- tests/RobustnessMatrixTest.cpp - Static verdicts across models ------===//
+//
+// The static counterpart of LitmusMatrixTest: for every litmus shape in
+// the registry, pin the robustness core's verdict under the TSO and
+// Relaxed reorder tables. The headline separation mirrors the dynamic
+// one: IRIW's unfenced readers are certified Robust under TSO (no
+// stores to buffer) but flagged NotRobust under Relaxed (the pending
+// first load crosses the second), while the fenced siblings are Robust
+// under every model.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/FenceSynth.h"
+#include "analysis/Robustness.h"
+#include "analysis/TsoRobust.h"
+#include "core/Semantics.h"
+#include "workload/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace ccc;
+using namespace ccc::analysis;
+
+namespace {
+
+/// The single-module report of litmus \p Name built under \p Model.
+RobustReport reportOf(const std::string &Name, MemModel Model, bool Fenced) {
+  Program P = workload::litmus(Name, Model, Fenced);
+  ProgramRobustReport R = programRobustness(P);
+  EXPECT_EQ(R.Modules.size(), 1u) << Name;
+  EXPECT_EQ(R.Modules[0].Model, Model) << Name;
+  RobustReport Rep = R.Modules[0].Report;
+  EXPECT_EQ(Rep.inconsistency(), "") << Rep.toString();
+  return Rep;
+}
+
+} // namespace
+
+// Under the TSO table: SB and LB are NotRobust unfenced (a store lingers
+// across a later load / an observable event), MP and IRIW are Robust
+// (FIFO flushing and thread-exit discharge cover every store), and every
+// fenced sibling is Robust.
+TEST(RobustnessMatrix, TsoVerdicts) {
+  EXPECT_EQ(reportOf("SB", MemModel::TSO, false).Verdict,
+            RobustVerdict::NotRobust);
+  EXPECT_EQ(reportOf("LB", MemModel::TSO, false).Verdict,
+            RobustVerdict::NotRobust);
+  EXPECT_EQ(reportOf("MP", MemModel::TSO, false).Verdict,
+            RobustVerdict::Robust);
+  EXPECT_EQ(reportOf("IRIW", MemModel::TSO, false).Verdict,
+            RobustVerdict::Robust);
+  for (const std::string &Name : workload::litmusNames())
+    EXPECT_EQ(reportOf(Name, MemModel::TSO, true).Verdict,
+              RobustVerdict::Robust)
+        << Name;
+}
+
+// Under the Relaxed table the load axis joins in: IRIW flips to
+// NotRobust (load-load reordering), LB gains a deferred-load witness on
+// top of its store escape, MP stays Robust (the spin test and the print
+// are completion-forcing dependencies), and every fenced sibling stays
+// Robust.
+TEST(RobustnessMatrix, RelaxedVerdicts) {
+  EXPECT_EQ(reportOf("SB", MemModel::Relaxed, false).Verdict,
+            RobustVerdict::NotRobust);
+  EXPECT_EQ(reportOf("LB", MemModel::Relaxed, false).Verdict,
+            RobustVerdict::NotRobust);
+  EXPECT_EQ(reportOf("MP", MemModel::Relaxed, false).Verdict,
+            RobustVerdict::Robust);
+  EXPECT_EQ(reportOf("IRIW", MemModel::Relaxed, false).Verdict,
+            RobustVerdict::NotRobust);
+  for (const std::string &Name : workload::litmusNames())
+    EXPECT_EQ(reportOf(Name, MemModel::Relaxed, true).Verdict,
+              RobustVerdict::Robust)
+        << Name;
+}
+
+// The tentpole separation, statically: the same unfenced IRIW module is
+// Robust under TSO and NotRobust under Relaxed, the Relaxed witness is a
+// load-axis one pairing the readers' two loads, and the fenced sibling
+// is certified Robust under Relaxed.
+TEST(RobustnessMatrix, IriwSeparatesTsoFromRelaxed) {
+  EXPECT_TRUE(reportOf("IRIW", MemModel::TSO, false).robust());
+
+  RobustReport Rlx = reportOf("IRIW", MemModel::Relaxed, false);
+  EXPECT_EQ(Rlx.Verdict, RobustVerdict::NotRobust) << Rlx.toString();
+  bool LoadPair = false;
+  for (const TriangularWitness &W : Rlx.Witnesses)
+    if (W.DeferredLoad && !W.Store.Write && W.Load && !W.Load->Write &&
+        W.Store.Global != W.Load->Global && !W.Tentative)
+      LoadPair = true;
+  EXPECT_TRUE(LoadPair) << Rlx.toString();
+
+  EXPECT_TRUE(reportOf("IRIW", MemModel::Relaxed, true).robust());
+}
+
+// MP under Relaxed is certified through *dependency* certificates: the
+// spin test consumes the flag load and the print consumes the data load,
+// so both deferable loads are completion-forced without any fence.
+TEST(RobustnessMatrix, DependencyCertificatesCoverMp) {
+  RobustReport R = reportOf("MP", MemModel::Relaxed, false);
+  EXPECT_TRUE(R.robust()) << R.toString();
+  EXPECT_EQ(R.DeferableLoads, 2u) << R.toString();
+  EXPECT_EQ(R.CertifiedLoads + R.DivergentLoads, R.DeferableLoads);
+  EXPECT_EQ(R.WitnessedLoads, 0u);
+  bool CmpDep = false, PrintDep = false;
+  for (const FenceCert &C : R.Certificates) {
+    if (!C.DeferredLoad || !C.Dependency)
+      continue;
+    CmpDep = CmpDep || C.DrainText.find("cmpl") != std::string::npos;
+    PrintDep = PrintDep || C.DrainText.find("printl") != std::string::npos;
+  }
+  EXPECT_TRUE(CmpDep) << R.toString();
+  EXPECT_TRUE(PrintDep) << R.toString();
+}
+
+// Load accounting partitions the deferable sites exactly on every
+// Robust report, and the TSO table never counts a deferable load.
+TEST(RobustnessMatrix, LoadAccountingPartitions) {
+  for (const std::string &Name : workload::litmusNames()) {
+    for (bool Fenced : {false, true}) {
+      RobustReport Tso = reportOf(Name, MemModel::TSO, Fenced);
+      EXPECT_EQ(Tso.DeferableLoads, 0u) << Name;
+      EXPECT_EQ(Tso.CertifiedLoads + Tso.WitnessedLoads + Tso.DivergentLoads,
+                0u)
+          << Name;
+      RobustReport Rlx = reportOf(Name, MemModel::Relaxed, Fenced);
+      EXPECT_GT(Rlx.DeferableLoads, 0u) << Name;
+      if (Rlx.robust()) {
+        EXPECT_EQ(Rlx.CertifiedLoads + Rlx.DivergentLoads,
+                  Rlx.DeferableLoads)
+            << Name << " fenced=" << Fenced << "\n"
+            << Rlx.toString();
+        EXPECT_EQ(Rlx.WitnessedLoads, 0u) << Name;
+      }
+    }
+  }
+}
+
+// An SC-declared module is trivially SC-equivalent: the SC reorder table
+// permits nothing, so robustness() short-circuits to Robust with a note
+// and no per-site accounting.
+TEST(RobustnessMatrix, ScTableIsTrivial) {
+  Program P = workload::litmus("SB", MemModel::SC, false);
+  const auto *L =
+      dynamic_cast<const x86::X86Lang *>(P.modules()[0].Lang.get());
+  ASSERT_NE(L, nullptr);
+  RobustReport R = robustness(L->module(), nullptr, MemModel::SC);
+  EXPECT_TRUE(R.robust());
+  EXPECT_EQ(R.Model, MemModel::SC);
+  EXPECT_EQ(R.SharedStores, 0u);
+  EXPECT_EQ(R.DeferableLoads, 0u);
+  EXPECT_EQ(R.inconsistency(), "");
+  EXPECT_FALSE(R.Notes.empty());
+}
+
+// FenceSynth against the Relaxed table: every unfenced NotRobust litmus
+// (SB, LB, IRIW) is repaired to a certified-Robust module with a
+// verified-minimal fence set no larger than the hand-fenced sibling's.
+TEST(RobustnessMatrix, FenceSynthRepairsRelaxedLitmus) {
+  for (const std::string Name : {"SB", "LB", "IRIW"}) {
+    Program P = workload::litmus(Name, MemModel::Relaxed, false);
+    auto Ctxs = robustContexts(P);
+    const ModuleDecl &D = P.modules()[0];
+    const auto *L = dynamic_cast<const x86::X86Lang *>(D.Lang.get());
+    ASSERT_NE(L, nullptr) << Name;
+    auto It = Ctxs.find(D.Name);
+    const RobustContext *Ctx = It == Ctxs.end() ? nullptr : &It->second;
+
+    FenceSynthResult S =
+        synthesizeFences(L->module(), Ctx, MemModel::Relaxed);
+    EXPECT_EQ(S.Outcome, RepairOutcome::Repaired) << Name << "\n"
+                                                  << S.toString();
+    EXPECT_TRUE(S.After.robust()) << Name << "\n" << S.After.toString();
+    EXPECT_EQ(S.After.Model, MemModel::Relaxed) << Name;
+    std::string Why;
+    EXPECT_TRUE(verifyFenceMinimality(L->module(), Ctx, S, &Why,
+                                      MemModel::Relaxed))
+        << Name << ": " << Why;
+
+    // Never more fences than the hand-written sibling spends.
+    Program Hand = workload::litmus(Name, MemModel::Relaxed, true);
+    const auto *HL =
+        dynamic_cast<const x86::X86Lang *>(Hand.modules()[0].Lang.get());
+    ASSERT_NE(HL, nullptr) << Name;
+    EXPECT_LE(S.Fences.size(), mfenceCount(HL->module())) << Name;
+  }
+}
+
+// The end-to-end repair pipeline on a Relaxed program: repair, re-certify,
+// switch to SC, and check dynamically that the repaired program's trace
+// set collapses to the SC reference — the weak outcomes are gone.
+TEST(RobustnessMatrix, RepairPipelineRestoresScTraces) {
+  for (const std::string Name : {"SB", "LB", "IRIW"}) {
+    Program P = workload::litmus(Name, MemModel::Relaxed, false);
+    ProgramRepairReport Rep;
+    unsigned Switched = repairAndApplyScFastPath(P, &Rep);
+    EXPECT_EQ(Rep.ModulesRepaired, 1u) << Name << "\n" << Rep.toString();
+    EXPECT_GE(Switched, 1u) << Name;
+    EXPECT_EQ(P.modules()[0].Lang->memModel(), MemModel::SC) << Name;
+
+    Program Ref = workload::litmus(Name, MemModel::SC, false);
+    EXPECT_EQ(preemptiveTraces(P) == preemptiveTraces(Ref), true) << Name;
+  }
+}
+
+// The deprecated TSO spellings in analysis/TsoRobust.h forward to the
+// generic core: tsoRobustness is robustness under the TSO table.
+TEST(RobustnessMatrix, DeprecatedTsoAliasesForward) {
+  Program P = workload::litmus("SB", MemModel::TSO, false);
+  const auto *L =
+      dynamic_cast<const x86::X86Lang *>(P.modules()[0].Lang.get());
+  ASSERT_NE(L, nullptr);
+  TsoRobustReport Old = tsoRobustness(L->module());
+  RobustReport New = robustness(L->module(), nullptr, MemModel::TSO);
+  EXPECT_EQ(Old.Verdict, New.Verdict);
+  EXPECT_EQ(Old.toString(), New.toString());
+  EXPECT_EQ(std::string(tsoVerdictName(TsoVerdict::NotRobust)),
+            std::string(robustVerdictName(RobustVerdict::NotRobust)));
+}

@@ -90,6 +90,17 @@ def gated_runs(bench):
                     # the POR mode must be part of the baseline key.
                     mode = "por" if e[run].get("por_enabled") else "full"
                     yield e["workload"], f"{run}/{mode}", e[run]
+    for e in bench.get("litmus_matrix", []):
+        # One stats block per cell; the POR-on and POR-off invocation emit
+        # the same cell, so the mode goes into the key like fence_synth.
+        mode = "por" if e["stats"].get("por_enabled") else "full"
+        fencing = "fenced" if e["fenced"] else "plain"
+        yield f"litmus {e['litmus']} {e['model']} {fencing}", mode, e["stats"]
+    for e in bench.get("mixed_model", []):
+        # Both modes run in every invocation (the POR exactness gate), so
+        # both stats blocks are always present.
+        yield f"mixed {e['variant']}", "por", e["por"]
+        yield f"mixed {e['variant']}", "full", e["full"]
 
 
 def main(argv):
