@@ -9,6 +9,7 @@
 #define CASCC_BENCH_BENCHTABLE_H
 
 #include "core/MemModel.h"
+#include "support/JsonOut.h"
 
 #include <chrono>
 #include <optional>
@@ -63,91 +64,96 @@ inline void printBenchHelp(const char *Prog) {
       Prog);
 }
 
-/// Parses the shared flag set. `--help` prints the shared help text and
-/// exits 0; an unknown argument prints it and exits 2.
-inline BenchFlags parseBenchFlags(int argc, char **argv) {
+/// The exit-free core of the shared flag parser, testable in-process.
+/// Returns the parsed flags, or nullopt with \p Err naming the offending
+/// flag. Rejected (each with its own message):
+///  - unknown arguments,
+///  - `--model=` values other than sc/tso/relaxed (including empty),
+///  - duplicate occurrences of any flag (`--no-por --no-por`),
+///  - conflicting `--model=` values (`--model=sc --model=tso`) — a
+///    repeated flag used to silently last-win, so a typo'd script could
+///    run under the wrong model without any diagnostic.
+/// `--help` is NOT consumed here; the exiting wrapper handles it.
+inline std::optional<BenchFlags>
+tryParseBenchFlags(const std::vector<std::string> &Args, std::string &Err) {
   BenchFlags F;
-  const char *Prog = argc > 0 ? argv[0] : "bench";
-  for (int I = 1; I < argc; ++I) {
-    const std::string Arg = argv[I];
+  bool SawPor = false, SawFenceSynth = false, SawCapacity = false;
+  std::string ModelArg;
+  for (const std::string &Arg : Args) {
     if (Arg == "--no-por") {
+      if (SawPor) {
+        Err = "duplicate flag '--no-por'";
+        return std::nullopt;
+      }
+      SawPor = true;
       F.Por = false;
     } else if (Arg == "--no-fence-synth") {
+      if (SawFenceSynth) {
+        Err = "duplicate flag '--no-fence-synth'";
+        return std::nullopt;
+      }
+      SawFenceSynth = true;
       F.FenceSynth = false;
     } else if (Arg == "--capacity") {
+      if (SawCapacity) {
+        Err = "duplicate flag '--capacity'";
+        return std::nullopt;
+      }
+      SawCapacity = true;
       F.Capacity = true;
     } else if (Arg.rfind("--model=", 0) == 0) {
-      F.Model = ccc::parseMemModel(Arg.substr(8));
-      if (!F.Model) {
-        std::fprintf(stderr, "unknown memory model '%s'\n\n",
-                     Arg.substr(8).c_str());
-        printBenchHelp(Prog);
-        std::exit(2);
+      const std::string Val = Arg.substr(8);
+      if (!ModelArg.empty()) {
+        Err = ModelArg == Arg
+                  ? "duplicate flag '" + Arg + "'"
+                  : "conflicting flags '" + ModelArg + "' and '" + Arg + "'";
+        return std::nullopt;
       }
-    } else if (Arg == "--help" || Arg == "-h") {
-      printBenchHelp(Prog);
-      std::exit(0);
+      F.Model = ccc::parseMemModel(Val);
+      if (!F.Model) {
+        Err = "unknown memory model '" + Val + "' in '" + Arg +
+              "' (expected sc|tso|relaxed)";
+        return std::nullopt;
+      }
+      ModelArg = Arg;
     } else {
-      std::fprintf(stderr, "unknown argument '%s'\n\n", Arg.c_str());
-      printBenchHelp(Prog);
-      std::exit(2);
+      Err = "unknown argument '" + Arg + "'";
+      return std::nullopt;
     }
   }
   return F;
 }
 
-/// Escapes a string for embedding in a JSON document.
-inline std::string jsonStr(const std::string &S) {
-  std::string Out = "\"";
-  for (char C : S) {
-    if (C == '"' || C == '\\')
-      Out += '\\';
-    if (C == '\n') {
-      Out += "\\n";
-      continue;
+/// Parses the shared flag set. `--help` prints the shared help text and
+/// exits 0; any rejected argument (see tryParseBenchFlags) prints a
+/// message naming the offending flag and exits 2.
+inline BenchFlags parseBenchFlags(int argc, char **argv) {
+  const char *Prog = argc > 0 ? argv[0] : "bench";
+  std::vector<std::string> Args;
+  for (int I = 1; I < argc; ++I) {
+    const std::string Arg = argv[I];
+    if (Arg == "--help" || Arg == "-h") {
+      printBenchHelp(Prog);
+      std::exit(0);
     }
-    Out += C;
+    Args.push_back(Arg);
   }
-  Out += '"';
-  return Out;
+  std::string Err;
+  std::optional<BenchFlags> F = tryParseBenchFlags(Args, Err);
+  if (!F) {
+    std::fprintf(stderr, "%s\n\n", Err.c_str());
+    printBenchHelp(Prog);
+    std::exit(2);
+  }
+  return *F;
 }
 
-/// Collects raw JSON values under section names and writes them as one
-/// machine-readable document (each section becomes an array of entries),
-/// so benchmark runs can be archived and diffed by tooling.
-class JsonLog {
-public:
-  /// Appends \p RawJson (already valid JSON) to \p Section.
-  void add(const std::string &Section, const std::string &RawJson) {
-    for (auto &S : Sections) {
-      if (S.first == Section) {
-        S.second.push_back(RawJson);
-        return;
-      }
-    }
-    Sections.push_back({Section, {RawJson}});
-  }
+/// Escapes a string for embedding in a JSON document (shared emission
+/// layer: support/JsonOut.h).
+inline std::string jsonStr(const std::string &S) { return ccc::json::str(S); }
 
-  bool write(const std::string &Path) const {
-    std::FILE *F = std::fopen(Path.c_str(), "w");
-    if (!F)
-      return false;
-    std::fprintf(F, "{\n");
-    for (std::size_t I = 0; I < Sections.size(); ++I) {
-      std::fprintf(F, "  %s: [\n", jsonStr(Sections[I].first).c_str());
-      for (std::size_t J = 0; J < Sections[I].second.size(); ++J)
-        std::fprintf(F, "    %s%s\n", Sections[I].second[J].c_str(),
-                     J + 1 < Sections[I].second.size() ? "," : "");
-      std::fprintf(F, "  ]%s\n", I + 1 < Sections.size() ? "," : "");
-    }
-    std::fprintf(F, "}\n");
-    std::fclose(F);
-    return true;
-  }
-
-private:
-  std::vector<std::pair<std::string, std::vector<std::string>>> Sections;
-};
+/// The sectioned JSON document writer, shared with the batch server.
+using JsonLog = ccc::json::Log;
 
 class Table {
 public:

@@ -143,21 +143,7 @@ bool someTraceContains(const TraceSet &T, const std::vector<int64_t> &Ev) {
   return false;
 }
 
-/// A deterministic content hash of a trace set, emitted as a string
-/// field so tools/diff_bench_verdicts.py hard-fails when a workload's
-/// trace set differs POR-on vs POR-off (numeric state counts are
-/// dropped by the differ; this is not).
-std::string traceSetHash(const TraceSet &Tr) {
-  uint64_t H = 1469598103934665603ull; // FNV-1a
-  for (char C : Tr.toString()) {
-    H ^= static_cast<unsigned char>(C);
-    H *= 1099511628211ull;
-  }
-  char Buf[32];
-  std::snprintf(Buf, sizeof(Buf), "%016llx",
-                static_cast<unsigned long long>(H));
-  return Buf;
-}
+using ccc::json::traceSetHash;
 
 /// The litmus matrix: every registry shape under every selected memory
 /// model, fenced and unfenced. Hard gates per cell: the distinguishing

@@ -1,0 +1,315 @@
+//===- bin/ccc_serve.cpp - Batch check server -----------------------------===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+// The verification-as-a-service entry point: a long-running binary that
+// reads `.ccc` workload files — from a request list (`--requests`) and/or
+// a watched job directory (`--jobs-dir`) — runs each file's check
+// requests on the exploration worker pool under per-job budgets, and
+// streams one BENCH-style JSON verdict record per check to stdout. The
+// full run is also written as a sectioned JSON document (`--out`,
+// section "serve") in exactly the BENCH_*.json shape, so
+// tools/diff_bench_verdicts.py diffs a server run against checked-in
+// goldens; the CI smoke test submits the corpus plus one deliberately
+// under-budgeted job and fails on any certificate from a truncated run.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/JobRunner.h"
+#include "frontend/Workload.h"
+#include "support/JsonOut.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+using namespace ccc;
+
+namespace {
+
+struct ServeOptions {
+  std::string RequestsPath;
+  std::string JobsDir;
+  std::string OutPath = "BENCH_serve.json";
+  unsigned Workers = 1;
+  bool Por = true;
+  bool FastPaths = true;
+  bool Once = false;
+  unsigned PollMs = 200;
+  frontend::JobBudget DefaultBudget;
+};
+
+void printHelp(const char *Prog) {
+  std::printf(
+      "usage: %s [options]\n"
+      "\n"
+      "Batch check server: runs .ccc workload files' check requests and\n"
+      "streams one JSON verdict record per check.\n"
+      "\n"
+      "  --requests FILE   request list, one job per line:\n"
+      "                      <path.ccc> [name=ID] [states=N] [ms=X]\n"
+      "                      [bytes=N]\n"
+      "                    ('#' starts a comment; budgets override the\n"
+      "                    --max-* defaults for that job)\n"
+      "  --jobs-dir DIR    watch DIR for .ccc files; each job's verdicts\n"
+      "                    are written next to it as <stem>.verdict.json\n"
+      "                    (a job is skipped while its verdict file\n"
+      "                    exists)\n"
+      "  --once            process what is there now, then exit (instead\n"
+      "                    of polling forever); implied by --requests\n"
+      "                    alone\n"
+      "  --out FILE        sectioned JSON document of the whole run\n"
+      "                    (default BENCH_serve.json, section \"serve\")\n"
+      "  --workers N       exploration worker-pool width (default 1;\n"
+      "                    results are bit-identical at any width)\n"
+      "  --no-por          explore without partial-order reduction\n"
+      "  --no-fast-paths   dynamic-only DRF checks (skip the static\n"
+      "                    lockset certificate and robustness SC switch,\n"
+      "                    so budgets are always observable)\n"
+      "  --max-states N    default per-job state budget (default 2000000)\n"
+      "  --max-ms X        default per-job wall-clock budget in ms\n"
+      "                    (default unlimited)\n"
+      "  --max-bytes N     default per-job intern-store byte budget\n"
+      "                    (default unlimited)\n"
+      "  --poll-ms N       job-directory poll interval (default 200)\n"
+      "  --help            show this text\n"
+      "\n"
+      "Truncated jobs report Inconclusive with the budget that tripped\n"
+      "(truncated_by = states|time|memory), never a certificate.\n",
+      Prog);
+}
+
+[[noreturn]] void usageError(const char *Prog, const std::string &Msg) {
+  std::fprintf(stderr, "%s\n\n", Msg.c_str());
+  printHelp(Prog);
+  std::exit(2);
+}
+
+/// Parses `--flag=V` or `--flag V` style numeric option values.
+bool numValue(const std::vector<std::string> &Args, std::size_t &I,
+              const std::string &Flag, std::string &Out) {
+  const std::string &Arg = Args[I];
+  if (Arg == Flag) {
+    if (I + 1 >= Args.size())
+      return false;
+    Out = Args[++I];
+    return true;
+  }
+  if (Arg.rfind(Flag + "=", 0) == 0) {
+    Out = Arg.substr(Flag.size() + 1);
+    return !Out.empty();
+  }
+  return false;
+}
+
+ServeOptions parseArgs(int argc, char **argv) {
+  const char *Prog = argc > 0 ? argv[0] : "ccc_serve";
+  std::vector<std::string> Args(argv + 1, argv + argc);
+  ServeOptions O;
+  for (std::size_t I = 0; I < Args.size(); ++I) {
+    const std::string &Arg = Args[I];
+    std::string V;
+    if (Arg == "--help" || Arg == "-h") {
+      printHelp(Prog);
+      std::exit(0);
+    } else if (Arg == "--no-por") {
+      O.Por = false;
+    } else if (Arg == "--no-fast-paths") {
+      O.FastPaths = false;
+    } else if (Arg == "--once") {
+      O.Once = true;
+    } else if (numValue(Args, I, "--requests", V)) {
+      O.RequestsPath = V;
+    } else if (numValue(Args, I, "--jobs-dir", V)) {
+      O.JobsDir = V;
+    } else if (numValue(Args, I, "--out", V)) {
+      O.OutPath = V;
+    } else if (numValue(Args, I, "--workers", V)) {
+      O.Workers = static_cast<unsigned>(std::strtoul(V.c_str(), nullptr, 10));
+      if (O.Workers == 0)
+        usageError(Prog, "bad value in '" + Arg + "'");
+    } else if (numValue(Args, I, "--max-states", V)) {
+      O.DefaultBudget.MaxStates =
+          static_cast<unsigned>(std::strtoul(V.c_str(), nullptr, 10));
+    } else if (numValue(Args, I, "--max-ms", V)) {
+      O.DefaultBudget.MaxMs = std::strtod(V.c_str(), nullptr);
+    } else if (numValue(Args, I, "--max-bytes", V)) {
+      O.DefaultBudget.MaxStateBytes = std::strtoull(V.c_str(), nullptr, 10);
+    } else if (numValue(Args, I, "--poll-ms", V)) {
+      O.PollMs = static_cast<unsigned>(std::strtoul(V.c_str(), nullptr, 10));
+    } else {
+      usageError(Prog, "unknown argument '" + Arg + "'");
+    }
+  }
+  if (O.RequestsPath.empty() && O.JobsDir.empty())
+    usageError(Prog, "one of --requests or --jobs-dir is required");
+  return O;
+}
+
+std::optional<std::string> readFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return std::nullopt;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+/// Loads and runs one .ccc file; parse/build failures become one "Error"
+/// outcome so every submitted job yields a record.
+std::vector<frontend::JobOutcome> runFile(const ServeOptions &O,
+                                          const std::string &Path,
+                                          const std::string &Name,
+                                          const frontend::JobBudget &Budget) {
+  frontend::JobSpec S;
+  S.Name = Name;
+  S.Budget = Budget;
+  S.Workers = O.Workers;
+  S.Por = O.Por;
+  S.FastPaths = O.FastPaths;
+
+  std::string FailMsg;
+  std::optional<std::string> Text = readFile(Path);
+  if (!Text) {
+    FailMsg = "cannot read '" + Path + "'";
+  } else {
+    frontend::ParseError PE;
+    std::optional<frontend::WorkloadFile> W =
+        frontend::parseWorkload(*Text, PE);
+    if (!W)
+      FailMsg = Path + ": " + PE.str();
+    else
+      S.W = std::move(*W);
+  }
+  if (!FailMsg.empty()) {
+    frontend::JobOutcome Out;
+    Out.Job = Name;
+    Out.Check = "parse";
+    Out.Verdict = "error";
+    Out.Error = FailMsg;
+    return {Out};
+  }
+  return frontend::runJob(S);
+}
+
+void emit(json::Log &Log, const std::vector<frontend::JobOutcome> &Outs) {
+  for (const frontend::JobOutcome &Out : Outs) {
+    const std::string J = Out.toJson();
+    std::printf("%s\n", J.c_str());
+    std::fflush(stdout);
+    Log.add("serve", J);
+  }
+}
+
+/// One request-list line: `<path> [name=ID] [states=N] [ms=X] [bytes=N]`.
+bool runRequestLine(const ServeOptions &O, const std::string &Line,
+                    unsigned LineNo, json::Log &Log) {
+  std::istringstream SS(Line);
+  std::string Path, Tok;
+  if (!(SS >> Path) || Path[0] == '#')
+    return true; // blank or comment line
+  std::string Name = std::filesystem::path(Path).stem().string();
+  frontend::JobBudget Budget = O.DefaultBudget;
+  while (SS >> Tok) {
+    if (Tok[0] == '#')
+      break;
+    const std::size_t Eq = Tok.find('=');
+    const std::string Key = Tok.substr(0, Eq);
+    const std::string Val = Eq == std::string::npos ? "" : Tok.substr(Eq + 1);
+    if (Key == "name" && !Val.empty()) {
+      Name = Val;
+    } else if (Key == "states" && !Val.empty()) {
+      Budget.MaxStates =
+          static_cast<unsigned>(std::strtoul(Val.c_str(), nullptr, 10));
+    } else if (Key == "ms" && !Val.empty()) {
+      Budget.MaxMs = std::strtod(Val.c_str(), nullptr);
+    } else if (Key == "bytes" && !Val.empty()) {
+      Budget.MaxStateBytes = std::strtoull(Val.c_str(), nullptr, 10);
+    } else {
+      std::fprintf(stderr, "requests line %u: bad token '%s'\n", LineNo,
+                   Tok.c_str());
+      return false;
+    }
+  }
+  emit(Log, runFile(O, Path, Name, Budget));
+  return true;
+}
+
+bool drainRequests(const ServeOptions &O, json::Log &Log) {
+  std::ifstream In(O.RequestsPath);
+  if (!In) {
+    std::fprintf(stderr, "cannot read request list '%s'\n",
+                 O.RequestsPath.c_str());
+    return false;
+  }
+  std::string Line;
+  unsigned LineNo = 0;
+  bool Ok = true;
+  while (std::getline(In, Line))
+    Ok &= runRequestLine(O, Line, ++LineNo, Log);
+  return Ok;
+}
+
+/// One pass over the job directory: every .ccc file without a verdict
+/// file gets run, its verdicts written next to it.
+void pollJobsDir(const ServeOptions &O, json::Log &Log,
+                 std::set<std::string> &Done) {
+  std::error_code EC;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(O.JobsDir, EC)) {
+    if (EC)
+      return;
+    const std::filesystem::path P = Entry.path();
+    if (P.extension() != ".ccc" || Done.count(P.string()))
+      continue;
+    std::filesystem::path VerdictPath = P;
+    VerdictPath.replace_extension(".verdict.json");
+    if (std::filesystem::exists(VerdictPath)) {
+      Done.insert(P.string());
+      continue;
+    }
+    const std::vector<frontend::JobOutcome> Outs =
+        runFile(O, P.string(), P.stem().string(), O.DefaultBudget);
+    emit(Log, Outs);
+    json::Log JobLog;
+    for (const frontend::JobOutcome &Out : Outs)
+      JobLog.add("serve", Out.toJson());
+    JobLog.write(VerdictPath.string());
+    Done.insert(P.string());
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  const ServeOptions O = parseArgs(argc, argv);
+  json::Log Log;
+  bool Ok = true;
+
+  if (!O.RequestsPath.empty())
+    Ok &= drainRequests(O, Log);
+
+  if (!O.JobsDir.empty()) {
+    std::set<std::string> Done;
+    pollJobsDir(O, Log, Done);
+    while (!O.Once) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(O.PollMs));
+      pollJobsDir(O, Log, Done);
+    }
+  }
+
+  if (!Log.write(O.OutPath)) {
+    std::fprintf(stderr, "cannot write '%s'\n", O.OutPath.c_str());
+    Ok = false;
+  }
+  return Ok ? 0 : 1;
+}

@@ -23,7 +23,6 @@ namespace ccc {
 namespace analysis {
 
 using TsoVerdict = RobustVerdict;
-using TsoAccess = RobustAccess;
 using TsoModuleContext = RobustContext;
 using TsoRobustReport = RobustReport;
 using ModuleTsoInfo = ModuleRobustInfo;

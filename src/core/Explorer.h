@@ -78,6 +78,16 @@ namespace ccc {
 struct ExploreOptions {
   /// Maximum number of distinct global states to expand.
   unsigned MaxStates = 2000000;
+  /// Wall-clock budget for build(), in milliseconds (0 = unlimited).
+  /// Checked at layer boundaries; a tripped budget truncates the
+  /// exploration exactly like MaxStates — verdicts become Inconclusive,
+  /// never certificates — with ExploreStats::TruncatedBy = "time".
+  double MaxBuildMs = 0.0;
+  /// Intern-store byte budget (0 = unlimited): the same quantity
+  /// ExploreStats::StateBytes reports (shard tables + records + tree/
+  /// string arenas at capacity). Checked at layer boundaries; tripping
+  /// it truncates with TruncatedBy = "memory".
+  std::size_t MaxStateBytes = 0;
   /// Maximum number of observable events per trace.
   unsigned MaxEvents = 64;
   /// Worker-pool width. 1 (the default) explores serially; any value
@@ -176,6 +186,10 @@ struct ExploreStats {
   /// Partial-order-reduction counters (see PorStats).
   PorStats Por;
   bool Truncated = false;
+  /// Which budget truncated the exploration: "" (not truncated),
+  /// "states" (MaxStates), "time" (MaxBuildMs) or "memory"
+  /// (MaxStateBytes). The first budget that tripped wins.
+  const char *TruncatedBy = "";
   double BuildMs = 0.0;
   double DivergenceMs = 0.0;
   double TraceMs = 0.0;
@@ -232,6 +246,7 @@ struct ExploreStats {
     Field("por_sleep_readds", std::to_string(Por.SleepReadds));
     Field("por_edges_avoided", std::to_string(Por.EdgesAvoided));
     Field("truncated", Truncated ? "true" : "false");
+    Field("truncated_by", std::string("\"") + TruncatedBy + "\"");
     Field("build_ms", std::to_string(BuildMs));
     Field("divergence_ms", std::to_string(DivergenceMs));
     Field("trace_ms", std::to_string(TraceMs));
@@ -323,7 +338,18 @@ public:
     mergeCounters(InitWs);
 
     std::vector<unsigned> Batch;
+    const char *BudgetHit = nullptr;
     while (!Work.empty()) {
+      // Time/memory budgets are checked once per layer; a tripped budget
+      // behaves exactly like the state cap — the remaining queue becomes
+      // frontier nodes and the exploration reports Truncated, so no
+      // verdict downstream can masquerade as a certificate.
+      if (!BudgetHit && Opts.MaxBuildMs > 0.0 &&
+          msSince(BuildStart) >= Opts.MaxBuildMs)
+        BudgetHit = "time";
+      if (!BudgetHit && Opts.MaxStateBytes > 0 &&
+          storeBytes() >= Opts.MaxStateBytes)
+        BudgetHit = "memory";
       // Form the layer exactly as the serial FIFO engine forms its pops:
       // drain in order, skip already-expanded nodes, and once the state
       // cap is reached mark the rest as frontier instead of expanding.
@@ -333,8 +359,10 @@ public:
         Work.pop_front();
         if (Nodes[Idx].Expanded)
           continue;
-        if (NumExpanded >= Opts.MaxStates) {
+        if (NumExpanded >= Opts.MaxStates || BudgetHit) {
           Truncated = true;
+          if (Stats.TruncatedBy[0] == '\0')
+            Stats.TruncatedBy = BudgetHit ? BudgetHit : "states";
           Nodes[Idx].Frontier = true;
           continue;
         }
@@ -766,6 +794,19 @@ private:
     return std::chrono::duration<double, std::milli>(
                std::chrono::steady_clock::now() - Start)
         .count();
+  }
+
+  /// The intern store's current retained bytes (the quantity StateBytes
+  /// reports), cheap enough to poll at layer boundaries for the
+  /// MaxStateBytes budget: 16 shard tables/slab headers plus the store's
+  /// pool accounting.
+  std::size_t storeBytes() const {
+    std::size_t Bytes = 0;
+    for (const Shard &S : Shards)
+      Bytes += S.Table.capacity() * sizeof(uint32_t) +
+               S.Recs.stats().CapacityBytes;
+    const StoreStats SS = Store.stats();
+    return Bytes + SS.ArenaCapacityBytes + SS.TableBytes;
   }
 
   /// Fills the representation-cost counters. StateBytes is the exact

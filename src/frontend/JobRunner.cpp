@@ -1,0 +1,194 @@
+//===- frontend/JobRunner.cpp - Batch check dispatch ----------------------===//
+
+#include "frontend/JobRunner.h"
+
+#include "analysis/FenceSynth.h"
+#include "analysis/RaceDetector.h"
+#include "analysis/Robustness.h"
+#include "clight/ClightParser.h"
+#include "compiler/Compiler.h"
+#include "core/Semantics.h"
+#include "support/JsonOut.h"
+#include "validate/PassValidator.h"
+
+#include <chrono>
+
+using namespace ccc;
+using namespace ccc::frontend;
+
+std::string JobOutcome::toJson() const {
+  std::string J = "{";
+  J += "\"job\": " + json::str(Job);
+  J += ", \"check\": " + json::str(Check);
+  J += ", \"verdict\": " + json::str(Verdict);
+  J += std::string(", \"conclusive\": ") + (Conclusive ? "true" : "false");
+  J += ", \"truncated_by\": " + json::str(TruncatedBy);
+  if (!TraceHash.empty())
+    J += ", \"trace_hash\": " + json::str(TraceHash);
+  // "explored_states" varies between runs of a time/memory-budgeted job,
+  // so its name deliberately carries the differ's "states" drop marker.
+  J += ", \"explored_states\": " + std::to_string(ExploredStates);
+  J += ", \"ms\": " + std::to_string(Ms);
+  if (!Error.empty())
+    J += ", \"error\": " + json::str(Error);
+  if (!ExploreStatsJson.empty())
+    J += ", \"explore\": " + ExploreStatsJson;
+  J += "}";
+  return J;
+}
+
+namespace {
+
+double msSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - Start)
+      .count();
+}
+
+ExploreOptions exploreOptions(const JobSpec &S) {
+  ExploreOptions O;
+  O.MaxStates = S.Budget.MaxStates;
+  O.MaxBuildMs = S.Budget.MaxMs;
+  O.MaxStateBytes = S.Budget.MaxStateBytes;
+  O.Threads = S.Workers;
+  O.Por = S.Por ? PorMode::On : PorMode::Off;
+  return O;
+}
+
+void runExplore(const JobSpec &S, Program &P, JobOutcome &Out) {
+  Explorer<World> E(exploreOptions(S));
+  E.build(World::load(P, 0));
+  const CheckVerdict V = E.safetyVerdict();
+  Out.Verdict = checkVerdictName(V);
+  Out.Conclusive = V != CheckVerdict::Inconclusive;
+  Out.TruncatedBy = E.stats().TruncatedBy;
+  Out.ExploredStates = E.numStates();
+  // The trace set of a truncated exploration is a prefix bound, not the
+  // program's trace set; hash it only when it is the real thing.
+  if (!E.truncated())
+    Out.TraceHash = json::traceSetHash(E.traces());
+  Out.ExploreStatsJson = E.stats().toJson();
+}
+
+void runDrf(const JobSpec &S, Program &P, JobOutcome &Out) {
+  analysis::DetectOptions O;
+  O.UseStaticFastPath = S.FastPaths;
+  O.UseTsoFastPath = S.FastPaths;
+  O.Explore = exploreOptions(S);
+  const analysis::DetectResult R = analysis::detectRaces(P, O);
+  const CheckVerdict V = R.verdict();
+  Out.Verdict = checkVerdictName(V);
+  Out.Conclusive = V != CheckVerdict::Inconclusive;
+  Out.TruncatedBy = R.Explore.TruncatedBy;
+  Out.ExploredStates = R.ExploredStates;
+}
+
+void runRobustness(Program &P, JobOutcome &Out) {
+  const analysis::ProgramRobustReport R = analysis::programRobustness(P);
+  bool AnyNotRobust = false, AnyUnknown = false;
+  for (const analysis::ModuleRobustInfo &M : R.Modules) {
+    AnyNotRobust |= M.Report.Verdict == analysis::RobustVerdict::NotRobust;
+    AnyUnknown |= M.Report.Verdict == analysis::RobustVerdict::Unknown;
+  }
+  Out.Verdict =
+      AnyNotRobust ? "not-robust" : AnyUnknown ? "unknown" : "robust";
+  Out.Conclusive = !AnyUnknown;
+}
+
+void runFenceSynth(Program &P, JobOutcome &Out) {
+  analysis::ProgramRepairReport Rep;
+  analysis::repairAndApplyScFastPath(P, &Rep);
+  Out.Verdict = Rep.allRepaired()
+                    ? checkVerdictName(CheckVerdict::Certified)
+                    : checkVerdictName(CheckVerdict::Inconclusive);
+  Out.Conclusive = Rep.allRepaired();
+}
+
+void runPasses(const JobSpec &S, JobOutcome &Out) {
+  unsigned Validated = 0;
+  for (const ModuleSpec &M : S.W.Modules) {
+    if (M.Lang != SrcLang::Clight)
+      continue;
+    std::string LangErr;
+    std::shared_ptr<clight::Module> Mod =
+        clight::parseModule(M.Source, LangErr);
+    if (!Mod) {
+      Out.Verdict = "error";
+      Out.Error = "module '" + M.Name + "': " + LangErr;
+      return;
+    }
+    const compiler::CompileResult R = compiler::compileClight(Mod);
+    if (!R.VerifyErrors.empty()) {
+      Out.Verdict = checkVerdictName(CheckVerdict::Refuted);
+      Out.Error =
+          "module '" + M.Name + "': " + R.VerifyErrors.front();
+      return;
+    }
+    for (const validate::PassResult &PR :
+         validate::validatePipeline(R, validate::defaultSamples(*Mod))) {
+      if (!PR.Holds) {
+        Out.Verdict = checkVerdictName(CheckVerdict::Refuted);
+        Out.Error = "module '" + M.Name + "', pass " + PR.PassName + ": " +
+                    PR.FailReason;
+        return;
+      }
+    }
+    ++Validated;
+  }
+  if (Validated == 0) {
+    Out.Verdict = checkVerdictName(CheckVerdict::Inconclusive);
+    Out.Error = "no clight modules to validate";
+    return;
+  }
+  Out.Verdict = checkVerdictName(CheckVerdict::Certified);
+  Out.Conclusive = true;
+}
+
+} // namespace
+
+std::vector<JobOutcome> ccc::frontend::runJob(const JobSpec &S) {
+  std::vector<CheckKind> Checks = S.W.Checks;
+  if (Checks.empty())
+    Checks.push_back(CheckKind::Explore);
+
+  std::vector<JobOutcome> Outs;
+  for (CheckKind K : Checks) {
+    JobOutcome Out;
+    Out.Job = S.Name;
+    Out.Check = checkKindName(K);
+    const auto Start = std::chrono::steady_clock::now();
+
+    // Each check gets a fresh build: fence synthesis and the robustness
+    // SC fast path mutate the program in place.
+    std::string BuildErr;
+    std::optional<Program> P = buildProgram(S.W, BuildErr);
+    if (!P) {
+      Out.Verdict = "error";
+      Out.Error = BuildErr;
+      Out.Ms = msSince(Start);
+      Outs.push_back(std::move(Out));
+      continue;
+    }
+
+    switch (K) {
+    case CheckKind::Explore:
+      runExplore(S, *P, Out);
+      break;
+    case CheckKind::Drf:
+      runDrf(S, *P, Out);
+      break;
+    case CheckKind::Robustness:
+      runRobustness(*P, Out);
+      break;
+    case CheckKind::FenceSynth:
+      runFenceSynth(*P, Out);
+      break;
+    case CheckKind::Passes:
+      runPasses(S, Out);
+      break;
+    }
+    Out.Ms = msSince(Start);
+    Outs.push_back(std::move(Out));
+  }
+  return Outs;
+}

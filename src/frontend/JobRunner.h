@@ -1,0 +1,111 @@
+//===- frontend/JobRunner.h - Batch check dispatch --------------*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The server-side half of the front end: runs the check requests of a
+/// parsed workload file (explore / DRF / robustness / fence synthesis /
+/// pass validation) on the exploration worker pool, under per-job state,
+/// wall-clock, and intern-store byte budgets, and renders one BENCH-style
+/// JSON verdict record per check.
+///
+/// Budget soundness is the load-bearing property: a budgeted check that
+/// gets truncated reports `Inconclusive` with `conclusive=false` and the
+/// budget that tripped — never a certificate. The enforcement lives in
+/// the engine (Explorer's budgets flow into `safetyVerdict()` /
+/// `checkRace()` / `DetectResult::Conclusive`, PR 2 tri-state
+/// discipline); this layer only forwards the budgets and reports
+/// `ExploreStats::TruncatedBy` faithfully.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_FRONTEND_JOBRUNNER_H
+#define CASCC_FRONTEND_JOBRUNNER_H
+
+#include "frontend/Workload.h"
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace ccc {
+namespace frontend {
+
+/// Per-job resource budgets. Zero means unlimited; the defaults are the
+/// engine's own defaults.
+struct JobBudget {
+  /// Maximum states to expand (ExploreOptions::MaxStates).
+  unsigned MaxStates = 2000000;
+  /// Wall-clock milliseconds per exploration (ExploreOptions::MaxBuildMs).
+  double MaxMs = 0.0;
+  /// Intern-store bytes (ExploreOptions::MaxStateBytes).
+  std::size_t MaxStateBytes = 0;
+};
+
+/// One job: a workload (typically parsed from a `.ccc` file) plus the
+/// budgets and engine knobs it runs under.
+struct JobSpec {
+  /// Job name, echoed into every verdict record.
+  std::string Name;
+  WorkloadFile W;
+  JobBudget Budget;
+  /// Worker-pool width for the explorations (bit-identical results at
+  /// any width; PR 2).
+  unsigned Workers = 1;
+  /// Partial-order reduction for the explorations.
+  bool Por = true;
+  /// Static fast paths of the DRF check (lockset certificate, robustness
+  /// SC switch). Off = dynamic-only mode: every verdict comes from the
+  /// budgeted exploration, so budget truncation is observable — the mode
+  /// the budget-soundness tests and smoke test pin.
+  bool FastPaths = true;
+};
+
+/// The outcome of one check of one job.
+struct JobOutcome {
+  std::string Job;
+  std::string Check;   ///< checkKindName of the request.
+  /// "certified" / "refuted" / "inconclusive" for the tri-state checks
+  /// (checkVerdictName), "robust" / "not-robust" / "unknown" for
+  /// robustness (robustVerdictName's spellings), "error" when the
+  /// workload failed to build (Error then says why).
+  std::string Verdict;
+  /// False whenever the verdict is not a certificate/refutation — i.e.
+  /// a truncated, Unknown, or errored run.
+  bool Conclusive = false;
+  /// Which budget truncated the run: "" / "states" / "time" / "memory".
+  std::string TruncatedBy;
+  /// FNV-1a trace-set hash (explore check only; empty otherwise). The
+  /// verdict differ hard-compares it.
+  std::string TraceHash;
+  std::size_t ExploredStates = 0;
+  double Ms = 0.0;
+  std::string Error;
+  /// Full ExploreStats::toJson() of the explore check (empty for the
+  /// other checks). Nested under "explore" in the record, which puts
+  /// server runs under the same tools/check_bench_memory.py gate as the
+  /// bench binaries; the verdict differ keeps only its truncated /
+  /// truncated_by fields.
+  std::string ExploreStatsJson;
+
+  /// One BENCH-style JSON record (json::Log entry shape). Float fields
+  /// are dropped by tools/diff_bench_verdicts.py; everything else is
+  /// hard-compared, so a certificate from a truncated job diffs against
+  /// the golden and fails CI.
+  std::string toJson() const;
+};
+
+/// Runs every check request of \p S (in file order) and returns one
+/// outcome per check. A workload with no `check` directives yields a
+/// single "explore" outcome, so every job produces at least one record.
+/// Build failures yield one "error" outcome per requested check; this
+/// function does not throw and does not abort on malformed workloads.
+std::vector<JobOutcome> runJob(const JobSpec &S);
+
+} // namespace frontend
+} // namespace ccc
+
+#endif // CASCC_FRONTEND_JOBRUNNER_H

@@ -1,0 +1,422 @@
+//===- frontend/Workload.cpp - Text front end for workload files ----------===//
+
+#include "frontend/Workload.h"
+
+#include "cimp/CImpLang.h"
+#include "cimp/CImpParser.h"
+#include "clight/ClightLang.h"
+#include "clight/ClightParser.h"
+#include "compiler/Compiler.h"
+#include "x86/X86Lang.h"
+#include "x86/X86Parser.h"
+
+#include <cctype>
+#include <cstdlib>
+
+using namespace ccc;
+using namespace ccc::frontend;
+
+const char *ccc::frontend::srcLangName(SrcLang L) {
+  switch (L) {
+  case SrcLang::Clight:
+    return "clight";
+  case SrcLang::CImp:
+    return "cimp";
+  case SrcLang::X86:
+    return "x86";
+  }
+  return "?";
+}
+
+std::optional<SrcLang> ccc::frontend::parseSrcLang(const std::string &S) {
+  if (S == "clight")
+    return SrcLang::Clight;
+  if (S == "cimp")
+    return SrcLang::CImp;
+  if (S == "x86")
+    return SrcLang::X86;
+  return std::nullopt;
+}
+
+const char *ccc::frontend::checkKindName(CheckKind K) {
+  switch (K) {
+  case CheckKind::Explore:
+    return "explore";
+  case CheckKind::Drf:
+    return "drf";
+  case CheckKind::Robustness:
+    return "robustness";
+  case CheckKind::FenceSynth:
+    return "fence-synth";
+  case CheckKind::Passes:
+    return "passes";
+  }
+  return "?";
+}
+
+std::optional<CheckKind> ccc::frontend::parseCheckKind(const std::string &S) {
+  if (S == "explore")
+    return CheckKind::Explore;
+  if (S == "drf")
+    return CheckKind::Drf;
+  if (S == "robustness")
+    return CheckKind::Robustness;
+  if (S == "fence-synth")
+    return CheckKind::FenceSynth;
+  if (S == "passes")
+    return CheckKind::Passes;
+  return std::nullopt;
+}
+
+namespace {
+
+/// A cursor over the description text. Directives are line-oriented;
+/// module bodies are captured verbatim by brace balance.
+class Cursor {
+public:
+  explicit Cursor(const std::string &Text) : Text(Text) {}
+
+  unsigned line() const { return Line; }
+  bool atEnd() const { return Pos >= Text.size(); }
+
+  /// Skips whitespace and `#`/`//` comments (which run to end of line).
+  void skipTrivia() {
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C == '\n') {
+        ++Line;
+        ++Pos;
+      } else if (std::isspace(static_cast<unsigned char>(C))) {
+        ++Pos;
+      } else if (C == '#' || (C == '/' && Pos + 1 < Text.size() &&
+                              Text[Pos + 1] == '/')) {
+        while (Pos < Text.size() && Text[Pos] != '\n')
+          ++Pos;
+      } else {
+        return;
+      }
+    }
+  }
+
+  /// Reads one word: a maximal run of non-space, non-brace characters.
+  /// Empty at end of input or before a brace.
+  std::string word() {
+    skipTrivia();
+    std::string W;
+    while (Pos < Text.size() &&
+           !std::isspace(static_cast<unsigned char>(Text[Pos])) &&
+           Text[Pos] != '{' && Text[Pos] != '}' && Text[Pos] != '#')
+      W += Text[Pos++];
+    return W;
+  }
+
+  /// True when the next non-trivia character is \p C; consumes it.
+  bool eat(char C) {
+    skipTrivia();
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  /// True when the rest of the current line (before any comment) is
+  /// blank. Directives must not carry trailing junk.
+  bool restOfLineBlank() {
+    std::size_t P = Pos;
+    while (P < Text.size() && Text[P] != '\n') {
+      char C = Text[P];
+      if (C == '#' || (C == '/' && P + 1 < Text.size() && Text[P + 1] == '/'))
+        return true;
+      if (!std::isspace(static_cast<unsigned char>(C)))
+        return false;
+      ++P;
+    }
+    return true;
+  }
+
+  /// Captures everything up to the brace matching an already-consumed
+  /// `{`, verbatim; consumes the closing brace. Returns false at EOF
+  /// (unterminated body).
+  bool body(std::string &Out) {
+    unsigned Depth = 1;
+    Out.clear();
+    while (Pos < Text.size()) {
+      char C = Text[Pos];
+      if (C == '{')
+        ++Depth;
+      else if (C == '}' && --Depth == 0) {
+        ++Pos;
+        return true;
+      } else if (C == '\n')
+        ++Line;
+      Out += C;
+      ++Pos;
+    }
+    return false;
+  }
+
+private:
+  const std::string &Text;
+  std::size_t Pos = 0;
+  unsigned Line = 1;
+};
+
+bool fail(ParseError &Err, unsigned Line, std::string Msg) {
+  Err.Message = std::move(Msg);
+  Err.Line = Line;
+  return false;
+}
+
+bool parseModuleDecl(Cursor &C, WorkloadFile &W, ParseError &Err) {
+  ModuleSpec M;
+  const unsigned DeclLine = C.line();
+  M.Name = C.word();
+  if (M.Name.empty())
+    return fail(Err, C.line(), "expected module name after 'module'");
+  for (const ModuleSpec &Prev : W.Modules)
+    if (Prev.Name == M.Name)
+      return fail(Err, DeclLine, "duplicate module name '" + M.Name + "'");
+
+  const std::string LangWord = C.word();
+  std::optional<SrcLang> L = parseSrcLang(LangWord);
+  if (!L)
+    return fail(Err, C.line(),
+                "unknown module language '" + LangWord +
+                    "' (expected clight|cimp|x86)");
+  M.Lang = *L;
+
+  // Attributes until the opening brace.
+  for (;;) {
+    if (C.eat('{'))
+      break;
+    const std::string Attr = C.word();
+    if (Attr.empty())
+      return fail(Err, C.line(),
+                  "expected attribute or '{' in module '" + M.Name + "'");
+    if (Attr == "model") {
+      const std::string Val = C.word();
+      std::optional<MemModel> MM = parseMemModel(Val);
+      if (!MM)
+        return fail(Err, C.line(),
+                    "unknown memory model '" + Val +
+                        "' (expected sc|tso|relaxed)");
+      if (M.Model)
+        return fail(Err, C.line(),
+                    "duplicate 'model' attribute in module '" + M.Name + "'");
+      M.Model = MM;
+    } else if (Attr == "object") {
+      if (M.Object)
+        return fail(Err, C.line(),
+                    "duplicate 'object' attribute in module '" + M.Name +
+                        "'");
+      M.Object = true;
+    } else if (Attr == "compile") {
+      if (M.Compile)
+        return fail(Err, C.line(),
+                    "duplicate 'compile' attribute in module '" + M.Name +
+                        "'");
+      M.Compile = true;
+    } else {
+      return fail(Err, C.line(),
+                  "unknown module attribute '" + Attr +
+                      "' (expected model|object|compile)");
+    }
+  }
+
+  if (M.Compile && M.Lang != SrcLang::Clight)
+    return fail(Err, DeclLine,
+                "'compile' requires a clight module ('" + M.Name + "' is " +
+                    srcLangName(M.Lang) + ")");
+  if (M.Model && M.Lang != SrcLang::X86 && !M.Compile)
+    return fail(Err, DeclLine,
+                "'model' applies to x86 or compiled clight modules only "
+                "('" +
+                    M.Name + "' is interpreted " + srcLangName(M.Lang) + ")");
+  if (M.Object && M.Lang == SrcLang::Clight)
+    return fail(Err, DeclLine,
+                "'object' applies to cimp or x86 modules only ('" + M.Name +
+                    "' is clight)");
+
+  if (!C.body(M.Source))
+    return fail(Err, DeclLine,
+                "unterminated body of module '" + M.Name +
+                    "' (missing '}')");
+  W.Modules.push_back(std::move(M));
+  return true;
+}
+
+bool parseThreadDecl(Cursor &C, WorkloadFile &W, ParseError &Err) {
+  ThreadSpec T;
+  T.Entry = C.word();
+  if (T.Entry.empty())
+    return fail(Err, C.line(), "expected entry name after 'thread'");
+  while (!C.restOfLineBlank()) {
+    const unsigned Line = C.line();
+    const std::string Arg = C.word();
+    char *End = nullptr;
+    long V = std::strtol(Arg.c_str(), &End, 10);
+    if (Arg.empty() || End == Arg.c_str() || *End != '\0')
+      return fail(Err, Line,
+                  "bad thread argument '" + Arg + "' (expected an integer)");
+    T.Args.push_back(static_cast<int32_t>(V));
+  }
+  W.Threads.push_back(std::move(T));
+  return true;
+}
+
+} // namespace
+
+std::optional<WorkloadFile>
+ccc::frontend::parseWorkload(const std::string &Text, ParseError &Err) {
+  WorkloadFile W;
+  Cursor C(Text);
+  bool SawName = false;
+  for (;;) {
+    C.skipTrivia();
+    if (C.atEnd())
+      break;
+    const unsigned Line = C.line();
+    const std::string Kw = C.word();
+    if (Kw == "workload") {
+      if (SawName) {
+        fail(Err, Line, "duplicate 'workload' directive");
+        return std::nullopt;
+      }
+      // The name must sit on the same line as the directive — otherwise
+      // "workload\nmodule ..." would swallow the next keyword as a name.
+      if (C.restOfLineBlank() || (W.Name = C.word()).empty()) {
+        fail(Err, Line, "expected workload name after 'workload'");
+        return std::nullopt;
+      }
+      SawName = true;
+    } else if (Kw == "module") {
+      if (!parseModuleDecl(C, W, Err))
+        return std::nullopt;
+    } else if (Kw == "thread") {
+      if (!parseThreadDecl(C, W, Err))
+        return std::nullopt;
+    } else if (Kw == "check") {
+      const std::string Name = C.word();
+      std::optional<CheckKind> K = parseCheckKind(Name);
+      if (!K) {
+        fail(Err, Line,
+             "unknown check '" + Name +
+                 "' (expected explore|drf|robustness|fence-synth|passes)");
+        return std::nullopt;
+      }
+      W.Checks.push_back(*K);
+    } else {
+      fail(Err, Line,
+           Kw.empty() ? "unexpected character"
+                      : "unknown directive '" + Kw +
+                            "' (expected workload|module|thread|check)");
+      return std::nullopt;
+    }
+  }
+  if (W.Modules.empty()) {
+    fail(Err, C.line(), "workload declares no modules");
+    return std::nullopt;
+  }
+  if (W.Threads.empty()) {
+    fail(Err, C.line(), "workload declares no threads");
+    return std::nullopt;
+  }
+  return W;
+}
+
+std::string ccc::frontend::printWorkload(const WorkloadFile &W) {
+  std::string Out;
+  if (!W.Name.empty())
+    Out += "workload " + W.Name + "\n\n";
+  for (const ModuleSpec &M : W.Modules) {
+    Out += "module " + M.Name + " " + srcLangName(M.Lang);
+    if (M.Model)
+      Out += std::string(" model ") + memModelName(*M.Model);
+    if (M.Object)
+      Out += " object";
+    if (M.Compile)
+      Out += " compile";
+    Out += " {" + M.Source + "}\n\n";
+  }
+  for (const ThreadSpec &T : W.Threads) {
+    Out += "thread " + T.Entry;
+    for (int32_t A : T.Args)
+      Out += " " + std::to_string(A);
+    Out += "\n";
+  }
+  if (!W.Threads.empty() && !W.Checks.empty())
+    Out += "\n";
+  for (CheckKind K : W.Checks)
+    Out += std::string("check ") + checkKindName(K) + "\n";
+  return Out;
+}
+
+std::optional<Program> ccc::frontend::buildProgram(const WorkloadFile &W,
+                                                   std::string &Err) {
+  Program P;
+  for (const ModuleSpec &M : W.Modules) {
+    std::string LangErr;
+    switch (M.Lang) {
+    case SrcLang::Clight: {
+      std::shared_ptr<clight::Module> Mod =
+          clight::parseModule(M.Source, LangErr);
+      if (!Mod) {
+        Err = "module '" + M.Name + "': " + LangErr;
+        return std::nullopt;
+      }
+      if (M.Compile) {
+        compiler::CompileResult R = compiler::compileClight(Mod);
+        if (!R.VerifyErrors.empty()) {
+          Err = "module '" + M.Name +
+                "': compile-pipeline verifier: " + R.VerifyErrors.front();
+          return std::nullopt;
+        }
+        x86::addAsmModule(P, M.Name, R.Asm,
+                          M.Model.value_or(MemModel::TSO));
+      } else {
+        clight::addClightModule(P, M.Name, Mod);
+      }
+      break;
+    }
+    case SrcLang::CImp: {
+      // No parsed-module registration overload exists for CImp; validate
+      // first so a bad body surfaces here as an error, then register by
+      // source (the helper re-parses the now known-good text).
+      if (!cimp::parseModule(M.Source, LangErr)) {
+        Err = "module '" + M.Name + "': " + LangErr;
+        return std::nullopt;
+      }
+      cimp::addCImpModule(P, M.Name, M.Source, M.Object);
+      break;
+    }
+    case SrcLang::X86: {
+      std::shared_ptr<x86::Module> Mod = x86::parseAsm(M.Source, LangErr);
+      if (!Mod) {
+        Err = "module '" + M.Name + "': " + LangErr;
+        return std::nullopt;
+      }
+      x86::addAsmModule(P, M.Name, Mod, M.Model.value_or(MemModel::TSO),
+                        M.Object);
+      break;
+    }
+    }
+  }
+  for (const ThreadSpec &T : W.Threads) {
+    std::vector<Value> Args;
+    for (int32_t A : T.Args)
+      Args.push_back(Value::makeInt(A));
+    P.addThread(T.Entry, std::move(Args));
+  }
+  P.link();
+  for (const ThreadSpec &T : W.Threads) {
+    std::vector<Value> Args;
+    for (int32_t A : T.Args)
+      Args.push_back(Value::makeInt(A));
+    if (!P.resolveEntry(T.Entry, Args)) {
+      Err = "thread entry '" + T.Entry + "' is not defined by any module";
+      return std::nullopt;
+    }
+  }
+  return P;
+}

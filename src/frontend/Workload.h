@@ -1,0 +1,125 @@
+//===- frontend/Workload.h - Text front end for workload files --*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The compile-from-source front end: a parser for `.ccc` workload
+/// description files that declare named modules (Clight, CImp, or x86
+/// source with a per-module memory model), thread roots, and check
+/// requests, plus the builder that compiles and links them through the
+/// existing pipeline into a `Program`. Scenario diversity becomes a data
+/// problem: dropping a file into the corpus (or the server's job
+/// directory) replaces writing and relinking a C++ generator.
+///
+/// Grammar (line-oriented outside module bodies; `#` and `//` start
+/// comments):
+///
+///   workload <name>                        -- optional, once
+///   module <name> <clight|cimp|x86>
+///          [model <sc|tso|relaxed>] [object] [compile] {
+///     ...module source, passed verbatim to the language parser...
+///   }
+///   thread <entry> [int-arg...]
+///   check <explore|drf|robustness|fence-synth|passes>
+///
+/// `model` declares an x86 module's memory model (default tso) or the
+/// target model of a `compile`d Clight module; interpreted Clight and
+/// CImp modules run SC and reject the attribute. `object` marks a
+/// synchronization-object module (its globals become object-owned, like
+/// sync::addGammaLock). `compile` runs a Clight module through the full
+/// Fig. 11 pipeline and links the compiled assembly instead of the
+/// source interpretation. Module bodies are captured by brace balance —
+/// the embedded languages' braces all nest, and none of them uses a
+/// brace inside a string or comment.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_FRONTEND_WORKLOAD_H
+#define CASCC_FRONTEND_WORKLOAD_H
+
+#include "core/MemModel.h"
+#include "core/Program.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace ccc {
+namespace frontend {
+
+/// The source language of one module declaration.
+enum class SrcLang { Clight, CImp, X86 };
+
+const char *srcLangName(SrcLang L);
+std::optional<SrcLang> parseSrcLang(const std::string &S);
+
+/// One check request; dispatched by the job runner (JobRunner.h).
+enum class CheckKind { Explore, Drf, Robustness, FenceSynth, Passes };
+
+const char *checkKindName(CheckKind K);
+std::optional<CheckKind> parseCheckKind(const std::string &S);
+
+/// One `module` declaration, source still in text form.
+struct ModuleSpec {
+  std::string Name;
+  SrcLang Lang = SrcLang::CImp;
+  /// Declared model (x86 / compiled Clight); nullopt = attribute absent
+  /// (x86 defaults to TSO at build time, everything else runs SC).
+  std::optional<MemModel> Model;
+  bool Object = false;
+  bool Compile = false;
+  /// The body text between the braces, verbatim.
+  std::string Source;
+};
+
+/// One `thread` declaration.
+struct ThreadSpec {
+  std::string Entry;
+  std::vector<int32_t> Args;
+};
+
+/// A parsed workload description file.
+struct WorkloadFile {
+  std::string Name;
+  std::vector<ModuleSpec> Modules;
+  std::vector<ThreadSpec> Threads;
+  std::vector<CheckKind> Checks;
+};
+
+/// A parse failure: message plus 1-based source line.
+struct ParseError {
+  std::string Message;
+  unsigned Line = 0;
+
+  std::string str() const {
+    return "line " + std::to_string(Line) + ": " + Message;
+  }
+};
+
+/// Parses workload description text. Returns nullopt and fills \p Err on
+/// malformed input — never aborts, whatever the input (the fuzz test
+/// feeds it truncations and garbage). Structural validation (duplicate
+/// module names, unknown languages/models/checks, attribute misuse,
+/// missing threads) happens here; module *bodies* are validated by
+/// buildProgram, which runs the language parsers.
+std::optional<WorkloadFile> parseWorkload(const std::string &Text,
+                                          ParseError &Err);
+
+/// Prints \p W in canonical form. print(parse(print(W))) == print(W):
+/// the round-trip fixpoint the corpus test pins.
+std::string printWorkload(const WorkloadFile &W);
+
+/// Compiles and links \p W into a Program through the existing pipeline
+/// (language parsers, compileClight for `compile` modules, the linker).
+/// Returns nullopt and fills \p Err on the first module whose source
+/// fails its language parser, a compile-mode verifier finding, or a
+/// thread entry no module defines. The returned program is linked.
+std::optional<Program> buildProgram(const WorkloadFile &W, std::string &Err);
+
+} // namespace frontend
+} // namespace ccc
+
+#endif // CASCC_FRONTEND_WORKLOAD_H

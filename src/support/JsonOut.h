@@ -1,0 +1,110 @@
+//===- support/JsonOut.h - Shared machine-readable JSON emission -*- C++ -*-===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one JSON emission layer shared by the bench binaries and the batch
+/// check server: string escaping, the sectioned JsonLog document writer
+/// (BENCH_*.json and the server's verdict stream use the same shape, so
+/// tools/diff_bench_verdicts.py and tools/check_bench_memory.py read
+/// both), and the FNV-1a trace-set content hash the verdict differ
+/// hard-compares.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef CASCC_SUPPORT_JSONOUT_H
+#define CASCC_SUPPORT_JSONOUT_H
+
+#include "core/Trace.h"
+
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace ccc {
+namespace json {
+
+/// Escapes a string for embedding in a JSON document.
+inline std::string str(const std::string &S) {
+  std::string Out = "\"";
+  for (char C : S) {
+    if (C == '"' || C == '\\')
+      Out += '\\';
+    if (C == '\n') {
+      Out += "\\n";
+      continue;
+    }
+    Out += C;
+  }
+  Out += '"';
+  return Out;
+}
+
+/// A deterministic content hash of a trace set, emitted as a string field
+/// so tools/diff_bench_verdicts.py hard-fails when a workload's trace set
+/// differs between two runs (numeric state counts are dropped by the
+/// differ; this is not).
+inline std::string traceSetHash(const TraceSet &Tr) {
+  uint64_t H = 1469598103934665603ull; // FNV-1a
+  for (char C : Tr.toString()) {
+    H ^= static_cast<unsigned char>(C);
+    H *= 1099511628211ull;
+  }
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "%016llx",
+                static_cast<unsigned long long>(H));
+  return Buf;
+}
+
+/// Collects raw JSON values under section names and writes them as one
+/// machine-readable document (each section becomes an array of entries),
+/// so benchmark and server runs can be archived and diffed by tooling.
+class Log {
+public:
+  /// Appends \p RawJson (already valid JSON) to \p Section.
+  void add(const std::string &Section, const std::string &RawJson) {
+    for (auto &S : Sections) {
+      if (S.first == Section) {
+        S.second.push_back(RawJson);
+        return;
+      }
+    }
+    Sections.push_back({Section, {RawJson}});
+  }
+
+  bool write(const std::string &Path) const {
+    std::FILE *F = std::fopen(Path.c_str(), "w");
+    if (!F)
+      return false;
+    std::fprintf(F, "%s", toString().c_str());
+    std::fclose(F);
+    return true;
+  }
+
+  /// The document text (the server streams it instead of writing a file).
+  std::string toString() const {
+    std::string Out = "{\n";
+    for (std::size_t I = 0; I < Sections.size(); ++I) {
+      Out += "  " + str(Sections[I].first) + ": [\n";
+      for (std::size_t J = 0; J < Sections[I].second.size(); ++J) {
+        Out += "    " + Sections[I].second[J];
+        Out += J + 1 < Sections[I].second.size() ? ",\n" : "\n";
+      }
+      Out += I + 1 < Sections.size() ? "  ],\n" : "  ]\n";
+    }
+    Out += "}\n";
+    return Out;
+  }
+
+private:
+  std::vector<std::pair<std::string, std::vector<std::string>>> Sections;
+};
+
+} // namespace json
+} // namespace ccc
+
+#endif // CASCC_SUPPORT_JSONOUT_H

@@ -20,8 +20,12 @@ struct LocalCfg {
 
 /// Explores the module-local configurations reachable from an entry,
 /// invoking \p Visit on every configuration. Paths stop at ExtCall/Ret
-/// (where control leaves the module) and at aborts.
-void exploreLocal(const Program &P, unsigned ModIdx,
+/// (where control leaves the module) and at aborts. Returns true when
+/// the MaxStates bound stopped the walk with work still pending — the
+/// visited set is then a prefix of the reachable set, and the caller
+/// must not present its verdict as a certificate (tri-state
+/// discipline).
+bool exploreLocal(const Program &P, unsigned ModIdx,
                   const std::string &Entry, const std::vector<Value> &Args,
                   unsigned MaxStates,
                   const std::function<void(const LocalCfg &,
@@ -30,7 +34,7 @@ void exploreLocal(const Program &P, unsigned ModIdx,
   FreeList F = P.threadRegion(0).subRegion(0, Program::FrameRegionSize);
   CoreRef C0 = Mod.Lang->initCore(Entry, Args);
   if (!C0)
-    return;
+    return false;
   std::deque<LocalCfg> Work;
   std::set<std::string> Seen;
   Work.push_back({C0, P.initialMem()});
@@ -50,6 +54,22 @@ void exploreLocal(const Program &P, unsigned ModIdx,
       Work.push_back({S.Next, S.NextMem});
     }
   }
+  // Pending duplicates are not truncation; only an unseen configuration
+  // left behind means the reachable set was not exhausted.
+  for (const LocalCfg &Cfg : Work)
+    if (!Seen.count(Cfg.C->key() + "#" + Cfg.M.key()))
+      return true;
+  return false;
+}
+
+/// Stamps a truncated exploration into the report: Truncated plus an Ok
+/// veto, so a prefix check never reads as a pass.
+void noteTruncation(CheckReport &R, bool Truncated, unsigned MaxStates) {
+  if (!Truncated)
+    return;
+  R.Truncated = true;
+  R.violate("state bound exceeded (MaxStates=" + std::to_string(MaxStates) +
+            "): truncated run checks a prefix, not a certificate");
 }
 
 /// Perturbations of \p M that keep LEqPre(M, M', FP, F): change values at
@@ -96,8 +116,9 @@ CheckReport ccc::validate::wdCheck(const Program &P, unsigned ModIdx,
                                    CheckOptions Opts) {
   CheckReport R;
   const ModuleDecl &Mod = P.module(ModIdx);
-  exploreLocal(P, ModIdx, Entry, Args, Opts.MaxStates,
-               [&](const LocalCfg &Cfg, const FreeList &F) {
+  const bool Truncated =
+      exploreLocal(P, ModIdx, Entry, Args, Opts.MaxStates,
+                   [&](const LocalCfg &Cfg, const FreeList &F) {
     ++R.StatesChecked;
     auto Steps = Mod.Lang->step(F, *Cfg.C, Cfg.M);
 
@@ -166,6 +187,7 @@ CheckReport ccc::validate::wdCheck(const Program &P, unsigned ModIdx,
       }
     }
   });
+  noteTruncation(R, Truncated, Opts.MaxStates);
   return R;
 }
 
@@ -175,14 +197,16 @@ CheckReport ccc::validate::detCheck(const Program &P, unsigned ModIdx,
                                     CheckOptions Opts) {
   CheckReport R;
   const ModuleDecl &Mod = P.module(ModIdx);
-  exploreLocal(P, ModIdx, Entry, Args, Opts.MaxStates,
-               [&](const LocalCfg &Cfg, const FreeList &F) {
+  const bool Truncated =
+      exploreLocal(P, ModIdx, Entry, Args, Opts.MaxStates,
+                   [&](const LocalCfg &Cfg, const FreeList &F) {
     ++R.StatesChecked;
     auto Steps = Mod.Lang->step(F, *Cfg.C, Cfg.M);
     R.StepsChecked += static_cast<unsigned>(Steps.size());
     if (Steps.size() > 1)
       R.violate("non-deterministic configuration: " + Cfg.C->key());
   });
+  noteTruncation(R, Truncated, Opts.MaxStates);
   return R;
 }
 
@@ -213,8 +237,9 @@ CheckReport ccc::validate::reachCloseCheck(const Program &P,
     return Out;
   };
 
-  exploreLocal(P, ModIdx, Entry, Args, Opts.MaxStates,
-               [&](const LocalCfg &Cfg, const FreeList &F) {
+  const bool Truncated =
+      exploreLocal(P, ModIdx, Entry, Args, Opts.MaxStates,
+                   [&](const LocalCfg &Cfg, const FreeList &F) {
     ++R.StatesChecked;
     for (const Mem &M2 : relyVariants(Cfg.M)) {
       if (!relyR(Cfg.M, M2, F, S))
@@ -229,5 +254,6 @@ CheckReport ccc::validate::reachCloseCheck(const Program &P,
       }
     }
   });
+  noteTruncation(R, Truncated, Opts.MaxStates);
   return R;
 }

@@ -36,6 +36,11 @@ namespace validate {
 /// Result of a wd / det / ReachClose run.
 struct CheckReport {
   bool Ok = true;
+  /// The MaxStates bound stopped the local exploration before the
+  /// reachable set was exhausted. A truncated run is a prefix check, not
+  /// a certificate: Ok is forced false (with a violation naming the
+  /// bound) so no caller can mistake it for one.
+  bool Truncated = false;
   unsigned StatesChecked = 0;
   unsigned StepsChecked = 0;
   std::vector<std::string> Violations;

@@ -1,0 +1,125 @@
+//===- tests/BenchFlagsTest.cpp - Shared bench flag parser rejections -----===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+// Regression tests for the exit-free core of benchtable::parseBenchFlags.
+// The pre-fix parser silently accepted duplicate flags and let a repeated
+// `--model=` last-win, so `--model=sc --model=tso` ran under TSO with no
+// diagnostic; every rejection path below names the offending flag.
+//
+//===----------------------------------------------------------------------===//
+
+#include "bench/BenchTable.h"
+
+#include "gtest/gtest.h"
+
+namespace {
+
+using benchtable::BenchFlags;
+using benchtable::tryParseBenchFlags;
+
+std::optional<BenchFlags> parse(std::vector<std::string> Args,
+                                std::string &Err) {
+  Err.clear();
+  return tryParseBenchFlags(Args, Err);
+}
+
+TEST(BenchFlagsTest, DefaultsWithNoArgs) {
+  std::string Err;
+  auto F = parse({}, Err);
+  ASSERT_TRUE(F.has_value()) << Err;
+  EXPECT_TRUE(F->Por);
+  EXPECT_TRUE(F->FenceSynth);
+  EXPECT_FALSE(F->Capacity);
+  EXPECT_FALSE(F->Model.has_value());
+}
+
+TEST(BenchFlagsTest, AcceptsEachFlagOnce) {
+  std::string Err;
+  auto F = parse({"--no-por", "--no-fence-synth", "--capacity",
+                  "--model=relaxed"},
+                 Err);
+  ASSERT_TRUE(F.has_value()) << Err;
+  EXPECT_FALSE(F->Por);
+  EXPECT_FALSE(F->FenceSynth);
+  EXPECT_TRUE(F->Capacity);
+  ASSERT_TRUE(F->Model.has_value());
+  EXPECT_EQ(*F->Model, ccc::MemModel::Relaxed);
+}
+
+TEST(BenchFlagsTest, ParsesEveryModelName) {
+  std::string Err;
+  auto Sc = parse({"--model=sc"}, Err);
+  ASSERT_TRUE(Sc.has_value()) << Err;
+  EXPECT_EQ(*Sc->Model, ccc::MemModel::SC);
+  auto Tso = parse({"--model=tso"}, Err);
+  ASSERT_TRUE(Tso.has_value()) << Err;
+  EXPECT_EQ(*Tso->Model, ccc::MemModel::TSO);
+}
+
+TEST(BenchFlagsTest, RejectsUnknownArgumentNamingIt) {
+  std::string Err;
+  EXPECT_FALSE(parse({"--frobnicate"}, Err).has_value());
+  EXPECT_NE(Err.find("--frobnicate"), std::string::npos) << Err;
+}
+
+TEST(BenchFlagsTest, RejectsTrailingJunkAfterValidFlags) {
+  std::string Err;
+  EXPECT_FALSE(parse({"--no-por", "extra"}, Err).has_value());
+  EXPECT_NE(Err.find("extra"), std::string::npos) << Err;
+}
+
+TEST(BenchFlagsTest, RejectsUnknownModelValueNamingFlag) {
+  std::string Err;
+  EXPECT_FALSE(parse({"--model=pso"}, Err).has_value());
+  EXPECT_NE(Err.find("--model=pso"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("sc|tso|relaxed"), std::string::npos) << Err;
+}
+
+TEST(BenchFlagsTest, RejectsEmptyModelValue) {
+  std::string Err;
+  EXPECT_FALSE(parse({"--model="}, Err).has_value());
+  EXPECT_NE(Err.find("--model="), std::string::npos) << Err;
+}
+
+TEST(BenchFlagsTest, RejectsDuplicateBooleanFlags) {
+  std::string Err;
+  EXPECT_FALSE(parse({"--no-por", "--no-por"}, Err).has_value());
+  EXPECT_NE(Err.find("duplicate"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("--no-por"), std::string::npos) << Err;
+
+  EXPECT_FALSE(
+      parse({"--no-fence-synth", "--no-fence-synth"}, Err).has_value());
+  EXPECT_NE(Err.find("--no-fence-synth"), std::string::npos) << Err;
+
+  EXPECT_FALSE(parse({"--capacity", "--capacity"}, Err).has_value());
+  EXPECT_NE(Err.find("--capacity"), std::string::npos) << Err;
+}
+
+TEST(BenchFlagsTest, RejectsDuplicateModel) {
+  std::string Err;
+  EXPECT_FALSE(parse({"--model=tso", "--model=tso"}, Err).has_value());
+  EXPECT_NE(Err.find("duplicate"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("--model=tso"), std::string::npos) << Err;
+}
+
+TEST(BenchFlagsTest, RejectsConflictingModels) {
+  // Pre-fix behaviour: last model silently won, so a typo'd script ran
+  // under the wrong model. Both values must appear in the message.
+  std::string Err;
+  EXPECT_FALSE(parse({"--model=sc", "--model=tso"}, Err).has_value());
+  EXPECT_NE(Err.find("conflicting"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("--model=sc"), std::string::npos) << Err;
+  EXPECT_NE(Err.find("--model=tso"), std::string::npos) << Err;
+}
+
+TEST(BenchFlagsTest, RejectionStopsAtFirstOffender) {
+  // The first bad flag is reported even when later args are also bad.
+  std::string Err;
+  EXPECT_FALSE(parse({"--model=bogus", "--junk"}, Err).has_value());
+  EXPECT_NE(Err.find("--model=bogus"), std::string::npos) << Err;
+  EXPECT_EQ(Err.find("--junk"), std::string::npos) << Err;
+}
+
+} // namespace

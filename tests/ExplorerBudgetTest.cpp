@@ -1,0 +1,154 @@
+//===- tests/ExplorerBudgetTest.cpp - Budgeted exploration tests ----------===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+// The per-job budget axis added for the batch server: wall-clock
+// (MaxBuildMs) and intern-store byte (MaxStateBytes) budgets must
+// truncate exactly like the state cap — tri-state verdicts, never a
+// certificate — and ExploreStats::TruncatedBy must name the budget that
+// tripped. Before these budgets existed, only MaxStates could truncate;
+// the tests also re-pin that original path so the discipline is audited
+// end to end.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/RaceDetector.h"
+#include "core/Semantics.h"
+#include "workload/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <functional>
+
+using namespace ccc;
+
+namespace {
+
+void withExplorer(const Program &P, ExploreOptions Opts,
+                  const std::function<void(const Explorer<World> &)> &Check) {
+  Explorer<World> E(Opts);
+  E.build(World::load(P, 0));
+  Check(E);
+}
+
+TEST(ExplorerBudgetTest, UnlimitedBudgetsDoNotTruncate) {
+  const Program P = workload::lockedCounter(2, 1, 0);
+  withExplorer(P, {}, [](const Explorer<World> &E) {
+    EXPECT_FALSE(E.truncated());
+    EXPECT_STREQ(E.stats().TruncatedBy, "");
+    EXPECT_EQ(E.safetyVerdict(), CheckVerdict::Certified);
+  });
+}
+
+TEST(ExplorerBudgetTest, StateCapTruncatesWithStates) {
+  const Program P = workload::lockedCounter(2, 1, 0);
+  ExploreOptions Opts;
+  Opts.MaxStates = 5;
+  withExplorer(P, Opts, [](const Explorer<World> &E) {
+    EXPECT_TRUE(E.truncated());
+    EXPECT_STREQ(E.stats().TruncatedBy, "states");
+    EXPECT_EQ(E.safetyVerdict(), CheckVerdict::Inconclusive);
+    EXPECT_EQ(E.checkRace().verdict(), CheckVerdict::Inconclusive);
+    EXPECT_FALSE(E.checkRace().Conclusive);
+  });
+}
+
+TEST(ExplorerBudgetTest, TimeBudgetTruncatesWithTime) {
+  const Program P = workload::lockedCounter(2, 1, 0);
+  ExploreOptions Opts;
+  Opts.MaxBuildMs = 1e-6; // trips at the first layer boundary
+  withExplorer(P, Opts, [](const Explorer<World> &E) {
+    EXPECT_TRUE(E.truncated());
+    EXPECT_STREQ(E.stats().TruncatedBy, "time");
+    EXPECT_EQ(E.safetyVerdict(), CheckVerdict::Inconclusive);
+    EXPECT_EQ(E.checkRace().verdict(), CheckVerdict::Inconclusive);
+  });
+}
+
+TEST(ExplorerBudgetTest, MemoryBudgetTruncatesWithMemory) {
+  const Program P = workload::lockedCounter(2, 1, 0);
+  ExploreOptions Opts;
+  Opts.MaxStateBytes = 1; // any interned state exceeds one byte
+  withExplorer(P, Opts, [](const Explorer<World> &E) {
+    EXPECT_TRUE(E.truncated());
+    EXPECT_STREQ(E.stats().TruncatedBy, "memory");
+    EXPECT_EQ(E.safetyVerdict(), CheckVerdict::Inconclusive);
+  });
+}
+
+TEST(ExplorerBudgetTest, FirstTrippedBudgetWins) {
+  // Both the state cap and the byte budget would trip; the per-layer
+  // budget checks run before the cap, so the byte budget is charged.
+  const Program P = workload::lockedCounter(2, 1, 0);
+  ExploreOptions Opts;
+  Opts.MaxStates = 5;
+  Opts.MaxStateBytes = 1;
+  withExplorer(P, Opts, [](const Explorer<World> &E) {
+    EXPECT_TRUE(E.truncated());
+    EXPECT_STREQ(E.stats().TruncatedBy, "memory");
+  });
+}
+
+TEST(ExplorerBudgetTest, TruncatedByReachesTheJsonStats) {
+  const Program P = workload::lockedCounter(2, 1, 0);
+  ExploreOptions Opts;
+  Opts.MaxStateBytes = 1;
+  withExplorer(P, Opts, [](const Explorer<World> &E) {
+    EXPECT_NE(E.stats().toJson().find("\"truncated_by\":\"memory\""),
+              std::string::npos)
+        << E.stats().toJson();
+  });
+}
+
+TEST(ExplorerBudgetTest, BudgetsAreVerdictSoundAtEveryWorkerWidth) {
+  const Program P = workload::lockedCounter(2, 1, 0);
+  for (unsigned Threads : {1u, 2u, 4u}) {
+    ExploreOptions Opts;
+    Opts.Threads = Threads;
+    Opts.MaxStates = 5;
+    withExplorer(P, Opts, [&](const Explorer<World> &E) {
+      EXPECT_TRUE(E.truncated()) << Threads;
+      EXPECT_EQ(E.safetyVerdict(), CheckVerdict::Inconclusive) << Threads;
+    });
+  }
+}
+
+// The detector-level audit (satellite of PR 10): a truncated dynamic
+// exploration must surface Conclusive=false through DetectResult, for
+// every budget kind. With the static fast path off the exploration is
+// the only decider, so the locked counter — genuinely DRF — must come
+// back Inconclusive, not Certified.
+TEST(ExplorerBudgetTest, DetectRacesSurfacesEveryBudgetTruncation) {
+  const Program P = workload::lockedCounter(2, 1, 0);
+  for (int Kind = 0; Kind < 3; ++Kind) {
+    analysis::DetectOptions O;
+    O.UseStaticFastPath = false;
+    O.UseTsoFastPath = false;
+    if (Kind == 0)
+      O.Explore.MaxStates = 5;
+    else if (Kind == 1)
+      O.Explore.MaxBuildMs = 1e-6;
+    else
+      O.Explore.MaxStateBytes = 1;
+    const analysis::DetectResult R = analysis::detectRaces(P, O);
+    EXPECT_FALSE(R.Conclusive) << Kind;
+    EXPECT_FALSE(R.Drf) << Kind;
+    EXPECT_EQ(R.verdict(), CheckVerdict::Inconclusive) << Kind;
+    const char *Want = Kind == 0 ? "states" : Kind == 1 ? "time" : "memory";
+    EXPECT_STREQ(R.Explore.TruncatedBy, Want) << Kind;
+  }
+}
+
+TEST(ExplorerBudgetTest, WitnessWithinBudgetStillRefutes) {
+  // Truncation must not weaken an actual counterexample found inside
+  // the explored prefix.
+  const Program P = workload::racyCounter(2);
+  analysis::DetectOptions O;
+  O.UseStaticFastPath = false;
+  const analysis::DetectResult R = analysis::detectRaces(P, O);
+  ASSERT_TRUE(R.Witness.has_value());
+  EXPECT_EQ(R.verdict(), CheckVerdict::Refuted);
+}
+
+} // namespace

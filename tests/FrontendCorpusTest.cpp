@@ -1,0 +1,166 @@
+//===- tests/FrontendCorpusTest.cpp - Parsed-source fidelity gate ---------===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+// The hard gate of the text front end: every corpus `.ccc` file has a
+// hand-coded generator twin, and the parsed program's exploration
+// fingerprint — state count, edge set over canonical ids, complete trace
+// set, confined-race count, and the tri-state safety/race verdicts —
+// must be bit-identical to the twin's, POR-on and POR-off. A front end
+// that compiles a module differently (wrong model, wrong object flag,
+// wrong thread order, any semantic drift in the language parsers'
+// round-trip) shows up here, not in production.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/Semantics.h"
+#include "frontend/Workload.h"
+#include "support/Hashing.h"
+#include "workload/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace ccc;
+
+namespace {
+
+/// Run-stable fingerprint of one exploration (node keys and witness
+/// state keys embed per-Program core identities, so they are excluded —
+/// the twin is a *different* Program object in the same process).
+struct GraphFp {
+  std::size_t States = 0;
+  std::size_t Edges = 0;
+  uint64_t EdgeHash = 0;
+  uint64_t TraceHash = 0;
+  std::size_t Races = 0;
+  CheckVerdict Safety = CheckVerdict::Inconclusive;
+  CheckVerdict Race = CheckVerdict::Inconclusive;
+
+  bool operator==(const GraphFp &O) const = default;
+};
+
+GraphFp fingerprint(const Program &P, PorMode Por) {
+  ExploreOptions Opts;
+  Opts.Por = Por;
+  Explorer<World> E(Opts);
+  E.build(World::load(P, 0));
+
+  GraphFp Out;
+  Out.States = E.numStates();
+  Hasher64 EdgeH;
+  E.forEachEdge([&](unsigned From, unsigned To, GLabel::Kind K, int64_t Ev) {
+    EdgeH.u32(From);
+    EdgeH.u32(To);
+    EdgeH.u32(static_cast<uint32_t>(K));
+    EdgeH.u64(static_cast<uint64_t>(Ev));
+    ++Out.Edges;
+  });
+  Out.EdgeHash = EdgeH.get();
+  Out.TraceHash = hashString64(E.traces().toString());
+  Out.Races = E.findRacesConfinedTo(P.objectAddrs()).size();
+  Out.Safety = E.safetyVerdict();
+  Out.Race = E.checkRace().verdict();
+  return Out;
+}
+
+std::string readCorpusFile(const std::string &Name) {
+  const std::string Path = std::string(CASCC_CORPUS_DIR) + "/" + Name;
+  std::ifstream In(Path);
+  EXPECT_TRUE(In.good()) << "cannot read corpus file " << Path;
+  std::ostringstream SS;
+  SS << In.rdbuf();
+  return SS.str();
+}
+
+Program buildCorpusProgram(const std::string &Name) {
+  frontend::ParseError PE;
+  std::optional<frontend::WorkloadFile> W =
+      frontend::parseWorkload(readCorpusFile(Name), PE);
+  EXPECT_TRUE(W.has_value()) << Name << ": " << PE.str();
+  std::string BuildErr;
+  std::optional<Program> P = frontend::buildProgram(*W, BuildErr);
+  EXPECT_TRUE(P.has_value()) << Name << ": " << BuildErr;
+  return std::move(*P);
+}
+
+struct CorpusCase {
+  const char *File;
+  std::function<Program()> Twin;
+};
+
+const std::vector<CorpusCase> &corpus() {
+  static const std::vector<CorpusCase> C = {
+      {"locked_t2.ccc", [] { return workload::lockedCounter(2, 1, 0); }},
+      {"locked_t3.ccc", [] { return workload::lockedCounter(3, 1, 0); }},
+      {"racy_t2.ccc", [] { return workload::racyCounter(2); }},
+      {"atomic_t2w2.ccc", [] { return workload::atomicCounter(2, 2); }},
+      {"clight_locked_t2.ccc",
+       [] { return workload::clightLockedCounter(2); }},
+      {"sb_tso.ccc",
+       [] { return workload::litmus("SB", MemModel::TSO, false); }},
+      {"mp_tso.ccc", [] { return workload::mpLitmus(MemModel::TSO); }},
+      {"lb_relaxed.ccc",
+       [] { return workload::litmus("LB", MemModel::Relaxed, false); }},
+      {"pingpong_tso_r2.ccc",
+       [] { return workload::fencedPingPong(MemModel::TSO, 2); }},
+      {"pingpong_tso_r2_unfenced.ccc",
+       [] { return workload::unfencedPingPong(MemModel::TSO, 2); }},
+      {"mixed_model.ccc", [] { return workload::mixedModelProgram(false); }},
+  };
+  return C;
+}
+
+TEST(FrontendCorpusTest, CorpusCoversAtLeastEightFamilies) {
+  EXPECT_GE(corpus().size(), 8u);
+}
+
+TEST(FrontendCorpusTest, FingerprintsMatchGeneratorTwinsPorOff) {
+  for (const CorpusCase &C : corpus()) {
+    SCOPED_TRACE(C.File);
+    const Program Parsed = buildCorpusProgram(C.File);
+    const Program Twin = C.Twin();
+    EXPECT_EQ(fingerprint(Parsed, PorMode::Off),
+              fingerprint(Twin, PorMode::Off));
+  }
+}
+
+TEST(FrontendCorpusTest, FingerprintsMatchGeneratorTwinsPorOn) {
+  for (const CorpusCase &C : corpus()) {
+    SCOPED_TRACE(C.File);
+    const Program Parsed = buildCorpusProgram(C.File);
+    const Program Twin = C.Twin();
+    EXPECT_EQ(fingerprint(Parsed, PorMode::On),
+              fingerprint(Twin, PorMode::On));
+  }
+}
+
+// The structural half of fidelity: names, languages, models, object
+// flags, and thread roots survive the front end exactly.
+TEST(FrontendCorpusTest, MixedModelStructureSurvives) {
+  const Program P = buildCorpusProgram("mixed_model.ccc");
+  ASSERT_EQ(P.modules().size(), 3u);
+  EXPECT_EQ(P.module(0).Name, "obsmod");
+  EXPECT_EQ(P.module(1).Name, "sbmod");
+  EXPECT_EQ(P.module(2).Name, "lbmod");
+  ASSERT_EQ(P.numThreads(), 5u);
+  EXPECT_EQ(P.threadEntry(0), "obs");
+  EXPECT_EQ(P.threadEntry(4), "l2");
+}
+
+TEST(FrontendCorpusTest, ObjectAttributeConfinesLockGlobals) {
+  // lockspec is declared `object`; its globals must land in the
+  // object-owned region exactly like sync::addGammaLock's.
+  const Program Parsed = buildCorpusProgram("locked_t2.ccc");
+  const Program Twin = workload::lockedCounter(2, 1, 0);
+  EXPECT_EQ(Parsed.objectAddrs().size(), Twin.objectAddrs().size());
+  EXPECT_FALSE(Parsed.objectAddrs().empty());
+}
+
+} // namespace

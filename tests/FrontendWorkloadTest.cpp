@@ -1,0 +1,197 @@
+//===- tests/FrontendWorkloadTest.cpp - Front-end parser tests ------------===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+// Round-trip fixpoint (print→parse→print) over the corpus, and a
+// malformed-source sweep — truncations at every byte offset, bad model
+// attributes, duplicate module names, attribute misuse — asserting
+// graceful ParseErrors, never a crash. The suite runs under ASan/UBSan
+// in CI, so "never a crash" includes "never an out-of-bounds read".
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/Workload.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace ccc;
+using namespace ccc::frontend;
+
+namespace {
+
+std::vector<std::string> corpusTexts() {
+  std::vector<std::string> Texts;
+  for (const auto &Entry :
+       std::filesystem::directory_iterator(CASCC_CORPUS_DIR)) {
+    if (Entry.path().extension() != ".ccc")
+      continue;
+    std::ifstream In(Entry.path());
+    std::ostringstream SS;
+    SS << In.rdbuf();
+    Texts.push_back(SS.str());
+  }
+  return Texts;
+}
+
+TEST(FrontendWorkloadTest, RoundTripIsAFixpointOnTheCorpus) {
+  const std::vector<std::string> Texts = corpusTexts();
+  ASSERT_GE(Texts.size(), 8u);
+  for (const std::string &Text : Texts) {
+    ParseError Err;
+    std::optional<WorkloadFile> W = parseWorkload(Text, Err);
+    ASSERT_TRUE(W.has_value()) << Err.str();
+    const std::string P1 = printWorkload(*W);
+    std::optional<WorkloadFile> W2 = parseWorkload(P1, Err);
+    ASSERT_TRUE(W2.has_value()) << Err.str() << "\n" << P1;
+    EXPECT_EQ(printWorkload(*W2), P1);
+  }
+}
+
+TEST(FrontendWorkloadTest, ParsePreservesEverything) {
+  const std::string Text = "workload w\n"
+                           "module a cimp object {\n  global g = 0;\n"
+                           "  f() { return 0; }\n}\n"
+                           "module b x86 model relaxed {\n  .entry e 0 0\n"
+                           "  e:\n          retl\n}\n"
+                           "thread e\nthread f 3 -7\n"
+                           "check drf\ncheck fence-synth\n";
+  ParseError Err;
+  std::optional<WorkloadFile> W = parseWorkload(Text, Err);
+  ASSERT_TRUE(W.has_value()) << Err.str();
+  EXPECT_EQ(W->Name, "w");
+  ASSERT_EQ(W->Modules.size(), 2u);
+  EXPECT_EQ(W->Modules[0].Name, "a");
+  EXPECT_EQ(W->Modules[0].Lang, SrcLang::CImp);
+  EXPECT_TRUE(W->Modules[0].Object);
+  EXPECT_FALSE(W->Modules[0].Model.has_value());
+  EXPECT_EQ(W->Modules[1].Lang, SrcLang::X86);
+  ASSERT_TRUE(W->Modules[1].Model.has_value());
+  EXPECT_EQ(*W->Modules[1].Model, MemModel::Relaxed);
+  ASSERT_EQ(W->Threads.size(), 2u);
+  EXPECT_EQ(W->Threads[1].Entry, "f");
+  EXPECT_EQ(W->Threads[1].Args, (std::vector<int32_t>{3, -7}));
+  EXPECT_EQ(W->Checks,
+            (std::vector<CheckKind>{CheckKind::Drf, CheckKind::FenceSynth}));
+}
+
+/// Every rejection carries a message and a line, and none of them crash.
+void expectRejected(const std::string &Text, const std::string &NeedleInMsg) {
+  ParseError Err;
+  std::optional<WorkloadFile> W = parseWorkload(Text, Err);
+  EXPECT_FALSE(W.has_value()) << "accepted:\n" << Text;
+  if (!W.has_value()) {
+    EXPECT_FALSE(Err.Message.empty());
+    EXPECT_GE(Err.Line, 1u);
+    EXPECT_NE(Err.Message.find(NeedleInMsg), std::string::npos)
+        << Err.str() << " (wanted '" << NeedleInMsg << "')";
+  }
+}
+
+TEST(FrontendWorkloadTest, MalformedSourcesAreRejectedGracefully) {
+  expectRejected("", "no modules");
+  expectRejected("module a cimp { f() {} }\n", "no threads");
+  expectRejected("thread t\n", "no modules");
+  expectRejected("module\n", "expected module name");
+  expectRejected("module a\n", "unknown module language");
+  expectRejected("module a fortran { }\n", "unknown module language");
+  expectRejected("module a cimp\n", "expected attribute or '{'");
+  expectRejected("module a cimp {\n f() {}\n", "unterminated body");
+  expectRejected("module a x86 model pso { }\n", "unknown memory model");
+  expectRejected("module a x86 model { }\n", "unknown memory model");
+  expectRejected("module a x86 model tso model sc { }\n",
+                 "duplicate 'model'");
+  expectRejected("module a cimp object object { }\n", "duplicate 'object'");
+  expectRejected("module a cimp model tso { }\nthread t\n",
+                 "'model' applies to x86 or compiled clight");
+  expectRejected("module a x86 compile { }\nthread t\n",
+                 "'compile' requires a clight module");
+  expectRejected("module a clight object { }\nthread t\n",
+                 "'object' applies to cimp or x86");
+  expectRejected("module a cimp { }\nmodule a cimp { }\nthread t\n",
+                 "duplicate module name");
+  expectRejected("module a cimp frobnicate { }\n",
+                 "unknown module attribute");
+  expectRejected("module a cimp { }\nthread\n", "expected entry name");
+  expectRejected("module a cimp { }\nthread t one\n",
+                 "bad thread argument");
+  expectRejected("module a cimp { }\nthread t 1 2 x\n",
+                 "bad thread argument");
+  expectRejected("module a cimp { }\nthread t\ncheck bogus\n",
+                 "unknown check");
+  expectRejected("workload\nmodule a cimp { }\nthread t\n",
+                 "expected workload name");
+  expectRejected("workload a\nworkload b\n", "duplicate 'workload'");
+  expectRejected("frobnicate\n", "unknown directive");
+  expectRejected("}\n", "unexpected character");
+}
+
+TEST(FrontendWorkloadTest, ErrorsCarryTheRightLine) {
+  ParseError Err;
+  EXPECT_FALSE(
+      parseWorkload("# comment\n\nmodule a cimp { }\n\ncheck bogus\n", Err)
+          .has_value());
+  EXPECT_EQ(Err.Line, 5u);
+}
+
+// Deterministic truncation fuzz: every prefix of a representative file
+// must parse or fail gracefully — no crash, no hang, no uninitialized
+// error.
+TEST(FrontendWorkloadTest, EveryTruncationIsGraceful) {
+  const std::string Text = "workload w\n"
+                           "module client cimp {\n"
+                           "  global x = 0;\n"
+                           "  inc() { tmp := [x]; [x] := tmp + 1; }\n"
+                           "}\n"
+                           "module m x86 model tso object {\n"
+                           "  .entry e 0 0\n  e:\n          retl\n"
+                           "}\n"
+                           "thread inc 1\n"
+                           "check drf\n";
+  for (std::size_t Len = 0; Len <= Text.size(); ++Len) {
+    ParseError Err;
+    std::optional<WorkloadFile> W = parseWorkload(Text.substr(0, Len), Err);
+    if (!W.has_value()) {
+      EXPECT_FALSE(Err.Message.empty()) << "at length " << Len;
+      EXPECT_GE(Err.Line, 1u) << "at length " << Len;
+    }
+  }
+}
+
+TEST(FrontendWorkloadTest, BuildRejectsBadBodiesAndUnknownEntries) {
+  ParseError PE;
+  std::string Err;
+
+  // A structurally fine file whose CImp body is garbage: the language
+  // parser's message surfaces through buildProgram.
+  std::optional<WorkloadFile> W = parseWorkload(
+      "module a cimp { this is not cimp }\nthread t\n", PE);
+  ASSERT_TRUE(W.has_value()) << PE.str();
+  EXPECT_FALSE(buildProgram(*W, Err).has_value());
+  EXPECT_NE(Err.find("module 'a'"), std::string::npos) << Err;
+
+  // Bad x86 body.
+  W = parseWorkload("module a x86 { bogus instruction }\nthread t\n", PE);
+  ASSERT_TRUE(W.has_value()) << PE.str();
+  EXPECT_FALSE(buildProgram(*W, Err).has_value());
+
+  // Bad clight body.
+  W = parseWorkload("module a clight { void f( }\nthread f\n", PE);
+  ASSERT_TRUE(W.has_value()) << PE.str();
+  EXPECT_FALSE(buildProgram(*W, Err).has_value());
+
+  // Valid modules, unknown thread root.
+  W = parseWorkload(
+      "module a cimp { f() { return 0; } }\nthread missing\n", PE);
+  ASSERT_TRUE(W.has_value()) << PE.str();
+  EXPECT_FALSE(buildProgram(*W, Err).has_value());
+  EXPECT_NE(Err.find("missing"), std::string::npos) << Err;
+}
+
+} // namespace

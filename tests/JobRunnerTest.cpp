@@ -1,0 +1,219 @@
+//===- tests/JobRunnerTest.cpp - Batch check dispatch tests ---------------===//
+//
+// Part of CASCC, an executable model of certified separate compilation for
+// concurrent programs (PLDI 2019).
+//
+// Dispatch coverage for every check kind, and the budget-soundness hard
+// gate: an under-budgeted job must report Inconclusive with
+// conclusive=false and the budget that tripped — a certificate from a
+// truncated job is the regression these tests exist to catch.
+//
+//===----------------------------------------------------------------------===//
+
+#include "frontend/JobRunner.h"
+
+#include <gtest/gtest.h>
+
+using namespace ccc;
+using namespace ccc::frontend;
+
+namespace {
+
+WorkloadFile parseOrDie(const std::string &Text) {
+  ParseError Err;
+  std::optional<WorkloadFile> W = parseWorkload(Text, Err);
+  EXPECT_TRUE(W.has_value()) << Err.str();
+  return std::move(*W);
+}
+
+const char *RacyText = "module client cimp {\n"
+                       "  global x = 0;\n"
+                       "  inc() { tmp := [x]; [x] := tmp + 1; print(tmp); }\n"
+                       "}\n"
+                       "thread inc\nthread inc\n";
+
+const char *LockedText =
+    "module client cimp {\n"
+    "  global x = 0;\n"
+    "  inc() { lock(); tmp := [x]; [x] := tmp + 1; unlock(); }\n"
+    "}\n"
+    "module lockspec cimp object {\n"
+    "  global L = 1;\n"
+    "  lock() { r := 0; while (r == 0) { < r := [L]; [L] := 0; > }\n"
+    "           return 0; }\n"
+    "  unlock() { < r := [L]; assert(r == 0); [L] := 1; > return 0; }\n"
+    "}\n"
+    "thread inc\nthread inc\n";
+
+const char *UnfencedSbText = "module m x86 model tso {\n"
+                             "  .data x 0\n  .data y 0\n"
+                             "  .entry t1 0 0\n  .entry t2 0 0\n"
+                             "  t1:\n          movl $1, x\n"
+                             "          movl y, %eax\n"
+                             "          printl %eax\n          retl\n"
+                             "  t2:\n          movl $1, y\n"
+                             "          movl x, %ebx\n"
+                             "          printl %ebx\n          retl\n"
+                             "}\n"
+                             "thread t1\nthread t2\n";
+
+JobSpec spec(const std::string &Text, std::vector<CheckKind> Checks) {
+  JobSpec S;
+  S.Name = "job";
+  S.W = parseOrDie(Text);
+  S.W.Checks = std::move(Checks);
+  return S;
+}
+
+TEST(JobRunnerTest, DrfRefutesTheRacyCounter) {
+  const std::vector<JobOutcome> Outs =
+      runJob(spec(RacyText, {CheckKind::Drf}));
+  ASSERT_EQ(Outs.size(), 1u);
+  EXPECT_EQ(Outs[0].Check, "drf");
+  EXPECT_EQ(Outs[0].Verdict, "refuted");
+  EXPECT_TRUE(Outs[0].Conclusive);
+  EXPECT_EQ(Outs[0].TruncatedBy, "");
+}
+
+TEST(JobRunnerTest, DrfCertifiesTheLockedCounter) {
+  const std::vector<JobOutcome> Outs =
+      runJob(spec(LockedText, {CheckKind::Drf, CheckKind::Explore}));
+  ASSERT_EQ(Outs.size(), 2u);
+  EXPECT_EQ(Outs[0].Verdict, "certified");
+  EXPECT_TRUE(Outs[0].Conclusive);
+  EXPECT_EQ(Outs[1].Check, "explore");
+  EXPECT_EQ(Outs[1].Verdict, "certified");
+  EXPECT_TRUE(Outs[1].Conclusive);
+  // A full exploration carries the trace hash the verdict differ pins.
+  EXPECT_EQ(Outs[1].TraceHash.size(), 16u);
+}
+
+TEST(JobRunnerTest, RobustnessAndRepairOnUnfencedSb) {
+  const std::vector<JobOutcome> Outs = runJob(
+      spec(UnfencedSbText, {CheckKind::Robustness, CheckKind::FenceSynth}));
+  ASSERT_EQ(Outs.size(), 2u);
+  EXPECT_EQ(Outs[0].Check, "robustness");
+  EXPECT_EQ(Outs[0].Verdict, "not-robust");
+  EXPECT_TRUE(Outs[0].Conclusive);
+  EXPECT_EQ(Outs[1].Check, "fence-synth");
+  EXPECT_EQ(Outs[1].Verdict, "certified");
+  EXPECT_TRUE(Outs[1].Conclusive);
+}
+
+TEST(JobRunnerTest, PassesValidateAClightModule) {
+  const std::vector<JobOutcome> Outs = runJob(spec(
+      "module c clight {\n"
+      "  int x = 0;\n"
+      "  void f() {\n    int32_t t;\n    t = x;\n    x = t + 1;\n  }\n"
+      "}\n"
+      "thread f\n",
+      {CheckKind::Passes}));
+  ASSERT_EQ(Outs.size(), 1u);
+  EXPECT_EQ(Outs[0].Verdict, "certified");
+  EXPECT_TRUE(Outs[0].Conclusive);
+}
+
+TEST(JobRunnerTest, PassesWithoutClightModulesIsInconclusive) {
+  const std::vector<JobOutcome> Outs =
+      runJob(spec(RacyText, {CheckKind::Passes}));
+  ASSERT_EQ(Outs.size(), 1u);
+  EXPECT_EQ(Outs[0].Verdict, "inconclusive");
+  EXPECT_FALSE(Outs[0].Conclusive);
+}
+
+TEST(JobRunnerTest, NoChecksDefaultsToOneExplore) {
+  const std::vector<JobOutcome> Outs = runJob(spec(RacyText, {}));
+  ASSERT_EQ(Outs.size(), 1u);
+  EXPECT_EQ(Outs[0].Check, "explore");
+}
+
+TEST(JobRunnerTest, BuildFailureYieldsErrorOutcomePerCheck) {
+  JobSpec S = spec("module a cimp { f() { return 0; } }\nthread missing\n",
+                   {CheckKind::Drf, CheckKind::Explore});
+  const std::vector<JobOutcome> Outs = runJob(S);
+  ASSERT_EQ(Outs.size(), 2u);
+  for (const JobOutcome &Out : Outs) {
+    EXPECT_EQ(Out.Verdict, "error");
+    EXPECT_FALSE(Out.Conclusive);
+    EXPECT_FALSE(Out.Error.empty());
+  }
+}
+
+//===--------------------------------------------------------------------===//
+// Budget soundness: the acceptance-criteria hard gate.
+//===--------------------------------------------------------------------===//
+
+TEST(JobRunnerTest, StateBudgetTruncationIsNeverACertificate) {
+  // The locked counter is genuinely DRF; an under-budgeted job must NOT
+  // say so. Fast paths off: with the static lockset certificate in play
+  // the verdict would be legitimately (and soundly) Certified without
+  // exploring — here the budgeted exploration must be the decider.
+  JobSpec S = spec(LockedText, {CheckKind::Drf, CheckKind::Explore});
+  S.FastPaths = false;
+  S.Budget.MaxStates = 5;
+  const std::vector<JobOutcome> Outs = runJob(S);
+  ASSERT_EQ(Outs.size(), 2u);
+  for (const JobOutcome &Out : Outs) {
+    EXPECT_EQ(Out.Verdict, "inconclusive") << Out.Check;
+    EXPECT_FALSE(Out.Conclusive) << Out.Check;
+    EXPECT_EQ(Out.TruncatedBy, "states") << Out.Check;
+    // No trace hash from a truncated exploration: the prefix trace set
+    // is a bound, not the program's behaviour.
+    EXPECT_TRUE(Out.TraceHash.empty()) << Out.Check;
+  }
+}
+
+TEST(JobRunnerTest, TimeBudgetTruncationReportsTime) {
+  JobSpec S = spec(LockedText, {CheckKind::Explore});
+  S.Budget.MaxMs = 1e-6; // trips at the first layer boundary
+  const std::vector<JobOutcome> Outs = runJob(S);
+  ASSERT_EQ(Outs.size(), 1u);
+  EXPECT_EQ(Outs[0].Verdict, "inconclusive");
+  EXPECT_FALSE(Outs[0].Conclusive);
+  EXPECT_EQ(Outs[0].TruncatedBy, "time");
+}
+
+TEST(JobRunnerTest, MemoryBudgetTruncationReportsMemory) {
+  JobSpec S = spec(LockedText, {CheckKind::Explore});
+  S.Budget.MaxStateBytes = 1;
+  const std::vector<JobOutcome> Outs = runJob(S);
+  ASSERT_EQ(Outs.size(), 1u);
+  EXPECT_EQ(Outs[0].Verdict, "inconclusive");
+  EXPECT_FALSE(Outs[0].Conclusive);
+  EXPECT_EQ(Outs[0].TruncatedBy, "memory");
+}
+
+TEST(JobRunnerTest, TruncatedRefutationIsStillARefutation) {
+  // A race found within the budget is a witness — truncation does not
+  // weaken an actual counterexample.
+  JobSpec S = spec(RacyText, {CheckKind::Drf});
+  S.Budget.MaxStates = 2000000;
+  const std::vector<JobOutcome> Outs = runJob(S);
+  ASSERT_EQ(Outs.size(), 1u);
+  EXPECT_EQ(Outs[0].Verdict, "refuted");
+  EXPECT_TRUE(Outs[0].Conclusive);
+}
+
+TEST(JobRunnerTest, JsonRecordCarriesTheTriState) {
+  JobSpec S = spec(LockedText, {CheckKind::Drf});
+  S.FastPaths = false; // exploration must be the decider
+  S.Budget.MaxStates = 5;
+  const std::vector<JobOutcome> Outs = runJob(S);
+  ASSERT_EQ(Outs.size(), 1u);
+  const std::string J = Outs[0].toJson();
+  EXPECT_NE(J.find("\"verdict\": \"inconclusive\""), std::string::npos) << J;
+  EXPECT_NE(J.find("\"conclusive\": false"), std::string::npos) << J;
+  EXPECT_NE(J.find("\"truncated_by\": \"states\""), std::string::npos) << J;
+}
+
+TEST(JobRunnerTest, WorkerWidthDoesNotChangeVerdicts) {
+  for (unsigned Workers : {1u, 2u, 8u}) {
+    JobSpec S = spec(LockedText, {CheckKind::Drf});
+    S.Workers = Workers;
+    const std::vector<JobOutcome> Outs = runJob(S);
+    ASSERT_EQ(Outs.size(), 1u);
+    EXPECT_EQ(Outs[0].Verdict, "certified") << Workers;
+  }
+}
+
+} // namespace

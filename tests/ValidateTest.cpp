@@ -126,6 +126,40 @@ TEST(DetCheck, TsoMachineIsNotDeterministic) {
   EXPECT_FALSE(detCheck(P, 0, "f", {}).Ok);
 }
 
+// Tri-state regression (PR 10 satellite): before the fix, exploreLocal
+// silently stopped at MaxStates and a violation past the bound went
+// unseen — the checkers returned Ok=true from a truncated prefix. A
+// truncated run must never read as a pass.
+TEST(WdCheck, TruncatedRunIsNeverAPass) {
+  Program P = clightOnly(R"(
+    int g = 0;
+    void main() { int i = 0; while (i < 100) { g = g + i; i = i + 1; } }
+  )");
+  CheckOptions Opts;
+  Opts.MaxStates = 3; // far below the loop's reachable local states
+  for (int Which = 0; Which < 3; ++Which) {
+    const CheckReport R = Which == 0   ? wdCheck(P, 0, "main", {}, Opts)
+                          : Which == 1 ? detCheck(P, 0, "main", {}, Opts)
+                                       : reachCloseCheck(P, 0, "main", {},
+                                                         Opts);
+    EXPECT_TRUE(R.Truncated) << Which;
+    EXPECT_FALSE(R.Ok) << Which;
+    ASSERT_FALSE(R.Violations.empty()) << Which;
+    EXPECT_NE(R.Violations.back().find("state bound exceeded"),
+              std::string::npos)
+        << Which << ": " << R.Violations.back();
+  }
+}
+
+TEST(WdCheck, ExhaustiveRunIsNotTruncated) {
+  Program P = clightOnly(R"(
+    void main() { int a = 1; print(a); }
+  )");
+  const CheckReport R = wdCheck(P, 0, "main", {});
+  EXPECT_FALSE(R.Truncated);
+  EXPECT_TRUE(R.Ok);
+}
+
 TEST(ReachClose, ClightClientIsReachClosed) {
   Program P = clightOnly(R"(
     int g = 0;

@@ -12,7 +12,9 @@ Gated sections (a file must carry at least one):
   "full" and POR-on "por" run of every workload family;
 - sc_fast_path and fence_synth (bench_tso): ExploreStats for the
   "tso" baseline run and the "sc" fast-path run of every workload, so
-  the TSO path sits under the same memory gate as the DRF families.
+  the TSO path sits under the same memory gate as the DRF families;
+- serve (ccc_serve): the ExploreStats embedded in each explore-check
+  verdict record, gating the .ccc corpus server runs.
 
 Two hard-failing checks over every (family, run) pair:
 
@@ -101,6 +103,14 @@ def gated_runs(bench):
         # both stats blocks are always present.
         yield f"mixed {e['variant']}", "por", e["por"]
         yield f"mixed {e['variant']}", "full", e["full"]
+    for e in bench.get("serve", []):
+        # ccc_serve explore checks embed full ExploreStats, so server
+        # runs over the .ccc corpus sit under the same memory gate as
+        # the hand-coded generator families. Other check kinds carry no
+        # stats block and are skipped.
+        if "explore" in e:
+            mode = "por" if e["explore"].get("por_enabled") else "full"
+            yield f"serve {e['job']}", mode, e["explore"]
 
 
 def main(argv):
@@ -126,7 +136,7 @@ def main(argv):
         runs = list(gated_runs(bench))
         if not runs:
             errors.append(f"{path}: no gated section"
-                          " (por_cross_check/sc_fast_path/fence_synth)")
+                          " (por_cross_check/sc_fast_path/fence_synth/serve)")
             continue
         for family, run, stats in runs:
             check_coherence(family, run, stats, errors)
